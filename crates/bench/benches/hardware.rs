@@ -1,0 +1,60 @@
+//! Hardware-simulator benchmarks: the functional `bop_add` µ-program,
+//! data transposition, the PuM adder and the AES index channel.
+
+use cm_aes::Aes;
+use cm_flash::{bop_add, store_words_vertical, words_to_bitplanes, FlashArray, FlashGeometry, PlaneAddr};
+use cm_pum::PumArray;
+use cm_ssd::{TransposeMode, TranspositionUnit};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_bop_add(c: &mut Criterion) {
+    let geometry = FlashGeometry::tiny_test();
+    let width = geometry.page_bits();
+    let mut flash = FlashArray::new(geometry);
+    let plane = PlaneAddr { channel: 0, die: 0, plane: 0 };
+    let a: Vec<u32> = (0..width as u32).map(|i| i.wrapping_mul(2654435761)).collect();
+    store_words_vertical(&mut flash, plane, 0, 0, &a);
+    let b_planes = words_to_bitplanes(&vec![0xDEADBEEF; width], 32);
+    let mut group = c.benchmark_group("flash");
+    group.throughput(Throughput::Elements(width as u64));
+    // One 32-bit bit-serial addition across all bitlines of a page.
+    group.bench_function("bop_add_32b_512_lanes", |b| {
+        b.iter(|| bop_add(&mut flash, plane, 0, 0, black_box(&b_planes)))
+    });
+    group.finish();
+}
+
+fn bench_transposition(c: &mut Criterion) {
+    let words: Vec<u32> = (0..1024u32).map(|i| i.wrapping_mul(0x9E3779B9)).collect();
+    let mut unit = TranspositionUnit::new(TransposeMode::Software);
+    let mut group = c.benchmark_group("transpose");
+    group.throughput(Throughput::Bytes(4096));
+    // 4 KiB horizontal -> vertical (the CM-write path).
+    group.bench_function("to_vertical_4KiB", |b| {
+        b.iter(|| unit.to_vertical(black_box(&words), 32))
+    });
+    group.finish();
+}
+
+fn bench_pum_adder(c: &mut Criterion) {
+    let a: Vec<u32> = (0..4096u32).collect();
+    let b_: Vec<u32> = (0..4096u32).map(|i| i * 7 + 1).collect();
+    let mut arr = PumArray::new();
+    let mut group = c.benchmark_group("pum");
+    group.throughput(Throughput::Elements(4096));
+    group.bench_function("bit_serial_add_4096_lanes", |b| {
+        b.iter(|| arr.add_u32_lanes(black_box(&a), black_box(&b_)))
+    });
+    group.finish();
+}
+
+fn bench_aes(c: &mut Criterion) {
+    let aes = Aes::new_256(&[7u8; 32]);
+    let block = [0xA5u8; 16];
+    // The §7.2 index-encryption engine, per 16-byte block.
+    c.bench_function("aes256_block", |b| b.iter(|| aes.encrypt_block(black_box(&block))));
+}
+
+criterion_group!(benches, bench_bop_add, bench_transposition, bench_pum_adder, bench_aes);
+criterion_main!(benches);

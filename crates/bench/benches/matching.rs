@@ -1,0 +1,86 @@
+//! End-to-end matcher benchmarks: CM-SW search throughput, Yasuda block
+//! cost, Boolean window cost, and the plaintext reference — the measured
+//! side of Figure 2b.
+
+use cm_bench::{random_bits, BfvFixture};
+use cm_bfv::BfvParams;
+use cm_core::{bitwise_find_all, BooleanEngine, CiphermatchEngine, YasudaEngine};
+use cm_tfhe::{ClientKey, ServerKey, TfheParams};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_cmsw_search(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let f = BfvFixture::new(BfvParams::ciphermatch_1024(), 1);
+    let mut engine = CiphermatchEngine::new(&f.ctx);
+    // One full polynomial of database: 2 KiB plaintext.
+    let db_bits = random_bits(engine.packing().bits_per_poly(), 5);
+    let db = engine.encrypt_database(&f.encryptor(), &db_bits, &mut rng);
+    let query = engine.prepare_query(&f.encryptor(), &db_bits.slice(64, 32), &mut rng);
+    let mut group = c.benchmark_group("cmsw");
+    group.throughput(Throughput::Bytes((db_bits.len() / 8) as u64));
+    // Server-side Hom-Add sweep over the whole database (all variants).
+    group.bench_function("search_2KiB_db_32b_query", |b| {
+        b.iter(|| engine.search(black_box(&db), black_box(&query)))
+    });
+    group.finish();
+}
+
+fn bench_yasuda_block(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let f = BfvFixture::new(BfvParams::arithmetic_2048(), 2);
+    let mut engine = YasudaEngine::new(&f.ctx);
+    let db_bits = random_bits(2048, 7);
+    let db = engine.encrypt_database(&f.encryptor(), &db_bits, 32, &mut rng);
+    let query = db_bits.slice(10, 32);
+    let enc = f.encryptor();
+    let dec = f.decryptor();
+    let mut group = c.benchmark_group("yasuda");
+    group.sample_size(10);
+    // One block = 2 Hom-Mul + 3 Hom-Add + decrypt (Fig. 2c's unit).
+    group.bench_function("hd_block_2048b", |b| {
+        b.iter(|| {
+            engine.find_all(&enc, &dec, black_box(&db), black_box(&query), &mut rng)
+        })
+    });
+    group.finish();
+}
+
+fn bench_boolean_window(c: &mut Criterion) {
+    // Fast (insecure) parameters: the per-window gate structure is
+    // identical, only the bootstrap is smaller.
+    let mut rng = StdRng::seed_from_u64(3);
+    let client = ClientKey::generate(TfheParams::fast_insecure_test(), &mut rng);
+    let server = ServerKey::generate(&client, &mut rng);
+    let engine = BooleanEngine::new(&client, &server);
+    let db_bits = random_bits(64, 9);
+    let db = engine.encrypt_database(&db_bits, &mut rng);
+    let query = engine.encrypt_query(&db_bits.slice(8, 8), &mut rng);
+    let mut group = c.benchmark_group("boolean");
+    group.sample_size(10);
+    // One window: 8 XNOR + 7 AND bootstraps.
+    group.bench_function("window_8b_fast_params", |b| {
+        b.iter(|| engine.match_window(black_box(&db), black_box(&query), 8))
+    });
+    group.finish();
+}
+
+fn bench_plaintext_reference(c: &mut Criterion) {
+    // The paper's "5.9 us on unencrypted data" reference point (§3.1).
+    let db = random_bits(32 * 8, 11);
+    let q = db.slice(10, 32);
+    c.bench_function("plaintext_bitwise_32B_db", |b| {
+        b.iter(|| bitwise_find_all(black_box(&db), black_box(&q)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cmsw_search,
+    bench_yasuda_block,
+    bench_boolean_window,
+    bench_plaintext_reference
+);
+criterion_main!(benches);

@@ -1,0 +1,178 @@
+//! Plaintext encoders.
+//!
+//! [`CoefficientEncoder`] places packed values directly into polynomial
+//! coefficients — the layout CIPHERMATCH's dense packing uses.
+//! [`BatchEncoder`] provides BFV SIMD batching (`t` prime, `t ≡ 1 mod 2n`):
+//! `n` plaintext slots with rotation semantics, as used by the
+//! SIMD-batched baselines in Table 1 (Aziz \[17\], Bonte \[29\]).
+
+use cm_hemath::{bit_reverse, Modulus, NttTable, Poly};
+
+use crate::ciphertext::Plaintext;
+use crate::params::BfvContext;
+
+/// Encodes value vectors directly as polynomial coefficients.
+#[derive(Debug, Clone)]
+pub struct CoefficientEncoder {
+    n: usize,
+    t: u64,
+}
+
+impl CoefficientEncoder {
+    /// Creates a coefficient encoder for the context.
+    pub fn new(ctx: &BfvContext) -> Self {
+        Self { n: ctx.params().n, t: ctx.params().t }
+    }
+
+    /// Encodes up to `n` values (each reduced mod `t`) as coefficients;
+    /// remaining coefficients are zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `n` values are supplied.
+    pub fn encode(&self, values: &[u64]) -> Plaintext {
+        assert!(values.len() <= self.n, "too many values for ring degree");
+        let mut coeffs = vec![0u64; self.n];
+        for (c, &v) in coeffs.iter_mut().zip(values) {
+            *c = v % self.t;
+        }
+        Plaintext::from_poly(Poly::from_coeffs(coeffs))
+    }
+
+    /// Reads back the coefficients.
+    pub fn decode(&self, pt: &Plaintext) -> Vec<u64> {
+        pt.coeffs().to_vec()
+    }
+}
+
+/// SIMD batching encoder: `n` slots arranged as a `2 x n/2` matrix with
+/// row-rotation and column-swap Galois semantics.
+#[derive(Debug, Clone)]
+pub struct BatchEncoder {
+    n: usize,
+    t: Modulus,
+    ntt: NttTable,
+    /// slot index -> coefficient-domain NTT position.
+    index_map: Vec<usize>,
+}
+
+impl BatchEncoder {
+    /// Builds a batching encoder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not a prime with `t ≡ 1 (mod 2n)` (batching
+    /// impossible).
+    pub fn new(ctx: &BfvContext) -> Self {
+        let n = ctx.params().n;
+        let t = ctx.params().t;
+        assert!(
+            cm_hemath::is_prime(t) && (t - 1).is_multiple_of(2 * n as u64),
+            "batching requires a prime t with t = 1 mod 2n (use batching params)"
+        );
+        let modulus = Modulus::new(t);
+        let ntt = NttTable::new(modulus, n);
+        // SEAL-style matrix representation index map: slot i sits at the
+        // evaluation point psi^(3^i), its row-2 partner at psi^(-3^i).
+        let logn = n.trailing_zeros();
+        let m = 2 * n;
+        let mut index_map = vec![0usize; n];
+        let mut pos = 1usize;
+        for i in 0..n / 2 {
+            let idx1 = (pos - 1) / 2;
+            let idx2 = (m - pos - 1) / 2;
+            index_map[i] = bit_reverse(idx1, logn);
+            index_map[n / 2 + i] = bit_reverse(idx2, logn);
+            pos = pos * 3 % m;
+        }
+        Self { n, t: modulus, ntt, index_map }
+    }
+
+    /// Number of slots (equals `n`).
+    pub fn slot_count(&self) -> usize {
+        self.n
+    }
+
+    /// Encodes up to `n` slot values into a plaintext.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `n` values are supplied.
+    pub fn encode(&self, values: &[u64]) -> Plaintext {
+        assert!(values.len() <= self.n, "too many values for slot count");
+        let mut buf = vec![0u64; self.n];
+        for (i, &v) in values.iter().enumerate() {
+            buf[self.index_map[i]] = self.t.reduce(v);
+        }
+        self.ntt.inverse(&mut buf);
+        Plaintext::from_poly(Poly::from_coeffs(buf))
+    }
+
+    /// Decodes a plaintext back into its `n` slot values.
+    pub fn decode(&self, pt: &Plaintext) -> Vec<u64> {
+        let mut buf = pt.coeffs().to_vec();
+        self.ntt.forward(&mut buf);
+        (0..self.n).map(|i| buf[self.index_map[i]]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{BfvContext, BfvParams};
+
+    #[test]
+    fn coefficient_encoder_roundtrip() {
+        let ctx = BfvContext::new(BfvParams::insecure_test_add());
+        let enc = CoefficientEncoder::new(&ctx);
+        let values: Vec<u64> = (0..100).collect();
+        let pt = enc.encode(&values);
+        assert_eq!(&enc.decode(&pt)[..100], &values[..]);
+    }
+
+    #[test]
+    fn batch_encoder_roundtrip() {
+        let ctx = BfvContext::new(BfvParams::insecure_test_batch());
+        let enc = BatchEncoder::new(&ctx);
+        let values: Vec<u64> = (0..enc.slot_count() as u64).map(|i| i * 31 % 7681).collect();
+        let pt = enc.encode(&values);
+        assert_eq!(enc.decode(&pt), values);
+    }
+
+    #[test]
+    fn batch_encode_is_not_identity() {
+        let ctx = BfvContext::new(BfvParams::insecure_test_batch());
+        let enc = BatchEncoder::new(&ctx);
+        let values: Vec<u64> = (1..=4).collect();
+        let pt = enc.encode(&values);
+        assert_ne!(&pt.coeffs()[..4], &values[..]);
+    }
+
+    #[test]
+    fn batched_plaintext_addition_is_slotwise() {
+        // Adding two encoded plaintexts coefficient-wise adds the slots.
+        let ctx = BfvContext::new(BfvParams::insecure_test_batch());
+        let enc = BatchEncoder::new(&ctx);
+        let a: Vec<u64> = (0..256).map(|i| i * 3).collect();
+        let b: Vec<u64> = (0..256).map(|i| i + 17).collect();
+        let pa = enc.encode(&a);
+        let pb = enc.encode(&b);
+        let t = Modulus::new(ctx.params().t);
+        let sum = Plaintext::from_poly(Poly::from_coeffs(
+            pa.coeffs()
+                .iter()
+                .zip(pb.coeffs())
+                .map(|(&x, &y)| t.add(x, y))
+                .collect(),
+        ));
+        let expect: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| (x + y) % 7681).collect();
+        assert_eq!(enc.decode(&sum), expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "batching requires")]
+    fn batch_encoder_rejects_power_of_two_t() {
+        let ctx = BfvContext::new(BfvParams::insecure_test_add());
+        let _ = BatchEncoder::new(&ctx);
+    }
+}

@@ -1,0 +1,655 @@
+//! Encryption, decryption and homomorphic evaluation.
+//!
+//! `Hom-Add` is coefficient-wise addition of ciphertext components (paper
+//! Eq. 4) — the only operation CIPHERMATCH needs. Multiplication (used by
+//! the arithmetic baseline) computes the exact integer tensor product and
+//! scales by `t/q`; relinearization and Galois rotation use gadget-
+//! decomposed key switching.
+
+use cm_hemath::{gaussian_poly, ternary_poly, Poly};
+use rand::Rng;
+
+use crate::ciphertext::{Ciphertext, Plaintext};
+use crate::keys::{GaloisKeys, KeySwitchKey, PublicKey, RelinKey, SecretKey};
+use crate::params::BfvContext;
+
+/// Encrypts plaintexts under a public key.
+#[derive(Debug)]
+pub struct Encryptor<'a> {
+    ctx: &'a BfvContext,
+    pk: PublicKey,
+}
+
+impl<'a> Encryptor<'a> {
+    /// Creates an encryptor.
+    pub fn new(ctx: &'a BfvContext, pk: PublicKey) -> Self {
+        Self { ctx, pk }
+    }
+
+    /// Encrypts a plaintext: `(pk0 u + e1 + Δ m, pk1 u + e2)` (paper
+    /// Eq. 1–3 with the standard Δ-scaling of the message).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plaintext degree does not match the ring, or a
+    /// coefficient is not reduced mod `t`.
+    pub fn encrypt<R: Rng + ?Sized>(&self, pt: &Plaintext, rng: &mut R) -> Ciphertext {
+        let rq = self.ctx.rq();
+        let params = self.ctx.params();
+        assert_eq!(pt.poly().len(), params.n, "plaintext degree mismatch");
+        assert!(
+            pt.coeffs().iter().all(|&c| c < params.t),
+            "plaintext coefficients must be reduced mod t"
+        );
+        let u = ternary_poly(rq, rng);
+        let e1 = gaussian_poly(rq, params.sigma, rng);
+        let e2 = gaussian_poly(rq, params.sigma, rng);
+        let scaled = rq.scalar_mul(pt.poly(), params.delta());
+        let c0 = rq.add(&rq.add(&rq.mul(&self.pk.pk0, &u), &e1), &scaled);
+        let c1 = rq.add(&rq.mul(&self.pk.pk1, &u), &e2);
+        Ciphertext::from_parts(vec![c0, c1])
+    }
+
+    /// Encrypts the zero plaintext (useful for padding and benchmarks).
+    pub fn encrypt_zero<R: Rng + ?Sized>(&self, rng: &mut R) -> Ciphertext {
+        self.encrypt(&Plaintext::zero(self.ctx.params().n), rng)
+    }
+}
+
+/// Secret-key encryption: `(-(a s + e) + Δ m, a)`.
+///
+/// Symmetric ciphertexts are fresh-noise like public-key ones but cheaper
+/// to produce and to transmit seeds for; a CIPHERMATCH client holding the
+/// secret key can use this for its query variants (the part of Algorithm 1
+/// that travels per query).
+#[derive(Debug)]
+pub struct SymmetricEncryptor<'a> {
+    ctx: &'a BfvContext,
+    sk: SecretKey,
+}
+
+impl<'a> SymmetricEncryptor<'a> {
+    /// Creates a symmetric encryptor.
+    pub fn new(ctx: &'a BfvContext, sk: SecretKey) -> Self {
+        Self { ctx, sk }
+    }
+
+    /// Encrypts a plaintext under the secret key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plaintext degree does not match the ring or a
+    /// coefficient is not reduced mod `t`.
+    pub fn encrypt<R: Rng + ?Sized>(&self, pt: &Plaintext, rng: &mut R) -> Ciphertext {
+        let a = cm_hemath::uniform_poly(self.ctx.rq(), rng);
+        self.encrypt_with_mask(pt, a, rng)
+    }
+
+    /// Encrypts with the mask polynomial `a` regenerable from a 64-bit
+    /// seed, returning a [`SeededCiphertext`] that transmits at half size
+    /// (only `c0` plus the seed travel). This is the standard
+    /// seed-compression trick for the query-upload half of Algorithm 1.
+    pub fn encrypt_seeded<R: Rng + ?Sized>(
+        &self,
+        pt: &Plaintext,
+        seed: u64,
+        rng: &mut R,
+    ) -> SeededCiphertext {
+        use rand::SeedableRng;
+        let a = cm_hemath::uniform_poly(
+            self.ctx.rq(),
+            &mut rand::rngs::StdRng::seed_from_u64(seed),
+        );
+        let ct = self.encrypt_with_mask(pt, a, rng);
+        SeededCiphertext { c0: ct.part(0).clone(), seed }
+    }
+
+    fn encrypt_with_mask<R: Rng + ?Sized>(
+        &self,
+        pt: &Plaintext,
+        a: Poly,
+        rng: &mut R,
+    ) -> Ciphertext {
+        let rq = self.ctx.rq();
+        let params = self.ctx.params();
+        assert_eq!(pt.poly().len(), params.n, "plaintext degree mismatch");
+        assert!(
+            pt.coeffs().iter().all(|&c| c < params.t),
+            "plaintext coefficients must be reduced mod t"
+        );
+        let e = gaussian_poly(rq, params.sigma, rng);
+        let scaled = rq.scalar_mul(pt.poly(), params.delta());
+        let c0 = rq.add(&rq.neg(&rq.add(&rq.mul(&a, &self.sk.s), &e)), &scaled);
+        Ciphertext::from_parts(vec![c0, a])
+    }
+}
+
+/// A symmetric ciphertext with its mask compressed to a seed: transmits
+/// `n` coefficients plus 8 bytes instead of `2n` coefficients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeededCiphertext {
+    c0: Poly,
+    seed: u64,
+}
+
+impl SeededCiphertext {
+    /// Re-expands the full two-polynomial ciphertext by regenerating the
+    /// mask from the seed.
+    pub fn expand(&self, ctx: &BfvContext) -> Ciphertext {
+        use rand::SeedableRng;
+        let a = cm_hemath::uniform_poly(ctx.rq(), &mut rand::rngs::StdRng::seed_from_u64(self.seed));
+        Ciphertext::from_parts(vec![self.c0.clone(), a])
+    }
+
+    /// Transmitted size in bytes (one polynomial + the seed).
+    pub fn byte_size(&self, q_bits: u32) -> usize {
+        self.c0.len() * q_bits.div_ceil(8) as usize + 8
+    }
+}
+
+/// Decrypts ciphertexts and measures noise budgets.
+#[derive(Debug)]
+pub struct Decryptor<'a> {
+    ctx: &'a BfvContext,
+    sk: SecretKey,
+}
+
+/// Rounds `a / b` to the nearest integer (half away from zero-ish: half up),
+/// correct for negative `a` and positive `b`.
+#[inline]
+fn div_round(a: i128, b: i128) -> i128 {
+    debug_assert!(b > 0);
+    (a + b / 2).div_euclid(b)
+}
+
+impl<'a> Decryptor<'a> {
+    /// Creates a decryptor.
+    pub fn new(ctx: &'a BfvContext, sk: SecretKey) -> Self {
+        Self { ctx, sk }
+    }
+
+    /// Computes `v = c0 + c1 s + c2 s^2 + ...` in `R_q`.
+    fn inner_product(&self, ct: &Ciphertext) -> Poly {
+        let rq = self.ctx.rq();
+        let mut acc = ct.part(0).clone();
+        let mut s_pow = self.sk.s.clone();
+        for i in 1..ct.size() {
+            acc = rq.add(&acc, &rq.mul(ct.part(i), &s_pow));
+            if i + 1 < ct.size() {
+                s_pow = rq.mul(&s_pow, &self.sk.s);
+            }
+        }
+        acc
+    }
+
+    /// Decrypts a ciphertext of any size: `m = round(t v / q) mod t`.
+    pub fn decrypt(&self, ct: &Ciphertext) -> Plaintext {
+        let params = self.ctx.params();
+        let v = self.inner_product(ct);
+        let q = params.q as i128;
+        let t = params.t as i128;
+        let m = self.ctx.rq().modulus();
+        let coeffs = v
+            .coeffs()
+            .iter()
+            .map(|&c| {
+                let x = m.center(c) as i128;
+                let y = div_round(t * x, q).rem_euclid(t);
+                y as u64
+            })
+            .collect();
+        Plaintext::from_poly(Poly::from_coeffs(coeffs))
+    }
+
+    /// Invariant-noise budget in bits, à la SEAL: bits of headroom between
+    /// the current noise and the decryption-failure threshold. Zero means
+    /// decryption is no longer guaranteed.
+    pub fn invariant_noise_budget(&self, ct: &Ciphertext) -> f64 {
+        let params = self.ctx.params();
+        let rq = self.ctx.rq();
+        let v = self.inner_product(ct);
+        let m = self.decrypt(ct);
+        // w = v - Δ m, centered: the absolute noise.
+        let scaled = rq.scalar_mul(m.poly(), params.delta());
+        let w = rq.sub(&v, &scaled);
+        let noise = rq.inf_norm(&w).max(1);
+        let threshold = (params.delta() / 2).max(1);
+        ((threshold as f64).log2() - (noise as f64).log2()).max(0.0)
+    }
+}
+
+/// Homomorphic evaluation over ciphertexts.
+#[derive(Debug, Clone)]
+pub struct Evaluator {
+    ctx: BfvContext,
+}
+
+impl Evaluator {
+    /// Creates an evaluator for a context.
+    pub fn new(ctx: &BfvContext) -> Self {
+        Self { ctx: ctx.clone() }
+    }
+
+    /// Homomorphic addition (paper Eq. 4): component-wise sum. Operands of
+    /// different sizes are zero-padded.
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        let rq = self.ctx.rq();
+        let size = a.size().max(b.size());
+        let n = self.ctx.params().n;
+        let zero = Poly::zero(n);
+        let parts = (0..size)
+            .map(|i| {
+                let pa = if i < a.size() { a.part(i) } else { &zero };
+                let pb = if i < b.size() { b.part(i) } else { &zero };
+                rq.add(pa, pb)
+            })
+            .collect();
+        Ciphertext::from_parts(parts)
+    }
+
+    /// In-place homomorphic addition of same-size ciphertexts (the hot path
+    /// of CIPHERMATCH's server loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes differ.
+    pub fn add_assign(&self, a: &mut Ciphertext, b: &Ciphertext) {
+        assert_eq!(a.size(), b.size(), "in-place add requires equal sizes");
+        let rq = self.ctx.rq();
+        for (pa, pb) in a.parts_mut().iter_mut().zip(b.parts()) {
+            rq.add_assign(pa, pb);
+        }
+    }
+
+    /// Homomorphic subtraction.
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        self.add(a, &self.negate(b))
+    }
+
+    /// Homomorphic negation.
+    pub fn negate(&self, a: &Ciphertext) -> Ciphertext {
+        let rq = self.ctx.rq();
+        Ciphertext::from_parts(a.parts().iter().map(|p| rq.neg(p)).collect())
+    }
+
+    /// Sums many ciphertexts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator is empty.
+    pub fn add_many<'c>(&self, cts: impl IntoIterator<Item = &'c Ciphertext>) -> Ciphertext {
+        let mut iter = cts.into_iter();
+        let first = iter.next().expect("add_many requires at least one ciphertext");
+        iter.fold(first.clone(), |acc, ct| self.add(&acc, ct))
+    }
+
+    /// Adds a plaintext: `c0 += Δ m`.
+    pub fn add_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        let rq = self.ctx.rq();
+        let scaled = rq.scalar_mul(pt.poly(), self.ctx.params().delta());
+        let mut parts = a.parts().to_vec();
+        parts[0] = rq.add(&parts[0], &scaled);
+        Ciphertext::from_parts(parts)
+    }
+
+    /// Subtracts a plaintext: `c0 -= Δ m`.
+    pub fn sub_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        let rq = self.ctx.rq();
+        let scaled = rq.scalar_mul(pt.poly(), self.ctx.params().delta());
+        let mut parts = a.parts().to_vec();
+        parts[0] = rq.sub(&parts[0], &scaled);
+        Ciphertext::from_parts(parts)
+    }
+
+    /// Multiplies by a small signed integer scalar (coefficient-wise).
+    ///
+    /// Homomorphically scales the message by `s mod t` while growing noise
+    /// only by `|s|` — much cheaper than [`Self::mul_plain`] with a
+    /// constant polynomial, whose noise grows with the encoded constant.
+    pub fn scale_signed(&self, a: &Ciphertext, s: i64) -> Ciphertext {
+        let rq = self.ctx.rq();
+        let c = rq.modulus().from_signed(s);
+        Ciphertext::from_parts(a.parts().iter().map(|p| rq.scalar_mul(p, c)).collect())
+    }
+
+    /// Multiplies by a plaintext polynomial (each component times `m` in
+    /// `R_q`).
+    pub fn mul_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        let rq = self.ctx.rq();
+        assert!(
+            !pt.poly().is_zero(),
+            "transparent result: multiplying by the zero plaintext"
+        );
+        Ciphertext::from_parts(a.parts().iter().map(|p| rq.mul(p, pt.poly())).collect())
+    }
+
+    /// Ciphertext-ciphertext multiplication producing a size-3 ciphertext.
+    ///
+    /// Computes the exact integer tensor `(c0 d0, c0 d1 + c1 d0, c1 d1)`
+    /// over `Z[x]/(x^n+1)` and scales each coefficient by `t/q` with exact
+    /// rounding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand has size ≠ 2 (relinearize first).
+    pub fn multiply(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        assert!(a.size() == 2 && b.size() == 2, "multiply expects size-2 inputs");
+        let rq = self.ctx.rq();
+        let wide = self.ctx.wide();
+        let c0 = rq.to_centered(a.part(0));
+        let c1 = rq.to_centered(a.part(1));
+        let d0 = rq.to_centered(b.part(0));
+        let d1 = rq.to_centered(b.part(1));
+
+        let e0 = wide.mul(&c0, &d0);
+        let mut e1 = wide.mul(&c0, &d1);
+        for (x, y) in e1.iter_mut().zip(wide.mul(&c1, &d0)) {
+            *x += y;
+        }
+        let e2 = wide.mul(&c1, &d1);
+
+        let q = self.ctx.params().q as i128;
+        let t = self.ctx.params().t as i128;
+        let m = rq.modulus();
+        let scale = |v: Vec<i128>| -> Poly {
+            let coeffs = v
+                .into_iter()
+                .map(|x| {
+                    // round(t x / q) without overflowing i128: split x = q h + r.
+                    let h = x.div_euclid(q);
+                    let r = x.rem_euclid(q);
+                    let y = t * h + div_round(t * r, q);
+                    m.from_signed_i128(y)
+                })
+                .collect();
+            Poly::from_coeffs(coeffs)
+        };
+        Ciphertext::from_parts(vec![scale(e0), scale(e1), scale(e2)])
+    }
+
+    /// Digit-decomposes a polynomial in base `2^decomp_log2`.
+    fn decompose(&self, p: &Poly) -> Vec<Poly> {
+        let params = self.ctx.params();
+        let w_log = params.decomp_log2;
+        let mask = (1u64 << w_log) - 1;
+        (0..params.decomp_levels())
+            .map(|i| {
+                Poly::from_coeffs(
+                    p.coeffs()
+                        .iter()
+                        .map(|&c| (c >> (i as u32 * w_log)) & mask)
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// Applies a key-switching key to a single polynomial, returning the
+    /// `(sum d_i k0_i, sum d_i k1_i)` pair.
+    fn key_switch(&self, p: &Poly, ksw: &KeySwitchKey) -> (Poly, Poly) {
+        let rq = self.ctx.rq();
+        let n = self.ctx.params().n;
+        let mut acc0 = Poly::zero(n);
+        let mut acc1 = Poly::zero(n);
+        for (digit, level) in self.decompose(p).iter().zip(&ksw.levels) {
+            rq.add_assign(&mut acc0, &rq.mul(digit, &level.k0));
+            rq.add_assign(&mut acc1, &rq.mul(digit, &level.k1));
+        }
+        (acc0, acc1)
+    }
+
+    /// Relinearizes a size-3 ciphertext back to size 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext size is not 3.
+    pub fn relinearize(&self, ct: &Ciphertext, rk: &RelinKey) -> Ciphertext {
+        assert_eq!(ct.size(), 3, "relinearize expects a size-3 ciphertext");
+        let rq = self.ctx.rq();
+        let (k0, k1) = self.key_switch(ct.part(2), &rk.ksw);
+        Ciphertext::from_parts(vec![
+            rq.add(ct.part(0), &k0),
+            rq.add(ct.part(1), &k1),
+        ])
+    }
+
+    /// Applies the Galois automorphism `x -> x^g` homomorphically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext size is not 2 or the key set lacks `g`.
+    pub fn apply_galois(&self, ct: &Ciphertext, g: usize, gk: &GaloisKeys) -> Ciphertext {
+        assert_eq!(ct.size(), 2, "apply_galois expects a size-2 ciphertext");
+        let ksw = gk
+            .keys
+            .get(&g)
+            .unwrap_or_else(|| panic!("no Galois key for element {g}"));
+        let rq = self.ctx.rq();
+        let c0g = rq.automorphism(ct.part(0), g);
+        let c1g = rq.automorphism(ct.part(1), g);
+        let (k0, k1) = self.key_switch(&c1g, ksw);
+        Ciphertext::from_parts(vec![rq.add(&c0g, &k0), k1])
+    }
+
+    /// Rotates batched rows by `steps` (positive = left), producing the
+    /// Galois element `3^steps mod 2n` (or its inverse power for negative
+    /// steps).
+    pub fn rotate_rows(&self, ct: &Ciphertext, steps: i64, gk: &GaloisKeys) -> Ciphertext {
+        let n = self.ctx.params().n;
+        let half = (n / 2) as i64;
+        let s = steps.rem_euclid(half) as u64;
+        if s == 0 {
+            return ct.clone();
+        }
+        let two_n = 2 * n as u64;
+        let mut g = 1u64;
+        for _ in 0..s {
+            g = g * 3 % two_n;
+        }
+        self.apply_galois(ct, g as usize, gk)
+    }
+
+    /// Swaps the two batched rows (Galois element `2n - 1`).
+    pub fn rotate_columns(&self, ct: &Ciphertext, gk: &GaloisKeys) -> Ciphertext {
+        self.apply_galois(ct, 2 * self.ctx.params().n - 1, gk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyGenerator;
+    use crate::params::{BfvContext, BfvParams};
+    use cm_hemath::Poly;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(
+        params: BfvParams,
+        seed: u64,
+    ) -> (BfvContext, SecretKey, PublicKey) {
+        let ctx = BfvContext::new(params);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (sk, pk) = {
+            let kg = KeyGenerator::new(&ctx, &mut rng);
+            (kg.secret_key(), kg.public_key(&mut rng))
+        };
+        (ctx, sk, pk)
+    }
+
+    fn pt_from(ctx: &BfvContext, values: &[u64]) -> Plaintext {
+        let mut coeffs = vec![0u64; ctx.params().n];
+        for (c, &v) in coeffs.iter_mut().zip(values) {
+            *c = v % ctx.params().t;
+        }
+        Plaintext::from_poly(Poly::from_coeffs(coeffs))
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let (ctx, sk, pk) = setup(BfvParams::insecure_test_add(), 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let enc = Encryptor::new(&ctx, pk);
+        let dec = Decryptor::new(&ctx, sk);
+        let pt = pt_from(&ctx, &[1, 2, 3, 250, 0, 99]);
+        let ct = enc.encrypt(&pt, &mut rng);
+        assert_eq!(dec.decrypt(&ct), pt);
+        assert!(dec.invariant_noise_budget(&ct) > 1.0);
+    }
+
+    #[test]
+    fn symmetric_and_public_ciphertexts_interoperate() {
+        let (ctx, sk, pk) = setup(BfvParams::insecure_test_add(), 91);
+        let mut rng = StdRng::seed_from_u64(92);
+        let enc_pk = Encryptor::new(&ctx, pk);
+        let enc_sk = SymmetricEncryptor::new(&ctx, sk.clone());
+        let dec = Decryptor::new(&ctx, sk);
+        let ev = Evaluator::new(&ctx);
+        let a = enc_sk.encrypt(&pt_from(&ctx, &[30]), &mut rng);
+        assert_eq!(dec.decrypt(&a).coeffs()[0], 30);
+        assert!(dec.invariant_noise_budget(&a) > 2.0);
+        // A symmetric query added to a public-key database ciphertext.
+        let b = enc_pk.encrypt(&pt_from(&ctx, &[12]), &mut rng);
+        assert_eq!(dec.decrypt(&ev.add(&a, &b)).coeffs()[0], 42);
+    }
+
+    #[test]
+    fn seeded_ciphertexts_expand_and_decrypt() {
+        let (ctx, sk, _pk) = setup(BfvParams::insecure_test_add(), 93);
+        let mut rng = StdRng::seed_from_u64(94);
+        let enc_sk = SymmetricEncryptor::new(&ctx, sk.clone());
+        let dec = Decryptor::new(&ctx, sk);
+        let seeded = enc_sk.encrypt_seeded(&pt_from(&ctx, &[7, 8, 9]), 0xBEEF, &mut rng);
+        let full = seeded.expand(&ctx);
+        assert_eq!(&dec.decrypt(&full).coeffs()[..3], &[7, 8, 9]);
+        // Transmitted size is half the full ciphertext (plus the seed).
+        assert_eq!(seeded.byte_size(32), full.byte_size(32) / 2 + 8);
+        // Expansion is deterministic.
+        assert_eq!(seeded.expand(&ctx), full);
+    }
+
+    #[test]
+    fn hom_add_is_plaintext_add() {
+        let (ctx, sk, pk) = setup(BfvParams::insecure_test_add(), 11);
+        let mut rng = StdRng::seed_from_u64(12);
+        let enc = Encryptor::new(&ctx, pk);
+        let dec = Decryptor::new(&ctx, sk);
+        let ev = Evaluator::new(&ctx);
+        let a = pt_from(&ctx, &[10, 200, 30]);
+        let b = pt_from(&ctx, &[100, 100, 250]);
+        let ct = ev.add(&enc.encrypt(&a, &mut rng), &enc.encrypt(&b, &mut rng));
+        let sum = dec.decrypt(&ct);
+        let t = ctx.params().t;
+        assert_eq!(sum.coeffs()[0], 110);
+        assert_eq!(sum.coeffs()[1], (200 + 100) % t);
+        assert_eq!(sum.coeffs()[2], (30 + 250) % t);
+    }
+
+    #[test]
+    fn add_assign_matches_add() {
+        let (ctx, _sk, pk) = setup(BfvParams::insecure_test_add(), 13);
+        let mut rng = StdRng::seed_from_u64(14);
+        let enc = Encryptor::new(&ctx, pk);
+        let ev = Evaluator::new(&ctx);
+        let a = enc.encrypt(&pt_from(&ctx, &[5, 6]), &mut rng);
+        let b = enc.encrypt(&pt_from(&ctx, &[7, 8]), &mut rng);
+        let mut c = a.clone();
+        ev.add_assign(&mut c, &b);
+        assert_eq!(c, ev.add(&a, &b));
+    }
+
+    #[test]
+    fn sub_and_negate() {
+        let (ctx, sk, pk) = setup(BfvParams::insecure_test_add(), 15);
+        let mut rng = StdRng::seed_from_u64(16);
+        let enc = Encryptor::new(&ctx, pk);
+        let dec = Decryptor::new(&ctx, sk);
+        let ev = Evaluator::new(&ctx);
+        let a = enc.encrypt(&pt_from(&ctx, &[50]), &mut rng);
+        let b = enc.encrypt(&pt_from(&ctx, &[20]), &mut rng);
+        assert_eq!(dec.decrypt(&ev.sub(&a, &b)).coeffs()[0], 30);
+        let t = ctx.params().t;
+        assert_eq!(dec.decrypt(&ev.negate(&a)).coeffs()[0], t - 50);
+    }
+
+    #[test]
+    fn plain_operations() {
+        let (ctx, sk, pk) = setup(BfvParams::insecure_test_add(), 17);
+        let mut rng = StdRng::seed_from_u64(18);
+        let enc = Encryptor::new(&ctx, pk);
+        let dec = Decryptor::new(&ctx, sk);
+        let ev = Evaluator::new(&ctx);
+        let ct = enc.encrypt(&pt_from(&ctx, &[40]), &mut rng);
+        assert_eq!(dec.decrypt(&ev.add_plain(&ct, &pt_from(&ctx, &[2]))).coeffs()[0], 42);
+        assert_eq!(dec.decrypt(&ev.sub_plain(&ct, &pt_from(&ctx, &[2]))).coeffs()[0], 38);
+        assert_eq!(dec.decrypt(&ev.mul_plain(&ct, &pt_from(&ctx, &[3]))).coeffs()[0], 120);
+    }
+
+    #[test]
+    fn multiply_and_relinearize() {
+        let (ctx, sk, pk) = setup(BfvParams::insecure_test_mul(), 19);
+        let mut rng = StdRng::seed_from_u64(20);
+        let kg = KeyGenerator::from_secret(&ctx, sk.clone());
+        let rk = kg.relin_key(&mut rng);
+        let enc = Encryptor::new(&ctx, pk);
+        let dec = Decryptor::new(&ctx, sk);
+        let ev = Evaluator::new(&ctx);
+        let a = enc.encrypt(&pt_from(&ctx, &[7]), &mut rng);
+        let b = enc.encrypt(&pt_from(&ctx, &[9]), &mut rng);
+        let prod3 = ev.multiply(&a, &b);
+        assert_eq!(prod3.size(), 3);
+        // Size-3 decryption works pre-relinearization.
+        assert_eq!(dec.decrypt(&prod3).coeffs()[0], 63);
+        let prod2 = ev.relinearize(&prod3, &rk);
+        assert_eq!(prod2.size(), 2);
+        assert_eq!(dec.decrypt(&prod2).coeffs()[0], 63);
+        assert!(dec.invariant_noise_budget(&prod2) > 0.5);
+    }
+
+    #[test]
+    fn multiply_polynomials_convolve() {
+        // (1 + 2x) * (3 + x) = 3 + 7x + 2x^2 in the plaintext ring.
+        let (ctx, sk, pk) = setup(BfvParams::insecure_test_mul(), 21);
+        let mut rng = StdRng::seed_from_u64(22);
+        let enc = Encryptor::new(&ctx, pk);
+        let dec = Decryptor::new(&ctx, sk);
+        let ev = Evaluator::new(&ctx);
+        let a = enc.encrypt(&pt_from(&ctx, &[1, 2]), &mut rng);
+        let b = enc.encrypt(&pt_from(&ctx, &[3, 1]), &mut rng);
+        let got = dec.decrypt(&ev.multiply(&a, &b));
+        assert_eq!(&got.coeffs()[..3], &[3, 7, 2]);
+    }
+
+    #[test]
+    fn hom_add_noise_grows_additively() {
+        let (ctx, sk, pk) = setup(BfvParams::ciphermatch_1024(), 23);
+        let mut rng = StdRng::seed_from_u64(24);
+        let enc = Encryptor::new(&ctx, pk);
+        let dec = Decryptor::new(&ctx, sk);
+        let ev = Evaluator::new(&ctx);
+        let ct = enc.encrypt(&pt_from(&ctx, &[1234, 65535]), &mut rng);
+        let fresh = dec.invariant_noise_budget(&ct);
+        let sum = ev.add(&ct, &ct);
+        let after = dec.invariant_noise_budget(&sum);
+        assert!(fresh > 2.0, "fresh budget too small: {fresh}");
+        assert!(after >= fresh - 1.5, "one addition must cost at most ~1 bit");
+    }
+
+    #[test]
+    fn galois_rotation_of_coefficients() {
+        let (ctx, sk, pk) = setup(BfvParams::insecure_test_mul(), 25);
+        let mut rng = StdRng::seed_from_u64(26);
+        let kg = KeyGenerator::from_secret(&ctx, sk.clone());
+        let gk = kg.galois_keys(&[3], &mut rng);
+        let enc = Encryptor::new(&ctx, pk);
+        let dec = Decryptor::new(&ctx, sk);
+        let ev = Evaluator::new(&ctx);
+        let pt = pt_from(&ctx, &[0, 1]); // m = x
+        let ct = enc.encrypt(&pt, &mut rng);
+        let rotated = ev.apply_galois(&ct, 3, &gk);
+        // sigma_3(x) = x^3.
+        let got = dec.decrypt(&rotated);
+        assert_eq!(got.coeffs()[3], 1);
+        assert!(got.coeffs().iter().enumerate().all(|(i, &c)| i == 3 || c == 0));
+    }
+}

@@ -1,0 +1,279 @@
+//! BFV parameter sets.
+//!
+//! The paper (§4.2) presents CIPHERMATCH with `n = 1024`, 32-bit ciphertext
+//! coefficients and 16-bit plaintext coefficients, and notes the algorithm
+//! adapts to any HE-standard parameter set. We provide that preset plus a
+//! multiplication-capable set for the arithmetic baseline (Yasuda et al.), a
+//! batching-capable set for SIMD/rotation experiments, and small insecure
+//! sets for fast tests.
+
+use std::sync::Arc;
+
+use cm_hemath::{find_prime_1_mod, Modulus, RingContext, WideMultiplier};
+
+/// Static parameters of a BFV instantiation.
+#[derive(Debug, Clone)]
+pub struct BfvParams {
+    /// Ring degree `n` (power of two).
+    pub n: usize,
+    /// Ciphertext coefficient modulus `q`.
+    pub q: u64,
+    /// Plaintext coefficient modulus `t`.
+    pub t: u64,
+    /// Standard deviation of the error distribution.
+    pub sigma: f64,
+    /// Decomposition base (log2) for relinearization / key switching.
+    pub decomp_log2: u32,
+    /// Human-readable name of the preset.
+    pub name: &'static str,
+}
+
+impl BfvParams {
+    /// The paper's CIPHERMATCH parameters: `n = 1024`, 32-bit `q`,
+    /// `t = 2^16` (§4.2). Addition-only workloads; `q/t ≈ 2^16` leaves a
+    /// comfortable margin for the single Hom-Add the algorithm needs.
+    pub fn ciphermatch_1024() -> Self {
+        Self {
+            n: 1024,
+            q: find_prime_1_mod(32, 1 << 16),
+            t: 1 << 16,
+            sigma: 3.2,
+            decomp_log2: 16,
+            name: "ciphermatch_1024",
+        }
+    }
+
+    /// Parameters for the arithmetic baseline (Yasuda et al. \[27\]):
+    /// one ciphertext-ciphertext multiplication of depth, single-bit
+    /// packing, Hamming-distance plaintexts (`t = 1024` bounds HD ≤ 512).
+    pub fn arithmetic_2048() -> Self {
+        Self {
+            n: 2048,
+            q: find_prime_1_mod(56, 4096),
+            t: 1 << 10,
+            sigma: 3.2,
+            decomp_log2: 16,
+            name: "arithmetic_2048",
+        }
+    }
+
+    /// Batching-capable parameters: `t = 12289` is prime with
+    /// `t ≡ 1 (mod 2n)`, enabling SIMD slot encoding and rotations
+    /// (Bonte/Kim-style baselines).
+    pub fn batching_1024() -> Self {
+        Self {
+            n: 1024,
+            q: find_prime_1_mod(55, 2048 * 12289),
+            t: 12289,
+            sigma: 3.2,
+            decomp_log2: 16,
+            name: "batching_1024",
+        }
+    }
+
+    /// The IFP-compatible variant of the paper parameters: `q = 2^32`
+    /// exactly, so coefficient-wise addition modulo `q` is plain wrapping
+    /// 32-bit addition — bit-for-bit what the in-flash bit-serial adder
+    /// computes (§4.3.1). Power-of-two moduli are valid for ring-LWE;
+    /// there is no NTT, so encryption falls back to schoolbook
+    /// multiplication (only `Hom-Add` is ever needed server-side).
+    pub fn ciphermatch_ifp_1024() -> Self {
+        Self {
+            n: 1024,
+            q: 1 << 32,
+            t: 1 << 16,
+            sigma: 3.2,
+            decomp_log2: 16,
+            name: "ciphermatch_ifp_1024",
+        }
+    }
+
+    /// Small, fast, **insecure** power-of-two-modulus parameters matching
+    /// the in-flash adder (32-bit coefficients), for IFP tests.
+    pub fn insecure_test_pow2() -> Self {
+        Self {
+            n: 256,
+            q: 1 << 32,
+            t: 1 << 8,
+            sigma: 3.2,
+            decomp_log2: 16,
+            name: "insecure_test_pow2",
+        }
+    }
+
+    /// Small, fast, **insecure** parameters for unit tests (addition only).
+    pub fn insecure_test_add() -> Self {
+        Self {
+            n: 256,
+            q: find_prime_1_mod(32, 512),
+            t: 1 << 8,
+            sigma: 3.2,
+            decomp_log2: 16,
+            name: "insecure_test_add",
+        }
+    }
+
+    /// Small, fast, **insecure** parameters supporting one multiplication.
+    pub fn insecure_test_mul() -> Self {
+        Self {
+            n: 256,
+            q: find_prime_1_mod(48, 512),
+            t: 1 << 6,
+            sigma: 3.2,
+            decomp_log2: 16,
+            name: "insecure_test_mul",
+        }
+    }
+
+    /// Small, fast, **insecure** batching parameters.
+    /// `7681 = 30 * 256 + 1 ≡ 1 (mod 512)` is prime.
+    pub fn insecure_test_batch() -> Self {
+        Self {
+            n: 256,
+            q: find_prime_1_mod(52, 512 * 7681),
+            t: 7681,
+            sigma: 3.2,
+            decomp_log2: 16,
+            name: "insecure_test_batch",
+        }
+    }
+
+    /// `Δ = floor(q / t)`, the plaintext scaling factor.
+    pub fn delta(&self) -> u64 {
+        self.q / self.t
+    }
+
+    /// Number of decomposition digits for key switching.
+    pub fn decomp_levels(&self) -> usize {
+        let qbits = 64 - self.q.leading_zeros();
+        qbits.div_ceil(self.decomp_log2) as usize
+    }
+
+    /// Expanded plaintext size of one ciphertext in bytes, assuming each
+    /// coefficient is stored in `ceil(bits(q)/8)` bytes: `2 * n * bytes(q)`.
+    /// This is the quantity behind the paper's 4x memory-blow-up claim.
+    pub fn ciphertext_bytes(&self) -> usize {
+        let qbytes = (64 - self.q.leading_zeros()).div_ceil(8) as usize;
+        2 * self.n * qbytes
+    }
+
+    /// Plaintext capacity of one polynomial in bytes when every coefficient
+    /// carries `log2(t)` packed bits (dense packing).
+    pub fn plaintext_capacity_bytes(&self) -> usize {
+        let tbits = (63 - self.t.leading_zeros()) as usize; // exact for power-of-two t
+        self.n * tbits / 8
+    }
+}
+
+/// Shared BFV context: parameters plus the ring machinery they imply.
+#[derive(Debug, Clone)]
+pub struct BfvContext {
+    params: BfvParams,
+    rq: Arc<RingContext>,
+    wide: Arc<WideMultiplier>,
+}
+
+impl BfvContext {
+    /// Builds the rings and wide multiplier for a parameter set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not an NTT-friendly prime for `n` (all presets are),
+    /// or if `t >= q`.
+    pub fn new(params: BfvParams) -> Self {
+        assert!(params.t < params.q, "plaintext modulus must be below q");
+        assert!(
+            params.q % params.t <= 1,
+            "q mod t must be <= 1 so the BFV rounding residue r_t(q) stays \
+             negligible; pick q = 1 mod lcm(2n, t) (see find_prime_1_mod)"
+        );
+        let rq = RingContext::new(Modulus::new(params.q), params.n);
+        // NTT-friendly prime moduli get fast encryption/multiplication;
+        // power-of-two moduli (the IFP-compatible presets) fall back to
+        // schoolbook ring multiplication, which only affects encryption
+        // speed — Hom-Add never multiplies.
+        let wide = WideMultiplier::new(params.n);
+        assert!(
+            wide.max_input_magnitude() >= params.q / 2,
+            "exact tensoring range too small for q"
+        );
+        Self {
+            params,
+            rq: Arc::new(rq),
+            wide: Arc::new(wide),
+        }
+    }
+
+    /// The parameter set.
+    #[inline]
+    pub fn params(&self) -> &BfvParams {
+        &self.params
+    }
+
+    /// The ciphertext ring `R_q`.
+    #[inline]
+    pub fn rq(&self) -> &RingContext {
+        &self.rq
+    }
+
+    /// The exact tensor multiplier.
+    #[inline]
+    pub fn wide(&self) -> &WideMultiplier {
+        &self.wide
+    }
+
+    /// Plaintext modulus as a [`Modulus`].
+    pub fn t_modulus(&self) -> Modulus {
+        Modulus::new(self.params.t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_build() {
+        for p in [
+            BfvParams::ciphermatch_1024(),
+            BfvParams::ciphermatch_ifp_1024(),
+            BfvParams::arithmetic_2048(),
+            BfvParams::batching_1024(),
+            BfvParams::insecure_test_add(),
+            BfvParams::insecure_test_pow2(),
+            BfvParams::insecure_test_mul(),
+            BfvParams::insecure_test_batch(),
+        ] {
+            let name = p.name;
+            let ctx = BfvContext::new(p);
+            assert!(ctx.params().delta() > 1, "{name}");
+        }
+    }
+
+    #[test]
+    fn ciphermatch_params_match_paper() {
+        let p = BfvParams::ciphermatch_1024();
+        assert_eq!(p.n, 1024);
+        assert_eq!(64 - p.q.leading_zeros(), 32, "q must be 32-bit");
+        assert_eq!(p.t, 65536, "t must be 16-bit");
+        // Paper §4.2.1: ciphertext is 4x the packed plaintext (2 polys x 2x
+        // coefficient width).
+        assert_eq!(p.ciphertext_bytes(), 4 * p.plaintext_capacity_bytes());
+    }
+
+    #[test]
+    fn batching_modulus_supports_slots() {
+        let p = BfvParams::batching_1024();
+        assert_eq!(p.t % (2 * p.n as u64), 1);
+        assert!(cm_hemath::is_prime(p.t));
+        let p = BfvParams::insecure_test_batch();
+        assert_eq!(p.t % (2 * p.n as u64), 1);
+        assert!(cm_hemath::is_prime(p.t));
+    }
+
+    #[test]
+    fn decomp_levels_cover_q() {
+        let p = BfvParams::arithmetic_2048();
+        assert!(p.decomp_levels() as u32 * p.decomp_log2 >= 64 - p.q.leading_zeros());
+    }
+}

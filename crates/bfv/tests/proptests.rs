@@ -1,0 +1,159 @@
+//! Property-based tests of the BFV scheme: decryption correctness,
+//! additive homomorphism, and noise-budget behaviour under accumulation
+//! (failure-injection: correctness must hold exactly while the budget is
+//! positive).
+
+use cm_bfv::{
+    BfvContext, BfvParams, CoefficientEncoder, Decryptor, Encryptor, Evaluator, KeyGenerator,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Fixture {
+    ctx: BfvContext,
+    sk: cm_bfv::SecretKey,
+    pk: cm_bfv::PublicKey,
+}
+
+fn fixture(seed: u64) -> Fixture {
+    let ctx = BfvContext::new(BfvParams::insecure_test_add());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (sk, pk) = {
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        (kg.secret_key(), kg.public_key(&mut rng))
+    };
+    Fixture { ctx, sk, pk }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn encrypt_decrypt_roundtrip(values in prop::collection::vec(0u64..256, 1..256), seed in 0u64..1000) {
+        let f = fixture(seed);
+        let mut rng = StdRng::seed_from_u64(seed + 1);
+        let coder = CoefficientEncoder::new(&f.ctx);
+        let enc = Encryptor::new(&f.ctx, f.pk.clone());
+        let dec = Decryptor::new(&f.ctx, f.sk.clone());
+        let pt = coder.encode(&values);
+        let ct = enc.encrypt(&pt, &mut rng);
+        prop_assert_eq!(dec.decrypt(&ct), pt);
+    }
+
+    #[test]
+    fn hom_add_is_slot_wise_mod_t(
+        a in prop::collection::vec(0u64..256, 1..64),
+        b in prop::collection::vec(0u64..256, 1..64),
+        seed in 0u64..1000,
+    ) {
+        let f = fixture(seed);
+        let mut rng = StdRng::seed_from_u64(seed + 2);
+        let coder = CoefficientEncoder::new(&f.ctx);
+        let enc = Encryptor::new(&f.ctx, f.pk.clone());
+        let dec = Decryptor::new(&f.ctx, f.sk.clone());
+        let ev = Evaluator::new(&f.ctx);
+        let t = f.ctx.params().t;
+        let ct = ev.add(
+            &enc.encrypt(&coder.encode(&a), &mut rng),
+            &enc.encrypt(&coder.encode(&b), &mut rng),
+        );
+        let got = dec.decrypt(&ct);
+        for i in 0..a.len().max(b.len()) {
+            let ea = a.get(i).copied().unwrap_or(0);
+            let eb = b.get(i).copied().unwrap_or(0);
+            prop_assert_eq!(got.coeffs()[i], (ea + eb) % t, "slot {}", i);
+        }
+    }
+
+    #[test]
+    fn negation_and_subtraction_are_inverses(
+        a in prop::collection::vec(0u64..256, 1..32),
+        seed in 0u64..1000,
+    ) {
+        let f = fixture(seed);
+        let mut rng = StdRng::seed_from_u64(seed + 3);
+        let coder = CoefficientEncoder::new(&f.ctx);
+        let enc = Encryptor::new(&f.ctx, f.pk.clone());
+        let dec = Decryptor::new(&f.ctx, f.sk.clone());
+        let ev = Evaluator::new(&f.ctx);
+        let ct = enc.encrypt(&coder.encode(&a), &mut rng);
+        // a + (-a) = 0 and a - a = 0.
+        prop_assert!(dec.decrypt(&ev.add(&ct, &ev.negate(&ct))).poly().is_zero());
+        prop_assert!(dec.decrypt(&ev.sub(&ct, &ct)).poly().is_zero());
+    }
+}
+
+#[test]
+fn noise_budget_decreases_monotonically_and_correctness_holds() {
+    // Accumulate many fresh encryptions of 1. While the reported budget is
+    // positive, the decrypted count must be exact.
+    let f = fixture(77);
+    let mut rng = StdRng::seed_from_u64(78);
+    let coder = CoefficientEncoder::new(&f.ctx);
+    let enc = Encryptor::new(&f.ctx, f.pk.clone());
+    let dec = Decryptor::new(&f.ctx, f.sk.clone());
+    let ev = Evaluator::new(&f.ctx);
+    let one = coder.encode(&[1]);
+    let mut acc = enc.encrypt(&one, &mut rng);
+    let mut last_budget = dec.invariant_noise_budget(&acc);
+    let t = f.ctx.params().t;
+    for i in 2..=200u64 {
+        acc = ev.add(&acc, &enc.encrypt(&one, &mut rng));
+        let budget = dec.invariant_noise_budget(&acc);
+        assert!(
+            budget <= last_budget + 0.5,
+            "budget must not grow: {last_budget} -> {budget} at {i}"
+        );
+        last_budget = budget;
+        if budget > 0.0 {
+            assert_eq!(dec.decrypt(&acc).coeffs()[0], i % t, "count wrong at {i}");
+        }
+    }
+    assert!(last_budget > 0.0, "200 additions must fit the paper-class budget");
+}
+
+#[test]
+fn deep_multiplication_exhausts_budget_gracefully() {
+    // Squaring repeatedly must eventually exhaust the budget; the budget
+    // metric must hit zero before (or when) decryption goes wrong.
+    let ctx = BfvContext::new(BfvParams::insecure_test_mul());
+    let mut rng = StdRng::seed_from_u64(99);
+    let (sk, pk) = {
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        (kg.secret_key(), kg.public_key(&mut rng))
+    };
+    let rk = KeyGenerator::from_secret(&ctx, sk.clone()).relin_key(&mut rng);
+    let coder = CoefficientEncoder::new(&ctx);
+    let enc = Encryptor::new(&ctx, pk);
+    let dec = Decryptor::new(&ctx, sk);
+    let ev = Evaluator::new(&ctx);
+    let mut ct = enc.encrypt(&coder.encode(&[3]), &mut rng);
+    let mut value = 3u64;
+    let t = ctx.params().t;
+    let fresh_budget = dec.invariant_noise_budget(&ct);
+    assert!(fresh_budget > 10.0, "fresh budget too small: {fresh_budget}");
+    let mut min_budget = fresh_budget;
+    for round in 1..=6 {
+        ct = ev.relinearize(&ev.multiply(&ct, &ct), &rk);
+        value = value * value % t;
+        let budget = dec.invariant_noise_budget(&ct);
+        // The headroom must shrink strictly with depth (until it saturates
+        // near zero, where the metric clamps).
+        assert!(
+            budget < min_budget || budget < 2.0,
+            "round {round}: budget {budget} did not shrink from {min_budget}"
+        );
+        min_budget = min_budget.min(budget);
+        // While comfortably inside the budget, results must be exact.
+        if budget > 3.0 {
+            assert_eq!(dec.decrypt(&ct).coeffs()[0], value, "wrong at round {round}");
+        }
+    }
+    // A single-level parameter set cannot survive six squarings: the
+    // budget must be (nearly) exhausted by now.
+    assert!(
+        min_budget < 3.0,
+        "six squarings left {min_budget} bits of budget — noise model broken"
+    );
+}

@@ -1,0 +1,194 @@
+//! Index generation (paper §4.2.2, "Index Generation"; Algorithm 1 line 12).
+//!
+//! After `Hom-Add`, a match shows as an all-ones "match polynomial" value
+//! in the affected coefficients. This module turns a table of (decrypted)
+//! result coefficients into the list of matching bit offsets. It is shared
+//! by the software matcher (`CM-SW`) and the SSD controller's index
+//! generation unit (`CM-IFP`), which both see the same sum values.
+
+use std::collections::HashMap;
+
+use crate::query::{segment_matches, AlignmentClass};
+
+/// Result sums for every `(r, phase)` query variant: one `Vec<u64>` of
+/// coefficient sums per database polynomial.
+#[derive(Debug, Clone, Default)]
+pub struct SumTable {
+    by_variant: HashMap<(usize, usize), Vec<Vec<u64>>>,
+}
+
+impl SumTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores the per-polynomial sums of variant `(r, phase)`.
+    pub fn insert(&mut self, r: usize, phase: usize, sums: Vec<Vec<u64>>) {
+        self.by_variant.insert((r, phase), sums);
+    }
+
+    /// Looks up the sum at `(r, phase, poly, coeff)`.
+    fn sum(&self, r: usize, phase: usize, poly: usize, coeff: usize) -> Option<u64> {
+        self.by_variant
+            .get(&(r, phase))
+            .and_then(|polys| polys.get(poly))
+            .and_then(|cs| cs.get(coeff))
+            .copied()
+    }
+
+    /// Number of stored variants.
+    pub fn variant_count(&self) -> usize {
+        self.by_variant.len()
+    }
+}
+
+/// Scans the sum table for all matching bit offsets.
+///
+/// Geometry: bit offset `o = seg_bits * G + r` maps to window segments
+/// `G .. G + s_r`; window segment `i` lives in polynomial
+/// `(G + i) / n` at coefficient `(G + i) % n`, and was tested by variant
+/// `(r, phase)` with `phase = coeff - i mod s_r` (the phase whose
+/// replicated pattern placed negated-query segment `i` at that
+/// coefficient).
+pub fn generate_indices(
+    classes: &[AlignmentClass],
+    sums: &SumTable,
+    n: usize,
+    seg_bits: usize,
+    total_bits: usize,
+    k: usize,
+) -> Vec<usize> {
+    let mut matches = Vec::new();
+    if k == 0 || k > total_bits {
+        return matches;
+    }
+    for o in 0..=(total_bits - k) {
+        let g = o / seg_bits;
+        let r = o % seg_bits;
+        let class = &classes[r];
+        let s = class.window_segs;
+        let ok = (0..s).all(|i| {
+            let global = g + i;
+            let poly = global / n;
+            let coeff = global % n;
+            let phase = (coeff + s - (i % s)) % s;
+            match sums.sum(r, phase, poly, coeff) {
+                Some(sum) => segment_matches(sum, class.masks[i], seg_bits),
+                None => false,
+            }
+        });
+        if ok {
+            matches.push(o);
+        }
+    }
+    matches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::BitString;
+    use crate::query::{alignment_classes, build_variants};
+
+    /// Computes the plaintext sum table the way the server would (segment
+    /// value + negated query segment, mod 2^seg_bits), without encryption.
+    fn plain_sum_table(
+        db: &BitString,
+        query: &BitString,
+        n: usize,
+        seg_bits: usize,
+    ) -> (Vec<AlignmentClass>, SumTable) {
+        let classes = alignment_classes(query, seg_bits);
+        let variants = build_variants(&classes, n);
+        let polys = db.segment_count(seg_bits).div_ceil(n).max(1);
+        let modulus = 1u64 << seg_bits;
+        let mut table = SumTable::new();
+        for v in &variants {
+            let mut all = Vec::with_capacity(polys);
+            for j in 0..polys {
+                let sums: Vec<u64> = (0..n)
+                    .map(|c| {
+                        let d = db.segment_value(j * n + c, seg_bits);
+                        (d + v.plaintext.coeffs()[c]) % modulus
+                    })
+                    .collect();
+                all.push(sums);
+            }
+            table.insert(v.r, v.phase, all);
+        }
+        (classes, table)
+    }
+
+    fn check(db: &BitString, query: &BitString, n: usize, seg_bits: usize) {
+        let (classes, table) = plain_sum_table(db, query, n, seg_bits);
+        let got = generate_indices(&classes, &table, n, seg_bits, db.len(), query.len());
+        let expect = db.find_all(query);
+        assert_eq!(got, expect, "db len {} query len {}", db.len(), query.len());
+    }
+
+    #[test]
+    fn aligned_match_is_found() {
+        let db = BitString::from_bytes(&[0x12, 0x34, 0xAB, 0xCD]);
+        let query = BitString::from_bytes(&[0xAB, 0xCD]);
+        check(&db, &query, 8, 16);
+    }
+
+    #[test]
+    fn unaligned_matches_are_found() {
+        // Query straddles segment boundaries at various offsets.
+        let db = BitString::from_bytes(&[0b0001_1010, 0b1100_0111, 0x55, 0xAA]);
+        for off in 0..17 {
+            if off + 11 > db.len() {
+                break;
+            }
+            let query = db.slice(off, 11);
+            let (classes, table) = plain_sum_table(&db, &query, 4, 16);
+            let got = generate_indices(&classes, &table, 4, 16, db.len(), query.len());
+            assert!(got.contains(&off), "offset {off} missing: {got:?}");
+            assert_eq!(got, db.find_all(&query), "offset {off}");
+        }
+    }
+
+    #[test]
+    fn no_false_positives_on_random_data() {
+        // Pseudo-random DB, absent pattern.
+        let bytes: Vec<u8> = (0..64u32).map(|i| (i.wrapping_mul(197) ^ 0x5A) as u8).collect();
+        let db = BitString::from_bytes(&bytes);
+        let query = BitString::from_bits(&vec![true; 23]); // 23 ones unlikely
+        check(&db, &query, 8, 16);
+    }
+
+    #[test]
+    fn query_spanning_polynomials() {
+        // n = 2 coefficients per poly -> windows cross polynomial borders.
+        let db = BitString::from_bytes(&[0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08]);
+        let query = db.slice(24, 32); // crosses the poly boundary at segment 2
+        check(&db, &query, 2, 16);
+    }
+
+    #[test]
+    fn eight_bit_segments_work_too() {
+        let db = BitString::from_ascii("abracadabra");
+        let query = BitString::from_ascii("cad");
+        check(&db, &query, 4, 8);
+        let query2 = BitString::from_ascii("abra");
+        check(&db, &query2, 4, 8);
+    }
+
+    #[test]
+    fn overlapping_occurrences() {
+        let db = BitString::from_bits(&[true; 40]);
+        let query = BitString::from_bits(&[true; 16]);
+        check(&db, &query, 4, 16); // every offset 0..24 matches
+    }
+
+    #[test]
+    fn empty_and_oversized_queries_yield_nothing() {
+        let db = BitString::from_bytes(&[0xFF; 4]);
+        let classes = alignment_classes(&BitString::from_bits(&[true]), 16);
+        let table = SumTable::new();
+        assert!(generate_indices(&classes, &table, 4, 16, db.len(), 0).is_empty());
+        assert!(generate_indices(&classes, &table, 4, 16, db.len(), 999).is_empty());
+    }
+}

@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! # cm-core
+//!
+//! The CIPHERMATCH algorithm (Kabra et al., ASPLOS 2025): a
+//! memory-efficient BFV data packing scheme and a secure exact string
+//! matching algorithm that uses **only homomorphic addition**, plus the
+//! paper's Boolean and arithmetic baselines and the client–server protocol
+//! of Algorithm 1.
+//!
+//! ## The idea in one paragraph
+//!
+//! Pack 16 database bits into each plaintext coefficient (so encryption
+//! only costs 4x in space), negate the query, and add it homomorphically:
+//! wherever the database equals the query, `d + !q` is the all-ones
+//! "match polynomial" value — detectable per coefficient without a single
+//! homomorphic multiplication or rotation. Arbitrary query lengths and bit
+//! offsets are handled with shifted/replicated query variants and
+//! don't-care masks.
+//!
+//! ## Example
+//!
+//! ```
+//! use cm_bfv::{BfvContext, BfvParams};
+//! use cm_core::{BitString, Client, Server};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let ctx = BfvContext::new(BfvParams::insecure_test_add());
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let client = Client::new(&ctx, &mut rng);
+//! let data = BitString::from_ascii("find the needle in this haystack");
+//! let mut server = Server::new(&ctx, client.encrypt_database(&data, &mut rng));
+//! server.install_index_generator(client.delegate_index_generation());
+//!
+//! let query = client.prepare_query(&BitString::from_ascii("needle"), &mut rng);
+//! assert_eq!(server.search_indices(&query), vec![9 * 8]);
+//! ```
+
+mod bits;
+mod index_gen;
+pub mod matchers;
+mod packing;
+mod protocol;
+mod query;
+
+pub use bits::BitString;
+pub use index_gen::{generate_indices, SumTable};
+pub use matchers::batched::{BatchedDatabase, BatchedEngine};
+pub use matchers::boolean::{BooleanDatabase, BooleanEngine, BooleanGateCount};
+pub use matchers::ciphermatch::{
+    CiphermatchEngine, CmSwStats, EncryptedDatabase, EncryptedQuery, SearchResult,
+};
+pub use matchers::plain::bitwise_find_all;
+pub use matchers::yasuda::{YasudaDatabase, YasudaEngine, YasudaQuery, YasudaStats};
+pub use matchers::{table1_profiles, ApproachProfile, CostClass};
+pub use packing::{DensePacking, SingleBitPacking};
+pub use protocol::{Client, IndexMode, Server, TrustedIndexGenerator};
+pub use query::{
+    alignment_classes, build_variants, segment_matches, variant_count, AlignmentClass,
+    QueryVariant,
+};

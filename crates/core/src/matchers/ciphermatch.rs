@@ -1,0 +1,502 @@
+//! CM-SW: the CIPHERMATCH secure matcher (paper §4.2, Algorithm 1).
+//!
+//! Database and query are packed with [`DensePacking`], the server runs
+//! **only `Hom-Add`** (one per database-polynomial × query-variant pair),
+//! and index generation compares result coefficients against the all-ones
+//! match value under the alignment masks.
+
+use std::time::{Duration, Instant};
+
+use cm_bfv::{BfvContext, Ciphertext, Decryptor, Encryptor, Evaluator};
+use rand::Rng;
+
+use crate::bits::BitString;
+use crate::index_gen::{generate_indices, SumTable};
+use crate::packing::DensePacking;
+use crate::query::{alignment_classes, build_variants, AlignmentClass};
+
+/// The encrypted, densely packed database stored on the server
+/// (Algorithm 1 lines 1–3).
+#[derive(Debug, Clone)]
+pub struct EncryptedDatabase {
+    pub(crate) cts: Vec<Ciphertext>,
+    pub(crate) total_bits: usize,
+}
+
+impl EncryptedDatabase {
+    /// Number of ciphertexts.
+    pub fn poly_count(&self) -> usize {
+        self.cts.len()
+    }
+
+    /// Database length in bits.
+    pub fn total_bits(&self) -> usize {
+        self.total_bits
+    }
+
+    /// Total encrypted footprint in bytes (Fig. 2a's y-axis).
+    pub fn byte_size(&self, q_bits: u32) -> usize {
+        self.cts.iter().map(|ct| ct.byte_size(q_bits)).sum()
+    }
+
+    /// The database ciphertexts in storage order (used by the SSD pipeline
+    /// to lay the coefficient stream out in flash).
+    pub fn ciphertexts(&self) -> &[Ciphertext] {
+        &self.cts
+    }
+
+    /// Serializes the database for upload/storage: a small header plus
+    /// every ciphertext in the compact `cm-bfv` wire format.
+    pub fn encode(&self, q_bits: u32) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.total_bits as u64).to_le_bytes());
+        out.extend_from_slice(&(self.cts.len() as u32).to_le_bytes());
+        for ct in &self.cts {
+            let bytes = cm_bfv::encode_ciphertext(ct, q_bits);
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(&bytes);
+        }
+        out
+    }
+
+    /// Decodes a database serialized with [`Self::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`cm_bfv::DecodeError`] on malformed input.
+    pub fn decode(data: &[u8]) -> Result<Self, cm_bfv::DecodeError> {
+        use cm_bfv::DecodeError;
+        if data.len() < 12 {
+            return Err(DecodeError::Truncated);
+        }
+        let total_bits = u64::from_le_bytes(data[..8].try_into().unwrap()) as usize;
+        let count = u32::from_le_bytes(data[8..12].try_into().unwrap()) as usize;
+        let mut pos = 12usize;
+        let mut cts = Vec::with_capacity(count);
+        for _ in 0..count {
+            if data.len() < pos + 4 {
+                return Err(DecodeError::Truncated);
+            }
+            let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 4;
+            if data.len() < pos + len {
+                return Err(DecodeError::Truncated);
+            }
+            cts.push(cm_bfv::decode_ciphertext(&data[pos..pos + len])?);
+            pos += len;
+        }
+        Ok(Self { cts, total_bits })
+    }
+}
+
+/// The encrypted query: all shifted/replicated variants
+/// (Algorithm 1 lines 4–9).
+#[derive(Debug, Clone)]
+pub struct EncryptedQuery {
+    pub(crate) variants: Vec<EncryptedVariant>,
+    pub(crate) classes: Vec<AlignmentClass>,
+    pub(crate) k: usize,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct EncryptedVariant {
+    pub r: usize,
+    pub phase: usize,
+    pub ct: Ciphertext,
+}
+
+impl EncryptedQuery {
+    /// Number of encrypted variants (`sum_r ceil((r+k)/seg_bits)`).
+    pub fn variant_count(&self) -> usize {
+        self.variants.len()
+    }
+
+    /// Query length in bits.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Total encrypted footprint in bytes.
+    pub fn byte_size(&self, q_bits: u32) -> usize {
+        self.variants.iter().map(|v| v.ct.byte_size(q_bits)).sum()
+    }
+
+    /// Iterates over the variants as `(r, phase, ciphertext)` (used by the
+    /// SSD pipeline, which runs each variant through the in-flash adder).
+    pub fn variant_cts(&self) -> impl Iterator<Item = (usize, usize, &Ciphertext)> + '_ {
+        self.variants.iter().map(|v| (v.r, v.phase, &v.ct))
+    }
+
+    /// The alignment classes of this query (needed to rebuild a
+    /// [`SearchResult`] from externally computed sums).
+    pub fn classes(&self) -> &[AlignmentClass] {
+        &self.classes
+    }
+}
+
+/// The server's raw search output: one result ciphertext per
+/// (variant, database polynomial) pair (Algorithm 1 lines 10–11).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchResult {
+    pub(crate) per_variant: Vec<((usize, usize), Vec<Ciphertext>)>,
+    pub(crate) total_bits: usize,
+    pub(crate) k: usize,
+    pub(crate) classes: Vec<AlignmentClass>,
+}
+
+impl SearchResult {
+    /// Number of result ciphertexts.
+    pub fn ciphertext_count(&self) -> usize {
+        self.per_variant.iter().map(|(_, v)| v.len()).sum()
+    }
+
+    /// Assembles a search result from externally computed Hom-Add outputs
+    /// (e.g. the in-flash pipeline): `per_variant` maps `(r, phase)` to the
+    /// per-polynomial result ciphertexts.
+    pub fn from_raw(
+        per_variant: Vec<((usize, usize), Vec<Ciphertext>)>,
+        total_bits: usize,
+        k: usize,
+        classes: Vec<AlignmentClass>,
+    ) -> Self {
+        Self { per_variant, total_bits, k, classes }
+    }
+}
+
+/// Execution statistics of a search (for the evaluation harness).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CmSwStats {
+    /// Homomorphic additions performed.
+    pub hom_adds: u64,
+    /// Wall time spent in `Hom-Add`.
+    pub add_time: Duration,
+}
+
+/// The CM-SW engine: packing + addition-only matching.
+#[derive(Debug)]
+pub struct CiphermatchEngine {
+    ctx: BfvContext,
+    packing: DensePacking,
+    evaluator: Evaluator,
+    stats: CmSwStats,
+}
+
+impl CiphermatchEngine {
+    /// Creates an engine for a dense-packing-capable context
+    /// (power-of-two `t`; use [`cm_bfv::BfvParams::ciphermatch_1024`]).
+    pub fn new(ctx: &BfvContext) -> Self {
+        Self {
+            ctx: ctx.clone(),
+            packing: DensePacking::new(ctx),
+            evaluator: Evaluator::new(ctx),
+            stats: CmSwStats::default(),
+        }
+    }
+
+    /// The packing scheme.
+    pub fn packing(&self) -> &DensePacking {
+        &self.packing
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> CmSwStats {
+        self.stats
+    }
+
+    /// Resets the statistics counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = CmSwStats::default();
+    }
+
+    /// Packs and encrypts a database (client side, done once).
+    pub fn encrypt_database<R: Rng + ?Sized>(
+        &self,
+        enc: &Encryptor<'_>,
+        data: &BitString,
+        rng: &mut R,
+    ) -> EncryptedDatabase {
+        let cts = self
+            .packing
+            .pack(data)
+            .iter()
+            .map(|pt| enc.encrypt(pt, rng))
+            .collect();
+        EncryptedDatabase { cts, total_bits: data.len() }
+    }
+
+    /// Prepares and encrypts all query variants (client side, per query).
+    pub fn prepare_query<R: Rng + ?Sized>(
+        &self,
+        enc: &Encryptor<'_>,
+        query: &BitString,
+        rng: &mut R,
+    ) -> EncryptedQuery {
+        let classes = alignment_classes(query, self.packing.seg_bits());
+        let variants = build_variants(&classes, self.ctx.params().n)
+            .into_iter()
+            .map(|v| EncryptedVariant {
+                r: v.r,
+                phase: v.phase,
+                ct: enc.encrypt(&v.plaintext, rng),
+            })
+            .collect();
+        EncryptedQuery { variants, classes, k: query.len() }
+    }
+
+    /// Server-side secure search: one `Hom-Add` per (variant, polynomial).
+    /// No multiplications, no rotations — the paper's core claim.
+    pub fn search(&mut self, db: &EncryptedDatabase, query: &EncryptedQuery) -> SearchResult {
+        let mut per_variant = Vec::with_capacity(query.variants.len());
+        for v in &query.variants {
+            let t0 = Instant::now();
+            let results: Vec<Ciphertext> = db
+                .cts
+                .iter()
+                .map(|dbct| self.evaluator.add(dbct, &v.ct))
+                .collect();
+            self.stats.add_time += t0.elapsed();
+            self.stats.hom_adds += db.cts.len() as u64;
+            per_variant.push(((v.r, v.phase), results));
+        }
+        SearchResult {
+            per_variant,
+            total_bits: db.total_bits,
+            k: query.k,
+            classes: query.classes.clone(),
+        }
+    }
+
+    /// Parallel variant of [`Self::search`]: the `Hom-Add` sweep is
+    /// embarrassingly parallel (one independent addition per
+    /// (variant, polynomial) pair), which is how CM-SW exploits the SIMD /
+    /// multicore resources the paper's Table 1 credits it with. Splits the
+    /// per-variant work across `threads` crossbeam scoped threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn search_parallel(
+        &mut self,
+        db: &EncryptedDatabase,
+        query: &EncryptedQuery,
+        threads: usize,
+    ) -> SearchResult {
+        assert!(threads > 0, "at least one thread required");
+        let evaluator = &self.evaluator;
+        let t0 = Instant::now();
+        let mut per_variant: Vec<((usize, usize), Vec<Ciphertext>)> =
+            Vec::with_capacity(query.variants.len());
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk in query.variants.chunks(query.variants.len().div_ceil(threads)) {
+                handles.push(scope.spawn(move |_| {
+                    chunk
+                        .iter()
+                        .map(|v| {
+                            let results: Vec<Ciphertext> =
+                                db.cts.iter().map(|dbct| evaluator.add(dbct, &v.ct)).collect();
+                            ((v.r, v.phase), results)
+                        })
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for h in handles {
+                per_variant.extend(h.join().expect("search worker panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+        self.stats.add_time += t0.elapsed();
+        self.stats.hom_adds += (query.variants.len() * db.cts.len()) as u64;
+        SearchResult {
+            per_variant,
+            total_bits: db.total_bits,
+            k: query.k,
+            classes: query.classes.clone(),
+        }
+    }
+
+    /// Index generation with a decryption capability (the paper's
+    /// trusted-controller model, or the client after receiving results):
+    /// decrypt sums, compare against the match polynomial under masks, and
+    /// emit matching bit offsets.
+    pub fn generate_indices(&self, dec: &Decryptor<'_>, result: &SearchResult) -> Vec<usize> {
+        let mut table = SumTable::new();
+        for ((r, phase), cts) in &result.per_variant {
+            let sums: Vec<Vec<u64>> = cts
+                .iter()
+                .map(|ct| dec.decrypt(ct).coeffs().to_vec())
+                .collect();
+            table.insert(*r, *phase, sums);
+        }
+        generate_indices(
+            &result.classes,
+            &table,
+            self.ctx.params().n,
+            self.packing.seg_bits(),
+            result.total_bits,
+            result.k,
+        )
+    }
+
+    /// Convenience end-to-end search (encrypt query → search → index gen).
+    pub fn find_all<R: Rng + ?Sized>(
+        &mut self,
+        enc: &Encryptor<'_>,
+        dec: &Decryptor<'_>,
+        db: &EncryptedDatabase,
+        query: &BitString,
+        rng: &mut R,
+    ) -> Vec<usize> {
+        let q = self.prepare_query(enc, query, rng);
+        let result = self.search(db, &q);
+        self.generate_indices(dec, &result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_bfv::{BfvParams, KeyGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Fixture {
+        ctx: BfvContext,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            Self { ctx: BfvContext::new(BfvParams::insecure_test_add()) }
+        }
+    }
+
+    fn run_search(db_bits: &BitString, query_bits: &BitString) -> (Vec<usize>, CmSwStats) {
+        let f = Fixture::new();
+        let mut rng = StdRng::seed_from_u64(777);
+        let (sk, pk) = {
+            let kg = KeyGenerator::new(&f.ctx, &mut rng);
+            (kg.secret_key(), kg.public_key(&mut rng))
+        };
+        let enc = Encryptor::new(&f.ctx, pk);
+        let dec = Decryptor::new(&f.ctx, sk);
+        let mut engine = CiphermatchEngine::new(&f.ctx);
+        let db = engine.encrypt_database(&enc, db_bits, &mut rng);
+        let got = engine.find_all(&enc, &dec, &db, query_bits, &mut rng);
+        (got, engine.stats())
+    }
+
+    #[test]
+    fn finds_aligned_and_unaligned_matches() {
+        let db = BitString::from_ascii("encrypted search over packed data");
+        for (start, len) in [(0usize, 16usize), (9 * 8, 24), (3, 13), (21, 40)] {
+            let q = db.slice(start, len);
+            let (got, _) = run_search(&db, &q);
+            assert_eq!(got, db.find_all(&q), "slice ({start}, {len})");
+        }
+    }
+
+    #[test]
+    fn reports_absence_without_false_positives() {
+        let db = BitString::from_ascii("aaaaaaaaaaaaaaaa");
+        let q = BitString::from_ascii("ab");
+        let (got, _) = run_search(&db, &q);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn uses_only_additions() {
+        let db = BitString::from_ascii("some database content here");
+        let q = BitString::from_ascii("base");
+        let (_, stats) = run_search(&db, &q);
+        assert!(stats.hom_adds > 0);
+        // The engine exposes no multiply path at all; the stat proves the
+        // server loop ran adds exactly once per (variant, polynomial).
+    }
+
+    #[test]
+    fn parallel_search_equals_serial() {
+        let f = Fixture::new();
+        let mut rng = StdRng::seed_from_u64(888);
+        let (sk, pk) = {
+            let kg = KeyGenerator::new(&f.ctx, &mut rng);
+            (kg.secret_key(), kg.public_key(&mut rng))
+        };
+        let enc = Encryptor::new(&f.ctx, pk);
+        let dec = Decryptor::new(&f.ctx, sk);
+        let mut engine = CiphermatchEngine::new(&f.ctx);
+        let data = BitString::from_ascii("parallel additions across worker threads");
+        let db = engine.encrypt_database(&enc, &data, &mut rng);
+        let pattern = BitString::from_ascii("worker");
+        let query = engine.prepare_query(&enc, &pattern, &mut rng);
+        let serial = engine.search(&db, &query);
+        for threads in [1usize, 2, 4, 7] {
+            let mut parallel = engine.search_parallel(&db, &query, threads);
+            // Thread interleaving may permute variant order; normalize.
+            parallel.per_variant.sort_by_key(|(key, _)| *key);
+            let mut expect = serial.clone();
+            expect.per_variant.sort_by_key(|(key, _)| *key);
+            assert_eq!(parallel, expect, "threads = {threads}");
+            assert_eq!(engine.generate_indices(&dec, &parallel), data.find_all(&pattern));
+        }
+    }
+
+    #[test]
+    fn multi_polynomial_database() {
+        // n = 256 coefficients x 8 bits = 2048 bits per polynomial; use a
+        // database bigger than that so windows cross ciphertext borders.
+        let bytes: Vec<u8> = (0..400u32).map(|i| (i * 31 % 253) as u8).collect();
+        let db = BitString::from_bytes(&bytes);
+        let q = db.slice(2040, 24); // straddles the polynomial boundary
+        let (got, _) = run_search(&db, &q);
+        assert_eq!(got, db.find_all(&q));
+    }
+
+    #[test]
+    fn database_serialization_roundtrips_and_searches() {
+        let f = Fixture::new();
+        let mut rng = StdRng::seed_from_u64(999);
+        let (sk, pk) = {
+            let kg = KeyGenerator::new(&f.ctx, &mut rng);
+            (kg.secret_key(), kg.public_key(&mut rng))
+        };
+        let enc = Encryptor::new(&f.ctx, pk);
+        let dec = Decryptor::new(&f.ctx, sk);
+        let mut engine = CiphermatchEngine::new(&f.ctx);
+        let data = BitString::from_ascii("persist the encrypted database to disk and back");
+        let db = engine.encrypt_database(&enc, &data, &mut rng);
+        let q_bits = 64 - f.ctx.params().q.leading_zeros();
+        let bytes = db.encode(q_bits);
+        let restored = EncryptedDatabase::decode(&bytes).expect("roundtrip");
+        assert_eq!(restored.total_bits(), db.total_bits());
+        assert_eq!(restored.ciphertexts(), db.ciphertexts());
+        // And the restored database searches identically.
+        let pattern = BitString::from_ascii("disk");
+        let got = engine.find_all(&enc, &dec, &restored, &pattern, &mut rng);
+        assert_eq!(got, data.find_all(&pattern));
+        // Malformed input errors instead of panicking.
+        assert!(EncryptedDatabase::decode(&bytes[..bytes.len() - 3]).is_err());
+        assert!(EncryptedDatabase::decode(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn encrypted_footprint_is_4x_plain_with_paper_params() {
+        // The 4x bound (paper §4.2.1) holds for the paper's parameters:
+        // 16 packed bits become one 32-bit coefficient (2x) in each of the
+        // two ciphertext polynomials (2x).
+        let ctx = BfvContext::new(BfvParams::ciphermatch_1024());
+        let mut rng = StdRng::seed_from_u64(1);
+        let (_, pk) = {
+            let kg = KeyGenerator::new(&ctx, &mut rng);
+            (kg.secret_key(), kg.public_key(&mut rng))
+        };
+        let enc = Encryptor::new(&ctx, pk);
+        let engine = CiphermatchEngine::new(&ctx);
+        // Exactly one full polynomial of data.
+        let bits_per_poly = engine.packing().bits_per_poly();
+        let db_bits = BitString::from_bits(&vec![true; bits_per_poly]);
+        let db = engine.encrypt_database(&enc, &db_bits, &mut rng);
+        let q_bits = 64 - ctx.params().q.leading_zeros();
+        let plain_bytes = bits_per_poly / 8;
+        assert_eq!(db.byte_size(q_bits), 4 * plain_bytes);
+    }
+}

@@ -1,0 +1,106 @@
+//! Unencrypted reference matchers.
+//!
+//! [`BitString::find_all`] is the naive ground truth; [`bitwise_find_all`]
+//! is the word-packed XNOR/AND formulation the paper cites as the
+//! conventional implementation (§2.2, \[69, 70\]) — it is also the
+//! "unencrypted search completes in 5.9 µs" comparison point of §3.1.
+
+use crate::bits::BitString;
+
+/// Packs bits into `u64` words, MSB-first per word.
+fn pack_words(bits: &BitString) -> Vec<u64> {
+    let words = bits.len().div_ceil(64);
+    let mut out = vec![0u64; words];
+    for i in 0..bits.len() {
+        if bits.get(i) {
+            out[i / 64] |= 1 << (63 - (i % 64));
+        }
+    }
+    out
+}
+
+/// Reads 64 bits starting at bit offset `o` from a packed word array
+/// (zero-padded past the end).
+#[inline]
+fn read_window(words: &[u64], o: usize) -> u64 {
+    let w = o / 64;
+    let s = o % 64;
+    let hi = words.get(w).copied().unwrap_or(0);
+    if s == 0 {
+        hi
+    } else {
+        let lo = words.get(w + 1).copied().unwrap_or(0);
+        (hi << s) | (lo >> (64 - s))
+    }
+}
+
+/// Word-parallel exact matching: XNOR + mask compare, 64 bits at a time.
+pub fn bitwise_find_all(db: &BitString, query: &BitString) -> Vec<usize> {
+    let k = query.len();
+    if k == 0 || k > db.len() {
+        return Vec::new();
+    }
+    let dwords = pack_words(db);
+    let qwords = pack_words(query);
+    let full_words = k / 64;
+    let tail_bits = k % 64;
+    let tail_mask = if tail_bits == 0 { 0 } else { !0u64 << (64 - tail_bits) };
+    (0..=db.len() - k)
+        .filter(|&o| {
+            for (w, &qw) in qwords.iter().enumerate().take(full_words) {
+                if read_window(&dwords, o + w * 64) != qw {
+                    return false;
+                }
+            }
+            if tail_bits != 0 {
+                let d = read_window(&dwords, o + full_words * 64) & tail_mask;
+                let q = qwords[full_words] & tail_mask;
+                if d != q {
+                    return false;
+                }
+            }
+            true
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random_bits(len: usize, seed: u64) -> BitString {
+        let mut s = seed;
+        let bits: Vec<bool> = (0..len)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (s >> 62) & 1 == 1
+            })
+            .collect();
+        BitString::from_bits(&bits)
+    }
+
+    #[test]
+    fn matches_naive_on_random_inputs() {
+        let db = pseudo_random_bits(700, 42);
+        for (k, at) in [(5usize, 13usize), (64, 100), (65, 333), (128, 500)] {
+            let q = db.slice(at, k);
+            assert_eq!(bitwise_find_all(&db, &q), db.find_all(&q), "k={k}");
+        }
+    }
+
+    #[test]
+    fn word_aligned_and_straddling_patterns() {
+        let db = pseudo_random_bits(256, 7);
+        let q = db.slice(64, 64); // exactly one word, aligned
+        assert_eq!(bitwise_find_all(&db, &q), db.find_all(&q));
+        let q = db.slice(60, 72); // straddles words
+        assert_eq!(bitwise_find_all(&db, &q), db.find_all(&q));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let db = pseudo_random_bits(64, 3);
+        assert!(bitwise_find_all(&db, &BitString::new()).is_empty());
+        assert!(bitwise_find_all(&BitString::new(), &db).is_empty());
+    }
+}

@@ -1,0 +1,245 @@
+//! Data packing schemes (paper §4.2.1 and §3.1).
+//!
+//! [`DensePacking`] is CIPHERMATCH's memory-efficient scheme: every
+//! plaintext coefficient carries `log2(t)` bits (16 with the paper's
+//! parameters), so one degree-`n` polynomial packs `n * 16` database bits
+//! and the encrypted database is only 4x the plain one.
+//!
+//! [`SingleBitPacking`] is the scheme of the arithmetic baseline
+//! (Yasuda et al. \[27\]): one bit per coefficient, 64x blow-up after
+//! encryption — the gap Figure 2a quantifies.
+
+use cm_bfv::{BfvContext, Plaintext};
+use cm_hemath::Poly;
+
+use crate::bits::BitString;
+
+/// CIPHERMATCH's dense packing: `seg_bits` bits per coefficient.
+#[derive(Debug, Clone)]
+pub struct DensePacking {
+    n: usize,
+    seg_bits: usize,
+}
+
+impl DensePacking {
+    /// Creates the packing for a BFV context; `seg_bits = log2(t)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not a power of two (dense packing fills whole
+    /// coefficients with packed bits).
+    pub fn new(ctx: &BfvContext) -> Self {
+        let t = ctx.params().t;
+        assert!(t.is_power_of_two(), "dense packing requires a power-of-two t");
+        Self { n: ctx.params().n, seg_bits: t.trailing_zeros() as usize }
+    }
+
+    /// Bits packed per coefficient (16 with paper parameters).
+    pub fn seg_bits(&self) -> usize {
+        self.seg_bits
+    }
+
+    /// Bits packed per plaintext polynomial (`n * seg_bits`).
+    pub fn bits_per_poly(&self) -> usize {
+        self.n * self.seg_bits
+    }
+
+    /// Packs a bit string into plaintext polynomials (paper Eq. 5–6).
+    /// The input is implicitly zero-padded to fill the last polynomial.
+    pub fn pack(&self, data: &BitString) -> Vec<Plaintext> {
+        let segs = data.segment_count(self.seg_bits).max(1);
+        let polys = segs.div_ceil(self.n);
+        (0..polys)
+            .map(|j| {
+                let coeffs: Vec<u64> = (0..self.n)
+                    .map(|c| data.segment_value(j * self.n + c, self.seg_bits))
+                    .collect();
+                Plaintext::from_poly(Poly::from_coeffs(coeffs))
+            })
+            .collect()
+    }
+
+    /// Unpacks plaintext polynomials back to a bit string of `total_bits`.
+    pub fn unpack(&self, polys: &[Plaintext], total_bits: usize) -> BitString {
+        let mut out = BitString::new();
+        'outer: for pt in polys {
+            for &coeff in pt.coeffs() {
+                for b in (0..self.seg_bits).rev() {
+                    if out.len() == total_bits {
+                        break 'outer;
+                    }
+                    out.push((coeff >> b) & 1 == 1);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Yasuda-style single-bit packing: coefficient `i` holds bit `i`.
+#[derive(Debug, Clone)]
+pub struct SingleBitPacking {
+    n: usize,
+}
+
+impl SingleBitPacking {
+    /// Creates the packing for a BFV context.
+    pub fn new(ctx: &BfvContext) -> Self {
+        Self { n: ctx.params().n }
+    }
+
+    /// Bits packed per plaintext polynomial (`n`).
+    pub fn bits_per_poly(&self) -> usize {
+        self.n
+    }
+
+    /// Packs one block of up to `n` bits starting at `start` ("packing
+    /// type 1" of \[27\]): `m(x) = sum_i d_i x^i`.
+    pub fn pack_block(&self, data: &BitString, start: usize) -> Plaintext {
+        let coeffs: Vec<u64> = (0..self.n)
+            .map(|i| {
+                let idx = start + i;
+                if idx < data.len() {
+                    data.get(idx) as u64
+                } else {
+                    0
+                }
+            })
+            .collect();
+        Plaintext::from_poly(Poly::from_coeffs(coeffs))
+    }
+
+    /// Packs a query ("packing type 2" of \[27\]):
+    /// `q(x) = sum_j (-q_j) x^(n-j)` so that `m(x) q(x)` accumulates the
+    /// inner products of all alignments in its coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query is longer than `n`.
+    pub fn pack_query(&self, query: &BitString, t: u64) -> Plaintext {
+        assert!(query.len() <= self.n, "query longer than ring degree");
+        let mut coeffs = vec![0u64; self.n];
+        for j in 0..query.len() {
+            if query.get(j) {
+                if j == 0 {
+                    // -q_0 x^n = +q_0 (since x^n = -1).
+                    coeffs[0] = (coeffs[0] + 1) % t;
+                } else {
+                    coeffs[self.n - j] = (coeffs[self.n - j] + t - 1) % t;
+                }
+            }
+        }
+        Plaintext::from_poly(Poly::from_coeffs(coeffs))
+    }
+
+    /// Packs the all-ones window of width `k` with type-2 packing, used to
+    /// compute the windowed Hamming weight of the data block.
+    pub fn pack_ones_window(&self, k: usize, t: u64) -> Plaintext {
+        let ones = BitString::from_bits(&vec![true; k]);
+        self.pack_query(&ones, t)
+    }
+
+    /// Number of blocks needed to cover sliding windows of width `k` over
+    /// `total_bits`, with blocks overlapping by `k - 1` bits.
+    pub fn block_count(&self, total_bits: usize, k: usize) -> usize {
+        if total_bits < k {
+            return 0;
+        }
+        let usable = self.n - (k - 1);
+        (total_bits - k + 1).div_ceil(usable.max(1))
+    }
+
+    /// Start offset of block `b` (stride `n - k + 1`).
+    pub fn block_start(&self, b: usize, k: usize) -> usize {
+        b * (self.n - (k - 1)).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_bfv::BfvParams;
+
+    fn ctx_dense() -> BfvContext {
+        BfvContext::new(BfvParams::insecure_test_add()) // t = 2^8 -> 8 bits/coeff
+    }
+
+    #[test]
+    fn dense_pack_roundtrip() {
+        let ctx = ctx_dense();
+        let p = DensePacking::new(&ctx);
+        assert_eq!(p.seg_bits(), 8);
+        let data = BitString::from_ascii("the quick brown fox");
+        let polys = p.pack(&data);
+        assert_eq!(polys.len(), 1);
+        assert_eq!(p.unpack(&polys, data.len()), data);
+    }
+
+    #[test]
+    fn dense_pack_spans_multiple_polys() {
+        let ctx = ctx_dense();
+        let p = DensePacking::new(&ctx);
+        // 300 bytes > 256 coefficients x 8 bits = 2048 bits = 256 bytes.
+        let bytes: Vec<u8> = (0..300u32).map(|i| (i % 251) as u8).collect();
+        let data = BitString::from_bytes(&bytes);
+        let polys = p.pack(&data);
+        assert_eq!(polys.len(), 2);
+        assert_eq!(p.unpack(&polys, data.len()), data);
+    }
+
+    #[test]
+    fn dense_packing_matches_paper_segment_layout() {
+        let ctx = ctx_dense();
+        let p = DensePacking::new(&ctx);
+        let data = BitString::from_bytes(&[0xAB, 0xCD]);
+        let polys = p.pack(&data);
+        assert_eq!(polys[0].coeffs()[0], 0xAB);
+        assert_eq!(polys[0].coeffs()[1], 0xCD);
+    }
+
+    #[test]
+    fn single_bit_type1_packs_bits_as_coefficients() {
+        let ctx = BfvContext::new(BfvParams::insecure_test_mul());
+        let p = SingleBitPacking::new(&ctx);
+        let data = BitString::from_bits(&[true, false, true, true]);
+        let pt = p.pack_block(&data, 0);
+        assert_eq!(&pt.coeffs()[..4], &[1, 0, 1, 1]);
+        let shifted = p.pack_block(&data, 2);
+        assert_eq!(&shifted.coeffs()[..2], &[1, 1]);
+    }
+
+    #[test]
+    fn type2_query_convolution_computes_inner_products() {
+        // Plaintext check of the Yasuda trick: coefficients of m * q are the
+        // sliding inner products.
+        let ctx = BfvContext::new(BfvParams::insecure_test_mul());
+        let p = SingleBitPacking::new(&ctx);
+        let t = ctx.params().t;
+        let data = BitString::from_bits(&[true, true, false, true, false, true]);
+        let query = BitString::from_bits(&[true, false, true]);
+        let m = p.pack_block(&data, 0);
+        let q = p.pack_query(&query, t);
+        // Multiply in the plaintext ring R_t.
+        let rt = cm_hemath::RingContext::new(cm_hemath::Modulus::new(t), ctx.params().n);
+        let prod = rt.mul(m.poly(), q.poly());
+        for i in 0..=3 {
+            let expect: u64 = (0..3).map(|j| (data.get(i + j) && query.get(j)) as u64).sum();
+            assert_eq!(prod.coeffs()[i], expect, "inner product at {i}");
+        }
+    }
+
+    #[test]
+    fn block_geometry_covers_all_windows() {
+        let ctx = BfvContext::new(BfvParams::insecure_test_mul());
+        let p = SingleBitPacking::new(&ctx); // n = 256
+        let k = 17;
+        let total = 1000;
+        let blocks = p.block_count(total, k);
+        // Every window start in [0, total - k] must fall inside some block
+        // with k - 1 bits of slack.
+        let usable = 256 - (k - 1);
+        assert_eq!(blocks, (total - k + 1).div_ceil(usable));
+        let last_start = p.block_start(blocks - 1, k);
+        assert!(last_start + 256 >= total, "last block must reach the end");
+    }
+}

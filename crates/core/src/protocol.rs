@@ -1,0 +1,231 @@
+//! The client–server protocol of Algorithm 1 / Figure 6.
+//!
+//! Six steps: ① the client packs + encrypts the query variants and the
+//! match check material, ② sends them to the server, ③–④ the server runs
+//! `Hom-Add` against the stored encrypted database, ⑤ index generation
+//! locates matches, ⑥ the (encrypted) index list returns to the client.
+//!
+//! Index generation requires seeing whether result coefficients equal the
+//! match polynomial, which randomized HE ciphertexts do not reveal. The
+//! paper implicitly performs this inside the SSD controller; we model that
+//! as [`IndexMode::TrustedController`] and also offer the
+//! cryptographically conservative [`IndexMode::ClientSide`] where the
+//! server returns result ciphertexts for the client to decrypt (the
+//! communication-heavy behaviour the paper criticizes in \[27\]).
+
+use cm_bfv::{BfvContext, Decryptor, Encryptor, KeyGenerator, PublicKey, SecretKey};
+use rand::Rng;
+
+use crate::bits::BitString;
+use crate::matchers::ciphermatch::{
+    CiphermatchEngine, EncryptedDatabase, EncryptedQuery, SearchResult,
+};
+
+/// Where index generation happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexMode {
+    /// The paper's model: a trusted unit co-located with the data (the SSD
+    /// controller in CM-IFP) checks match-polynomial equality and returns
+    /// only the indices.
+    TrustedController,
+    /// The conservative model: all result ciphertexts travel back and the
+    /// client decrypts (scales with database size, like \[27\]).
+    ClientSide,
+}
+
+/// The client: owns the secret key, prepares queries, reads results.
+pub struct Client {
+    ctx: BfvContext,
+    sk: SecretKey,
+    pk: PublicKey,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client").field("params", &self.ctx.params().name).finish()
+    }
+}
+
+impl Client {
+    /// Generates a client with fresh keys.
+    pub fn new<R: Rng + ?Sized>(ctx: &BfvContext, rng: &mut R) -> Self {
+        let kg = KeyGenerator::new(ctx, rng);
+        let sk = kg.secret_key();
+        let pk = kg.public_key(rng);
+        Self { ctx: ctx.clone(), sk, pk }
+    }
+
+    /// Packs and encrypts the database for upload (done once; Algorithm 1
+    /// lines 1–3).
+    pub fn encrypt_database<R: Rng + ?Sized>(
+        &self,
+        data: &BitString,
+        rng: &mut R,
+    ) -> EncryptedDatabase {
+        let enc = Encryptor::new(&self.ctx, self.pk.clone());
+        CiphermatchEngine::new(&self.ctx).encrypt_database(&enc, data, rng)
+    }
+
+    /// Prepares an encrypted query (Algorithm 1 lines 4–9).
+    pub fn prepare_query<R: Rng + ?Sized>(
+        &self,
+        query: &BitString,
+        rng: &mut R,
+    ) -> EncryptedQuery {
+        let enc = Encryptor::new(&self.ctx, self.pk.clone());
+        CiphermatchEngine::new(&self.ctx).prepare_query(&enc, query, rng)
+    }
+
+    /// Decrypts a full search response (ClientSide mode).
+    pub fn decrypt_matches(&self, result: &SearchResult) -> Vec<usize> {
+        let dec = Decryptor::new(&self.ctx, self.sk.clone());
+        CiphermatchEngine::new(&self.ctx).generate_indices(&dec, result)
+    }
+
+    /// Hands a decryption capability to a trusted controller (the paper's
+    /// implicit trust model for in-storage index generation).
+    pub fn delegate_index_generation(&self) -> TrustedIndexGenerator {
+        TrustedIndexGenerator { ctx: self.ctx.clone(), sk: self.sk.clone() }
+    }
+}
+
+/// The trusted index-generation capability living next to the data
+/// (the SSD controller in CM-IFP).
+pub struct TrustedIndexGenerator {
+    ctx: BfvContext,
+    sk: SecretKey,
+}
+
+impl std::fmt::Debug for TrustedIndexGenerator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrustedIndexGenerator")
+            .field("params", &self.ctx.params().name)
+            .finish()
+    }
+}
+
+impl TrustedIndexGenerator {
+    /// Builds the capability directly from a secret key (used when the
+    /// key was provisioned to the controller out of band).
+    pub fn from_secret(ctx: &BfvContext, sk: SecretKey) -> Self {
+        Self { ctx: ctx.clone(), sk }
+    }
+
+    /// Runs index generation on a search result, returning matching bit
+    /// offsets.
+    pub fn generate(&self, result: &SearchResult) -> Vec<usize> {
+        let dec = Decryptor::new(&self.ctx, self.sk.clone());
+        CiphermatchEngine::new(&self.ctx).generate_indices(&dec, result)
+    }
+}
+
+/// The server: stores the encrypted database and runs addition-only
+/// searches.
+pub struct Server {
+    ctx: BfvContext,
+    db: EncryptedDatabase,
+    engine: CiphermatchEngine,
+    index_gen: Option<TrustedIndexGenerator>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("params", &self.ctx.params().name)
+            .field("db_polys", &self.db.poly_count())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Creates a server holding an uploaded encrypted database.
+    pub fn new(ctx: &BfvContext, db: EncryptedDatabase) -> Self {
+        Self {
+            ctx: ctx.clone(),
+            db,
+            engine: CiphermatchEngine::new(ctx),
+            index_gen: None,
+        }
+    }
+
+    /// Installs a trusted index-generation capability
+    /// ([`IndexMode::TrustedController`]).
+    pub fn install_index_generator(&mut self, gen: TrustedIndexGenerator) {
+        self.index_gen = Some(gen);
+    }
+
+    /// Runs the search, returning raw result ciphertexts
+    /// (ClientSide mode; Algorithm 1 lines 10–11).
+    pub fn search(&mut self, query: &EncryptedQuery) -> SearchResult {
+        self.engine.search(&self.db, query)
+    }
+
+    /// Runs the search and generates indices server-side
+    /// (TrustedController mode; Algorithm 1 line 12).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no trusted index generator was installed.
+    pub fn search_indices(&mut self, query: &EncryptedQuery) -> Vec<usize> {
+        let result = self.engine.search(&self.db, query);
+        self.index_gen
+            .as_ref()
+            .expect("TrustedController mode requires install_index_generator")
+            .generate(&result)
+    }
+
+    /// Homomorphic additions executed so far.
+    pub fn hom_adds(&self) -> u64 {
+        self.engine.stats().hom_adds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_bfv::BfvParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn end_to_end_trusted_controller_mode() {
+        let ctx = BfvContext::new(BfvParams::insecure_test_add());
+        let mut rng = StdRng::seed_from_u64(5150);
+        let client = Client::new(&ctx, &mut rng);
+        let data = BitString::from_ascii("protocol round trip test data");
+        let mut server = Server::new(&ctx, client.encrypt_database(&data, &mut rng));
+        server.install_index_generator(client.delegate_index_generation());
+
+        let pattern = BitString::from_ascii("round trip");
+        let q = client.prepare_query(&pattern, &mut rng);
+        let got = server.search_indices(&q);
+        assert_eq!(got, data.find_all(&pattern));
+        assert!(server.hom_adds() > 0);
+    }
+
+    #[test]
+    fn end_to_end_client_side_mode() {
+        let ctx = BfvContext::new(BfvParams::insecure_test_add());
+        let mut rng = StdRng::seed_from_u64(5151);
+        let client = Client::new(&ctx, &mut rng);
+        let data = BitString::from_ascii("client side decryption flow");
+        let mut server = Server::new(&ctx, client.encrypt_database(&data, &mut rng));
+
+        let pattern = BitString::from_ascii("side");
+        let q = client.prepare_query(&pattern, &mut rng);
+        let result = server.search(&q);
+        assert_eq!(client.decrypt_matches(&result), data.find_all(&pattern));
+    }
+
+    #[test]
+    #[should_panic(expected = "TrustedController mode requires")]
+    fn trusted_mode_requires_installation() {
+        let ctx = BfvContext::new(BfvParams::insecure_test_add());
+        let mut rng = StdRng::seed_from_u64(5152);
+        let client = Client::new(&ctx, &mut rng);
+        let data = BitString::from_ascii("x");
+        let mut server = Server::new(&ctx, client.encrypt_database(&data, &mut rng));
+        let q = client.prepare_query(&BitString::from_ascii("x"), &mut rng);
+        let _ = server.search_indices(&q);
+    }
+}

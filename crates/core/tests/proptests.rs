@@ -1,0 +1,106 @@
+//! Property-based tests of the CIPHERMATCH core: packing round-trips,
+//! alignment-class soundness and full-match agreement with the plaintext
+//! reference on random inputs.
+
+use cm_bfv::{BfvContext, BfvParams};
+use cm_core::{
+    alignment_classes, bitwise_find_all, build_variants, generate_indices, segment_matches,
+    BitString, DensePacking, SumTable,
+};
+use proptest::prelude::*;
+
+fn arb_bits(max_len: usize) -> impl Strategy<Value = Vec<bool>> {
+    prop::collection::vec(any::<bool>(), 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dense_packing_roundtrips(bits in arb_bits(4000)) {
+        let ctx = BfvContext::new(BfvParams::insecure_test_add());
+        let p = DensePacking::new(&ctx);
+        let data = BitString::from_bits(&bits);
+        let polys = p.pack(&data);
+        prop_assert_eq!(p.unpack(&polys, data.len()), data);
+    }
+
+    #[test]
+    fn bitwise_matcher_equals_naive(db in arb_bits(600), qlen in 1usize..64, at in 0usize..512) {
+        let db = BitString::from_bits(&db);
+        prop_assume!(db.len() > qlen);
+        let at = at % (db.len() - qlen);
+        let q = db.slice(at, qlen);
+        prop_assert_eq!(bitwise_find_all(&db, &q), db.find_all(&q));
+    }
+
+    #[test]
+    fn alignment_masks_partition_window_bits(qbits in arb_bits(80)) {
+        let q = BitString::from_bits(&qbits);
+        for class in alignment_classes(&q, 16) {
+            // Covered + masked bits = the full window; they never overlap.
+            let mut covered = 0usize;
+            for (i, &mask) in class.masks.iter().enumerate() {
+                let dontcare = mask.count_ones() as usize;
+                covered += 16 - dontcare;
+                prop_assert_eq!(class.neg_segments[i] & mask, 0, "segment {} overlaps", i);
+            }
+            prop_assert_eq!(covered, q.len(), "r={}", class.r);
+        }
+    }
+
+    #[test]
+    fn segment_check_equals_bit_equality(
+        data in 0u64..65536,
+        qword in 0u64..256,
+        r in 0usize..8,
+    ) {
+        // An 8-bit query at offset r within a 16-bit segment.
+        let qbits: Vec<bool> = (0..8).map(|j| (qword >> (7 - j)) & 1 == 1).collect();
+        let q = BitString::from_bits(&qbits);
+        let class = &alignment_classes(&q, 16)[r];
+        prop_assume!(class.window_segs == 1);
+        let sum = (data + class.neg_segments[0]) & 0xFFFF;
+        let got = segment_matches(sum, class.masks[0], 16);
+        let expect = (0..8).all(|j| {
+            let dbit = (data >> (15 - (r + j))) & 1 == 1;
+            dbit == qbits[j]
+        });
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn plaintext_pipeline_equals_ground_truth(
+        db in arb_bits(700),
+        qlen in 1usize..48,
+        at in 0usize..512,
+    ) {
+        // The full query-prep -> sum -> index-gen pipeline evaluated on
+        // plaintext sums must agree with naive matching for any input.
+        let db = BitString::from_bits(&db);
+        prop_assume!(db.len() > qlen + 1);
+        let at = at % (db.len() - qlen);
+        let q = db.slice(at, qlen);
+        let n = 8usize;
+        let seg_bits = 16usize;
+        let classes = alignment_classes(&q, seg_bits);
+        let variants = build_variants(&classes, n);
+        let polys = db.segment_count(seg_bits).div_ceil(n).max(1);
+        let mut table = SumTable::new();
+        for v in &variants {
+            let sums: Vec<Vec<u64>> = (0..polys)
+                .map(|j| {
+                    (0..n)
+                        .map(|c| {
+                            let d = db.segment_value(j * n + c, seg_bits);
+                            (d + v.plaintext.coeffs()[c]) % (1 << seg_bits)
+                        })
+                        .collect()
+                })
+                .collect();
+            table.insert(v.r, v.phase, sums);
+        }
+        let got = generate_indices(&classes, &table, n, seg_bits, db.len(), q.len());
+        prop_assert_eq!(got, db.find_all(&q));
+    }
+}

@@ -1,0 +1,425 @@
+//! Functional NAND flash model with compute-capable latch peripherals.
+//!
+//! Models the peripheral circuitry of Fig. 4: per plane, one sensing latch
+//! (S-latch) and three data latches (D-latches, available because the die
+//! is TLC hardware operated in SLC mode, §4.3.1). The supported primitive
+//! operations are exactly those the modified circuit provides:
+//!
+//! * flash read into the S-latch (ESP SLC sensing),
+//! * bi-directional S↔D transfers (the two added transistors of \[141\]),
+//! * `AND` of S and a D latch into S,
+//! * `OR` of S into a D latch,
+//! * `XOR` between D1 and D2 into D1 (the existing randomizer circuit),
+//! * page DMA between latches and the channel.
+//!
+//! Every call logs into the [`FlashLedger`], and computation never touches
+//! a program/erase path (the paper's endurance argument).
+
+use std::collections::HashMap;
+
+use crate::bitbuf::BitBuf;
+use crate::geometry::{FlashGeometry, PageAddr, PlaneAddr};
+use crate::timing::FlashLedger;
+
+/// Number of D-latches per plane (TLC hardware).
+pub const D_LATCHES: usize = 3;
+
+/// One plane's latch set.
+#[derive(Debug, Clone)]
+struct LatchSet {
+    s: BitBuf,
+    d: [BitBuf; D_LATCHES],
+}
+
+impl LatchSet {
+    fn new(bits: usize) -> Self {
+        Self {
+            s: BitBuf::zeros(bits),
+            d: [BitBuf::zeros(bits), BitBuf::zeros(bits), BitBuf::zeros(bits)],
+        }
+    }
+}
+
+/// The functional flash array: sparse SLC page store + per-plane latches.
+#[derive(Debug)]
+pub struct FlashArray {
+    geometry: FlashGeometry,
+    pages: HashMap<PageAddr, BitBuf>,
+    latches: HashMap<PlaneAddr, LatchSet>,
+    ledger: FlashLedger,
+}
+
+impl FlashArray {
+    /// Creates an empty array.
+    pub fn new(geometry: FlashGeometry) -> Self {
+        Self { geometry, pages: HashMap::new(), latches: HashMap::new(), ledger: FlashLedger::default() }
+    }
+
+    /// The geometry.
+    pub fn geometry(&self) -> &FlashGeometry {
+        &self.geometry
+    }
+
+    /// The accumulated operation ledger.
+    pub fn ledger(&self) -> FlashLedger {
+        self.ledger
+    }
+
+    /// Resets the operation ledger.
+    pub fn reset_ledger(&mut self) {
+        self.ledger = FlashLedger::default();
+    }
+
+    fn latch(&mut self, plane: PlaneAddr) -> &mut LatchSet {
+        let bits = self.geometry.page_bits();
+        self.latches.entry(plane).or_insert_with(|| LatchSet::new(bits))
+    }
+
+    fn check(&self, addr: &PageAddr) {
+        assert!(self.geometry.check_page(addr), "page address out of geometry: {addr:?}");
+    }
+
+    /// Programs a page (SLC write) — data load path, costs P/E wear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range or the buffer width is not a
+    /// page.
+    pub fn program_page(&mut self, addr: PageAddr, data: BitBuf) {
+        self.check(&addr);
+        assert_eq!(data.len(), self.geometry.page_bits(), "page width mismatch");
+        self.ledger.programs += 1;
+        self.pages.insert(addr, data);
+    }
+
+    /// Erases a block: all its pages revert to the erased (all-zero in our
+    /// SLC convention) state. Costs one erase of P/E wear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is out of range.
+    pub fn erase_block(&mut self, plane: PlaneAddr, block: usize) {
+        let probe = PageAddr { plane, block, wordline: 0 };
+        self.check(&probe);
+        self.ledger.erases += 1;
+        self.pages.retain(|addr, _| !(addr.plane == plane && addr.block == block));
+    }
+
+    /// Reads a page into the plane's S-latch (ESP SLC read).
+    ///
+    /// Unwritten pages read as all-zero (erased cells in SLC convention).
+    pub fn read_to_slatch(&mut self, addr: PageAddr) {
+        self.check(&addr);
+        self.ledger.reads += 1;
+        let bits = self.geometry.page_bits();
+        let data = self.pages.get(&addr).cloned().unwrap_or_else(|| BitBuf::zeros(bits));
+        self.latch(addr.plane).s.copy_from(&data);
+    }
+
+    /// Copies the S-latch into D-latch `d` (Fig. 4 step ②③: reset then
+    /// conditional set).
+    pub fn slatch_to_dlatch(&mut self, plane: PlaneAddr, d: usize) {
+        assert!(d < D_LATCHES);
+        self.ledger.latch_transfers += 1;
+        let set = self.latch(plane);
+        let s = set.s.clone();
+        set.d[d].copy_from(&s);
+    }
+
+    /// Copies D-latch `d` into the S-latch (reverse path via M7/M8).
+    pub fn dlatch_to_slatch(&mut self, plane: PlaneAddr, d: usize) {
+        assert!(d < D_LATCHES);
+        self.ledger.latch_transfers += 1;
+        let set = self.latch(plane);
+        let v = set.d[d].clone();
+        set.s.copy_from(&v);
+    }
+
+    /// Bitwise AND of the S-latch with D-latch `d`, result in the S-latch
+    /// (Fig. 4, "Bitwise AND" sequence).
+    pub fn and_dlatch_into_slatch(&mut self, plane: PlaneAddr, d: usize) {
+        assert!(d < D_LATCHES);
+        self.ledger.and_or_ops += 1;
+        let set = self.latch(plane);
+        let v = set.d[d].clone();
+        set.s.and_assign(&v);
+    }
+
+    /// Bitwise OR of the S-latch into D-latch `d` (transfer without reset).
+    pub fn or_slatch_into_dlatch(&mut self, plane: PlaneAddr, d: usize) {
+        assert!(d < D_LATCHES);
+        self.ledger.and_or_ops += 1;
+        let set = self.latch(plane);
+        let s = set.s.clone();
+        set.d[d].or_assign(&s);
+    }
+
+    /// XOR between D-latch 1 and D-latch 2, result in D-latch 1 (the
+    /// on-chip randomizer circuit, §4.3.1 item 4).
+    pub fn xor_d1_d2_into_d1(&mut self, plane: PlaneAddr) {
+        self.ledger.xor_ops += 1;
+        let set = self.latch(plane);
+        let d2 = set.d[2].clone();
+        set.d[1].xor_assign(&d2);
+    }
+
+    /// Resets D-latch `d` to all zeros.
+    pub fn reset_dlatch(&mut self, plane: PlaneAddr, d: usize) {
+        assert!(d < D_LATCHES);
+        self.ledger.latch_transfers += 1;
+        self.latch(plane).d[d].clear();
+    }
+
+    /// DMA: loads a page from the channel into the S-latch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer width is not a page.
+    pub fn io_load_slatch(&mut self, plane: PlaneAddr, data: &BitBuf) {
+        assert_eq!(data.len(), self.geometry.page_bits(), "page width mismatch");
+        self.ledger.dmas += 1;
+        self.latch(plane).s.copy_from(data);
+    }
+
+    /// DMA: reads D-latch `d` out to the channel.
+    pub fn io_read_dlatch(&mut self, plane: PlaneAddr, d: usize) -> BitBuf {
+        assert!(d < D_LATCHES);
+        self.ledger.dmas += 1;
+        self.latch(plane).d[d].clone()
+    }
+
+    /// Multi-wordline sensing within one block (Flash-Cosmos \[60\], used
+    /// by §4.3.1): applying the read voltage to several wordlines of the
+    /// same NAND string senses the **AND** of their cells — the string
+    /// conducts only if every selected cell does — in a *single* read
+    /// operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wordlines` is empty or any address is out of range.
+    pub fn read_and_multi_to_slatch(&mut self, plane: PlaneAddr, block: usize, wordlines: &[usize]) {
+        assert!(!wordlines.is_empty(), "at least one wordline required");
+        self.ledger.reads += 1; // one sensing operation regardless of count
+        let bits = self.geometry.page_bits();
+        let mut acc = BitBuf::ones(bits);
+        for &wl in wordlines {
+            let addr = PageAddr { plane, block, wordline: wl };
+            self.check(&addr);
+            let page = self.pages.get(&addr).cloned().unwrap_or_else(|| BitBuf::zeros(bits));
+            acc.and_assign(&page);
+        }
+        self.latch(plane).s.copy_from(&acc);
+    }
+
+    /// Multi-block sensing across blocks of one plane (Flash-Cosmos):
+    /// NAND strings of different blocks share the bitlines in parallel, so
+    /// selecting the same wordline position in several blocks senses the
+    /// **OR** of their cells in a single read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is empty or any address is out of range.
+    pub fn read_or_multi_to_slatch(&mut self, plane: PlaneAddr, blocks: &[usize], wordline: usize) {
+        assert!(!blocks.is_empty(), "at least one block required");
+        self.ledger.reads += 1;
+        let bits = self.geometry.page_bits();
+        let mut acc = BitBuf::zeros(bits);
+        for &block in blocks {
+            let addr = PageAddr { plane, block, wordline };
+            self.check(&addr);
+            if let Some(page) = self.pages.get(&addr) {
+                acc.or_assign(page);
+            }
+        }
+        self.latch(plane).s.copy_from(&acc);
+    }
+
+    /// Direct page read (conventional I/O path: read + DMA).
+    pub fn read_page(&mut self, addr: PageAddr) -> BitBuf {
+        self.read_to_slatch(addr);
+        self.ledger.dmas += 1;
+        self.latches[&addr.plane].s.clone()
+    }
+
+    /// Test/debug accessor for the S-latch contents.
+    pub fn peek_slatch(&mut self, plane: PlaneAddr) -> BitBuf {
+        self.latch(plane).s.clone()
+    }
+
+    /// Test/debug accessor for a D-latch's contents.
+    pub fn peek_dlatch(&mut self, plane: PlaneAddr, d: usize) -> BitBuf {
+        assert!(d < D_LATCHES);
+        self.latch(plane).d[d].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (FlashArray, PlaneAddr, PageAddr) {
+        let g = FlashGeometry::tiny_test();
+        let plane = PlaneAddr { channel: 0, die: 0, plane: 0 };
+        let addr = PageAddr { plane, block: 0, wordline: 0 };
+        (FlashArray::new(g), plane, addr)
+    }
+
+    fn pattern(bits: usize, f: impl Fn(usize) -> bool) -> BitBuf {
+        BitBuf::from_bits(&(0..bits).map(f).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn program_read_roundtrip() {
+        let (mut fa, plane, addr) = setup();
+        let bits = fa.geometry().page_bits();
+        let data = pattern(bits, |i| i % 3 == 0);
+        fa.program_page(addr, data.clone());
+        fa.read_to_slatch(addr);
+        assert_eq!(fa.peek_slatch(plane), data);
+        assert_eq!(fa.ledger().programs, 1);
+        assert_eq!(fa.ledger().reads, 1);
+    }
+
+    #[test]
+    fn unwritten_pages_read_zero() {
+        let (mut fa, plane, addr) = setup();
+        fa.read_to_slatch(addr);
+        assert!(fa.peek_slatch(plane).iter().all(|b| !b));
+    }
+
+    #[test]
+    fn latch_transfers_both_directions() {
+        let (mut fa, plane, _) = setup();
+        let bits = fa.geometry().page_bits();
+        let data = pattern(bits, |i| i % 5 == 1);
+        fa.io_load_slatch(plane, &data);
+        fa.slatch_to_dlatch(plane, 1);
+        assert_eq!(fa.peek_dlatch(plane, 1), data);
+        // Overwrite S, then restore from D1.
+        fa.io_load_slatch(plane, &BitBuf::zeros(bits));
+        fa.dlatch_to_slatch(plane, 1);
+        assert_eq!(fa.peek_slatch(plane), data);
+    }
+
+    #[test]
+    fn and_or_xor_semantics() {
+        let (mut fa, plane, _) = setup();
+        let bits = fa.geometry().page_bits();
+        let a = pattern(bits, |i| i % 2 == 0);
+        let b = pattern(bits, |i| i % 3 == 0);
+
+        // AND: S & D2 -> S
+        fa.io_load_slatch(plane, &a);
+        fa.slatch_to_dlatch(plane, 2);
+        fa.io_load_slatch(plane, &b);
+        fa.and_dlatch_into_slatch(plane, 2);
+        let mut expect = b.clone();
+        expect.and_assign(&a);
+        assert_eq!(fa.peek_slatch(plane), expect);
+
+        // OR: S | D0 -> D0
+        fa.reset_dlatch(plane, 0);
+        fa.io_load_slatch(plane, &a);
+        fa.or_slatch_into_dlatch(plane, 0);
+        fa.io_load_slatch(plane, &b);
+        fa.or_slatch_into_dlatch(plane, 0);
+        let mut expect = a.clone();
+        expect.or_assign(&b);
+        assert_eq!(fa.peek_dlatch(plane, 0), expect);
+
+        // XOR: D1 ^ D2 -> D1
+        fa.io_load_slatch(plane, &a);
+        fa.slatch_to_dlatch(plane, 1);
+        fa.io_load_slatch(plane, &b);
+        fa.slatch_to_dlatch(plane, 2);
+        fa.xor_d1_d2_into_d1(plane);
+        let mut expect = a.clone();
+        expect.xor_assign(&b);
+        assert_eq!(fa.peek_dlatch(plane, 1), expect);
+        // D2 must be preserved.
+        assert_eq!(fa.peek_dlatch(plane, 2), b);
+    }
+
+    #[test]
+    fn planes_have_independent_latches() {
+        let (mut fa, p0, _) = setup();
+        let p1 = PlaneAddr { channel: 0, die: 0, plane: 1 };
+        let bits = fa.geometry().page_bits();
+        fa.io_load_slatch(p0, &BitBuf::ones(bits));
+        assert!(fa.peek_slatch(p1).iter().all(|b| !b));
+    }
+
+    #[test]
+    fn compute_ops_incur_no_wear() {
+        let (mut fa, plane, addr) = setup();
+        let bits = fa.geometry().page_bits();
+        fa.program_page(addr, BitBuf::ones(bits));
+        fa.reset_ledger();
+        fa.read_to_slatch(addr);
+        fa.slatch_to_dlatch(plane, 1);
+        fa.and_dlatch_into_slatch(plane, 1);
+        fa.xor_d1_d2_into_d1(plane);
+        assert_eq!(fa.ledger().wear(), 0, "latch compute must not wear the array");
+    }
+
+    #[test]
+    fn erase_clears_block_and_counts_wear() {
+        let (mut fa, plane, addr) = setup();
+        let bits = fa.geometry().page_bits();
+        fa.program_page(addr, BitBuf::ones(bits));
+        let other_block = PageAddr { plane, block: 1, wordline: 2 };
+        fa.program_page(other_block, BitBuf::ones(bits));
+        fa.erase_block(plane, 0);
+        fa.read_to_slatch(addr);
+        assert!(fa.peek_slatch(plane).iter().all(|b| !b), "erased page must read zero");
+        // Other blocks untouched.
+        fa.read_to_slatch(other_block);
+        assert!(fa.peek_slatch(plane).iter().all(|b| b));
+        assert_eq!(fa.ledger().erases, 1);
+        assert_eq!(fa.ledger().wear(), 3); // 2 programs + 1 erase
+    }
+
+    #[test]
+    fn multi_wordline_sensing_computes_and() {
+        let (mut fa, plane, _) = setup();
+        let bits = fa.geometry().page_bits();
+        let a = pattern(bits, |i| i % 2 == 0);
+        let b = pattern(bits, |i| i % 3 == 0);
+        let c = pattern(bits, |i| i % 5 != 4);
+        fa.program_page(PageAddr { plane, block: 1, wordline: 0 }, a.clone());
+        fa.program_page(PageAddr { plane, block: 1, wordline: 5 }, b.clone());
+        fa.program_page(PageAddr { plane, block: 1, wordline: 9 }, c.clone());
+        fa.reset_ledger();
+        fa.read_and_multi_to_slatch(plane, 1, &[0, 5, 9]);
+        let mut expect = a;
+        expect.and_assign(&b);
+        expect.and_assign(&c);
+        assert_eq!(fa.peek_slatch(plane), expect);
+        // One sensing operation for a 3-operand AND: the Flash-Cosmos win.
+        assert_eq!(fa.ledger().reads, 1);
+    }
+
+    #[test]
+    fn multi_block_sensing_computes_or() {
+        let (mut fa, plane, _) = setup();
+        let bits = fa.geometry().page_bits();
+        let a = pattern(bits, |i| i % 7 == 0);
+        let b = pattern(bits, |i| i % 11 == 0);
+        fa.program_page(PageAddr { plane, block: 0, wordline: 3 }, a.clone());
+        fa.program_page(PageAddr { plane, block: 2, wordline: 3 }, b.clone());
+        fa.reset_ledger();
+        fa.read_or_multi_to_slatch(plane, &[0, 2, 3], 3); // block 3 unwritten
+        let mut expect = a;
+        expect.or_assign(&b);
+        assert_eq!(fa.peek_slatch(plane), expect);
+        assert_eq!(fa.ledger().reads, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of geometry")]
+    fn bad_address_rejected() {
+        let (mut fa, plane, _) = setup();
+        let bad = PageAddr { plane, block: 99, wordline: 0 };
+        fa.read_to_slatch(bad);
+    }
+}

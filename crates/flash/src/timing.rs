@@ -1,0 +1,196 @@
+//! Latency and energy constants (Table 3) and the derived per-bit costs
+//! (Eq. 9–11).
+//!
+//! The functional chip model logs every primitive op into a
+//! [`FlashLedger`]; the analytical models in `cm-sim` use
+//! [`FlashTimings::t_bit_add`] / [`FlashTimings::e_bit_add`] directly.
+
+use serde::{Deserialize, Serialize};
+
+/// NAND flash operation latencies (Table 3, CM-IFP row).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlashTimings {
+    /// SLC-mode read (ESP), seconds. Table 3: 22.5 µs.
+    pub t_read_slc: f64,
+    /// Latch-to-latch AND/OR, seconds. Table 3: 20 ns.
+    pub t_and_or: f64,
+    /// Latch transfer, seconds. Table 3: 20 ns.
+    pub t_latch_transfer: f64,
+    /// Inter-D-latch XOR, seconds. Table 3: 30 ns.
+    pub t_xor: f64,
+    /// One page DMA over the channel, seconds. Table 3: 3.3 µs.
+    pub t_dma: f64,
+}
+
+impl FlashTimings {
+    /// Table 3 values.
+    pub fn paper_default() -> Self {
+        Self {
+            t_read_slc: 22.5e-6,
+            t_and_or: 20e-9,
+            t_latch_transfer: 20e-9,
+            t_xor: 30e-9,
+            t_dma: 3.3e-6,
+        }
+    }
+
+    /// Eq. 10: `T_bop_add = T_read + 2 T_XOR + 5 T_latch + 4 T_AND/OR`.
+    pub fn t_bop_add(&self) -> f64 {
+        self.t_read_slc + 2.0 * self.t_xor + 5.0 * self.t_latch_transfer + 4.0 * self.t_and_or
+    }
+
+    /// Eq. 9: `T_bit_add = T_bop_add + 2 T_DMA` (query bit in, sum bit
+    /// out). Table 3 quotes 29.38 µs for the paper constants.
+    pub fn t_bit_add(&self) -> f64 {
+        self.t_bop_add() + 2.0 * self.t_dma
+    }
+}
+
+/// NAND flash energy constants (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlashEnergy {
+    /// SLC read energy per channel, joules. Table 3: 20.5 µJ.
+    pub e_read_slc: f64,
+    /// AND/OR energy per KiB, joules. Table 3: 10 nJ/KB.
+    pub e_and_or_per_kb: f64,
+    /// Latch transfer energy per KiB, joules. Table 3: 10 nJ/KB.
+    pub e_latch_per_kb: f64,
+    /// XOR energy per KiB, joules. Table 3: 20 nJ/KB.
+    pub e_xor_per_kb: f64,
+    /// DMA energy per channel, joules. Table 3: 7.656 µJ.
+    pub e_dma: f64,
+    /// Index-generation energy per page on the SSD controller, joules.
+    /// Table 3: 0.18 µJ/page.
+    pub e_index_gen_per_page: f64,
+}
+
+impl FlashEnergy {
+    /// Table 3 values.
+    pub fn paper_default() -> Self {
+        Self {
+            e_read_slc: 20.5e-6,
+            e_and_or_per_kb: 10e-9,
+            e_latch_per_kb: 10e-9,
+            e_xor_per_kb: 20e-9,
+            e_dma: 7.656e-6,
+            e_index_gen_per_page: 0.18e-6,
+        }
+    }
+
+    /// Eq. 10's energy analogue for one bit-step over `page_kb` KiB of
+    /// bitlines: `E_bop_add = E_read + 2 E_XOR + 5 E_latch + 4 E_AND/OR`.
+    pub fn e_bop_add(&self, page_kb: f64) -> f64 {
+        self.e_read_slc
+            + page_kb * (2.0 * self.e_xor_per_kb + 5.0 * self.e_latch_per_kb + 4.0 * self.e_and_or_per_kb)
+    }
+
+    /// Eq. 11: `E_bit_add = E_bop_add + 2 E_DMA + E_index_gen`.
+    /// Table 3 quotes 32.22 µJ/channel for the paper constants.
+    pub fn e_bit_add(&self, page_kb: f64) -> f64 {
+        self.e_bop_add(page_kb) + 2.0 * self.e_dma + self.e_index_gen_per_page
+    }
+}
+
+/// Running tally of primitive flash operations with their time and energy.
+///
+/// Also tracks program/erase cycles to substantiate the paper's
+/// reliability claim: CIPHERMATCH computes entirely in the latches, so
+/// searches must not consume any P/E cycles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FlashLedger {
+    /// SLC page reads.
+    pub reads: u64,
+    /// Latch transfers (S<->D).
+    pub latch_transfers: u64,
+    /// AND/OR latch operations.
+    pub and_or_ops: u64,
+    /// XOR latch operations.
+    pub xor_ops: u64,
+    /// Page DMAs over the channel.
+    pub dmas: u64,
+    /// Page programs (P/E wear).
+    pub programs: u64,
+    /// Block erases (P/E wear).
+    pub erases: u64,
+}
+
+impl FlashLedger {
+    /// Total busy time implied by the ledger, assuming fully serialized
+    /// execution on one plane (parallelism is modelled analytically in
+    /// `cm-sim`).
+    pub fn serial_time(&self, t: &FlashTimings) -> f64 {
+        self.reads as f64 * t.t_read_slc
+            + self.latch_transfers as f64 * t.t_latch_transfer
+            + self.and_or_ops as f64 * t.t_and_or
+            + self.xor_ops as f64 * t.t_xor
+            + self.dmas as f64 * t.t_dma
+    }
+
+    /// Total energy implied by the ledger for pages of `page_kb` KiB.
+    pub fn energy(&self, e: &FlashEnergy, page_kb: f64) -> f64 {
+        self.reads as f64 * e.e_read_slc
+            + self.latch_transfers as f64 * e.e_latch_per_kb * page_kb
+            + self.and_or_ops as f64 * e.e_and_or_per_kb * page_kb
+            + self.xor_ops as f64 * e.e_xor_per_kb * page_kb
+            + self.dmas as f64 * e.e_dma
+    }
+
+    /// P/E-cycle wear incurred (program + erase counts).
+    pub fn wear(&self) -> u64 {
+        self.programs + self.erases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq10_matches_paper_derivation() {
+        let t = FlashTimings::paper_default();
+        // 22.5us + 2*30ns + 5*20ns + 4*20ns = 22.74 us
+        let bop = t.t_bop_add();
+        assert!((bop - 22.74e-6).abs() < 1e-12, "bop = {bop}");
+    }
+
+    #[test]
+    fn eq9_close_to_table3_quote() {
+        let t = FlashTimings::paper_default();
+        // Table 3 quotes T_bit_add = 29.38 us; Eq. 9 with Table 3 inputs
+        // gives 29.34 us — we assert we are within 0.2 us of the quote.
+        let bit = t.t_bit_add();
+        assert!((bit - 29.38e-6).abs() < 0.2e-6, "bit = {bit}");
+    }
+
+    #[test]
+    fn eq11_same_ballpark_as_table3_quote() {
+        let e = FlashEnergy::paper_default();
+        // Table 3 quotes E_bit_add = 32.22 uJ/channel. Plugging Table 3's
+        // own component energies into Eq. 11 yields 36.5 uJ (the 4.3 uJ gap
+        // is unexplained in the paper — likely a different DMA accounting).
+        // We reproduce the equation and assert the same ballpark; the gap
+        // is recorded in EXPERIMENTS.md.
+        let bit = e.e_bit_add(4.0);
+        assert!((bit - 32.22e-6).abs() < 5e-6, "e_bit = {bit}");
+        assert!((bit - 36.51e-6).abs() < 0.1e-6, "component-sum value moved: {bit}");
+    }
+
+    #[test]
+    fn ledger_accumulates_time_and_energy() {
+        let t = FlashTimings::paper_default();
+        let e = FlashEnergy::paper_default();
+        let ledger = FlashLedger {
+            reads: 2,
+            latch_transfers: 10,
+            and_or_ops: 8,
+            xor_ops: 4,
+            dmas: 4,
+            programs: 0,
+            erases: 0,
+        };
+        let expect_t = 2.0 * 22.5e-6 + 10.0 * 20e-9 + 8.0 * 20e-9 + 4.0 * 30e-9 + 4.0 * 3.3e-6;
+        assert!((ledger.serial_time(&t) - expect_t).abs() < 1e-12);
+        assert!(ledger.energy(&e, 4.0) > 0.0);
+        assert_eq!(ledger.wear(), 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests of the flash substrate: the bit-serial adder
+//! against wrapping addition on arbitrary operands and widths, and
+//! bit-plane transposition round-trips.
+
+use cm_flash::{
+    bitplanes_to_words, bop_add, store_words_vertical, words_to_bitplanes, FlashArray,
+    FlashGeometry, PlaneAddr,
+};
+use proptest::prelude::*;
+
+fn lanes() -> usize {
+    FlashGeometry::tiny_test().page_bits()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn bop_add_equals_wrapping_add(seed_a in any::<u32>(), seed_b in any::<u32>()) {
+        let width = lanes();
+        let a: Vec<u32> = (0..width as u32).map(|i| seed_a.wrapping_mul(i.wrapping_add(7))).collect();
+        let b: Vec<u32> = (0..width as u32).map(|i| seed_b.rotate_left(i % 31) ^ i).collect();
+        let mut fa = FlashArray::new(FlashGeometry::tiny_test());
+        let plane = PlaneAddr { channel: 0, die: 0, plane: 0 };
+        store_words_vertical(&mut fa, plane, 0, 0, &a);
+        let sums = bop_add(&mut fa, plane, 0, 0, &words_to_bitplanes(&b, 32));
+        let got = bitplanes_to_words(&sums);
+        let expect: Vec<u32> = a.iter().zip(&b).map(|(&x, &y)| x.wrapping_add(y)).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn narrow_width_addition_is_modular(width in 1usize..=31, seed in any::<u32>()) {
+        // Adding with fewer bit-planes computes addition mod 2^width.
+        let n = lanes();
+        let a: Vec<u32> = (0..n as u32).map(|i| seed.wrapping_add(i * 3)).collect();
+        let b: Vec<u32> = (0..n as u32).map(|i| seed.rotate_right(5) ^ (i * 7)).collect();
+        let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+        let a_m: Vec<u32> = a.iter().map(|&x| x & mask).collect();
+        let b_m: Vec<u32> = b.iter().map(|&x| x & mask).collect();
+        let mut fa = FlashArray::new(FlashGeometry::tiny_test());
+        let plane = PlaneAddr { channel: 0, die: 0, plane: 0 };
+        // Store only `width` bit-planes of A.
+        for (bit, page) in words_to_bitplanes(&a_m, width).into_iter().enumerate() {
+            fa.program_page(
+                cm_flash::PageAddr { plane, block: 0, wordline: bit },
+                page,
+            );
+        }
+        let sums = bop_add(&mut fa, plane, 0, 0, &words_to_bitplanes(&b_m, width));
+        let got = bitplanes_to_words(&sums);
+        let expect: Vec<u32> =
+            a_m.iter().zip(&b_m).map(|(&x, &y)| x.wrapping_add(y) & mask).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn transposition_roundtrip(words in prop::collection::vec(any::<u32>(), 1..300)) {
+        let planes = words_to_bitplanes(&words, 32);
+        prop_assert_eq!(bitplanes_to_words(&planes), words);
+    }
+
+    #[test]
+    fn addition_never_wears_flash(seed in any::<u32>()) {
+        let n = lanes();
+        let a: Vec<u32> = (0..n as u32).map(|i| seed ^ i).collect();
+        let mut fa = FlashArray::new(FlashGeometry::tiny_test());
+        let plane = PlaneAddr { channel: 0, die: 0, plane: 0 };
+        store_words_vertical(&mut fa, plane, 0, 0, &a);
+        fa.reset_ledger();
+        let _ = bop_add(&mut fa, plane, 0, 0, &words_to_bitplanes(&a, 32));
+        prop_assert_eq!(fa.ledger().wear(), 0);
+    }
+}

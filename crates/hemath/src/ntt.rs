@@ -1,0 +1,280 @@
+//! Negacyclic number-theoretic transform.
+//!
+//! Implements the standard in-place iterative NTT over
+//! `Z_q[x]/(x^n + 1)` (Longa-Naehrig formulation) with twiddle factors
+//! stored in bit-reversed order and Shoup-precomputed for fast constant
+//! multiplication. Multiplying two polynomials is `forward`, point-wise
+//! product, `inverse` — the wrap-around sign of the negacyclic ring is
+//! absorbed into the `psi` powers.
+
+use crate::modulus::{primitive_2n_root, Modulus};
+
+/// Precomputed tables for a negacyclic NTT of length `n` modulo a prime `q`
+/// with `q ≡ 1 (mod 2n)`.
+#[derive(Debug, Clone)]
+pub struct NttTable {
+    n: usize,
+    modulus: Modulus,
+    /// psi^bitrev(i) for the forward transform.
+    psi_rev: Vec<u64>,
+    psi_rev_shoup: Vec<u64>,
+    /// psi^{-bitrev(i)} for the inverse transform.
+    psi_inv_rev: Vec<u64>,
+    psi_inv_rev_shoup: Vec<u64>,
+    n_inv: u64,
+    n_inv_shoup: u64,
+}
+
+/// Reverses the lowest `bits` bits of `i`.
+#[inline]
+pub fn bit_reverse(i: usize, bits: u32) -> usize {
+    i.reverse_bits() >> (usize::BITS - bits)
+}
+
+impl NttTable {
+    /// Builds NTT tables for ring degree `n` and modulus `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two at least 2, or if
+    /// `q ≢ 1 (mod 2n)` (no primitive `2n`-th root exists).
+    pub fn new(modulus: Modulus, n: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "n must be a power of two >= 2");
+        let psi = primitive_2n_root(&modulus, n);
+        let psi_inv = modulus.inv(psi);
+        let bits = n.trailing_zeros();
+        let mut psi_rev = vec![0u64; n];
+        let mut psi_inv_rev = vec![0u64; n];
+        let mut pow = 1u64;
+        let mut pow_inv = 1u64;
+        for i in 0..n {
+            let r = bit_reverse(i, bits);
+            psi_rev[r] = pow;
+            psi_inv_rev[r] = pow_inv;
+            pow = modulus.mul(pow, psi);
+            pow_inv = modulus.mul(pow_inv, psi_inv);
+        }
+        let psi_rev_shoup = psi_rev.iter().map(|&w| modulus.shoup(w)).collect();
+        let psi_inv_rev_shoup = psi_inv_rev.iter().map(|&w| modulus.shoup(w)).collect();
+        let n_inv = modulus.inv(n as u64);
+        let n_inv_shoup = modulus.shoup(n_inv);
+        Self {
+            n,
+            modulus,
+            psi_rev,
+            psi_rev_shoup,
+            psi_inv_rev,
+            psi_inv_rev_shoup,
+            n_inv,
+            n_inv_shoup,
+        }
+    }
+
+    /// Ring degree this table was built for.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The modulus this table was built for.
+    #[inline]
+    pub fn modulus(&self) -> &Modulus {
+        &self.modulus
+    }
+
+    /// In-place forward negacyclic NTT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "input length must equal ring degree");
+        let q = &self.modulus;
+        let n = self.n;
+        let mut t = n;
+        let mut m = 1usize;
+        while m < n {
+            t /= 2;
+            for i in 0..m {
+                let j1 = 2 * i * t;
+                let j2 = j1 + t;
+                let s = self.psi_rev[m + i];
+                let s_sh = self.psi_rev_shoup[m + i];
+                for j in j1..j2 {
+                    let u = a[j];
+                    let v = q.mul_shoup(a[j + t], s, s_sh);
+                    a[j] = q.add(u, v);
+                    a[j + t] = q.sub(u, v);
+                }
+            }
+            m *= 2;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (including the `1/n` scaling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "input length must equal ring degree");
+        let q = &self.modulus;
+        let n = self.n;
+        let mut t = 1usize;
+        let mut m = n;
+        while m > 1 {
+            let h = m / 2;
+            let mut j1 = 0usize;
+            for i in 0..h {
+                let j2 = j1 + t;
+                let s = self.psi_inv_rev[h + i];
+                let s_sh = self.psi_inv_rev_shoup[h + i];
+                for j in j1..j2 {
+                    let u = a[j];
+                    let v = a[j + t];
+                    a[j] = q.add(u, v);
+                    a[j + t] = q.mul_shoup(q.sub(u, v), s, s_sh);
+                }
+                j1 += 2 * t;
+            }
+            t *= 2;
+            m = h;
+        }
+        for x in a.iter_mut() {
+            *x = q.mul_shoup(*x, self.n_inv, self.n_inv_shoup);
+        }
+    }
+
+    /// Point-wise product `a[i] * b[i] mod q` into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ from `n`.
+    pub fn pointwise(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        assert!(a.len() == self.n && b.len() == self.n && out.len() == self.n);
+        for i in 0..self.n {
+            out[i] = self.modulus.mul(a[i], b[i]);
+        }
+    }
+
+    /// Point-wise multiply-accumulate: `acc[i] += a[i] * b[i] mod q`.
+    pub fn pointwise_acc(&self, a: &[u64], b: &[u64], acc: &mut [u64]) {
+        assert!(a.len() == self.n && b.len() == self.n && acc.len() == self.n);
+        for i in 0..self.n {
+            acc[i] = self.modulus.add(acc[i], self.modulus.mul(a[i], b[i]));
+        }
+    }
+
+    /// Full negacyclic product of two coefficient-domain polynomials.
+    pub fn negacyclic_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut fa = a.to_vec();
+        let mut fb = b.to_vec();
+        self.forward(&mut fa);
+        self.forward(&mut fb);
+        let mut out = vec![0u64; self.n];
+        self.pointwise(&fa, &fb, &mut out);
+        self.inverse(&mut out);
+        out
+    }
+}
+
+/// Reference O(n^2) negacyclic multiplication, used to validate the NTT and
+/// as a fallback for non-NTT-friendly moduli.
+pub fn schoolbook_negacyclic_mul(modulus: &Modulus, a: &[u64], b: &[u64]) -> Vec<u64> {
+    let n = a.len();
+    assert_eq!(b.len(), n);
+    let mut out = vec![0u64; n];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        for (j, &bj) in b.iter().enumerate() {
+            let prod = modulus.mul(ai, bj);
+            let k = i + j;
+            if k < n {
+                out[k] = modulus.add(out[k], prod);
+            } else {
+                out[k - n] = modulus.sub(out[k - n], prod);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modulus::find_ntt_prime;
+
+    fn table(bits: u32, n: usize) -> NttTable {
+        NttTable::new(Modulus::new(find_ntt_prime(bits, n)), n)
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let t = table(32, 64);
+        let orig: Vec<u64> = (0..64u64).map(|i| i * i + 7).collect();
+        let mut a = orig.clone();
+        t.forward(&mut a);
+        assert_ne!(a, orig, "forward transform must change the data");
+        t.inverse(&mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn ntt_mul_matches_schoolbook() {
+        for n in [4usize, 16, 256] {
+            let q = Modulus::new(find_ntt_prime(30, n));
+            let t = NttTable::new(q, n);
+            let a: Vec<u64> = (0..n as u64).map(|i| (i * 37 + 11) % q.value()).collect();
+            let b: Vec<u64> = (0..n as u64).map(|i| (i * i * 5 + 3) % q.value()).collect();
+            assert_eq!(t.negacyclic_mul(&a, &b), schoolbook_negacyclic_mul(&q, &a, &b));
+        }
+    }
+
+    #[test]
+    fn x_times_x_n_minus_1_wraps_negatively() {
+        // x * x^(n-1) = x^n = -1 in the negacyclic ring.
+        let n = 16;
+        let q = Modulus::new(find_ntt_prime(30, n));
+        let t = NttTable::new(q, n);
+        let mut a = vec![0u64; n];
+        a[1] = 1;
+        let mut b = vec![0u64; n];
+        b[n - 1] = 1;
+        let c = t.negacyclic_mul(&a, &b);
+        let mut expect = vec![0u64; n];
+        expect[0] = q.value() - 1;
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn multiplication_by_one_is_identity() {
+        let n = 32;
+        let q = Modulus::new(find_ntt_prime(30, n));
+        let t = NttTable::new(q, n);
+        let a: Vec<u64> = (0..n as u64).map(|i| i + 1).collect();
+        let mut one = vec![0u64; n];
+        one[0] = 1;
+        assert_eq!(t.negacyclic_mul(&a, &one), a);
+    }
+
+    #[test]
+    fn bit_reverse_involution() {
+        for i in 0..64usize {
+            assert_eq!(bit_reverse(bit_reverse(i, 6), 6), i);
+        }
+        assert_eq!(bit_reverse(1, 4), 8);
+        assert_eq!(bit_reverse(0b0011, 4), 0b1100);
+    }
+
+    #[test]
+    fn pointwise_acc_accumulates() {
+        let t = table(30, 8);
+        let a = vec![2u64; 8];
+        let b = vec![3u64; 8];
+        let mut acc = vec![1u64; 8];
+        t.pointwise_acc(&a, &b, &mut acc);
+        assert_eq!(acc, vec![7u64; 8]);
+    }
+}

@@ -1,0 +1,355 @@
+//! Polynomial ring `R_q = Z_q[x]/(x^n + 1)`.
+//!
+//! [`RingContext`] owns the modulus and (when the modulus permits) the NTT
+//! tables for a fixed ring degree; [`Poly`] is a plain coefficient vector.
+//! All operations are exposed as context methods so a single set of tables
+//! is shared by every polynomial in a scheme.
+
+use std::sync::Arc;
+
+use crate::modulus::Modulus;
+use crate::ntt::{schoolbook_negacyclic_mul, NttTable};
+
+/// Shared ring description: degree, modulus, and optional NTT tables.
+#[derive(Debug, Clone)]
+pub struct RingContext {
+    n: usize,
+    modulus: Modulus,
+    ntt: Option<Arc<NttTable>>,
+}
+
+/// A polynomial in `R_q`, stored as `n` reduced coefficients
+/// (`coeffs[i]` is the coefficient of `x^i`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Poly {
+    coeffs: Vec<u64>,
+}
+
+impl Poly {
+    /// Wraps a coefficient vector. Coefficients must already be reduced.
+    pub fn from_coeffs(coeffs: Vec<u64>) -> Self {
+        Self { coeffs }
+    }
+
+    /// The zero polynomial of degree bound `n`.
+    pub fn zero(n: usize) -> Self {
+        Self { coeffs: vec![0; n] }
+    }
+
+    /// Borrow the coefficients.
+    #[inline]
+    pub fn coeffs(&self) -> &[u64] {
+        &self.coeffs
+    }
+
+    /// Mutably borrow the coefficients.
+    #[inline]
+    pub fn coeffs_mut(&mut self) -> &mut [u64] {
+        &mut self.coeffs
+    }
+
+    /// Consumes the polynomial, returning its coefficient vector.
+    pub fn into_coeffs(self) -> Vec<u64> {
+        self.coeffs
+    }
+
+    /// Number of coefficients (the ring degree).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// True if the polynomial has no coefficients.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// True if every coefficient is zero.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.iter().all(|&c| c == 0)
+    }
+}
+
+impl RingContext {
+    /// Creates a ring context. NTT tables are built when the modulus is an
+    /// NTT-friendly prime (`q ≡ 1 mod 2n`); otherwise multiplication falls
+    /// back to schoolbook convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two at least 2.
+    pub fn new(modulus: Modulus, n: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "ring degree must be a power of two >= 2");
+        let ntt = if (modulus.value() - 1).is_multiple_of(2 * n as u64)
+            && crate::modulus::is_prime(modulus.value())
+        {
+            Some(Arc::new(NttTable::new(modulus, n)))
+        } else {
+            None
+        };
+        Self { n, modulus, ntt }
+    }
+
+    /// Ring degree `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Coefficient modulus.
+    #[inline]
+    pub fn modulus(&self) -> &Modulus {
+        &self.modulus
+    }
+
+    /// NTT tables, if the modulus supports them.
+    #[inline]
+    pub fn ntt(&self) -> Option<&NttTable> {
+        self.ntt.as_deref()
+    }
+
+    /// Validates that `p` belongs to this ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the degree does not match.
+    #[inline]
+    fn check(&self, p: &Poly) {
+        assert_eq!(p.len(), self.n, "polynomial degree does not match ring");
+    }
+
+    /// `a + b`.
+    pub fn add(&self, a: &Poly, b: &Poly) -> Poly {
+        self.check(a);
+        self.check(b);
+        let coeffs = a
+            .coeffs()
+            .iter()
+            .zip(b.coeffs())
+            .map(|(&x, &y)| self.modulus.add(x, y))
+            .collect();
+        Poly::from_coeffs(coeffs)
+    }
+
+    /// `a += b` in place.
+    pub fn add_assign(&self, a: &mut Poly, b: &Poly) {
+        self.check(a);
+        self.check(b);
+        for (x, &y) in a.coeffs_mut().iter_mut().zip(b.coeffs()) {
+            *x = self.modulus.add(*x, y);
+        }
+    }
+
+    /// `a - b`.
+    pub fn sub(&self, a: &Poly, b: &Poly) -> Poly {
+        self.check(a);
+        self.check(b);
+        let coeffs = a
+            .coeffs()
+            .iter()
+            .zip(b.coeffs())
+            .map(|(&x, &y)| self.modulus.sub(x, y))
+            .collect();
+        Poly::from_coeffs(coeffs)
+    }
+
+    /// `-a`.
+    pub fn neg(&self, a: &Poly) -> Poly {
+        self.check(a);
+        Poly::from_coeffs(a.coeffs().iter().map(|&x| self.modulus.neg(x)).collect())
+    }
+
+    /// `a * c` for a scalar `c`.
+    pub fn scalar_mul(&self, a: &Poly, c: u64) -> Poly {
+        self.check(a);
+        let c = self.modulus.reduce(c);
+        Poly::from_coeffs(a.coeffs().iter().map(|&x| self.modulus.mul(x, c)).collect())
+    }
+
+    /// Full ring product `a * b mod (x^n + 1, q)`.
+    pub fn mul(&self, a: &Poly, b: &Poly) -> Poly {
+        self.check(a);
+        self.check(b);
+        let coeffs = match &self.ntt {
+            Some(t) => t.negacyclic_mul(a.coeffs(), b.coeffs()),
+            None => schoolbook_negacyclic_mul(&self.modulus, a.coeffs(), b.coeffs()),
+        };
+        Poly::from_coeffs(coeffs)
+    }
+
+    /// Applies the Galois automorphism `x -> x^g` for odd `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is even (even exponents are not ring automorphisms of
+    /// the `2n`-th cyclotomic).
+    pub fn automorphism(&self, a: &Poly, g: usize) -> Poly {
+        self.check(a);
+        assert!(g % 2 == 1, "Galois element must be odd");
+        let n = self.n;
+        let two_n = 2 * n;
+        let mut out = vec![0u64; n];
+        for (i, &c) in a.coeffs().iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let k = (i * g) % two_n;
+            if k < n {
+                out[k] = self.modulus.add(out[k], c);
+            } else {
+                out[k - n] = self.modulus.sub(out[k - n], c);
+            }
+        }
+        Poly::from_coeffs(out)
+    }
+
+    /// Multiplies by the monomial `x^k` (`k` may exceed `n`; signs wrap).
+    pub fn mul_monomial(&self, a: &Poly, k: usize) -> Poly {
+        self.check(a);
+        let n = self.n;
+        let k = k % (2 * n);
+        let mut out = vec![0u64; n];
+        for (i, &c) in a.coeffs().iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let pos = (i + k) % (2 * n);
+            if pos < n {
+                out[pos] = self.modulus.add(out[pos], c);
+            } else {
+                out[pos - n] = self.modulus.sub(out[pos - n], c);
+            }
+        }
+        Poly::from_coeffs(out)
+    }
+
+    /// Builds a polynomial from signed coefficients, reducing into `[0, q)`.
+    pub fn from_signed(&self, coeffs: &[i64]) -> Poly {
+        assert_eq!(coeffs.len(), self.n);
+        Poly::from_coeffs(coeffs.iter().map(|&c| self.modulus.from_signed(c)).collect())
+    }
+
+    /// Lifts every coefficient to the centered representative.
+    pub fn to_centered(&self, a: &Poly) -> Vec<i64> {
+        self.check(a);
+        a.coeffs().iter().map(|&c| self.modulus.center(c)).collect()
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(&self, c: u64) -> Poly {
+        let mut p = Poly::zero(self.n);
+        p.coeffs_mut()[0] = self.modulus.reduce(c);
+        p
+    }
+
+    /// Infinity norm of the centered representation.
+    pub fn inf_norm(&self, a: &Poly) -> u64 {
+        self.check(a);
+        a.coeffs()
+            .iter()
+            .map(|&c| self.modulus.center(c).unsigned_abs())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modulus::find_ntt_prime;
+
+    fn ctx(n: usize) -> RingContext {
+        RingContext::new(Modulus::new(find_ntt_prime(30, n)), n)
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let r = ctx(16);
+        let a = Poly::from_coeffs((0..16u64).collect());
+        let b = Poly::from_coeffs((100..116u64).collect());
+        let s = r.add(&a, &b);
+        assert_eq!(r.sub(&s, &b), a);
+    }
+
+    #[test]
+    fn neg_is_additive_inverse() {
+        let r = ctx(8);
+        let a = Poly::from_coeffs((1..9u64).collect());
+        assert!(r.add(&a, &r.neg(&a)).is_zero());
+    }
+
+    #[test]
+    fn ntt_context_built_for_friendly_prime() {
+        let r = ctx(64);
+        assert!(r.ntt().is_some());
+    }
+
+    #[test]
+    fn schoolbook_fallback_for_unfriendly_modulus() {
+        // 101 is prime but 101 - 1 = 100 is not divisible by 2 * 16 = 32.
+        let r = RingContext::new(Modulus::new(101), 16);
+        assert!(r.ntt().is_none());
+        let a = r.constant(3);
+        let b = r.constant(5);
+        assert_eq!(r.mul(&a, &b).coeffs()[0], 15);
+    }
+
+    #[test]
+    fn automorphism_identity_and_composition() {
+        let r = ctx(16);
+        let a = Poly::from_coeffs((0..16u64).collect());
+        assert_eq!(r.automorphism(&a, 1), a);
+        // sigma_3 then sigma_11 equals sigma_(3*11 mod 32) = sigma_1 = id.
+        let g1 = 3usize;
+        let g2 = 11usize;
+        assert_eq!((g1 * g2) % 32, 1);
+        let once = r.automorphism(&a, g1);
+        assert_eq!(r.automorphism(&once, g2), a);
+    }
+
+    #[test]
+    fn automorphism_commutes_with_multiplication() {
+        let r = ctx(32);
+        let a = Poly::from_coeffs((3..35u64).collect());
+        let b = Poly::from_coeffs((7..39u64).collect());
+        let g = 5usize;
+        let lhs = r.automorphism(&r.mul(&a, &b), g);
+        let rhs = r.mul(&r.automorphism(&a, g), &r.automorphism(&b, g));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn monomial_multiplication_wraps_sign() {
+        let r = ctx(8);
+        let a = r.constant(2);
+        // x^8 = -1, so multiplying the constant 2 by x^8 gives -2.
+        let shifted = r.mul_monomial(&a, 8);
+        assert_eq!(shifted.coeffs()[0], r.modulus().value() - 2);
+        // x^16 = 1 brings it back.
+        assert_eq!(r.mul_monomial(&a, 16), a);
+    }
+
+    #[test]
+    fn mul_monomial_matches_ring_mul() {
+        let r = ctx(16);
+        let a = Poly::from_coeffs((1..17u64).collect());
+        for k in [0usize, 1, 5, 15, 17, 31] {
+            let mut mono = Poly::zero(16);
+            if k % 32 < 16 {
+                mono.coeffs_mut()[k % 32] = 1;
+            } else {
+                mono.coeffs_mut()[k % 32 - 16] = r.modulus().value() - 1;
+            }
+            assert_eq!(r.mul_monomial(&a, k), r.mul(&a, &mono), "k={k}");
+        }
+    }
+
+    #[test]
+    fn centered_roundtrip_and_norm() {
+        let r = ctx(8);
+        let p = r.from_signed(&[-1, 2, -3, 4, 0, 0, 7, -8]);
+        assert_eq!(r.to_centered(&p), vec![-1, 2, -3, 4, 0, 0, 7, -8]);
+        assert_eq!(r.inf_norm(&p), 8);
+    }
+}

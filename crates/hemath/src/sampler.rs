@@ -1,0 +1,104 @@
+//! Randomness for lattice cryptography.
+//!
+//! Three distributions are needed by the schemes in this workspace:
+//! uniform ring elements (public-key `a` components), ternary secrets, and
+//! (rounded) Gaussian errors. All samplers take an external `Rng` so keys
+//! and ciphertexts are reproducible from a seed in tests.
+
+use rand::Rng;
+
+use crate::poly::{Poly, RingContext};
+
+/// Samples a uniformly random ring element.
+pub fn uniform_poly<R: Rng + ?Sized>(ctx: &RingContext, rng: &mut R) -> Poly {
+    let q = ctx.modulus().value();
+    Poly::from_coeffs((0..ctx.n()).map(|_| rng.gen_range(0..q)).collect())
+}
+
+/// Samples a vector of `n` ternary values in `{-1, 0, 1}`, each with
+/// probability 1/3.
+pub fn ternary_vec<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<i64> {
+    (0..n).map(|_| rng.gen_range(-1i64..=1)).collect()
+}
+
+/// Samples a vector of `n` integers from a rounded Gaussian with standard
+/// deviation `sigma` (Box-Muller on `f64`, then round).
+///
+/// This is the sampling approach used by research HE libraries; it is not a
+/// constant-time production sampler.
+pub fn gaussian_vec<R: Rng + ?Sized>(n: usize, sigma: f64, rng: &mut R) -> Vec<i64> {
+    assert!(sigma >= 0.0, "sigma must be non-negative");
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        // Box-Muller produces two independent normals per two uniforms.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let mag = (-2.0 * u1.ln()).sqrt();
+        let z0 = mag * (2.0 * std::f64::consts::PI * u2).cos();
+        let z1 = mag * (2.0 * std::f64::consts::PI * u2).sin();
+        out.push((z0 * sigma).round() as i64);
+        if out.len() < n {
+            out.push((z1 * sigma).round() as i64);
+        }
+    }
+    out
+}
+
+/// Samples a ternary secret as a ring element.
+pub fn ternary_poly<R: Rng + ?Sized>(ctx: &RingContext, rng: &mut R) -> Poly {
+    ctx.from_signed(&ternary_vec(ctx.n(), rng))
+}
+
+/// Samples a Gaussian error ring element with standard deviation `sigma`.
+pub fn gaussian_poly<R: Rng + ?Sized>(ctx: &RingContext, sigma: f64, rng: &mut R) -> Poly {
+    ctx.from_signed(&gaussian_vec(ctx.n(), sigma, rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modulus::{find_ntt_prime, Modulus};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ctx() -> RingContext {
+        RingContext::new(Modulus::new(find_ntt_prime(30, 64)), 64)
+    }
+
+    #[test]
+    fn uniform_is_reduced_and_seed_deterministic() {
+        let r = ctx();
+        let a = uniform_poly(&r, &mut StdRng::seed_from_u64(7));
+        let b = uniform_poly(&r, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        assert!(a.coeffs().iter().all(|&c| c < r.modulus().value()));
+    }
+
+    #[test]
+    fn ternary_values_in_range() {
+        let v = ternary_vec(10_000, &mut StdRng::seed_from_u64(1));
+        assert!(v.iter().all(|&x| (-1..=1).contains(&x)));
+        // All three values should occur in a sample this large.
+        for target in [-1i64, 0, 1] {
+            assert!(v.contains(&target));
+        }
+    }
+
+    #[test]
+    fn gaussian_statistics_are_plausible() {
+        let sigma = 3.2;
+        let v = gaussian_vec(100_000, sigma, &mut StdRng::seed_from_u64(2));
+        let mean = v.iter().sum::<i64>() as f64 / v.len() as f64;
+        let var = v.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / v.len() as f64;
+        assert!(mean.abs() < 0.1, "mean {mean} too far from 0");
+        assert!((var.sqrt() - sigma).abs() < 0.2, "std {} too far from {sigma}", var.sqrt());
+        // 6-sigma tail should be empty at this sample size.
+        assert!(v.iter().all(|&x| (x as f64).abs() < 8.0 * sigma));
+    }
+
+    #[test]
+    fn gaussian_zero_sigma_is_all_zero() {
+        let v = gaussian_vec(64, 0.0, &mut StdRng::seed_from_u64(3));
+        assert!(v.iter().all(|&x| x == 0));
+    }
+}

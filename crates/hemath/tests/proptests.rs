@@ -1,0 +1,97 @@
+//! Property-based tests for the math substrate: ring axioms, NTT
+//! consistency, and exact wide multiplication.
+
+use cm_hemath::{
+    find_ntt_prime, schoolbook_exact_negacyclic, schoolbook_negacyclic_mul, Modulus, Poly,
+    RingContext, WideMultiplier,
+};
+use proptest::prelude::*;
+
+const N: usize = 32;
+
+fn ring() -> RingContext {
+    RingContext::new(Modulus::new(find_ntt_prime(30, N)), N)
+}
+
+fn arb_poly() -> impl Strategy<Value = Vec<u64>> {
+    let q = find_ntt_prime(30, N);
+    prop::collection::vec(0..q, N)
+}
+
+fn arb_signed(bound: i64) -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(-bound..=bound, N)
+}
+
+proptest! {
+    #[test]
+    fn addition_is_commutative(a in arb_poly(), b in arb_poly()) {
+        let r = ring();
+        let pa = Poly::from_coeffs(a);
+        let pb = Poly::from_coeffs(b);
+        prop_assert_eq!(r.add(&pa, &pb), r.add(&pb, &pa));
+    }
+
+    #[test]
+    fn addition_is_associative(a in arb_poly(), b in arb_poly(), c in arb_poly()) {
+        let r = ring();
+        let (pa, pb, pc) = (Poly::from_coeffs(a), Poly::from_coeffs(b), Poly::from_coeffs(c));
+        prop_assert_eq!(
+            r.add(&r.add(&pa, &pb), &pc),
+            r.add(&pa, &r.add(&pb, &pc))
+        );
+    }
+
+    #[test]
+    fn multiplication_is_commutative(a in arb_poly(), b in arb_poly()) {
+        let r = ring();
+        let pa = Poly::from_coeffs(a);
+        let pb = Poly::from_coeffs(b);
+        prop_assert_eq!(r.mul(&pa, &pb), r.mul(&pb, &pa));
+    }
+
+    #[test]
+    fn multiplication_distributes_over_addition(
+        a in arb_poly(), b in arb_poly(), c in arb_poly()
+    ) {
+        let r = ring();
+        let (pa, pb, pc) = (Poly::from_coeffs(a), Poly::from_coeffs(b), Poly::from_coeffs(c));
+        prop_assert_eq!(
+            r.mul(&pa, &r.add(&pb, &pc)),
+            r.add(&r.mul(&pa, &pb), &r.mul(&pa, &pc))
+        );
+    }
+
+    #[test]
+    fn ntt_mul_equals_schoolbook(a in arb_poly(), b in arb_poly()) {
+        let r = ring();
+        let expect = schoolbook_negacyclic_mul(r.modulus(), &a, &b);
+        let got = r.mul(&Poly::from_coeffs(a), &Poly::from_coeffs(b));
+        prop_assert_eq!(got.coeffs(), &expect[..]);
+    }
+
+    #[test]
+    fn automorphism_is_additive(a in arb_poly(), b in arb_poly(), gi in 0usize..N) {
+        let r = ring();
+        let g = 2 * gi + 1; // any odd Galois element
+        let pa = Poly::from_coeffs(a);
+        let pb = Poly::from_coeffs(b);
+        prop_assert_eq!(
+            r.automorphism(&r.add(&pa, &pb), g),
+            r.add(&r.automorphism(&pa, g), &r.automorphism(&pb, g))
+        );
+    }
+
+    #[test]
+    fn wide_mul_matches_schoolbook(a in arb_signed(1 << 30), b in arb_signed(1 << 30)) {
+        let w = WideMultiplier::new(N);
+        prop_assert_eq!(w.mul(&a, &b), schoolbook_exact_negacyclic(&a, &b));
+    }
+
+    #[test]
+    fn centered_lift_roundtrip(a in arb_poly()) {
+        let r = ring();
+        let p = Poly::from_coeffs(a);
+        let centered = r.to_centered(&p);
+        prop_assert_eq!(r.from_signed(&centered), p);
+    }
+}

@@ -1,0 +1,120 @@
+//! The data-movement model behind Figure 3 (§3.2).
+//!
+//! Transfer latency for a database of `D` bytes when secure string
+//! matching runs on (1) the CPU, (2) main memory (PuM), or (3) the SSD
+//! controller. Paths that stage data in host DRAM pay re-fetch penalties
+//! once the encrypted database exceeds DRAM capacity (the paper's
+//! "diminishing benefit" effect).
+
+use crate::constants::SystemConstants;
+
+/// Transfer-latency breakdown for one database size.
+#[derive(Debug, Clone, Copy)]
+pub struct TransferLatency {
+    /// Compute in the SSD controller: flash → controller only.
+    pub storage: f64,
+    /// Compute in main memory: flash → controller → host DRAM.
+    pub dram: f64,
+    /// Compute on the CPU: the above plus DRAM → CPU streaming.
+    pub cpu: f64,
+}
+
+impl TransferLatency {
+    /// Latencies normalized to the CPU path = 100 (the paper's y-axis).
+    pub fn normalized(&self) -> (f64, f64, f64) {
+        (100.0, 100.0 * self.dram / self.cpu, 100.0 * self.storage / self.cpu)
+    }
+}
+
+/// The Figure 3 model.
+#[derive(Debug, Clone)]
+pub struct DataMoveModel {
+    constants: SystemConstants,
+    /// Number of passes over the data (query shifts) that re-fetch spilled
+    /// data when the database exceeds DRAM capacity.
+    pub reaccess_passes: f64,
+}
+
+impl DataMoveModel {
+    /// Creates the model with the paper constants and 8 re-access passes.
+    pub fn new(constants: SystemConstants) -> Self {
+        Self { constants, reaccess_passes: 8.0 }
+    }
+
+    /// Computes the three-path transfer latency for `db_bytes`.
+    pub fn latency(&self, db_bytes: f64) -> TransferLatency {
+        let c = &self.constants;
+        let storage = db_bytes / c.nand_bw();
+        let spill = (db_bytes - c.dram_capacity).max(0.0);
+        // Host paths: internal flash channels, then PCIe into DRAM; data
+        // beyond DRAM capacity is re-fetched on every pass.
+        let to_dram = storage + db_bytes / c.pcie_bw + self.reaccess_passes * spill / c.pcie_bw;
+        let cpu = to_dram + db_bytes / c.cpu_stream_bw;
+        TransferLatency { storage, dram: to_dram, cpu }
+    }
+
+    /// The paper's Fig. 3 sweep: 8–256 GB encrypted databases.
+    pub fn sweep(&self) -> Vec<(f64, TransferLatency)> {
+        [8.0, 16.0, 32.0, 64.0, 128.0, 256.0]
+            .iter()
+            .map(|&gb| (gb, self.latency(gb * crate::constants::GIB)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constants::GIB;
+
+    fn model() -> DataMoveModel {
+        DataMoveModel::new(SystemConstants::paper_default())
+    }
+
+    #[test]
+    fn storage_always_saves_most() {
+        let m = model();
+        for (_, lat) in m.sweep() {
+            let (cpu, dram, storage) = lat.normalized();
+            assert!(storage < dram && dram < cpu);
+            // Paper: storage-side compute saves the majority of transfer
+            // latency at every size.
+            assert!(storage < 40.0, "storage path {storage}% too expensive");
+        }
+    }
+
+    #[test]
+    fn dram_benefit_shrinks_with_database_size() {
+        // Paper: 25% reduction at 8 GB, only ~6% at 256 GB.
+        let m = model();
+        let small = m.latency(8.0 * GIB);
+        let large = m.latency(256.0 * GIB);
+        let saving_small = 100.0 - small.normalized().1;
+        let saving_large = 100.0 - large.normalized().1;
+        assert!(saving_small > 20.0, "small-DB DRAM saving {saving_small}%");
+        assert!(saving_large < 10.0, "large-DB DRAM saving {saving_large}%");
+        assert!(saving_small > 2.0 * saving_large);
+    }
+
+    #[test]
+    fn storage_saving_grows_past_dram_capacity() {
+        let m = model();
+        let at32 = 100.0 - m.latency(32.0 * GIB).normalized().2;
+        let at256 = 100.0 - m.latency(256.0 * GIB).normalized().2;
+        // Paper: 94% reduction at 256 GB.
+        assert!(at256 > at32);
+        assert!(at256 > 85.0, "storage saving at 256 GB = {at256}%");
+    }
+
+    #[test]
+    fn below_capacity_no_spill() {
+        let m = model();
+        let a = m.latency(8.0 * GIB);
+        let b = m.latency(16.0 * GIB);
+        // Linear scaling below capacity: normalized values identical.
+        let (_, da, sa) = a.normalized();
+        let (_, db, sb) = b.normalized();
+        assert!((da - db).abs() < 1e-9);
+        assert!((sa - sb).abs() < 1e-9);
+    }
+}

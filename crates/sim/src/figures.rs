@@ -1,0 +1,335 @@
+//! Series builders for every simulated figure (Figs. 3, 7–12).
+//!
+//! Each function returns typed rows that the `repro` binary prints; the
+//! tests here assert the load-bearing shape properties (who wins, rough
+//! factors, crossover locations) so regressions in any model break the
+//! build, not just the report.
+
+use crate::calibration::CalibrationProfile;
+use crate::constants::{SystemConstants, GIB};
+use crate::datamove::DataMoveModel;
+use crate::hw_models::HwModels;
+use crate::sw_models::{SwModels, Workload};
+
+/// Query sizes swept by Figures 7, 8, 10 and 11.
+pub const QUERY_SIZES: [usize; 5] = [16, 32, 64, 128, 256];
+
+/// Encrypted database sizes (GB) swept by Figures 9 and 12.
+pub const DB_SIZES_GB: [f64; 5] = [8.0, 16.0, 32.0, 64.0, 128.0];
+
+/// One row of Figure 3.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig3Row {
+    /// Encrypted database size in GB.
+    pub db_gb: f64,
+    /// CPU-path latency normalized to 100.
+    pub cpu: f64,
+    /// Main-memory-path latency (% of CPU).
+    pub dram: f64,
+    /// Storage-path latency (% of CPU).
+    pub storage: f64,
+}
+
+/// Builds Figure 3.
+pub fn fig3(constants: &SystemConstants) -> Vec<Fig3Row> {
+    let model = DataMoveModel::new(constants.clone());
+    model
+        .sweep()
+        .into_iter()
+        .map(|(db_gb, lat)| {
+            let (cpu, dram, storage) = lat.normalized();
+            Fig3Row { db_gb, cpu, dram, storage }
+        })
+        .collect()
+}
+
+/// One row of Figures 7/8 (query-size sweep of the software approaches).
+#[derive(Debug, Clone, Copy)]
+pub struct SwSweepRow {
+    /// Query size in bits.
+    pub k: usize,
+    /// Arithmetic \[27\] speedup (Fig. 7) or energy reduction (Fig. 8) over
+    /// the Boolean baseline.
+    pub arithmetic_vs_boolean: f64,
+    /// CM-SW speedup / energy reduction over the Boolean baseline.
+    pub cmsw_vs_boolean: f64,
+    /// CM-SW speedup / energy reduction over the arithmetic baseline.
+    pub cmsw_vs_arithmetic: f64,
+}
+
+fn sw_sweep(
+    constants: &SystemConstants,
+    calibration: &CalibrationProfile,
+    energy: bool,
+) -> Vec<SwSweepRow> {
+    let m = SwModels::new(constants.clone(), *calibration);
+    QUERY_SIZES
+        .iter()
+        .map(|&k| {
+            // 128 GB encrypted with CM packing = 32 GB plaintext; 1 query.
+            let w = Workload { plain_bytes: 32.0 * GIB, k, queries: 1 };
+            let cm = m.cmsw(&w);
+            let ya = m.yasuda(&w);
+            let bo = m.boolean(&w);
+            let metric = |a: &crate::sw_models::Cost, b: &crate::sw_models::Cost| {
+                if energy {
+                    a.energy_reduction_vs(b)
+                } else {
+                    a.speedup_vs(b)
+                }
+            };
+            SwSweepRow {
+                k,
+                arithmetic_vs_boolean: metric(&ya, &bo),
+                cmsw_vs_boolean: metric(&cm, &bo),
+                cmsw_vs_arithmetic: metric(&cm, &ya),
+            }
+        })
+        .collect()
+}
+
+/// Builds Figure 7 (speedups over the Boolean baseline, 128 GB, 1 query).
+pub fn fig7(constants: &SystemConstants, calibration: &CalibrationProfile) -> Vec<SwSweepRow> {
+    sw_sweep(constants, calibration, false)
+}
+
+/// Builds Figure 8 (energy reductions over the Boolean baseline).
+pub fn fig8(constants: &SystemConstants, calibration: &CalibrationProfile) -> Vec<SwSweepRow> {
+    sw_sweep(constants, calibration, true)
+}
+
+/// One row of Figure 9 (database-size sweep, 16-bit query, 1000 queries).
+#[derive(Debug, Clone, Copy)]
+pub struct Fig9Row {
+    /// Encrypted database size in GB.
+    pub db_gb: f64,
+    /// Arithmetic speedup over Boolean.
+    pub arithmetic_vs_boolean: f64,
+    /// CM-SW speedup over Boolean.
+    pub cmsw_vs_boolean: f64,
+    /// CM-SW speedup over arithmetic.
+    pub cmsw_vs_arithmetic: f64,
+}
+
+/// Builds Figure 9.
+pub fn fig9(constants: &SystemConstants, calibration: &CalibrationProfile) -> Vec<Fig9Row> {
+    let m = SwModels::new(constants.clone(), *calibration);
+    DB_SIZES_GB
+        .iter()
+        .map(|&db_gb| {
+            let w = Workload { plain_bytes: db_gb * GIB / 4.0, k: 16, queries: 1000 };
+            let cm = m.cmsw(&w);
+            let ya = m.yasuda(&w);
+            let bo = m.boolean(&w);
+            Fig9Row {
+                db_gb,
+                arithmetic_vs_boolean: ya.speedup_vs(&bo),
+                cmsw_vs_boolean: cm.speedup_vs(&bo),
+                cmsw_vs_arithmetic: cm.speedup_vs(&ya),
+            }
+        })
+        .collect()
+}
+
+/// One row of Figures 10/11/12 (hardware variants vs CM-SW).
+#[derive(Debug, Clone, Copy)]
+pub struct HwSweepRow {
+    /// X value: query bits (Figs. 10/11) or encrypted GB (Fig. 12).
+    pub x: f64,
+    /// CM-PuM speedup / energy reduction over CM-SW.
+    pub pum: f64,
+    /// CM-PuM-SSD speedup / energy reduction over CM-SW.
+    pub pum_ssd: f64,
+    /// CM-IFP speedup / energy reduction over CM-SW.
+    pub ifp: f64,
+}
+
+fn hw_sweep_queries(
+    constants: &SystemConstants,
+    calibration: &CalibrationProfile,
+    energy: bool,
+) -> Vec<HwSweepRow> {
+    let m = HwModels::new(constants.clone(), *calibration);
+    QUERY_SIZES
+        .iter()
+        .map(|&k| {
+            let w = Workload { plain_bytes: 32.0 * GIB, k, queries: 1 };
+            let sw = m.cmsw_baseline(&w);
+            let metric = |c: &crate::sw_models::Cost| {
+                if energy {
+                    c.energy_reduction_vs(&sw)
+                } else {
+                    c.speedup_vs(&sw)
+                }
+            };
+            HwSweepRow {
+                x: k as f64,
+                pum: metric(&m.cm_pum(&w)),
+                pum_ssd: metric(&m.cm_pum_ssd(&w)),
+                ifp: metric(&m.cm_ifp(&w)),
+            }
+        })
+        .collect()
+}
+
+/// Builds Figure 10 (speedup over CM-SW vs query size, 128 GB, 1 query).
+pub fn fig10(constants: &SystemConstants, calibration: &CalibrationProfile) -> Vec<HwSweepRow> {
+    hw_sweep_queries(constants, calibration, false)
+}
+
+/// Builds Figure 11 (energy reduction over CM-SW vs query size).
+pub fn fig11(constants: &SystemConstants, calibration: &CalibrationProfile) -> Vec<HwSweepRow> {
+    hw_sweep_queries(constants, calibration, true)
+}
+
+/// Builds Figure 12 (speedup over CM-SW vs encrypted DB size, 16-bit
+/// query, 1000 queries).
+pub fn fig12(constants: &SystemConstants, calibration: &CalibrationProfile) -> Vec<HwSweepRow> {
+    let m = HwModels::new(constants.clone(), *calibration);
+    DB_SIZES_GB
+        .iter()
+        .map(|&db_gb| {
+            let w = Workload { plain_bytes: db_gb * GIB / 4.0, k: 16, queries: 1000 };
+            let sw = m.cmsw_baseline(&w);
+            HwSweepRow {
+                x: db_gb,
+                pum: m.cm_pum(&w).speedup_vs(&sw),
+                pum_ssd: m.cm_pum_ssd(&w).speedup_vs(&sw),
+                ifp: m.cm_ifp(&w).speedup_vs(&sw),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SystemConstants, CalibrationProfile) {
+        (SystemConstants::paper_default(), CalibrationProfile::paper_rates())
+    }
+
+    #[test]
+    fn fig3_storage_dominates_and_grows() {
+        let (c, _) = setup();
+        let rows = fig3(&c);
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert!(r.storage < r.dram && r.dram < r.cpu);
+        }
+        // Storage saving grows with DB size (paper: 94% at 256 GB).
+        assert!(rows.last().unwrap().storage < rows[0].storage);
+        assert!(100.0 - rows.last().unwrap().storage > 85.0);
+    }
+
+    #[test]
+    fn fig7_magnitudes_match_paper_bands() {
+        let (c, cal) = setup();
+        let rows = fig7(&c, &cal);
+        for r in &rows {
+            // Paper: CM-SW 2.0e5–6.2e5x over Boolean; arithmetic ~1e4x.
+            assert!(
+                (5e4..2e6).contains(&r.cmsw_vs_boolean),
+                "k={}: cmsw vs boolean {}",
+                r.k,
+                r.cmsw_vs_boolean
+            );
+            assert!(
+                (1e3..1e5).contains(&r.arithmetic_vs_boolean),
+                "k={}: arith vs boolean {}",
+                r.k,
+                r.arithmetic_vs_boolean
+            );
+            // Paper: CM-SW 20.7–62.2x over arithmetic.
+            assert!(
+                (3.0..200.0).contains(&r.cmsw_vs_arithmetic),
+                "k={}: cmsw vs arith {}",
+                r.k,
+                r.cmsw_vs_arithmetic
+            );
+        }
+        // CM-SW's Boolean advantage grows with query size (paper trend).
+        assert!(rows.last().unwrap().cmsw_vs_boolean > rows[0].cmsw_vs_boolean);
+    }
+
+    #[test]
+    fn fig8_energy_reductions_positive_and_ordered() {
+        let (c, cal) = setup();
+        for r in fig8(&c, &cal) {
+            assert!(r.cmsw_vs_boolean > r.arithmetic_vs_boolean);
+            assert!(r.cmsw_vs_arithmetic > 1.0);
+        }
+    }
+
+    #[test]
+    fn fig9_dip_beyond_dram_capacity() {
+        let (c, cal) = setup();
+        let rows = fig9(&c, &cal);
+        // CM-SW-vs-arithmetic should not improve when the encrypted DB
+        // stops fitting in DRAM (paper: 1.16x reduction past 32 GB).
+        let small = rows[0].cmsw_vs_arithmetic;
+        let large = rows.last().unwrap().cmsw_vs_arithmetic;
+        assert!(large <= small * 1.05, "expected dip: {small} -> {large}");
+        for r in &rows {
+            assert!(r.cmsw_vs_boolean > 1e4);
+        }
+    }
+
+    #[test]
+    fn fig10_orderings_and_crossover() {
+        let (c, cal) = setup();
+        let rows = fig10(&c, &cal);
+        let first = &rows[0];
+        let last = rows.last().unwrap();
+        // k = 16: IFP leads everything (paper: 216x).
+        assert!(first.ifp > first.pum && first.ifp > first.pum_ssd);
+        assert!(first.ifp > 50.0, "IFP speedup at k=16: {}", first.ifp);
+        // k = 256: CM-PuM overtakes CM-IFP (paper: 1.21x).
+        assert!(last.pum > last.ifp, "PuM {} vs IFP {} at k=256", last.pum, last.ifp);
+        // IFP's advantage over PuM declines monotonically toward the
+        // crossover (the paper's Fig. 10 trend).
+        assert!(first.ifp / first.pum > last.ifp / last.pum);
+        // CM-PuM beats CM-PuM-SSD for single queries (paper: 1.5–3.5x).
+        for r in &rows {
+            assert!(r.pum > r.pum_ssd, "k={}: pum {} vs pum-ssd {}", r.x, r.pum, r.pum_ssd);
+        }
+    }
+
+    #[test]
+    fn fig11_ifp_most_energy_efficient() {
+        let (c, cal) = setup();
+        for r in fig11(&c, &cal) {
+            assert!(r.ifp > r.pum, "k={}: ifp {} pum {}", r.x, r.ifp, r.pum);
+            assert!(r.pum_ssd > r.pum, "k={}: pum-ssd must beat pum on energy", r.x);
+            assert!(r.ifp > 10.0);
+        }
+    }
+
+    #[test]
+    fn fig12_capacity_crossover() {
+        let (c, cal) = setup();
+        let rows = fig12(&c, &cal);
+        // Fits in DRAM (8–32 GB): CM-PuM ahead of CM-IFP (paper: 1.41x).
+        assert!(rows[0].pum > rows[0].ifp, "8 GB: pum {} ifp {}", rows[0].pum, rows[0].ifp);
+        // 128 GB: CM-IFP ahead (paper: 8.29x) and PuM-SSD between.
+        let last = rows.last().unwrap();
+        assert!(last.ifp > last.pum_ssd && last.pum_ssd > last.pum,
+            "128 GB ordering: ifp {} pum_ssd {} pum {}", last.ifp, last.pum_ssd, last.pum);
+        // All NDP systems always beat CM-SW.
+        for r in &rows {
+            assert!(r.pum > 1.0 && r.pum_ssd > 1.0 && r.ifp > 1.0);
+        }
+    }
+
+    #[test]
+    fn figures_also_run_with_measured_profile() {
+        // The honest (this-repo) calibration must produce the same
+        // qualitative shapes.
+        let c = SystemConstants::paper_default();
+        let cal = CalibrationProfile::default_measured();
+        let f10 = fig10(&c, &cal);
+        assert!(f10[0].ifp > f10[0].pum);
+        let f12 = fig12(&c, &cal);
+        assert!(f12.last().unwrap().ifp > f12.last().unwrap().pum);
+    }
+}

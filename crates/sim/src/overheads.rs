@@ -1,0 +1,87 @@
+//! Overhead analysis of CM-IFP (paper §6.3, §7.1, §7.2).
+
+use cm_flash::FlashGeometry;
+
+/// Storage overheads of enabling CIPHERMATCH in an SSD (§6.3).
+#[derive(Debug, Clone, Copy)]
+pub struct StorageOverheads {
+    /// Internal-DRAM bytes buffering homomorphic-addition results
+    /// (one page per plane).
+    pub result_buffer_bytes: usize,
+    /// Internal-DRAM bytes holding the `bop_add` µ-program.
+    pub microprogram_bytes: usize,
+    /// Capacity factor lost by running the CIPHERMATCH region in SLC
+    /// instead of TLC mode (3 bits -> 1 bit per cell).
+    pub slc_capacity_factor: f64,
+}
+
+/// Computes the §6.3 storage overheads for a geometry.
+pub fn storage_overheads(geometry: &FlashGeometry) -> StorageOverheads {
+    StorageOverheads {
+        // 4 KiB (page) × channels × dies × planes.
+        result_buffer_bytes: geometry.page_bytes * geometry.total_planes(),
+        microprogram_bytes: 1024, // "less than 1 KB" (§6.3)
+        slc_capacity_factor: 3.0,
+    }
+}
+
+/// Area overheads (§6.3, §7.1, §7.2).
+#[derive(Debug, Clone, Copy)]
+pub struct AreaOverheads {
+    /// NAND peripheral modification (ParaBit transistors), fraction of die
+    /// area.
+    pub nand_periphery_fraction: f64,
+    /// Hardware transposition unit (§7.1), mm² in 22 nm.
+    pub transposition_unit_mm2: f64,
+    /// Hardware transposition unit latency per 4 KiB, seconds.
+    pub transposition_latency: f64,
+    /// AES-256 engine (§7.2), mm² in 22 nm.
+    pub aes_mm2: f64,
+    /// AES-256 latency per 16-byte block, seconds.
+    pub aes_block_latency: f64,
+}
+
+/// The paper's synthesis estimates.
+pub fn area_overheads() -> AreaOverheads {
+    AreaOverheads {
+        nand_periphery_fraction: 0.006,
+        transposition_unit_mm2: 0.24,
+        transposition_latency: 158e-9,
+        aes_mm2: 0.13,
+        aes_block_latency: 12.6e-9,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_buffer_matches_paper_half_mb() {
+        // §6.3: 4 KB × 8 channels × 8 dies × 2 planes = 0.5 MB.
+        let o = storage_overheads(&FlashGeometry::paper_default());
+        assert_eq!(o.result_buffer_bytes, 4096 * 8 * 8 * 2);
+        assert_eq!(o.result_buffer_bytes, 512 * 1024);
+        assert!(o.microprogram_bytes <= 1024);
+    }
+
+    #[test]
+    fn area_numbers_match_paper() {
+        let a = area_overheads();
+        assert!((a.nand_periphery_fraction - 0.006).abs() < 1e-12);
+        assert!((a.transposition_unit_mm2 - 0.24).abs() < 1e-12);
+        assert!((a.transposition_latency - 158e-9).abs() < 1e-15);
+        assert!((a.aes_mm2 - 0.13).abs() < 1e-12);
+        assert!((a.aes_block_latency - 12.6e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn hw_transposition_hides_under_z_nand_reads() {
+        // §7.1: with 3 µs Z-NAND reads, only the hardware unit still hides.
+        let a = area_overheads();
+        let z_nand_read = 3e-6;
+        let software_latency = 13.6e-6;
+        assert!(a.transposition_latency < z_nand_read);
+        assert!(software_latency > z_nand_read, "software unit cannot hide under Z-NAND");
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # cm-ssd
+//!
+//! The SSD system model for CM-IFP (paper §4.3.2): a two-region FTL
+//! (conventional TLC / vertical-layout SLC CIPHERMATCH region), the
+//! software/hardware data transposition unit, the `CM-read` / `CM-write` /
+//! `CM-search` host commands, controller-side index generation, and the
+//! AES-protected index return channel of §7.2.
+//!
+//! The headline integration property, enforced by tests: running
+//! `CM-search` through the simulated flash latches produces **bit-identical
+//! Hom-Add results** to the software CIPHERMATCH engine, while consuming
+//! zero program/erase cycles.
+
+mod commands;
+mod ftl;
+mod pipeline;
+mod secure_index;
+mod ssd;
+mod transpose;
+
+pub use commands::{submit, HostCommand, HostResponse};
+pub use ftl::{Ftl, GroupAddr, GROUP_WORDLINES};
+pub use pipeline::CmIfpServer;
+pub use secure_index::{SecureIndexChannel, AES_AREA_MM2, AES_BLOCK_LATENCY};
+pub use ssd::{ControllerModel, IfpReport, Ssd};
+pub use transpose::{TransposeMode, TranspositionUnit};

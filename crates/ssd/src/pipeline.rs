@@ -1,0 +1,210 @@
+//! The end-to-end CM-IFP pipeline (paper Fig. 6).
+//!
+//! ① the client prepares the encrypted query, ② sends it to the server,
+//! ③ the server forwards it to the SSD and triggers the `bop_add`
+//! µ-program, ④ the flash array executes the homomorphic additions with
+//! array- and bit-level parallelism, ⑤ the controller's index-generation
+//! unit locates matches, ⑥ the AES-encrypted index list returns to the
+//! client.
+//!
+//! The pipeline is bit-exact: the in-flash adder output is reassembled
+//! into BFV ciphertexts and must decrypt to the same sums CM-SW computes
+//! (enforced by the integration tests). This requires the power-of-two
+//! modulus parameters ([`cm_bfv::BfvParams::ciphermatch_ifp_1024`]), under
+//! which wrapping 32-bit addition *is* `Hom-Add`.
+
+use cm_bfv::{BfvContext, Ciphertext};
+use cm_core::{EncryptedDatabase, EncryptedQuery, SearchResult, TrustedIndexGenerator};
+use cm_flash::FlashGeometry;
+use cm_hemath::Poly;
+
+use crate::ssd::{IfpReport, Ssd};
+use crate::transpose::TransposeMode;
+
+/// Serializes ciphertexts into the flat `u32` coefficient stream stored in
+/// the CIPHERMATCH region (`c0` coefficients then `c1`, per ciphertext).
+fn ct_stream(cts: &[Ciphertext]) -> Vec<u32> {
+    let mut words = Vec::new();
+    for ct in cts {
+        assert_eq!(ct.size(), 2, "only fresh (size-2) ciphertexts are stored");
+        for part in ct.parts() {
+            words.extend(part.coeffs().iter().map(|&c| {
+                debug_assert!(c < (1 << 32), "coefficient exceeds 32 bits");
+                c as u32
+            }));
+        }
+    }
+    words
+}
+
+/// Rebuilds ciphertexts from a flat coefficient stream.
+fn stream_to_cts(words: &[u32], n: usize) -> Vec<Ciphertext> {
+    assert_eq!(words.len() % (2 * n), 0, "stream is not ciphertext-aligned");
+    words
+        .chunks(2 * n)
+        .map(|chunk| {
+            let c0 = Poly::from_coeffs(chunk[..n].iter().map(|&w| w as u64).collect());
+            let c1 = Poly::from_coeffs(chunk[n..].iter().map(|&w| w as u64).collect());
+            Ciphertext::from_parts(vec![c0, c1])
+        })
+        .collect()
+}
+
+/// The CM-IFP server: an SSD whose CIPHERMATCH region holds the encrypted
+/// database.
+pub struct CmIfpServer {
+    ssd: Ssd,
+    ctx: BfvContext,
+    total_bits: usize,
+    poly_count: usize,
+    stream_words: usize,
+}
+
+impl std::fmt::Debug for CmIfpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CmIfpServer")
+            .field("params", &self.ctx.params().name)
+            .field("polys", &self.poly_count)
+            .finish()
+    }
+}
+
+impl CmIfpServer {
+    /// Stores an encrypted database in a fresh SSD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext modulus exceeds 32 bits (the adder width)
+    /// or is not `2^32` (wrapping addition must equal `Hom-Add`).
+    pub fn new(
+        ctx: &BfvContext,
+        geometry: FlashGeometry,
+        mode: TransposeMode,
+        db: &EncryptedDatabase,
+    ) -> Self {
+        assert_eq!(
+            ctx.params().q,
+            1 << 32,
+            "CM-IFP needs q = 2^32 (use BfvParams::ciphermatch_ifp_1024)"
+        );
+        let mut ssd = Ssd::new(geometry, mode);
+        let mut stream = ct_stream(db.ciphertexts());
+        let stream_words = stream.len();
+        // Pad the stream to group granularity (zero ciphertext words).
+        let bitlines = ssd.geometry().page_bits();
+        let padded = stream_words.div_ceil(bitlines) * bitlines;
+        stream.resize(padded, 0);
+        ssd.cm_write_words(&stream);
+        Self {
+            ssd,
+            ctx: ctx.clone(),
+            total_bits: db.total_bits(),
+            poly_count: db.poly_count(),
+            stream_words,
+        }
+    }
+
+    /// Access to the underlying SSD (for ledger inspection).
+    pub fn ssd(&self) -> &Ssd {
+        &self.ssd
+    }
+
+    /// Mutable access to the underlying SSD (fault injection, maintenance
+    /// paths like page faults and writebacks).
+    pub fn ssd_mut(&mut self) -> &mut Ssd {
+        &mut self.ssd
+    }
+
+    /// Runs the in-flash search for every query variant, returning the
+    /// reassembled search result and the accumulated cost report.
+    pub fn search(&mut self, query: &EncryptedQuery) -> (SearchResult, Vec<IfpReport>) {
+        let n = self.ctx.params().n;
+        let mut per_variant = Vec::new();
+        let mut reports = Vec::new();
+        for (r, phase, ct) in query.variant_cts() {
+            let qstream = ct_stream(std::slice::from_ref(ct));
+            let (sums, report) = self.ssd.cm_search(&qstream);
+            let cts = stream_to_cts(&sums[..self.stream_words], n);
+            assert_eq!(cts.len(), self.poly_count);
+            per_variant.push(((r, phase), cts));
+            reports.push(report);
+        }
+        let result = SearchResult::from_raw(
+            per_variant,
+            self.total_bits,
+            query.k(),
+            query.classes().to_vec(),
+        );
+        (result, reports)
+    }
+
+    /// Full `CM-search` command: in-flash additions + controller index
+    /// generation (paper trust model), returning matching bit offsets.
+    pub fn cm_search_command(
+        &mut self,
+        query: &EncryptedQuery,
+        index_gen: &TrustedIndexGenerator,
+    ) -> (Vec<usize>, Vec<IfpReport>) {
+        let (result, reports) = self.search(query);
+        (index_gen.generate(&result), reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_bfv::{BfvParams, Decryptor, Encryptor, KeyGenerator};
+    use cm_core::{BitString, CiphermatchEngine};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stream_roundtrip() {
+        let n = 4;
+        let c0 = Poly::from_coeffs(vec![1, 2, 3, 4]);
+        let c1 = Poly::from_coeffs(vec![5, 6, 7, 8]);
+        let ct = Ciphertext::from_parts(vec![c0, c1]);
+        let words = ct_stream(std::slice::from_ref(&ct));
+        assert_eq!(words, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(stream_to_cts(&words, n), vec![ct]);
+    }
+
+    #[test]
+    fn ifp_search_equals_software_search() {
+        let ctx = BfvContext::new(BfvParams::insecure_test_pow2());
+        let mut rng = StdRng::seed_from_u64(2025);
+        let (sk, pk) = {
+            let kg = KeyGenerator::new(&ctx, &mut rng);
+            (kg.secret_key(), kg.public_key(&mut rng))
+        };
+        let enc = Encryptor::new(&ctx, pk);
+        let dec = Decryptor::new(&ctx, sk.clone());
+        let mut engine = CiphermatchEngine::new(&ctx);
+
+        let data = BitString::from_ascii("in flash processing equals software");
+        let db = engine.encrypt_database(&enc, &data, &mut rng);
+        let pattern = BitString::from_ascii("flash");
+        let query = engine.prepare_query(&enc, &pattern, &mut rng);
+
+        // Software result.
+        let sw_result = engine.search(&db, &query);
+        let sw_indices = engine.generate_indices(&dec, &sw_result);
+
+        // In-flash result.
+        let mut server = CmIfpServer::new(
+            &ctx,
+            FlashGeometry::tiny_test(),
+            TransposeMode::Software,
+            &db,
+        );
+        let (ifp_result, reports) = server.search(&query);
+        let ifp_indices = engine.generate_indices(&dec, &ifp_result);
+
+        assert_eq!(ifp_indices, sw_indices);
+        assert_eq!(ifp_indices, data.find_all(&pattern));
+        assert!(reports.iter().all(|r| r.ledger.wear() == 0));
+        // The raw hom-add outputs must be bit-identical, not just
+        // decrypt-identical.
+        assert_eq!(ifp_result, sw_result);
+    }
+}

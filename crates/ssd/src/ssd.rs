@@ -1,0 +1,385 @@
+//! The SSD device model: flash array + FTL + controller units.
+//!
+//! Implements the host-visible commands of §4.3.2: conventional
+//! `read`/`write`, the vertical-layout `CM-read`/`CM-write` (which run the
+//! transposition unit), and `CM-search` (which drives the `bop_add`
+//! µ-program across every allocated group and returns the coefficient-wise
+//! sums to the index-generation unit).
+
+use cm_flash::{bop_add, FlashArray, FlashEnergy, FlashGeometry, FlashLedger, FlashTimings, PageAddr};
+
+use crate::ftl::{Ftl, GroupAddr, GROUP_WORDLINES};
+use crate::transpose::{TransposeMode, TranspositionUnit};
+
+/// SSD controller characteristics (Table 3: 5x ARM Cortex-R5 @ 1.5 GHz).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerModel {
+    /// Number of controller cores.
+    pub cores: usize,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// Index-generation latency per result page (paper §4.3.2: 3.42 µs,
+    /// overlappable with flash reads).
+    pub index_gen_per_page: f64,
+}
+
+impl ControllerModel {
+    /// Table 3 values.
+    pub fn paper_default() -> Self {
+        Self { cores: 5, clock_hz: 1.5e9, index_gen_per_page: 3.42e-6 }
+    }
+}
+
+/// Cost report for one `CM-search` invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct IfpReport {
+    /// Primitive-op deltas incurred by this search.
+    pub ledger: FlashLedger,
+    /// `bop_add` invocations (group × variant granularity).
+    pub bop_adds: u64,
+    /// Controller transposition busy time (seconds).
+    pub transpose_time: f64,
+}
+
+impl IfpReport {
+    /// Paper-model execution time (Eq. 9): every `bop_add` costs
+    /// `32 × T_bit_add`, with all planes computing in parallel.
+    pub fn time_eq9(&self, geometry: &FlashGeometry, timings: &FlashTimings) -> f64 {
+        let rounds = (self.bop_adds as f64 / geometry.total_planes() as f64).ceil();
+        rounds * GROUP_WORDLINES as f64 * timings.t_bit_add()
+    }
+
+    /// Execution time with per-channel DMA serialization: each bit-step
+    /// needs 2 page DMAs per plane and the dies on a channel share the bus,
+    /// so the per-bit cost is `max(T_bop_add, planes/channel × 2 × T_DMA)`.
+    pub fn time_with_channel_contention(
+        &self,
+        geometry: &FlashGeometry,
+        timings: &FlashTimings,
+    ) -> f64 {
+        let rounds = (self.bop_adds as f64 / geometry.total_planes() as f64).ceil();
+        let dma_per_bit = geometry.planes_per_channel() as f64 * 2.0 * timings.t_dma;
+        let per_bit = timings.t_bop_add().max(dma_per_bit);
+        rounds * GROUP_WORDLINES as f64 * per_bit
+    }
+
+    /// Energy from the op ledger (Eq. 11 components).
+    pub fn energy(&self, geometry: &FlashGeometry, energy: &FlashEnergy) -> f64 {
+        let page_kb = geometry.page_bytes as f64 / 1024.0;
+        let idx = self.ledger.dmas as f64 / 2.0 * energy.e_index_gen_per_page;
+        self.ledger.energy(energy, page_kb) + idx
+    }
+}
+
+/// The SSD device.
+#[derive(Debug)]
+pub struct Ssd {
+    flash: FlashArray,
+    ftl: Ftl,
+    transpose: TranspositionUnit,
+    timings: FlashTimings,
+    energy: FlashEnergy,
+    controller: ControllerModel,
+    stored_words: usize,
+}
+
+impl Ssd {
+    /// Creates an SSD with the given geometry and transposition mode,
+    /// reserving the first quarter of each plane's blocks for the
+    /// conventional region.
+    pub fn new(geometry: FlashGeometry, mode: TransposeMode) -> Self {
+        let reserve = (geometry.blocks_per_plane / 4).max(1);
+        Self {
+            flash: FlashArray::new(geometry.clone()),
+            ftl: Ftl::new(geometry, reserve),
+            transpose: TranspositionUnit::new(mode),
+            timings: FlashTimings::paper_default(),
+            energy: FlashEnergy::paper_default(),
+            controller: ControllerModel::paper_default(),
+            stored_words: 0,
+        }
+    }
+
+    /// The flash geometry.
+    pub fn geometry(&self) -> &FlashGeometry {
+        self.ftl.geometry()
+    }
+
+    /// The timing constants in effect.
+    pub fn timings(&self) -> &FlashTimings {
+        &self.timings
+    }
+
+    /// The energy constants in effect.
+    pub fn energy_model(&self) -> &FlashEnergy {
+        &self.energy
+    }
+
+    /// The controller model.
+    pub fn controller(&self) -> &ControllerModel {
+        &self.controller
+    }
+
+    /// Conventional write: horizontal layout, page granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` exceeds the page size.
+    pub fn write_page(&mut self, lpn: u64, data: &[u8]) {
+        let page_bytes = self.ftl.geometry().page_bytes;
+        assert!(data.len() <= page_bytes, "data exceeds page size");
+        let addr = self.ftl.map_conventional(lpn);
+        let mut bits = vec![false; page_bytes * 8];
+        for (i, &byte) in data.iter().enumerate() {
+            for b in 0..8 {
+                bits[i * 8 + b] = (byte >> (7 - b)) & 1 == 1;
+            }
+        }
+        self.flash.program_page(addr, cm_flash::BitBuf::from_bits(&bits));
+    }
+
+    /// Conventional read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the logical page was never written.
+    pub fn read_page(&mut self, lpn: u64) -> Vec<u8> {
+        let addr = self.ftl.lookup_conventional(lpn).expect("unmapped logical page");
+        let buf = self.flash.read_page(addr);
+        let mut out = vec![0u8; buf.len() / 8];
+        for (i, byte) in out.iter_mut().enumerate() {
+            for b in 0..8 {
+                if buf.get(i * 8 + b) {
+                    *byte |= 1 << (7 - b);
+                }
+            }
+        }
+        out
+    }
+
+    /// `CM-write`: appends `u32` coefficients to the CIPHERMATCH region in
+    /// vertical layout (transpose + program 32 wordlines per group).
+    /// Returns the groups written.
+    pub fn cm_write_words(&mut self, words: &[u32]) -> Vec<GroupAddr> {
+        let bitlines = self.ftl.geometry().page_bits();
+        assert_eq!(
+            self.stored_words % bitlines,
+            0,
+            "cm_write_words must append at group granularity; pad the stream"
+        );
+        let mut groups = Vec::new();
+        for chunk in words.chunks(bitlines) {
+            let mut padded = chunk.to_vec();
+            padded.resize(bitlines, 0);
+            let planes = self.transpose.to_vertical(&padded, GROUP_WORDLINES);
+            let group = self.ftl.allocate_group();
+            for (b, page) in planes.into_iter().enumerate() {
+                self.flash.program_page(
+                    PageAddr { plane: group.plane, block: group.block, wordline: group.wl_base + b },
+                    page,
+                );
+            }
+            groups.push(group);
+        }
+        self.stored_words += words.len();
+        groups
+    }
+
+    /// `CM-read`: reads group `idx` back in horizontal layout (the page
+    /// fault path of §4.3.2 — 32 wordline reads + reverse transposition).
+    pub fn cm_read_group(&mut self, idx: usize) -> Vec<u32> {
+        let group = self.ftl.groups()[idx];
+        let planes: Vec<_> = (0..GROUP_WORDLINES)
+            .map(|b| {
+                self.flash.read_page(PageAddr {
+                    plane: group.plane,
+                    block: group.block,
+                    wordline: group.wl_base + b,
+                })
+            })
+            .collect();
+        self.transpose.to_horizontal(&planes)
+    }
+
+    /// Number of `u32` coefficients stored in the CIPHERMATCH region.
+    pub fn stored_words(&self) -> usize {
+        self.stored_words
+    }
+
+    /// Page-fault service from the CIPHERMATCH region (§4.3.2 item 2):
+    /// the host touched vertical-layout data, so the controller reads all
+    /// 32 wordlines of the group and transposes back. Returns the data and
+    /// the modeled latency — the reads dominate; software transposition
+    /// overlaps with them (the paper's pipelining argument).
+    pub fn handle_page_fault(&mut self, group_idx: usize) -> (Vec<u32>, f64) {
+        let words = self.cm_read_group(group_idx);
+        let read_time = GROUP_WORDLINES as f64 * self.timings.t_read_slc;
+        let transpose_time =
+            self.transpose.mode().latency_per_4kb() * (words.len() * 4) as f64 / 4096.0;
+        // Transposition pipelines behind the flash reads; only the excess
+        // (if any — e.g. Z-NAND-class reads) shows up.
+        let latency = read_time + (transpose_time - read_time).max(0.0);
+        (words, latency)
+    }
+
+    /// Dirty-writeback service (§4.3.2 item 3): the host evicted modified
+    /// CIPHERMATCH data; the controller transposes it back to the vertical
+    /// layout and programs the group asynchronously. Returns the modeled
+    /// (asynchronous) latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group index is unknown or the data is not exactly one
+    /// group wide.
+    pub fn handle_dirty_writeback(&mut self, group_idx: usize, words: &[u32]) -> f64 {
+        let bitlines = self.ftl.geometry().page_bits();
+        assert_eq!(words.len(), bitlines, "writeback must cover one group");
+        let group = self.ftl.groups()[group_idx];
+        let planes = self.transpose.to_vertical(words, GROUP_WORDLINES);
+        for (b, page) in planes.into_iter().enumerate() {
+            self.flash.program_page(
+                PageAddr { plane: group.plane, block: group.block, wordline: group.wl_base + b },
+                page,
+            );
+        }
+        // Asynchronous: the host does not wait; we report the busy time.
+        self.transpose.mode().latency_per_4kb() * (words.len() * 4) as f64 / 4096.0
+    }
+
+    /// `CM-search`: homomorphically adds the (periodic) query coefficient
+    /// stream to every stored coefficient using in-flash bit-serial
+    /// addition, returning the sums and a cost report.
+    ///
+    /// `query_words` is one period of the encrypted query stream (the
+    /// paper's replicated query polynomial pair); the stream tiles across
+    /// the stored coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query is empty or nothing is stored.
+    pub fn cm_search(&mut self, query_words: &[u32]) -> (Vec<u32>, IfpReport) {
+        assert!(!query_words.is_empty(), "empty query stream");
+        assert!(self.stored_words > 0, "no CIPHERMATCH data stored");
+        let bitlines = self.ftl.geometry().page_bits();
+        let ledger_before = self.flash.ledger();
+        let transpose_before = self.transpose.busy_time();
+        let qlen = query_words.len();
+
+        let groups: Vec<GroupAddr> = self.ftl.groups().to_vec();
+        let mut sums = Vec::with_capacity(self.stored_words);
+        let mut bop_adds = 0u64;
+        for (g, group) in groups.iter().enumerate() {
+            // Build the query bit-planes for this group's bitline window.
+            let offset = g * bitlines;
+            if offset >= self.stored_words {
+                break;
+            }
+            let window: Vec<u32> =
+                (0..bitlines).map(|l| query_words[(offset + l) % qlen]).collect();
+            let b_planes = self.transpose.to_vertical(&window, GROUP_WORDLINES);
+            let sum_planes =
+                bop_add(&mut self.flash, group.plane, group.block, group.wl_base, &b_planes);
+            bop_adds += 1;
+            let words = self.transpose.to_horizontal(&sum_planes);
+            let take = bitlines.min(self.stored_words - offset);
+            sums.extend_from_slice(&words[..take]);
+        }
+
+        let ledger_after = self.flash.ledger();
+        let report = IfpReport {
+            ledger: FlashLedger {
+                reads: ledger_after.reads - ledger_before.reads,
+                latch_transfers: ledger_after.latch_transfers - ledger_before.latch_transfers,
+                and_or_ops: ledger_after.and_or_ops - ledger_before.and_or_ops,
+                xor_ops: ledger_after.xor_ops - ledger_before.xor_ops,
+                dmas: ledger_after.dmas - ledger_before.dmas,
+                programs: ledger_after.programs - ledger_before.programs,
+                erases: ledger_after.erases - ledger_before.erases,
+            },
+            bop_adds,
+            transpose_time: self.transpose.busy_time() - transpose_before,
+        };
+        (sums, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn ssd() -> Ssd {
+        Ssd::new(FlashGeometry::tiny_test(), TransposeMode::Software)
+    }
+
+    #[test]
+    fn conventional_write_read_roundtrip() {
+        let mut s = ssd();
+        let data: Vec<u8> = (0..64u8).collect();
+        s.write_page(3, &data);
+        assert_eq!(s.read_page(3), data);
+    }
+
+    #[test]
+    fn cm_write_read_roundtrip() {
+        let mut s = ssd();
+        let bitlines = 64 * 8;
+        let mut rng = StdRng::seed_from_u64(11);
+        let words: Vec<u32> = (0..bitlines).map(|_| rng.gen()).collect();
+        let groups = s.cm_write_words(&words);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(s.cm_read_group(0), words);
+    }
+
+    #[test]
+    fn cm_search_adds_query_to_every_word() {
+        let mut s = ssd();
+        let bitlines = 64 * 8; // 512 bitlines per page
+        let mut rng = StdRng::seed_from_u64(12);
+        // Two groups of data, query period 128 words.
+        let words: Vec<u32> = (0..2 * bitlines).map(|_| rng.gen()).collect();
+        s.cm_write_words(&words);
+        let query: Vec<u32> = (0..128).map(|_| rng.gen()).collect();
+        let (sums, report) = s.cm_search(&query);
+        assert_eq!(sums.len(), words.len());
+        for (i, (&sum, &w)) in sums.iter().zip(&words).enumerate() {
+            assert_eq!(sum, w.wrapping_add(query[i % 128]), "word {i}");
+        }
+        assert_eq!(report.bop_adds, 2);
+        assert_eq!(report.ledger.wear(), 0, "search must not wear the flash");
+        assert!(report.transpose_time > 0.0);
+    }
+
+    #[test]
+    fn partial_last_group_is_truncated() {
+        let mut s = ssd();
+        let bitlines = 64 * 8;
+        let words: Vec<u32> = (0..bitlines + 100).map(|i| i as u32).collect();
+        // Pad the stream to group granularity before appending.
+        let mut padded = words.clone();
+        padded.resize(2 * bitlines, 0);
+        s.cm_write_words(&padded);
+        let (sums, _) = s.cm_search(&[5u32]);
+        assert_eq!(sums.len(), 2 * bitlines);
+        assert_eq!(sums[0], 5);
+        assert_eq!(sums[bitlines + 99], words[bitlines + 99].wrapping_add(5));
+    }
+
+    #[test]
+    fn report_times_are_consistent() {
+        let mut s = ssd();
+        let bitlines = 64 * 8;
+        let words: Vec<u32> = (0..4 * bitlines).map(|i| i as u32 * 3).collect();
+        s.cm_write_words(&words);
+        let (_, report) = s.cm_search(&[1u32, 2, 3, 4]);
+        let geom = FlashGeometry::tiny_test();
+        let t = FlashTimings::paper_default();
+        let eq9 = report.time_eq9(&geom, &t);
+        let contended = report.time_with_channel_contention(&geom, &t);
+        assert!(eq9 > 0.0);
+        assert!(contended >= eq9 * 0.3, "contention model should be same order");
+        let e = FlashEnergy::paper_default();
+        assert!(report.energy(&geom, &e) > 0.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Gate bootstrapping: blind rotation, sample extraction and key switching.
+//!
+//! `bootstrap_to_sign` maps an input LWE ciphertext with phase `φ` to a
+//! fresh LWE encryption of `+1/8` when `φ ∈ (0, 1/2)` and `-1/8` when
+//! `φ ∈ (-1/2, 0)`, resetting noise in the process. Every Boolean gate is a
+//! small linear combination followed by this sign bootstrap.
+
+use rand::Rng;
+
+use crate::lwe::{LweCiphertext, LweKey};
+use crate::params::TfheParams;
+use crate::polymul::PolyMulContext;
+use crate::rgsw::Rgsw;
+use crate::rlwe::{RlweCiphertext, RlweKey};
+use crate::torus::{round_to_2n, EIGHTH};
+
+/// Bootstrapping key: one RGSW encryption (under the ring key) of each LWE
+/// key bit.
+#[derive(Debug, Clone)]
+pub struct BootstrapKey {
+    rgsw: Vec<Rgsw>,
+}
+
+impl BootstrapKey {
+    /// Generates the bootstrapping key.
+    pub fn generate<R: Rng + ?Sized>(
+        lwe_key: &LweKey,
+        rlwe_key: &RlweKey,
+        params: &TfheParams,
+        ctx: &PolyMulContext,
+        rng: &mut R,
+    ) -> Self {
+        let rgsw = lwe_key
+            .bits
+            .iter()
+            .map(|&s| Rgsw::encrypt_bit(s, rlwe_key, params, ctx, rng))
+            .collect();
+        Self { rgsw }
+    }
+
+    /// Number of RGSW entries (the LWE dimension).
+    pub fn len(&self) -> usize {
+        self.rgsw.len()
+    }
+
+    /// True when empty (never for generated keys).
+    pub fn is_empty(&self) -> bool {
+        self.rgsw.is_empty()
+    }
+}
+
+/// Key-switching key from the extracted `N`-dimensional LWE key back to the
+/// base `n`-dimensional key.
+#[derive(Debug, Clone)]
+pub struct KeySwitchKey {
+    /// `ks[j][m]` encrypts `z_j * 2^(32 - (m+1) * ks_base_log)`.
+    ks: Vec<Vec<LweCiphertext>>,
+    base_log: u32,
+    levels: usize,
+}
+
+impl KeySwitchKey {
+    /// Generates the key-switching key.
+    pub fn generate<R: Rng + ?Sized>(
+        from: &LweKey,
+        to: &LweKey,
+        params: &TfheParams,
+        rng: &mut R,
+    ) -> Self {
+        let ks = from
+            .bits
+            .iter()
+            .map(|&zj| {
+                (0..params.ks_levels)
+                    .map(|m| {
+                        let g = 1u32 << (32 - (m as u32 + 1) * params.ks_base_log);
+                        LweCiphertext::encrypt(
+                            zj.wrapping_mul(g),
+                            to,
+                            params.lwe_noise_std,
+                            rng,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        Self { ks, base_log: params.ks_base_log, levels: params.ks_levels }
+    }
+
+    /// Switches an LWE ciphertext from the source key to the target key.
+    pub fn switch(&self, ct: &LweCiphertext) -> LweCiphertext {
+        let out_dim = self.ks[0][0].dim();
+        let mut out = LweCiphertext::trivial(ct.b, out_dim);
+        let base = 1u32 << self.base_log;
+        let total = self.base_log * self.levels as u32;
+        let rounding = if total < 32 { 1u32 << (32 - total - 1) } else { 0 };
+        for (j, &aj) in ct.a.iter().enumerate() {
+            let v = if total < 32 {
+                aj.wrapping_add(rounding) >> (32 - total)
+            } else {
+                aj
+            };
+            for m in 0..self.levels {
+                let shift = (self.levels - 1 - m) as u32 * self.base_log;
+                let digit = (v >> shift) & (base - 1);
+                if digit == 0 {
+                    continue;
+                }
+                out = out.sub(&self.ks[j][m].scale(digit));
+            }
+        }
+        out
+    }
+}
+
+/// Blind rotation: returns an RLWE accumulator whose phase is
+/// `X^(-φ̃) * test_vector`, where `φ̃` is the input phase rescaled to
+/// `Z_{2N}`.
+pub fn blind_rotate(
+    ct: &LweCiphertext,
+    bsk: &BootstrapKey,
+    test_vector: &[u32],
+    params: &TfheParams,
+    ctx: &PolyMulContext,
+) -> RlweCiphertext {
+    let n2 = 2 * params.rlwe_dim;
+    let b_tilde = round_to_2n(ct.b, params.rlwe_dim);
+    let mut acc = RlweCiphertext::trivial(test_vector.to_vec()).mul_monomial(n2 - b_tilde);
+    for (i, rgsw) in bsk.rgsw.iter().enumerate() {
+        let a_tilde = round_to_2n(ct.a[i], params.rlwe_dim);
+        if a_tilde == 0 {
+            continue;
+        }
+        // CMux(s_i, acc, X^{a_i} * acc): adds a_i * s_i to the exponent.
+        let rotated = acc.mul_monomial(a_tilde);
+        acc = rgsw.cmux(&acc, &rotated, params, ctx);
+    }
+    acc
+}
+
+/// The constant test vector `(1/8) * (1 + x + ... + x^(N-1))`, which turns
+/// blind rotation into the sign function with output `±1/8`.
+pub fn sign_test_vector(n: usize) -> Vec<u32> {
+    vec![EIGHTH; n]
+}
+
+/// Full gate bootstrap: maps phase sign to a fresh `±1/8` encryption under
+/// the base LWE key.
+pub fn bootstrap_to_sign(
+    ct: &LweCiphertext,
+    bsk: &BootstrapKey,
+    ksk: &KeySwitchKey,
+    params: &TfheParams,
+    ctx: &PolyMulContext,
+) -> LweCiphertext {
+    let tv = sign_test_vector(params.rlwe_dim);
+    let acc = blind_rotate(ct, bsk, &tv, params, ctx);
+    let extracted = acc.sample_extract();
+    ksk.switch(&extracted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::torus::{decode_bit, encode_bit};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Fixture {
+        params: TfheParams,
+        lwe_key: LweKey,
+        rlwe_key: RlweKey,
+        bsk: BootstrapKey,
+        ksk: KeySwitchKey,
+        ctx: PolyMulContext,
+        rng: StdRng,
+    }
+
+    fn fixture() -> Fixture {
+        let params = TfheParams::fast_insecure_test();
+        let mut rng = StdRng::seed_from_u64(77);
+        let ctx = PolyMulContext::new(params.rlwe_dim);
+        let lwe_key = LweKey::generate(params.lwe_dim, &mut rng);
+        let rlwe_key = RlweKey::generate(params.rlwe_dim, &mut rng);
+        let bsk = BootstrapKey::generate(&lwe_key, &rlwe_key, &params, &ctx, &mut rng);
+        let ksk = KeySwitchKey::generate(&rlwe_key.as_lwe_key(), &lwe_key, &params, &mut rng);
+        Fixture { params, lwe_key, rlwe_key, bsk, ksk, ctx, rng }
+    }
+
+    #[test]
+    fn key_switch_preserves_message() {
+        let mut f = fixture();
+        let source = f.rlwe_key.as_lwe_key();
+        for bit in [true, false] {
+            let ct = LweCiphertext::encrypt(
+                encode_bit(bit),
+                &source,
+                f.params.lwe_noise_std,
+                &mut f.rng,
+            );
+            let switched = f.ksk.switch(&ct);
+            assert_eq!(switched.dim(), f.params.lwe_dim);
+            assert_eq!(decode_bit(switched.phase(&f.lwe_key)), bit);
+        }
+    }
+
+    #[test]
+    fn blind_rotate_reads_sign() {
+        let mut f = fixture();
+        let tv = sign_test_vector(f.params.rlwe_dim);
+        for bit in [true, false] {
+            let ct = LweCiphertext::encrypt_with_params(
+                encode_bit(bit),
+                &f.lwe_key,
+                &f.params,
+                &mut f.rng,
+            );
+            let acc = blind_rotate(&ct, &f.bsk, &tv, &f.params, &f.ctx);
+            let extracted = acc.sample_extract();
+            let got = decode_bit(extracted.phase(&f.rlwe_key.as_lwe_key()));
+            assert_eq!(got, bit, "blind rotation lost the sign for {bit}");
+        }
+    }
+
+    #[test]
+    fn full_bootstrap_refreshes_both_signs() {
+        let mut f = fixture();
+        for bit in [true, false] {
+            let ct = LweCiphertext::encrypt_with_params(
+                encode_bit(bit),
+                &f.lwe_key,
+                &f.params,
+                &mut f.rng,
+            );
+            let out = bootstrap_to_sign(&ct, &f.bsk, &f.ksk, &f.params, &f.ctx);
+            assert_eq!(decode_bit(out.phase(&f.lwe_key)), bit);
+            // Output magnitude is close to 1/8 again.
+            let mag = (out.phase(&f.lwe_key) as i32).unsigned_abs();
+            let err = (mag as i64 - EIGHTH as i64).abs();
+            assert!(err < (1 << 26), "output phase drifted: {err}");
+        }
+    }
+
+    #[test]
+    fn bootstrap_is_repeatable() {
+        // Bootstrapping its own output must stay stable (noise is reset).
+        let mut f = fixture();
+        let mut ct = LweCiphertext::encrypt_with_params(
+            encode_bit(true),
+            &f.lwe_key,
+            &f.params,
+            &mut f.rng,
+        );
+        for _ in 0..3 {
+            ct = bootstrap_to_sign(&ct, &f.bsk, &f.ksk, &f.params, &f.ctx);
+            assert!(decode_bit(ct.phase(&f.lwe_key)));
+        }
+    }
+}

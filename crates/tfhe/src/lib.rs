@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! # cm-tfhe
+//!
+//! A from-scratch TFHE-style Boolean FHE library: LWE/RLWE/RGSW over the
+//! discretized `2^32` torus with per-gate bootstrapping (blind rotation,
+//! sample extraction, key switching).
+//!
+//! This is the substrate for the paper's **Boolean baseline** (§2.2): prior
+//! works \[17, 33\] encrypt every database and query bit individually under
+//! TFHE and evaluate secure string matching with homomorphic XNOR + AND
+//! gates. Its two costs — per-gate bootstrapping latency and a >200x
+//! per-bit memory blow-up — are exactly what CIPHERMATCH's packing and
+//! addition-only matching eliminate.
+//!
+//! ## Example
+//!
+//! ```
+//! use cm_tfhe::{ClientKey, ServerKey, TfheParams};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let client = ClientKey::generate(TfheParams::fast_insecure_test(), &mut rng);
+//! let server = ServerKey::generate(&client, &mut rng);
+//! let a = client.encrypt(true, &mut rng);
+//! let b = client.encrypt(false, &mut rng);
+//! // XNOR is the encrypted bit-equality test used by Boolean matching.
+//! assert!(!client.decrypt(&server.xnor(&a, &b)));
+//! ```
+
+mod bootstrap;
+mod gates;
+mod lwe;
+mod params;
+mod polymul;
+mod rgsw;
+mod rlwe;
+mod torus;
+
+pub use bootstrap::{blind_rotate, bootstrap_to_sign, sign_test_vector, BootstrapKey, KeySwitchKey};
+pub use gates::{BitCiphertext, ClientKey, ServerKey};
+pub use lwe::{LweCiphertext, LweKey};
+pub use params::TfheParams;
+pub use polymul::PolyMulContext;
+pub use rgsw::Rgsw;
+pub use rlwe::{RlweCiphertext, RlweKey};
+pub use torus::{decode_bit, encode_bit};

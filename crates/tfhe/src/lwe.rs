@@ -1,0 +1,182 @@
+//! LWE ciphertexts over the discretized torus.
+//!
+//! Every database/query bit in the Boolean baseline becomes one
+//! [`LweCiphertext`] `(a, b)` with `b = <a, s> + m + e`. Gate inputs are
+//! combined linearly here and non-linearity comes from bootstrapping
+//! (see [`crate::bootstrap`]).
+
+use rand::Rng;
+
+use crate::params::TfheParams;
+use crate::torus::gaussian_torus;
+
+/// A binary LWE secret key of dimension `n`.
+#[derive(Debug, Clone)]
+pub struct LweKey {
+    pub(crate) bits: Vec<u32>,
+}
+
+impl LweKey {
+    /// Samples a fresh binary key.
+    pub fn generate<R: Rng + ?Sized>(dim: usize, rng: &mut R) -> Self {
+        Self { bits: (0..dim).map(|_| rng.gen_range(0..=1u32)).collect() }
+    }
+
+    /// Wraps existing key bits (used by sample extraction).
+    pub(crate) fn from_bits(bits: Vec<u32>) -> Self {
+        Self { bits }
+    }
+
+    /// Key dimension.
+    pub fn dim(&self) -> usize {
+        self.bits.len()
+    }
+}
+
+/// An LWE ciphertext `(a, b)` with `b = <a, s> + m + e` over `Z_{2^32}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LweCiphertext {
+    pub(crate) a: Vec<u32>,
+    pub(crate) b: u32,
+}
+
+impl LweCiphertext {
+    /// The trivial (noiseless, keyless) encryption of `mu`; used for gate
+    /// bias constants.
+    pub fn trivial(mu: u32, dim: usize) -> Self {
+        Self { a: vec![0; dim], b: mu }
+    }
+
+    /// Encrypts the torus message `mu` under `key`.
+    pub fn encrypt<R: Rng + ?Sized>(
+        mu: u32,
+        key: &LweKey,
+        noise_std: f64,
+        rng: &mut R,
+    ) -> Self {
+        let a: Vec<u32> = (0..key.dim()).map(|_| rng.gen::<u32>()).collect();
+        let dot = a
+            .iter()
+            .zip(&key.bits)
+            .fold(0u32, |acc, (&ai, &si)| acc.wrapping_add(ai.wrapping_mul(si)));
+        let e = gaussian_torus(noise_std, rng);
+        Self { b: dot.wrapping_add(mu).wrapping_add(e), a }
+    }
+
+    /// Convenience constructor reading noise parameters from `params`.
+    pub fn encrypt_with_params<R: Rng + ?Sized>(
+        mu: u32,
+        key: &LweKey,
+        params: &TfheParams,
+        rng: &mut R,
+    ) -> Self {
+        Self::encrypt(mu, key, params.lwe_noise_std, rng)
+    }
+
+    /// The noisy phase `b - <a, s>` (message plus noise).
+    pub fn phase(&self, key: &LweKey) -> u32 {
+        let dot = self
+            .a
+            .iter()
+            .zip(&key.bits)
+            .fold(0u32, |acc, (&ai, &si)| acc.wrapping_add(ai.wrapping_mul(si)));
+        self.b.wrapping_sub(dot)
+    }
+
+    /// Ciphertext dimension.
+    pub fn dim(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Homomorphic addition.
+    pub fn add(&self, other: &Self) -> Self {
+        assert_eq!(self.dim(), other.dim(), "LWE dimension mismatch");
+        Self {
+            a: self.a.iter().zip(&other.a).map(|(&x, &y)| x.wrapping_add(y)).collect(),
+            b: self.b.wrapping_add(other.b),
+        }
+    }
+
+    /// Homomorphic subtraction.
+    pub fn sub(&self, other: &Self) -> Self {
+        assert_eq!(self.dim(), other.dim(), "LWE dimension mismatch");
+        Self {
+            a: self.a.iter().zip(&other.a).map(|(&x, &y)| x.wrapping_sub(y)).collect(),
+            b: self.b.wrapping_sub(other.b),
+        }
+    }
+
+    /// Homomorphic negation.
+    pub fn neg(&self) -> Self {
+        Self {
+            a: self.a.iter().map(|&x| x.wrapping_neg()).collect(),
+            b: self.b.wrapping_neg(),
+        }
+    }
+
+    /// Multiplies the ciphertext by a small integer constant.
+    pub fn scale(&self, k: u32) -> Self {
+        Self {
+            a: self.a.iter().map(|&x| x.wrapping_mul(k)).collect(),
+            b: self.b.wrapping_mul(k),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::torus::{decode_bit, encode_bit};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (TfheParams, LweKey, StdRng) {
+        let p = crate::params::TfheParams::fast_insecure_test();
+        let mut rng = StdRng::seed_from_u64(9);
+        let key = LweKey::generate(p.lwe_dim, &mut rng);
+        (p, key, rng)
+    }
+
+    #[test]
+    fn encrypt_phase_roundtrip() {
+        let (p, key, mut rng) = setup();
+        for bit in [true, false] {
+            let ct = LweCiphertext::encrypt_with_params(encode_bit(bit), &key, &p, &mut rng);
+            assert_eq!(decode_bit(ct.phase(&key)), bit);
+        }
+    }
+
+    #[test]
+    fn linear_homomorphism() {
+        let (p, key, mut rng) = setup();
+        let x = LweCiphertext::encrypt(1 << 28, &key, p.lwe_noise_std, &mut rng);
+        let y = LweCiphertext::encrypt(1 << 27, &key, p.lwe_noise_std, &mut rng);
+        let sum_phase = x.add(&y).phase(&key) as i64;
+        let expect = (1i64 << 28) + (1 << 27);
+        assert!((sum_phase - expect).abs() < 1 << 16);
+        let diff_phase = x.sub(&y).phase(&key) as i64;
+        assert!((diff_phase - (1i64 << 27)).abs() < 1 << 16);
+    }
+
+    #[test]
+    fn negation_flips_bit() {
+        let (p, key, mut rng) = setup();
+        let ct = LweCiphertext::encrypt_with_params(encode_bit(true), &key, &p, &mut rng);
+        assert!(!decode_bit(ct.neg().phase(&key)));
+    }
+
+    #[test]
+    fn trivial_has_exact_phase() {
+        let ct = LweCiphertext::trivial(12345, 8);
+        let key = LweKey::from_bits(vec![1; 8]);
+        assert_eq!(ct.phase(&key), 12345);
+    }
+
+    #[test]
+    fn scale_doubles_phase() {
+        let (p, key, mut rng) = setup();
+        let ct = LweCiphertext::encrypt(1 << 26, &key, p.lwe_noise_std, &mut rng);
+        let phase = ct.scale(2).phase(&key) as i64;
+        assert!((phase - (1i64 << 27)).abs() < 1 << 16);
+    }
+}

@@ -1,0 +1,144 @@
+//! TFHE parameter sets.
+//!
+//! The paper's Boolean baseline (Aziz et al. \[17\], Pradel et al. \[33\])
+//! encrypts every database/query bit individually under TFHE and evaluates
+//! XNOR/AND gates with per-gate bootstrapping. These parameters mirror the
+//! classic TFHE gate-bootstrapping instantiation (LWE dimension 630, ring
+//! dimension 1024, base-2^7 three-level gadget), with noise chosen to keep
+//! the decryption-failure probability negligible for reproducible tests.
+
+/// Static parameters of a TFHE instantiation.
+#[derive(Debug, Clone)]
+pub struct TfheParams {
+    /// LWE dimension `n` (ciphertext vector length).
+    pub lwe_dim: usize,
+    /// Standard deviation of fresh LWE noise, as a fraction of the torus.
+    pub lwe_noise_std: f64,
+    /// Ring dimension `N` (power of two) for RLWE/RGSW.
+    pub rlwe_dim: usize,
+    /// Standard deviation of RLWE noise, as a fraction of the torus.
+    pub rlwe_noise_std: f64,
+    /// log2 of the gadget base `Bg` used in the bootstrapping key.
+    pub decomp_base_log: u32,
+    /// Number of gadget levels `l`.
+    pub decomp_levels: usize,
+    /// log2 of the key-switching base.
+    pub ks_base_log: u32,
+    /// Number of key-switching levels `t`.
+    pub ks_levels: usize,
+    /// Preset name.
+    pub name: &'static str,
+}
+
+impl TfheParams {
+    /// TFHE-lib-class gate bootstrapping parameters (`n = 630`, `N = 1024`,
+    /// `Bg = 2^7`, `l = 3`, key switch base `2^2` with 8 levels).
+    ///
+    /// Noise levels favour correctness margin; see DESIGN.md for the
+    /// security caveat.
+    pub fn boolean_default() -> Self {
+        Self {
+            lwe_dim: 630,
+            lwe_noise_std: 2f64.powi(-17),
+            rlwe_dim: 1024,
+            rlwe_noise_std: 2f64.powi(-25),
+            decomp_base_log: 7,
+            decomp_levels: 3,
+            ks_base_log: 2,
+            ks_levels: 8,
+            name: "boolean_default",
+        }
+    }
+
+    /// Tiny, fast, **insecure** parameters for unit tests; every gate still
+    /// exercises the full bootstrap pipeline.
+    pub fn fast_insecure_test() -> Self {
+        Self {
+            lwe_dim: 8,
+            lwe_noise_std: 2f64.powi(-30),
+            rlwe_dim: 256,
+            rlwe_noise_std: 2f64.powi(-30),
+            decomp_base_log: 8,
+            decomp_levels: 2,
+            ks_base_log: 4,
+            ks_levels: 4,
+            name: "fast_insecure_test",
+        }
+    }
+
+    /// Medium parameters: noticeably faster than [`Self::boolean_default`]
+    /// while keeping a realistic bootstrap structure; used by integration
+    /// tests that run dozens of gates.
+    pub fn medium_insecure_test() -> Self {
+        Self {
+            lwe_dim: 64,
+            lwe_noise_std: 2f64.powi(-25),
+            rlwe_dim: 512,
+            rlwe_noise_std: 2f64.powi(-28),
+            decomp_base_log: 7,
+            decomp_levels: 3,
+            ks_base_log: 3,
+            ks_levels: 6,
+            name: "medium_insecure_test",
+        }
+    }
+
+    /// The gadget base `Bg`.
+    pub fn decomp_base(&self) -> u32 {
+        1 << self.decomp_base_log
+    }
+
+    /// Serialized size of one LWE ciphertext in bytes (`(n + 1)` u32 words)
+    /// — the per-bit footprint behind the paper's ">200x" Boolean blow-up
+    /// observation (§3.1).
+    pub fn lwe_ciphertext_bytes(&self) -> usize {
+        (self.lwe_dim + 1) * 4
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gadget would exceed the 32-bit torus or the ring
+    /// dimension is not a power of two.
+    pub fn validate(&self) {
+        assert!(self.rlwe_dim.is_power_of_two(), "rlwe_dim must be a power of two");
+        assert!(
+            self.decomp_base_log * self.decomp_levels as u32 <= 32,
+            "gadget exceeds torus precision"
+        );
+        assert!(
+            self.ks_base_log * self.ks_levels as u32 <= 32,
+            "key-switch gadget exceeds torus precision"
+        );
+        assert!(self.lwe_dim >= 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        TfheParams::boolean_default().validate();
+        TfheParams::fast_insecure_test().validate();
+        TfheParams::medium_insecure_test().validate();
+    }
+
+    #[test]
+    fn boolean_blowup_exceeds_200x() {
+        // One plaintext bit becomes an (n+1)-word LWE ciphertext: the
+        // Boolean approach's memory blow-up (paper §3.1 reports >200x).
+        let p = TfheParams::boolean_default();
+        let bits_per_ct = p.lwe_ciphertext_bytes() * 8;
+        assert!(bits_per_ct > 200, "blow-up only {bits_per_ct}x");
+    }
+
+    #[test]
+    fn gadget_fits_torus() {
+        let p = TfheParams::boolean_default();
+        assert!(p.decomp_base_log * p.decomp_levels as u32 <= 32);
+        assert_eq!(p.decomp_base(), 128);
+    }
+}

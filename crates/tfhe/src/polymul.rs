@@ -1,0 +1,147 @@
+//! Exact negacyclic multiplication of torus polynomials.
+//!
+//! Blind rotation multiplies small signed digit polynomials (|d| ≤ Bg/2)
+//! by `u32` torus polynomials. The exact integer convolution is bounded by
+//! `N * (Bg/2) * 2^32 < 2^50`, so a single NTT modulo a 62-bit prime
+//! computes it exactly; the result is then wrapped back to the `2^32`
+//! torus.
+
+use cm_hemath::{find_ntt_prime, Modulus, NttTable};
+
+/// NTT machinery for exact products wrapped to the `u32` torus.
+#[derive(Debug)]
+pub struct PolyMulContext {
+    n: usize,
+    p: Modulus,
+    ntt: NttTable,
+}
+
+impl PolyMulContext {
+    /// Builds a context for ring dimension `n`.
+    pub fn new(n: usize) -> Self {
+        let p = Modulus::new(find_ntt_prime(62, n));
+        let ntt = NttTable::new(p, n);
+        Self { n, p, ntt }
+    }
+
+    /// Ring dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Lifts a `u32` torus polynomial into NTT domain mod `p`.
+    pub fn forward_u32(&self, poly: &[u32]) -> Vec<u64> {
+        assert_eq!(poly.len(), self.n);
+        let mut v: Vec<u64> = poly.iter().map(|&c| c as u64).collect();
+        self.ntt.forward(&mut v);
+        v
+    }
+
+    /// Lifts a signed digit polynomial into NTT domain mod `p`.
+    pub fn forward_i32(&self, poly: &[i32]) -> Vec<u64> {
+        assert_eq!(poly.len(), self.n);
+        let mut v: Vec<u64> = poly.iter().map(|&c| self.p.from_signed(c as i64)).collect();
+        self.ntt.forward(&mut v);
+        v
+    }
+
+    /// Allocates a zeroed NTT-domain accumulator.
+    pub fn zero_acc(&self) -> Vec<u64> {
+        vec![0u64; self.n]
+    }
+
+    /// `acc += x * y` point-wise in NTT domain.
+    pub fn mul_acc(&self, x: &[u64], y: &[u64], acc: &mut [u64]) {
+        self.ntt.pointwise_acc(x, y, acc);
+    }
+
+    /// Inverse-transforms an accumulator and wraps each exact integer
+    /// coefficient onto the `u32` torus.
+    ///
+    /// Correct as long as the true integer magnitudes stay below `p/2`
+    /// (guaranteed by the gadget bounds; see module docs).
+    pub fn inverse_to_torus(&self, acc: &mut [u64]) -> Vec<u32> {
+        self.ntt.inverse(acc);
+        acc.iter().map(|&c| self.p.center(c) as u32).collect()
+    }
+
+    /// One-shot product of a signed digit polynomial and a torus polynomial.
+    pub fn mul_i32_u32(&self, d: &[i32], t: &[u32]) -> Vec<u32> {
+        let fd = self.forward_i32(d);
+        let ft = self.forward_u32(t);
+        let mut acc = self.zero_acc();
+        self.mul_acc(&fd, &ft, &mut acc);
+        self.inverse_to_torus(&mut acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference schoolbook negacyclic product wrapped to u32.
+    fn schoolbook(d: &[i32], t: &[u32]) -> Vec<u32> {
+        let n = d.len();
+        let mut out = vec![0i64; n];
+        for (i, &di) in d.iter().enumerate() {
+            for (j, &tj) in t.iter().enumerate() {
+                let prod = di as i64 * tj as i64;
+                let k = i + j;
+                if k < n {
+                    out[k] = out[k].wrapping_add(prod);
+                } else {
+                    out[k - n] = out[k - n].wrapping_sub(prod);
+                }
+            }
+        }
+        out.iter().map(|&c| c as u32).collect()
+    }
+
+    #[test]
+    fn exact_product_matches_schoolbook() {
+        let ctx = PolyMulContext::new(64);
+        let d: Vec<i32> = (0..64).map(|i| ((i * 13) % 129) - 64).collect();
+        let t: Vec<u32> = (0..64u32).map(|i| i.wrapping_mul(0x9E3779B9)).collect();
+        assert_eq!(ctx.mul_i32_u32(&d, &t), schoolbook(&d, &t));
+    }
+
+    #[test]
+    fn identity_digit_polynomial() {
+        let ctx = PolyMulContext::new(16);
+        let mut d = vec![0i32; 16];
+        d[0] = 1;
+        let t: Vec<u32> = (0..16u32).map(|i| i.wrapping_mul(0xDEADBEEF)).collect();
+        assert_eq!(ctx.mul_i32_u32(&d, &t), t);
+    }
+
+    #[test]
+    fn negative_digit_negates() {
+        let ctx = PolyMulContext::new(16);
+        let mut d = vec![0i32; 16];
+        d[0] = -1;
+        let t: Vec<u32> = (1..17u32).collect();
+        let got = ctx.mul_i32_u32(&d, &t);
+        let expect: Vec<u32> = t.iter().map(|&x| x.wrapping_neg()).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn accumulation_is_linear() {
+        let ctx = PolyMulContext::new(32);
+        let d1: Vec<i32> = (0..32).map(|i| (i % 7) - 3).collect();
+        let d2: Vec<i32> = (0..32).map(|i| (i % 5) - 2).collect();
+        let t: Vec<u32> = (0..32u32).map(|i| i.wrapping_mul(77777)).collect();
+        // (d1 + d2) * t == d1*t + d2*t on the torus.
+        let lhs = {
+            let sum: Vec<i32> = d1.iter().zip(&d2).map(|(&x, &y)| x + y).collect();
+            ctx.mul_i32_u32(&sum, &t)
+        };
+        let rhs: Vec<u32> = ctx
+            .mul_i32_u32(&d1, &t)
+            .iter()
+            .zip(ctx.mul_i32_u32(&d2, &t))
+            .map(|(&x, y)| x.wrapping_add(y))
+            .collect();
+        assert_eq!(lhs, rhs);
+    }
+}

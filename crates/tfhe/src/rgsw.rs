@@ -1,0 +1,226 @@
+//! RGSW ciphertexts, gadget decomposition, external products and CMux.
+//!
+//! The bootstrapping key encrypts each LWE key bit as an RGSW ciphertext.
+//! The external product `RGSW(s) ⊡ RLWE(m)` yields `RLWE(s * m)`, and
+//! `CMux` selects between two accumulators under an encrypted bit — the
+//! core step of blind rotation.
+
+use rand::Rng;
+
+use crate::params::TfheParams;
+use crate::polymul::PolyMulContext;
+use crate::rlwe::{RlweCiphertext, RlweKey};
+
+/// Signed gadget decomposition of a torus polynomial.
+///
+/// Returns `levels` digit polynomials with entries in `[-Bg/2, Bg/2]` such
+/// that `sum_j d_j * 2^(32 - (j+1) * base_log) ≈ p` coefficient-wise (error
+/// at most `2^(32 - levels*base_log - 1)`).
+pub(crate) fn decompose_poly(p: &[u32], base_log: u32, levels: usize) -> Vec<Vec<i32>> {
+    let n = p.len();
+    let bg = 1u64 << base_log;
+    let half = bg / 2;
+    let total = base_log * levels as u32;
+    debug_assert!(total <= 32);
+    let rounding = if total < 32 { 1u32 << (32 - total - 1) } else { 0 };
+    let mut out = vec![vec![0i32; n]; levels];
+    for (idx, &c) in p.iter().enumerate() {
+        let mut v = if total < 32 {
+            (c.wrapping_add(rounding) >> (32 - total)) as u64
+        } else {
+            c as u64
+        };
+        for j in (0..levels).rev() {
+            let mut d = (v & (bg - 1)) as i64;
+            v >>= base_log;
+            if d >= half as i64 {
+                d -= bg as i64;
+                v += 1;
+            }
+            out[j][idx] = d as i32;
+        }
+        // Any leftover carry contributes a multiple of 2^32 == 0 on the torus.
+    }
+    out
+}
+
+/// Recombines digit polynomials (test helper / reference).
+#[cfg(test)]
+pub(crate) fn recompose_poly(digits: &[Vec<i32>], base_log: u32) -> Vec<u32> {
+    let n = digits[0].len();
+    let mut out = vec![0u32; n];
+    for (j, d) in digits.iter().enumerate() {
+        let shift = 32 - (j as u32 + 1) * base_log;
+        for (o, &di) in out.iter_mut().zip(d) {
+            *o = o.wrapping_add((di as u32).wrapping_shl(shift));
+        }
+    }
+    out
+}
+
+/// An RGSW ciphertext stored in NTT domain for fast external products.
+///
+/// Layout: `rows_a[j]` is `RLWE(0) + (s * g_j, 0)` and `rows_b[j]` is
+/// `RLWE(0) + (0, s * g_j)` where `g_j = 2^(32 - (j+1) base_log)` and `s`
+/// is the encrypted bit.
+#[derive(Debug, Clone)]
+pub struct Rgsw {
+    rows_a: Vec<NttRow>,
+    rows_b: Vec<NttRow>,
+}
+
+#[derive(Debug, Clone)]
+struct NttRow {
+    a: Vec<u64>,
+    b: Vec<u64>,
+}
+
+impl Rgsw {
+    /// Encrypts the bit `s` as an RGSW ciphertext under the ring key.
+    pub fn encrypt_bit<R: Rng + ?Sized>(
+        s: u32,
+        key: &RlweKey,
+        params: &TfheParams,
+        ctx: &PolyMulContext,
+        rng: &mut R,
+    ) -> Self {
+        assert!(s <= 1, "RGSW bootstrap encryption expects a bit");
+        let n = key.dim();
+        let zero = vec![0u32; n];
+        let make_row = |target_a: bool, j: usize, rng: &mut R| -> NttRow {
+            let mut ct = RlweCiphertext::encrypt(&zero, key, params.rlwe_noise_std, ctx, rng);
+            let g = 1u32 << (32 - (j as u32 + 1) * params.decomp_base_log);
+            let add = s.wrapping_mul(g);
+            if target_a {
+                ct.a[0] = ct.a[0].wrapping_add(add);
+            } else {
+                ct.b[0] = ct.b[0].wrapping_add(add);
+            }
+            NttRow { a: ctx.forward_u32(&ct.a), b: ctx.forward_u32(&ct.b) }
+        };
+        let rows_a = (0..params.decomp_levels).map(|j| make_row(true, j, rng)).collect();
+        let rows_b = (0..params.decomp_levels).map(|j| make_row(false, j, rng)).collect();
+        Self { rows_a, rows_b }
+    }
+
+    /// External product `self ⊡ c`: if `self` encrypts bit `s`, the result
+    /// is an RLWE encryption of `s * phase(c)` (plus managed noise).
+    pub fn external_product(
+        &self,
+        c: &RlweCiphertext,
+        params: &TfheParams,
+        ctx: &PolyMulContext,
+    ) -> RlweCiphertext {
+        let da = decompose_poly(&c.a, params.decomp_base_log, params.decomp_levels);
+        let db = decompose_poly(&c.b, params.decomp_base_log, params.decomp_levels);
+        let mut acc_a = ctx.zero_acc();
+        let mut acc_b = ctx.zero_acc();
+        for (d, row) in da.iter().zip(&self.rows_a).chain(db.iter().zip(&self.rows_b)) {
+            let d_ntt = ctx.forward_i32(d);
+            ctx.mul_acc(&d_ntt, &row.a, &mut acc_a);
+            ctx.mul_acc(&d_ntt, &row.b, &mut acc_b);
+        }
+        RlweCiphertext {
+            a: ctx.inverse_to_torus(&mut acc_a),
+            b: ctx.inverse_to_torus(&mut acc_b),
+        }
+    }
+
+    /// `CMux`: returns (an encryption of) `d1` if the RGSW bit is 1, else
+    /// `d0`: `d0 + s ⊡ (d1 - d0)`.
+    pub fn cmux(
+        &self,
+        d0: &RlweCiphertext,
+        d1: &RlweCiphertext,
+        params: &TfheParams,
+        ctx: &PolyMulContext,
+    ) -> RlweCiphertext {
+        let diff = d1.sub(d0);
+        d0.add(&self.external_product(&diff, params, ctx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params() -> TfheParams {
+        let mut p = TfheParams::fast_insecure_test();
+        p.rlwe_dim = 64;
+        p
+    }
+
+    fn setup() -> (TfheParams, RlweKey, PolyMulContext, StdRng) {
+        let p = params();
+        let mut rng = StdRng::seed_from_u64(31);
+        let ctx = PolyMulContext::new(p.rlwe_dim);
+        let key = RlweKey::generate(p.rlwe_dim, &mut rng);
+        (p, key, ctx, rng)
+    }
+
+    #[test]
+    fn decomposition_approximates_input() {
+        let p: Vec<u32> = (0..16u32).map(|i| i.wrapping_mul(0x9E3779B9)).collect();
+        for (bl, l) in [(8u32, 2usize), (7, 3), (4, 8)] {
+            let digits = decompose_poly(&p, bl, l);
+            assert!(digits
+                .iter()
+                .all(|d| d.iter().all(|&x| x >= -(1 << (bl - 1)) && x <= 1 << (bl - 1))));
+            let rec = recompose_poly(&digits, bl);
+            let max_err = 1u32 << (32 - bl * l as u32);
+            for (&r, &orig) in rec.iter().zip(&p) {
+                let err = (r.wrapping_sub(orig) as i32).unsigned_abs();
+                assert!(err <= max_err, "err {err} > {max_err} (bl={bl}, l={l})");
+            }
+        }
+    }
+
+    #[test]
+    fn external_product_by_one_preserves_phase() {
+        let (p, key, ctx, mut rng) = setup();
+        let rgsw = Rgsw::encrypt_bit(1, &key, &p, &ctx, &mut rng);
+        let m: Vec<u32> = (0..64).map(|i| if i % 2 == 0 { 1u32 << 29 } else { 0 }).collect();
+        let c = RlweCiphertext::encrypt(&m, &key, p.rlwe_noise_std, &ctx, &mut rng);
+        let out = rgsw.external_product(&c, &p, &ctx);
+        let phase = out.phase(&key, &ctx);
+        for (i, (&ph, &mi)) in phase.iter().zip(&m).enumerate() {
+            let err = (ph.wrapping_sub(mi) as i32).unsigned_abs();
+            assert!(err < 1 << 24, "coeff {i}: err {err}");
+        }
+    }
+
+    #[test]
+    fn external_product_by_zero_kills_message() {
+        let (p, key, ctx, mut rng) = setup();
+        let rgsw = Rgsw::encrypt_bit(0, &key, &p, &ctx, &mut rng);
+        let m: Vec<u32> = vec![1 << 29; 64];
+        let c = RlweCiphertext::encrypt(&m, &key, p.rlwe_noise_std, &ctx, &mut rng);
+        let out = rgsw.external_product(&c, &p, &ctx);
+        let phase = out.phase(&key, &ctx);
+        for (i, &ph) in phase.iter().enumerate() {
+            let err = (ph as i32).unsigned_abs();
+            assert!(err < 1 << 24, "coeff {i}: |phase| {err} should be ~0");
+        }
+    }
+
+    #[test]
+    fn cmux_selects_by_bit() {
+        let (p, key, ctx, mut rng) = setup();
+        let m0: Vec<u32> = vec![0; 64];
+        let m1: Vec<u32> = vec![1 << 29; 64];
+        let d0 = RlweCiphertext::encrypt(&m0, &key, p.rlwe_noise_std, &ctx, &mut rng);
+        let d1 = RlweCiphertext::encrypt(&m1, &key, p.rlwe_noise_std, &ctx, &mut rng);
+        for bit in [0u32, 1] {
+            let rgsw = Rgsw::encrypt_bit(bit, &key, &p, &ctx, &mut rng);
+            let out = rgsw.cmux(&d0, &d1, &p, &ctx);
+            let phase = out.phase(&key, &ctx);
+            let expect = if bit == 1 { 1u32 << 29 } else { 0 };
+            for &ph in &phase {
+                let err = (ph.wrapping_sub(expect) as i32).unsigned_abs();
+                assert!(err < 1 << 25, "bit={bit}: err {err}");
+            }
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! RLWE ("TLWE") ciphertexts over torus polynomials.
+//!
+//! The blind-rotation accumulator is an RLWE ciphertext `(a, b)` with
+//! `b = a * z + m + e` over `T_N[x] = T[x]/(x^N + 1)`. Sample extraction
+//! turns coefficient 0 of an RLWE phase into an `N`-dimensional LWE
+//! ciphertext under the ring key's coefficient vector.
+
+use rand::Rng;
+
+use crate::lwe::{LweCiphertext, LweKey};
+use crate::polymul::PolyMulContext;
+use crate::torus::{gaussian_torus, mul_monomial, poly_add, poly_sub};
+
+/// A binary RLWE secret key (polynomial with 0/1 coefficients).
+#[derive(Debug, Clone)]
+pub struct RlweKey {
+    pub(crate) coeffs: Vec<u32>,
+}
+
+impl RlweKey {
+    /// Samples a fresh binary ring key of dimension `n`.
+    pub fn generate<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        Self { coeffs: (0..n).map(|_| rng.gen_range(0..=1u32)).collect() }
+    }
+
+    /// Ring dimension.
+    pub fn dim(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Reinterprets the ring key as an `N`-dimensional LWE key (the key
+    /// under which sample-extracted ciphertexts live).
+    pub fn as_lwe_key(&self) -> LweKey {
+        LweKey::from_bits(self.coeffs.clone())
+    }
+}
+
+/// An RLWE ciphertext `(a, b)`, `b = a z + m + e`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RlweCiphertext {
+    pub(crate) a: Vec<u32>,
+    pub(crate) b: Vec<u32>,
+}
+
+impl RlweCiphertext {
+    /// The trivial encryption of a message polynomial (zero mask, no noise).
+    pub fn trivial(m: Vec<u32>) -> Self {
+        let n = m.len();
+        Self { a: vec![0; n], b: m }
+    }
+
+    /// Encrypts a torus message polynomial under `key`.
+    pub fn encrypt<R: Rng + ?Sized>(
+        m: &[u32],
+        key: &RlweKey,
+        noise_std: f64,
+        ctx: &PolyMulContext,
+        rng: &mut R,
+    ) -> Self {
+        let n = key.dim();
+        assert_eq!(m.len(), n);
+        let a: Vec<u32> = (0..n).map(|_| rng.gen::<u32>()).collect();
+        let az = ring_mul_u32(ctx, &a, &key.coeffs);
+        let b: Vec<u32> = az
+            .iter()
+            .zip(m)
+            .map(|(&azi, &mi)| {
+                azi.wrapping_add(mi).wrapping_add(gaussian_torus(noise_std, rng))
+            })
+            .collect();
+        Self { a, b }
+    }
+
+    /// The noisy phase polynomial `b - a z`.
+    pub fn phase(&self, key: &RlweKey, ctx: &PolyMulContext) -> Vec<u32> {
+        let az = ring_mul_u32(ctx, &self.a, &key.coeffs);
+        poly_sub(&self.b, &az)
+    }
+
+    /// Ring dimension.
+    pub fn dim(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Component-wise addition.
+    pub fn add(&self, other: &Self) -> Self {
+        Self { a: poly_add(&self.a, &other.a), b: poly_add(&self.b, &other.b) }
+    }
+
+    /// Component-wise subtraction.
+    pub fn sub(&self, other: &Self) -> Self {
+        Self { a: poly_sub(&self.a, &other.a), b: poly_sub(&self.b, &other.b) }
+    }
+
+    /// Multiplies both components by the monomial `x^e` (`e` in `[0, 2N)`).
+    pub fn mul_monomial(&self, e: usize) -> Self {
+        Self { a: mul_monomial(&self.a, e), b: mul_monomial(&self.b, e) }
+    }
+
+    /// Extracts coefficient 0 of the phase as an `N`-dimensional LWE
+    /// ciphertext under [`RlweKey::as_lwe_key`].
+    pub fn sample_extract(&self) -> LweCiphertext {
+        let n = self.dim();
+        let mut a = vec![0u32; n];
+        a[0] = self.a[0];
+        for (j, slot) in a.iter_mut().enumerate().skip(1) {
+            *slot = self.a[n - j].wrapping_neg();
+        }
+        LweCiphertext { a, b: self.b[0] }
+    }
+}
+
+/// Negacyclic product of a `u32` polynomial with a binary key polynomial
+/// (binary fits the signed-digit fast path: values 0/1).
+pub(crate) fn ring_mul_u32(ctx: &PolyMulContext, a: &[u32], key_bits: &[u32]) -> Vec<u32> {
+    let d: Vec<i32> = key_bits.iter().map(|&b| b as i32).collect();
+    ctx.mul_i32_u32(&d, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::torus::{decode_bit, encode_bit};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const N: usize = 64;
+
+    fn setup() -> (RlweKey, PolyMulContext, StdRng) {
+        let mut rng = StdRng::seed_from_u64(21);
+        let ctx = PolyMulContext::new(N);
+        let key = RlweKey::generate(N, &mut rng);
+        (key, ctx, rng)
+    }
+
+    #[test]
+    fn encrypt_phase_roundtrip() {
+        let (key, ctx, mut rng) = setup();
+        let m: Vec<u32> = (0..N).map(|i| encode_bit(i % 3 == 0)).collect();
+        let ct = RlweCiphertext::encrypt(&m, &key, 2f64.powi(-30), &ctx, &mut rng);
+        let phase = ct.phase(&key, &ctx);
+        for (i, (&p, &mi)) in phase.iter().zip(&m).enumerate() {
+            let err = (p.wrapping_sub(mi) as i32).unsigned_abs();
+            assert!(err < 1 << 16, "coefficient {i} error {err}");
+        }
+    }
+
+    #[test]
+    fn trivial_phase_is_message() {
+        let (key, ctx, _) = setup();
+        let m: Vec<u32> = (0..N as u32).map(|i| i * 1000).collect();
+        let ct = RlweCiphertext::trivial(m.clone());
+        assert_eq!(ct.phase(&key, &ctx), m);
+    }
+
+    #[test]
+    fn add_sub_are_homomorphic() {
+        let (key, ctx, mut rng) = setup();
+        let m1: Vec<u32> = vec![1 << 28; N];
+        let m2: Vec<u32> = vec![1 << 27; N];
+        let c1 = RlweCiphertext::encrypt(&m1, &key, 2f64.powi(-30), &ctx, &mut rng);
+        let c2 = RlweCiphertext::encrypt(&m2, &key, 2f64.powi(-30), &ctx, &mut rng);
+        let sum_phase = c1.add(&c2).phase(&key, &ctx);
+        for &p in &sum_phase {
+            let err = (p.wrapping_sub((1 << 28) + (1 << 27)) as i32).unsigned_abs();
+            assert!(err < 1 << 16);
+        }
+        let diff_phase = c1.sub(&c2).phase(&key, &ctx);
+        for &p in &diff_phase {
+            let err = (p.wrapping_sub(1 << 27) as i32).unsigned_abs();
+            assert!(err < 1 << 16);
+        }
+    }
+
+    #[test]
+    fn monomial_rotation_commutes_with_phase() {
+        let (key, ctx, mut rng) = setup();
+        let m: Vec<u32> = (0..N as u32).map(|i| i << 20).collect();
+        let ct = RlweCiphertext::encrypt(&m, &key, 0.0, &ctx, &mut rng);
+        let e = 5usize;
+        let rotated_phase = ct.mul_monomial(e).phase(&key, &ctx);
+        let phase_rotated = mul_monomial(&ct.phase(&key, &ctx), e);
+        assert_eq!(rotated_phase, phase_rotated);
+    }
+
+    #[test]
+    fn sample_extract_reads_coefficient_zero() {
+        let (key, ctx, mut rng) = setup();
+        let mut m = vec![0u32; N];
+        m[0] = encode_bit(true);
+        m[3] = encode_bit(false);
+        let ct = RlweCiphertext::encrypt(&m, &key, 2f64.powi(-30), &ctx, &mut rng);
+        let lwe = ct.sample_extract();
+        let lwe_key = key.as_lwe_key();
+        assert!(decode_bit(lwe.phase(&lwe_key)));
+        // Rotating x^{-3} brings coefficient 3 (false) into position 0.
+        let lwe3 = ct.mul_monomial(2 * N - 3).sample_extract();
+        assert!(!decode_bit(lwe3.phase(&lwe_key)));
+    }
+}

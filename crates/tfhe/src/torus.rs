@@ -1,0 +1,144 @@
+//! The discretized torus `T = Z_{2^32}` and negacyclic `u32` polynomials.
+//!
+//! TFHE represents torus elements as `u32` values (the real torus `[0,1)`
+//! scaled by `2^32`), so all linear arithmetic is exact wrapping `u32`
+//! arithmetic. Polynomials over the torus live in `T[x]/(x^N + 1)`.
+
+use rand::Rng;
+
+/// The canonical `1/8` torus constant used to encode `true`.
+pub const EIGHTH: u32 = 1 << 29;
+
+/// Encodes a bit as `±1/8` on the torus.
+#[inline]
+pub fn encode_bit(b: bool) -> u32 {
+    if b {
+        EIGHTH
+    } else {
+        EIGHTH.wrapping_neg()
+    }
+}
+
+/// Decodes a torus phase to a bit by its sign (positive half -> `true`).
+#[inline]
+pub fn decode_bit(phase: u32) -> bool {
+    (phase as i32) > 0
+}
+
+/// Samples a rounded-Gaussian torus element with standard deviation
+/// `std` (given as a fraction of the torus).
+pub fn gaussian_torus<R: Rng + ?Sized>(std: f64, rng: &mut R) -> u32 {
+    if std == 0.0 {
+        return 0;
+    }
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    let scaled = z * std * 4294967296.0;
+    (scaled.round() as i64) as u32
+}
+
+/// Multiplies a negacyclic `u32` polynomial by the monomial `x^e`
+/// (`e` in `[0, 2N)`; exponents in `[N, 2N)` flip signs).
+pub fn mul_monomial(p: &[u32], e: usize) -> Vec<u32> {
+    let n = p.len();
+    let e = e % (2 * n);
+    let mut out = vec![0u32; n];
+    for (i, &c) in p.iter().enumerate() {
+        let j = i + e;
+        let wrapped = (j / n) % 2 == 1;
+        let idx = j % n;
+        out[idx] = if wrapped { c.wrapping_neg() } else { c };
+    }
+    out
+}
+
+/// Element-wise wrapping addition of `u32` polynomials.
+pub fn poly_add(a: &[u32], b: &[u32]) -> Vec<u32> {
+    a.iter().zip(b).map(|(&x, &y)| x.wrapping_add(y)).collect()
+}
+
+/// Element-wise wrapping subtraction of `u32` polynomials.
+pub fn poly_sub(a: &[u32], b: &[u32]) -> Vec<u32> {
+    a.iter().zip(b).map(|(&x, &y)| x.wrapping_sub(y)).collect()
+}
+
+/// Rounds a torus element to a multiple of `1/(2N)`, returning the index in
+/// `[0, 2N)` — the rescaling step of blind rotation.
+#[inline]
+pub fn round_to_2n(x: u32, n: usize) -> usize {
+    let two_n = 2 * n as u64;
+    (((x as u64 * two_n + (1 << 31)) >> 32) % two_n) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bit_encoding_roundtrip() {
+        assert!(decode_bit(encode_bit(true)));
+        assert!(!decode_bit(encode_bit(false)));
+    }
+
+    #[test]
+    fn decode_tolerates_noise() {
+        let noise = 1 << 20; // far below 1/8 = 2^29
+        assert!(decode_bit(encode_bit(true).wrapping_add(noise)));
+        assert!(decode_bit(encode_bit(true).wrapping_sub(noise)));
+        assert!(!decode_bit(encode_bit(false).wrapping_add(noise)));
+    }
+
+    #[test]
+    fn monomial_rotation_signs() {
+        let p = vec![1u32, 2, 3, 4];
+        // x^1: coefficients shift up, top wraps negated.
+        assert_eq!(mul_monomial(&p, 1), vec![4u32.wrapping_neg(), 1, 2, 3]);
+        // x^N = -1.
+        assert_eq!(
+            mul_monomial(&p, 4),
+            vec![1u32.wrapping_neg(), 2u32.wrapping_neg(), 3u32.wrapping_neg(), 4u32.wrapping_neg()]
+        );
+        // x^2N = identity.
+        assert_eq!(mul_monomial(&p, 8), p);
+    }
+
+    #[test]
+    fn monomial_rotation_composes() {
+        let p = vec![5u32, 0, 7, 9];
+        let once = mul_monomial(&mul_monomial(&p, 3), 6);
+        assert_eq!(once, mul_monomial(&p, 9 % 8));
+    }
+
+    #[test]
+    fn round_to_2n_boundaries() {
+        let n = 512;
+        assert_eq!(round_to_2n(0, n), 0);
+        // 1/2 of the torus -> N.
+        assert_eq!(round_to_2n(1 << 31, n), n);
+        // Just below a rounding boundary stays put.
+        let step = (1u64 << 32) / (2 * n as u64);
+        assert_eq!(round_to_2n((step as u32) / 2 - 1, n), 0);
+        assert_eq!(round_to_2n(step as u32, n), 1);
+    }
+
+    #[test]
+    fn gaussian_zero_std_is_zero() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(gaussian_torus(0.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn gaussian_std_scales() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let std = 2f64.powi(-20);
+        let samples: Vec<i32> = (0..20_000).map(|_| gaussian_torus(std, &mut rng) as i32).collect();
+        let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>()
+            / samples.len() as f64;
+        let expect = std * 4294967296.0;
+        assert!((var.sqrt() - expect).abs() / expect < 0.1);
+    }
+}

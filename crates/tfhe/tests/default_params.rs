@@ -1,0 +1,24 @@
+//! Gate correctness under the realistic `boolean_default` parameter set
+//! (n = 630, N = 1024). These run the full-size bootstrap, so they are
+//! compiled-for-speed integration tests rather than unit tests; run with
+//! `cargo test --release -p cm-tfhe` for realistic timings.
+
+use cm_tfhe::{ClientKey, ServerKey, TfheParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn default_params_gates_are_correct() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let client = ClientKey::generate(TfheParams::boolean_default(), &mut rng);
+    let server = ServerKey::generate(&client, &mut rng);
+    for a in [false, true] {
+        for b in [false, true] {
+            let ea = client.encrypt(a, &mut rng);
+            let eb = client.encrypt(b, &mut rng);
+            assert_eq!(client.decrypt(&server.xnor(&ea, &eb)), !(a ^ b), "XNOR {a} {b}");
+            assert_eq!(client.decrypt(&server.and(&ea, &eb)), a & b, "AND {a} {b}");
+        }
+    }
+    assert_eq!(server.bootstrap_count(), 8);
+}

@@ -1,0 +1,100 @@
+//! Property-based tests of the TFHE substrate: LWE linear homomorphism,
+//! gate correctness over random circuits, and bootstrap idempotence.
+
+use cm_tfhe::{decode_bit, encode_bit, ClientKey, LweCiphertext, LweKey, ServerKey, TfheParams};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn lwe_linear_combinations_track_phases(
+        seed in 0u64..500,
+        m1 in any::<u32>(),
+        m2 in any::<u32>(),
+    ) {
+        let p = TfheParams::fast_insecure_test();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let key = LweKey::generate(p.lwe_dim, &mut rng);
+        let c1 = LweCiphertext::encrypt(m1, &key, p.lwe_noise_std, &mut rng);
+        let c2 = LweCiphertext::encrypt(m2, &key, p.lwe_noise_std, &mut rng);
+        let tol = 1i64 << 14;
+        let check = |ct: &LweCiphertext, expect: u32| {
+            let err = (ct.phase(&key).wrapping_sub(expect) as i32 as i64).abs();
+            err < tol
+        };
+        prop_assert!(check(&c1.add(&c2), m1.wrapping_add(m2)));
+        prop_assert!(check(&c1.sub(&c2), m1.wrapping_sub(m2)));
+        prop_assert!(check(&c1.neg(), m1.wrapping_neg()));
+        prop_assert!(check(&c1.scale(3), m1.wrapping_mul(3)));
+    }
+
+    #[test]
+    fn random_two_level_circuits_are_correct(
+        bits in prop::collection::vec(any::<bool>(), 4),
+        ops in prop::collection::vec(0u8..6, 3),
+    ) {
+        // Evaluate a random 2-level circuit homomorphically and in clear.
+        let mut rng = StdRng::seed_from_u64(777);
+        let ck = ClientKey::generate(TfheParams::fast_insecure_test(), &mut rng);
+        let sk = ServerKey::generate(&ck, &mut rng);
+        let cts = ck.encrypt_bits(&bits, &mut rng);
+        let apply = |op: u8, a: bool, b: bool| match op {
+            0 => a & b,
+            1 => a | b,
+            2 => a ^ b,
+            3 => !(a & b),
+            4 => !(a | b),
+            _ => !(a ^ b),
+        };
+        let apply_ct = |op: u8, a: &cm_tfhe::BitCiphertext, b: &cm_tfhe::BitCiphertext| match op {
+            0 => sk.and(a, b),
+            1 => sk.or(a, b),
+            2 => sk.xor(a, b),
+            3 => sk.nand(a, b),
+            4 => sk.nor(a, b),
+            _ => sk.xnor(a, b),
+        };
+        let l1a = apply(ops[0], bits[0], bits[1]);
+        let l1b = apply(ops[1], bits[2], bits[3]);
+        let out = apply(ops[2], l1a, l1b);
+        let e1a = apply_ct(ops[0], &cts[0], &cts[1]);
+        let e1b = apply_ct(ops[1], &cts[2], &cts[3]);
+        let eout = apply_ct(ops[2], &e1a, &e1b);
+        prop_assert_eq!(ck.decrypt(&eout), out);
+    }
+}
+
+#[test]
+fn encoding_is_sign_symmetric() {
+    assert_eq!(encode_bit(true).wrapping_neg(), encode_bit(false));
+    assert!(decode_bit(encode_bit(true)));
+    assert!(!decode_bit(encode_bit(false)));
+}
+
+#[test]
+fn long_gate_chain_survives_noise() {
+    // 20 chained gates: bootstrapping must keep the noise bounded
+    // regardless of depth (the Boolean approach's "arbitrary number of
+    // computations" property, §2.2).
+    let mut rng = StdRng::seed_from_u64(4242);
+    let ck = ClientKey::generate(TfheParams::fast_insecure_test(), &mut rng);
+    let sk = ServerKey::generate(&ck, &mut rng);
+    let mut acc = ck.encrypt(true, &mut rng);
+    let mut expect = true;
+    for i in 0..20 {
+        let b = i % 3 == 0;
+        let eb = ck.encrypt(b, &mut rng);
+        if i % 2 == 0 {
+            acc = sk.xnor(&acc, &eb);
+            expect = !(expect ^ b);
+        } else {
+            acc = sk.and(&acc, &eb);
+            expect &= b;
+        }
+        assert_eq!(ck.decrypt(&acc), expect, "diverged at gate {i}");
+    }
+    assert_eq!(sk.bootstrap_count(), 20);
+}

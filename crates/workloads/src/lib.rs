@@ -1,0 +1,225 @@
+#![warn(missing_docs)]
+
+//! # cm-workloads
+//!
+//! Synthetic workload generators for the two case studies of §5.3:
+//!
+//! 1. **Exact DNA string matching** — a reference genome over `ACGT`
+//!    (2 bits per base) and reads sampled from it (with optional
+//!    mismatches), query sizes 16–256 bits (8–128 base pairs).
+//! 2. **Encrypted database search** — a key-value store flattened to a
+//!    binary record stream, with fixed-width keys and point queries.
+
+use rand::Rng;
+
+/// A synthetic DNA genome (2-bit encoded bases).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnaGenome {
+    bases: Vec<u8>, // 0..4 = ACGT
+}
+
+const BASES: [char; 4] = ['A', 'C', 'G', 'T'];
+
+impl DnaGenome {
+    /// Samples a uniform random genome of `len` bases.
+    pub fn random<R: Rng + ?Sized>(len: usize, rng: &mut R) -> Self {
+        Self { bases: (0..len).map(|_| rng.gen_range(0..4u8)).collect() }
+    }
+
+    /// Number of bases.
+    pub fn len(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// True if the genome is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bases.is_empty()
+    }
+
+    /// The genome as an `ACGT` string.
+    pub fn to_string_seq(&self) -> String {
+        self.bases.iter().map(|&b| BASES[b as usize]).collect()
+    }
+
+    /// Extracts the read starting at base `start` of `len` bases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn read(&self, start: usize, len: usize) -> String {
+        self.bases[start..start + len].iter().map(|&b| BASES[b as usize]).collect()
+    }
+
+    /// Samples a read of `len` bases from a random position, returning
+    /// `(read, position)`. With `mismatches > 0`, that many bases are
+    /// corrupted (for negative-control queries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds the genome length.
+    pub fn sample_read<R: Rng + ?Sized>(
+        &self,
+        len: usize,
+        mismatches: usize,
+        rng: &mut R,
+    ) -> (String, usize) {
+        assert!(len <= self.bases.len(), "read longer than genome");
+        let start = rng.gen_range(0..=self.bases.len() - len);
+        let mut read: Vec<u8> = self.bases[start..start + len].to_vec();
+        for _ in 0..mismatches {
+            let pos = rng.gen_range(0..len);
+            read[pos] = (read[pos] + rng.gen_range(1..4u8)) % 4;
+        }
+        (read.iter().map(|&b| BASES[b as usize]).collect(), start)
+    }
+}
+
+/// A synthetic key-value database with fixed-width ASCII keys
+/// (the encrypted-database-search case study).
+#[derive(Debug, Clone)]
+pub struct KvDatabase {
+    /// Key width in bytes.
+    pub key_bytes: usize,
+    /// Value width in bytes.
+    pub value_bytes: usize,
+    records: Vec<(String, String)>,
+}
+
+impl KvDatabase {
+    /// Generates `records` random records with the given key/value widths.
+    /// Keys are unique alphanumeric ASCII strings.
+    pub fn random<R: Rng + ?Sized>(
+        records: usize,
+        key_bytes: usize,
+        value_bytes: usize,
+        rng: &mut R,
+    ) -> Self {
+        const ALPHA: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+        let mut recs = Vec::with_capacity(records);
+        let mut seen = std::collections::HashSet::new();
+        while recs.len() < records {
+            let key: String =
+                (0..key_bytes).map(|_| ALPHA[rng.gen_range(0..ALPHA.len())] as char).collect();
+            if !seen.insert(key.clone()) {
+                continue;
+            }
+            let value: String =
+                (0..value_bytes).map(|_| ALPHA[rng.gen_range(0..ALPHA.len())] as char).collect();
+            recs.push((key, value));
+        }
+        Self { key_bytes, value_bytes, records: recs }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if the database has no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The records.
+    pub fn records(&self) -> &[(String, String)] {
+        &self.records
+    }
+
+    /// Flattens the database into the binary record stream the server
+    /// stores (key then value per record — Algorithm 1 line 1).
+    pub fn flatten(&self) -> String {
+        let mut s = String::with_capacity(self.len() * (self.key_bytes + self.value_bytes));
+        for (k, v) in &self.records {
+            s.push_str(k);
+            s.push_str(v);
+        }
+        s
+    }
+
+    /// Record width in bytes.
+    pub fn record_bytes(&self) -> usize {
+        self.key_bytes + self.value_bytes
+    }
+
+    /// Picks `count` existing keys as queries.
+    pub fn sample_queries<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) -> Vec<String> {
+        (0..count)
+            .map(|_| self.records[rng.gen_range(0..self.records.len())].0.clone())
+            .collect()
+    }
+
+    /// The byte offset at which `key`'s record starts, if present.
+    pub fn find_record(&self, key: &str) -> Option<usize> {
+        self.records
+            .iter()
+            .position(|(k, _)| k == key)
+            .map(|i| i * self.record_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn genome_reads_match_source() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = DnaGenome::random(1000, &mut rng);
+        assert_eq!(g.len(), 1000);
+        let (read, pos) = g.sample_read(50, 0, &mut rng);
+        assert_eq!(read, g.read(pos, 50));
+        assert!(read.chars().all(|c| "ACGT".contains(c)));
+    }
+
+    #[test]
+    fn mismatched_reads_differ() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = DnaGenome::random(500, &mut rng);
+        let (read, pos) = g.sample_read(40, 3, &mut rng);
+        assert_ne!(read, g.read(pos, 40), "mismatches must corrupt the read");
+    }
+
+    #[test]
+    fn genome_string_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = DnaGenome::random(64, &mut rng);
+        let s = g.to_string_seq();
+        assert_eq!(s.len(), 64);
+        assert_eq!(g.read(0, 64), s);
+    }
+
+    #[test]
+    fn kv_database_structure() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let db = KvDatabase::random(100, 8, 24, &mut rng);
+        assert_eq!(db.len(), 100);
+        assert_eq!(db.record_bytes(), 32);
+        let flat = db.flatten();
+        assert_eq!(flat.len(), 3200);
+        // Every record's key appears at its record offset.
+        for (i, (k, _)) in db.records().iter().enumerate() {
+            assert_eq!(&flat[i * 32..i * 32 + 8], k);
+            assert_eq!(db.find_record(k), Some(i * 32));
+        }
+    }
+
+    #[test]
+    fn kv_keys_are_unique() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let db = KvDatabase::random(500, 6, 10, &mut rng);
+        let keys: std::collections::HashSet<_> =
+            db.records().iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys.len(), 500);
+    }
+
+    #[test]
+    fn queries_come_from_database() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let db = KvDatabase::random(50, 4, 4, &mut rng);
+        for q in db.sample_queries(20, &mut rng) {
+            assert!(db.find_record(&q).is_some());
+        }
+    }
+}

@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! # ciphermatch
+//!
+//! A from-scratch Rust reproduction of **CIPHERMATCH** (Kabra et al.,
+//! ASPLOS 2025): homomorphic-encryption-based secure exact string matching
+//! accelerated by memory-efficient data packing and in-flash processing.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`hemath`] — modular arithmetic, negacyclic NTT, polynomial rings;
+//! * [`bfv`] — the BFV scheme (Hom-Add, Hom-Mul, rotations, batching);
+//! * [`tfhe`] — TFHE-style Boolean FHE with gate bootstrapping (the
+//!   Boolean baseline's substrate);
+//! * [`core`] — the CIPHERMATCH algorithm, its baselines and the
+//!   client–server protocol;
+//! * [`flash`] / [`ssd`] — the 3D NAND + SSD simulators with the `bop_add`
+//!   in-flash adder and `CM-search` command;
+//! * [`pum`] — the SIMDRAM-style processing-using-memory model;
+//! * [`sim`] — the analytical models reproducing the paper's figures;
+//! * [`workloads`] — DNA and key-value workload generators;
+//! * [`aes`] — the AES engine for secure index transmission.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cm_bfv::{BfvContext, BfvParams};
+//! use cm_core::{BitString, Client, Server};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let ctx = BfvContext::new(BfvParams::insecure_test_add());
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let client = Client::new(&ctx, &mut rng);
+//! let data = BitString::from_ascii("secure string matching in storage");
+//! let mut server = Server::new(&ctx, client.encrypt_database(&data, &mut rng));
+//! server.install_index_generator(client.delegate_index_generation());
+//! let query = client.prepare_query(&BitString::from_ascii("string"), &mut rng);
+//! assert_eq!(server.search_indices(&query), vec![7 * 8]);
+//! ```
+
+pub use cm_aes as aes;
+pub use cm_bfv as bfv;
+pub use cm_core as core;
+pub use cm_flash as flash;
+pub use cm_hemath as hemath;
+pub use cm_pum as pum;
+pub use cm_sim as sim;
+pub use cm_ssd as ssd;
+pub use cm_tfhe as tfhe;
+pub use cm_workloads as workloads;
