@@ -2,7 +2,9 @@
 //! data transposition, the PuM adder and the AES index channel.
 
 use cm_aes::Aes;
-use cm_flash::{bop_add, store_words_vertical, words_to_bitplanes, FlashArray, FlashGeometry, PlaneAddr};
+use cm_flash::{
+    bop_add, store_words_vertical, words_to_bitplanes, FlashArray, FlashGeometry, PlaneAddr,
+};
 use cm_pum::PumArray;
 use cm_ssd::{TransposeMode, TranspositionUnit};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
@@ -12,8 +14,14 @@ fn bench_bop_add(c: &mut Criterion) {
     let geometry = FlashGeometry::tiny_test();
     let width = geometry.page_bits();
     let mut flash = FlashArray::new(geometry);
-    let plane = PlaneAddr { channel: 0, die: 0, plane: 0 };
-    let a: Vec<u32> = (0..width as u32).map(|i| i.wrapping_mul(2654435761)).collect();
+    let plane = PlaneAddr {
+        channel: 0,
+        die: 0,
+        plane: 0,
+    };
+    let a: Vec<u32> = (0..width as u32)
+        .map(|i| i.wrapping_mul(2654435761))
+        .collect();
     store_words_vertical(&mut flash, plane, 0, 0, &a);
     let b_planes = words_to_bitplanes(&vec![0xDEADBEEF; width], 32);
     let mut group = c.benchmark_group("flash");
@@ -53,8 +61,16 @@ fn bench_aes(c: &mut Criterion) {
     let aes = Aes::new_256(&[7u8; 32]);
     let block = [0xA5u8; 16];
     // The §7.2 index-encryption engine, per 16-byte block.
-    c.bench_function("aes256_block", |b| b.iter(|| aes.encrypt_block(black_box(&block))));
+    c.bench_function("aes256_block", |b| {
+        b.iter(|| aes.encrypt_block(black_box(&block)))
+    });
 }
 
-criterion_group!(benches, bench_bop_add, bench_transposition, bench_pum_adder, bench_aes);
+criterion_group!(
+    benches,
+    bench_bop_add,
+    bench_transposition,
+    bench_pum_adder,
+    bench_aes
+);
 criterion_main!(benches);

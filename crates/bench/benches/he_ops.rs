@@ -32,7 +32,9 @@ fn bench_bfv_ops(c: &mut Criterion) {
     let x = f.encryptor().encrypt(&coder.encode(&[1, 2, 3]), &mut rng);
     let y = f.encryptor().encrypt(&coder.encode(&[4, 5, 6]), &mut rng);
     // The hot loop of CM-SW: Hom-Add on the paper's n=1024/32-bit params.
-    c.bench_function("hom_add_1024_q32", |b| b.iter(|| ev.add(black_box(&x), black_box(&y))));
+    c.bench_function("hom_add_1024_q32", |b| {
+        b.iter(|| ev.add(black_box(&x), black_box(&y)))
+    });
     c.bench_function("encrypt_1024_q32", |b| {
         b.iter(|| f.encryptor().encrypt(&coder.encode(&[7]), &mut rng))
     });
@@ -60,7 +62,9 @@ fn bench_bfv_ops(c: &mut Criterion) {
     group.bench_function("relinearize_2048_q56", |b| {
         b.iter(|| ev2.relinearize(black_box(&prod), &rk))
     });
-    group.bench_function("hom_add_2048_q56", |b| b.iter(|| ev2.add(black_box(&a), black_box(&bb))));
+    group.bench_function("hom_add_2048_q56", |b| {
+        b.iter(|| ev2.add(black_box(&a), black_box(&bb)))
+    });
     group.finish();
 }
 

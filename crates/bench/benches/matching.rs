@@ -41,9 +41,7 @@ fn bench_yasuda_block(c: &mut Criterion) {
     group.sample_size(10);
     // One block = 2 Hom-Mul + 3 Hom-Add + decrypt (Fig. 2c's unit).
     group.bench_function("hd_block_2048b", |b| {
-        b.iter(|| {
-            engine.find_all(&enc, &dec, black_box(&db), black_box(&query), &mut rng)
-        })
+        b.iter(|| engine.find_all(&enc, &dec, black_box(&db), black_box(&query), &mut rng))
     });
     group.finish();
 }

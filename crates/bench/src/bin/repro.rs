@@ -178,7 +178,10 @@ fn fig2b() {
             fmt_time(t_server),
         );
     }
-    println!("(* Boolean projected from a measured bootstrap: {}/gate)", fmt_time(t_gate));
+    println!(
+        "(* Boolean projected from a measured bootstrap: {}/gate)",
+        fmt_time(t_gate)
+    );
 }
 
 /// Fig. 2c: measured latency breakdown of the arithmetic approach.
@@ -216,9 +219,18 @@ fn profiles() -> [(&'static str, CalibrationProfile); 2] {
 /// Fig. 3: normalized transfer latency.
 fn fig3_out() {
     let c = SystemConstants::paper_default();
-    println!("{:<10} {:>8} {:>8} {:>8} (normalized to CPU = 100)", "DB", "CPU", "DRAM", "Storage");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} (normalized to CPU = 100)",
+        "DB", "CPU", "DRAM", "Storage"
+    );
     for r in fig3(&c) {
-        println!("{:<10} {:>8.1} {:>8.1} {:>8.1}", format!("{} GB", r.db_gb), r.cpu, r.dram, r.storage);
+        println!(
+            "{:<10} {:>8.1} {:>8.1} {:>8.1}",
+            format!("{} GB", r.db_gb),
+            r.cpu,
+            r.dram,
+            r.storage
+        );
     }
     println!("(paper Fig. 3: storage saves >80%, 94% at 256 GB; DRAM benefit shrinks)");
 }
@@ -228,7 +240,10 @@ fn fig7_out() {
     let c = SystemConstants::paper_default();
     for (name, cal) in profiles() {
         println!("--- calibration: {name} ---");
-        println!("{:<8} {:>18} {:>18} {:>18}", "Query", "Arith/Boolean", "CM-SW/Boolean", "CM-SW/Arith");
+        println!(
+            "{:<8} {:>18} {:>18} {:>18}",
+            "Query", "Arith/Boolean", "CM-SW/Boolean", "CM-SW/Arith"
+        );
         for r in fig7(&c, &cal) {
             println!(
                 "{:<8} {:>18.3e} {:>18.3e} {:>18.1}",
@@ -247,7 +262,10 @@ fn fig8_out() {
     let c = SystemConstants::paper_default();
     for (name, cal) in profiles() {
         println!("--- calibration: {name} ---");
-        println!("{:<8} {:>18} {:>18} {:>18}", "Query", "Arith/Boolean", "CM-SW/Boolean", "CM-SW/Arith");
+        println!(
+            "{:<8} {:>18} {:>18} {:>18}",
+            "Query", "Arith/Boolean", "CM-SW/Boolean", "CM-SW/Arith"
+        );
         for r in fig8(&c, &cal) {
             println!(
                 "{:<8} {:>18.3e} {:>18.3e} {:>18.1}",
@@ -266,7 +284,10 @@ fn fig9_out() {
     let c = SystemConstants::paper_default();
     for (name, cal) in profiles() {
         println!("--- calibration: {name} ---");
-        println!("{:<8} {:>18} {:>18} {:>18}", "DB", "Arith/Boolean", "CM-SW/Boolean", "CM-SW/Arith");
+        println!(
+            "{:<8} {:>18} {:>18} {:>18}",
+            "DB", "Arith/Boolean", "CM-SW/Boolean", "CM-SW/Arith"
+        );
         for r in fig9(&c, &cal) {
             println!(
                 "{:<8} {:>18.3e} {:>18.3e} {:>18.1}",
@@ -281,9 +302,15 @@ fn fig9_out() {
 }
 
 fn hw_table(rows: &[cm_sim::HwSweepRow], xlabel: &str) {
-    println!("{:<10} {:>12} {:>12} {:>12}", xlabel, "CM-PuM", "CM-PuM-SSD", "CM-IFP");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        xlabel, "CM-PuM", "CM-PuM-SSD", "CM-IFP"
+    );
     for r in rows {
-        println!("{:<10} {:>12.1} {:>12.1} {:>12.1}", r.x, r.pum, r.pum_ssd, r.ifp);
+        println!(
+            "{:<10} {:>12.1} {:>12.1} {:>12.1}",
+            r.x, r.pum, r.pum_ssd, r.ifp
+        );
     }
 }
 
@@ -320,7 +347,10 @@ fn fig12_out() {
 /// Table 2: the real-system configuration this reproduction models.
 fn table2() {
     let h = HostProfile::paper_table2();
-    println!("CPU      : {} ({} cores @ {} GHz)", h.cpu, h.cores, h.clock_ghz);
+    println!(
+        "CPU      : {} ({} cores @ {} GHz)",
+        h.cpu, h.cores, h.clock_ghz
+    );
     println!("Caches   : {}", h.caches);
     println!("Memory   : {}", h.memory);
     println!("Storage  : {}", h.storage);
@@ -331,20 +361,42 @@ fn table2() {
 fn table3() {
     let c = SystemConstants::paper_default();
     let g = &c.geometry;
-    println!("NAND     : {} ch x {} dies x {} planes; {} blocks/plane; {} WL/block; {} B pages",
-        g.channels, g.dies_per_channel, g.planes_per_die, g.blocks_per_plane,
-        g.wordlines_per_block, g.page_bytes);
-    println!("Bandwidth: PCIe {} GB/s | NAND {} GB/s total | DRAM {} GB/s",
-        c.pcie_bw / 1e9, c.nand_bw() / 1e9, c.dram_bw / 1e9);
-    println!("Latency  : T_read {} | T_AND/OR {} | T_latch {} | T_XOR {} | T_DMA {}",
-        fmt_time(c.flash_t.t_read_slc), fmt_time(c.flash_t.t_and_or),
-        fmt_time(c.flash_t.t_latch_transfer), fmt_time(c.flash_t.t_xor),
-        fmt_time(c.flash_t.t_dma));
-    println!("Eq. 10   : T_bop_add = {} (paper: 22.74 us implied)", fmt_time(c.flash_t.t_bop_add()));
-    println!("Eq. 9    : T_bit_add = {} (paper: 29.38 us)", fmt_time(c.flash_t.t_bit_add()));
+    println!(
+        "NAND     : {} ch x {} dies x {} planes; {} blocks/plane; {} WL/block; {} B pages",
+        g.channels,
+        g.dies_per_channel,
+        g.planes_per_die,
+        g.blocks_per_plane,
+        g.wordlines_per_block,
+        g.page_bytes
+    );
+    println!(
+        "Bandwidth: PCIe {} GB/s | NAND {} GB/s total | DRAM {} GB/s",
+        c.pcie_bw / 1e9,
+        c.nand_bw() / 1e9,
+        c.dram_bw / 1e9
+    );
+    println!(
+        "Latency  : T_read {} | T_AND/OR {} | T_latch {} | T_XOR {} | T_DMA {}",
+        fmt_time(c.flash_t.t_read_slc),
+        fmt_time(c.flash_t.t_and_or),
+        fmt_time(c.flash_t.t_latch_transfer),
+        fmt_time(c.flash_t.t_xor),
+        fmt_time(c.flash_t.t_dma)
+    );
+    println!(
+        "Eq. 10   : T_bop_add = {} (paper: 22.74 us implied)",
+        fmt_time(c.flash_t.t_bop_add())
+    );
+    println!(
+        "Eq. 9    : T_bit_add = {} (paper: 29.38 us)",
+        fmt_time(c.flash_t.t_bit_add())
+    );
     let page_kb = g.page_bytes as f64 / 1024.0;
-    println!("Eq. 11   : E_bit_add = {:.2} uJ/channel (paper: 32.22 uJ; see EXPERIMENTS.md)",
-        c.flash_e.e_bit_add(page_kb) * 1e6);
+    println!(
+        "Eq. 11   : E_bit_add = {:.2} uJ/channel (paper: 32.22 uJ; see EXPERIMENTS.md)",
+        c.flash_e.e_bit_add(page_kb) * 1e6
+    );
     println!("PuM      : T_bbop 49 ns, E_bbop 0.864 nJ; ext 4ch x 16 banks x 8 KiB rows; int 1ch x 8 x 4 KiB");
 }
 
@@ -425,7 +477,10 @@ fn ablation() {
     // (c) Transposition ablation (§7.1): software vs hardware unit against
     // the two flash read speeds.
     println!("--- transposition ablation (per 4 KiB) ---");
-    for (name, lat) in [("software (controller)", 13.6e-6), ("hardware (22 nm unit)", 158e-9)] {
+    for (name, lat) in [
+        ("software (controller)", 13.6e-6),
+        ("hardware (22 nm unit)", 158e-9),
+    ] {
         let hides_slc = lat < 22.5e-6;
         let hides_znand = lat < 3e-6;
         println!(
@@ -457,21 +512,33 @@ fn sensitivity() {
     let c = SystemConstants::paper_default();
     let base = CalibrationProfile::paper_rates();
     println!("--- pum_active_fraction sweep (4 crossover claims) ---");
-    println!("{:<10} {:>12} {:>12} {:>12} {:>12}", "fraction", "IFP@k=16", "PuM@k=256", "PuM@8GB", "IFP@128GB");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12}",
+        "fraction", "IFP@k=16", "PuM@k=256", "PuM@8GB", "IFP@128GB"
+    );
     for o in sweep_pum_fraction(&c, &base) {
         println!(
             "{:<10} {:>12} {:>12} {:>12} {:>12}",
-            o.knob, o.ifp_wins_small_queries, o.pum_wins_large_queries,
-            o.pum_wins_small_db, o.ifp_wins_large_db
+            o.knob,
+            o.ifp_wins_small_queries,
+            o.pum_wins_large_queries,
+            o.pum_wins_small_db,
+            o.ifp_wins_large_db
         );
     }
     println!("--- CM-SW Hom-Add rate sweep (orderings must be invariant) ---");
-    println!("{:<10} {:>12} {:>12} {:>12} {:>12}", "t_add (s)", "IFP@k=16", "PuM@k=256", "PuM@8GB", "IFP@128GB");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12}",
+        "t_add (s)", "IFP@k=16", "PuM@k=256", "PuM@8GB", "IFP@128GB"
+    );
     for o in sweep_cmsw_rate(&c, &base) {
         println!(
             "{:<10.1e} {:>12} {:>12} {:>12} {:>12}",
-            o.knob, o.ifp_wins_small_queries, o.pum_wins_large_queries,
-            o.pum_wins_small_db, o.ifp_wins_large_db
+            o.knob,
+            o.ifp_wins_small_queries,
+            o.pum_wins_large_queries,
+            o.pum_wins_small_db,
+            o.ifp_wins_large_db
         );
     }
     println!("(the DB-capacity crossover is physics; the query-size crossover is calibration)");
@@ -491,7 +558,10 @@ fn case_studies() {
     let genome_bits = cm_core::BitString::from_dna(&genome.to_string_seq());
     let mut engine = CiphermatchEngine::new(&f.ctx);
     let db = engine.encrypt_database(&enc, &genome_bits, &mut rng);
-    println!("{:<10} {:>12} {:>10} {:>10}", "Read", "Search", "HomAdds", "Found");
+    println!(
+        "{:<10} {:>12} {:>10} {:>10}",
+        "Read", "Search", "HomAdds", "Found"
+    );
     for bases in [8usize, 16, 32, 64, 128] {
         let (read, pos) = genome.sample_read(bases, 0, &mut rng);
         let read_bits = cm_core::BitString::from_dna(&read);

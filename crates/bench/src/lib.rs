@@ -65,7 +65,9 @@ pub fn random_bits(len: usize, seed: u64) -> BitString {
     let mut s = seed | 1;
     let bits: Vec<bool> = (0..len)
         .map(|_| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 62) & 1 == 1
         })
         .collect();

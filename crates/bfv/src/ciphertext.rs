@@ -19,7 +19,9 @@ impl Plaintext {
 
     /// The zero plaintext of degree `n`.
     pub fn zero(n: usize) -> Self {
-        Self { poly: Poly::zero(n) }
+        Self {
+            poly: Poly::zero(n),
+        }
     }
 
     /// Borrows the underlying polynomial.

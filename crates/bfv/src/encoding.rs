@@ -21,7 +21,10 @@ pub struct CoefficientEncoder {
 impl CoefficientEncoder {
     /// Creates a coefficient encoder for the context.
     pub fn new(ctx: &BfvContext) -> Self {
-        Self { n: ctx.params().n, t: ctx.params().t }
+        Self {
+            n: ctx.params().n,
+            t: ctx.params().t,
+        }
     }
 
     /// Encodes up to `n` values (each reduced mod `t`) as coefficients;
@@ -85,7 +88,12 @@ impl BatchEncoder {
             index_map[n / 2 + i] = bit_reverse(idx2, logn);
             pos = pos * 3 % m;
         }
-        Self { n, t: modulus, ntt, index_map }
+        Self {
+            n,
+            t: modulus,
+            ntt,
+            index_map,
+        }
     }
 
     /// Number of slots (equals `n`).
@@ -134,7 +142,9 @@ mod tests {
     fn batch_encoder_roundtrip() {
         let ctx = BfvContext::new(BfvParams::insecure_test_batch());
         let enc = BatchEncoder::new(&ctx);
-        let values: Vec<u64> = (0..enc.slot_count() as u64).map(|i| i * 31 % 7681).collect();
+        let values: Vec<u64> = (0..enc.slot_count() as u64)
+            .map(|i| i * 31 % 7681)
+            .collect();
         let pt = enc.encode(&values);
         assert_eq!(enc.decode(&pt), values);
     }

@@ -82,7 +82,10 @@ impl<'a> KeyGenerator<'a> {
     /// Samples a fresh secret key.
     pub fn new<R: Rng + ?Sized>(ctx: &'a BfvContext, rng: &mut R) -> Self {
         let s = ternary_poly(ctx.rq(), rng);
-        Self { ctx, sk: SecretKey { s } }
+        Self {
+            ctx,
+            sk: SecretKey { s },
+        }
     }
 
     /// Recreates a generator around an existing secret key (used to derive
@@ -138,7 +141,9 @@ impl<'a> KeyGenerator<'a> {
     /// Generates the relinearization key (`s^2 -> s`).
     pub fn relin_key<R: Rng + ?Sized>(&self, rng: &mut R) -> RelinKey {
         let s2 = self.ctx.rq().mul(&self.sk.s, &self.sk.s);
-        RelinKey { ksw: self.ksw_key(&s2, rng) }
+        RelinKey {
+            ksw: self.ksw_key(&s2, rng),
+        }
     }
 
     /// Generates Galois keys for the given elements (`g` odd).

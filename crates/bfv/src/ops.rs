@@ -96,12 +96,13 @@ impl<'a> SymmetricEncryptor<'a> {
         rng: &mut R,
     ) -> SeededCiphertext {
         use rand::SeedableRng;
-        let a = cm_hemath::uniform_poly(
-            self.ctx.rq(),
-            &mut rand::rngs::StdRng::seed_from_u64(seed),
-        );
+        let a =
+            cm_hemath::uniform_poly(self.ctx.rq(), &mut rand::rngs::StdRng::seed_from_u64(seed));
         let ct = self.encrypt_with_mask(pt, a, rng);
-        SeededCiphertext { c0: ct.part(0).clone(), seed }
+        SeededCiphertext {
+            c0: ct.part(0).clone(),
+            seed,
+        }
     }
 
     fn encrypt_with_mask<R: Rng + ?Sized>(
@@ -137,7 +138,8 @@ impl SeededCiphertext {
     /// mask from the seed.
     pub fn expand(&self, ctx: &BfvContext) -> Ciphertext {
         use rand::SeedableRng;
-        let a = cm_hemath::uniform_poly(ctx.rq(), &mut rand::rngs::StdRng::seed_from_u64(self.seed));
+        let a =
+            cm_hemath::uniform_poly(ctx.rq(), &mut rand::rngs::StdRng::seed_from_u64(self.seed));
         Ciphertext::from_parts(vec![self.c0.clone(), a])
     }
 
@@ -279,7 +281,9 @@ impl Evaluator {
     /// Panics if the iterator is empty.
     pub fn add_many<'c>(&self, cts: impl IntoIterator<Item = &'c Ciphertext>) -> Ciphertext {
         let mut iter = cts.into_iter();
-        let first = iter.next().expect("add_many requires at least one ciphertext");
+        let first = iter
+            .next()
+            .expect("add_many requires at least one ciphertext");
         iter.fold(first.clone(), |acc, ct| self.add(&acc, ct))
     }
 
@@ -333,7 +337,10 @@ impl Evaluator {
     ///
     /// Panics if either operand has size ≠ 2 (relinearize first).
     pub fn multiply(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
-        assert!(a.size() == 2 && b.size() == 2, "multiply expects size-2 inputs");
+        assert!(
+            a.size() == 2 && b.size() == 2,
+            "multiply expects size-2 inputs"
+        );
         let rq = self.ctx.rq();
         let wide = self.ctx.wide();
         let c0 = rq.to_centered(a.part(0));
@@ -407,10 +414,7 @@ impl Evaluator {
         assert_eq!(ct.size(), 3, "relinearize expects a size-3 ciphertext");
         let rq = self.ctx.rq();
         let (k0, k1) = self.key_switch(ct.part(2), &rk.ksw);
-        Ciphertext::from_parts(vec![
-            rq.add(ct.part(0), &k0),
-            rq.add(ct.part(1), &k1),
-        ])
+        Ciphertext::from_parts(vec![rq.add(ct.part(0), &k0), rq.add(ct.part(1), &k1)])
     }
 
     /// Applies the Galois automorphism `x -> x^g` homomorphically.
@@ -464,10 +468,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn setup(
-        params: BfvParams,
-        seed: u64,
-    ) -> (BfvContext, SecretKey, PublicKey) {
+    fn setup(params: BfvParams, seed: u64) -> (BfvContext, SecretKey, PublicKey) {
         let ctx = BfvContext::new(params);
         let mut rng = StdRng::seed_from_u64(seed);
         let (sk, pk) = {
@@ -580,9 +581,21 @@ mod tests {
         let dec = Decryptor::new(&ctx, sk);
         let ev = Evaluator::new(&ctx);
         let ct = enc.encrypt(&pt_from(&ctx, &[40]), &mut rng);
-        assert_eq!(dec.decrypt(&ev.add_plain(&ct, &pt_from(&ctx, &[2]))).coeffs()[0], 42);
-        assert_eq!(dec.decrypt(&ev.sub_plain(&ct, &pt_from(&ctx, &[2]))).coeffs()[0], 38);
-        assert_eq!(dec.decrypt(&ev.mul_plain(&ct, &pt_from(&ctx, &[3]))).coeffs()[0], 120);
+        assert_eq!(
+            dec.decrypt(&ev.add_plain(&ct, &pt_from(&ctx, &[2])))
+                .coeffs()[0],
+            42
+        );
+        assert_eq!(
+            dec.decrypt(&ev.sub_plain(&ct, &pt_from(&ctx, &[2])))
+                .coeffs()[0],
+            38
+        );
+        assert_eq!(
+            dec.decrypt(&ev.mul_plain(&ct, &pt_from(&ctx, &[3])))
+                .coeffs()[0],
+            120
+        );
     }
 
     #[test]
@@ -632,7 +645,10 @@ mod tests {
         let sum = ev.add(&ct, &ct);
         let after = dec.invariant_noise_budget(&sum);
         assert!(fresh > 2.0, "fresh budget too small: {fresh}");
-        assert!(after >= fresh - 1.5, "one addition must cost at most ~1 bit");
+        assert!(
+            after >= fresh - 1.5,
+            "one addition must cost at most ~1 bit"
+        );
     }
 
     #[test]
@@ -650,6 +666,10 @@ mod tests {
         // sigma_3(x) = x^3.
         let got = dec.decrypt(&rotated);
         assert_eq!(got.coeffs()[3], 1);
-        assert!(got.coeffs().iter().enumerate().all(|(i, &c)| i == 3 || c == 0));
+        assert!(got
+            .coeffs()
+            .iter()
+            .enumerate()
+            .all(|(i, &c)| i == 3 || c == 0));
     }
 }

@@ -63,7 +63,11 @@ pub fn encode_ciphertext(ct: &Ciphertext, q_bits: u32) -> Bytes {
     buf.put_u8(q_bits as u8);
     buf.put_u16(0); // reserved
     buf.put_u32(n as u32);
-    let limit = if q_bits == 64 { u64::MAX } else { (1u64 << q_bits) - 1 };
+    let limit = if q_bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << q_bits) - 1
+    };
     for part in ct.parts() {
         for &c in part.coeffs() {
             assert!(c <= limit, "coefficient wider than q_bits");
@@ -104,7 +108,11 @@ pub fn decode_ciphertext(data: &[u8]) -> Result<Ciphertext, DecodeError> {
     if buf.remaining() != size * n * cb {
         return Err(DecodeError::Truncated);
     }
-    let limit = if q_bits == 64 { u64::MAX } else { (1u64 << q_bits) - 1 };
+    let limit = if q_bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << q_bits) - 1
+    };
     let mut parts = Vec::with_capacity(size);
     for _ in 0..size {
         let mut coeffs = Vec::with_capacity(n);
@@ -144,7 +152,10 @@ mod tests {
 
     #[test]
     fn roundtrip_is_exact() {
-        for params in [BfvParams::insecure_test_add(), BfvParams::insecure_test_mul()] {
+        for params in [
+            BfvParams::insecure_test_add(),
+            BfvParams::insecure_test_mul(),
+        ] {
             let (_, ct, q_bits) = sample_ct(params);
             let bytes = encode_ciphertext(&ct, q_bits);
             assert_eq!(decode_ciphertext(&bytes).unwrap(), ct);

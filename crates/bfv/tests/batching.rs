@@ -1,9 +1,7 @@
 //! End-to-end tests of SIMD batching: slot-wise arithmetic under
 //! encryption, row rotation and column swap.
 
-use cm_bfv::{
-    BatchEncoder, BfvContext, BfvParams, Decryptor, Encryptor, Evaluator, KeyGenerator,
-};
+use cm_bfv::{BatchEncoder, BfvContext, BfvParams, Decryptor, Encryptor, Evaluator, KeyGenerator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -13,7 +11,9 @@ struct Fixture {
 
 impl Fixture {
     fn new() -> Self {
-        Self { ctx: BfvContext::new(BfvParams::insecure_test_batch()) }
+        Self {
+            ctx: BfvContext::new(BfvParams::insecure_test_batch()),
+        }
     }
 }
 
@@ -53,8 +53,12 @@ fn batched_hom_mul_is_slotwise() {
     let coder = BatchEncoder::new(&f.ctx);
 
     let t = f.ctx.params().t;
-    let a: Vec<u64> = (0..coder.slot_count() as u64).map(|i| (i + 1) % t).collect();
-    let b: Vec<u64> = (0..coder.slot_count() as u64).map(|i| (2 * i + 3) % t).collect();
+    let a: Vec<u64> = (0..coder.slot_count() as u64)
+        .map(|i| (i + 1) % t)
+        .collect();
+    let b: Vec<u64> = (0..coder.slot_count() as u64)
+        .map(|i| (2 * i + 3) % t)
+        .collect();
     let prod = ev.relinearize(
         &ev.multiply(
             &enc.encrypt(&coder.encode(&a), &mut rng),
@@ -124,7 +128,11 @@ fn column_swap_exchanges_rows() {
     let ct = enc.encrypt(&coder.encode(&values), &mut rng);
     let swapped = ev.rotate_columns(&ct, &gk);
     let got = coder.decode(&dec.decrypt(&swapped));
-    let expect: Vec<u64> = values[half..].iter().chain(values[..half].iter()).copied().collect();
+    let expect: Vec<u64> = values[half..]
+        .iter()
+        .chain(values[..half].iter())
+        .copied()
+        .collect();
     assert_eq!(got, expect);
 }
 

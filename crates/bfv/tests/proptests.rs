@@ -110,7 +110,10 @@ fn noise_budget_decreases_monotonically_and_correctness_holds() {
             assert_eq!(dec.decrypt(&acc).coeffs()[0], i % t, "count wrong at {i}");
         }
     }
-    assert!(last_budget > 0.0, "200 additions must fit the paper-class budget");
+    assert!(
+        last_budget > 0.0,
+        "200 additions must fit the paper-class budget"
+    );
 }
 
 #[test]
@@ -132,7 +135,10 @@ fn deep_multiplication_exhausts_budget_gracefully() {
     let mut value = 3u64;
     let t = ctx.params().t;
     let fresh_budget = dec.invariant_noise_budget(&ct);
-    assert!(fresh_budget > 10.0, "fresh budget too small: {fresh_budget}");
+    assert!(
+        fresh_budget > 10.0,
+        "fresh budget too small: {fresh_budget}"
+    );
     let mut min_budget = fresh_budget;
     for round in 1..=6 {
         ct = ev.relinearize(&ev.multiply(&ct, &ct), &rk);
@@ -147,7 +153,11 @@ fn deep_multiplication_exhausts_budget_gracefully() {
         min_budget = min_budget.min(budget);
         // While comfortably inside the budget, results must be exact.
         if budget > 3.0 {
-            assert_eq!(dec.decrypt(&ct).coeffs()[0], value, "wrong at round {round}");
+            assert_eq!(
+                dec.decrypt(&ct).coeffs()[0],
+                value,
+                "wrong at round {round}"
+            );
         }
     }
     // A single-level parameter set cannot survive six squarings: the

@@ -19,7 +19,9 @@ impl BitString {
 
     /// Builds from a bool slice.
     pub fn from_bits(bits: &[bool]) -> Self {
-        Self { bits: bits.to_vec() }
+        Self {
+            bits: bits.to_vec(),
+        }
     }
 
     /// Builds from bytes, most-significant bit of each byte first.
@@ -103,7 +105,9 @@ impl BitString {
     ///
     /// Panics if the range is out of bounds.
     pub fn slice(&self, start: usize, len: usize) -> Self {
-        Self { bits: self.bits[start..start + len].to_vec() }
+        Self {
+            bits: self.bits[start..start + len].to_vec(),
+        }
     }
 
     /// The value of the `seg_bits`-wide segment `j`, most-significant bit
@@ -114,7 +118,11 @@ impl BitString {
         let mut v = 0u64;
         for b in 0..seg_bits {
             let idx = j * seg_bits + b;
-            let bit = if idx < self.bits.len() { self.bits[idx] } else { false };
+            let bit = if idx < self.bits.len() {
+                self.bits[idx]
+            } else {
+                false
+            };
             v = (v << 1) | bit as u64;
         }
         v

@@ -153,9 +153,11 @@ mod tests {
     #[test]
     fn no_false_positives_on_random_data() {
         // Pseudo-random DB, absent pattern.
-        let bytes: Vec<u8> = (0..64u32).map(|i| (i.wrapping_mul(197) ^ 0x5A) as u8).collect();
+        let bytes: Vec<u8> = (0..64u32)
+            .map(|i| (i.wrapping_mul(197) ^ 0x5A) as u8)
+            .collect();
         let db = BitString::from_bytes(&bytes);
-        let query = BitString::from_bits(&vec![true; 23]); // 23 ones unlikely
+        let query = BitString::from_bits(&[true; 23]); // 23 ones unlikely
         check(&db, &query, 8, 16);
     }
 

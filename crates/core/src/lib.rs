@@ -57,6 +57,5 @@ pub use matchers::{table1_profiles, ApproachProfile, CostClass};
 pub use packing::{DensePacking, SingleBitPacking};
 pub use protocol::{Client, IndexMode, Server, TrustedIndexGenerator};
 pub use query::{
-    alignment_classes, build_variants, segment_matches, variant_count, AlignmentClass,
-    QueryVariant,
+    alignment_classes, build_variants, segment_matches, variant_count, AlignmentClass, QueryVariant,
 };

@@ -80,9 +80,15 @@ impl BatchedEngine {
         rng: &mut R,
     ) -> BatchedDatabase {
         let slots = self.slots_per_block();
-        assert!(max_query > 0 && max_query <= slots, "invalid max query length");
+        assert!(
+            max_query > 0 && max_query <= slots,
+            "invalid max query length"
+        );
         let t = self.ctx.params().t;
-        assert!(symbols.iter().all(|&s| s < t), "symbols must be reduced mod t");
+        assert!(
+            symbols.iter().all(|&s| s < t),
+            "symbols must be reduced mod t"
+        );
         let stride = slots - (max_query - 1);
         let mut blocks = Vec::new();
         let mut block_starts = Vec::new();
@@ -98,7 +104,12 @@ impl BatchedEngine {
             }
             start += stride;
         }
-        BatchedDatabase { blocks, block_starts, total_symbols: symbols.len(), max_query }
+        BatchedDatabase {
+            blocks,
+            block_starts,
+            total_symbols: symbols.len(),
+            max_query,
+        }
     }
 
     /// Computes an encrypted weighted squared-difference score polynomial
@@ -168,8 +179,12 @@ impl BatchedEngine {
         let slots = self.slots_per_block();
         let mut matches = Vec::new();
         for (block, &start) in db.blocks.iter().zip(&db.block_starts) {
-            let s1 = self.encoder.decode(&dec.decrypt(&self.block_scores(block, query, &w1, rk, gk)));
-            let s2 = self.encoder.decode(&dec.decrypt(&self.block_scores(block, query, &w2, rk, gk)));
+            let s1 = self
+                .encoder
+                .decode(&dec.decrypt(&self.block_scores(block, query, &w1, rk, gk)));
+            let s2 = self
+                .encoder
+                .decode(&dec.decrypt(&self.block_scores(block, query, &w2, rk, gk)));
             let span = slots - query.len() + 1;
             for a in 0..span {
                 let global = start + a;
@@ -221,7 +236,13 @@ mod tests {
             })
             .collect();
         let gk = kg.galois_keys(&elems, &mut rng);
-        Fixture { ctx, sk, pk, rk, gk }
+        Fixture {
+            ctx,
+            sk,
+            pk,
+            rk,
+            gk,
+        }
     }
 
     fn ascii_symbols(s: &str) -> Vec<u64> {
@@ -261,7 +282,9 @@ mod tests {
         let dec = Decryptor::new(&f.ctx, f.sk.clone());
         let engine = BatchedEngine::new(&f.ctx);
         // Longer than one block (128 usable slots with n = 256).
-        let text: String = (0..300).map(|i| (b'a' + (i * 7 % 26) as u8) as char).collect();
+        let text: String = (0..300)
+            .map(|i| (b'a' + (i * 7 % 26) as u8) as char)
+            .collect();
         let symbols = ascii_symbols(&text);
         let db = engine.encrypt_database(&enc, &symbols, 6, &mut rng);
         assert!(db.block_count() >= 2, "must span blocks");

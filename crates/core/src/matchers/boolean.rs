@@ -54,7 +54,10 @@ impl BooleanGateCount {
             return Self { xnor: 0, and: 0 };
         }
         let windows = (db_bits - k + 1) as u64;
-        Self { xnor: windows * k as u64, and: windows * (k as u64 - 1) }
+        Self {
+            xnor: windows * k as u64,
+            and: windows * (k as u64 - 1),
+        }
     }
 
     /// Total bootstrapped gates.
@@ -82,7 +85,9 @@ impl<'k> BooleanEngine<'k> {
         data: &BitString,
         rng: &mut R,
     ) -> BooleanDatabase {
-        BooleanDatabase { bits: self.client.encrypt_bits(data.bits(), rng) }
+        BooleanDatabase {
+            bits: self.client.encrypt_bits(data.bits(), rng),
+        }
     }
 
     /// Encrypts the query bit by bit.
@@ -152,11 +157,11 @@ impl<'k> BooleanEngine<'k> {
         let q = self.encrypt_query(query, rng);
         let windows: Vec<usize> = (0..=db.len() - k).collect();
         let mut matches = Vec::new();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for chunk in windows.chunks(windows.len().div_ceil(threads)) {
                 let q = &q;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     chunk
                         .iter()
                         .filter(|&&o| self.client.decrypt(&self.match_window(db, q, o)))
@@ -167,8 +172,7 @@ impl<'k> BooleanEngine<'k> {
             for h in handles {
                 matches.extend(h.join().expect("boolean worker panicked"));
             }
-        })
-        .expect("crossbeam scope failed");
+        });
         matches.sort_unstable();
         matches
     }
@@ -220,7 +224,7 @@ mod tests {
     fn gate_count_matches_execution() {
         let (ck, sk, mut rng) = keys();
         let engine = BooleanEngine::new(&ck, &sk);
-        let db_bits = BitString::from_bits(&vec![true; 10]);
+        let db_bits = BitString::from_bits(&[true; 10]);
         let query = BitString::from_bits(&[true, true, true, true]);
         let db = engine.encrypt_database(&db_bits, &mut rng);
         let before = sk.bootstrap_count();
@@ -248,6 +252,9 @@ mod tests {
         let db_bits = BitString::from_bytes(&[0xAB; 4]); // 32 bits = 4 bytes
         let db = engine.encrypt_database(&db_bits, &mut rng);
         let blowup = db.byte_size(ck.params().lwe_dim) / 4;
-        assert!(blowup > 200, "Boolean blow-up should exceed 200x, got {blowup}x");
+        assert!(
+            blowup > 200,
+            "Boolean blow-up should exceed 200x, got {blowup}x"
+        );
     }
 }

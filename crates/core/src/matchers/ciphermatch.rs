@@ -159,7 +159,12 @@ impl SearchResult {
         k: usize,
         classes: Vec<AlignmentClass>,
     ) -> Self {
-        Self { per_variant, total_bits, k, classes }
+        Self {
+            per_variant,
+            total_bits,
+            k,
+            classes,
+        }
     }
 }
 
@@ -221,7 +226,10 @@ impl CiphermatchEngine {
             .iter()
             .map(|pt| enc.encrypt(pt, rng))
             .collect();
-        EncryptedDatabase { cts, total_bits: data.len() }
+        EncryptedDatabase {
+            cts,
+            total_bits: data.len(),
+        }
     }
 
     /// Prepares and encrypts all query variants (client side, per query).
@@ -240,7 +248,11 @@ impl CiphermatchEngine {
                 ct: enc.encrypt(&v.plaintext, rng),
             })
             .collect();
-        EncryptedQuery { variants, classes, k: query.len() }
+        EncryptedQuery {
+            variants,
+            classes,
+            k: query.len(),
+        }
     }
 
     /// Server-side secure search: one `Hom-Add` per (variant, polynomial).
@@ -270,7 +282,7 @@ impl CiphermatchEngine {
     /// embarrassingly parallel (one independent addition per
     /// (variant, polynomial) pair), which is how CM-SW exploits the SIMD /
     /// multicore resources the paper's Table 1 credits it with. Splits the
-    /// per-variant work across `threads` crossbeam scoped threads.
+    /// per-variant work across `threads` scoped threads.
     ///
     /// # Panics
     ///
@@ -286,15 +298,21 @@ impl CiphermatchEngine {
         let t0 = Instant::now();
         let mut per_variant: Vec<((usize, usize), Vec<Ciphertext>)> =
             Vec::with_capacity(query.variants.len());
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for chunk in query.variants.chunks(query.variants.len().div_ceil(threads)) {
-                handles.push(scope.spawn(move |_| {
+            for chunk in query
+                .variants
+                .chunks(query.variants.len().div_ceil(threads))
+            {
+                handles.push(scope.spawn(move || {
                     chunk
                         .iter()
                         .map(|v| {
-                            let results: Vec<Ciphertext> =
-                                db.cts.iter().map(|dbct| evaluator.add(dbct, &v.ct)).collect();
+                            let results: Vec<Ciphertext> = db
+                                .cts
+                                .iter()
+                                .map(|dbct| evaluator.add(dbct, &v.ct))
+                                .collect();
                             ((v.r, v.phase), results)
                         })
                         .collect::<Vec<_>>()
@@ -303,8 +321,7 @@ impl CiphermatchEngine {
             for h in handles {
                 per_variant.extend(h.join().expect("search worker panicked"));
             }
-        })
-        .expect("crossbeam scope failed");
+        });
         self.stats.add_time += t0.elapsed();
         self.stats.hom_adds += (query.variants.len() * db.cts.len()) as u64;
         SearchResult {
@@ -366,7 +383,9 @@ mod tests {
 
     impl Fixture {
         fn new() -> Self {
-            Self { ctx: BfvContext::new(BfvParams::insecure_test_add()) }
+            Self {
+                ctx: BfvContext::new(BfvParams::insecure_test_add()),
+            }
         }
     }
 
@@ -436,7 +455,10 @@ mod tests {
             let mut expect = serial.clone();
             expect.per_variant.sort_by_key(|(key, _)| *key);
             assert_eq!(parallel, expect, "threads = {threads}");
-            assert_eq!(engine.generate_indices(&dec, &parallel), data.find_all(&pattern));
+            assert_eq!(
+                engine.generate_indices(&dec, &parallel),
+                data.find_all(&pattern)
+            );
         }
     }
 

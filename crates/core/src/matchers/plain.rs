@@ -44,7 +44,11 @@ pub fn bitwise_find_all(db: &BitString, query: &BitString) -> Vec<usize> {
     let qwords = pack_words(query);
     let full_words = k / 64;
     let tail_bits = k % 64;
-    let tail_mask = if tail_bits == 0 { 0 } else { !0u64 << (64 - tail_bits) };
+    let tail_mask = if tail_bits == 0 {
+        0
+    } else {
+        !0u64 << (64 - tail_bits)
+    };
     (0..=db.len() - k)
         .filter(|&o| {
             for (w, &qw) in qwords.iter().enumerate().take(full_words) {
@@ -72,7 +76,9 @@ mod tests {
         let mut s = seed;
         let bits: Vec<bool> = (0..len)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (s >> 62) & 1 == 1
             })
             .collect();

@@ -125,7 +125,11 @@ impl YasudaEngine {
                 enc.encrypt(&self.packing.pack_block(data, start), rng)
             })
             .collect();
-        YasudaDatabase { blocks, total_bits: data.len(), k }
+        YasudaDatabase {
+            blocks,
+            total_bits: data.len(),
+            k,
+        }
     }
 
     /// Encrypts a query with type-2 packing (plus the all-ones window used
@@ -140,7 +144,12 @@ impl YasudaEngine {
         let query_ct = enc.encrypt(&self.packing.pack_query(query, t), rng);
         let ones_ct = enc.encrypt(&self.packing.pack_ones_window(query.len(), t), rng);
         let hamming_weight = (0..query.len()).filter(|&j| query.get(j)).count() as u64;
-        YasudaQuery { query_ct, ones_ct, hamming_weight, k: query.len() }
+        YasudaQuery {
+            query_ct,
+            ones_ct,
+            hamming_weight,
+            k: query.len(),
+        }
     }
 
     /// Computes the encrypted Hamming-distance polynomial of one block:
@@ -208,7 +217,12 @@ impl YasudaEngine {
         max_distance: u64,
         rng: &mut R,
     ) -> Vec<(usize, u64)> {
-        assert_eq!(query.len(), db.k, "database blocks were laid out for k = {}", db.k);
+        assert_eq!(
+            query.len(),
+            db.k,
+            "database blocks were laid out for k = {}",
+            db.k
+        );
         assert!(
             max_distance < self.ctx.params().t / 2,
             "distance threshold must stay below t/2 to be unambiguous"
@@ -286,8 +300,8 @@ mod tests {
 
     #[test]
     fn cost_is_two_mults_three_adds_per_block() {
-        let db = BitString::from_bits(&vec![false; 600]);
-        let q = BitString::from_bits(&vec![true; 8]);
+        let db = BitString::from_bits(&[false; 600]);
+        let q = BitString::from_bits(&[true; 8]);
         let (_, stats) = run(&db, &q);
         let blocks = (600 - 8 + 1 + (256 - 8)) / (256 - 7); // ceil
         assert_eq!(stats.hom_mults, 2 * blocks as u64);
@@ -326,8 +340,8 @@ mod tests {
 
     #[test]
     fn multiplication_dominates_latency() {
-        let db = BitString::from_bits(&vec![true; 2000]);
-        let q = BitString::from_bits(&vec![true; 32]);
+        let db = BitString::from_bits(&[true; 2000]);
+        let q = BitString::from_bits(&[true; 32]);
         let (_, stats) = run(&db, &q);
         assert!(
             stats.mult_fraction() > 0.5,

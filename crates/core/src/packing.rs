@@ -30,8 +30,14 @@ impl DensePacking {
     /// coefficients with packed bits).
     pub fn new(ctx: &BfvContext) -> Self {
         let t = ctx.params().t;
-        assert!(t.is_power_of_two(), "dense packing requires a power-of-two t");
-        Self { n: ctx.params().n, seg_bits: t.trailing_zeros() as usize }
+        assert!(
+            t.is_power_of_two(),
+            "dense packing requires a power-of-two t"
+        );
+        Self {
+            n: ctx.params().n,
+            seg_bits: t.trailing_zeros() as usize,
+        }
     }
 
     /// Bits packed per coefficient (16 with paper parameters).
@@ -223,7 +229,9 @@ mod tests {
         let rt = cm_hemath::RingContext::new(cm_hemath::Modulus::new(t), ctx.params().n);
         let prod = rt.mul(m.poly(), q.poly());
         for i in 0..=3 {
-            let expect: u64 = (0..3).map(|j| (data.get(i + j) && query.get(j)) as u64).sum();
+            let expect: u64 = (0..3)
+                .map(|j| (data.get(i + j) && query.get(j)) as u64)
+                .sum();
             assert_eq!(prod.coeffs()[i], expect, "inner product at {i}");
         }
     }

@@ -42,7 +42,9 @@ pub struct Client {
 
 impl std::fmt::Debug for Client {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Client").field("params", &self.ctx.params().name).finish()
+        f.debug_struct("Client")
+            .field("params", &self.ctx.params().name)
+            .finish()
     }
 }
 
@@ -52,7 +54,11 @@ impl Client {
         let kg = KeyGenerator::new(ctx, rng);
         let sk = kg.secret_key();
         let pk = kg.public_key(rng);
-        Self { ctx: ctx.clone(), sk, pk }
+        Self {
+            ctx: ctx.clone(),
+            sk,
+            pk,
+        }
     }
 
     /// Packs and encrypts the database for upload (done once; Algorithm 1
@@ -67,11 +73,7 @@ impl Client {
     }
 
     /// Prepares an encrypted query (Algorithm 1 lines 4–9).
-    pub fn prepare_query<R: Rng + ?Sized>(
-        &self,
-        query: &BitString,
-        rng: &mut R,
-    ) -> EncryptedQuery {
+    pub fn prepare_query<R: Rng + ?Sized>(&self, query: &BitString, rng: &mut R) -> EncryptedQuery {
         let enc = Encryptor::new(&self.ctx, self.pk.clone());
         CiphermatchEngine::new(&self.ctx).prepare_query(&enc, query, rng)
     }
@@ -85,7 +87,10 @@ impl Client {
     /// Hands a decryption capability to a trusted controller (the paper's
     /// implicit trust model for in-storage index generation).
     pub fn delegate_index_generation(&self) -> TrustedIndexGenerator {
-        TrustedIndexGenerator { ctx: self.ctx.clone(), sk: self.sk.clone() }
+        TrustedIndexGenerator {
+            ctx: self.ctx.clone(),
+            sk: self.sk.clone(),
+        }
     }
 }
 
@@ -108,7 +113,10 @@ impl TrustedIndexGenerator {
     /// Builds the capability directly from a secret key (used when the
     /// key was provisioned to the controller out of band).
     pub fn from_secret(ctx: &BfvContext, sk: SecretKey) -> Self {
-        Self { ctx: ctx.clone(), sk }
+        Self {
+            ctx: ctx.clone(),
+            sk,
+        }
     }
 
     /// Runs index generation on a search result, returning matching bit

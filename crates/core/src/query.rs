@@ -64,7 +64,12 @@ pub fn alignment_classes(query: &BitString, seg_bits: usize) -> Vec<AlignmentCla
                 neg_segments.push(value);
                 masks.push(mask);
             }
-            AlignmentClass { r, window_segs, neg_segments, masks }
+            AlignmentClass {
+                r,
+                window_segs,
+                neg_segments,
+                masks,
+            }
         })
         .collect()
 }
@@ -97,10 +102,7 @@ pub struct QueryVariant {
 /// coefficient `c`, so the server's single `Hom-Add` against a database
 /// polynomial evaluates all coefficient positions whose window phase is
 /// compatible with `p`.
-pub fn build_variants(
-    classes: &[AlignmentClass],
-    n: usize,
-) -> Vec<QueryVariant> {
+pub fn build_variants(classes: &[AlignmentClass], n: usize) -> Vec<QueryVariant> {
     let mut variants = Vec::new();
     for class in classes {
         let s = class.window_segs;
@@ -135,7 +137,7 @@ mod tests {
 
     #[test]
     fn class_counts_and_window_sizes() {
-        let q = BitString::from_bits(&vec![true; 16]);
+        let q = BitString::from_bits(&[true; 16]);
         let classes = alignment_classes(&q, 16);
         assert_eq!(classes.len(), 16);
         assert_eq!(classes[0].window_segs, 1);
@@ -199,7 +201,7 @@ mod tests {
 
     #[test]
     fn variants_replicate_with_phase() {
-        let q = BitString::from_bits(&vec![true; 20]); // k=20 -> s_0 = 2
+        let q = BitString::from_bits(&[true; 20]); // k=20 -> s_0 = 2
         let classes = alignment_classes(&q, 16);
         let variants = build_variants(&classes, 8);
         let v = variants.iter().find(|v| v.r == 0 && v.phase == 1).unwrap();
@@ -215,6 +217,9 @@ mod tests {
         assert!(variant_count(16, 16) < variant_count(64, 16));
         assert!(variant_count(64, 16) < variant_count(256, 16));
         // Roughly seg_bits * ceil(k/seg_bits).
-        assert_eq!(variant_count(256, 16), (0..16usize).map(|r| (r + 256).div_ceil(16)).sum::<usize>());
+        assert_eq!(
+            variant_count(256, 16),
+            (0..16usize).map(|r| (r + 256).div_ceil(16)).sum::<usize>()
+        );
     }
 }

@@ -35,10 +35,15 @@ pub fn store_words_vertical(
     let bits = fa.geometry().page_bits();
     assert_eq!(words.len(), bits, "one coefficient per bitline required");
     for b in 0..32 {
-        let page = BitBuf::from_bits(
-            &words.iter().map(|&w| (w >> b) & 1 == 1).collect::<Vec<_>>(),
+        let page = BitBuf::from_bits(&words.iter().map(|&w| (w >> b) & 1 == 1).collect::<Vec<_>>());
+        fa.program_page(
+            PageAddr {
+                plane,
+                block,
+                wordline: wl_base + b,
+            },
+            page,
         );
-        fa.program_page(PageAddr { plane, block, wordline: wl_base + b }, page);
     }
 }
 
@@ -85,7 +90,10 @@ pub fn bop_add(
     wl_base: usize,
     b_planes: &[BitBuf],
 ) -> Vec<BitBuf> {
-    assert!(!b_planes.is_empty() && b_planes.len() <= 32, "width must be 1..=32");
+    assert!(
+        !b_planes.is_empty() && b_planes.len() <= 32,
+        "width must be 1..=32"
+    );
     // Carry-in = 0.
     fa.reset_dlatch(plane, 2);
     let mut sums = Vec::with_capacity(b_planes.len());
@@ -101,7 +109,11 @@ pub fn bop_add(
         // ⑤ park B·C in D-latch 0.
         fa.slatch_to_dlatch(plane, 0);
         // ⑥ read the stored bit A_i from the flash cell.
-        fa.read_to_slatch(PageAddr { plane, block, wordline: wl_base + i });
+        fa.read_to_slatch(PageAddr {
+            plane,
+            block,
+            wordline: wl_base + i,
+        });
         // ⑦ copy A to D-latch 2 (the carry value is no longer needed).
         fa.slatch_to_dlatch(plane, 2);
         // ⑧ move B ⊕ C to the S-latch and AND with A: S = (B⊕C)·A.
@@ -132,7 +144,11 @@ mod tests {
     fn setup() -> (FlashArray, PlaneAddr) {
         (
             FlashArray::new(FlashGeometry::tiny_test()),
-            PlaneAddr { channel: 0, die: 0, plane: 0 },
+            PlaneAddr {
+                channel: 0,
+                die: 0,
+                plane: 0,
+            },
         )
     }
 
@@ -175,7 +191,13 @@ mod tests {
         let (mut fa, plane) = setup();
         let bits = fa.geometry().page_bits();
         store_words_vertical(&mut fa, plane, 0, 0, &vec![u32::MAX; bits]);
-        let sums = bop_add(&mut fa, plane, 0, 0, &words_to_bitplanes(&vec![1u32; bits], 32));
+        let sums = bop_add(
+            &mut fa,
+            plane,
+            0,
+            0,
+            &words_to_bitplanes(&vec![1u32; bits], 32),
+        );
         assert!(bitplanes_to_words(&sums).iter().all(|&x| x == 0));
     }
 
@@ -186,7 +208,13 @@ mod tests {
         store_words_vertical(&mut fa, plane, 0, 0, &vec![7u32; bits]);
         fa.reset_ledger();
         let width = 32;
-        let _ = bop_add(&mut fa, plane, 0, 0, &words_to_bitplanes(&vec![9u32; bits], width));
+        let _ = bop_add(
+            &mut fa,
+            plane,
+            0,
+            0,
+            &words_to_bitplanes(&vec![9u32; bits], width),
+        );
         let ledger = fa.ledger();
         assert_eq!(ledger.reads, width as u64);
         assert_eq!(ledger.dmas, 2 * width as u64);

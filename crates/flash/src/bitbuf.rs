@@ -16,7 +16,10 @@ pub struct BitBuf {
 impl BitBuf {
     /// All-zero buffer of `len` bits.
     pub fn zeros(len: usize) -> Self {
-        Self { len, words: vec![0; len.div_ceil(64)] }
+        Self {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
     }
 
     /// All-one buffer of `len` bits.

@@ -35,7 +35,11 @@ impl LatchSet {
     fn new(bits: usize) -> Self {
         Self {
             s: BitBuf::zeros(bits),
-            d: [BitBuf::zeros(bits), BitBuf::zeros(bits), BitBuf::zeros(bits)],
+            d: [
+                BitBuf::zeros(bits),
+                BitBuf::zeros(bits),
+                BitBuf::zeros(bits),
+            ],
         }
     }
 }
@@ -52,7 +56,12 @@ pub struct FlashArray {
 impl FlashArray {
     /// Creates an empty array.
     pub fn new(geometry: FlashGeometry) -> Self {
-        Self { geometry, pages: HashMap::new(), latches: HashMap::new(), ledger: FlashLedger::default() }
+        Self {
+            geometry,
+            pages: HashMap::new(),
+            latches: HashMap::new(),
+            ledger: FlashLedger::default(),
+        }
     }
 
     /// The geometry.
@@ -72,11 +81,16 @@ impl FlashArray {
 
     fn latch(&mut self, plane: PlaneAddr) -> &mut LatchSet {
         let bits = self.geometry.page_bits();
-        self.latches.entry(plane).or_insert_with(|| LatchSet::new(bits))
+        self.latches
+            .entry(plane)
+            .or_insert_with(|| LatchSet::new(bits))
     }
 
     fn check(&self, addr: &PageAddr) {
-        assert!(self.geometry.check_page(addr), "page address out of geometry: {addr:?}");
+        assert!(
+            self.geometry.check_page(addr),
+            "page address out of geometry: {addr:?}"
+        );
     }
 
     /// Programs a page (SLC write) — data load path, costs P/E wear.
@@ -99,10 +113,15 @@ impl FlashArray {
     ///
     /// Panics if the block is out of range.
     pub fn erase_block(&mut self, plane: PlaneAddr, block: usize) {
-        let probe = PageAddr { plane, block, wordline: 0 };
+        let probe = PageAddr {
+            plane,
+            block,
+            wordline: 0,
+        };
         self.check(&probe);
         self.ledger.erases += 1;
-        self.pages.retain(|addr, _| !(addr.plane == plane && addr.block == block));
+        self.pages
+            .retain(|addr, _| !(addr.plane == plane && addr.block == block));
     }
 
     /// Reads a page into the plane's S-latch (ESP SLC read).
@@ -112,7 +131,11 @@ impl FlashArray {
         self.check(&addr);
         self.ledger.reads += 1;
         let bits = self.geometry.page_bits();
-        let data = self.pages.get(&addr).cloned().unwrap_or_else(|| BitBuf::zeros(bits));
+        let data = self
+            .pages
+            .get(&addr)
+            .cloned()
+            .unwrap_or_else(|| BitBuf::zeros(bits));
         self.latch(addr.plane).s.copy_from(&data);
     }
 
@@ -197,15 +220,28 @@ impl FlashArray {
     /// # Panics
     ///
     /// Panics if `wordlines` is empty or any address is out of range.
-    pub fn read_and_multi_to_slatch(&mut self, plane: PlaneAddr, block: usize, wordlines: &[usize]) {
+    pub fn read_and_multi_to_slatch(
+        &mut self,
+        plane: PlaneAddr,
+        block: usize,
+        wordlines: &[usize],
+    ) {
         assert!(!wordlines.is_empty(), "at least one wordline required");
         self.ledger.reads += 1; // one sensing operation regardless of count
         let bits = self.geometry.page_bits();
         let mut acc = BitBuf::ones(bits);
         for &wl in wordlines {
-            let addr = PageAddr { plane, block, wordline: wl };
+            let addr = PageAddr {
+                plane,
+                block,
+                wordline: wl,
+            };
             self.check(&addr);
-            let page = self.pages.get(&addr).cloned().unwrap_or_else(|| BitBuf::zeros(bits));
+            let page = self
+                .pages
+                .get(&addr)
+                .cloned()
+                .unwrap_or_else(|| BitBuf::zeros(bits));
             acc.and_assign(&page);
         }
         self.latch(plane).s.copy_from(&acc);
@@ -225,7 +261,11 @@ impl FlashArray {
         let bits = self.geometry.page_bits();
         let mut acc = BitBuf::zeros(bits);
         for &block in blocks {
-            let addr = PageAddr { plane, block, wordline };
+            let addr = PageAddr {
+                plane,
+                block,
+                wordline,
+            };
             self.check(&addr);
             if let Some(page) = self.pages.get(&addr) {
                 acc.or_assign(page);
@@ -259,8 +299,16 @@ mod tests {
 
     fn setup() -> (FlashArray, PlaneAddr, PageAddr) {
         let g = FlashGeometry::tiny_test();
-        let plane = PlaneAddr { channel: 0, die: 0, plane: 0 };
-        let addr = PageAddr { plane, block: 0, wordline: 0 };
+        let plane = PlaneAddr {
+            channel: 0,
+            die: 0,
+            plane: 0,
+        };
+        let addr = PageAddr {
+            plane,
+            block: 0,
+            wordline: 0,
+        };
         (FlashArray::new(g), plane, addr)
     }
 
@@ -343,7 +391,11 @@ mod tests {
     #[test]
     fn planes_have_independent_latches() {
         let (mut fa, p0, _) = setup();
-        let p1 = PlaneAddr { channel: 0, die: 0, plane: 1 };
+        let p1 = PlaneAddr {
+            channel: 0,
+            die: 0,
+            plane: 1,
+        };
         let bits = fa.geometry().page_bits();
         fa.io_load_slatch(p0, &BitBuf::ones(bits));
         assert!(fa.peek_slatch(p1).iter().all(|b| !b));
@@ -359,7 +411,11 @@ mod tests {
         fa.slatch_to_dlatch(plane, 1);
         fa.and_dlatch_into_slatch(plane, 1);
         fa.xor_d1_d2_into_d1(plane);
-        assert_eq!(fa.ledger().wear(), 0, "latch compute must not wear the array");
+        assert_eq!(
+            fa.ledger().wear(),
+            0,
+            "latch compute must not wear the array"
+        );
     }
 
     #[test]
@@ -367,11 +423,18 @@ mod tests {
         let (mut fa, plane, addr) = setup();
         let bits = fa.geometry().page_bits();
         fa.program_page(addr, BitBuf::ones(bits));
-        let other_block = PageAddr { plane, block: 1, wordline: 2 };
+        let other_block = PageAddr {
+            plane,
+            block: 1,
+            wordline: 2,
+        };
         fa.program_page(other_block, BitBuf::ones(bits));
         fa.erase_block(plane, 0);
         fa.read_to_slatch(addr);
-        assert!(fa.peek_slatch(plane).iter().all(|b| !b), "erased page must read zero");
+        assert!(
+            fa.peek_slatch(plane).iter().all(|b| !b),
+            "erased page must read zero"
+        );
         // Other blocks untouched.
         fa.read_to_slatch(other_block);
         assert!(fa.peek_slatch(plane).iter().all(|b| b));
@@ -386,9 +449,30 @@ mod tests {
         let a = pattern(bits, |i| i % 2 == 0);
         let b = pattern(bits, |i| i % 3 == 0);
         let c = pattern(bits, |i| i % 5 != 4);
-        fa.program_page(PageAddr { plane, block: 1, wordline: 0 }, a.clone());
-        fa.program_page(PageAddr { plane, block: 1, wordline: 5 }, b.clone());
-        fa.program_page(PageAddr { plane, block: 1, wordline: 9 }, c.clone());
+        fa.program_page(
+            PageAddr {
+                plane,
+                block: 1,
+                wordline: 0,
+            },
+            a.clone(),
+        );
+        fa.program_page(
+            PageAddr {
+                plane,
+                block: 1,
+                wordline: 5,
+            },
+            b.clone(),
+        );
+        fa.program_page(
+            PageAddr {
+                plane,
+                block: 1,
+                wordline: 9,
+            },
+            c.clone(),
+        );
         fa.reset_ledger();
         fa.read_and_multi_to_slatch(plane, 1, &[0, 5, 9]);
         let mut expect = a;
@@ -405,8 +489,22 @@ mod tests {
         let bits = fa.geometry().page_bits();
         let a = pattern(bits, |i| i % 7 == 0);
         let b = pattern(bits, |i| i % 11 == 0);
-        fa.program_page(PageAddr { plane, block: 0, wordline: 3 }, a.clone());
-        fa.program_page(PageAddr { plane, block: 2, wordline: 3 }, b.clone());
+        fa.program_page(
+            PageAddr {
+                plane,
+                block: 0,
+                wordline: 3,
+            },
+            a.clone(),
+        );
+        fa.program_page(
+            PageAddr {
+                plane,
+                block: 2,
+                wordline: 3,
+            },
+            b.clone(),
+        );
         fa.reset_ledger();
         fa.read_or_multi_to_slatch(plane, &[0, 2, 3], 3); // block 3 unwritten
         let mut expect = a;
@@ -419,7 +517,11 @@ mod tests {
     #[should_panic(expected = "out of geometry")]
     fn bad_address_rejected() {
         let (mut fa, plane, _) = setup();
-        let bad = PageAddr { plane, block: 99, wordline: 0 };
+        let bad = PageAddr {
+            plane,
+            block: 99,
+            wordline: 0,
+        };
         fa.read_to_slatch(bad);
     }
 }

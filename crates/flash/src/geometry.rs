@@ -112,7 +112,11 @@ impl FlashGeometry {
         let (c, d, p) = (self.channels, self.dies_per_channel, self.planes_per_die);
         (0..c).flat_map(move |channel| {
             (0..d).flat_map(move |die| {
-                (0..p).map(move |plane| PlaneAddr { channel, die, plane })
+                (0..p).map(move |plane| PlaneAddr {
+                    channel,
+                    die,
+                    plane,
+                })
             })
         })
     }
@@ -130,7 +134,10 @@ mod tests {
         // ≈ 588 GiB TLC raw — the 48-WL-layer slice of a 2 TB drive that
         // Table 3 models (capacity per layer group).
         let slc = g.slc_capacity_bytes();
-        assert!(slc > 190 * (1 << 30) && slc < 220 * (1 << 30), "slc = {slc}");
+        assert!(
+            slc > 190 * (1 << 30) && slc < 220 * (1 << 30),
+            "slc = {slc}"
+        );
         assert_eq!(g.tlc_capacity_bytes(), 3 * slc);
     }
 
@@ -138,7 +145,11 @@ mod tests {
     fn page_addressing_bounds() {
         let g = FlashGeometry::tiny_test();
         let ok = PageAddr {
-            plane: PlaneAddr { channel: 1, die: 1, plane: 1 },
+            plane: PlaneAddr {
+                channel: 1,
+                die: 1,
+                plane: 1,
+            },
             block: 3,
             wordline: 63,
         };
@@ -152,7 +163,14 @@ mod tests {
         let g = FlashGeometry::tiny_test();
         let planes: Vec<_> = g.planes().collect();
         assert_eq!(planes.len(), g.total_planes());
-        assert_eq!(planes[0], PlaneAddr { channel: 0, die: 0, plane: 0 });
+        assert_eq!(
+            planes[0],
+            PlaneAddr {
+                channel: 0,
+                die: 0,
+                plane: 0
+            }
+        );
         assert_eq!(planes.last().unwrap().channel, 1);
     }
 }

@@ -81,7 +81,8 @@ impl FlashEnergy {
     /// bitlines: `E_bop_add = E_read + 2 E_XOR + 5 E_latch + 4 E_AND/OR`.
     pub fn e_bop_add(&self, page_kb: f64) -> f64 {
         self.e_read_slc
-            + page_kb * (2.0 * self.e_xor_per_kb + 5.0 * self.e_latch_per_kb + 4.0 * self.e_and_or_per_kb)
+            + page_kb
+                * (2.0 * self.e_xor_per_kb + 5.0 * self.e_latch_per_kb + 4.0 * self.e_and_or_per_kb)
     }
 
     /// Eq. 11: `E_bit_add = E_bop_add + 2 E_DMA + E_index_gen`.
@@ -172,7 +173,10 @@ mod tests {
         // is recorded in EXPERIMENTS.md.
         let bit = e.e_bit_add(4.0);
         assert!((bit - 32.22e-6).abs() < 5e-6, "e_bit = {bit}");
-        assert!((bit - 36.51e-6).abs() < 0.1e-6, "component-sum value moved: {bit}");
+        assert!(
+            (bit - 36.51e-6).abs() < 0.1e-6,
+            "component-sum value moved: {bit}"
+        );
     }
 
     #[test]

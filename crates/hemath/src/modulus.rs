@@ -159,7 +159,11 @@ impl Modulus {
     pub fn inv(&self, a: u64) -> u64 {
         assert!(!a.is_multiple_of(self.value), "zero has no modular inverse");
         let r = self.pow(a, self.value - 2);
-        assert_eq!(self.mul(r, self.reduce(a)), 1, "modulus must be prime for inv()");
+        assert_eq!(
+            self.mul(r, self.reduce(a)),
+            1,
+            "modulus must be prime for inv()"
+        );
         r
     }
 

@@ -39,7 +39,10 @@ impl NttTable {
     /// Panics if `n` is not a power of two at least 2, or if
     /// `q ≢ 1 (mod 2n)` (no primitive `2n`-th root exists).
     pub fn new(modulus: Modulus, n: usize) -> Self {
-        assert!(n.is_power_of_two() && n >= 2, "n must be a power of two >= 2");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "n must be a power of two >= 2"
+        );
         let psi = primitive_2n_root(&modulus, n);
         let psi_inv = modulus.inv(psi);
         let bits = n.trailing_zeros();
@@ -228,7 +231,10 @@ mod tests {
             let t = NttTable::new(q, n);
             let a: Vec<u64> = (0..n as u64).map(|i| (i * 37 + 11) % q.value()).collect();
             let b: Vec<u64> = (0..n as u64).map(|i| (i * i * 5 + 3) % q.value()).collect();
-            assert_eq!(t.negacyclic_mul(&a, &b), schoolbook_negacyclic_mul(&q, &a, &b));
+            assert_eq!(
+                t.negacyclic_mul(&a, &b),
+                schoolbook_negacyclic_mul(&q, &a, &b)
+            );
         }
     }
 

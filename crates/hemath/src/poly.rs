@@ -80,7 +80,10 @@ impl RingContext {
     ///
     /// Panics if `n` is not a power of two at least 2.
     pub fn new(modulus: Modulus, n: usize) -> Self {
-        assert!(n.is_power_of_two() && n >= 2, "ring degree must be a power of two >= 2");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "ring degree must be a power of two >= 2"
+        );
         let ntt = if (modulus.value() - 1).is_multiple_of(2 * n as u64)
             && crate::modulus::is_prime(modulus.value())
         {
@@ -227,7 +230,12 @@ impl RingContext {
     /// Builds a polynomial from signed coefficients, reducing into `[0, q)`.
     pub fn from_signed(&self, coeffs: &[i64]) -> Poly {
         assert_eq!(coeffs.len(), self.n);
-        Poly::from_coeffs(coeffs.iter().map(|&c| self.modulus.from_signed(c)).collect())
+        Poly::from_coeffs(
+            coeffs
+                .iter()
+                .map(|&c| self.modulus.from_signed(c))
+                .collect(),
+        )
     }
 
     /// Lifts every coefficient to the centered representative.

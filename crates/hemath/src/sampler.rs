@@ -91,7 +91,11 @@ mod tests {
         let mean = v.iter().sum::<i64>() as f64 / v.len() as f64;
         let var = v.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / v.len() as f64;
         assert!(mean.abs() < 0.1, "mean {mean} too far from 0");
-        assert!((var.sqrt() - sigma).abs() < 0.2, "std {} too far from {sigma}", var.sqrt());
+        assert!(
+            (var.sqrt() - sigma).abs() < 0.2,
+            "std {} too far from {sigma}",
+            var.sqrt()
+        );
         // 6-sigma tail should be empty at this sample size.
         assert!(v.iter().all(|&x| (x as f64).abs() < 8.0 * sigma));
     }

@@ -90,18 +90,23 @@ impl WideMultiplier {
             "input magnitude exceeds exact CRT range"
         );
 
-        let residues = |m: &Modulus, v: &[i64]| -> Vec<u64> {
-            v.iter().map(|&c| m.from_signed(c)).collect()
-        };
-        let r1 = self.ntt1.negacyclic_mul(&residues(&self.p1, a), &residues(&self.p1, b));
-        let r2 = self.ntt2.negacyclic_mul(&residues(&self.p2, a), &residues(&self.p2, b));
+        let residues =
+            |m: &Modulus, v: &[i64]| -> Vec<u64> { v.iter().map(|&c| m.from_signed(c)).collect() };
+        let r1 = self
+            .ntt1
+            .negacyclic_mul(&residues(&self.p1, a), &residues(&self.p1, b));
+        let r2 = self
+            .ntt2
+            .negacyclic_mul(&residues(&self.p2, a), &residues(&self.p2, b));
 
         let half = self.big_modulus / 2;
         r1.iter()
             .zip(&r2)
             .map(|(&x1, &x2)| {
                 // Garner: v = x1 + p1 * ((x2 - x1) * p1^{-1} mod p2)
-                let diff = self.p2.sub(self.p2.reduce(x2), self.p2.reduce(x1 % self.p2.value()));
+                let diff = self
+                    .p2
+                    .sub(self.p2.reduce(x2), self.p2.reduce(x1 % self.p2.value()));
                 let t = self.p2.mul(diff, self.p1_inv_mod_p2);
                 let v = x1 as u128 + self.p1.value() as u128 * t as u128;
                 if v > half {
@@ -155,8 +160,18 @@ mod tests {
         let w = WideMultiplier::new(n);
         // Magnitudes close to a 56-bit q/2, the largest used by cm-bfv.
         let big = (1i64 << 55) - 12345;
-        let a: Vec<i64> = (0..n as i64).map(|i| if i % 2 == 0 { big - i } else { -(big - 2 * i) }).collect();
-        let b: Vec<i64> = (0..n as i64).map(|i| if i % 3 == 0 { -(big - 7 * i) } else { big - 5 * i }).collect();
+        let a: Vec<i64> = (0..n as i64)
+            .map(|i| if i % 2 == 0 { big - i } else { -(big - 2 * i) })
+            .collect();
+        let b: Vec<i64> = (0..n as i64)
+            .map(|i| {
+                if i % 3 == 0 {
+                    -(big - 7 * i)
+                } else {
+                    big - 5 * i
+                }
+            })
+            .collect();
         assert_eq!(w.mul(&a, &b), schoolbook_exact_negacyclic(&a, &b));
     }
 

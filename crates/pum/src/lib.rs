@@ -154,7 +154,9 @@ mod tests {
     fn functional_adder_matches_wrapping_add() {
         let mut arr = PumArray::new();
         let a: Vec<u32> = (0..257u32).map(|i| i.wrapping_mul(0x9E3779B9)).collect();
-        let b: Vec<u32> = (0..257u32).map(|i| i.wrapping_mul(0x85EBCA6B) ^ 0xFFFF).collect();
+        let b: Vec<u32> = (0..257u32)
+            .map(|i| i.wrapping_mul(0x85EBCA6B) ^ 0xFFFF)
+            .collect();
         let got = arr.add_u32_lanes(&a, &b);
         let expect: Vec<u32> = a.iter().zip(&b).map(|(&x, &y)| x.wrapping_add(y)).collect();
         assert_eq!(got, expect);

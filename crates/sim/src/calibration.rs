@@ -26,9 +26,9 @@ impl PassModel {
     /// Number of `Hom-Add` passes over the database for a `k`-bit query.
     pub fn passes(&self, k: usize, seg_bits: usize) -> u64 {
         match self {
-            PassModel::Complete => {
-                (0..seg_bits).map(|r| ((r + k).div_ceil(seg_bits)) as u64).sum()
-            }
+            PassModel::Complete => (0..seg_bits)
+                .map(|r| ((r + k).div_ceil(seg_bits)) as u64)
+                .sum(),
             PassModel::PaperShifts => k.min(seg_bits) as u64,
         }
     }
@@ -102,7 +102,10 @@ mod tests {
     fn complete_pass_counts() {
         let m = PassModel::Complete;
         assert_eq!(m.passes(16, 16), 31);
-        assert_eq!(m.passes(8, 16), (0..16).map(|r| ((r + 8 + 15) / 16) as u64).sum());
+        assert_eq!(
+            m.passes(8, 16),
+            (0..16).map(|r| ((r + 8 + 15) / 16) as u64).sum()
+        );
         assert!(m.passes(256, 16) > m.passes(64, 16));
     }
 
@@ -117,7 +120,10 @@ mod tests {
     #[test]
     fn default_profile_is_sane() {
         let p = CalibrationProfile::default_measured();
-        assert!(p.t_hom_mult_2048 > 100.0 * p.t_hom_add_2048, "mult must dwarf add");
+        assert!(
+            p.t_hom_mult_2048 > 100.0 * p.t_hom_add_2048,
+            "mult must dwarf add"
+        );
         assert!(p.t_tfhe_gate > 1e-3, "bootstrapped gates are milliseconds+");
         assert!(p.cmsw_add_bw() > 1e8, "hom-add streams at >100 MB/s");
         assert!(p.pum_active_fraction > 0.0 && p.pum_active_fraction <= 1.0);

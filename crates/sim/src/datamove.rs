@@ -22,7 +22,11 @@ pub struct TransferLatency {
 impl TransferLatency {
     /// Latencies normalized to the CPU path = 100 (the paper's y-axis).
     pub fn normalized(&self) -> (f64, f64, f64) {
-        (100.0, 100.0 * self.dram / self.cpu, 100.0 * self.storage / self.cpu)
+        (
+            100.0,
+            100.0 * self.dram / self.cpu,
+            100.0 * self.storage / self.cpu,
+        )
     }
 }
 
@@ -38,7 +42,10 @@ pub struct DataMoveModel {
 impl DataMoveModel {
     /// Creates the model with the paper constants and 8 re-access passes.
     pub fn new(constants: SystemConstants) -> Self {
-        Self { constants, reaccess_passes: 8.0 }
+        Self {
+            constants,
+            reaccess_passes: 8.0,
+        }
     }
 
     /// Computes the three-path transfer latency for `db_bytes`.
@@ -50,7 +57,11 @@ impl DataMoveModel {
         // beyond DRAM capacity is re-fetched on every pass.
         let to_dram = storage + db_bytes / c.pcie_bw + self.reaccess_passes * spill / c.pcie_bw;
         let cpu = to_dram + db_bytes / c.cpu_stream_bw;
-        TransferLatency { storage, dram: to_dram, cpu }
+        TransferLatency {
+            storage,
+            dram: to_dram,
+            cpu,
+        }
     }
 
     /// The paper's Fig. 3 sweep: 8–256 GB encrypted databases.

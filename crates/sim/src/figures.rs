@@ -38,7 +38,12 @@ pub fn fig3(constants: &SystemConstants) -> Vec<Fig3Row> {
         .into_iter()
         .map(|(db_gb, lat)| {
             let (cpu, dram, storage) = lat.normalized();
-            Fig3Row { db_gb, cpu, dram, storage }
+            Fig3Row {
+                db_gb,
+                cpu,
+                dram,
+                storage,
+            }
         })
         .collect()
 }
@@ -67,7 +72,11 @@ fn sw_sweep(
         .iter()
         .map(|&k| {
             // 128 GB encrypted with CM packing = 32 GB plaintext; 1 query.
-            let w = Workload { plain_bytes: 32.0 * GIB, k, queries: 1 };
+            let w = Workload {
+                plain_bytes: 32.0 * GIB,
+                k,
+                queries: 1,
+            };
             let cm = m.cmsw(&w);
             let ya = m.yasuda(&w);
             let bo = m.boolean(&w);
@@ -117,7 +126,11 @@ pub fn fig9(constants: &SystemConstants, calibration: &CalibrationProfile) -> Ve
     DB_SIZES_GB
         .iter()
         .map(|&db_gb| {
-            let w = Workload { plain_bytes: db_gb * GIB / 4.0, k: 16, queries: 1000 };
+            let w = Workload {
+                plain_bytes: db_gb * GIB / 4.0,
+                k: 16,
+                queries: 1000,
+            };
             let cm = m.cmsw(&w);
             let ya = m.yasuda(&w);
             let bo = m.boolean(&w);
@@ -153,7 +166,11 @@ fn hw_sweep_queries(
     QUERY_SIZES
         .iter()
         .map(|&k| {
-            let w = Workload { plain_bytes: 32.0 * GIB, k, queries: 1 };
+            let w = Workload {
+                plain_bytes: 32.0 * GIB,
+                k,
+                queries: 1,
+            };
             let sw = m.cmsw_baseline(&w);
             let metric = |c: &crate::sw_models::Cost| {
                 if energy {
@@ -189,7 +206,11 @@ pub fn fig12(constants: &SystemConstants, calibration: &CalibrationProfile) -> V
     DB_SIZES_GB
         .iter()
         .map(|&db_gb| {
-            let w = Workload { plain_bytes: db_gb * GIB / 4.0, k: 16, queries: 1000 };
+            let w = Workload {
+                plain_bytes: db_gb * GIB / 4.0,
+                k: 16,
+                queries: 1000,
+            };
             let sw = m.cmsw_baseline(&w);
             HwSweepRow {
                 x: db_gb,
@@ -206,7 +227,10 @@ mod tests {
     use super::*;
 
     fn setup() -> (SystemConstants, CalibrationProfile) {
-        (SystemConstants::paper_default(), CalibrationProfile::paper_rates())
+        (
+            SystemConstants::paper_default(),
+            CalibrationProfile::paper_rates(),
+        )
     }
 
     #[test]
@@ -285,13 +309,24 @@ mod tests {
         assert!(first.ifp > first.pum && first.ifp > first.pum_ssd);
         assert!(first.ifp > 50.0, "IFP speedup at k=16: {}", first.ifp);
         // k = 256: CM-PuM overtakes CM-IFP (paper: 1.21x).
-        assert!(last.pum > last.ifp, "PuM {} vs IFP {} at k=256", last.pum, last.ifp);
+        assert!(
+            last.pum > last.ifp,
+            "PuM {} vs IFP {} at k=256",
+            last.pum,
+            last.ifp
+        );
         // IFP's advantage over PuM declines monotonically toward the
         // crossover (the paper's Fig. 10 trend).
         assert!(first.ifp / first.pum > last.ifp / last.pum);
         // CM-PuM beats CM-PuM-SSD for single queries (paper: 1.5–3.5x).
         for r in &rows {
-            assert!(r.pum > r.pum_ssd, "k={}: pum {} vs pum-ssd {}", r.x, r.pum, r.pum_ssd);
+            assert!(
+                r.pum > r.pum_ssd,
+                "k={}: pum {} vs pum-ssd {}",
+                r.x,
+                r.pum,
+                r.pum_ssd
+            );
         }
     }
 
@@ -300,7 +335,11 @@ mod tests {
         let (c, cal) = setup();
         for r in fig11(&c, &cal) {
             assert!(r.ifp > r.pum, "k={}: ifp {} pum {}", r.x, r.ifp, r.pum);
-            assert!(r.pum_ssd > r.pum, "k={}: pum-ssd must beat pum on energy", r.x);
+            assert!(
+                r.pum_ssd > r.pum,
+                "k={}: pum-ssd must beat pum on energy",
+                r.x
+            );
             assert!(r.ifp > 10.0);
         }
     }
@@ -310,11 +349,21 @@ mod tests {
         let (c, cal) = setup();
         let rows = fig12(&c, &cal);
         // Fits in DRAM (8–32 GB): CM-PuM ahead of CM-IFP (paper: 1.41x).
-        assert!(rows[0].pum > rows[0].ifp, "8 GB: pum {} ifp {}", rows[0].pum, rows[0].ifp);
+        assert!(
+            rows[0].pum > rows[0].ifp,
+            "8 GB: pum {} ifp {}",
+            rows[0].pum,
+            rows[0].ifp
+        );
         // 128 GB: CM-IFP ahead (paper: 8.29x) and PuM-SSD between.
         let last = rows.last().unwrap();
-        assert!(last.ifp > last.pum_ssd && last.pum_ssd > last.pum,
-            "128 GB ordering: ifp {} pum_ssd {} pum {}", last.ifp, last.pum_ssd, last.pum);
+        assert!(
+            last.ifp > last.pum_ssd && last.pum_ssd > last.pum,
+            "128 GB ordering: ifp {} pum_ssd {} pum {}",
+            last.ifp,
+            last.pum_ssd,
+            last.pum
+        );
         // All NDP systems always beat CM-SW.
         for r in &rows {
             assert!(r.pum > 1.0 && r.pum_ssd > 1.0 && r.ifp > 1.0);

@@ -31,7 +31,10 @@ pub struct HwModels {
 impl HwModels {
     /// Creates the model set.
     pub fn new(constants: SystemConstants, calibration: CalibrationProfile) -> Self {
-        Self { constants, calibration }
+        Self {
+            constants,
+            calibration,
+        }
     }
 
     fn passes(&self, k: usize) -> f64 {
@@ -59,10 +62,12 @@ impl HwModels {
         let compute = w.queries as f64 * v * enc / self.calibration.cmsw_add_bw();
         let time = io + compute;
         let io_bytes = io * c.pcie_bw;
-        let energy = compute * c.cpu_power
-            + time * c.dram_power
-            + self.flash_read_energy(io_bytes);
-        Cost { time, energy, footprint: enc }
+        let energy = compute * c.cpu_power + time * c.dram_power + self.flash_read_energy(io_bytes);
+        Cost {
+            time,
+            energy,
+            footprint: enc,
+        }
     }
 
     /// CM-PuM: SIMDRAM bit-serial addition in external DDR4.
@@ -87,7 +92,11 @@ impl HwModels {
             + array_energy
             + self.flash_read_energy(io * c.pcie_bw)
             + time * c.dram_power;
-        Cost { time, energy, footprint: enc }
+        Cost {
+            time,
+            energy,
+            footprint: enc,
+        }
     }
 
     /// CM-PuM-SSD: SIMDRAM semantics in the SSD-internal LPDDR4, fed over
@@ -108,7 +117,11 @@ impl HwModels {
             + array_energy
             + self.flash_read_energy(enc)
             + time * (c.controller_power + c.internal_dram_power);
-        Cost { time, energy, footprint: enc }
+        Cost {
+            time,
+            energy,
+            footprint: enc,
+        }
     }
 
     /// CM-IFP: bit-serial addition inside the flash arrays (Eq. 9–11),
@@ -129,11 +142,13 @@ impl HwModels {
         // Energy: per-channel accounting (Table 3 units are µJ/channel).
         let page_kb = c.geometry.page_bytes as f64 / 1024.0;
         let e_rest = c.flash_e.e_bit_add(page_kb) - c.flash_e.e_read_slc;
-        let step_energy =
-            c.geometry.channels as f64 * (c.flash_e.e_read_slc + v * e_rest);
-        let energy = w.queries as f64 * bit_steps * step_energy
-            + time * c.controller_power;
-        Cost { time, energy, footprint: enc }
+        let step_energy = c.geometry.channels as f64 * (c.flash_e.e_read_slc + v * e_rest);
+        let energy = w.queries as f64 * bit_steps * step_energy + time * c.controller_power;
+        Cost {
+            time,
+            energy,
+            footprint: enc,
+        }
     }
 }
 
@@ -150,7 +165,11 @@ mod tests {
     }
 
     fn w(enc_gb: f64, k: usize, queries: u64) -> Workload {
-        Workload { plain_bytes: enc_gb * GIB / 4.0, k, queries }
+        Workload {
+            plain_bytes: enc_gb * GIB / 4.0,
+            k,
+            queries,
+        }
     }
 
     #[test]
@@ -180,9 +199,15 @@ mod tests {
         // at 256-bit.
         let m = models();
         let small = w(128.0, 16, 1);
-        assert!(m.cm_ifp(&small).time < m.cm_pum(&small).time, "IFP must win at k=16");
+        assert!(
+            m.cm_ifp(&small).time < m.cm_pum(&small).time,
+            "IFP must win at k=16"
+        );
         let large = w(128.0, 256, 1);
-        assert!(m.cm_pum(&large).time < m.cm_ifp(&large).time, "PuM must win at k=256");
+        assert!(
+            m.cm_pum(&large).time < m.cm_ifp(&large).time,
+            "PuM must win at k=256"
+        );
     }
 
     #[test]
@@ -191,9 +216,15 @@ mod tests {
         // encrypted DB fits in 32 GB DRAM; CM-IFP wins beyond.
         let m = models();
         let small = w(8.0, 16, 1000);
-        assert!(m.cm_pum(&small).time < m.cm_ifp(&small).time, "PuM must win at 8 GB");
+        assert!(
+            m.cm_pum(&small).time < m.cm_ifp(&small).time,
+            "PuM must win at 8 GB"
+        );
         let large = w(128.0, 16, 1000);
-        assert!(m.cm_ifp(&large).time < m.cm_pum(&large).time, "IFP must win at 128 GB");
+        assert!(
+            m.cm_ifp(&large).time < m.cm_pum(&large).time,
+            "IFP must win at 128 GB"
+        );
     }
 
     #[test]
@@ -222,7 +253,10 @@ mod tests {
         let ifp = m.cm_ifp(&wl).time;
         let pum_ssd = m.cm_pum_ssd(&wl).time;
         let pum = m.cm_pum(&wl).time;
-        assert!(ifp < pum_ssd && pum_ssd < pum, "ifp {ifp} pum_ssd {pum_ssd} pum {pum}");
+        assert!(
+            ifp < pum_ssd && pum_ssd < pum,
+            "ifp {ifp} pum_ssd {pum_ssd} pum {pum}"
+        );
     }
 
     #[test]

@@ -82,6 +82,9 @@ mod tests {
         let z_nand_read = 3e-6;
         let software_latency = 13.6e-6;
         assert!(a.transposition_latency < z_nand_read);
-        assert!(software_latency > z_nand_read, "software unit cannot hide under Z-NAND");
+        assert!(
+            software_latency > z_nand_read,
+            "software unit cannot hide under Z-NAND"
+        );
     }
 }

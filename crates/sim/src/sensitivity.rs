@@ -38,12 +38,32 @@ impl CrossoverOutcome {
     }
 }
 
-fn outcome_for(constants: &SystemConstants, cal: &CalibrationProfile, knob: f64) -> CrossoverOutcome {
+fn outcome_for(
+    constants: &SystemConstants,
+    cal: &CalibrationProfile,
+    knob: f64,
+) -> CrossoverOutcome {
     let m = HwModels::new(constants.clone(), *cal);
-    let small_q = Workload { plain_bytes: 32.0 * GIB, k: 16, queries: 1 };
-    let large_q = Workload { plain_bytes: 32.0 * GIB, k: 256, queries: 1 };
-    let small_db = Workload { plain_bytes: 2.0 * GIB, k: 16, queries: 1000 };
-    let large_db = Workload { plain_bytes: 32.0 * GIB, k: 16, queries: 1000 };
+    let small_q = Workload {
+        plain_bytes: 32.0 * GIB,
+        k: 16,
+        queries: 1,
+    };
+    let large_q = Workload {
+        plain_bytes: 32.0 * GIB,
+        k: 256,
+        queries: 1,
+    };
+    let small_db = Workload {
+        plain_bytes: 2.0 * GIB,
+        k: 16,
+        queries: 1000,
+    };
+    let large_db = Workload {
+        plain_bytes: 32.0 * GIB,
+        k: 16,
+        queries: 1000,
+    };
     CrossoverOutcome {
         knob,
         ifp_wins_small_queries: m.cm_ifp(&small_q).time < m.cm_pum(&small_q).time,
@@ -110,11 +130,17 @@ mod tests {
         assert!(ifp_large.windows(2).all(|w| w[0] || !w[1]), "{ifp_large:?}");
         // ...and PuM's wins are monotonically gained.
         let pum_large_q: Vec<bool> = outs.iter().map(|o| o.pum_wins_large_queries).collect();
-        assert!(pum_large_q.windows(2).all(|w| !w[0] || w[1]), "{pum_large_q:?}");
+        assert!(
+            pum_large_q.windows(2).all(|w| !w[0] || w[1]),
+            "{pum_large_q:?}"
+        );
         // Both regimes are non-empty, and at least one knob value (the
         // default) satisfies everything at once.
         assert!(ifp_large.iter().any(|&b| b) && ifp_large.iter().any(|&b| !b));
-        assert!(outs.iter().any(|o| o.all_hold()), "no knob satisfies all claims");
+        assert!(
+            outs.iter().any(|o| o.all_hold()),
+            "no knob satisfies all claims"
+        );
     }
 
     #[test]

@@ -55,7 +55,10 @@ pub struct SwModels {
 impl SwModels {
     /// Creates the model set.
     pub fn new(constants: SystemConstants, calibration: CalibrationProfile) -> Self {
-        Self { constants, calibration }
+        Self {
+            constants,
+            calibration,
+        }
     }
 
     /// I/O time to make `enc` encrypted bytes available per query: loaded
@@ -81,7 +84,11 @@ impl SwModels {
         let compute = passes as f64 * enc / self.calibration.cmsw_add_bw();
         let io = self.io_time(enc, w.queries);
         let time = compute + io;
-        Cost { time, energy: self.energy(compute, io, time), footprint: enc }
+        Cost {
+            time,
+            energy: self.energy(compute, io, time),
+            footprint: enc,
+        }
     }
 
     /// Arithmetic baseline (Yasuda \[27\]): single-bit packing (n = 2048,
@@ -99,7 +106,11 @@ impl SwModels {
         let compute = w.queries as f64 * per_query;
         let io = self.io_time(enc, w.queries);
         let time = compute + io;
-        Cost { time, energy: self.energy(compute, io, time), footprint: enc }
+        Cost {
+            time,
+            energy: self.energy(compute, io, time),
+            footprint: enc,
+        }
     }
 
     /// Boolean baseline (Aziz \[17\] / Pradel \[33\]): per-bit TFHE, one
@@ -113,7 +124,11 @@ impl SwModels {
         let compute = w.queries as f64 * gates * self.calibration.t_tfhe_gate;
         let io = self.io_time(enc, w.queries);
         let time = compute + io;
-        Cost { time, energy: self.energy(compute, io, time), footprint: enc }
+        Cost {
+            time,
+            energy: self.energy(compute, io, time),
+            footprint: enc,
+        }
     }
 }
 
@@ -129,7 +144,11 @@ mod tests {
     }
 
     fn w(plain_gb: f64, k: usize, queries: u64) -> Workload {
-        Workload { plain_bytes: plain_gb * crate::constants::GIB, k, queries }
+        Workload {
+            plain_bytes: plain_gb * crate::constants::GIB,
+            k,
+            queries,
+        }
     }
 
     #[test]
@@ -146,7 +165,10 @@ mod tests {
             // Boolean.
             let vs_arith = cm.speedup_vs(&ya);
             let vs_bool = cm.speedup_vs(&bo);
-            assert!((5.0..5000.0).contains(&vs_arith), "k={k}: vs arith {vs_arith}");
+            assert!(
+                (5.0..5000.0).contains(&vs_arith),
+                "k={k}: vs arith {vs_arith}"
+            );
             assert!(vs_bool > 1e4, "k={k}: vs boolean {vs_bool}");
         }
     }

@@ -57,17 +57,28 @@ pub enum HostResponse {
 /// Dispatches a host command to the device.
 pub fn submit(ssd: &mut Ssd, cmd: HostCommand) -> HostResponse {
     match cmd {
-        HostCommand::Read { address, cm_flag: false } => {
-            HostResponse::Bytes(ssd.read_page(address))
-        }
-        HostCommand::Read { address, cm_flag: true } => {
-            HostResponse::Words(ssd.cm_read_group(address as usize))
-        }
-        HostCommand::Write { address, cm_flag: false, bytes, .. } => {
+        HostCommand::Read {
+            address,
+            cm_flag: false,
+        } => HostResponse::Bytes(ssd.read_page(address)),
+        HostCommand::Read {
+            address,
+            cm_flag: true,
+        } => HostResponse::Words(ssd.cm_read_group(address as usize)),
+        HostCommand::Write {
+            address,
+            cm_flag: false,
+            bytes,
+            ..
+        } => {
             ssd.write_page(address, &bytes);
             HostResponse::Ack
         }
-        HostCommand::Write { cm_flag: true, words, .. } => {
+        HostCommand::Write {
+            cm_flag: true,
+            words,
+            ..
+        } => {
             ssd.cm_write_words(&words);
             HostResponse::Ack
         }
@@ -93,25 +104,43 @@ mod tests {
         let mut s = ssd();
         // Conventional write + read.
         let data = vec![7u8; 16];
-        submit(&mut s, HostCommand::Write {
-            address: 5,
-            cm_flag: false,
-            bytes: data.clone(),
-            words: vec![],
-        });
-        match submit(&mut s, HostCommand::Read { address: 5, cm_flag: false }) {
+        submit(
+            &mut s,
+            HostCommand::Write {
+                address: 5,
+                cm_flag: false,
+                bytes: data.clone(),
+                words: vec![],
+            },
+        );
+        match submit(
+            &mut s,
+            HostCommand::Read {
+                address: 5,
+                cm_flag: false,
+            },
+        ) {
             HostResponse::Bytes(b) => assert_eq!(&b[..16], &data[..]),
             other => panic!("unexpected response {other:?}"),
         }
         // CM write + read through the flag.
         let words: Vec<u32> = (0..512u32).collect();
-        submit(&mut s, HostCommand::Write {
-            address: 0,
-            cm_flag: true,
-            bytes: vec![],
-            words: words.clone(),
-        });
-        match submit(&mut s, HostCommand::Read { address: 0, cm_flag: true }) {
+        submit(
+            &mut s,
+            HostCommand::Write {
+                address: 0,
+                cm_flag: true,
+                bytes: vec![],
+                words: words.clone(),
+            },
+        );
+        match submit(
+            &mut s,
+            HostCommand::Read {
+                address: 0,
+                cm_flag: true,
+            },
+        ) {
             HostResponse::Words(w) => assert_eq!(w, words),
             other => panic!("unexpected response {other:?}"),
         }
@@ -121,16 +150,27 @@ mod tests {
     fn cm_search_through_the_interface() {
         let mut s = ssd();
         let words: Vec<u32> = (0..512u32).map(|i| i * 11).collect();
-        submit(&mut s, HostCommand::Write {
-            address: 0,
-            cm_flag: true,
-            bytes: vec![],
-            words: words.clone(),
-        });
-        match submit(&mut s, HostCommand::CmSearch { query_words: vec![100] }) {
+        submit(
+            &mut s,
+            HostCommand::Write {
+                address: 0,
+                cm_flag: true,
+                bytes: vec![],
+                words: words.clone(),
+            },
+        );
+        match submit(
+            &mut s,
+            HostCommand::CmSearch {
+                query_words: vec![100],
+            },
+        ) {
             HostResponse::SearchResult { sums, report } => {
                 assert_eq!(sums.len(), words.len());
-                assert!(sums.iter().zip(&words).all(|(&s, &w)| s == w.wrapping_add(100)));
+                assert!(sums
+                    .iter()
+                    .zip(&words)
+                    .all(|(&s, &w)| s == w.wrapping_add(100)));
                 assert_eq!(report.ledger.wear(), 0);
             }
             other => panic!("unexpected response {other:?}"),

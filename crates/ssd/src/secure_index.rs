@@ -23,7 +23,9 @@ pub struct SecureIndexChannel {
 impl SecureIndexChannel {
     /// Provisions the channel with a 256-bit key.
     pub fn new(key: &[u8; 32]) -> Self {
-        Self { aes: Aes::new_256(key) }
+        Self {
+            aes: Aes::new_256(key),
+        }
     }
 
     /// Serializes and encrypts a match-index list. Returns the ciphertext
@@ -51,9 +53,7 @@ impl SecureIndexChannel {
         let count = u64::from_le_bytes(bytes[..8].try_into().unwrap()) as usize;
         assert!(bytes.len() >= 8 + count * 8, "sealed index list truncated");
         (0..count)
-            .map(|i| {
-                u64::from_le_bytes(bytes[8 + i * 8..16 + i * 8].try_into().unwrap()) as usize
-            })
+            .map(|i| u64::from_le_bytes(bytes[8 + i * 8..16 + i * 8].try_into().unwrap()) as usize)
             .collect()
     }
 }

@@ -6,7 +6,9 @@
 //! µ-program across every allocated group and returns the coefficient-wise
 //! sums to the index-generation unit).
 
-use cm_flash::{bop_add, FlashArray, FlashEnergy, FlashGeometry, FlashLedger, FlashTimings, PageAddr};
+use cm_flash::{
+    bop_add, FlashArray, FlashEnergy, FlashGeometry, FlashLedger, FlashTimings, PageAddr,
+};
 
 use crate::ftl::{Ftl, GroupAddr, GROUP_WORDLINES};
 use crate::transpose::{TransposeMode, TranspositionUnit};
@@ -26,7 +28,11 @@ pub struct ControllerModel {
 impl ControllerModel {
     /// Table 3 values.
     pub fn paper_default() -> Self {
-        Self { cores: 5, clock_hz: 1.5e9, index_gen_per_page: 3.42e-6 }
+        Self {
+            cores: 5,
+            clock_hz: 1.5e9,
+            index_gen_per_page: 3.42e-6,
+        }
     }
 }
 
@@ -135,7 +141,8 @@ impl Ssd {
                 bits[i * 8 + b] = (byte >> (7 - b)) & 1 == 1;
             }
         }
-        self.flash.program_page(addr, cm_flash::BitBuf::from_bits(&bits));
+        self.flash
+            .program_page(addr, cm_flash::BitBuf::from_bits(&bits));
     }
 
     /// Conventional read.
@@ -144,7 +151,10 @@ impl Ssd {
     ///
     /// Panics if the logical page was never written.
     pub fn read_page(&mut self, lpn: u64) -> Vec<u8> {
-        let addr = self.ftl.lookup_conventional(lpn).expect("unmapped logical page");
+        let addr = self
+            .ftl
+            .lookup_conventional(lpn)
+            .expect("unmapped logical page");
         let buf = self.flash.read_page(addr);
         let mut out = vec![0u8; buf.len() / 8];
         for (i, byte) in out.iter_mut().enumerate() {
@@ -175,7 +185,11 @@ impl Ssd {
             let group = self.ftl.allocate_group();
             for (b, page) in planes.into_iter().enumerate() {
                 self.flash.program_page(
-                    PageAddr { plane: group.plane, block: group.block, wordline: group.wl_base + b },
+                    PageAddr {
+                        plane: group.plane,
+                        block: group.block,
+                        wordline: group.wl_base + b,
+                    },
                     page,
                 );
             }
@@ -238,7 +252,11 @@ impl Ssd {
         let planes = self.transpose.to_vertical(words, GROUP_WORDLINES);
         for (b, page) in planes.into_iter().enumerate() {
             self.flash.program_page(
-                PageAddr { plane: group.plane, block: group.block, wordline: group.wl_base + b },
+                PageAddr {
+                    plane: group.plane,
+                    block: group.block,
+                    wordline: group.wl_base + b,
+                },
                 page,
             );
         }
@@ -274,11 +292,17 @@ impl Ssd {
             if offset >= self.stored_words {
                 break;
             }
-            let window: Vec<u32> =
-                (0..bitlines).map(|l| query_words[(offset + l) % qlen]).collect();
+            let window: Vec<u32> = (0..bitlines)
+                .map(|l| query_words[(offset + l) % qlen])
+                .collect();
             let b_planes = self.transpose.to_vertical(&window, GROUP_WORDLINES);
-            let sum_planes =
-                bop_add(&mut self.flash, group.plane, group.block, group.wl_base, &b_planes);
+            let sum_planes = bop_add(
+                &mut self.flash,
+                group.plane,
+                group.block,
+                group.wl_base,
+                &b_planes,
+            );
             bop_adds += 1;
             let words = self.transpose.to_horizontal(&sum_planes);
             let take = bitlines.min(self.stored_words - offset);
@@ -378,7 +402,10 @@ mod tests {
         let eq9 = report.time_eq9(&geom, &t);
         let contended = report.time_with_channel_contention(&geom, &t);
         assert!(eq9 > 0.0);
-        assert!(contended >= eq9 * 0.3, "contention model should be same order");
+        assert!(
+            contended >= eq9 * 0.3,
+            "contention model should be same order"
+        );
         let e = FlashEnergy::paper_default();
         assert!(report.energy(&geom, &e) > 0.0);
     }

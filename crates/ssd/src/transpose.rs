@@ -47,7 +47,11 @@ pub struct TranspositionUnit {
 impl TranspositionUnit {
     /// Creates a unit in the given mode.
     pub fn new(mode: TransposeMode) -> Self {
-        Self { mode, busy_time: 0.0, bytes_transposed: 0 }
+        Self {
+            mode,
+            busy_time: 0.0,
+            bytes_transposed: 0,
+        }
     }
 
     /// The configured mode.

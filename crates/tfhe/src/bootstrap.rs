@@ -74,17 +74,16 @@ impl KeySwitchKey {
                 (0..params.ks_levels)
                     .map(|m| {
                         let g = 1u32 << (32 - (m as u32 + 1) * params.ks_base_log);
-                        LweCiphertext::encrypt(
-                            zj.wrapping_mul(g),
-                            to,
-                            params.lwe_noise_std,
-                            rng,
-                        )
+                        LweCiphertext::encrypt(zj.wrapping_mul(g), to, params.lwe_noise_std, rng)
                     })
                     .collect()
             })
             .collect();
-        Self { ks, base_log: params.ks_base_log, levels: params.ks_levels }
+        Self {
+            ks,
+            base_log: params.ks_base_log,
+            levels: params.ks_levels,
+        }
     }
 
     /// Switches an LWE ciphertext from the source key to the target key.
@@ -93,7 +92,11 @@ impl KeySwitchKey {
         let mut out = LweCiphertext::trivial(ct.b, out_dim);
         let base = 1u32 << self.base_log;
         let total = self.base_log * self.levels as u32;
-        let rounding = if total < 32 { 1u32 << (32 - total - 1) } else { 0 };
+        let rounding = if total < 32 {
+            1u32 << (32 - total - 1)
+        } else {
+            0
+        };
         for (j, &aj) in ct.a.iter().enumerate() {
             let v = if total < 32 {
                 aj.wrapping_add(rounding) >> (32 - total)
@@ -184,7 +187,15 @@ mod tests {
         let rlwe_key = RlweKey::generate(params.rlwe_dim, &mut rng);
         let bsk = BootstrapKey::generate(&lwe_key, &rlwe_key, &params, &ctx, &mut rng);
         let ksk = KeySwitchKey::generate(&rlwe_key.as_lwe_key(), &lwe_key, &params, &mut rng);
-        Fixture { params, lwe_key, rlwe_key, bsk, ksk, ctx, rng }
+        Fixture {
+            params,
+            lwe_key,
+            rlwe_key,
+            bsk,
+            ksk,
+            ctx,
+            rng,
+        }
     }
 
     #[test]
@@ -245,12 +256,8 @@ mod tests {
     fn bootstrap_is_repeatable() {
         // Bootstrapping its own output must stay stable (noise is reset).
         let mut f = fixture();
-        let mut ct = LweCiphertext::encrypt_with_params(
-            encode_bit(true),
-            &f.lwe_key,
-            &f.params,
-            &mut f.rng,
-        );
+        let mut ct =
+            LweCiphertext::encrypt_with_params(encode_bit(true), &f.lwe_key, &f.params, &mut f.rng);
         for _ in 0..3 {
             ct = bootstrap_to_sign(&ct, &f.bsk, &f.ksk, &f.params, &f.ctx);
             assert!(decode_bit(ct.phase(&f.lwe_key)));

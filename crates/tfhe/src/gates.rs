@@ -33,7 +33,11 @@ impl ClientKey {
         params.validate();
         let lwe_key = LweKey::generate(params.lwe_dim, rng);
         let rlwe_key = RlweKey::generate(params.rlwe_dim, rng);
-        Self { params, lwe_key, rlwe_key }
+        Self {
+            params,
+            lwe_key,
+            rlwe_key,
+        }
     }
 
     /// The parameter set.
@@ -87,7 +91,13 @@ impl ServerKey {
             &client.params,
             rng,
         );
-        Self { params: client.params.clone(), bsk, ksk, ctx, bootstraps: AtomicU64::new(0) }
+        Self {
+            params: client.params.clone(),
+            bsk,
+            ksk,
+            ctx,
+            bootstraps: AtomicU64::new(0),
+        }
     }
 
     /// Number of bootstraps performed so far.
@@ -148,7 +158,11 @@ impl ServerKey {
     /// Boolean string-matching baseline runs for every (query bit,
     /// database bit) pair (§2.2).
     pub fn xnor(&self, x: &BitCiphertext, y: &BitCiphertext) -> BitCiphertext {
-        self.bootstrap(&self.bias((1u32 << 30).wrapping_neg()).add(&x.add(y).scale(2)))
+        self.bootstrap(
+            &self
+                .bias((1u32 << 30).wrapping_neg())
+                .add(&x.add(y).scale(2)),
+        )
     }
 
     /// Multiplexer `c ? x : y` — three bootstraps (composite).

@@ -38,7 +38,9 @@ mod rgsw;
 mod rlwe;
 mod torus;
 
-pub use bootstrap::{blind_rotate, bootstrap_to_sign, sign_test_vector, BootstrapKey, KeySwitchKey};
+pub use bootstrap::{
+    blind_rotate, bootstrap_to_sign, sign_test_vector, BootstrapKey, KeySwitchKey,
+};
 pub use gates::{BitCiphertext, ClientKey, ServerKey};
 pub use lwe::{LweCiphertext, LweKey};
 pub use params::TfheParams;

@@ -19,7 +19,9 @@ pub struct LweKey {
 impl LweKey {
     /// Samples a fresh binary key.
     pub fn generate<R: Rng + ?Sized>(dim: usize, rng: &mut R) -> Self {
-        Self { bits: (0..dim).map(|_| rng.gen_range(0..=1u32)).collect() }
+        Self {
+            bits: (0..dim).map(|_| rng.gen_range(0..=1u32)).collect(),
+        }
     }
 
     /// Wraps existing key bits (used by sample extraction).
@@ -44,23 +46,23 @@ impl LweCiphertext {
     /// The trivial (noiseless, keyless) encryption of `mu`; used for gate
     /// bias constants.
     pub fn trivial(mu: u32, dim: usize) -> Self {
-        Self { a: vec![0; dim], b: mu }
+        Self {
+            a: vec![0; dim],
+            b: mu,
+        }
     }
 
     /// Encrypts the torus message `mu` under `key`.
-    pub fn encrypt<R: Rng + ?Sized>(
-        mu: u32,
-        key: &LweKey,
-        noise_std: f64,
-        rng: &mut R,
-    ) -> Self {
+    pub fn encrypt<R: Rng + ?Sized>(mu: u32, key: &LweKey, noise_std: f64, rng: &mut R) -> Self {
         let a: Vec<u32> = (0..key.dim()).map(|_| rng.gen::<u32>()).collect();
-        let dot = a
-            .iter()
-            .zip(&key.bits)
-            .fold(0u32, |acc, (&ai, &si)| acc.wrapping_add(ai.wrapping_mul(si)));
+        let dot = a.iter().zip(&key.bits).fold(0u32, |acc, (&ai, &si)| {
+            acc.wrapping_add(ai.wrapping_mul(si))
+        });
         let e = gaussian_torus(noise_std, rng);
-        Self { b: dot.wrapping_add(mu).wrapping_add(e), a }
+        Self {
+            b: dot.wrapping_add(mu).wrapping_add(e),
+            a,
+        }
     }
 
     /// Convenience constructor reading noise parameters from `params`.
@@ -75,11 +77,9 @@ impl LweCiphertext {
 
     /// The noisy phase `b - <a, s>` (message plus noise).
     pub fn phase(&self, key: &LweKey) -> u32 {
-        let dot = self
-            .a
-            .iter()
-            .zip(&key.bits)
-            .fold(0u32, |acc, (&ai, &si)| acc.wrapping_add(ai.wrapping_mul(si)));
+        let dot = self.a.iter().zip(&key.bits).fold(0u32, |acc, (&ai, &si)| {
+            acc.wrapping_add(ai.wrapping_mul(si))
+        });
         self.b.wrapping_sub(dot)
     }
 
@@ -92,7 +92,12 @@ impl LweCiphertext {
     pub fn add(&self, other: &Self) -> Self {
         assert_eq!(self.dim(), other.dim(), "LWE dimension mismatch");
         Self {
-            a: self.a.iter().zip(&other.a).map(|(&x, &y)| x.wrapping_add(y)).collect(),
+            a: self
+                .a
+                .iter()
+                .zip(&other.a)
+                .map(|(&x, &y)| x.wrapping_add(y))
+                .collect(),
             b: self.b.wrapping_add(other.b),
         }
     }
@@ -101,7 +106,12 @@ impl LweCiphertext {
     pub fn sub(&self, other: &Self) -> Self {
         assert_eq!(self.dim(), other.dim(), "LWE dimension mismatch");
         Self {
-            a: self.a.iter().zip(&other.a).map(|(&x, &y)| x.wrapping_sub(y)).collect(),
+            a: self
+                .a
+                .iter()
+                .zip(&other.a)
+                .map(|(&x, &y)| x.wrapping_sub(y))
+                .collect(),
             b: self.b.wrapping_sub(other.b),
         }
     }

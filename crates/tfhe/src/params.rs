@@ -102,7 +102,10 @@ impl TfheParams {
     /// Panics if the gadget would exceed the 32-bit torus or the ring
     /// dimension is not a power of two.
     pub fn validate(&self) {
-        assert!(self.rlwe_dim.is_power_of_two(), "rlwe_dim must be a power of two");
+        assert!(
+            self.rlwe_dim.is_power_of_two(),
+            "rlwe_dim must be a power of two"
+        );
         assert!(
             self.decomp_base_log * self.decomp_levels as u32 <= 32,
             "gadget exceeds torus precision"

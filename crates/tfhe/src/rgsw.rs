@@ -22,7 +22,11 @@ pub(crate) fn decompose_poly(p: &[u32], base_log: u32, levels: usize) -> Vec<Vec
     let half = bg / 2;
     let total = base_log * levels as u32;
     debug_assert!(total <= 32);
-    let rounding = if total < 32 { 1u32 << (32 - total - 1) } else { 0 };
+    let rounding = if total < 32 {
+        1u32 << (32 - total - 1)
+    } else {
+        0
+    };
     let mut out = vec![vec![0i32; n]; levels];
     for (idx, &c) in p.iter().enumerate() {
         let mut v = if total < 32 {
@@ -96,10 +100,17 @@ impl Rgsw {
             } else {
                 ct.b[0] = ct.b[0].wrapping_add(add);
             }
-            NttRow { a: ctx.forward_u32(&ct.a), b: ctx.forward_u32(&ct.b) }
+            NttRow {
+                a: ctx.forward_u32(&ct.a),
+                b: ctx.forward_u32(&ct.b),
+            }
         };
-        let rows_a = (0..params.decomp_levels).map(|j| make_row(true, j, rng)).collect();
-        let rows_b = (0..params.decomp_levels).map(|j| make_row(false, j, rng)).collect();
+        let rows_a = (0..params.decomp_levels)
+            .map(|j| make_row(true, j, rng))
+            .collect();
+        let rows_b = (0..params.decomp_levels)
+            .map(|j| make_row(false, j, rng))
+            .collect();
         Self { rows_a, rows_b }
     }
 
@@ -115,7 +126,11 @@ impl Rgsw {
         let db = decompose_poly(&c.b, params.decomp_base_log, params.decomp_levels);
         let mut acc_a = ctx.zero_acc();
         let mut acc_b = ctx.zero_acc();
-        for (d, row) in da.iter().zip(&self.rows_a).chain(db.iter().zip(&self.rows_b)) {
+        for (d, row) in da
+            .iter()
+            .zip(&self.rows_a)
+            .chain(db.iter().zip(&self.rows_b))
+        {
             let d_ntt = ctx.forward_i32(d);
             ctx.mul_acc(&d_ntt, &row.a, &mut acc_a);
             ctx.mul_acc(&d_ntt, &row.b, &mut acc_b);
@@ -165,9 +180,9 @@ mod tests {
         let p: Vec<u32> = (0..16u32).map(|i| i.wrapping_mul(0x9E3779B9)).collect();
         for (bl, l) in [(8u32, 2usize), (7, 3), (4, 8)] {
             let digits = decompose_poly(&p, bl, l);
-            assert!(digits
+            assert!(digits.iter().all(|d| d
                 .iter()
-                .all(|d| d.iter().all(|&x| x >= -(1 << (bl - 1)) && x <= 1 << (bl - 1))));
+                .all(|&x| x >= -(1 << (bl - 1)) && x <= 1 << (bl - 1))));
             let rec = recompose_poly(&digits, bl);
             let max_err = 1u32 << (32 - bl * l as u32);
             for (&r, &orig) in rec.iter().zip(&p) {
@@ -181,7 +196,9 @@ mod tests {
     fn external_product_by_one_preserves_phase() {
         let (p, key, ctx, mut rng) = setup();
         let rgsw = Rgsw::encrypt_bit(1, &key, &p, &ctx, &mut rng);
-        let m: Vec<u32> = (0..64).map(|i| if i % 2 == 0 { 1u32 << 29 } else { 0 }).collect();
+        let m: Vec<u32> = (0..64)
+            .map(|i| if i % 2 == 0 { 1u32 << 29 } else { 0 })
+            .collect();
         let c = RlweCiphertext::encrypt(&m, &key, p.rlwe_noise_std, &ctx, &mut rng);
         let out = rgsw.external_product(&c, &p, &ctx);
         let phase = out.phase(&key, &ctx);

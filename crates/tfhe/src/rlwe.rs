@@ -20,7 +20,9 @@ pub struct RlweKey {
 impl RlweKey {
     /// Samples a fresh binary ring key of dimension `n`.
     pub fn generate<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
-        Self { coeffs: (0..n).map(|_| rng.gen_range(0..=1u32)).collect() }
+        Self {
+            coeffs: (0..n).map(|_| rng.gen_range(0..=1u32)).collect(),
+        }
     }
 
     /// Ring dimension.
@@ -46,7 +48,10 @@ impl RlweCiphertext {
     /// The trivial encryption of a message polynomial (zero mask, no noise).
     pub fn trivial(m: Vec<u32>) -> Self {
         let n = m.len();
-        Self { a: vec![0; n], b: m }
+        Self {
+            a: vec![0; n],
+            b: m,
+        }
     }
 
     /// Encrypts a torus message polynomial under `key`.
@@ -65,7 +70,8 @@ impl RlweCiphertext {
             .iter()
             .zip(m)
             .map(|(&azi, &mi)| {
-                azi.wrapping_add(mi).wrapping_add(gaussian_torus(noise_std, rng))
+                azi.wrapping_add(mi)
+                    .wrapping_add(gaussian_torus(noise_std, rng))
             })
             .collect();
         Self { a, b }
@@ -84,17 +90,26 @@ impl RlweCiphertext {
 
     /// Component-wise addition.
     pub fn add(&self, other: &Self) -> Self {
-        Self { a: poly_add(&self.a, &other.a), b: poly_add(&self.b, &other.b) }
+        Self {
+            a: poly_add(&self.a, &other.a),
+            b: poly_add(&self.b, &other.b),
+        }
     }
 
     /// Component-wise subtraction.
     pub fn sub(&self, other: &Self) -> Self {
-        Self { a: poly_sub(&self.a, &other.a), b: poly_sub(&self.b, &other.b) }
+        Self {
+            a: poly_sub(&self.a, &other.a),
+            b: poly_sub(&self.b, &other.b),
+        }
     }
 
     /// Multiplies both components by the monomial `x^e` (`e` in `[0, 2N)`).
     pub fn mul_monomial(&self, e: usize) -> Self {
-        Self { a: mul_monomial(&self.a, e), b: mul_monomial(&self.b, e) }
+        Self {
+            a: mul_monomial(&self.a, e),
+            b: mul_monomial(&self.b, e),
+        }
     }
 
     /// Extracts coefficient 0 of the phase as an `N`-dimensional LWE

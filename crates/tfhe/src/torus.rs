@@ -99,7 +99,12 @@ mod tests {
         // x^N = -1.
         assert_eq!(
             mul_monomial(&p, 4),
-            vec![1u32.wrapping_neg(), 2u32.wrapping_neg(), 3u32.wrapping_neg(), 4u32.wrapping_neg()]
+            vec![
+                1u32.wrapping_neg(),
+                2u32.wrapping_neg(),
+                3u32.wrapping_neg(),
+                4u32.wrapping_neg()
+            ]
         );
         // x^2N = identity.
         assert_eq!(mul_monomial(&p, 8), p);
@@ -134,9 +139,14 @@ mod tests {
     fn gaussian_std_scales() {
         let mut rng = StdRng::seed_from_u64(6);
         let std = 2f64.powi(-20);
-        let samples: Vec<i32> = (0..20_000).map(|_| gaussian_torus(std, &mut rng) as i32).collect();
+        let samples: Vec<i32> = (0..20_000)
+            .map(|_| gaussian_torus(std, &mut rng) as i32)
+            .collect();
         let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>()
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
             / samples.len() as f64;
         let expect = std * 4294967296.0;
         assert!((var.sqrt() - expect).abs() / expect < 0.1);

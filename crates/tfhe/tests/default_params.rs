@@ -16,7 +16,11 @@ fn default_params_gates_are_correct() {
         for b in [false, true] {
             let ea = client.encrypt(a, &mut rng);
             let eb = client.encrypt(b, &mut rng);
-            assert_eq!(client.decrypt(&server.xnor(&ea, &eb)), !(a ^ b), "XNOR {a} {b}");
+            assert_eq!(
+                client.decrypt(&server.xnor(&ea, &eb)),
+                !(a ^ b),
+                "XNOR {a} {b}"
+            );
             assert_eq!(client.decrypt(&server.and(&ea, &eb)), a & b, "AND {a} {b}");
         }
     }

@@ -23,7 +23,9 @@ const BASES: [char; 4] = ['A', 'C', 'G', 'T'];
 impl DnaGenome {
     /// Samples a uniform random genome of `len` bases.
     pub fn random<R: Rng + ?Sized>(len: usize, rng: &mut R) -> Self {
-        Self { bases: (0..len).map(|_| rng.gen_range(0..4u8)).collect() }
+        Self {
+            bases: (0..len).map(|_| rng.gen_range(0..4u8)).collect(),
+        }
     }
 
     /// Number of bases.
@@ -47,7 +49,10 @@ impl DnaGenome {
     ///
     /// Panics if the range is out of bounds.
     pub fn read(&self, start: usize, len: usize) -> String {
-        self.bases[start..start + len].iter().map(|&b| BASES[b as usize]).collect()
+        self.bases[start..start + len]
+            .iter()
+            .map(|&b| BASES[b as usize])
+            .collect()
     }
 
     /// Samples a read of `len` bases from a random position, returning
@@ -98,16 +103,22 @@ impl KvDatabase {
         let mut recs = Vec::with_capacity(records);
         let mut seen = std::collections::HashSet::new();
         while recs.len() < records {
-            let key: String =
-                (0..key_bytes).map(|_| ALPHA[rng.gen_range(0..ALPHA.len())] as char).collect();
+            let key: String = (0..key_bytes)
+                .map(|_| ALPHA[rng.gen_range(0..ALPHA.len())] as char)
+                .collect();
             if !seen.insert(key.clone()) {
                 continue;
             }
-            let value: String =
-                (0..value_bytes).map(|_| ALPHA[rng.gen_range(0..ALPHA.len())] as char).collect();
+            let value: String = (0..value_bytes)
+                .map(|_| ALPHA[rng.gen_range(0..ALPHA.len())] as char)
+                .collect();
             recs.push((key, value));
         }
-        Self { key_bytes, value_bytes, records: recs }
+        Self {
+            key_bytes,
+            value_bytes,
+            records: recs,
+        }
     }
 
     /// Number of records.

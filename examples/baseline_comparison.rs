@@ -24,7 +24,10 @@ fn main() {
     let needle = "needle";
     let needle_bits = BitString::from_ascii(needle);
     let truth = data.find_all(&needle_bits);
-    println!("database: {} bits; query {needle:?}; ground truth {truth:?}\n", data.len());
+    println!(
+        "database: {} bits; query {needle:?}; ground truth {truth:?}\n",
+        data.len()
+    );
 
     // --- CM-SW -----------------------------------------------------------
     let ctx = BfvContext::new(BfvParams::ciphermatch_1024());
@@ -74,7 +77,10 @@ fn main() {
         1,
         &mut rng,
     );
-    println!("  approximate (HD<=1): corrupted needle found at {:?}", approx);
+    println!(
+        "  approximate (HD<=1): corrupted needle found at {:?}",
+        approx
+    );
 
     // --- Kim/Bonte-style batched -----------------------------------------
     let ctx_b = BfvContext::new(BfvParams::insecure_test_batch());
@@ -103,7 +109,9 @@ fn main() {
     let batched_t = t.elapsed();
     let expect_syms: Vec<usize> = truth.iter().map(|&b| b / 8).collect();
     assert_eq!(got, expect_syms);
-    println!("Batched [34,29]-style: {batched_t:>12.2?} (rotations + squarings, byte offsets {got:?})");
+    println!(
+        "Batched [34,29]-style: {batched_t:>12.2?} (rotations + squarings, byte offsets {got:?})"
+    );
 
     // --- Boolean [17, 33], projected --------------------------------------
     let gates = BooleanGateCount::for_search(data.len(), needle_bits.len());

@@ -29,7 +29,11 @@ fn main() {
     // algorithm is identical, the analytical models extrapolate).
     let genome = DnaGenome::random(16_384, &mut rng);
     let genome_bits = BitString::from_dna(&genome.to_string_seq());
-    println!("genome: {} bases = {} bits", genome.len(), genome_bits.len());
+    println!(
+        "genome: {} bases = {} bits",
+        genome.len(),
+        genome_bits.len()
+    );
 
     let t0 = Instant::now();
     let db = engine.encrypt_database(&enc, &genome_bits, &mut rng);

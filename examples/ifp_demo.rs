@@ -37,10 +37,17 @@ fn main() {
     let sw_indices = engine.generate_indices(&dec, &sw);
 
     // In-flash execution.
-    let mut server =
-        CmIfpServer::new(&ctx, FlashGeometry::tiny_test(), TransposeMode::Software, &db);
+    let mut server = CmIfpServer::new(
+        &ctx,
+        FlashGeometry::tiny_test(),
+        TransposeMode::Software,
+        &db,
+    );
     let (ifp, reports) = server.search(&query);
-    assert_eq!(ifp, sw, "in-flash Hom-Add must be bit-identical to software");
+    assert_eq!(
+        ifp, sw,
+        "in-flash Hom-Add must be bit-identical to software"
+    );
     let ifp_indices = engine.generate_indices(&dec, &ifp);
     assert_eq!(ifp_indices, sw_indices);
     println!("match at bit offsets {ifp_indices:?} — identical in flash and software");

@@ -21,7 +21,11 @@ fn main() {
         "CIPHERMATCH packs sixteen bits per coefficient and matches with \
          homomorphic addition only - no multiplications, no rotations.",
     );
-    println!("database: {} bits ({} bytes plain)", data.len(), data.len() / 8);
+    println!(
+        "database: {} bits ({} bytes plain)",
+        data.len(),
+        data.len() / 8
+    );
     let db = client.encrypt_database(&data, &mut rng);
     println!(
         "encrypted: {} ciphertexts, {} bytes ({}x the plain size)",
@@ -35,7 +39,12 @@ fn main() {
     server.install_index_generator(client.delegate_index_generation());
 
     // ② Client: prepare the negated, shifted, replicated query variants.
-    for needle in ["homomorphic addition", "multiplications", "rotations", "absent text"] {
+    for needle in [
+        "homomorphic addition",
+        "multiplications",
+        "rotations",
+        "absent text",
+    ] {
         let query = client.prepare_query(&BitString::from_ascii(needle), &mut rng);
         println!(
             "query {needle:?}: {} bits, {} encrypted variants",
@@ -48,5 +57,8 @@ fn main() {
         let byte_offsets: Vec<usize> = matches.iter().map(|&b| b / 8).collect();
         println!("  -> matches at bit offsets {matches:?} (byte offsets {byte_offsets:?})");
     }
-    println!("total homomorphic additions executed by the server: {}", server.hom_adds());
+    println!(
+        "total homomorphic additions executed by the server: {}",
+        server.hom_adds()
+    );
 }

@@ -1,0 +1,192 @@
+//! Offline stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) crate.
+//!
+//! The build environment cannot reach crates.io, so this crate provides the
+//! slice of the criterion 0.5 API the workspace's benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] (with
+//! `sample_size` / `throughput`), [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is a simple wall-clock loop: a short warm-up, then batches
+//! timed until ~100 ms have elapsed, reporting mean ns/iter (plus MiB/s or
+//! Melem/s when a throughput is set). Like the real crate, when a bench
+//! binary is run by `cargo test` (i.e. without the `--bench` flag that
+//! `cargo bench` passes) each benchmark body executes exactly once as a
+//! smoke test instead of being measured.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion's optimization barrier.
+pub use std::hint::black_box;
+
+/// Units for reporting throughput alongside time-per-iteration.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` invokes bench binaries with `--bench`; `cargo test`
+        // does not. Mirror criterion: no flag means run-once smoke mode.
+        let test_mode = !std::env::args().any(|a| a == "--bench");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Measures a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.test_mode, &id.into(), None, &mut f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and reporting options.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to derive a rate from the measured time.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; this harness sizes its own runs.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; this harness sizes its own runs.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Measures one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(self.criterion.test_mode, &id, self.throughput, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark body; [`Bencher::iter`] runs the measured code.
+pub struct Bencher {
+    test_mode: bool,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.iters = 1;
+            self.elapsed = Duration::ZERO;
+            return;
+        }
+        const WARMUP: u64 = 3;
+        const TARGET: Duration = Duration::from_millis(100);
+        const MAX_ITERS: u64 = 1_000_000;
+        for _ in 0..WARMUP {
+            black_box(f());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(f());
+            iters += 1;
+            if (iters >= 10 && start.elapsed() >= TARGET) || iters >= MAX_ITERS {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    test_mode: bool,
+    id: &str,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    let mut b = Bencher {
+        test_mode,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("test-mode {id}: ok (1 iteration)");
+        return;
+    }
+    if b.iters == 0 {
+        println!("{id}: no iterations recorded");
+        return;
+    }
+    let ns_per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(bytes) => {
+            format!(" ({:.2} MiB/s)", bytes as f64 / (ns_per_iter * 1.048576e-3))
+        }
+        Throughput::Elements(n) => {
+            format!(" ({:.2} Melem/s)", n as f64 / (ns_per_iter * 1e-3))
+        }
+    });
+    println!("{id}: {ns_per_iter:.1} ns/iter{}", rate.unwrap_or_default());
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

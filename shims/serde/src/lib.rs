@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so `#[derive(Serialize,
+//! Deserialize)]` annotations across the workspace are satisfied by these
+//! no-op derive macros. No serialization format is wired up yet; when a real
+//! wire format is needed, swap this shim for the actual `serde` crate — the
+//! annotated types already carry the derives.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: accepts the annotated item, emits nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: accepts the annotated item, emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -83,10 +83,10 @@ fn all_zero_and_all_one_databases() {
     let dec = Decryptor::new(&ctx, sk);
     let mut engine = CiphermatchEngine::new(&ctx);
     for fill in [false, true] {
-        let data = BitString::from_bits(&vec![fill; 64]);
+        let data = BitString::from_bits(&[fill; 64]);
         let db = engine.encrypt_database(&enc, &data, &mut rng);
-        let hit = BitString::from_bits(&vec![fill; 9]);
-        let miss = BitString::from_bits(&vec![!fill; 9]);
+        let hit = BitString::from_bits(&[fill; 9]);
+        let miss = BitString::from_bits(&[!fill; 9]);
         assert_eq!(
             engine.find_all(&enc, &dec, &db, &hit, &mut rng),
             data.find_all(&hit),

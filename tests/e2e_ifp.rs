@@ -37,8 +37,12 @@ fn ifp_pipeline_equals_software_on_dna_workload() {
     let genome = DnaGenome::random(2000, &mut rng);
     let bits = BitString::from_dna(&genome.to_string_seq());
     let db = engine.encrypt_database(&enc, &bits, &mut rng);
-    let mut server =
-        CmIfpServer::new(&f.ctx, FlashGeometry::tiny_test(), TransposeMode::Software, &db);
+    let mut server = CmIfpServer::new(
+        &f.ctx,
+        FlashGeometry::tiny_test(),
+        TransposeMode::Software,
+        &db,
+    );
 
     for bases in [8usize, 12] {
         let (read, pos) = genome.sample_read(bases, 0, &mut rng);
@@ -47,7 +51,10 @@ fn ifp_pipeline_equals_software_on_dna_workload() {
 
         let sw = engine.search(&db, &query);
         let (ifp, reports) = server.search(&query);
-        assert_eq!(ifp, sw, "{bases} bp read: raw results must be bit-identical");
+        assert_eq!(
+            ifp, sw,
+            "{bases} bp read: raw results must be bit-identical"
+        );
         assert!(reports.iter().all(|r| r.ledger.wear() == 0));
 
         let indices = engine.generate_indices(&dec, &ifp);
@@ -65,8 +72,12 @@ fn cm_search_command_with_sealed_indices() {
 
     let data = BitString::from_ascii("sealed indices travel back to the client");
     let db = engine.encrypt_database(&enc, &data, &mut rng);
-    let mut server =
-        CmIfpServer::new(&f.ctx, FlashGeometry::tiny_test(), TransposeMode::Hardware, &db);
+    let mut server = CmIfpServer::new(
+        &f.ctx,
+        FlashGeometry::tiny_test(),
+        TransposeMode::Hardware,
+        &db,
+    );
 
     let pattern = BitString::from_ascii("client");
     let query = engine.prepare_query(&enc, &pattern, &mut rng);
@@ -99,8 +110,12 @@ fn corrupted_stored_ciphertext_is_detected_by_comparison() {
     let query = engine.prepare_query(&enc, &BitString::from_ascii("visible"), &mut rng);
     let sw = engine.search(&db, &query);
 
-    let mut server =
-        CmIfpServer::new(&f.ctx, FlashGeometry::tiny_test(), TransposeMode::Software, &db);
+    let mut server = CmIfpServer::new(
+        &f.ctx,
+        FlashGeometry::tiny_test(),
+        TransposeMode::Software,
+        &db,
+    );
     // Corrupt one bit of group 0 through the writeback path.
     {
         let ssd = server.ssd_mut();
@@ -121,8 +136,12 @@ fn conventional_and_cm_regions_coexist() {
 
     let data = BitString::from_ascii("two regions, one drive");
     let db = engine.encrypt_database(&enc, &data, &mut rng);
-    let mut server =
-        CmIfpServer::new(&f.ctx, FlashGeometry::tiny_test(), TransposeMode::Software, &db);
+    let mut server = CmIfpServer::new(
+        &f.ctx,
+        FlashGeometry::tiny_test(),
+        TransposeMode::Software,
+        &db,
+    );
 
     // The CM region holds ciphertexts; the search must still behave after
     // repeated queries (latch state is per-search).

@@ -82,7 +82,10 @@ fn ciphermatch_1024_and_ifp_variant_agree_on_plaintexts() {
     // sets must produce identical match sets — they differ only in the
     // ciphertext modulus.
     let mut results = Vec::new();
-    for params in [BfvParams::ciphermatch_1024(), BfvParams::ciphermatch_ifp_1024()] {
+    for params in [
+        BfvParams::ciphermatch_1024(),
+        BfvParams::ciphermatch_ifp_1024(),
+    ] {
         let ctx = BfvContext::new(params);
         let mut rng = StdRng::seed_from_u64(3003);
         let (sk, pk) = {

@@ -1,0 +1,67 @@
+//! Facade smoke test: every path below goes through the `ciphermatch::*`
+//! re-exports rather than the `cm_*` crates directly, so a workspace
+//! manifest or re-export regression in the facade is caught by tier-1
+//! (`cargo test -q`) even if the underlying crates still build on their own.
+
+use ciphermatch::bfv::{BfvContext, BfvParams};
+use ciphermatch::core::{bitwise_find_all, BitString, Client, Server};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// End-to-end through the facade: encrypt a database, run the CM-SW search
+/// on the server, and recover plaintext match indices.
+#[test]
+fn facade_encrypt_search_decrypt_roundtrip() {
+    let ctx = BfvContext::new(BfvParams::insecure_test_add());
+    let mut rng = StdRng::seed_from_u64(2025);
+    let client = Client::new(&ctx, &mut rng);
+
+    let haystack = "in-flash processing pairs well with data packing";
+    let needle = "data packing";
+    let data = BitString::from_ascii(haystack);
+    let mut server = Server::new(&ctx, client.encrypt_database(&data, &mut rng));
+    server.install_index_generator(client.delegate_index_generation());
+
+    let query = client.prepare_query(&BitString::from_ascii(needle), &mut rng);
+    let got = server.search_indices(&query);
+
+    let expect = bitwise_find_all(
+        &BitString::from_ascii(haystack),
+        &BitString::from_ascii(needle),
+    );
+    assert_eq!(got, expect);
+    assert_eq!(got, vec![haystack.find(needle).unwrap() * 8]);
+}
+
+/// Touches each remaining facade re-export so a missing path dependency in
+/// the root manifest fails this test rather than only downstream users.
+#[test]
+fn facade_reexports_are_wired() {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // hemath: a ring context is constructible through the facade.
+    let q = ciphermatch::hemath::find_ntt_prime(30, 32);
+    let ring = ciphermatch::hemath::RingContext::new(ciphermatch::hemath::Modulus::new(q), 32);
+    assert_eq!(ring.n(), 32);
+
+    // aes: block encrypt/decrypt roundtrip.
+    let aes = ciphermatch::aes::Aes::new_128(&[0x2b; 16]);
+    let block = *b"ciphermatch-asplo";
+    let block: [u8; 16] = block[..16].try_into().unwrap();
+    assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
+
+    // workloads: deterministic DNA genome generation.
+    let genome = ciphermatch::workloads::DnaGenome::random(64, &mut rng);
+    assert_eq!(genome.len(), 64);
+
+    // tfhe: parameter presets resolve.
+    let params = ciphermatch::tfhe::TfheParams::fast_insecure_test();
+    assert!(params.lwe_dim > 0);
+
+    // flash + ssd + sim: types/constants reachable through the facade.
+    let geom = ciphermatch::flash::FlashGeometry::tiny_test();
+    assert!(geom.page_bytes > 0);
+    let _ = ciphermatch::ssd::TransposeMode::Software;
+    let consts = ciphermatch::sim::SystemConstants::paper_default();
+    assert!(consts.geometry.page_bytes > 0);
+}
