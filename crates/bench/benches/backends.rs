@@ -1,0 +1,49 @@
+//! Backend comparison through the unified `SecureMatcher` trait: the same
+//! database and query, one `ErasedMatcher::find_all` call per backend —
+//! the measured side of Table 1 with zero per-engine code.
+//!
+//! Sizes are kept small (and the Boolean backend on fast insecure
+//! parameters) so `cargo bench` stays minutes, not hours; `cargo bench
+//! --no-run` in CI only compiles this.
+
+use cm_bench::random_bits;
+use cm_core::{Backend, MatcherConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_unified_backends(c: &mut Criterion) {
+    let db_bits = random_bits(512, 21);
+    let query = db_bits.slice(37, 16);
+    let mut group = c.benchmark_group("unified");
+    group.sample_size(10);
+    for backend in Backend::ALL {
+        // The Boolean backend runs every bootstrap for real; a 64-bit
+        // slice keeps its per-iteration cost around a second.
+        let db = match backend {
+            Backend::Boolean => db_bits.slice(32, 64),
+            _ => db_bits.clone(),
+        };
+        let mut matcher = MatcherConfig::new(backend)
+            .insecure_test()
+            .window(query.len())
+            .seed(9)
+            .build()
+            .expect("valid configuration");
+        matcher.load_database(&db).expect("database encrypts");
+        // Agreement is asserted once up front so the benchmark numbers
+        // are guaranteed to measure *correct* searches.
+        assert_eq!(
+            matcher.find_all(&query).expect("query fits window"),
+            db.find_all(&query),
+            "backend {backend}"
+        );
+        group.bench_function(
+            format!("find_all_{}b_db_16b_query/{backend}", db.len()),
+            |b| b.iter(|| matcher.find_all(black_box(&query)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_unified_backends);
+criterion_main!(benches);

@@ -13,7 +13,9 @@
 
 use cm_bench::{fmt_bytes, fmt_time, random_bits, time_per_iter, BfvFixture};
 use cm_bfv::BfvParams;
-use cm_core::{table1_profiles, BooleanGateCount, CiphermatchEngine, YasudaEngine};
+use cm_core::{
+    table1_profiles, Backend, BooleanGateCount, CiphermatchEngine, MatchSession, MatcherConfig,
+};
 use cm_sim::{
     area_overheads, fig10, fig11, fig12, fig3, fig7, fig8, fig9, storage_overheads,
     CalibrationProfile, HostProfile, SystemConstants,
@@ -85,11 +87,23 @@ fn table1() {
 }
 
 /// Fig. 2a: measured memory footprint after encryption (tiny databases).
+/// Both BFV approaches are driven through the unified backend API; the
+/// Boolean footprint is the analytic one-LWE-per-bit count at full
+/// parameters.
 fn fig2a() {
-    let mut rng = StdRng::seed_from_u64(11);
-    let cm = BfvFixture::new(BfvParams::ciphermatch_1024(), 1);
-    let ya = BfvFixture::new(BfvParams::arithmetic_2048(), 2);
     let tfhe_params = TfheParams::boolean_default();
+    // One matcher (one key set) per approach, reloaded per database size.
+    let mut ya = MatcherConfig::new(Backend::Yasuda)
+        .bfv_params(BfvParams::arithmetic_2048())
+        .window(32)
+        .seed(2)
+        .build()
+        .expect("valid config");
+    let mut cm = MatcherConfig::new(Backend::Ciphermatch)
+        .bfv_params(BfvParams::ciphermatch_1024())
+        .seed(1)
+        .build()
+        .expect("valid config");
     println!(
         "{:<10} {:>14} {:>14} {:>14} (measured ciphertext bytes)",
         "DB size", "Boolean[17]", "Arith[27]", "CIPHERMATCH"
@@ -98,20 +112,14 @@ fn fig2a() {
         let bits = random_bits(plain_bytes * 8, 42);
         // Boolean: one LWE ciphertext per bit.
         let boolean = bits.len() * tfhe_params.lwe_ciphertext_bytes();
-        // Arithmetic: single-bit packed blocks at k = 32.
-        let yeng = YasudaEngine::new(&ya.ctx);
-        let ydb = yeng.encrypt_database(&ya.encryptor(), &bits, 32, &mut rng);
-        let yasuda = ydb.byte_size(56);
-        // CIPHERMATCH: dense packing.
-        let ceng = CiphermatchEngine::new(&cm.ctx);
-        let cdb = ceng.encrypt_database(&cm.encryptor(), &bits, &mut rng);
-        let ciphermatch = cdb.byte_size(32);
+        ya.load_database(&bits).expect("database encrypts");
+        cm.load_database(&bits).expect("database encrypts");
         println!(
             "{:<10} {:>14} {:>14} {:>14}",
             fmt_bytes(plain_bytes as f64),
             fmt_bytes(boolean as f64),
-            fmt_bytes(yasuda as f64),
-            fmt_bytes(ciphermatch as f64),
+            fmt_bytes(ya.database_bytes().unwrap() as f64),
+            fmt_bytes(cm.database_bytes().unwrap() as f64),
         );
     }
     println!("(paper Fig. 2a: Boolean >> arithmetic >> CIPHERMATCH; CM = 4x plain)");
@@ -134,8 +142,13 @@ fn fig2b() {
         })
     };
 
-    let cm = BfvFixture::new(BfvParams::ciphermatch_1024(), 3);
-    let ya = BfvFixture::new(BfvParams::arithmetic_2048(), 4);
+    let cm_fix = BfvFixture::new(BfvParams::ciphermatch_1024(), 3);
+    let mut cm = MatcherConfig::new(Backend::Ciphermatch)
+        .bfv_params(BfvParams::ciphermatch_1024())
+        .seed(3)
+        .build()
+        .expect("valid config");
+    cm.load_database(&db_bits).expect("database encrypts");
 
     println!(
         "{:<8} {:>14} {:>14} {:>14} {:>16}",
@@ -148,24 +161,29 @@ fn fig2b() {
         // point).
         let gates = BooleanGateCount::for_search(db_bits.len(), k).total();
         let t_boolean = gates as f64 * t_gate;
-        // Arithmetic: real run.
-        let mut yeng = YasudaEngine::new(&ya.ctx);
-        let ydb = yeng.encrypt_database(&ya.encryptor(), &db_bits, k, &mut rng);
-        let enc = ya.encryptor();
-        let dec = ya.decryptor();
+        // Arithmetic through the unified API: a fresh matcher per k (the
+        // window is fixed at database-layout time — Table 1's
+        // inflexibility).
+        let mut ya = MatcherConfig::new(Backend::Yasuda)
+            .bfv_params(BfvParams::arithmetic_2048())
+            .window(k)
+            .seed(4)
+            .build()
+            .expect("valid config");
+        ya.load_database(&db_bits).expect("database encrypts");
         let t_yasuda = time_per_iter(1, || {
-            let _ = yeng.find_all(&enc, &dec, &ydb, &query, &mut StdRng::seed_from_u64(5));
+            let _ = ya.find_all(&query).expect("query fits window");
         });
-        // CM-SW: real run, end-to-end (includes client-side query
-        // encryption) and server-side Hom-Add sweep alone.
-        let mut ceng = CiphermatchEngine::new(&cm.ctx);
-        let cdb = ceng.encrypt_database(&cm.encryptor(), &db_bits, &mut rng);
-        let enc = cm.encryptor();
-        let dec = cm.decryptor();
+        // CM-SW through the unified API: end-to-end (client-side query
+        // encryption included).
         let t_cm = time_per_iter(1, || {
-            let _ = ceng.find_all(&enc, &dec, &cdb, &query, &mut StdRng::seed_from_u64(6));
+            let _ = cm.find_all(&query).expect("query searches");
         });
-        let eq = ceng.prepare_query(&enc, &query, &mut rng);
+        // CM-SW server-side Hom-Add sweep alone (engine-level, below the
+        // unified API on purpose: the API has no search-only entry).
+        let mut ceng = CiphermatchEngine::new(&cm_fix.ctx);
+        let cdb = ceng.encrypt_database(&cm_fix.encryptor(), &db_bits, &mut rng);
+        let eq = ceng.prepare_query(&cm_fix.encryptor(), &query, &mut rng);
         let t_server = time_per_iter(5, || {
             let _ = ceng.search(&cdb, &eq);
         });
@@ -184,21 +202,25 @@ fn fig2b() {
     );
 }
 
-/// Fig. 2c: measured latency breakdown of the arithmetic approach.
+/// Fig. 2c: measured latency breakdown of the arithmetic approach,
+/// read off the unified `MatchStats`.
 fn fig2c() {
-    let mut rng = StdRng::seed_from_u64(31);
-    let ya = BfvFixture::new(BfvParams::arithmetic_2048(), 5);
     let db_bits = random_bits(6000, 9);
     let query = db_bits.slice(100, 32);
-    let mut yeng = YasudaEngine::new(&ya.ctx);
-    let ydb = yeng.encrypt_database(&ya.encryptor(), &db_bits, 32, &mut rng);
-    let _ = yeng.find_all(&ya.encryptor(), &ya.decryptor(), &ydb, &query, &mut rng);
-    let stats = yeng.stats();
+    let mut ya = MatcherConfig::new(Backend::Yasuda)
+        .bfv_params(BfvParams::arithmetic_2048())
+        .window(32)
+        .seed(5)
+        .build()
+        .expect("valid config");
+    ya.load_database(&db_bits).expect("database encrypts");
+    let _ = ya.find_all(&query).expect("query fits window");
+    let stats = ya.stats();
     println!(
         "Hom-Mult: {:>6.1}%  ({} ops, {})",
         100.0 * stats.mult_fraction(),
-        stats.hom_mults,
-        fmt_time(stats.mult_time.as_secs_f64()),
+        stats.hom_muls,
+        fmt_time(stats.mul_time.as_secs_f64()),
     );
     println!(
         "Hom-Add : {:>6.1}%  ({} ops, {})",
@@ -441,13 +463,15 @@ fn ablation() {
     let t_dense = time_per_iter(50, || {
         let _ = ceng.search(&cdb, &cq);
     });
-    let ya = BfvFixture::new(BfvParams::arithmetic_2048(), 62);
-    let mut yeng = YasudaEngine::new(&ya.ctx);
-    let ydb = yeng.encrypt_database(&ya.encryptor(), &bits, 32, &mut rng);
-    let enc = ya.encryptor();
-    let dec = ya.decryptor();
+    let mut ya = MatcherConfig::new(Backend::Yasuda)
+        .bfv_params(BfvParams::arithmetic_2048())
+        .window(32)
+        .seed(62)
+        .build()
+        .expect("valid config");
+    ya.load_database(&bits).expect("database encrypts");
     let t_single = time_per_iter(3, || {
-        let _ = yeng.find_all(&enc, &dec, &ydb, &query, &mut StdRng::seed_from_u64(63));
+        let _ = ya.find_all(&query).expect("query fits window");
     });
     println!(
         "dense packing    : footprint {} | search {}",
@@ -456,7 +480,7 @@ fn ablation() {
     );
     println!(
         "single-bit [27]  : footprint {} | search {}  ({:.1}x slower)",
-        fmt_bytes(ydb.byte_size(56) as f64),
+        fmt_bytes(ya.database_bytes().unwrap() as f64),
         fmt_time(t_single),
         t_single / t_dense
     );
@@ -544,20 +568,24 @@ fn sensitivity() {
     println!("(the DB-capacity crossover is physics; the query-size crossover is calibration)");
 }
 
-/// The two case studies of §5.3 at laptop scale, run for real.
+/// The two case studies of §5.3 at laptop scale, run for real through
+/// the unified backend API (case study 2 through the batch session).
 fn case_studies() {
     use cm_workloads::{DnaGenome, KvDatabase};
     let mut rng = StdRng::seed_from_u64(77);
-    let f = BfvFixture::new(BfvParams::ciphermatch_1024(), 71);
-    let enc = f.encryptor();
-    let dec = f.decryptor();
 
     // --- Case study 1: exact DNA string matching -------------------------
     println!("--- DNA read mapping (16 kb genome, query sweep per §5.3) ---");
     let genome = DnaGenome::random(8192, &mut rng);
     let genome_bits = cm_core::BitString::from_dna(&genome.to_string_seq());
-    let mut engine = CiphermatchEngine::new(&f.ctx);
-    let db = engine.encrypt_database(&enc, &genome_bits, &mut rng);
+    let mut matcher = MatcherConfig::new(Backend::Ciphermatch)
+        .bfv_params(BfvParams::ciphermatch_1024())
+        .seed(71)
+        .build()
+        .expect("valid config");
+    matcher
+        .load_database(&genome_bits)
+        .expect("genome encrypts");
     println!(
         "{:<10} {:>12} {:>10} {:>10}",
         "Read", "Search", "HomAdds", "Found"
@@ -565,42 +593,52 @@ fn case_studies() {
     for bases in [8usize, 16, 32, 64, 128] {
         let (read, pos) = genome.sample_read(bases, 0, &mut rng);
         let read_bits = cm_core::BitString::from_dna(&read);
-        engine.reset_stats();
+        matcher.reset_stats();
         let t0 = std::time::Instant::now();
-        let matches = engine.find_all(&enc, &dec, &db, &read_bits, &mut rng);
+        let matches = matcher.find_all(&read_bits).expect("read searches");
         let dt = t0.elapsed().as_secs_f64();
         assert!(matches.contains(&(pos * 2)));
         println!(
             "{:<10} {:>12} {:>10} {:>10}",
             format!("{bases} bp"),
             fmt_time(dt),
-            engine.stats().hom_adds,
+            matcher.stats().hom_adds,
             matches.len()
         );
     }
 
     // --- Case study 2: encrypted database search -------------------------
-    println!("--- encrypted KV search (256 records, 100 point queries) ---");
+    println!("--- encrypted KV search (256 records, 100 point queries, 4 workers) ---");
     let kv = KvDatabase::random(256, 8, 8, &mut rng);
     let bits = cm_core::BitString::from_ascii(&kv.flatten());
-    let db = engine.encrypt_database(&enc, &bits, &mut rng);
-    let queries = kv.sample_queries(100, &mut rng);
-    engine.reset_stats();
+    let config = MatcherConfig::new(Backend::Ciphermatch)
+        .bfv_params(BfvParams::ciphermatch_1024())
+        .seed(72)
+        .threads(4);
+    let mut session = MatchSession::new(&config).expect("valid config");
+    session.load_database(&bits).expect("database encrypts");
+    let keys = kv.sample_queries(100, &mut rng);
+    let queries: Vec<cm_core::BitString> = keys
+        .iter()
+        .map(|k| cm_core::BitString::from_ascii(k))
+        .collect();
     let t0 = std::time::Instant::now();
-    let mut resolved = 0usize;
-    for key in &queries {
-        let q = cm_core::BitString::from_ascii(key);
-        let got = engine.find_all(&enc, &dec, &db, &q, &mut rng);
-        if got.contains(&(kv.find_record(key).unwrap() * 8)) {
-            resolved += 1;
-        }
-    }
+    let report = session.run_batch(&queries).expect("batch runs");
     let dt = t0.elapsed().as_secs_f64();
+    let resolved = keys
+        .iter()
+        .zip(&report.per_query)
+        .filter(|(key, got)| {
+            got.as_ref()
+                .map(|g| g.contains(&(kv.find_record(key).unwrap() * 8)))
+                .unwrap_or(false)
+        })
+        .count();
     println!(
         "resolved {resolved}/100 queries in {} ({} per query, {} Hom-Adds total)",
         fmt_time(dt),
         fmt_time(dt / 100.0),
-        engine.stats().hom_adds
+        report.stats.hom_adds
     );
     assert_eq!(resolved, 100);
 }

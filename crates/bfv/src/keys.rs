@@ -162,6 +162,20 @@ impl<'a> KeyGenerator<'a> {
         GaloisKeys { keys }
     }
 
+    /// Galois elements for the left row-rotations `1..steps` (each
+    /// `3^s mod 2n`, the generator [`crate::Evaluator::rotate_rows`] looks
+    /// up). Rotation 0 is the identity and needs no key.
+    pub fn galois_elements_for_rotations(&self, steps: usize) -> Vec<usize> {
+        let two_n = 2 * self.ctx.params().n;
+        let mut elems = Vec::with_capacity(steps.saturating_sub(1));
+        let mut g = 1usize;
+        for _ in 1..steps {
+            g = g * 3 % two_n;
+            elems.push(g);
+        }
+        elems
+    }
+
     /// Galois elements needed for all power-of-two row rotations plus the
     /// column swap, mirroring SEAL's default key set.
     pub fn default_galois_elements(&self) -> Vec<usize> {

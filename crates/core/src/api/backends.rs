@@ -1,0 +1,583 @@
+//! Key-owning adapters implementing [`SecureMatcher`] for every engine.
+//!
+//! Each adapter bundles an engine with the key material its protocol role
+//! needs (mirroring how TFHE-style libraries expose one client/server-key
+//! API over interchangeable ciphertext backends), normalizes every input
+//! and output to *bit* strings and *bit* offsets, and converts the
+//! engine-specific failure modes into [`MatchError`] values.
+
+use std::sync::Arc;
+
+use cm_bfv::{
+    BfvContext, BfvParams, Decryptor, Encryptor, GaloisKeys, KeyGenerator, PublicKey, RelinKey,
+    SecretKey,
+};
+use cm_tfhe::{BitCiphertext, ClientKey, ServerKey, TfheParams};
+use rand::Rng;
+
+use crate::api::{Backend, MatchError, MatchStats, SecureMatcher};
+use crate::bits::BitString;
+use crate::matchers::batched::{BatchedDatabase, BatchedEngine};
+use crate::matchers::boolean::{BooleanDatabase, BooleanEngine, BooleanGateCount};
+use crate::matchers::ciphermatch::{CiphermatchEngine, EncryptedDatabase, EncryptedQuery};
+use crate::matchers::plain::bitwise_find_all;
+use crate::matchers::yasuda::{YasudaDatabase, YasudaEngine, YasudaQuery};
+
+/// The BFV key bundle shared by the three BFV-based adapters: context,
+/// key pair, and the modulus width used for footprint accounting.
+#[derive(Debug, Clone)]
+struct BfvKeys {
+    ctx: BfvContext,
+    sk: SecretKey,
+    pk: PublicKey,
+    q_bits: u32,
+}
+
+impl BfvKeys {
+    fn generate<R: Rng + ?Sized>(params: BfvParams, rng: &mut R) -> Self {
+        let ctx = BfvContext::new(params);
+        let kg = KeyGenerator::new(&ctx, rng);
+        let sk = kg.secret_key();
+        let pk = kg.public_key(rng);
+        let q_bits = 64 - ctx.params().q.leading_zeros();
+        Self {
+            ctx,
+            sk,
+            pk,
+            q_bits,
+        }
+    }
+
+    fn encryptor(&self) -> Encryptor<'_> {
+        Encryptor::new(&self.ctx, self.pk.clone())
+    }
+
+    fn decryptor(&self) -> Decryptor<'_> {
+        Decryptor::new(&self.ctx, self.sk.clone())
+    }
+}
+
+/// Engine counters plus the adapter-level extras, in one value.
+fn merged(engine_stats: MatchStats, extra: &MatchStats) -> MatchStats {
+    let mut s = engine_stats;
+    s.merge(extra);
+    s
+}
+
+/// CM-SW behind the unified API: dense packing, `Hom-Add`-only search,
+/// arbitrary query lengths and bit offsets (the paper's contribution).
+#[derive(Debug, Clone)]
+pub struct CiphermatchMatcher {
+    keys: BfvKeys,
+    engine: CiphermatchEngine,
+    threads: usize,
+    extra: MatchStats,
+}
+
+impl CiphermatchMatcher {
+    /// Generates keys and an engine for `params`; `threads > 1` runs the
+    /// `Hom-Add` sweep on that many scoped worker threads.
+    pub fn new<R: Rng + ?Sized>(
+        params: BfvParams,
+        threads: usize,
+        rng: &mut R,
+    ) -> Result<Self, MatchError> {
+        if threads == 0 {
+            return Err(MatchError::InvalidConfig("threads must be positive"));
+        }
+        let keys = BfvKeys::generate(params, rng);
+        Ok(Self {
+            engine: CiphermatchEngine::new(&keys.ctx),
+            keys,
+            threads,
+            extra: MatchStats::default(),
+        })
+    }
+}
+
+impl SecureMatcher for CiphermatchMatcher {
+    type Database = EncryptedDatabase;
+    type Query = EncryptedQuery;
+    type Stats = MatchStats;
+
+    fn backend(&self) -> Backend {
+        Backend::Ciphermatch
+    }
+
+    fn encrypt_database<R: Rng + ?Sized>(
+        &mut self,
+        data: &BitString,
+        rng: &mut R,
+    ) -> Result<Self::Database, MatchError> {
+        Ok(self
+            .engine
+            .encrypt_database(&self.keys.encryptor(), data, rng))
+    }
+
+    fn prepare_query<R: Rng + ?Sized>(
+        &mut self,
+        query: &BitString,
+        rng: &mut R,
+    ) -> Result<Self::Query, MatchError> {
+        if query.is_empty() {
+            return Err(MatchError::EmptyQuery);
+        }
+        Ok(self
+            .engine
+            .prepare_query(&self.keys.encryptor(), query, rng))
+    }
+
+    fn find_all<R: Rng + ?Sized>(
+        &mut self,
+        db: &Self::Database,
+        query: &Self::Query,
+        _rng: &mut R,
+    ) -> Result<Vec<usize>, MatchError> {
+        self.extra.bytes_moved += query.byte_size(self.keys.q_bits) as u64;
+        let result = if self.threads > 1 {
+            self.engine.search_parallel(db, query, self.threads)
+        } else {
+            self.engine.search(db, query)
+        };
+        Ok(self
+            .engine
+            .generate_indices(&self.keys.decryptor(), &result))
+    }
+
+    fn database_bytes(&self, db: &Self::Database) -> u64 {
+        db.byte_size(self.keys.q_bits) as u64
+    }
+
+    fn stats(&self) -> MatchStats {
+        merged(self.engine.stats(), &self.extra)
+    }
+
+    fn reset_stats(&mut self) {
+        self.engine.reset_stats();
+        self.extra = MatchStats::default();
+    }
+}
+
+/// Yasuda et al. \[27\] behind the unified API: Hamming-distance matching
+/// with a *fixed* query window — queries of any other length return
+/// [`MatchError::WindowMismatch`], the Table 1 inflexibility made typed.
+#[derive(Debug, Clone)]
+pub struct YasudaMatcher {
+    keys: BfvKeys,
+    engine: YasudaEngine,
+    window: usize,
+    extra: MatchStats,
+}
+
+impl YasudaMatcher {
+    /// Generates keys and an engine; database blocks will be laid out for
+    /// queries of exactly `window` bits.
+    pub fn new<R: Rng + ?Sized>(
+        params: BfvParams,
+        window: usize,
+        rng: &mut R,
+    ) -> Result<Self, MatchError> {
+        if window == 0 {
+            return Err(MatchError::InvalidConfig("window must be positive"));
+        }
+        if window > params.n {
+            return Err(MatchError::InvalidConfig("window exceeds the ring degree"));
+        }
+        let keys = BfvKeys::generate(params, rng);
+        Ok(Self {
+            engine: YasudaEngine::new(&keys.ctx),
+            keys,
+            window,
+            extra: MatchStats::default(),
+        })
+    }
+}
+
+impl SecureMatcher for YasudaMatcher {
+    type Database = YasudaDatabase;
+    type Query = YasudaQuery;
+    type Stats = MatchStats;
+
+    fn backend(&self) -> Backend {
+        Backend::Yasuda
+    }
+
+    fn encrypt_database<R: Rng + ?Sized>(
+        &mut self,
+        data: &BitString,
+        rng: &mut R,
+    ) -> Result<Self::Database, MatchError> {
+        Ok(self
+            .engine
+            .encrypt_database(&self.keys.encryptor(), data, self.window, rng))
+    }
+
+    fn prepare_query<R: Rng + ?Sized>(
+        &mut self,
+        query: &BitString,
+        rng: &mut R,
+    ) -> Result<Self::Query, MatchError> {
+        if query.is_empty() {
+            return Err(MatchError::EmptyQuery);
+        }
+        if query.len() != self.window {
+            return Err(MatchError::WindowMismatch {
+                expected: self.window,
+                got: query.len(),
+            });
+        }
+        Ok(self
+            .engine
+            .prepare_query(&self.keys.encryptor(), query, rng))
+    }
+
+    fn find_all<R: Rng + ?Sized>(
+        &mut self,
+        db: &Self::Database,
+        query: &Self::Query,
+        _rng: &mut R,
+    ) -> Result<Vec<usize>, MatchError> {
+        if query.k() != db.window() {
+            return Err(MatchError::WindowMismatch {
+                expected: db.window(),
+                got: query.k(),
+            });
+        }
+        self.extra.bytes_moved += query.byte_size(self.keys.q_bits) as u64;
+        Ok(self
+            .engine
+            .search_prepared(&self.keys.decryptor(), db, query, 0)
+            .into_iter()
+            .map(|(offset, _)| offset)
+            .collect())
+    }
+
+    fn database_bytes(&self, db: &Self::Database) -> u64 {
+        db.byte_size(self.keys.q_bits) as u64
+    }
+
+    fn stats(&self) -> MatchStats {
+        merged(self.engine.stats(), &self.extra)
+    }
+
+    fn reset_stats(&mut self) {
+        self.engine.reset_stats();
+        self.extra = MatchStats::default();
+    }
+}
+
+/// The SIMD-batched baseline \[34, 29\] behind the unified API.
+///
+/// The adapter runs the engine at **bit granularity** (one slot symbol per
+/// database bit) so that, like every other backend, it returns exact bit
+/// offsets for arbitrary bit patterns up to the provisioned window. The
+/// symbol-level engine remains available directly for byte-alphabet
+/// workloads. Cost profile is unchanged in kind: one rotation + one
+/// squaring per query bit per block.
+#[derive(Debug, Clone)]
+pub struct BatchedMatcher {
+    keys: BfvKeys,
+    rk: RelinKey,
+    gk: GaloisKeys,
+    engine: BatchedEngine,
+    window: usize,
+    extra: MatchStats,
+}
+
+impl BatchedMatcher {
+    /// Generates keys (relinearization plus Galois keys for rotations
+    /// `1..window`) and an engine; queries may be up to `window` bits.
+    pub fn new<R: Rng + ?Sized>(
+        params: BfvParams,
+        window: usize,
+        rng: &mut R,
+    ) -> Result<Self, MatchError> {
+        let keys = BfvKeys::generate(params, rng);
+        let slots = keys.ctx.params().n / 2;
+        if window == 0 {
+            return Err(MatchError::InvalidConfig("window must be positive"));
+        }
+        if window > slots {
+            return Err(MatchError::InvalidConfig(
+                "window exceeds the usable slots per block",
+            ));
+        }
+        let kg = KeyGenerator::from_secret(&keys.ctx, keys.sk.clone());
+        let rk = kg.relin_key(rng);
+        let gk = kg.galois_keys(&kg.galois_elements_for_rotations(window), rng);
+        Ok(Self {
+            engine: BatchedEngine::new(&keys.ctx),
+            keys,
+            rk,
+            gk,
+            window,
+            extra: MatchStats::default(),
+        })
+    }
+}
+
+impl SecureMatcher for BatchedMatcher {
+    type Database = BatchedDatabase;
+    type Query = Vec<u64>;
+    type Stats = MatchStats;
+
+    fn backend(&self) -> Backend {
+        Backend::Batched
+    }
+
+    fn encrypt_database<R: Rng + ?Sized>(
+        &mut self,
+        data: &BitString,
+        rng: &mut R,
+    ) -> Result<Self::Database, MatchError> {
+        let symbols: Vec<u64> = data.bits().iter().map(|&b| b as u64).collect();
+        Ok(self
+            .engine
+            .encrypt_database(&self.keys.encryptor(), &symbols, self.window, rng))
+    }
+
+    fn prepare_query<R: Rng + ?Sized>(
+        &mut self,
+        query: &BitString,
+        _rng: &mut R,
+    ) -> Result<Self::Query, MatchError> {
+        if query.is_empty() {
+            return Err(MatchError::EmptyQuery);
+        }
+        if query.len() > self.window {
+            return Err(MatchError::QueryTooLong {
+                max: self.window,
+                got: query.len(),
+            });
+        }
+        // In this baseline the query stays plaintext on the server (the
+        // scheme hides the database, not the pattern).
+        Ok(query.bits().iter().map(|&b| b as u64).collect())
+    }
+
+    fn find_all<R: Rng + ?Sized>(
+        &mut self,
+        db: &Self::Database,
+        query: &Self::Query,
+        rng: &mut R,
+    ) -> Result<Vec<usize>, MatchError> {
+        if query.is_empty() {
+            return Err(MatchError::EmptyQuery);
+        }
+        if query.len() > db.max_query() {
+            return Err(MatchError::QueryTooLong {
+                max: db.max_query(),
+                got: query.len(),
+            });
+        }
+        let enc = self.keys.encryptor();
+        let dec = self.keys.decryptor();
+        Ok(self
+            .engine
+            .find_all(&enc, &dec, &self.rk, &self.gk, db, query, rng))
+    }
+
+    fn database_bytes(&self, db: &Self::Database) -> u64 {
+        db.byte_size(self.keys.q_bits) as u64
+    }
+
+    fn stats(&self) -> MatchStats {
+        merged(self.engine.stats(), &self.extra)
+    }
+
+    fn reset_stats(&mut self) {
+        self.engine.reset_stats();
+        self.extra = MatchStats::default();
+    }
+}
+
+/// The Boolean TFHE baseline \[17, 33\] behind the unified API: one LWE
+/// ciphertext per bit, `2k - 1` bootstrapped gates per window.
+///
+/// Key material is shared behind [`Arc`] so cloned workers reuse the same
+/// (expensive) bootstrapping key; `bootstraps` is counted analytically via
+/// [`BooleanGateCount`], which the engine's tests pin to the executed gate
+/// count.
+#[derive(Debug, Clone)]
+pub struct BooleanMatcher {
+    client: Arc<ClientKey>,
+    server: Arc<ServerKey>,
+    threads: usize,
+    stats: MatchStats,
+}
+
+impl BooleanMatcher {
+    /// Generates client and server TFHE keys; `threads > 1` evaluates
+    /// windows on that many scoped worker threads.
+    pub fn new<R: Rng + ?Sized>(
+        params: TfheParams,
+        threads: usize,
+        rng: &mut R,
+    ) -> Result<Self, MatchError> {
+        if threads == 0 {
+            return Err(MatchError::InvalidConfig("threads must be positive"));
+        }
+        let client = ClientKey::generate(params, rng);
+        let server = ServerKey::generate(&client, rng);
+        Ok(Self {
+            client: Arc::new(client),
+            server: Arc::new(server),
+            threads,
+            stats: MatchStats::default(),
+        })
+    }
+}
+
+impl SecureMatcher for BooleanMatcher {
+    type Database = BooleanDatabase;
+    type Query = Vec<BitCiphertext>;
+    type Stats = MatchStats;
+
+    fn backend(&self) -> Backend {
+        Backend::Boolean
+    }
+
+    fn encrypt_database<R: Rng + ?Sized>(
+        &mut self,
+        data: &BitString,
+        rng: &mut R,
+    ) -> Result<Self::Database, MatchError> {
+        let engine = BooleanEngine::new(self.client.as_ref(), self.server.as_ref());
+        Ok(engine.encrypt_database(data, rng))
+    }
+
+    fn prepare_query<R: Rng + ?Sized>(
+        &mut self,
+        query: &BitString,
+        rng: &mut R,
+    ) -> Result<Self::Query, MatchError> {
+        if query.is_empty() {
+            return Err(MatchError::EmptyQuery);
+        }
+        Ok(self.client.encrypt_bits(query.bits(), rng))
+    }
+
+    fn find_all<R: Rng + ?Sized>(
+        &mut self,
+        db: &Self::Database,
+        query: &Self::Query,
+        _rng: &mut R,
+    ) -> Result<Vec<usize>, MatchError> {
+        let k = query.len();
+        if k == 0 {
+            return Err(MatchError::EmptyQuery);
+        }
+        if db.len() < k {
+            return Ok(Vec::new());
+        }
+        self.stats.bytes_moved +=
+            (query.len() * self.client.params().lwe_ciphertext_bytes()) as u64;
+        self.stats.bootstraps += BooleanGateCount::for_search(db.len(), k).total();
+        let engine = BooleanEngine::new(self.client.as_ref(), self.server.as_ref());
+        let windows: Vec<usize> = (0..=db.len() - k).collect();
+        if self.threads <= 1 {
+            return Ok(windows
+                .into_iter()
+                .filter(|&o| self.client.decrypt(&engine.match_window(db, query, o)))
+                .collect());
+        }
+        let mut matches = Vec::new();
+        std::thread::scope(|scope| -> Result<(), MatchError> {
+            let mut handles = Vec::new();
+            for chunk in windows.chunks(windows.len().div_ceil(self.threads)) {
+                let engine = &engine;
+                let client = &self.client;
+                handles.push(scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .filter(|&&o| client.decrypt(&engine.match_window(db, query, o)))
+                        .copied()
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for h in handles {
+                matches.extend(h.join().map_err(|_| MatchError::WorkerPanicked)?);
+            }
+            Ok(())
+        })?;
+        matches.sort_unstable();
+        Ok(matches)
+    }
+
+    fn database_bytes(&self, db: &Self::Database) -> u64 {
+        db.byte_size(self.client.params().lwe_dim) as u64
+    }
+
+    fn stats(&self) -> MatchStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = MatchStats::default();
+    }
+}
+
+/// The unencrypted word-packed reference matcher (§2.2 / §3.1's "5.9 µs
+/// unencrypted" comparison point) behind the unified API.
+#[derive(Debug, Clone, Default)]
+pub struct PlainMatcher {
+    stats: MatchStats,
+}
+
+impl PlainMatcher {
+    /// Creates the reference matcher (no keys, no parameters).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SecureMatcher for PlainMatcher {
+    type Database = BitString;
+    type Query = BitString;
+    type Stats = MatchStats;
+
+    fn backend(&self) -> Backend {
+        Backend::Plain
+    }
+
+    fn encrypt_database<R: Rng + ?Sized>(
+        &mut self,
+        data: &BitString,
+        _rng: &mut R,
+    ) -> Result<Self::Database, MatchError> {
+        Ok(data.clone())
+    }
+
+    fn prepare_query<R: Rng + ?Sized>(
+        &mut self,
+        query: &BitString,
+        _rng: &mut R,
+    ) -> Result<Self::Query, MatchError> {
+        if query.is_empty() {
+            return Err(MatchError::EmptyQuery);
+        }
+        Ok(query.clone())
+    }
+
+    fn find_all<R: Rng + ?Sized>(
+        &mut self,
+        db: &Self::Database,
+        query: &Self::Query,
+        _rng: &mut R,
+    ) -> Result<Vec<usize>, MatchError> {
+        self.stats.bytes_moved += db.len().div_ceil(8) as u64;
+        Ok(bitwise_find_all(db, query))
+    }
+
+    fn database_bytes(&self, db: &Self::Database) -> u64 {
+        db.len().div_ceil(8) as u64
+    }
+
+    fn stats(&self) -> MatchStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = MatchStats::default();
+    }
+}

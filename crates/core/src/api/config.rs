@@ -1,0 +1,412 @@
+//! Dynamic backend selection: the [`Backend`] enum, the [`MatcherConfig`]
+//! builder, and the object-safe [`ErasedMatcher`] wrapper that lets
+//! heterogeneous matchers live in one registry (`Vec<Box<dyn
+//! ErasedMatcher>>`) or behind a [`crate::MatchSession`].
+
+use cm_bfv::BfvParams;
+use cm_tfhe::TfheParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::api::backends::{
+    BatchedMatcher, BooleanMatcher, CiphermatchMatcher, PlainMatcher, YasudaMatcher,
+};
+use crate::api::{MatchError, MatchStats, SecureMatcher};
+use crate::bits::BitString;
+
+/// The implemented secure-matching approaches (the rows of Table 1 that
+/// this repository reproduces, plus the unencrypted reference).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// CM-SW: dense packing + `Hom-Add`-only search (this paper).
+    Ciphermatch,
+    /// Yasuda et al. \[27\]: Hamming distance, 2 Hom-Mul + 3 Hom-Add per
+    /// block, fixed query window.
+    Yasuda,
+    /// Kim \[34\] / Bonte \[29\]-style SIMD batching: rotations +
+    /// squarings over slots, bounded query window.
+    Batched,
+    /// Aziz \[17\] / Pradel \[33\]-style Boolean TFHE: per-bit LWE,
+    /// `2k - 1` bootstrapped gates per window.
+    Boolean,
+    /// The unencrypted word-packed reference.
+    Plain,
+}
+
+impl Backend {
+    /// Every implemented backend, in the paper's comparison order.
+    pub const ALL: [Backend; 5] = [
+        Backend::Ciphermatch,
+        Backend::Yasuda,
+        Backend::Batched,
+        Backend::Boolean,
+        Backend::Plain,
+    ];
+
+    /// A short stable identifier (usable in CLI arguments and bench IDs).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Ciphermatch => "ciphermatch",
+            Backend::Yasuda => "yasuda",
+            Backend::Batched => "batched",
+            Backend::Boolean => "boolean",
+            Backend::Plain => "plain",
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builder that selects and constructs a backend dynamically.
+///
+/// ```
+/// use cm_core::{Backend, BitString, MatcherConfig};
+///
+/// let mut matcher = MatcherConfig::new(Backend::Ciphermatch)
+///     .insecure_test()
+///     .seed(7)
+///     .build()
+///     .unwrap();
+/// matcher
+///     .load_database(&BitString::from_ascii("abcabc"))
+///     .unwrap();
+/// let hits = matcher.find_all(&BitString::from_ascii("bc")).unwrap();
+/// assert_eq!(hits, vec![8, 32]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MatcherConfig {
+    backend: Backend,
+    seed: u64,
+    window: usize,
+    threads: usize,
+    insecure: bool,
+    bfv_params: Option<BfvParams>,
+    tfhe_params: Option<TfheParams>,
+}
+
+impl MatcherConfig {
+    /// Starts a configuration for `backend` with the defaults: seed 0,
+    /// a 32-bit query window, one thread, and the paper's parameter sets.
+    pub fn new(backend: Backend) -> Self {
+        Self {
+            backend,
+            seed: 0,
+            window: 32,
+            threads: 1,
+            insecure: false,
+            bfv_params: None,
+            tfhe_params: None,
+        }
+    }
+
+    /// Seeds key generation and query encryption (determinism for tests
+    /// and reproducible benchmarks).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Fixed/maximum query length in bits for the window-bound backends:
+    /// Yasuda requires queries of *exactly* this length, Batched accepts
+    /// *up to* this length. Ignored by the flexible-query backends.
+    pub fn window(mut self, bits: usize) -> Self {
+        self.window = bits;
+        self
+    }
+
+    /// Number of scoped worker threads used for one search when the
+    /// matcher is built directly via [`Self::build`] (CM-SW's parallel
+    /// `Hom-Add` sweep, Boolean window fan-out).
+    /// [`crate::MatchSession::new`] instead spends this same budget on
+    /// per-query fan-out — its workers search serially — so the total
+    /// number of concurrent search threads is always bounded by this one
+    /// value.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Switches to the small, fast, **insecure** test parameter sets —
+    /// for unit tests and CI only.
+    pub fn insecure_test(mut self) -> Self {
+        self.insecure = true;
+        self
+    }
+
+    /// Overrides the BFV parameter set (Ciphermatch/Yasuda/Batched).
+    pub fn bfv_params(mut self, params: BfvParams) -> Self {
+        self.bfv_params = Some(params);
+        self
+    }
+
+    /// Overrides the TFHE parameter set (Boolean).
+    pub fn tfhe_params(mut self, params: TfheParams) -> Self {
+        self.tfhe_params = Some(params);
+        self
+    }
+
+    /// The selected backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The configured seed.
+    pub fn seed_value(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured per-search thread count.
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    /// Generates keys and constructs the configured backend behind the
+    /// object-safe [`ErasedMatcher`] interface.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatchError::InvalidConfig`] when a knob is out of range
+    /// for the selected backend (zero threads, zero window, window larger
+    /// than the ring/slot capacity).
+    pub fn build(&self) -> Result<Box<dyn ErasedMatcher>, MatchError> {
+        if self.threads == 0 {
+            return Err(MatchError::InvalidConfig("threads must be positive"));
+        }
+        if self.window == 0 {
+            return Err(MatchError::InvalidConfig("window must be positive"));
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let bfv = |default: fn() -> BfvParams, test: fn() -> BfvParams| {
+            self.bfv_params
+                .clone()
+                .unwrap_or_else(if self.insecure { test } else { default })
+        };
+        Ok(match self.backend {
+            Backend::Ciphermatch => erase(
+                CiphermatchMatcher::new(
+                    bfv(BfvParams::ciphermatch_1024, BfvParams::insecure_test_add),
+                    self.threads,
+                    &mut rng,
+                )?,
+                self.seed,
+            ),
+            Backend::Yasuda => erase(
+                YasudaMatcher::new(
+                    bfv(BfvParams::arithmetic_2048, BfvParams::insecure_test_mul),
+                    self.window,
+                    &mut rng,
+                )?,
+                self.seed,
+            ),
+            Backend::Batched => erase(
+                BatchedMatcher::new(
+                    bfv(BfvParams::batching_1024, BfvParams::insecure_test_batch),
+                    self.window,
+                    &mut rng,
+                )?,
+                self.seed,
+            ),
+            Backend::Boolean => {
+                let params = self.tfhe_params.clone().unwrap_or_else(if self.insecure {
+                    TfheParams::fast_insecure_test
+                } else {
+                    TfheParams::boolean_default
+                });
+                erase(
+                    BooleanMatcher::new(params, self.threads, &mut rng)?,
+                    self.seed,
+                )
+            }
+            Backend::Plain => erase(PlainMatcher::new(), self.seed),
+        })
+    }
+}
+
+/// The object-safe face of a [`SecureMatcher`]: database and query types
+/// erased, randomness owned, so heterogeneous backends can share a
+/// registry or a [`crate::MatchSession`].
+pub trait ErasedMatcher: Send {
+    /// Which backend this matcher is.
+    fn backend(&self) -> Backend;
+
+    /// Encrypts `data` with this matcher's keys and stores it as *the*
+    /// database subsequent [`Self::find_all`] calls search.
+    fn load_database(&mut self, data: &BitString) -> Result<(), MatchError>;
+
+    /// True once a database has been loaded.
+    fn has_database(&self) -> bool;
+
+    /// Encrypted footprint in bytes of the loaded database (Fig. 2a's
+    /// y-axis), if one is loaded.
+    fn database_bytes(&self) -> Option<u64>;
+
+    /// Prepares (encrypts) `query` and searches the loaded database,
+    /// returning the matching bit offsets.
+    fn find_all(&mut self, query: &BitString) -> Result<Vec<usize>, MatchError>;
+
+    /// Statistics accumulated since construction or the last reset.
+    fn stats(&self) -> MatchStats;
+
+    /// Resets the statistics counters.
+    fn reset_stats(&mut self);
+
+    /// Replaces the matcher's query-encryption randomness stream (workers
+    /// cloned from one template must not share a stream).
+    fn reseed(&mut self, seed: u64);
+
+    /// Clones this matcher — keys, loaded database, statistics — into a
+    /// new boxed worker.
+    fn boxed_clone(&self) -> Box<dyn ErasedMatcher>;
+}
+
+/// Boxes a [`SecureMatcher`] behind [`ErasedMatcher`].
+pub fn erase<M>(matcher: M, seed: u64) -> Box<dyn ErasedMatcher>
+where
+    M: SecureMatcher<Stats = MatchStats> + Clone + Send + 'static,
+    M::Database: Clone + Send,
+{
+    Box::new(Erased {
+        matcher,
+        db: None,
+        rng: StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15),
+    })
+}
+
+/// The concrete adapter behind [`erase`].
+struct Erased<M: SecureMatcher> {
+    matcher: M,
+    db: Option<M::Database>,
+    rng: StdRng,
+}
+
+impl<M> ErasedMatcher for Erased<M>
+where
+    M: SecureMatcher<Stats = MatchStats> + Clone + Send + 'static,
+    M::Database: Clone + Send,
+{
+    fn backend(&self) -> Backend {
+        self.matcher.backend()
+    }
+
+    fn load_database(&mut self, data: &BitString) -> Result<(), MatchError> {
+        let db = self.matcher.encrypt_database(data, &mut self.rng)?;
+        self.db = Some(db);
+        Ok(())
+    }
+
+    fn has_database(&self) -> bool {
+        self.db.is_some()
+    }
+
+    fn database_bytes(&self) -> Option<u64> {
+        self.db.as_ref().map(|db| self.matcher.database_bytes(db))
+    }
+
+    fn find_all(&mut self, query: &BitString) -> Result<Vec<usize>, MatchError> {
+        if self.db.is_none() {
+            return Err(MatchError::NoDatabase);
+        }
+        let q = self.matcher.prepare_query(query, &mut self.rng)?;
+        let db = self.db.as_ref().ok_or(MatchError::NoDatabase)?;
+        self.matcher.find_all(db, &q, &mut self.rng)
+    }
+
+    fn stats(&self) -> MatchStats {
+        self.matcher.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.matcher.reset_stats();
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+
+    fn boxed_clone(&self) -> Box<dyn ErasedMatcher> {
+        Box::new(Erased {
+            matcher: self.matcher.clone(),
+            db: self.db.clone(),
+            rng: self.rng.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_knobs_are_rejected() {
+        assert_eq!(
+            MatcherConfig::new(Backend::Ciphermatch)
+                .threads(0)
+                .build()
+                .err(),
+            Some(MatchError::InvalidConfig("threads must be positive"))
+        );
+        assert_eq!(
+            MatcherConfig::new(Backend::Yasuda)
+                .insecure_test()
+                .window(0)
+                .build()
+                .err(),
+            Some(MatchError::InvalidConfig("window must be positive"))
+        );
+        // The test ring has n = 256: a 100k-bit window cannot fit.
+        assert!(matches!(
+            MatcherConfig::new(Backend::Batched)
+                .insecure_test()
+                .window(100_000)
+                .build()
+                .err(),
+            Some(MatchError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn searching_before_loading_is_a_typed_error() {
+        let mut m = MatcherConfig::new(Backend::Plain).build().unwrap();
+        assert_eq!(
+            m.find_all(&BitString::from_ascii("x")).err(),
+            Some(MatchError::NoDatabase)
+        );
+    }
+
+    #[test]
+    fn empty_queries_are_a_typed_error_on_every_backend() {
+        for backend in Backend::ALL {
+            let mut m = MatcherConfig::new(backend)
+                .insecure_test()
+                .window(8)
+                .build()
+                .unwrap();
+            m.load_database(&BitString::from_ascii("ab")).unwrap();
+            assert_eq!(
+                m.find_all(&BitString::new()).err(),
+                Some(MatchError::EmptyQuery),
+                "backend {backend}"
+            );
+        }
+    }
+
+    #[test]
+    fn cloned_workers_search_independently() {
+        let mut m = MatcherConfig::new(Backend::Ciphermatch)
+            .insecure_test()
+            .seed(3)
+            .build()
+            .unwrap();
+        let data = BitString::from_ascii("clone me and search");
+        m.load_database(&data).unwrap();
+        let mut w = m.boxed_clone();
+        w.reseed(99);
+        let q = BitString::from_ascii("search");
+        assert_eq!(m.find_all(&q).unwrap(), data.find_all(&q));
+        assert_eq!(w.find_all(&q).unwrap(), data.find_all(&q));
+    }
+}

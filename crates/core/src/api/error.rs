@@ -1,0 +1,101 @@
+//! The typed error surface of the matching protocol.
+//!
+//! Every failure a client, server, or session can hit on the protocol path
+//! is a [`MatchError`] variant — panics are reserved for programmer errors
+//! inside the engines (violated internal invariants), never for malformed
+//! input or misconfiguration.
+
+use cm_bfv::DecodeError;
+
+/// Everything that can go wrong on the secure-matching protocol path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchError {
+    /// TrustedController-mode index generation was requested but no
+    /// [`crate::TrustedIndexGenerator`] was installed on the server.
+    NoIndexGenerator,
+    /// No database has been loaded into the matcher/session yet.
+    NoDatabase,
+    /// A serialized database or ciphertext failed to decode.
+    Decode(DecodeError),
+    /// The query is empty; an empty pattern has no well-defined matches.
+    EmptyQuery,
+    /// The query exceeds the length the database was provisioned for
+    /// (Table 1: arithmetic baselines fix the query size at layout time).
+    QueryTooLong {
+        /// Maximum query length (bits) the database layout supports.
+        max: usize,
+        /// Length of the offending query in bits.
+        got: usize,
+    },
+    /// The query length does not equal the fixed window the database
+    /// blocks were laid out for (the Yasuda \[27\] restriction).
+    WindowMismatch {
+        /// Window width (bits) the database was laid out for.
+        expected: usize,
+        /// Length of the offending query in bits.
+        got: usize,
+    },
+    /// A configuration value is invalid for the selected backend.
+    InvalidConfig(&'static str),
+    /// A search worker thread panicked; the batch cannot be trusted.
+    WorkerPanicked,
+}
+
+impl std::fmt::Display for MatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatchError::NoIndexGenerator => {
+                write!(f, "TrustedController mode requires install_index_generator")
+            }
+            MatchError::NoDatabase => {
+                write!(f, "no database loaded; call load_database first")
+            }
+            MatchError::Decode(e) => write!(f, "malformed encrypted database: {e}"),
+            MatchError::EmptyQuery => write!(f, "query must be non-empty"),
+            MatchError::QueryTooLong { max, got } => write!(
+                f,
+                "query of {got} bits exceeds the provisioned maximum of {max} bits"
+            ),
+            MatchError::WindowMismatch { expected, got } => write!(
+                f,
+                "query of {got} bits does not match the fixed {expected}-bit window \
+                 the database was laid out for"
+            ),
+            MatchError::InvalidConfig(what) => write!(f, "invalid matcher configuration: {what}"),
+            MatchError::WorkerPanicked => write!(f, "a search worker thread panicked"),
+        }
+    }
+}
+
+impl std::error::Error for MatchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MatchError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecodeError> for MatchError {
+    fn from(e: DecodeError) -> Self {
+        MatchError::Decode(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(MatchError::NoIndexGenerator
+            .to_string()
+            .contains("install_index_generator"));
+        assert!(MatchError::QueryTooLong { max: 8, got: 9 }
+            .to_string()
+            .contains("9 bits"));
+        let e: MatchError = DecodeError::Truncated.into();
+        assert!(e.to_string().contains("truncated"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

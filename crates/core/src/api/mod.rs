@@ -1,0 +1,107 @@
+//! The unified backend API: one trait over every secure-matching engine.
+//!
+//! The paper's evaluation is a head-to-head comparison of CM-SW against
+//! three secure-matching baselines; this module gives all of them (plus
+//! the unencrypted reference) one surface:
+//!
+//! * [`SecureMatcher`] — the backend-agnostic trait: encrypt a database,
+//!   prepare a query, find all matching bit offsets, report unified
+//!   [`MatchStats`];
+//! * the key-owning adapters in [`backends`] ([`CiphermatchMatcher`],
+//!   [`YasudaMatcher`], [`BatchedMatcher`], [`BooleanMatcher`],
+//!   [`PlainMatcher`]) implementing it for every engine;
+//! * [`Backend`] + [`MatcherConfig`] — dynamic selection and
+//!   construction, yielding a `Box<dyn `[`ErasedMatcher`]`>` whose
+//!   database/query types are erased so heterogeneous backends fit one
+//!   registry;
+//! * [`MatchError`] — the typed error surface of the protocol path (no
+//!   panics on malformed input or misconfiguration);
+//! * [`MatchStats`] — one statistics shape for every backend.
+//!
+//! The multi-query service layer on top of this trait is
+//! [`crate::MatchSession`] in the protocol module.
+//!
+//! ```
+//! use cm_core::{Backend, BitString, MatcherConfig};
+//!
+//! // The same four lines drive any backend.
+//! for backend in [Backend::Ciphermatch, Backend::Plain] {
+//!     let mut m = MatcherConfig::new(backend).insecure_test().build().unwrap();
+//!     m.load_database(&BitString::from_ascii("needle in haystack")).unwrap();
+//!     let hits = m.find_all(&BitString::from_ascii("needle")).unwrap();
+//!     assert_eq!(hits, vec![0]);
+//! }
+//! ```
+
+pub mod backends;
+mod config;
+mod error;
+mod stats;
+
+pub use backends::{
+    BatchedMatcher, BooleanMatcher, CiphermatchMatcher, PlainMatcher, YasudaMatcher,
+};
+pub use config::{erase, Backend, ErasedMatcher, MatcherConfig};
+pub use error::MatchError;
+pub use stats::MatchStats;
+
+use rand::Rng;
+
+use crate::bits::BitString;
+
+/// A secure string-matching backend: database encryption, query
+/// preparation, and exact search, with unified statistics.
+///
+/// Implementations own whatever key material their protocol role needs,
+/// so the trait surface is key-free; randomness is threaded explicitly so
+/// callers stay deterministic under a fixed seed. All inputs are bit
+/// strings and all results are **bit offsets** into the database,
+/// whatever the backend's native alphabet.
+///
+/// The trait is not object-safe (the methods are generic over the RNG);
+/// [`ErasedMatcher`] is the object-safe wrapper for heterogeneous
+/// registries — see [`erase`] and [`MatcherConfig::build`].
+pub trait SecureMatcher {
+    /// The backend's encrypted-database representation.
+    type Database;
+    /// The backend's prepared-query representation.
+    type Query;
+    /// The statistics type; unified to [`MatchStats`] by every
+    /// implementation in this crate.
+    type Stats: Into<MatchStats>;
+
+    /// Which [`Backend`] this matcher implements.
+    fn backend(&self) -> Backend;
+
+    /// Packs and encrypts `data` (client side, done once per database).
+    fn encrypt_database<R: Rng + ?Sized>(
+        &mut self,
+        data: &BitString,
+        rng: &mut R,
+    ) -> Result<Self::Database, MatchError>;
+
+    /// Prepares (encrypts) one query (client side, per query).
+    fn prepare_query<R: Rng + ?Sized>(
+        &mut self,
+        query: &BitString,
+        rng: &mut R,
+    ) -> Result<Self::Query, MatchError>;
+
+    /// Searches `db` for `query`, returning all matching bit offsets in
+    /// ascending order.
+    fn find_all<R: Rng + ?Sized>(
+        &mut self,
+        db: &Self::Database,
+        query: &Self::Query,
+        rng: &mut R,
+    ) -> Result<Vec<usize>, MatchError>;
+
+    /// Encrypted footprint of `db` in bytes (Fig. 2a's y-axis).
+    fn database_bytes(&self, db: &Self::Database) -> u64;
+
+    /// Statistics accumulated since construction or the last reset.
+    fn stats(&self) -> Self::Stats;
+
+    /// Resets the statistics counters.
+    fn reset_stats(&mut self);
+}

@@ -1,0 +1,111 @@
+//! The unified execution-statistics type shared by every backend.
+
+use std::time::Duration;
+
+/// Homomorphic-operation counters and wall-time totals accumulated by a
+/// matcher, in one shape for every backend.
+///
+/// The counters mirror the cost axes the paper compares the approaches on
+/// (Table 1, Fig. 2): CM-SW spends only `hom_adds`, Yasuda \[27\] is
+/// dominated by `hom_muls`, the SIMD-batched baseline \[34, 29\] adds
+/// `rotations`, and the Boolean baseline \[17, 33\] pays `bootstraps`.
+/// Fields irrelevant to a backend simply stay zero, which is itself the
+/// comparison the paper draws.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Homomorphic additions (ciphertext or plaintext operand).
+    pub hom_adds: u64,
+    /// Homomorphic ciphertext-ciphertext multiplications (squarings
+    /// included).
+    pub hom_muls: u64,
+    /// Homomorphic slot rotations (Galois automorphisms).
+    pub rotations: u64,
+    /// Bootstrapped Boolean gates.
+    pub bootstraps: u64,
+    /// Encrypted bytes moved between client and server (queries uploaded
+    /// plus results returned), where the backend tracks it.
+    pub bytes_moved: u64,
+    /// Wall time spent in additions.
+    pub add_time: Duration,
+    /// Wall time spent in multiplications (and rotations, which share the
+    /// key-switching machinery).
+    pub mul_time: Duration,
+}
+
+impl MatchStats {
+    /// Total homomorphic operations of any kind.
+    pub fn total_ops(&self) -> u64 {
+        self.hom_adds + self.hom_muls + self.rotations + self.bootstraps
+    }
+
+    /// Fraction of homomorphic wall time spent in multiplication — the
+    /// quantity Fig. 2c reports as 98.2% for the arithmetic baseline.
+    pub fn mult_fraction(&self) -> f64 {
+        let m = self.mul_time.as_secs_f64();
+        let a = self.add_time.as_secs_f64();
+        if m + a == 0.0 {
+            0.0
+        } else {
+            m / (m + a)
+        }
+    }
+
+    /// Accumulates `other` into `self` field-wise (used when aggregating
+    /// per-worker statistics into a session total).
+    pub fn merge(&mut self, other: &MatchStats) {
+        self.hom_adds += other.hom_adds;
+        self.hom_muls += other.hom_muls;
+        self.rotations += other.rotations;
+        self.bootstraps += other.bootstraps;
+        self.bytes_moved += other.bytes_moved;
+        self.add_time += other.add_time;
+        self.mul_time += other.mul_time;
+    }
+}
+
+impl std::fmt::Display for MatchStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "adds={} muls={} rots={} bootstraps={}",
+            self.hom_adds, self.hom_muls, self.rotations, self.bootstraps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_fieldwise() {
+        let mut a = MatchStats {
+            hom_adds: 1,
+            hom_muls: 2,
+            rotations: 3,
+            bootstraps: 4,
+            bytes_moved: 5,
+            add_time: Duration::from_millis(10),
+            mul_time: Duration::from_millis(20),
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.hom_adds, 2);
+        assert_eq!(a.hom_muls, 4);
+        assert_eq!(a.rotations, 6);
+        assert_eq!(a.bootstraps, 8);
+        assert_eq!(a.bytes_moved, 10);
+        assert_eq!(a.add_time, Duration::from_millis(20));
+        assert_eq!(a.total_ops(), 20);
+    }
+
+    #[test]
+    fn mult_fraction_handles_zero_time() {
+        assert_eq!(MatchStats::default().mult_fraction(), 0.0);
+        let s = MatchStats {
+            add_time: Duration::from_millis(25),
+            mul_time: Duration::from_millis(75),
+            ..MatchStats::default()
+        };
+        assert!((s.mult_fraction() - 0.75).abs() < 1e-12);
+    }
+}

@@ -20,23 +20,33 @@
 //!
 //! ## Example
 //!
-//! ```
-//! use cm_bfv::{BfvContext, BfvParams};
-//! use cm_core::{BitString, Client, Server};
-//! use rand::rngs::StdRng;
-//! use rand::SeedableRng;
+//! Every engine sits behind the unified [`SecureMatcher`] API: pick a
+//! [`Backend`], build it with [`MatcherConfig`], load a database, search.
 //!
-//! let ctx = BfvContext::new(BfvParams::insecure_test_add());
-//! let mut rng = StdRng::seed_from_u64(7);
-//! let client = Client::new(&ctx, &mut rng);
+//! ```
+//! use cm_core::{Backend, BitString, MatcherConfig};
+//!
+//! let mut matcher = MatcherConfig::new(Backend::Ciphermatch)
+//!     .insecure_test() // small test parameters; drop for the paper's set
+//!     .seed(7)
+//!     .build()
+//!     .unwrap();
 //! let data = BitString::from_ascii("find the needle in this haystack");
-//! let mut server = Server::new(&ctx, client.encrypt_database(&data, &mut rng));
-//! server.install_index_generator(client.delegate_index_generation());
-//!
-//! let query = client.prepare_query(&BitString::from_ascii("needle"), &mut rng);
-//! assert_eq!(server.search_indices(&query), vec![9 * 8]);
+//! matcher.load_database(&data).unwrap();
+//! let hits = matcher.find_all(&BitString::from_ascii("needle")).unwrap();
+//! assert_eq!(hits, vec![9 * 8]);
+//! // CM-SW's server ran additions only — visible in the unified stats.
+//! let stats = matcher.stats();
+//! assert!(stats.hom_adds > 0);
+//! assert_eq!(stats.hom_muls + stats.rotations + stats.bootstraps, 0);
 //! ```
+//!
+//! Multi-query traffic goes through [`MatchSession`], which fans a batch
+//! out across worker threads; the explicit [`Client`]/[`Server`] protocol
+//! roles of Algorithm 1 remain available for the single-backend CM-SW
+//! flow.
 
+pub mod api;
 mod bits;
 mod index_gen;
 pub mod matchers;
@@ -44,18 +54,22 @@ mod packing;
 mod protocol;
 mod query;
 
+pub use api::{
+    erase, Backend, BatchedMatcher, BooleanMatcher, CiphermatchMatcher, ErasedMatcher, MatchError,
+    MatchStats, MatcherConfig, PlainMatcher, SecureMatcher, YasudaMatcher,
+};
 pub use bits::BitString;
 pub use index_gen::{generate_indices, SumTable};
 pub use matchers::batched::{BatchedDatabase, BatchedEngine};
 pub use matchers::boolean::{BooleanDatabase, BooleanEngine, BooleanGateCount};
 pub use matchers::ciphermatch::{
-    CiphermatchEngine, CmSwStats, EncryptedDatabase, EncryptedQuery, SearchResult,
+    CiphermatchEngine, EncryptedDatabase, EncryptedQuery, SearchResult,
 };
 pub use matchers::plain::bitwise_find_all;
-pub use matchers::yasuda::{YasudaDatabase, YasudaEngine, YasudaQuery, YasudaStats};
+pub use matchers::yasuda::{YasudaDatabase, YasudaEngine, YasudaQuery};
 pub use matchers::{table1_profiles, ApproachProfile, CostClass};
 pub use packing::{DensePacking, SingleBitPacking};
-pub use protocol::{Client, IndexMode, Server, TrustedIndexGenerator};
+pub use protocol::{BatchReport, Client, IndexMode, MatchSession, Server, TrustedIndexGenerator};
 pub use query::{
     alignment_classes, build_variants, segment_matches, variant_count, AlignmentClass, QueryVariant,
 };

@@ -15,10 +15,14 @@
 //! alignment) would need client-side re-checking — the structure and cost
 //! profile (rotations + multiplications, fixed query sizes) are faithful.
 
+use std::time::Instant;
+
 use cm_bfv::{
     BatchEncoder, BfvContext, Ciphertext, Decryptor, Encryptor, Evaluator, GaloisKeys, RelinKey,
 };
 use rand::Rng;
+
+use crate::api::MatchStats;
 
 /// The batched database: overlapping blocks of slot-encoded symbols.
 #[derive(Debug, Clone)]
@@ -34,14 +38,25 @@ impl BatchedDatabase {
     pub fn block_count(&self) -> usize {
         self.blocks.len()
     }
+
+    /// The maximum query length (symbols) the blocks were provisioned for.
+    pub fn max_query(&self) -> usize {
+        self.max_query
+    }
+
+    /// Total encrypted footprint in bytes (Fig. 2a's axis).
+    pub fn byte_size(&self, q_bits: u32) -> usize {
+        self.blocks.iter().map(|ct| ct.byte_size(q_bits)).sum()
+    }
 }
 
 /// The SIMD-batched matching engine.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BatchedEngine {
     ctx: BfvContext,
     encoder: BatchEncoder,
     evaluator: Evaluator,
+    stats: MatchStats,
 }
 
 impl BatchedEngine {
@@ -56,7 +71,20 @@ impl BatchedEngine {
             ctx: ctx.clone(),
             encoder: BatchEncoder::new(ctx),
             evaluator: Evaluator::new(ctx),
+            stats: MatchStats::default(),
         }
+    }
+
+    /// Statistics accumulated so far: `hom_muls` (squarings), `rotations`,
+    /// and `hom_adds` — the "expensive homomorphic operations" Table 1
+    /// attributes to the SIMD-batched approaches.
+    pub fn stats(&self) -> MatchStats {
+        self.stats
+    }
+
+    /// Resets the statistics counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = MatchStats::default();
     }
 
     /// Usable slots per block: rotations act within one batching row, so
@@ -120,7 +148,7 @@ impl BatchedEngine {
     /// to ~`1/t^2` (the standard amplification for mod-`t` score
     /// collisions).
     fn block_scores(
-        &self,
+        &mut self,
         block: &Ciphertext,
         query: &[u64],
         weights: &[i64],
@@ -135,14 +163,26 @@ impl BatchedEngine {
             // (D[a+j] - q_j)^2, and multiplying *fresh* ciphertexts keeps
             // the key-switch noise of the rotation out of the product.
             let broadcast = self.encoder.encode(&vec![qj; slots]);
+            let t0 = Instant::now();
             let diff = ev.sub_plain(block, &broadcast);
+            self.stats.add_time += t0.elapsed();
+            self.stats.hom_adds += 1;
+            let t1 = Instant::now();
             let sq = ev.relinearize(&ev.multiply(&diff, &diff), rk);
             let weighted = ev.scale_signed(&sq, weights[j]);
             let rotated = ev.rotate_rows(&weighted, j as i64, gk);
+            self.stats.mul_time += t1.elapsed();
+            self.stats.hom_muls += 1;
+            self.stats.rotations += 1;
+            let t2 = Instant::now();
             acc = Some(match acc {
                 None => rotated,
-                Some(a) => ev.add(&a, &rotated),
+                Some(a) => {
+                    self.stats.hom_adds += 1;
+                    ev.add(&a, &rotated)
+                }
             });
+            self.stats.add_time += t2.elapsed();
         }
         acc.expect("query must be non-empty")
     }
@@ -156,7 +196,7 @@ impl BatchedEngine {
     /// restriction of Table 1.
     #[allow(clippy::too_many_arguments)]
     pub fn find_all<R: Rng + ?Sized>(
-        &self,
+        &mut self,
         _enc: &Encryptor<'_>,
         dec: &Decryptor<'_>,
         rk: &RelinKey,
@@ -179,12 +219,10 @@ impl BatchedEngine {
         let slots = self.slots_per_block();
         let mut matches = Vec::new();
         for (block, &start) in db.blocks.iter().zip(&db.block_starts) {
-            let s1 = self
-                .encoder
-                .decode(&dec.decrypt(&self.block_scores(block, query, &w1, rk, gk)));
-            let s2 = self
-                .encoder
-                .decode(&dec.decrypt(&self.block_scores(block, query, &w2, rk, gk)));
+            let score1 = self.block_scores(block, query, &w1, rk, gk);
+            let s1 = self.encoder.decode(&dec.decrypt(&score1));
+            let score2 = self.block_scores(block, query, &w2, rk, gk);
+            let s2 = self.encoder.decode(&dec.decrypt(&score2));
             let span = slots - query.len() + 1;
             for a in 0..span {
                 let global = start + a;
@@ -224,18 +262,8 @@ mod tests {
         let sk = kg.secret_key();
         let pk = kg.public_key(&mut rng);
         let rk = kg.relin_key(&mut rng);
-        // Galois elements for rotations 1..max_rot: 3^s mod 2n.
-        let two_n = 2 * ctx.params().n;
-        let elems: Vec<usize> = (1..=max_rot)
-            .map(|s| {
-                let mut g = 1usize;
-                for _ in 0..s {
-                    g = g * 3 % two_n;
-                }
-                g
-            })
-            .collect();
-        let gk = kg.galois_keys(&elems, &mut rng);
+        // Keys for rotations 1..=max_rot.
+        let gk = kg.galois_keys(&kg.galois_elements_for_rotations(max_rot + 1), &mut rng);
         Fixture {
             ctx,
             sk,
@@ -264,7 +292,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let enc = Encryptor::new(&f.ctx, f.pk.clone());
         let dec = Decryptor::new(&f.ctx, f.sk.clone());
-        let engine = BatchedEngine::new(&f.ctx);
+        let mut engine = BatchedEngine::new(&f.ctx);
         let symbols = ascii_symbols("the batched matcher rotates and squares the batch");
         let db = engine.encrypt_database(&enc, &symbols, 8, &mut rng);
         for needle in ["batch", "the", "squares", "absent!"] {
@@ -280,7 +308,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let enc = Encryptor::new(&f.ctx, f.pk.clone());
         let dec = Decryptor::new(&f.ctx, f.sk.clone());
-        let engine = BatchedEngine::new(&f.ctx);
+        let mut engine = BatchedEngine::new(&f.ctx);
         // Longer than one block (128 usable slots with n = 256).
         let text: String = (0..300)
             .map(|i| (b'a' + (i * 7 % 26) as u8) as char)
@@ -301,7 +329,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let enc = Encryptor::new(&f.ctx, f.pk.clone());
         let dec = Decryptor::new(&f.ctx, f.sk.clone());
-        let engine = BatchedEngine::new(&f.ctx);
+        let mut engine = BatchedEngine::new(&f.ctx);
         let symbols = ascii_symbols("short provision");
         let db = engine.encrypt_database(&enc, &symbols, 4, &mut rng);
         let q = ascii_symbols("toolong");

@@ -5,11 +5,12 @@
 //! and index generation compares result coefficients against the all-ones
 //! match value under the alignment masks.
 
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use cm_bfv::{BfvContext, Ciphertext, Decryptor, Encryptor, Evaluator};
 use rand::Rng;
 
+use crate::api::MatchStats;
 use crate::bits::BitString;
 use crate::index_gen::{generate_indices, SumTable};
 use crate::packing::DensePacking;
@@ -71,19 +72,26 @@ impl EncryptedDatabase {
         }
         let total_bits = u64::from_le_bytes(data[..8].try_into().unwrap()) as usize;
         let count = u32::from_le_bytes(data[8..12].try_into().unwrap()) as usize;
+        // Each ciphertext needs at least its 4-byte length prefix, so a
+        // count the buffer cannot possibly hold is a lie told by the
+        // header — reject it before trusting it for an allocation.
+        if count > (data.len() - 12) / 4 {
+            return Err(DecodeError::BadHeader("ciphertext count"));
+        }
         let mut pos = 12usize;
         let mut cts = Vec::with_capacity(count);
         for _ in 0..count {
-            if data.len() < pos + 4 {
+            let len_end = pos.checked_add(4).ok_or(DecodeError::Truncated)?;
+            if data.len() < len_end {
                 return Err(DecodeError::Truncated);
             }
-            let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
-            pos += 4;
-            if data.len() < pos + len {
+            let len = u32::from_le_bytes(data[pos..len_end].try_into().unwrap()) as usize;
+            let ct_end = len_end.checked_add(len).ok_or(DecodeError::Truncated)?;
+            if data.len() < ct_end {
                 return Err(DecodeError::Truncated);
             }
-            cts.push(cm_bfv::decode_ciphertext(&data[pos..pos + len])?);
-            pos += len;
+            cts.push(cm_bfv::decode_ciphertext(&data[len_end..ct_end])?);
+            pos = ct_end;
         }
         Ok(Self { cts, total_bits })
     }
@@ -168,22 +176,13 @@ impl SearchResult {
     }
 }
 
-/// Execution statistics of a search (for the evaluation harness).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct CmSwStats {
-    /// Homomorphic additions performed.
-    pub hom_adds: u64,
-    /// Wall time spent in `Hom-Add`.
-    pub add_time: Duration,
-}
-
 /// The CM-SW engine: packing + addition-only matching.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CiphermatchEngine {
     ctx: BfvContext,
     packing: DensePacking,
     evaluator: Evaluator,
-    stats: CmSwStats,
+    stats: MatchStats,
 }
 
 impl CiphermatchEngine {
@@ -194,7 +193,7 @@ impl CiphermatchEngine {
             ctx: ctx.clone(),
             packing: DensePacking::new(ctx),
             evaluator: Evaluator::new(ctx),
-            stats: CmSwStats::default(),
+            stats: MatchStats::default(),
         }
     }
 
@@ -203,14 +202,16 @@ impl CiphermatchEngine {
         &self.packing
     }
 
-    /// Statistics accumulated so far.
-    pub fn stats(&self) -> CmSwStats {
+    /// Statistics accumulated so far. Only `hom_adds` and `add_time` are
+    /// ever non-zero: CM-SW's server runs no other homomorphic operation,
+    /// which is the paper's core claim.
+    pub fn stats(&self) -> MatchStats {
         self.stats
     }
 
     /// Resets the statistics counters.
     pub fn reset_stats(&mut self) {
-        self.stats = CmSwStats::default();
+        self.stats = MatchStats::default();
     }
 
     /// Packs and encrypts a database (client side, done once).
@@ -389,7 +390,7 @@ mod tests {
         }
     }
 
-    fn run_search(db_bits: &BitString, query_bits: &BitString) -> (Vec<usize>, CmSwStats) {
+    fn run_search(db_bits: &BitString, query_bits: &BitString) -> (Vec<usize>, MatchStats) {
         let f = Fixture::new();
         let mut rng = StdRng::seed_from_u64(777);
         let (sk, pk) = {
@@ -498,6 +499,60 @@ mod tests {
         // Malformed input errors instead of panicking.
         assert!(EncryptedDatabase::decode(&bytes[..bytes.len() - 3]).is_err());
         assert!(EncryptedDatabase::decode(&[1, 2, 3]).is_err());
+    }
+
+    /// Fuzz-ish regression for the decode path: every truncation of a
+    /// valid encoding, headers shorter than 12 bytes, absurd ciphertext
+    /// counts, lying length prefixes, and byte-flipped garbage must all
+    /// return `Err`, never panic (and never allocate by a lying header).
+    #[test]
+    fn decode_rejects_truncated_and_garbage_buffers() {
+        let f = Fixture::new();
+        let mut rng = StdRng::seed_from_u64(1234);
+        let (_, pk) = {
+            let kg = KeyGenerator::new(&f.ctx, &mut rng);
+            (kg.secret_key(), kg.public_key(&mut rng))
+        };
+        let enc = Encryptor::new(&f.ctx, pk);
+        let engine = CiphermatchEngine::new(&f.ctx);
+        let data = BitString::from_ascii("decode must never panic");
+        let db = engine.encrypt_database(&enc, &data, &mut rng);
+        let q_bits = 64 - f.ctx.params().q.leading_zeros();
+        let good = db.encode(q_bits);
+
+        // Every proper prefix (includes the sub-header cases) fails cleanly.
+        for cut in 0..good.len() {
+            assert!(
+                EncryptedDatabase::decode(&good[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+
+        // A header claiming u32::MAX ciphertexts in a 12-byte buffer must
+        // not be trusted for an allocation.
+        let mut lying_count = good[..12].to_vec();
+        lying_count[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(EncryptedDatabase::decode(&lying_count).is_err());
+
+        // A ciphertext length prefix pointing far past the end.
+        let mut lying_len = good.clone();
+        lying_len[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(EncryptedDatabase::decode(&lying_len).is_err());
+
+        // Deterministic byte flips across the whole buffer: decoding
+        // either fails cleanly or (for flips in ciphertext payload bytes
+        // below the coefficient limit) succeeds — it must never panic.
+        for i in (0..good.len()).step_by(7) {
+            let mut flipped = good.clone();
+            flipped[i] ^= 0xA5;
+            let _ = EncryptedDatabase::decode(&flipped);
+        }
+
+        // Pure garbage of various lengths.
+        for len in [0usize, 1, 11, 12, 13, 64, 257] {
+            let garbage: Vec<u8> = (0..len).map(|i| (i * 131 + 17) as u8).collect();
+            let _ = EncryptedDatabase::decode(&garbage);
+        }
     }
 
     #[test]

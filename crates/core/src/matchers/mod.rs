@@ -9,6 +9,11 @@
 //! * [`plain`] — unencrypted references.
 //!
 //! [`ApproachProfile`] captures the qualitative comparison of Table 1.
+//!
+//! These are the *engines* — the low-level, key-borrowing implementations.
+//! The unified, key-owning API over all of them (one trait, one stats
+//! shape, typed errors, dynamic backend selection) lives in
+//! [`crate::api`].
 
 pub mod batched;
 pub mod boolean;

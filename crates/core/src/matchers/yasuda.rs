@@ -9,11 +9,12 @@
 //! costs **two homomorphic multiplications and three additions** per
 //! block — the multiplication dominance Figure 2c measures (98.2%).
 
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use cm_bfv::{BfvContext, Ciphertext, Decryptor, Encryptor, Evaluator};
 use rand::Rng;
 
+use crate::api::MatchStats;
 use crate::bits::BitString;
 use crate::packing::SingleBitPacking;
 
@@ -32,6 +33,11 @@ impl YasudaDatabase {
         self.blocks.len()
     }
 
+    /// The fixed window width (query bits) the blocks were laid out for.
+    pub fn window(&self) -> usize {
+        self.k
+    }
+
     /// Total encrypted footprint in bytes (Fig. 2a).
     pub fn byte_size(&self, q_bits: u32) -> usize {
         self.blocks.iter().map(|ct| ct.byte_size(q_bits)).sum()
@@ -47,40 +53,25 @@ pub struct YasudaQuery {
     k: usize,
 }
 
-/// Per-operation timing breakdown (drives Fig. 2c).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct YasudaStats {
-    /// Homomorphic ciphertext-ciphertext multiplications.
-    pub hom_mults: u64,
-    /// Homomorphic additions (ciphertext or plaintext operand).
-    pub hom_adds: u64,
-    /// Wall time in multiplication.
-    pub mult_time: Duration,
-    /// Wall time in addition/scaling.
-    pub add_time: Duration,
-}
+impl YasudaQuery {
+    /// Query length in bits.
+    pub fn k(&self) -> usize {
+        self.k
+    }
 
-impl YasudaStats {
-    /// Fraction of homomorphic time spent in multiplication (the paper
-    /// reports 98.2%).
-    pub fn mult_fraction(&self) -> f64 {
-        let m = self.mult_time.as_secs_f64();
-        let a = self.add_time.as_secs_f64();
-        if m + a == 0.0 {
-            0.0
-        } else {
-            m / (m + a)
-        }
+    /// Total encrypted footprint in bytes (query plus all-ones window).
+    pub fn byte_size(&self, q_bits: u32) -> usize {
+        self.query_ct.byte_size(q_bits) + self.ones_ct.byte_size(q_bits)
     }
 }
 
 /// The Yasuda secure-matching engine.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct YasudaEngine {
     ctx: BfvContext,
     packing: SingleBitPacking,
     evaluator: Evaluator,
-    stats: YasudaStats,
+    stats: MatchStats,
 }
 
 impl YasudaEngine {
@@ -91,18 +82,19 @@ impl YasudaEngine {
             ctx: ctx.clone(),
             packing: SingleBitPacking::new(ctx),
             evaluator: Evaluator::new(ctx),
-            stats: YasudaStats::default(),
+            stats: MatchStats::default(),
         }
     }
 
-    /// Statistics accumulated so far.
-    pub fn stats(&self) -> YasudaStats {
+    /// Statistics accumulated so far: `hom_muls`/`mul_time` dominate
+    /// (Fig. 2c's 98.2%), `hom_adds`/`add_time` carry the rest.
+    pub fn stats(&self) -> MatchStats {
         self.stats
     }
 
     /// Resets the statistics counters.
     pub fn reset_stats(&mut self) {
-        self.stats = YasudaStats::default();
+        self.stats = MatchStats::default();
     }
 
     /// Encrypts the database as overlapping single-bit-packed blocks sized
@@ -160,8 +152,8 @@ impl YasudaEngine {
         let t0 = Instant::now();
         let ip = ev.multiply(block, &query.query_ct);
         let hw_win = ev.multiply(block, &query.ones_ct);
-        self.stats.mult_time += t0.elapsed();
-        self.stats.hom_mults += 2;
+        self.stats.mul_time += t0.elapsed();
+        self.stats.hom_muls += 2;
 
         let t1 = Instant::now();
         let neg2ip = ev.scale_signed(&ip, -2);
@@ -223,15 +215,35 @@ impl YasudaEngine {
             "database blocks were laid out for k = {}",
             db.k
         );
+        let q = self.prepare_query(enc, query, rng);
+        self.search_prepared(dec, db, &q, max_distance)
+    }
+
+    /// Distance search over an already-encrypted query (the server/worker
+    /// half of [`Self::find_within_distance`]): per block, 2 Hom-Mul +
+    /// 3 Hom-Add, then decrypt the HD polynomial and keep alignments
+    /// within `max_distance`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query length differs from the database layout, or
+    /// `max_distance` is not representable below the plaintext modulus.
+    pub fn search_prepared(
+        &mut self,
+        dec: &Decryptor<'_>,
+        db: &YasudaDatabase,
+        q: &YasudaQuery,
+        max_distance: u64,
+    ) -> Vec<(usize, u64)> {
+        assert_eq!(q.k, db.k, "database blocks were laid out for k = {}", db.k);
         assert!(
             max_distance < self.ctx.params().t / 2,
             "distance threshold must stay below t/2 to be unambiguous"
         );
-        let q = self.prepare_query(enc, query, rng);
         let n = self.ctx.params().n;
         let mut matches = Vec::new();
         for (b, block) in db.blocks.iter().enumerate() {
-            let hd_ct = self.block_hd(block, &q);
+            let hd_ct = self.block_hd(block, q);
             let hd = dec.decrypt(&hd_ct);
             let start = self.packing.block_start(b, q.k);
             let span = (n - q.k + 1).min(db.total_bits.saturating_sub(start + q.k) + 1);
@@ -254,7 +266,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn run(db_bits: &BitString, query_bits: &BitString) -> (Vec<usize>, YasudaStats) {
+    fn run(db_bits: &BitString, query_bits: &BitString) -> (Vec<usize>, MatchStats) {
         let ctx = BfvContext::new(BfvParams::insecure_test_mul());
         let mut rng = StdRng::seed_from_u64(4242);
         let (sk, pk) = {
@@ -304,7 +316,7 @@ mod tests {
         let q = BitString::from_bits(&[true; 8]);
         let (_, stats) = run(&db, &q);
         let blocks = (600 - 8 + 1 + (256 - 8)) / (256 - 7); // ceil
-        assert_eq!(stats.hom_mults, 2 * blocks as u64);
+        assert_eq!(stats.hom_muls, 2 * blocks as u64);
         assert_eq!(stats.hom_adds, 3 * blocks as u64);
     }
 

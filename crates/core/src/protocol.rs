@@ -16,6 +16,7 @@
 use cm_bfv::{BfvContext, Decryptor, Encryptor, KeyGenerator, PublicKey, SecretKey};
 use rand::Rng;
 
+use crate::api::{Backend, ErasedMatcher, MatchError, MatchStats, MatcherConfig};
 use crate::bits::BitString;
 use crate::matchers::ciphermatch::{
     CiphermatchEngine, EncryptedDatabase, EncryptedQuery, SearchResult,
@@ -73,9 +74,21 @@ impl Client {
     }
 
     /// Prepares an encrypted query (Algorithm 1 lines 4–9).
-    pub fn prepare_query<R: Rng + ?Sized>(&self, query: &BitString, rng: &mut R) -> EncryptedQuery {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatchError::EmptyQuery`] for the empty pattern, which has
+    /// no well-defined matches.
+    pub fn prepare_query<R: Rng + ?Sized>(
+        &self,
+        query: &BitString,
+        rng: &mut R,
+    ) -> Result<EncryptedQuery, MatchError> {
+        if query.is_empty() {
+            return Err(MatchError::EmptyQuery);
+        }
         let enc = Encryptor::new(&self.ctx, self.pk.clone());
-        CiphermatchEngine::new(&self.ctx).prepare_query(&enc, query, rng)
+        Ok(CiphermatchEngine::new(&self.ctx).prepare_query(&enc, query, rng))
     }
 
     /// Decrypts a full search response (ClientSide mode).
@@ -171,20 +184,199 @@ impl Server {
     /// Runs the search and generates indices server-side
     /// (TrustedController mode; Algorithm 1 line 12).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no trusted index generator was installed.
-    pub fn search_indices(&mut self, query: &EncryptedQuery) -> Vec<usize> {
+    /// Returns [`MatchError::NoIndexGenerator`] if no trusted index
+    /// generator was installed.
+    pub fn search_indices(&mut self, query: &EncryptedQuery) -> Result<Vec<usize>, MatchError> {
         let result = self.engine.search(&self.db, query);
-        self.index_gen
+        let index_gen = self
+            .index_gen
             .as_ref()
-            .expect("TrustedController mode requires install_index_generator")
-            .generate(&result)
+            .ok_or(MatchError::NoIndexGenerator)?;
+        Ok(index_gen.generate(&result))
     }
 
     /// Homomorphic additions executed so far.
     pub fn hom_adds(&self) -> u64 {
         self.engine.stats().hom_adds
+    }
+}
+
+/// The result of one [`MatchSession::run_batch`]: per-query outcomes in
+/// input order plus the statistics aggregated across all workers.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// One result per query, in the order the queries were submitted.
+    pub per_query: Vec<Result<Vec<usize>, MatchError>>,
+    /// Statistics aggregated over every worker for this batch.
+    pub stats: MatchStats,
+}
+
+impl BatchReport {
+    /// Unwraps the per-query index lists, surfacing the first per-query
+    /// error if any query failed.
+    pub fn into_indices(self) -> Result<Vec<Vec<usize>>, MatchError> {
+        self.per_query.into_iter().collect()
+    }
+}
+
+/// The multi-query service layer a multi-tenant server would call: owns a
+/// backend (keys included) built from a [`MatcherConfig`], accepts
+/// batches of queries, fans them out across `std::thread::scope` workers
+/// (each worker a clone of the matcher with its own randomness stream),
+/// and returns per-query indices plus aggregated [`MatchStats`].
+///
+/// ```
+/// use cm_core::{Backend, BitString, MatchSession, MatcherConfig};
+///
+/// let config = MatcherConfig::new(Backend::Ciphermatch)
+///     .insecure_test()
+///     .threads(2);
+/// let mut session = MatchSession::new(&config).unwrap();
+/// session
+///     .load_database(&BitString::from_ascii("the needle in the haystack"))
+///     .unwrap();
+/// let queries = [BitString::from_ascii("the"), BitString::from_ascii("needle")];
+/// let report = session.run_batch(&queries).unwrap();
+/// assert_eq!(report.per_query.len(), 2);
+/// assert_eq!(report.per_query[1].as_ref().unwrap(), &vec![4 * 8]);
+/// assert!(report.stats.hom_adds > 0);
+/// ```
+pub struct MatchSession {
+    matcher: Box<dyn ErasedMatcher>,
+    threads: usize,
+    seed: u64,
+    batches: u64,
+    stats: MatchStats,
+}
+
+impl std::fmt::Debug for MatchSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MatchSession")
+            .field("backend", &self.matcher.backend())
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl MatchSession {
+    /// Builds the configured backend (generating its keys) and a session
+    /// around it. The config's thread count becomes the *batch fan-out*
+    /// width; each worker searches serially, so the total number of
+    /// concurrent search threads is bounded by that one knob rather than
+    /// multiplying with the matcher's internal parallelism.
+    pub fn new(config: &MatcherConfig) -> Result<Self, MatchError> {
+        if config.thread_count() == 0 {
+            return Err(MatchError::InvalidConfig("threads must be positive"));
+        }
+        let worker_config = config.clone().threads(1);
+        Ok(Self::from_matcher(
+            worker_config.build()?,
+            config.thread_count(),
+            config.seed_value(),
+        ))
+    }
+
+    /// Wraps an existing matcher (e.g. one taken from a heterogeneous
+    /// registry) in a session with `threads` batch workers.
+    pub fn from_matcher(matcher: Box<dyn ErasedMatcher>, threads: usize, seed: u64) -> Self {
+        Self {
+            matcher,
+            threads: threads.max(1),
+            seed,
+            batches: 0,
+            stats: MatchStats::default(),
+        }
+    }
+
+    /// Which backend this session serves.
+    pub fn backend(&self) -> Backend {
+        self.matcher.backend()
+    }
+
+    /// Encrypts and stores the database every subsequent query searches.
+    pub fn load_database(&mut self, data: &BitString) -> Result<(), MatchError> {
+        self.matcher.load_database(data)
+    }
+
+    /// Encrypted footprint in bytes of the loaded database, if any.
+    pub fn database_bytes(&self) -> Option<u64> {
+        self.matcher.database_bytes()
+    }
+
+    /// Runs a single query (no fan-out) and folds its cost into the
+    /// session statistics.
+    pub fn find_all(&mut self, query: &BitString) -> Result<Vec<usize>, MatchError> {
+        self.matcher.reset_stats();
+        let result = self.matcher.find_all(query);
+        self.stats.merge(&self.matcher.stats());
+        result
+    }
+
+    /// Runs a batch of queries, fanned out across up to
+    /// `min(threads, queries.len())` scoped workers. Per-query failures
+    /// (e.g. a [`MatchError::WindowMismatch`] on one malformed query) are
+    /// reported in the [`BatchReport`] without failing the batch; only a
+    /// panicked worker or a missing database fails the whole call.
+    pub fn run_batch(&mut self, queries: &[BitString]) -> Result<BatchReport, MatchError> {
+        if !self.matcher.has_database() {
+            return Err(MatchError::NoDatabase);
+        }
+        if queries.is_empty() {
+            return Ok(BatchReport {
+                per_query: Vec::new(),
+                stats: MatchStats::default(),
+            });
+        }
+        self.batches += 1;
+        let workers = self.threads.min(queries.len());
+        let chunk_size = queries.len().div_ceil(workers);
+        // One clone of the matcher per worker, each with a distinct
+        // randomness stream and zeroed counters so the per-batch
+        // aggregate is exact.
+        let worker_matchers: Vec<Box<dyn ErasedMatcher>> = (0..workers)
+            .map(|w| {
+                let mut m = self.matcher.boxed_clone();
+                m.reseed(self.seed ^ (self.batches << 20) ^ (w as u64 + 1));
+                m.reset_stats();
+                m
+            })
+            .collect();
+        let joined: Result<Vec<_>, MatchError> = std::thread::scope(|scope| {
+            let handles: Vec<_> = worker_matchers
+                .into_iter()
+                .zip(queries.chunks(chunk_size))
+                .map(|(mut m, chunk)| {
+                    scope.spawn(move || {
+                        let results: Vec<_> = chunk.iter().map(|q| m.find_all(q)).collect();
+                        (results, m.stats())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().map_err(|_| MatchError::WorkerPanicked))
+                .collect()
+        });
+        let mut per_query = Vec::with_capacity(queries.len());
+        let mut stats = MatchStats::default();
+        for (results, worker_stats) in joined? {
+            per_query.extend(results);
+            stats.merge(&worker_stats);
+        }
+        self.stats.merge(&stats);
+        Ok(BatchReport { per_query, stats })
+    }
+
+    /// Statistics aggregated across everything this session has run.
+    pub fn stats(&self) -> MatchStats {
+        self.stats
+    }
+
+    /// Resets the session-level statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = MatchStats::default();
     }
 }
 
@@ -205,8 +397,10 @@ mod tests {
         server.install_index_generator(client.delegate_index_generation());
 
         let pattern = BitString::from_ascii("round trip");
-        let q = client.prepare_query(&pattern, &mut rng);
-        let got = server.search_indices(&q);
+        let q = client
+            .prepare_query(&pattern, &mut rng)
+            .expect("non-empty query");
+        let got = server.search_indices(&q).expect("generator installed");
         assert_eq!(got, data.find_all(&pattern));
         assert!(server.hom_adds() > 0);
     }
@@ -220,20 +414,97 @@ mod tests {
         let mut server = Server::new(&ctx, client.encrypt_database(&data, &mut rng));
 
         let pattern = BitString::from_ascii("side");
-        let q = client.prepare_query(&pattern, &mut rng);
+        let q = client
+            .prepare_query(&pattern, &mut rng)
+            .expect("non-empty query");
         let result = server.search(&q);
         assert_eq!(client.decrypt_matches(&result), data.find_all(&pattern));
     }
 
     #[test]
-    #[should_panic(expected = "TrustedController mode requires")]
     fn trusted_mode_requires_installation() {
         let ctx = BfvContext::new(BfvParams::insecure_test_add());
         let mut rng = StdRng::seed_from_u64(5152);
         let client = Client::new(&ctx, &mut rng);
         let data = BitString::from_ascii("x");
         let mut server = Server::new(&ctx, client.encrypt_database(&data, &mut rng));
-        let q = client.prepare_query(&BitString::from_ascii("x"), &mut rng);
-        let _ = server.search_indices(&q);
+        let q = client
+            .prepare_query(&BitString::from_ascii("x"), &mut rng)
+            .expect("non-empty query");
+        assert_eq!(server.search_indices(&q), Err(MatchError::NoIndexGenerator));
+    }
+
+    #[test]
+    fn empty_query_is_a_typed_error_not_a_panic() {
+        let ctx = BfvContext::new(BfvParams::insecure_test_add());
+        let mut rng = StdRng::seed_from_u64(5153);
+        let client = Client::new(&ctx, &mut rng);
+        assert_eq!(
+            client.prepare_query(&BitString::new(), &mut rng).err(),
+            Some(MatchError::EmptyQuery)
+        );
+    }
+
+    #[test]
+    fn session_batch_matches_ground_truth_across_thread_counts() {
+        let data = BitString::from_ascii("batching queries over one shared encrypted database");
+        let queries: Vec<BitString> = ["que", "shared", "database", "absent!", "e"]
+            .iter()
+            .map(|s| BitString::from_ascii(s))
+            .collect();
+        let mut baseline: Option<Vec<Vec<usize>>> = None;
+        for threads in [1usize, 2, 5] {
+            let config = MatcherConfig::new(Backend::Ciphermatch)
+                .insecure_test()
+                .seed(42)
+                .threads(threads);
+            let mut session = MatchSession::new(&config).unwrap();
+            session.load_database(&data).unwrap();
+            let report = session.run_batch(&queries).unwrap();
+            let got = report.into_indices().expect("no per-query errors");
+            for (q, indices) in queries.iter().zip(&got) {
+                assert_eq!(indices, &data.find_all(q), "threads = {threads}");
+            }
+            match &baseline {
+                None => baseline = Some(got),
+                Some(b) => assert_eq!(&got, b, "fan-out must not change results"),
+            }
+            assert!(session.stats().hom_adds > 0);
+        }
+    }
+
+    #[test]
+    fn session_reports_per_query_errors_without_failing_the_batch() {
+        let config = MatcherConfig::new(Backend::Yasuda)
+            .insecure_test()
+            .window(16)
+            .threads(2);
+        let mut session = MatchSession::new(&config).unwrap();
+        let data = BitString::from_ascii("window mismatch handling");
+        session.load_database(&data).unwrap();
+        let good = data.slice(8, 16);
+        let bad = data.slice(0, 9); // wrong length for the fixed window
+        let report = session
+            .run_batch(&[good.clone(), bad, good.clone()])
+            .unwrap();
+        assert_eq!(report.per_query[0].as_ref().unwrap(), &data.find_all(&good));
+        assert_eq!(
+            report.per_query[1],
+            Err(MatchError::WindowMismatch {
+                expected: 16,
+                got: 9
+            })
+        );
+        assert_eq!(report.per_query[2].as_ref().unwrap(), &data.find_all(&good));
+    }
+
+    #[test]
+    fn session_requires_a_database() {
+        let config = MatcherConfig::new(Backend::Plain);
+        let mut session = MatchSession::new(&config).unwrap();
+        assert_eq!(
+            session.run_batch(&[BitString::from_ascii("q")]).err(),
+            Some(MatchError::NoDatabase)
+        );
     }
 }

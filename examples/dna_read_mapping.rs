@@ -2,28 +2,19 @@
 //!
 //! Seeds from a reference genome (2 bits per base) are located in an
 //! encrypted genome database — the seeding step of read mapping — using
-//! the CM-SW matcher. Query sizes follow the paper: 8–128 base pairs
-//! (16–256 bits).
+//! the CM-SW backend behind the unified `SecureMatcher` API. Query sizes
+//! follow the paper: 8–128 base pairs (16–256 bits).
 //!
 //! Run with: `cargo run --release --example dna_read_mapping`
 
-use cm_bfv::{BfvContext, BfvParams, Decryptor, Encryptor, KeyGenerator};
-use cm_core::{BitString, CiphermatchEngine};
+use cm_core::{Backend, BitString, MatcherConfig};
 use cm_workloads::DnaGenome;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
 
 fn main() {
-    let ctx = BfvContext::new(BfvParams::ciphermatch_1024());
     let mut rng = StdRng::seed_from_u64(7);
-    let (sk, pk) = {
-        let kg = KeyGenerator::new(&ctx, &mut rng);
-        (kg.secret_key(), kg.public_key(&mut rng))
-    };
-    let enc = Encryptor::new(&ctx, pk);
-    let dec = Decryptor::new(&ctx, sk);
-    let mut engine = CiphermatchEngine::new(&ctx);
 
     // A small synthetic reference genome (the paper uses 32 GB; the
     // algorithm is identical, the analytical models extrapolate).
@@ -35,11 +26,18 @@ fn main() {
         genome_bits.len()
     );
 
+    // The paper's parameters (n = 1024, 32-bit q, 16 bits/coefficient).
+    let mut matcher = MatcherConfig::new(Backend::Ciphermatch)
+        .seed(7)
+        .build()
+        .expect("valid configuration");
     let t0 = Instant::now();
-    let db = engine.encrypt_database(&enc, &genome_bits, &mut rng);
+    matcher
+        .load_database(&genome_bits)
+        .expect("genome encrypts");
     println!(
-        "encrypted once into {} ciphertexts in {:.2?}",
-        db.poly_count(),
+        "encrypted once into {} B in {:.2?}",
+        matcher.database_bytes().unwrap(),
         t0.elapsed()
     );
 
@@ -48,7 +46,7 @@ fn main() {
         let (read, pos) = genome.sample_read(bases, 0, &mut rng);
         let read_bits = BitString::from_dna(&read);
         let t = Instant::now();
-        let matches = engine.find_all(&enc, &dec, &db, &read_bits, &mut rng);
+        let matches = matcher.find_all(&read_bits).expect("read searches cleanly");
         let elapsed = t.elapsed();
         let expect_bit = pos * 2;
         assert!(
@@ -66,14 +64,15 @@ fn main() {
     // Negative control: a corrupted read must not match exactly.
     let (bad_read, _) = genome.sample_read(32, 4, &mut rng);
     let bad_bits = BitString::from_dna(&bad_read);
-    let matches = engine.find_all(&enc, &dec, &db, &bad_bits, &mut rng);
+    let matches = matcher.find_all(&bad_bits).expect("read searches cleanly");
     println!(
         "corrupted 32 bp read: {} exact occurrence(s) (expected usually 0)",
         matches.len()
     );
-    let stats = engine.stats();
+    let stats = matcher.stats();
     println!(
-        "server work: {} homomorphic additions, {:.2?} total add time — and zero multiplications",
-        stats.hom_adds, stats.add_time
+        "server work: {} homomorphic additions, {:.2?} total add time — and zero \
+         multiplications ({} muls, {} rotations, {} bootstraps)",
+        stats.hom_adds, stats.add_time, stats.hom_muls, stats.rotations, stats.bootstraps
     );
 }

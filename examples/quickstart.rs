@@ -45,14 +45,18 @@ fn main() {
         "rotations",
         "absent text",
     ] {
-        let query = client.prepare_query(&BitString::from_ascii(needle), &mut rng);
+        let query = client
+            .prepare_query(&BitString::from_ascii(needle), &mut rng)
+            .expect("non-empty query");
         println!(
             "query {needle:?}: {} bits, {} encrypted variants",
             needle.len() * 8,
             query.variant_count()
         );
         // ③–⑤ Server: Hom-Add sweep + match-polynomial index generation.
-        let matches = server.search_indices(&query);
+        let matches = server
+            .search_indices(&query)
+            .expect("index generator installed above");
         // ⑥ The indices return to the client.
         let byte_offsets: Vec<usize> = matches.iter().map(|&b| b / 8).collect();
         println!("  -> matches at bit offsets {matches:?} (byte offsets {byte_offsets:?})");

@@ -23,20 +23,27 @@
 //!
 //! ## Quickstart
 //!
-//! ```
-//! use cm_bfv::{BfvContext, BfvParams};
-//! use cm_core::{BitString, Client, Server};
-//! use rand::rngs::StdRng;
-//! use rand::SeedableRng;
+//! Every secure-matching engine sits behind the unified
+//! [`SecureMatcher`](core::SecureMatcher) API: pick a
+//! [`Backend`](core::Backend), build it with
+//! [`MatcherConfig`](core::MatcherConfig), load a database, search. Batch
+//! traffic goes through a [`MatchSession`](core::MatchSession):
 //!
-//! let ctx = BfvContext::new(BfvParams::insecure_test_add());
-//! let mut rng = StdRng::seed_from_u64(42);
-//! let client = Client::new(&ctx, &mut rng);
-//! let data = BitString::from_ascii("secure string matching in storage");
-//! let mut server = Server::new(&ctx, client.encrypt_database(&data, &mut rng));
-//! server.install_index_generator(client.delegate_index_generation());
-//! let query = client.prepare_query(&BitString::from_ascii("string"), &mut rng);
-//! assert_eq!(server.search_indices(&query), vec![7 * 8]);
+//! ```
+//! use ciphermatch::core::{Backend, BitString, MatchSession, MatcherConfig};
+//!
+//! let config = MatcherConfig::new(Backend::Ciphermatch)
+//!     .insecure_test() // small test parameters; drop for the paper's set
+//!     .seed(42)
+//!     .threads(2);
+//! let mut session = MatchSession::new(&config).unwrap();
+//! session
+//!     .load_database(&BitString::from_ascii("secure string matching in storage"))
+//!     .unwrap();
+//! let queries = [BitString::from_ascii("string"), BitString::from_ascii("storage")];
+//! let report = session.run_batch(&queries).unwrap();
+//! assert_eq!(report.per_query[0].as_ref().unwrap(), &vec![7 * 8]);
+//! assert_eq!(report.per_query[1].as_ref().unwrap(), &vec![26 * 8]);
 //! ```
 
 pub use cm_aes as aes;

@@ -1,0 +1,163 @@
+//! The unified-API contract, checked end to end: one generic test
+//! function drives a backend over shared fixtures (empty-match,
+//! multi-match, query == database, 1-bit query) and asserts its
+//! `find_all` agrees with the `BitString::find_all` ground truth; it is
+//! instantiated once per backend. Plus heterogeneous-registry and batch
+//! session coverage that only the erased API makes possible.
+
+use cm_core::{Backend, BitString, ErasedMatcher, MatchSession, MatcherConfig};
+
+/// The shared fixtures: `(database, query, label)`. Sizes are small
+/// enough that even the Boolean backend (every bootstrap run for real on
+/// fast parameters) stays fast.
+fn fixtures() -> Vec<(BitString, BitString, &'static str)> {
+    vec![
+        (
+            BitString::from_ascii("abcd"),
+            BitString::from_ascii("zz"),
+            "empty-match",
+        ),
+        (
+            BitString::from_bytes(&[0xA5, 0xA5]),
+            BitString::from_bytes(&[0xA5]),
+            "multi-match",
+        ),
+        (
+            BitString::from_ascii("xy"),
+            BitString::from_ascii("xy"),
+            "query == database",
+        ),
+        (
+            BitString::from_bits(&[
+                true, false, false, true, true, false, true, false, false, true, true, true,
+            ]),
+            BitString::from_bits(&[true]),
+            "1-bit query",
+        ),
+    ]
+}
+
+/// The generic contract check, instantiated for every backend below.
+///
+/// A fresh matcher is built per fixture because the window-bound
+/// backends (Yasuda, Batched) fix the query length at database-layout
+/// time — itself part of the contract under test.
+fn check_backend_agrees(backend: Backend) {
+    for (db, q, label) in fixtures() {
+        let mut matcher = MatcherConfig::new(backend)
+            .insecure_test()
+            .window(q.len())
+            .threads(2) // exercises the threaded search paths too
+            .seed(2025)
+            .build()
+            .expect("valid configuration");
+        assert_eq!(matcher.backend(), backend);
+        assert!(!matcher.has_database());
+        matcher.load_database(&db).expect("database encrypts");
+        assert!(matcher.has_database());
+        let got = matcher.find_all(&q).expect("query fits the window");
+        assert_eq!(got, db.find_all(&q), "{backend}: {label}");
+        // Repeat searches against the same loaded database stay correct
+        // (fresh query randomness, same keys).
+        let again = matcher.find_all(&q).expect("query fits the window");
+        assert_eq!(again, got, "{backend}: {label} (repeat)");
+        assert!(
+            matcher.stats().total_ops() > 0 || backend == Backend::Plain,
+            "{backend} must report homomorphic work"
+        );
+    }
+}
+
+#[test]
+fn ciphermatch_backend_agrees_with_ground_truth() {
+    check_backend_agrees(Backend::Ciphermatch);
+}
+
+#[test]
+fn yasuda_backend_agrees_with_ground_truth() {
+    check_backend_agrees(Backend::Yasuda);
+}
+
+#[test]
+fn batched_backend_agrees_with_ground_truth() {
+    check_backend_agrees(Backend::Batched);
+}
+
+#[test]
+fn boolean_backend_agrees_with_ground_truth() {
+    check_backend_agrees(Backend::Boolean);
+}
+
+#[test]
+fn plain_backend_agrees_with_ground_truth() {
+    check_backend_agrees(Backend::Plain);
+}
+
+/// The erased API's reason to exist: heterogeneous backends in one
+/// registry, exercised uniformly.
+#[test]
+fn heterogeneous_registry_serves_every_backend() {
+    let data = BitString::from_ascii("backends!");
+    let query = data.slice(8, 8);
+    let truth = data.find_all(&query);
+    let mut registry: Vec<Box<dyn ErasedMatcher>> = Backend::ALL
+        .iter()
+        .map(|&backend| {
+            MatcherConfig::new(backend)
+                .insecure_test()
+                .window(query.len())
+                .threads(4)
+                .seed(7)
+                .build()
+                .expect("valid configuration")
+        })
+        .collect();
+    for matcher in &mut registry {
+        matcher.load_database(&data).expect("database encrypts");
+        assert_eq!(
+            matcher.find_all(&query).expect("query fits the window"),
+            truth,
+            "backend {}",
+            matcher.backend()
+        );
+    }
+    // The per-backend cost profiles split exactly as Table 1 says: only
+    // CM-SW avoids every expensive operation.
+    for matcher in &registry {
+        let stats = matcher.stats();
+        match matcher.backend() {
+            Backend::Ciphermatch => {
+                assert!(stats.hom_adds > 0);
+                assert_eq!(stats.hom_muls + stats.rotations + stats.bootstraps, 0);
+            }
+            Backend::Yasuda => assert!(stats.hom_muls > 0),
+            Backend::Batched => assert!(stats.hom_muls > 0 && stats.rotations > 0),
+            Backend::Boolean => assert!(stats.bootstraps > 0),
+            Backend::Plain => assert_eq!(stats.total_ops(), 0),
+        }
+    }
+}
+
+/// A batch session over a non-CM backend: the service layer is genuinely
+/// backend-agnostic.
+#[test]
+fn session_batches_over_the_batched_backend() {
+    let data = BitString::from_ascii("sessions fan out over any backend");
+    let queries: Vec<BitString> = [8usize, 48, 96]
+        .iter()
+        .map(|&start| data.slice(start, 16))
+        .collect();
+    let config = MatcherConfig::new(Backend::Batched)
+        .insecure_test()
+        .window(16)
+        .threads(3)
+        .seed(11);
+    let mut session = MatchSession::new(&config).unwrap();
+    session.load_database(&data).unwrap();
+    let report = session.run_batch(&queries).unwrap();
+    let got = report.into_indices().expect("no per-query errors");
+    for (q, indices) in queries.iter().zip(&got) {
+        assert_eq!(indices, &data.find_all(q));
+    }
+    assert!(session.stats().rotations > 0);
+}

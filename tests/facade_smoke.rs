@@ -22,8 +22,12 @@ fn facade_encrypt_search_decrypt_roundtrip() {
     let mut server = Server::new(&ctx, client.encrypt_database(&data, &mut rng));
     server.install_index_generator(client.delegate_index_generation());
 
-    let query = client.prepare_query(&BitString::from_ascii(needle), &mut rng);
-    let got = server.search_indices(&query);
+    let query = client
+        .prepare_query(&BitString::from_ascii(needle), &mut rng)
+        .expect("non-empty query");
+    let got = server
+        .search_indices(&query)
+        .expect("index generator installed");
 
     let expect = bitwise_find_all(
         &BitString::from_ascii(haystack),
@@ -53,6 +57,19 @@ fn facade_reexports_are_wired() {
     // workloads: deterministic DNA genome generation.
     let genome = ciphermatch::workloads::DnaGenome::random(64, &mut rng);
     assert_eq!(genome.len(), 64);
+
+    // core: the unified backend API is reachable through the facade.
+    let mut matcher = ciphermatch::core::MatcherConfig::new(ciphermatch::core::Backend::Plain)
+        .build()
+        .unwrap();
+    matcher
+        .load_database(&ciphermatch::core::BitString::from_ascii("abc"))
+        .unwrap();
+    let facade_q = ciphermatch::core::BitString::from_ascii("b");
+    assert_eq!(
+        matcher.find_all(&facade_q).unwrap(),
+        ciphermatch::core::BitString::from_ascii("abc").find_all(&facade_q)
+    );
 
     // tfhe: parameter presets resolve.
     let params = ciphermatch::tfhe::TfheParams::fast_insecure_test();
