@@ -1,0 +1,95 @@
+//! Serving-layer micro-benchmarks: shard planning + splitting, wire-frame
+//! codec throughput, and sharded vs. unsharded search on one process.
+//!
+//! Small sizes keep `cargo bench` fast; CI only compiles this
+//! (`cargo bench --no-run`).
+
+use cm_bench::random_bits;
+use cm_bfv::{BfvContext, BfvParams, Encryptor, KeyGenerator};
+use cm_core::{BitString, CiphermatchEngine, ErasedMatcher, MatchStats};
+use cm_server::wire::{Request, Response};
+use cm_server::{QueryPayload, ShardedCmMatcher, ShardedDatabase};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_shard_split(c: &mut Criterion) {
+    let ctx = BfvContext::new(BfvParams::insecure_test_add());
+    let mut rng = StdRng::seed_from_u64(5);
+    let kg = KeyGenerator::new(&ctx, &mut rng);
+    let pk = kg.public_key(&mut rng);
+    let enc = Encryptor::new(&ctx, pk);
+    let engine = CiphermatchEngine::new(&ctx);
+    let bpp = engine.packing().bits_per_poly();
+    let data = random_bits(bpp * 8, 13); // eight polynomials
+    let db = engine.encrypt_database(&enc, &data, &mut rng);
+
+    let mut group = c.benchmark_group("shard");
+    group.sample_size(10);
+    for shards in [2usize, 4, 8] {
+        group.bench_function(
+            format!("split_{}polys_into_{shards}", db.poly_count()),
+            |b| b.iter(|| ShardedDatabase::split(black_box(&db), bpp, shards, 1).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_sharded_search(c: &mut Criterion) {
+    // Four polynomials under the insecure test parameters.
+    let data = random_bits(2048 * 4, 17);
+    let query = data.slice(1000, 24);
+    let mut group = c.benchmark_group("sharded_search");
+    group.sample_size(10);
+    for shards in [1usize, 2, 4] {
+        let mut matcher = ShardedCmMatcher::new(BfvParams::insecure_test_add(), shards, 3).unwrap();
+        matcher.load_database(&data).unwrap();
+        assert_eq!(matcher.find_all(&query).unwrap(), data.find_all(&query));
+        group.bench_function(
+            format!("find_all_{}b_db/{shards}_shards", data.len()),
+            |b| b.iter(|| matcher.find_all(black_box(&query)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    let request = Request::Match {
+        tenant: "alice".to_string(),
+        query: QueryPayload::Bits(BitString::from_bits(&[true; 256])),
+    };
+    let response = Response::Matched {
+        nonce: 1,
+        sealed_indices: vec![0xAB; 256],
+        stats: MatchStats::default(),
+        shard_stats: vec![MatchStats::default(); 4],
+        seal_latency: Duration::from_nanos(500),
+    };
+    let req_bytes = request.encode();
+    let resp_bytes = response.encode();
+
+    let mut group = c.benchmark_group("wire");
+    group.bench_function("encode_match_request", |b| {
+        b.iter(|| black_box(&request).encode())
+    });
+    group.bench_function("decode_match_request", |b| {
+        b.iter(|| Request::decode(black_box(&req_bytes)).unwrap())
+    });
+    group.bench_function("encode_matched_response", |b| {
+        b.iter(|| black_box(&response).encode())
+    });
+    group.bench_function("decode_matched_response", |b| {
+        b.iter(|| Response::decode(black_box(&resp_bytes)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_shard_split,
+    bench_sharded_search,
+    bench_wire_codec
+);
+criterion_main!(benches);

@@ -144,6 +144,15 @@ impl SecureMatcher for CiphermatchMatcher {
             .generate_indices(&self.keys.decryptor(), &result))
     }
 
+    fn decode_query(&self, encoded: &[u8]) -> Result<Self::Query, MatchError> {
+        Ok(EncryptedQuery::decode_validated(
+            encoded,
+            self.keys.ctx.params().n,
+            self.engine.packing().seg_bits(),
+            self.keys.ctx.params().q,
+        )?)
+    }
+
     fn database_bytes(&self, db: &Self::Database) -> u64 {
         db.byte_size(self.keys.q_bits) as u64
     }

@@ -3,6 +3,8 @@
 //! heterogeneous matchers live in one registry (`Vec<Box<dyn
 //! ErasedMatcher>>`) or behind a [`crate::MatchSession`].
 
+use std::sync::Arc;
+
 use cm_bfv::BfvParams;
 use cm_tfhe::TfheParams;
 use rand::rngs::StdRng;
@@ -31,16 +33,36 @@ pub enum Backend {
     Boolean,
     /// The unencrypted word-packed reference.
     Plain,
+    /// CM-IFP: the paper's in-flash engine (§4.3). Constructed by
+    /// `cm_server::IfpMatcher` (it needs an SSD device), not by
+    /// [`MatcherConfig::build`] — `cm_core` deliberately does not depend
+    /// on the SSD crate.
+    Ifp,
 }
 
 impl Backend {
-    /// Every implemented backend, in the paper's comparison order.
+    /// Every backend [`MatcherConfig::build`] can construct in-process, in
+    /// the paper's comparison order. [`Backend::Ifp`] is excluded: the
+    /// in-flash engine is registered by the serving layer (`cm_server`),
+    /// which owns the SSD device. Use [`Backend::WIRE`] for the complete
+    /// listing a CLI or wire endpoint should advertise.
     pub const ALL: [Backend; 5] = [
         Backend::Ciphermatch,
         Backend::Yasuda,
         Backend::Batched,
         Backend::Boolean,
         Backend::Plain,
+    ];
+
+    /// Every implemented backend including [`Backend::Ifp`] — the listing
+    /// CLI flags and wire `ListBackends` responses should use.
+    pub const WIRE: [Backend; 6] = [
+        Backend::Ciphermatch,
+        Backend::Yasuda,
+        Backend::Batched,
+        Backend::Boolean,
+        Backend::Plain,
+        Backend::Ifp,
     ];
 
     /// A short stable identifier (usable in CLI arguments and bench IDs).
@@ -51,7 +73,30 @@ impl Backend {
             Backend::Batched => "batched",
             Backend::Boolean => "boolean",
             Backend::Plain => "plain",
+            Backend::Ifp => "ifp",
         }
+    }
+
+    /// Parses the identifiers produced by [`Backend::name`]
+    /// (case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatchError::UnknownBackend`] for any other string.
+    pub fn parse(name: &str) -> Result<Backend, MatchError> {
+        let lower = name.to_ascii_lowercase();
+        Backend::WIRE
+            .into_iter()
+            .find(|b| b.name() == lower)
+            .ok_or_else(|| MatchError::UnknownBackend(name.to_string()))
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = MatchError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Backend::parse(s)
     }
 }
 
@@ -222,6 +267,11 @@ impl MatcherConfig {
                 )
             }
             Backend::Plain => erase(PlainMatcher::new(), self.seed),
+            Backend::Ifp => {
+                return Err(MatchError::InvalidConfig(
+                    "the ifp backend needs an SSD device; build it via cm_server::IfpMatcher",
+                ))
+            }
         })
     }
 }
@@ -248,8 +298,35 @@ pub trait ErasedMatcher: Send {
     /// returning the matching bit offsets.
     fn find_all(&mut self, query: &BitString) -> Result<Vec<usize>, MatchError>;
 
+    /// Searches the loaded database with a query that is *already
+    /// encrypted* in the backend's native wire format (the serving path:
+    /// the key-owning client encrypted the query remotely and shipped the
+    /// bytes). Backends without a native wire format return
+    /// [`MatchError::WireQueryUnsupported`].
+    fn find_all_wire(&mut self, encoded_query: &[u8]) -> Result<Vec<usize>, MatchError> {
+        let _ = encoded_query;
+        Err(MatchError::WireQueryUnsupported(self.backend()))
+    }
+
     /// Statistics accumulated since construction or the last reset.
     fn stats(&self) -> MatchStats;
+
+    /// Per-shard statistics, for matchers that split their database across
+    /// execution units. Unsharded matchers report one entry equal to
+    /// [`Self::stats`]; sharded ones report one entry per shard whose
+    /// field-wise sum equals [`Self::stats`].
+    fn shard_stats(&self) -> Vec<MatchStats> {
+        vec![self.stats()]
+    }
+
+    /// An opaque identity token for the loaded database *allocation*
+    /// (`None` when no database is loaded or the matcher does not share
+    /// its database). Two matchers reporting the same token share one
+    /// database in memory — the property the session layer relies on to
+    /// fan out workers without deep-copying ciphertexts.
+    fn database_fingerprint(&self) -> Option<usize> {
+        None
+    }
 
     /// Resets the statistics counters.
     fn reset_stats(&mut self);
@@ -259,15 +336,21 @@ pub trait ErasedMatcher: Send {
     fn reseed(&mut self, seed: u64);
 
     /// Clones this matcher — keys, loaded database, statistics — into a
-    /// new boxed worker.
+    /// new boxed worker. The loaded database is *shared* (same allocation,
+    /// see [`Self::database_fingerprint`]), not deep-copied.
     fn boxed_clone(&self) -> Box<dyn ErasedMatcher>;
 }
 
 /// Boxes a [`SecureMatcher`] behind [`ErasedMatcher`].
+///
+/// The loaded database lives behind an [`Arc`]: [`ErasedMatcher::boxed_clone`]
+/// shares the same encrypted-database allocation with every worker instead
+/// of deep-copying the ciphertexts (the per-worker clone the ROADMAP
+/// flagged), which [`ErasedMatcher::database_fingerprint`] makes testable.
 pub fn erase<M>(matcher: M, seed: u64) -> Box<dyn ErasedMatcher>
 where
     M: SecureMatcher<Stats = MatchStats> + Clone + Send + 'static,
-    M::Database: Clone + Send,
+    M::Database: Send + Sync,
 {
     Box::new(Erased {
         matcher,
@@ -279,14 +362,14 @@ where
 /// The concrete adapter behind [`erase`].
 struct Erased<M: SecureMatcher> {
     matcher: M,
-    db: Option<M::Database>,
+    db: Option<Arc<M::Database>>,
     rng: StdRng,
 }
 
 impl<M> ErasedMatcher for Erased<M>
 where
     M: SecureMatcher<Stats = MatchStats> + Clone + Send + 'static,
-    M::Database: Clone + Send,
+    M::Database: Send + Sync,
 {
     fn backend(&self) -> Backend {
         self.matcher.backend()
@@ -294,7 +377,7 @@ where
 
     fn load_database(&mut self, data: &BitString) -> Result<(), MatchError> {
         let db = self.matcher.encrypt_database(data, &mut self.rng)?;
-        self.db = Some(db);
+        self.db = Some(Arc::new(db));
         Ok(())
     }
 
@@ -311,8 +394,18 @@ where
             return Err(MatchError::NoDatabase);
         }
         let q = self.matcher.prepare_query(query, &mut self.rng)?;
-        let db = self.db.as_ref().ok_or(MatchError::NoDatabase)?;
-        self.matcher.find_all(db, &q, &mut self.rng)
+        let db = self.db.clone().ok_or(MatchError::NoDatabase)?;
+        self.matcher.find_all(&db, &q, &mut self.rng)
+    }
+
+    fn find_all_wire(&mut self, encoded_query: &[u8]) -> Result<Vec<usize>, MatchError> {
+        let q = self.matcher.decode_query(encoded_query)?;
+        let db = self.db.clone().ok_or(MatchError::NoDatabase)?;
+        self.matcher.find_all(&db, &q, &mut self.rng)
+    }
+
+    fn database_fingerprint(&self) -> Option<usize> {
+        self.db.as_ref().map(|db| Arc::as_ptr(db) as usize)
     }
 
     fn stats(&self) -> MatchStats {
@@ -330,6 +423,8 @@ where
     fn boxed_clone(&self) -> Box<dyn ErasedMatcher> {
         Box::new(Erased {
             matcher: self.matcher.clone(),
+            // Clones the Arc, not the ciphertexts: every worker shares one
+            // encrypted-database allocation.
             db: self.db.clone(),
             rng: self.rng.clone(),
         })
@@ -391,6 +486,108 @@ mod tests {
                 Some(MatchError::EmptyQuery),
                 "backend {backend}"
             );
+        }
+    }
+
+    #[test]
+    fn backend_names_round_trip_including_ifp() {
+        for backend in Backend::WIRE {
+            assert_eq!(Backend::parse(backend.name()), Ok(backend));
+            assert_eq!(backend.name().parse::<Backend>(), Ok(backend));
+            assert_eq!(
+                Backend::parse(&backend.name().to_ascii_uppercase()),
+                Ok(backend)
+            );
+        }
+        assert!(Backend::WIRE.contains(&Backend::Ifp));
+        assert!(!Backend::ALL.contains(&Backend::Ifp));
+        assert_eq!(
+            Backend::parse("not-a-backend"),
+            Err(MatchError::UnknownBackend("not-a-backend".to_string()))
+        );
+    }
+
+    #[test]
+    fn ifp_backend_is_not_buildable_in_process() {
+        assert!(matches!(
+            MatcherConfig::new(Backend::Ifp).insecure_test().build(),
+            Err(MatchError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn cloned_workers_share_one_database_allocation() {
+        // The ROADMAP-flagged inefficiency: session workers used to deep-
+        // copy the whole encrypted database. The fingerprint (allocation
+        // address) proves a clone shares the original's ciphertexts.
+        let mut m = MatcherConfig::new(Backend::Ciphermatch)
+            .insecure_test()
+            .build()
+            .unwrap();
+        assert_eq!(m.database_fingerprint(), None);
+        m.load_database(&BitString::from_ascii("shared, not copied"))
+            .unwrap();
+        let original = m.database_fingerprint().expect("database loaded");
+        let worker = m.boxed_clone();
+        assert_eq!(worker.database_fingerprint(), Some(original));
+    }
+
+    #[test]
+    fn wire_queries_reject_backends_without_a_format() {
+        let mut m = MatcherConfig::new(Backend::Plain).build().unwrap();
+        m.load_database(&BitString::from_ascii("plain data"))
+            .unwrap();
+        assert_eq!(
+            m.find_all_wire(&[1, 2, 3]).err(),
+            Some(MatchError::WireQueryUnsupported(Backend::Plain))
+        );
+    }
+
+    #[test]
+    fn ciphermatch_accepts_its_own_wire_queries() {
+        use crate::matchers::ciphermatch::CiphermatchEngine;
+        use cm_bfv::{BfvContext, BfvParams, Encryptor, KeyGenerator};
+
+        // The server-side matcher owns the keys; a remote client encrypts
+        // under the same public key and ships the encoded query.
+        let mut m = MatcherConfig::new(Backend::Ciphermatch)
+            .insecure_test()
+            .seed(11)
+            .build()
+            .unwrap();
+        let data = BitString::from_ascii("wire queries reach the same engine");
+        m.load_database(&data).unwrap();
+
+        // A self-contained client with its own context: the decoded query
+        // must be *validated*, then searched. We reuse the matcher's own
+        // parameter set via a fresh matcher sharing the seed so the key
+        // material matches — here we instead exercise the full decode
+        // path through a structurally valid query built client-side.
+        let ctx = BfvContext::new(BfvParams::insecure_test_add());
+        let mut rng = StdRng::seed_from_u64(7);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let pk = kg.public_key(&mut rng);
+        let enc = Encryptor::new(&ctx, pk);
+        let engine = CiphermatchEngine::new(&ctx);
+        let q_bits = 64 - ctx.params().q.leading_zeros();
+        let pattern = BitString::from_ascii("engine");
+        let encoded = engine
+            .prepare_query(&enc, &pattern, &mut rng)
+            .encode(q_bits);
+
+        // Encrypted under a *different* key pair the decode path still
+        // accepts the bytes (they are well-formed); the indices are then
+        // garbage-free but meaningless, so we only assert it does not
+        // error or panic. The true end-to-end equality lives in the
+        // cm_server tests where client and tenant share keys.
+        let _ = m.find_all_wire(&encoded).unwrap();
+
+        // Truncations and garbage must surface as typed errors.
+        for cut in [0usize, 3, 9, encoded.len() - 1] {
+            assert!(matches!(
+                m.find_all_wire(&encoded[..cut]).unwrap_err(),
+                MatchError::Decode(_)
+            ));
         }
     }
 

@@ -7,6 +7,8 @@
 
 use cm_bfv::DecodeError;
 
+use crate::api::Backend;
+
 /// Everything that can go wrong on the secure-matching protocol path.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MatchError {
@@ -39,6 +41,17 @@ pub enum MatchError {
     InvalidConfig(&'static str),
     /// A search worker thread panicked; the batch cannot be trusted.
     WorkerPanicked,
+    /// A query arrived in a backend's native wire format, but this backend
+    /// defines no such format (only the CIPHERMATCH family does).
+    WireQueryUnsupported(Backend),
+    /// A backend name failed to parse (see [`Backend::parse`]).
+    UnknownBackend(String),
+    /// A request named a tenant the serving process has not registered.
+    UnknownTenant(String),
+    /// A wire frame or message violated the protocol framing rules.
+    Frame(&'static str),
+    /// The transport under the wire protocol failed (socket I/O).
+    Transport(String),
 }
 
 impl std::fmt::Display for MatchError {
@@ -63,6 +76,14 @@ impl std::fmt::Display for MatchError {
             ),
             MatchError::InvalidConfig(what) => write!(f, "invalid matcher configuration: {what}"),
             MatchError::WorkerPanicked => write!(f, "a search worker thread panicked"),
+            MatchError::WireQueryUnsupported(backend) => write!(
+                f,
+                "backend {backend} has no native encrypted-query wire format"
+            ),
+            MatchError::UnknownBackend(name) => write!(f, "unknown backend name {name:?}"),
+            MatchError::UnknownTenant(id) => write!(f, "unknown tenant {id:?}"),
+            MatchError::Frame(what) => write!(f, "malformed wire frame: {what}"),
+            MatchError::Transport(what) => write!(f, "transport failure: {what}"),
         }
     }
 }

@@ -96,6 +96,15 @@ pub trait SecureMatcher {
         rng: &mut R,
     ) -> Result<Vec<usize>, MatchError>;
 
+    /// Decodes a query that arrived in this backend's native wire format
+    /// (already encrypted by the remote key owner). Backends without a
+    /// wire format — all but the CIPHERMATCH family — return
+    /// [`MatchError::WireQueryUnsupported`].
+    fn decode_query(&self, encoded: &[u8]) -> Result<Self::Query, MatchError> {
+        let _ = encoded;
+        Err(MatchError::WireQueryUnsupported(self.backend()))
+    }
+
     /// Encrypted footprint of `db` in bytes (Fig. 2a's y-axis).
     fn database_bytes(&self, db: &Self::Database) -> u64;
 

@@ -25,6 +25,10 @@ pub struct MatchStats {
     /// Encrypted bytes moved between client and server (queries uploaded
     /// plus results returned), where the backend tracks it.
     pub bytes_moved: u64,
+    /// Flash program/erase cycles consumed by in-flash search (CM-IFP).
+    /// The paper's latch-only `bop_add` keeps this at zero; any non-zero
+    /// value means a search wore the flash array.
+    pub flash_wear: u64,
     /// Wall time spent in additions.
     pub add_time: Duration,
     /// Wall time spent in multiplications (and rotations, which share the
@@ -58,6 +62,7 @@ impl MatchStats {
         self.rotations += other.rotations;
         self.bootstraps += other.bootstraps;
         self.bytes_moved += other.bytes_moved;
+        self.flash_wear += other.flash_wear;
         self.add_time += other.add_time;
         self.mul_time += other.mul_time;
     }
@@ -85,6 +90,7 @@ mod tests {
             rotations: 3,
             bootstraps: 4,
             bytes_moved: 5,
+            flash_wear: 6,
             add_time: Duration::from_millis(10),
             mul_time: Duration::from_millis(20),
         };
@@ -94,6 +100,7 @@ mod tests {
         assert_eq!(a.rotations, 6);
         assert_eq!(a.bootstraps, 8);
         assert_eq!(a.bytes_moved, 10);
+        assert_eq!(a.flash_wear, 12);
         assert_eq!(a.add_time, Duration::from_millis(20));
         assert_eq!(a.total_ops(), 20);
     }

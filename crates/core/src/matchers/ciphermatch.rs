@@ -60,6 +60,38 @@ impl EncryptedDatabase {
         out
     }
 
+    /// Extracts the contiguous polynomial sub-range `polys` as a
+    /// standalone database — the shard primitive of the serving layer.
+    ///
+    /// `bits_per_poly` is the packing density
+    /// ([`crate::DensePacking::bits_per_poly`]); the shard's bit count is
+    /// clipped so the final shard does not claim padding bits beyond
+    /// [`Self::total_bits`]. Index offsets within the shard are relative
+    /// to `polys.start * bits_per_poly`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `polys` is empty, out of range, or starts beyond the
+    /// database's bit length (programmer error in the shard planner).
+    pub fn subrange(&self, polys: std::ops::Range<usize>, bits_per_poly: usize) -> Self {
+        assert!(
+            !polys.is_empty() && polys.end <= self.cts.len(),
+            "shard polynomial range {polys:?} outside 0..{}",
+            self.cts.len()
+        );
+        let start_bit = polys.start * bits_per_poly;
+        assert!(
+            start_bit < self.total_bits,
+            "shard starts at bit {start_bit} beyond the {}-bit database",
+            self.total_bits
+        );
+        let span = polys.len() * bits_per_poly;
+        Self {
+            cts: self.cts[polys].to_vec(),
+            total_bits: span.min(self.total_bits - start_bit),
+        }
+    }
+
     /// Decodes a database serialized with [`Self::encode`].
     ///
     /// # Errors
@@ -67,31 +99,19 @@ impl EncryptedDatabase {
     /// Returns a [`cm_bfv::DecodeError`] on malformed input.
     pub fn decode(data: &[u8]) -> Result<Self, cm_bfv::DecodeError> {
         use cm_bfv::DecodeError;
-        if data.len() < 12 {
-            return Err(DecodeError::Truncated);
-        }
-        let total_bits = u64::from_le_bytes(data[..8].try_into().unwrap()) as usize;
-        let count = u32::from_le_bytes(data[8..12].try_into().unwrap()) as usize;
+        let mut cur = Cursor { data, pos: 0 };
+        let total_bits = cur.u64()? as usize;
+        let count = cur.u32()? as usize;
         // Each ciphertext needs at least its 4-byte length prefix, so a
         // count the buffer cannot possibly hold is a lie told by the
         // header — reject it before trusting it for an allocation.
-        if count > (data.len() - 12) / 4 {
+        if count > cur.remaining() / 4 {
             return Err(DecodeError::BadHeader("ciphertext count"));
         }
-        let mut pos = 12usize;
         let mut cts = Vec::with_capacity(count);
         for _ in 0..count {
-            let len_end = pos.checked_add(4).ok_or(DecodeError::Truncated)?;
-            if data.len() < len_end {
-                return Err(DecodeError::Truncated);
-            }
-            let len = u32::from_le_bytes(data[pos..len_end].try_into().unwrap()) as usize;
-            let ct_end = len_end.checked_add(len).ok_or(DecodeError::Truncated)?;
-            if data.len() < ct_end {
-                return Err(DecodeError::Truncated);
-            }
-            cts.push(cm_bfv::decode_ciphertext(&data[len_end..ct_end])?);
-            pos = ct_end;
+            let len = cur.u32()? as usize;
+            cts.push(cm_bfv::decode_ciphertext(cur.take(len)?)?);
         }
         Ok(Self { cts, total_bits })
     }
@@ -139,6 +159,221 @@ impl EncryptedQuery {
     /// [`SearchResult`] from externally computed sums).
     pub fn classes(&self) -> &[AlignmentClass] {
         &self.classes
+    }
+
+    /// Serializes the query for the wire: a header, the alignment classes,
+    /// and every variant ciphertext in the compact `cm-bfv` format. This
+    /// is what a remote key owner ships to a `cm_server` tenant.
+    pub fn encode(&self, q_bits: u32) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&QUERY_MAGIC.to_be_bytes());
+        out.extend_from_slice(&(self.k as u64).to_le_bytes());
+        out.extend_from_slice(&(self.classes.len() as u16).to_le_bytes());
+        for class in &self.classes {
+            out.extend_from_slice(&(class.r as u16).to_le_bytes());
+            out.extend_from_slice(&(class.window_segs as u16).to_le_bytes());
+            for (&neg, &mask) in class.neg_segments.iter().zip(&class.masks) {
+                out.extend_from_slice(&neg.to_le_bytes());
+                out.extend_from_slice(&mask.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&(self.variants.len() as u32).to_le_bytes());
+        for v in &self.variants {
+            out.extend_from_slice(&(v.r as u16).to_le_bytes());
+            out.extend_from_slice(&(v.phase as u16).to_le_bytes());
+            let ct = cm_bfv::encode_ciphertext(&v.ct, q_bits);
+            out.extend_from_slice(&(ct.len() as u32).to_le_bytes());
+            out.extend_from_slice(&ct);
+        }
+        out
+    }
+
+    /// Decodes a query serialized with [`Self::encode`].
+    ///
+    /// Decoding alone does not prove the query fits a particular parameter
+    /// set — run [`Self::validate`] against the server's context before
+    /// searching with untrusted bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`cm_bfv::DecodeError`] on malformed input; never panics.
+    pub fn decode(data: &[u8]) -> Result<Self, cm_bfv::DecodeError> {
+        use cm_bfv::DecodeError;
+        let mut cur = Cursor { data, pos: 0 };
+        if cur.u32_be()? != QUERY_MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let k = cur.u64()? as usize;
+        let class_count = cur.u16()? as usize;
+        // Classes are indexed by bit offset within a segment, so there can
+        // never be more than 64 of them (a segment fits in a u64 word).
+        if class_count == 0 || class_count > 64 {
+            return Err(DecodeError::BadHeader("alignment class count"));
+        }
+        let mut classes = Vec::with_capacity(class_count);
+        for _ in 0..class_count {
+            let r = cur.u16()? as usize;
+            let window_segs = cur.u16()? as usize;
+            // Each window segment costs 16 encoded bytes; a count the
+            // remaining buffer cannot hold is a lie told by the header.
+            if window_segs == 0 || window_segs > cur.remaining() / 16 {
+                return Err(DecodeError::BadHeader("window segment count"));
+            }
+            let mut neg_segments = Vec::with_capacity(window_segs);
+            let mut masks = Vec::with_capacity(window_segs);
+            for _ in 0..window_segs {
+                neg_segments.push(cur.u64()?);
+                masks.push(cur.u64()?);
+            }
+            classes.push(AlignmentClass {
+                r,
+                window_segs,
+                neg_segments,
+                masks,
+            });
+        }
+        let variant_count = cur.u32()? as usize;
+        // Each variant costs at least its 8-byte preamble.
+        if variant_count > cur.remaining() / 8 {
+            return Err(DecodeError::BadHeader("variant count"));
+        }
+        let mut variants = Vec::with_capacity(variant_count);
+        for _ in 0..variant_count {
+            let r = cur.u16()? as usize;
+            let phase = cur.u16()? as usize;
+            let len = cur.u32()? as usize;
+            let ct = cm_bfv::decode_ciphertext(cur.take(len)?)?;
+            variants.push(EncryptedVariant { r, phase, ct });
+        }
+        Ok(Self {
+            variants,
+            classes,
+            k,
+        })
+    }
+
+    /// Decodes and validates in one step — the form every serving-side
+    /// wire path should use ([`Self::decode`] + [`Self::validate`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`cm_bfv::DecodeError`] on malformed bytes or a query
+    /// that does not fit the given parameter set.
+    pub fn decode_validated(
+        data: &[u8],
+        n: usize,
+        seg_bits: usize,
+        q: u64,
+    ) -> Result<Self, cm_bfv::DecodeError> {
+        let query = Self::decode(data)?;
+        query.validate(n, seg_bits, q)?;
+        Ok(query)
+    }
+
+    /// Checks that a decoded query is well-formed *for this parameter set*:
+    /// the alignment classes cover every bit offset of a `seg_bits`-wide
+    /// segment consistently with `k`, every `(r, phase)` variant the index
+    /// generator will look up is present, and every variant ciphertext is a
+    /// fresh size-2 ciphertext over ring degree `n` with coefficients below
+    /// `q`. Rejecting anything else keeps a hostile wire query from
+    /// panicking the search or index-generation paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`cm_bfv::DecodeError`] naming the violated invariant.
+    pub fn validate(&self, n: usize, seg_bits: usize, q: u64) -> Result<(), cm_bfv::DecodeError> {
+        use cm_bfv::DecodeError;
+        if self.k == 0 {
+            return Err(DecodeError::BadHeader("empty query"));
+        }
+        if self.classes.len() != seg_bits {
+            return Err(DecodeError::BadHeader("alignment class count"));
+        }
+        let full = (1u64 << seg_bits) - 1;
+        for (r, class) in self.classes.iter().enumerate() {
+            if class.r != r || class.window_segs != (r + self.k).div_ceil(seg_bits) {
+                return Err(DecodeError::BadHeader("alignment class geometry"));
+            }
+            if class.neg_segments.len() != class.window_segs
+                || class.masks.len() != class.window_segs
+            {
+                return Err(DecodeError::BadHeader("alignment class lengths"));
+            }
+            for (&neg, &mask) in class.neg_segments.iter().zip(&class.masks) {
+                if neg > full || mask > full || neg & mask != 0 {
+                    return Err(DecodeError::BadHeader("alignment class segments"));
+                }
+            }
+        }
+        let expected: usize = self.classes.iter().map(|c| c.window_segs).sum();
+        if self.variants.len() != expected {
+            return Err(DecodeError::BadHeader("variant count"));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for v in &self.variants {
+            let s = self
+                .classes
+                .get(v.r)
+                .map(|c| c.window_segs)
+                .ok_or(DecodeError::BadHeader("variant class"))?;
+            if v.phase >= s || !seen.insert((v.r, v.phase)) {
+                return Err(DecodeError::BadHeader("variant phase"));
+            }
+            if v.ct.size() != 2 {
+                return Err(DecodeError::BadHeader("variant ciphertext size"));
+            }
+            for part in v.ct.parts() {
+                if part.len() != n {
+                    return Err(DecodeError::BadHeader("variant ring degree"));
+                }
+                if part.coeffs().iter().any(|&c| c >= q) {
+                    return Err(DecodeError::CoefficientOverflow);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Magic bytes identifying the serialized-query format ("CMQ1").
+const QUERY_MAGIC: u32 = 0x434D_5131;
+
+/// Minimal bounds-checked reader over a byte slice (decode helper).
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8], cm_bfv::DecodeError> {
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= self.data.len())
+            .ok_or(cm_bfv::DecodeError::Truncated)?;
+        let out = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u16(&mut self) -> Result<u16, cm_bfv::DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, cm_bfv::DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u32_be(&mut self) -> Result<u32, cm_bfv::DecodeError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, cm_bfv::DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 }
 
@@ -499,6 +734,112 @@ mod tests {
         // Malformed input errors instead of panicking.
         assert!(EncryptedDatabase::decode(&bytes[..bytes.len() - 3]).is_err());
         assert!(EncryptedDatabase::decode(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn query_serialization_roundtrips_and_validates() {
+        let f = Fixture::new();
+        let mut rng = StdRng::seed_from_u64(4242);
+        let (sk, pk) = {
+            let kg = KeyGenerator::new(&f.ctx, &mut rng);
+            (kg.secret_key(), kg.public_key(&mut rng))
+        };
+        let enc = Encryptor::new(&f.ctx, pk);
+        let dec = Decryptor::new(&f.ctx, sk);
+        let mut engine = CiphermatchEngine::new(&f.ctx);
+        let data = BitString::from_ascii("queries cross the wire as bytes");
+        let db = engine.encrypt_database(&enc, &data, &mut rng);
+        let pattern = BitString::from_ascii("wire");
+        let query = engine.prepare_query(&enc, &pattern, &mut rng);
+        let q_bits = 64 - f.ctx.params().q.leading_zeros();
+        let n = f.ctx.params().n;
+        let seg_bits = engine.packing().seg_bits();
+
+        let bytes = query.encode(q_bits);
+        let restored = EncryptedQuery::decode(&bytes).expect("roundtrip");
+        restored
+            .validate(n, seg_bits, f.ctx.params().q)
+            .expect("well-formed");
+        assert_eq!(restored.k(), query.k());
+        assert_eq!(restored.classes(), query.classes());
+        assert_eq!(restored.variant_count(), query.variant_count());
+
+        // The restored query searches identically.
+        let result = engine.search(&db, &restored);
+        assert_eq!(
+            engine.generate_indices(&dec, &result),
+            data.find_all(&pattern)
+        );
+
+        // Every truncation fails cleanly; garbage never panics.
+        for cut in 0..bytes.len() {
+            assert!(
+                EncryptedQuery::decode(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+        for i in (0..bytes.len()).step_by(11) {
+            let mut flipped = bytes.clone();
+            flipped[i] ^= 0x5A;
+            if let Ok(q) = EncryptedQuery::decode(&flipped) {
+                // A decodable flip must still be caught by validation or
+                // search safely (validation bounds everything index
+                // generation touches).
+                let _ = q.validate(n, seg_bits, f.ctx.params().q);
+            }
+        }
+
+        // Validation pins the geometry: a query for the wrong ring degree
+        // or segment width is rejected before it can reach the engine.
+        assert!(restored
+            .validate(n * 2, seg_bits, f.ctx.params().q)
+            .is_err());
+        assert!(restored
+            .validate(n, seg_bits + 1, f.ctx.params().q)
+            .is_err());
+        assert!(restored.validate(n, seg_bits, 2).is_err());
+    }
+
+    #[test]
+    fn subrange_extracts_searchable_shards() {
+        // A database spanning several polynomials, split at polynomial
+        // granularity: each shard must be independently searchable and the
+        // final shard must not claim padding bits.
+        let f = Fixture::new();
+        let mut rng = StdRng::seed_from_u64(5353);
+        let (sk, pk) = {
+            let kg = KeyGenerator::new(&f.ctx, &mut rng);
+            (kg.secret_key(), kg.public_key(&mut rng))
+        };
+        let enc = Encryptor::new(&f.ctx, pk);
+        let dec = Decryptor::new(&f.ctx, sk);
+        let mut engine = CiphermatchEngine::new(&f.ctx);
+        let bpp = engine.packing().bits_per_poly();
+        let bytes: Vec<u8> = (0..(bpp / 8) * 2 + 100)
+            .map(|i| (i * 37 % 251) as u8)
+            .collect();
+        let data = BitString::from_bytes(&bytes);
+        let db = engine.encrypt_database(&enc, &data, &mut rng);
+        assert!(db.poly_count() >= 3);
+
+        let shard = db.subrange(1..2, bpp);
+        assert_eq!(shard.poly_count(), 1);
+        assert_eq!(shard.total_bits(), bpp);
+        let last = db.subrange(db.poly_count() - 1..db.poly_count(), bpp);
+        assert_eq!(
+            last.total_bits(),
+            data.len() - (db.poly_count() - 1) * bpp,
+            "final shard is clipped to the real bit length"
+        );
+
+        // Searching the shard finds exactly the shard-local occurrences.
+        let pattern = data.slice(bpp + 40, 24);
+        let query = engine.prepare_query(&enc, &pattern, &mut rng);
+        let result = engine.search(&shard, &query);
+        let local = engine.generate_indices(&dec, &result);
+        let shard_bits = data.slice(bpp, bpp);
+        assert_eq!(local, shard_bits.find_all(&pattern));
+        assert!(local.contains(&40));
     }
 
     /// Fuzz-ish regression for the decode path: every truncation of a

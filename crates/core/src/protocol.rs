@@ -108,7 +108,9 @@ impl Client {
 }
 
 /// The trusted index-generation capability living next to the data
-/// (the SSD controller in CM-IFP).
+/// (the SSD controller in CM-IFP). Cloneable so a sharded server can give
+/// every shard worker its own copy.
+#[derive(Clone)]
 pub struct TrustedIndexGenerator {
     ctx: BfvContext,
     sk: SecretKey,

@@ -1,0 +1,223 @@
+//! The blocking wire-protocol client.
+//!
+//! [`MatchClient`] speaks the framed binary protocol over one TCP
+//! connection. Queries go out either as plaintext bits (hosted-key
+//! tenants) or as pre-encrypted CIPHERMATCH wire bytes produced by a
+//! [`crate::QueryKit`] (client-key tenants); sealed index lists come back
+//! and are opened with the tenant's AES channel key
+//! ([`TenantAccess`]) — the client never sees another tenant's results in
+//! the clear.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use cm_core::{BitString, MatchError, MatchStats};
+use cm_ssd::SecureIndexChannel;
+
+use crate::wire::{read_frame, write_frame, QueryPayload, Request, Response, TenantInfo};
+
+/// A tenant's client-side credentials: the id plus the AES-256 channel
+/// key delivered offline (paper §7.2).
+pub struct TenantAccess {
+    id: String,
+    channel: SecureIndexChannel,
+}
+
+impl std::fmt::Debug for TenantAccess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TenantAccess")
+            .field("id", &self.id)
+            .finish()
+    }
+}
+
+impl TenantAccess {
+    /// Binds a tenant id to its AES channel key.
+    pub fn new(id: &str, channel_key: &[u8; 32]) -> Self {
+        Self {
+            id: id.to_string(),
+            channel: SecureIndexChannel::new(channel_key),
+        }
+    }
+
+    /// The tenant id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+}
+
+/// One opened match result.
+#[derive(Debug, Clone)]
+pub struct MatchReply {
+    /// Matching global bit offsets, ascending.
+    pub indices: Vec<usize>,
+    /// Statistics the query added on the server.
+    pub stats: MatchStats,
+    /// Per-shard breakdown of `stats` (one entry for unsharded tenants).
+    pub shard_stats: Vec<MatchStats>,
+    /// Modeled hardware latency of the AES sealing step.
+    pub seal_latency: Duration,
+}
+
+/// A blocking client over one connection.
+#[derive(Debug)]
+pub struct MatchClient {
+    stream: TcpStream,
+}
+
+impl MatchClient {
+    /// Default per-operation socket timeout: generous enough for a
+    /// paper-parameter homomorphic sweep, bounded enough that a stalled
+    /// server fails the call instead of hanging the process.
+    pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(120);
+
+    /// Connects to a serving process with [`Self::DEFAULT_TIMEOUT`] on
+    /// reads and writes (tune with [`Self::set_timeout`]).
+    ///
+    /// # Errors
+    ///
+    /// [`MatchError::Transport`] if the connection fails.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, MatchError> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| MatchError::Transport(format!("connect: {e}")))?;
+        let client = Self { stream };
+        client.set_timeout(Some(Self::DEFAULT_TIMEOUT))?;
+        Ok(client)
+    }
+
+    /// Sets the read/write timeout for every subsequent operation
+    /// (`None` blocks indefinitely).
+    ///
+    /// # Errors
+    ///
+    /// [`MatchError::Transport`] if the socket rejects the option.
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> Result<(), MatchError> {
+        self.stream
+            .set_read_timeout(timeout)
+            .and_then(|()| self.stream.set_write_timeout(timeout))
+            .map_err(|e| MatchError::Transport(format!("set timeout: {e}")))
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> Result<Response, MatchError> {
+        write_frame(&mut self.stream, &request.encode())?;
+        match read_frame(&mut self.stream)? {
+            Some(payload) => Response::decode(&payload),
+            None => Err(MatchError::Transport(
+                "server closed the connection".to_string(),
+            )),
+        }
+    }
+
+    /// Pings the server, returning the backends it can serve (the
+    /// [`cm_core::Backend::WIRE`] names, `ifp` included).
+    ///
+    /// # Errors
+    ///
+    /// Transport/framing errors, or the server's reported [`MatchError`].
+    pub fn backends(&mut self) -> Result<Vec<String>, MatchError> {
+        match self.roundtrip(&Request::Ping)? {
+            Response::Pong { backends } => Ok(backends),
+            Response::Error(e) => Err(e),
+            _ => Err(MatchError::Frame("unexpected response kind")),
+        }
+    }
+
+    /// Lists the registered tenants.
+    ///
+    /// # Errors
+    ///
+    /// Transport/framing errors, or the server's reported [`MatchError`].
+    pub fn tenants(&mut self) -> Result<Vec<TenantInfo>, MatchError> {
+        match self.roundtrip(&Request::ListTenants)? {
+            Response::Tenants(tenants) => Ok(tenants),
+            Response::Error(e) => Err(e),
+            _ => Err(MatchError::Frame("unexpected response kind")),
+        }
+    }
+
+    /// Reads a tenant's lifetime statistics and query count.
+    ///
+    /// # Errors
+    ///
+    /// Transport/framing errors, or the server's reported [`MatchError`].
+    pub fn tenant_stats(&mut self, tenant: &str) -> Result<(MatchStats, u64), MatchError> {
+        let request = Request::TenantStats {
+            tenant: tenant.to_string(),
+        };
+        match self.roundtrip(&request)? {
+            Response::TenantStats { stats, queries } => Ok((stats, queries)),
+            Response::Error(e) => Err(e),
+            _ => Err(MatchError::Frame("unexpected response kind")),
+        }
+    }
+
+    /// Runs a plaintext-bits query against a hosted-key tenant.
+    ///
+    /// # Errors
+    ///
+    /// Transport/framing errors, or the server's reported [`MatchError`].
+    pub fn search_bits(
+        &mut self,
+        access: &TenantAccess,
+        query: &BitString,
+    ) -> Result<MatchReply, MatchError> {
+        self.search(access, QueryPayload::Bits(query.clone()))
+    }
+
+    /// Runs a pre-encrypted CIPHERMATCH wire query (built with a
+    /// [`crate::QueryKit`]) against a client-key tenant.
+    ///
+    /// # Errors
+    ///
+    /// Transport/framing errors, or the server's reported [`MatchError`].
+    pub fn search_encoded(
+        &mut self,
+        access: &TenantAccess,
+        encoded_query: &[u8],
+    ) -> Result<MatchReply, MatchError> {
+        self.search(access, QueryPayload::CmWire(encoded_query.to_vec()))
+    }
+
+    fn search(
+        &mut self,
+        access: &TenantAccess,
+        query: QueryPayload,
+    ) -> Result<MatchReply, MatchError> {
+        if access.id.is_empty() || access.id.len() > crate::wire::MAX_TENANT_ID {
+            // Fail fast with a clear error: `put_str`'s u16 length prefix
+            // cannot carry an over-long id.
+            return Err(MatchError::Frame("tenant id length out of range"));
+        }
+        let request = Request::Match {
+            tenant: access.id.clone(),
+            query,
+        };
+        match self.roundtrip(&request)? {
+            Response::Matched {
+                nonce,
+                sealed_indices,
+                stats,
+                shard_stats,
+                seal_latency,
+            } => {
+                // The seal nonce is server-assigned (unique per tenant, so
+                // AES-CTR keystreams never repeat under one channel key)
+                // and travels with the reply. `open` asserts on malformed
+                // input; a hostile or buggy peer must surface as a typed
+                // error, not a panic.
+                let indices = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    access.channel.open(&sealed_indices, nonce)
+                }))
+                .map_err(|_| MatchError::Frame("sealed index list is malformed"))?;
+                Ok(MatchReply {
+                    indices,
+                    stats,
+                    shard_stats,
+                    seal_latency,
+                })
+            }
+            Response::Error(e) => Err(e),
+            _ => Err(MatchError::Frame("unexpected response kind")),
+        }
+    }
+}

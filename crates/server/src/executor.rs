@@ -1,0 +1,202 @@
+//! The thread-per-shard executor: long-lived workers, an mpsc job queue
+//! per shard, and completion handles that gather per-shard results.
+//!
+//! One OS thread is pinned to each shard for the lifetime of the loaded
+//! database. A search broadcasts the (reference-counted) encrypted query
+//! to every shard queue; each worker runs the `Hom-Add` sweep over *its
+//! shard only*, generates indices with its own copy of the trusted
+//! index-generation capability, remaps them to global bit offsets, and
+//! reports them — together with the shard's [`MatchStats`] delta — through
+//! the job's completion channel.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use cm_bfv::BfvContext;
+use cm_core::{CiphermatchEngine, EncryptedQuery, MatchError, MatchStats, TrustedIndexGenerator};
+
+use crate::shard::ShardedDatabase;
+
+/// One shard's contribution to a search.
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// Which shard produced this outcome.
+    pub shard: usize,
+    /// Matching bit offsets, *local to the shard* — remap them to global
+    /// offsets with [`crate::ShardedDatabase::merge_indices`].
+    pub indices: Vec<usize>,
+    /// The statistics this job added to the shard's counters.
+    pub stats: MatchStats,
+}
+
+/// A job broadcast to one shard worker.
+struct ShardJob {
+    query: Arc<EncryptedQuery>,
+    reply: mpsc::Sender<ShardOutcome>,
+}
+
+/// Collects the per-shard outcomes of one submitted search.
+#[must_use = "wait() gathers the shard results"]
+pub struct CompletionHandle {
+    rx: mpsc::Receiver<ShardOutcome>,
+    pending: usize,
+    failed: bool,
+}
+
+impl CompletionHandle {
+    /// Blocks until every shard has reported, returning the outcomes
+    /// sorted by shard index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatchError::WorkerPanicked`] if any shard worker died
+    /// before reporting.
+    pub fn wait(self) -> Result<Vec<ShardOutcome>, MatchError> {
+        if self.failed {
+            return Err(MatchError::WorkerPanicked);
+        }
+        let mut outcomes = Vec::with_capacity(self.pending);
+        for _ in 0..self.pending {
+            outcomes.push(self.rx.recv().map_err(|_| MatchError::WorkerPanicked)?);
+        }
+        outcomes.sort_by_key(|o| o.shard);
+        Ok(outcomes)
+    }
+}
+
+/// The pool of shard workers for one loaded database.
+pub struct ShardExecutor {
+    senders: Vec<mpsc::Sender<ShardJob>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ShardExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardExecutor")
+            .field("shards", &self.senders.len())
+            .finish()
+    }
+}
+
+impl ShardExecutor {
+    /// Spawns one worker thread per shard of `db`. Each worker owns an
+    /// [`Arc`] to its shard (no ciphertext copy), a CM-SW engine, and a
+    /// clone of the index-generation capability.
+    pub fn spawn(
+        ctx: &BfvContext,
+        db: &ShardedDatabase,
+        index_gen: &TrustedIndexGenerator,
+    ) -> Self {
+        let mut senders = Vec::with_capacity(db.shard_count());
+        let mut handles = Vec::with_capacity(db.shard_count());
+        for (i, shard) in db.shards().iter().enumerate() {
+            let (tx, rx) = mpsc::channel::<ShardJob>();
+            let shard = Arc::clone(shard);
+            let mut engine = CiphermatchEngine::new(ctx);
+            let index_gen = index_gen.clone();
+            handles.push(std::thread::spawn(move || {
+                // The worker lives until the executor drops its sender.
+                while let Ok(job) = rx.recv() {
+                    engine.reset_stats();
+                    let result = engine.search(&shard, &job.query);
+                    // A receiver dropped mid-search just means the caller
+                    // gave up on this job; keep serving the queue.
+                    let _ = job.reply.send(ShardOutcome {
+                        shard: i,
+                        indices: index_gen.generate(&result),
+                        stats: engine.stats(),
+                    });
+                }
+            }));
+            senders.push(tx);
+        }
+        Self { senders, handles }
+    }
+
+    /// Number of shard workers.
+    pub fn shard_count(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Broadcasts `query` to every shard queue, returning a handle that
+    /// gathers the per-shard outcomes. The query is reference-counted, so
+    /// the broadcast ships pointers, not ciphertext copies.
+    pub fn submit(&self, query: Arc<EncryptedQuery>) -> CompletionHandle {
+        let (tx, rx) = mpsc::channel();
+        let mut failed = false;
+        for sender in &self.senders {
+            let job = ShardJob {
+                query: Arc::clone(&query),
+                reply: tx.clone(),
+            };
+            // A send can only fail if the worker thread died (panicked).
+            failed |= sender.send(job).is_err();
+        }
+        CompletionHandle {
+            rx,
+            pending: self.senders.len(),
+            failed,
+        }
+    }
+}
+
+impl Drop for ShardExecutor {
+    fn drop(&mut self) {
+        // Closing the queues ends the worker loops; join to avoid leaking
+        // threads past the executor's lifetime.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_bfv::{BfvParams, Encryptor, KeyGenerator};
+    use cm_core::BitString;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn executor_searches_all_shards_and_reports_stats() {
+        let ctx = BfvContext::new(BfvParams::insecure_test_add());
+        let mut rng = StdRng::seed_from_u64(2024);
+        let (sk, pk) = {
+            let kg = KeyGenerator::new(&ctx, &mut rng);
+            (kg.secret_key(), kg.public_key(&mut rng))
+        };
+        let enc = Encryptor::new(&ctx, pk);
+        let engine = CiphermatchEngine::new(&ctx);
+        let bpp = engine.packing().bits_per_poly();
+        let bytes: Vec<u8> = (0..(bpp / 8) * 3 + 17)
+            .map(|i| (i * 29 % 250) as u8)
+            .collect();
+        let data = BitString::from_bytes(&bytes);
+        let db = engine.encrypt_database(&enc, &data, &mut rng);
+        let sharded = ShardedDatabase::split(&db, bpp, 3, 1).unwrap();
+        let index_gen = TrustedIndexGenerator::from_secret(&ctx, sk);
+        let executor = ShardExecutor::spawn(&ctx, &sharded, &index_gen);
+        assert_eq!(executor.shard_count(), 3);
+
+        let pattern = data.slice(bpp - 9, 20); // straddles shards 0 and 1
+        let query = Arc::new(engine.prepare_query(&enc, &pattern, &mut rng));
+
+        // Two searches in flight at once: handles gather independently.
+        let h1 = executor.submit(Arc::clone(&query));
+        let h2 = executor.submit(Arc::clone(&query));
+        for handle in [h1, h2] {
+            let outcomes = handle.wait().unwrap();
+            assert_eq!(outcomes.len(), 3);
+            // Outcomes are shard-local; the planner's remap restores
+            // global offsets (and collapses overlap duplicates).
+            let per_shard: Vec<Vec<usize>> = outcomes.iter().map(|o| o.indices.clone()).collect();
+            let merged = sharded.merge_indices(&per_shard);
+            assert_eq!(merged, data.find_all(&pattern));
+            // Every shard ran its own Hom-Add sweep.
+            assert!(outcomes.iter().all(|o| o.stats.hom_adds > 0));
+        }
+    }
+}

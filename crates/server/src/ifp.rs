@@ -1,0 +1,281 @@
+//! CM-IFP behind the unified matcher API: the paper's in-flash engine as
+//! a first-class backend.
+//!
+//! [`IfpMatcher`] wraps [`cm_ssd::CmIfpServer`] in a [`SecureMatcher`], so
+//! the in-flash pipeline is selectable wherever the other five backends
+//! are — erased registries, sessions, and the `cm_server` wire protocol.
+//! Registering it from this crate (rather than `cm_core`) keeps the
+//! dependency arrow pointing the right way: the algorithm crate knows the
+//! [`Backend::Ifp`] *name*, the serving crate owns the SSD device.
+//!
+//! The matcher's [`MatchStats`] gain meaning here: `hom_adds` counts the
+//! additions executed *inside the flash array* (one per variant ×
+//! polynomial, exactly like CM-SW), and `flash_wear` counts program/erase
+//! cycles — which the latch-only `bop_add` µ-program keeps at **zero**,
+//! the property the paper's endurance argument rests on.
+
+use std::sync::{Arc, Mutex};
+
+use cm_bfv::{BfvContext, BfvParams, Decryptor, Encryptor, KeyGenerator, PublicKey, SecretKey};
+use cm_core::{
+    Backend, BitString, CiphermatchEngine, EncryptedQuery, MatchError, MatchStats, SecureMatcher,
+};
+use cm_flash::FlashGeometry;
+use cm_ssd::{CmIfpServer, TransposeMode};
+use rand::Rng;
+
+use crate::kit::QueryKit;
+
+/// An encrypted database resident in a simulated SSD's CIPHERMATCH
+/// region. Clones share the device (the flash array holds one copy of the
+/// ciphertexts; `bop_add` is read-only latch compute).
+#[derive(Clone)]
+pub struct IfpDatabase {
+    server: Arc<Mutex<CmIfpServer>>,
+    total_bits: usize,
+    poly_count: usize,
+    bytes: u64,
+}
+
+impl std::fmt::Debug for IfpDatabase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IfpDatabase")
+            .field("total_bits", &self.total_bits)
+            .field("polys", &self.poly_count)
+            .finish()
+    }
+}
+
+/// The in-flash engine as a [`SecureMatcher`].
+#[derive(Clone)]
+pub struct IfpMatcher {
+    ctx: BfvContext,
+    sk: SecretKey,
+    pk: PublicKey,
+    q_bits: u32,
+    geometry: FlashGeometry,
+    mode: TransposeMode,
+    stats: MatchStats,
+}
+
+impl std::fmt::Debug for IfpMatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IfpMatcher")
+            .field("params", &self.ctx.params().name)
+            .field("mode", &self.mode)
+            .finish()
+    }
+}
+
+impl IfpMatcher {
+    /// Generates keys for an in-flash matcher over `geometry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatchError::InvalidConfig`] unless `params` uses the
+    /// power-of-two modulus `q = 2^32` (wrapping 32-bit addition must
+    /// *be* `Hom-Add` for the in-flash adder; use
+    /// [`BfvParams::ciphermatch_ifp_1024`] or
+    /// [`BfvParams::insecure_test_pow2`]) and a power-of-two `t`.
+    pub fn new<R: Rng + ?Sized>(
+        params: BfvParams,
+        geometry: FlashGeometry,
+        mode: TransposeMode,
+        rng: &mut R,
+    ) -> Result<Self, MatchError> {
+        if params.q != 1 << 32 {
+            return Err(MatchError::InvalidConfig(
+                "CM-IFP needs q = 2^32 (BfvParams::ciphermatch_ifp_1024)",
+            ));
+        }
+        if !params.t.is_power_of_two() {
+            return Err(MatchError::InvalidConfig(
+                "dense packing requires a power-of-two plaintext modulus",
+            ));
+        }
+        let ctx = BfvContext::new(params);
+        let kg = KeyGenerator::new(&ctx, rng);
+        let sk = kg.secret_key();
+        let pk = kg.public_key(rng);
+        let q_bits = 64 - ctx.params().q.leading_zeros();
+        Ok(Self {
+            ctx,
+            sk,
+            pk,
+            q_bits,
+            geometry,
+            mode,
+            stats: MatchStats::default(),
+        })
+    }
+
+    /// The public query-encryption material a remote client needs to ship
+    /// wire queries to this matcher.
+    pub fn query_kit(&self) -> QueryKit {
+        QueryKit::new(self.ctx.clone(), self.pk.clone())
+    }
+
+    fn engine(&self) -> CiphermatchEngine {
+        CiphermatchEngine::new(&self.ctx)
+    }
+}
+
+impl SecureMatcher for IfpMatcher {
+    type Database = IfpDatabase;
+    type Query = EncryptedQuery;
+    type Stats = MatchStats;
+
+    fn backend(&self) -> Backend {
+        Backend::Ifp
+    }
+
+    fn encrypt_database<R: Rng + ?Sized>(
+        &mut self,
+        data: &BitString,
+        rng: &mut R,
+    ) -> Result<Self::Database, MatchError> {
+        if data.is_empty() {
+            return Err(MatchError::InvalidConfig("cannot serve an empty database"));
+        }
+        let enc = Encryptor::new(&self.ctx, self.pk.clone());
+        let db = self.engine().encrypt_database(&enc, data, rng);
+        let bytes = db.byte_size(self.q_bits) as u64;
+        let server = CmIfpServer::new(&self.ctx, self.geometry.clone(), self.mode, &db);
+        Ok(IfpDatabase {
+            server: Arc::new(Mutex::new(server)),
+            total_bits: db.total_bits(),
+            poly_count: db.poly_count(),
+            bytes,
+        })
+    }
+
+    fn prepare_query<R: Rng + ?Sized>(
+        &mut self,
+        query: &BitString,
+        rng: &mut R,
+    ) -> Result<Self::Query, MatchError> {
+        if query.is_empty() {
+            return Err(MatchError::EmptyQuery);
+        }
+        let enc = Encryptor::new(&self.ctx, self.pk.clone());
+        Ok(self.engine().prepare_query(&enc, query, rng))
+    }
+
+    fn decode_query(&self, encoded: &[u8]) -> Result<Self::Query, MatchError> {
+        Ok(EncryptedQuery::decode_validated(
+            encoded,
+            self.ctx.params().n,
+            self.engine().packing().seg_bits(),
+            self.ctx.params().q,
+        )?)
+    }
+
+    fn find_all<R: Rng + ?Sized>(
+        &mut self,
+        db: &Self::Database,
+        query: &Self::Query,
+        _rng: &mut R,
+    ) -> Result<Vec<usize>, MatchError> {
+        self.stats.bytes_moved += query.byte_size(self.q_bits) as u64;
+        let (result, reports) = {
+            let mut server = db.server.lock().map_err(|_| MatchError::WorkerPanicked)?;
+            server.search(query)
+        };
+        // In-flash additions are Hom-Adds: one per variant × polynomial,
+        // the same count CM-SW's software sweep reports.
+        self.stats.hom_adds += (reports.len() * db.poly_count) as u64;
+        self.stats.flash_wear += reports.iter().map(|r| r.ledger.wear()).sum::<u64>();
+        let dec = Decryptor::new(&self.ctx, self.sk.clone());
+        Ok(self.engine().generate_indices(&dec, &result))
+    }
+
+    fn database_bytes(&self, db: &Self::Database) -> u64 {
+        db.bytes
+    }
+
+    fn stats(&self) -> MatchStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = MatchStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_core::erase;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn new_matcher(seed: u64) -> IfpMatcher {
+        let mut rng = StdRng::seed_from_u64(seed);
+        IfpMatcher::new(
+            BfvParams::insecure_test_pow2(),
+            FlashGeometry::tiny_test(),
+            TransposeMode::Software,
+            &mut rng,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn non_pow2_modulus_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(matches!(
+            IfpMatcher::new(
+                BfvParams::insecure_test_add(),
+                FlashGeometry::tiny_test(),
+                TransposeMode::Software,
+                &mut rng,
+            ),
+            Err(MatchError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn ifp_matcher_searches_with_zero_wear_behind_the_erased_api() {
+        let mut erased = erase(new_matcher(5), 5);
+        assert_eq!(erased.backend(), Backend::Ifp);
+        let data = BitString::from_ascii("the flash array adds without wearing out");
+        erased.load_database(&data).unwrap();
+        let pattern = BitString::from_ascii("without");
+        assert_eq!(erased.find_all(&pattern).unwrap(), data.find_all(&pattern));
+        let stats = erased.stats();
+        assert!(stats.hom_adds > 0, "in-flash additions are counted");
+        assert_eq!(stats.flash_wear, 0, "bop_add must not program or erase");
+        assert_eq!(stats.hom_muls + stats.rotations + stats.bootstraps, 0);
+    }
+
+    #[test]
+    fn ifp_accepts_wire_queries_from_its_kit() {
+        let matcher = new_matcher(6);
+        let kit = matcher.query_kit();
+        let mut erased = erase(matcher, 6);
+        let data = BitString::from_ascii("wire query into the flash pipeline");
+        erased.load_database(&data).unwrap();
+        let mut rng = StdRng::seed_from_u64(60);
+        let pattern = BitString::from_ascii("flash");
+        let encoded = kit.encode_query(&pattern, &mut rng).unwrap();
+        assert_eq!(
+            erased.find_all_wire(&encoded).unwrap(),
+            data.find_all(&pattern)
+        );
+        assert!(matches!(
+            erased.find_all_wire(&encoded[..7]).unwrap_err(),
+            MatchError::Decode(_)
+        ));
+    }
+
+    #[test]
+    fn erased_clones_share_the_ssd_device() {
+        let mut erased = erase(new_matcher(7), 7);
+        erased
+            .load_database(&BitString::from_ascii("one drive, many workers"))
+            .unwrap();
+        let clone = erased.boxed_clone();
+        assert_eq!(erased.database_fingerprint(), clone.database_fingerprint());
+        assert!(erased.database_fingerprint().is_some());
+    }
+}

@@ -1,0 +1,56 @@
+//! The client-side query kit: the public material a key owner needs to
+//! encrypt queries for a remote CIPHERMATCH-family tenant.
+//!
+//! Provisioning mirrors the paper's offline step: the tenant's owner keeps
+//! the secret key, hands the server a delegated index-generation
+//! capability and an AES channel key, and keeps (or distributes) this kit
+//! so query encryption can happen *away* from the serving process. The
+//! kit holds only public material — context parameters and the public
+//! key.
+
+use cm_bfv::{BfvContext, Encryptor, PublicKey};
+use cm_core::{BitString, CiphermatchEngine, MatchError};
+use rand::Rng;
+
+/// Public query-encryption material for one tenant.
+#[derive(Clone)]
+pub struct QueryKit {
+    ctx: BfvContext,
+    pk: PublicKey,
+    q_bits: u32,
+}
+
+impl std::fmt::Debug for QueryKit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryKit")
+            .field("params", &self.ctx.params().name)
+            .finish()
+    }
+}
+
+impl QueryKit {
+    pub(crate) fn new(ctx: BfvContext, pk: PublicKey) -> Self {
+        let q_bits = 64 - ctx.params().q.leading_zeros();
+        Self { ctx, pk, q_bits }
+    }
+
+    /// Encrypts `query` and serializes it into the CIPHERMATCH wire format
+    /// ([`cm_core::EncryptedQuery::encode`]) ready for
+    /// [`crate::MatchClient::search_encoded`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatchError::EmptyQuery`] for the empty pattern.
+    pub fn encode_query<R: Rng + ?Sized>(
+        &self,
+        query: &BitString,
+        rng: &mut R,
+    ) -> Result<Vec<u8>, MatchError> {
+        if query.is_empty() {
+            return Err(MatchError::EmptyQuery);
+        }
+        let enc = Encryptor::new(&self.ctx, self.pk.clone());
+        let encrypted = CiphermatchEngine::new(&self.ctx).prepare_query(&enc, query, rng);
+        Ok(encrypted.encode(self.q_bits))
+    }
+}

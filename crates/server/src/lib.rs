@@ -1,0 +1,82 @@
+#![warn(missing_docs)]
+
+//! # cm-server
+//!
+//! The match-serving subsystem: one process answering encrypted
+//! string-matching queries for many key owners — CM-SW sharded across
+//! worker threads on the host, CM-IFP inside the (simulated) SSD — which
+//! is the deployment the paper's Figure 6 sketches and the ROADMAP's
+//! production north star asks for.
+//!
+//! The layers, bottom up:
+//!
+//! * [`ShardPlan`] / [`ShardedDatabase`] — splits one encrypted database
+//!   into [`std::sync::Arc`]-shared polynomial shards with a shard→global
+//!   index remap (overlap tails make boundary-straddling windows exact);
+//! * [`ShardExecutor`] — one long-lived worker thread per shard, an mpsc
+//!   job queue each, [`CompletionHandle`]s gathering per-shard
+//!   [`ShardOutcome`]s;
+//! * [`ShardedCmMatcher`] — CM-SW over the executor, implementing
+//!   [`cm_core::ErasedMatcher`] so sharded serving drops into any
+//!   registry, with per-shard [`cm_core::MatchStats`] that sum to the
+//!   matcher total;
+//! * [`IfpMatcher`] — the paper's in-flash engine
+//!   ([`cm_ssd::CmIfpServer`]) behind [`cm_core::SecureMatcher`],
+//!   registered *from this crate* so the `cm_core`↔`cm_ssd` dependency
+//!   arrow stays inverted; `stats().flash_wear` stays zero because
+//!   `bop_add` never programs or erases;
+//! * [`TenantRegistry`] / [`Tenant`] — tenant id → erased matcher + key
+//!   material ([`cm_ssd::SecureIndexChannel`]), one key domain per
+//!   tenant, many tenants per process;
+//! * [`wire`] — the length-prefixed binary protocol (encrypted queries
+//!   in, AES-sealed index lists out), hardened against truncated,
+//!   oversized, and garbage frames;
+//! * [`MatchServer`] / [`MatchClient`] — the TCP accept loop and the
+//!   blocking client, with [`QueryKit`] carrying the public material a
+//!   remote key owner needs to encrypt queries.
+//!
+//! ## Example
+//!
+//! ```
+//! use cm_core::{Backend, BitString, MatcherConfig};
+//! use cm_server::{MatchClient, MatchServer, ShardedCmMatcher, TenantAccess, TenantRegistry};
+//!
+//! // Provision two tenants with different key material.
+//! let mut registry = TenantRegistry::new();
+//! let alice_db = BitString::from_ascii("alice's needle lives here");
+//! let alice = ShardedCmMatcher::new(cm_bfv::BfvParams::insecure_test_add(), 2, 1).unwrap();
+//! registry.register("alice", Box::new(alice), &[0xA1; 32], &alice_db).unwrap();
+//! let bob = MatcherConfig::new(Backend::Plain).build().unwrap();
+//! let bob_db = BitString::from_ascii("bob searches plaintext");
+//! registry.register("bob", bob, &[0xB0; 32], &bob_db).unwrap();
+//!
+//! // Serve on an ephemeral port; query over TCP.
+//! let server = MatchServer::new(registry).spawn("127.0.0.1:0").unwrap();
+//! let mut client = MatchClient::connect(server.addr()).unwrap();
+//! let reply = client
+//!     .search_bits(&TenantAccess::new("alice", &[0xA1; 32]), &BitString::from_ascii("needle"))
+//!     .unwrap();
+//! assert_eq!(reply.indices, alice_db.find_all(&BitString::from_ascii("needle")));
+//! server.shutdown();
+//! ```
+
+pub mod client;
+pub mod executor;
+pub mod ifp;
+pub mod kit;
+pub mod server;
+pub mod shard;
+pub mod tenant;
+pub mod wire;
+
+pub use client::{MatchClient, MatchReply, TenantAccess};
+pub use executor::{CompletionHandle, ShardExecutor, ShardOutcome};
+pub use ifp::{IfpDatabase, IfpMatcher};
+pub use kit::QueryKit;
+pub use server::{MatchServer, RunningServer};
+pub use shard::{ShardPlan, ShardRange, ShardedDatabase};
+pub use sharded::ShardedCmMatcher;
+pub use tenant::{MatchedReply, Tenant, TenantRegistry};
+pub use wire::{QueryPayload, Request, Response, TenantInfo, MAX_FRAME_BYTES};
+
+mod sharded;

@@ -1,0 +1,200 @@
+//! The TCP serving front-end: accept loop, connection threads, request
+//! dispatch.
+//!
+//! One process serves every registered tenant. Each accepted connection
+//! gets its own thread running a read-frame → dispatch → write-frame
+//! loop; request handling errors travel back as [`Response::Error`]
+//! frames, transport/framing errors end the connection. The listener can
+//! be driven directly ([`MatchServer::serve`]) or on a background thread
+//! with a shutdown handle ([`MatchServer::spawn`]) — the form the CI
+//! smoke test and the examples use.
+
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use cm_core::{Backend, MatchError};
+
+use crate::tenant::TenantRegistry;
+use crate::wire::{read_frame, write_frame, Request, Response};
+
+/// A serving process: a tenant registry behind a TCP front-end.
+#[derive(Debug)]
+pub struct MatchServer {
+    registry: Arc<TenantRegistry>,
+}
+
+impl MatchServer {
+    /// Wraps a fully provisioned registry.
+    pub fn new(registry: TenantRegistry) -> Self {
+        Self {
+            registry: Arc::new(registry),
+        }
+    }
+
+    /// The registry this server dispatches to.
+    pub fn registry(&self) -> &TenantRegistry {
+        &self.registry
+    }
+
+    /// Binds `addr` and serves on a background thread, returning the
+    /// running server's address and shutdown handle. Bind to port 0 for
+    /// an ephemeral port.
+    ///
+    /// # Errors
+    ///
+    /// [`MatchError::Transport`] if the bind fails.
+    pub fn spawn<A: ToSocketAddrs>(self, addr: A) -> Result<RunningServer, MatchError> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| MatchError::Transport(format!("bind: {e}")))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| MatchError::Transport(format!("local_addr: {e}")))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let registry = Arc::clone(&self.registry);
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            accept_loop(&listener, &registry, &stop_flag);
+        });
+        Ok(RunningServer {
+            addr: local_addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// Serves `listener` on the calling thread until the process exits
+    /// (the production entry point; tests use [`Self::spawn`]).
+    pub fn serve(self, listener: &TcpListener) {
+        accept_loop(listener, &self.registry, &AtomicBool::new(false));
+    }
+}
+
+/// Accepts connections until the stop flag flips.
+fn accept_loop(listener: &TcpListener, registry: &Arc<TenantRegistry>, stop: &AtomicBool) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(_) => {
+                // Persistent accept errors (e.g. fd exhaustion) would
+                // otherwise spin this loop at full speed; back off briefly
+                // before retrying.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                continue;
+            }
+        };
+        let registry = Arc::clone(registry);
+        std::thread::spawn(move || handle_connection(stream, &registry));
+    }
+}
+
+/// How long a connection may sit idle (or dribble a frame) before its
+/// thread is reclaimed — thread-per-connection must not leak threads to
+/// silent peers.
+const CONNECTION_READ_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(300);
+
+/// Runs one connection's request loop until the peer closes or the
+/// transport fails.
+fn handle_connection(mut stream: TcpStream, registry: &TenantRegistry) {
+    if stream
+        .set_read_timeout(Some(CONNECTION_READ_TIMEOUT))
+        .is_err()
+    {
+        return;
+    }
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(payload)) => payload,
+            // Clean EOF, a torn frame, or a dead socket: nothing sensible
+            // left to answer on this connection.
+            Ok(None) | Err(MatchError::Transport(_)) => return,
+            Err(e) => {
+                // Framing violation: report it once, then hang up (the
+                // stream is no longer at a frame boundary).
+                let _ = write_frame(&mut stream, &Response::Error(e).encode());
+                return;
+            }
+        };
+        let response = match Request::decode(&payload) {
+            Ok(request) => dispatch(&request, registry),
+            Err(e) => Response::Error(e),
+        };
+        if write_frame(&mut stream, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Maps one request to its response; never panics on hostile input.
+fn dispatch(request: &Request, registry: &TenantRegistry) -> Response {
+    match request {
+        Request::Ping => Response::Pong {
+            backends: Backend::WIRE.iter().map(|b| b.name().to_string()).collect(),
+        },
+        Request::ListTenants => Response::Tenants(registry.list()),
+        Request::Match { tenant, query } => match registry.get(tenant).and_then(|t| t.run(query)) {
+            Ok(reply) => Response::Matched {
+                nonce: reply.nonce,
+                sealed_indices: reply.sealed_indices,
+                stats: reply.stats,
+                shard_stats: reply.shard_stats,
+                seal_latency: reply.seal_latency,
+            },
+            Err(e) => Response::Error(e),
+        },
+        Request::TenantStats { tenant } => match registry.get(tenant).and_then(|t| t.totals()) {
+            Ok((stats, queries)) => Response::TenantStats { stats, queries },
+            Err(e) => Response::Error(e),
+        },
+    }
+}
+
+/// Handle to a server running on a background thread.
+#[derive(Debug)]
+pub struct RunningServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl RunningServer {
+    /// The bound address (with the real port when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept thread. Already
+    /// accepted connections drain on their own threads.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept call with a throwaway connection. A wildcard
+        // bind address (0.0.0.0 / ::) is not connectable everywhere, so
+        // aim the poke at loopback in that case.
+        let mut poke = self.addr;
+        if poke.ip().is_unspecified() {
+            poke.set_ip(match poke {
+                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(poke);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for RunningServer {
+    fn drop(&mut self) {
+        self.stop_accepting();
+    }
+}

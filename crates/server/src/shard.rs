@@ -1,0 +1,313 @@
+//! Database sharding: splitting one encrypted database into per-worker
+//! shards with a shard→global index remap.
+//!
+//! The unit of sharding is the ciphertext polynomial: CIPHERMATCH's
+//! `Hom-Add` sweep is independent per (variant, polynomial) pair, so a
+//! contiguous polynomial range is a self-contained sub-database. Because a
+//! match window may straddle a polynomial boundary, every shard *holds* a
+//! small overlap tail beyond the polynomials it *owns*: with an overlap of
+//! `v` polynomials, any query of at most `v * bits_per_poly` bits that
+//! starts in a shard's owned range ends inside the polynomials that shard
+//! holds, so the union of per-shard results (after remapping and
+//! de-duplication) equals the unsharded result — the invariant the module
+//! tests pin down.
+//!
+//! Shards are reference-counted ([`Arc`]): executors, sessions, and
+//! clones all share one ciphertext allocation per shard instead of the
+//! whole-database deep copy the ROADMAP flagged.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use cm_core::{EncryptedDatabase, MatchError};
+
+/// The geometry of one shard within the global database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRange {
+    /// Polynomials this shard *owns*: match windows starting here are this
+    /// shard's responsibility.
+    pub owned: Range<usize>,
+    /// Polynomials this shard *holds*: the owned range plus the overlap
+    /// tail that lets boundary-straddling windows complete.
+    pub held: Range<usize>,
+    /// Global bit offset of the shard's first held polynomial — the remap
+    /// term added to every shard-local match offset.
+    pub start_bit: usize,
+}
+
+/// How a database of `poly_count` polynomials is split into shards.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    bits_per_poly: usize,
+    total_bits: usize,
+    overlap_polys: usize,
+    ranges: Vec<ShardRange>,
+}
+
+impl ShardPlan {
+    /// Plans `shards` near-equal contiguous polynomial ranges over a
+    /// database of `poly_count` polynomials and `total_bits` bits, each
+    /// shard holding `overlap_polys` extra polynomials past its owned
+    /// range (clipped at the database end). The shard count is capped at
+    /// `poly_count` — a polynomial is never split.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatchError::InvalidConfig`] when any knob is zero or the
+    /// database is empty.
+    pub fn new(
+        poly_count: usize,
+        total_bits: usize,
+        bits_per_poly: usize,
+        shards: usize,
+        overlap_polys: usize,
+    ) -> Result<Self, MatchError> {
+        if shards == 0 {
+            return Err(MatchError::InvalidConfig("shard count must be positive"));
+        }
+        if overlap_polys == 0 {
+            return Err(MatchError::InvalidConfig("shard overlap must be positive"));
+        }
+        if poly_count == 0 || total_bits == 0 || bits_per_poly == 0 {
+            return Err(MatchError::InvalidConfig("cannot shard an empty database"));
+        }
+        let shards = shards.min(poly_count);
+        let base = poly_count / shards;
+        let rem = poly_count % shards;
+        let mut ranges = Vec::with_capacity(shards);
+        let mut start = 0usize;
+        for s in 0..shards {
+            let len = base + usize::from(s < rem);
+            let owned = start..start + len;
+            let held = start..(owned.end + overlap_polys).min(poly_count);
+            ranges.push(ShardRange {
+                start_bit: start * bits_per_poly,
+                owned,
+                held,
+            });
+            start += len;
+        }
+        Ok(Self {
+            bits_per_poly,
+            total_bits,
+            overlap_polys,
+            ranges,
+        })
+    }
+
+    /// Number of shards actually planned (≤ the requested count).
+    pub fn shard_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The per-shard geometry.
+    pub fn ranges(&self) -> &[ShardRange] {
+        &self.ranges
+    }
+
+    /// Bits per polynomial the plan was computed for.
+    pub fn bits_per_poly(&self) -> usize {
+        self.bits_per_poly
+    }
+
+    /// Bit length of the global database.
+    pub fn total_bits(&self) -> usize {
+        self.total_bits
+    }
+
+    /// The longest query (in bits) sharded execution supports: a window
+    /// starting in a shard's owned range must end inside the polynomials
+    /// it holds. A single-shard plan holds everything, so it has no limit
+    /// beyond the database itself.
+    pub fn max_query_bits(&self) -> usize {
+        if self.ranges.len() == 1 {
+            self.total_bits
+        } else {
+            self.overlap_polys * self.bits_per_poly
+        }
+    }
+}
+
+/// An encrypted database split into [`Arc`]-shared shards plus the plan
+/// that maps shard-local results back to global bit offsets.
+#[derive(Debug, Clone)]
+pub struct ShardedDatabase {
+    plan: ShardPlan,
+    shards: Vec<Arc<EncryptedDatabase>>,
+}
+
+impl ShardedDatabase {
+    /// Splits `db` into at most `shards` shards of whole polynomials with
+    /// `overlap_polys` polynomials of overlap (see [`ShardPlan::new`]).
+    /// The split clones each ciphertext once (plus the overlap tails);
+    /// from then on every consumer shares the shard allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatchError::InvalidConfig`] for a zero shard count /
+    /// overlap or an empty database.
+    pub fn split(
+        db: &EncryptedDatabase,
+        bits_per_poly: usize,
+        shards: usize,
+        overlap_polys: usize,
+    ) -> Result<Self, MatchError> {
+        let plan = ShardPlan::new(
+            db.poly_count(),
+            db.total_bits(),
+            bits_per_poly,
+            shards,
+            overlap_polys,
+        )?;
+        let shards = plan
+            .ranges()
+            .iter()
+            .map(|r| Arc::new(db.subrange(r.held.clone(), bits_per_poly)))
+            .collect();
+        Ok(Self { plan, shards })
+    }
+
+    /// The plan behind this split.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// The shard databases, [`Arc`]-shared with every executor worker.
+    pub fn shards(&self) -> &[Arc<EncryptedDatabase>] {
+        &self.shards
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Remaps per-shard local match offsets to global bit offsets and
+    /// merges them into one ascending, de-duplicated list. `per_shard[i]`
+    /// must be shard `i`'s local result; overlap regions report a match in
+    /// up to two shards, which the dedup collapses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_shard` does not have one entry per shard.
+    pub fn merge_indices(&self, per_shard: &[Vec<usize>]) -> Vec<usize> {
+        assert_eq!(
+            per_shard.len(),
+            self.shards.len(),
+            "one result list per shard required"
+        );
+        let mut all: Vec<usize> = per_shard
+            .iter()
+            .zip(self.plan.ranges())
+            .flat_map(|(hits, range)| hits.iter().map(move |&h| h + range.start_bit))
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_bfv::{BfvContext, BfvParams, Encryptor, KeyGenerator};
+    use cm_core::{BitString, CiphermatchEngine};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn plan_partitions_owned_polys_exactly_once() {
+        for (polys, shards, overlap) in [(7usize, 3usize, 1usize), (4, 4, 2), (9, 2, 1), (3, 8, 1)]
+        {
+            let plan = ShardPlan::new(polys, polys * 64, 64, shards, overlap).unwrap();
+            assert!(plan.shard_count() <= shards.min(polys));
+            let mut covered = 0;
+            for (i, r) in plan.ranges().iter().enumerate() {
+                assert_eq!(
+                    r.owned.start, covered,
+                    "shard {i} owned range is contiguous"
+                );
+                assert!(r.held.start == r.owned.start && r.held.end >= r.owned.end);
+                assert!(r.held.end <= polys);
+                covered = r.owned.end;
+            }
+            assert_eq!(covered, polys, "every polynomial is owned exactly once");
+        }
+    }
+
+    #[test]
+    fn degenerate_plans_are_rejected() {
+        assert!(ShardPlan::new(4, 256, 64, 0, 1).is_err());
+        assert!(ShardPlan::new(4, 256, 64, 2, 0).is_err());
+        assert!(ShardPlan::new(0, 0, 64, 2, 1).is_err());
+    }
+
+    #[test]
+    fn sharded_search_equals_unsharded_search() {
+        let ctx = BfvContext::new(BfvParams::insecure_test_add());
+        let mut rng = StdRng::seed_from_u64(31337);
+        let (sk, pk) = {
+            let kg = KeyGenerator::new(&ctx, &mut rng);
+            (kg.secret_key(), kg.public_key(&mut rng))
+        };
+        let enc = Encryptor::new(&ctx, pk);
+        let dec = cm_bfv::Decryptor::new(&ctx, sk);
+        let mut engine = CiphermatchEngine::new(&ctx);
+        let bpp = engine.packing().bits_per_poly();
+
+        // Four-and-a-bit polynomials of pseudo-random data.
+        let bytes: Vec<u8> = (0..(bpp / 8) * 4 + 57)
+            .map(|i| (i * 131 % 251) as u8)
+            .collect();
+        let data = BitString::from_bytes(&bytes);
+        let db = engine.encrypt_database(&enc, &data, &mut rng);
+
+        // Patterns that land inside shards and straddle shard boundaries.
+        let patterns = [
+            data.slice(10, 24),
+            data.slice(bpp - 11, 30), // straddles the poly-0/1 boundary
+            data.slice(2 * bpp - 3, 16),
+            data.slice(data.len() - 40, 33),
+        ];
+        for shards in [1usize, 2, 3, 5] {
+            let sharded = ShardedDatabase::split(&db, bpp, shards, 1).unwrap();
+            for pattern in &patterns {
+                let query = engine.prepare_query(&enc, pattern, &mut rng);
+                let per_shard: Vec<Vec<usize>> = sharded
+                    .shards()
+                    .iter()
+                    .map(|shard| {
+                        let result = engine.search(shard, &query);
+                        engine.generate_indices(&dec, &result)
+                    })
+                    .collect();
+                let merged = sharded.merge_indices(&per_shard);
+                assert_eq!(
+                    merged,
+                    data.find_all(pattern),
+                    "shards = {shards}, pattern of {} bits",
+                    pattern.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shards_share_allocations_not_copies() {
+        let ctx = BfvContext::new(BfvParams::insecure_test_add());
+        let mut rng = StdRng::seed_from_u64(99);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let pk = kg.public_key(&mut rng);
+        let enc = Encryptor::new(&ctx, pk);
+        let engine = CiphermatchEngine::new(&ctx);
+        let bpp = engine.packing().bits_per_poly();
+        let data = BitString::from_bytes(&vec![0xA5u8; (bpp / 8) * 3]);
+        let db = engine.encrypt_database(&enc, &data, &mut rng);
+
+        let sharded = ShardedDatabase::split(&db, bpp, 3, 1).unwrap();
+        let clone = sharded.clone();
+        for (a, b) in sharded.shards().iter().zip(clone.shards()) {
+            assert!(Arc::ptr_eq(a, b), "cloning a ShardedDatabase shares shards");
+        }
+    }
+}

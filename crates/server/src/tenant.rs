@@ -1,0 +1,296 @@
+//! Multi-tenant state: one key domain per tenant, many tenants per
+//! process.
+//!
+//! Each [`Tenant`] bundles an erased matcher (which owns the tenant's HE
+//! key material and loaded database) with the tenant's AES index channel
+//! ([`cm_ssd::SecureIndexChannel`]) and lifetime statistics. The
+//! [`TenantRegistry`] maps tenant ids to tenants and is shared immutably
+//! by every connection thread; per-tenant mutable state sits behind its
+//! own locks, so queries for *different* tenants never contend. Queries
+//! for the *same* tenant serialize on its matcher lock (parallelism
+//! within one query comes from the shard executor); a per-tenant worker
+//! pool over `boxed_clone` is the ROADMAP-noted next step.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use cm_core::{Backend, BitString, ErasedMatcher, MatchError, MatchStats};
+use cm_ssd::SecureIndexChannel;
+
+use crate::wire::{QueryPayload, TenantInfo};
+
+/// The result of one tenant query, ready to serialize.
+#[derive(Debug, Clone)]
+pub struct MatchedReply {
+    /// The server-assigned AES-CTR nonce the index list was sealed with.
+    pub nonce: u64,
+    /// AES-sealed index list.
+    pub sealed_indices: Vec<u8>,
+    /// Statistics this query added.
+    pub stats: MatchStats,
+    /// Per-shard breakdown of `stats`.
+    pub shard_stats: Vec<MatchStats>,
+    /// Modeled hardware latency of the sealing step.
+    pub seal_latency: Duration,
+}
+
+/// One registered key owner.
+pub struct Tenant {
+    id: String,
+    backend: Backend,
+    matcher: Mutex<Box<dyn ErasedMatcher>>,
+    channel: SecureIndexChannel,
+    // AES-CTR keystreams must never repeat under one channel key: the
+    // nonce is a tenant-wide monotonic counter, never client input. Its
+    // high 32 bits are a registration-time fresh prefix so that a process
+    // restart (or re-registration) under a long-lived key does not replay
+    // the counter from 1.
+    next_nonce: AtomicU64,
+    totals: Mutex<(MatchStats, u64)>,
+}
+
+/// A fresh per-registration nonce prefix: the counter occupies the low 32
+/// bits, this fills the high 32 with registration-time entropy (wall
+/// clock), so two registrations under one channel key do not share
+/// keystreams.
+fn nonce_prefix() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x9E37_79B9_7F4A_7C15);
+    // Mix so that close-together timestamps still differ in the kept bits.
+    let mixed = nanos.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ nanos.rotate_left(31);
+    mixed << 32
+}
+
+impl std::fmt::Debug for Tenant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tenant")
+            .field("id", &self.id)
+            .field("backend", &self.backend)
+            .finish()
+    }
+}
+
+impl Tenant {
+    /// The tenant id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The backend serving this tenant.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Runs one query and seals the resulting index list under a fresh
+    /// server-assigned nonce (returned in the reply).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the matcher's [`MatchError`] (bad query, wrong wire
+    /// format, …); a poisoned matcher lock reports
+    /// [`MatchError::WorkerPanicked`].
+    pub fn run(&self, query: &QueryPayload) -> Result<MatchedReply, MatchError> {
+        let (indices, stats, shard_stats) = {
+            let mut matcher = self
+                .matcher
+                .lock()
+                .map_err(|_| MatchError::WorkerPanicked)?;
+            matcher.reset_stats();
+            let indices = match query {
+                QueryPayload::Bits(bits) => matcher.find_all(bits)?,
+                QueryPayload::CmWire(bytes) => matcher.find_all_wire(bytes)?,
+            };
+            (indices, matcher.stats(), matcher.shard_stats())
+        };
+        let nonce = self.next_nonce.fetch_add(1, Ordering::Relaxed);
+        let (sealed_indices, latency) = self.channel.seal(&indices, nonce);
+        {
+            let mut totals = self.totals.lock().map_err(|_| MatchError::WorkerPanicked)?;
+            totals.0.merge(&stats);
+            totals.1 += 1;
+        }
+        Ok(MatchedReply {
+            nonce,
+            sealed_indices,
+            stats,
+            shard_stats,
+            seal_latency: Duration::from_secs_f64(latency),
+        })
+    }
+
+    /// Lifetime statistics: field-wise totals and the query count.
+    pub fn totals(&self) -> Result<(MatchStats, u64), MatchError> {
+        self.totals
+            .lock()
+            .map(|t| *t)
+            .map_err(|_| MatchError::WorkerPanicked)
+    }
+}
+
+/// The tenant id → tenant map a serving process is built around.
+#[derive(Debug, Default)]
+pub struct TenantRegistry {
+    tenants: HashMap<String, Arc<Tenant>>,
+}
+
+impl TenantRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a tenant: loads `database` into `matcher` (encrypting it
+    /// under the matcher's keys) and provisions the AES-256 index channel
+    /// with `channel_key` — the key the paper delivers to the client in
+    /// its offline step.
+    ///
+    /// # Errors
+    ///
+    /// [`MatchError::InvalidConfig`] for a duplicate or over-long id, and
+    /// whatever the matcher's `load_database` reports.
+    pub fn register(
+        &mut self,
+        id: &str,
+        mut matcher: Box<dyn ErasedMatcher>,
+        channel_key: &[u8; 32],
+        database: &BitString,
+    ) -> Result<(), MatchError> {
+        if id.is_empty() || id.len() > crate::wire::MAX_TENANT_ID {
+            return Err(MatchError::InvalidConfig("tenant id length out of range"));
+        }
+        if self.tenants.contains_key(id) {
+            return Err(MatchError::InvalidConfig("duplicate tenant id"));
+        }
+        matcher.load_database(database)?;
+        let tenant = Tenant {
+            id: id.to_string(),
+            backend: matcher.backend(),
+            matcher: Mutex::new(matcher),
+            channel: SecureIndexChannel::new(channel_key),
+            next_nonce: AtomicU64::new(nonce_prefix() | 1),
+            totals: Mutex::new((MatchStats::default(), 0)),
+        };
+        self.tenants.insert(id.to_string(), Arc::new(tenant));
+        Ok(())
+    }
+
+    /// Looks a tenant up by id.
+    ///
+    /// # Errors
+    ///
+    /// [`MatchError::UnknownTenant`] if no such tenant is registered.
+    pub fn get(&self, id: &str) -> Result<Arc<Tenant>, MatchError> {
+        self.tenants
+            .get(id)
+            .cloned()
+            .ok_or_else(|| MatchError::UnknownTenant(id.to_string()))
+    }
+
+    /// Lists the registered tenants, sorted by id.
+    pub fn list(&self) -> Vec<TenantInfo> {
+        let mut infos: Vec<TenantInfo> = self
+            .tenants
+            .values()
+            .map(|t| TenantInfo {
+                id: t.id().to_string(),
+                backend: t.backend().name().to_string(),
+            })
+            .collect();
+        infos.sort_by(|a, b| a.id.cmp(&b.id));
+        infos
+    }
+
+    /// Number of registered tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_core::{Backend, MatcherConfig};
+    use cm_ssd::SecureIndexChannel;
+
+    fn plain_matcher() -> Box<dyn ErasedMatcher> {
+        MatcherConfig::new(Backend::Plain).build().unwrap()
+    }
+
+    #[test]
+    fn registry_round_trips_queries_through_the_sealed_channel() {
+        let mut registry = TenantRegistry::new();
+        let data = BitString::from_ascii("tenant data with a needle inside");
+        let key = [0x42u8; 32];
+        registry
+            .register("alice", plain_matcher(), &key, &data)
+            .unwrap();
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.list()[0].id, "alice");
+
+        let tenant = registry.get("alice").unwrap();
+        let query = QueryPayload::Bits(BitString::from_ascii("needle"));
+        let reply = tenant.run(&query).unwrap();
+        let opened = SecureIndexChannel::new(&key).open(&reply.sealed_indices, reply.nonce);
+        assert_eq!(opened, data.find_all(&BitString::from_ascii("needle")));
+        assert_eq!(tenant.totals().unwrap().1, 1);
+        // Nonces are tenant-assigned and never repeat: two identical
+        // queries must not share an AES-CTR keystream.
+        let again = tenant.run(&query).unwrap();
+        assert_ne!(again.nonce, reply.nonce);
+        assert_ne!(again.sealed_indices, reply.sealed_indices);
+        // Per-shard stats always sum to the reply stats.
+        let mut sum = MatchStats::default();
+        for s in &reply.shard_stats {
+            sum.merge(s);
+        }
+        assert_eq!(sum, reply.stats);
+    }
+
+    #[test]
+    fn unknown_and_duplicate_tenants_are_typed_errors() {
+        let mut registry = TenantRegistry::new();
+        assert_eq!(
+            registry.get("ghost").err(),
+            Some(MatchError::UnknownTenant("ghost".to_string()))
+        );
+        let data = BitString::from_ascii("x");
+        registry
+            .register("dup", plain_matcher(), &[0; 32], &data)
+            .unwrap();
+        assert!(matches!(
+            registry.register("dup", plain_matcher(), &[0; 32], &data),
+            Err(MatchError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            registry.register("", plain_matcher(), &[0; 32], &data),
+            Err(MatchError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn wire_queries_to_hosted_tenants_fail_typed() {
+        let mut registry = TenantRegistry::new();
+        registry
+            .register(
+                "plain",
+                plain_matcher(),
+                &[1; 32],
+                &BitString::from_ascii("data"),
+            )
+            .unwrap();
+        let tenant = registry.get("plain").unwrap();
+        assert_eq!(
+            tenant.run(&QueryPayload::CmWire(vec![1, 2, 3])).err(),
+            Some(MatchError::WireQueryUnsupported(Backend::Plain))
+        );
+    }
+}

@@ -1,0 +1,699 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Framing: every message travels as `magic("CMS1") | len:u32-le |
+//! payload`, with `len` capped at [`MAX_FRAME_BYTES`] so a lying header
+//! can never drive an allocation. Payloads are tag-discriminated
+//! [`Request`]/[`Response`] messages encoded with fixed-width
+//! little-endian integers; encrypted queries ride in the `cm-bfv`-backed
+//! [`cm_core::EncryptedQuery::encode`] format and match results return as
+//! AES-sealed index lists ([`cm_ssd::SecureIndexChannel`]), so neither
+//! queries nor results cross the socket in the clear for
+//! CIPHERMATCH-family tenants.
+//!
+//! Every decode path returns a typed [`MatchError`] — truncated,
+//! oversized, or garbage bytes must never panic the peer (extending the
+//! `EncryptedDatabase::decode` hardening to the whole wire surface; the
+//! crate's proptests fuzz exactly this contract).
+
+use std::io::{Read, Write};
+use std::time::Duration;
+
+use cm_core::{Backend, BitString, MatchError, MatchStats};
+
+/// Frame magic: "CMS1".
+const FRAME_MAGIC: [u8; 4] = *b"CMS1";
+
+/// Hard cap on one frame's payload (64 MiB) — large enough for an
+/// encrypted query at paper parameters, small enough that a hostile
+/// length prefix cannot balloon memory.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Longest tenant id the protocol accepts.
+pub const MAX_TENANT_ID: usize = 255;
+
+/// A client→server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness + capability probe; answered by [`Response::Pong`] with
+    /// the full [`Backend::WIRE`] listing.
+    Ping,
+    /// Lists the registered tenants; answered by [`Response::Tenants`].
+    ListTenants,
+    /// Runs one match query for `tenant`; answered by
+    /// [`Response::Matched`]. The AES-CTR nonce sealing the index list is
+    /// *server-assigned* (monotonic per tenant) and returned in the
+    /// response — client-chosen nonces would let two connections reuse
+    /// one keystream.
+    Match {
+        /// Target tenant id.
+        tenant: String,
+        /// The query itself.
+        query: QueryPayload,
+    },
+    /// Reads a tenant's lifetime statistics; answered by
+    /// [`Response::TenantStats`].
+    TenantStats {
+        /// Target tenant id.
+        tenant: String,
+    },
+}
+
+/// How a query travels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryPayload {
+    /// Plaintext query bits, for hosted-key tenants: the server-side
+    /// matcher owns the keys and encrypts the query itself (every
+    /// [`Backend`] supports this mode).
+    Bits(BitString),
+    /// An already-encrypted query in the CIPHERMATCH wire format
+    /// ([`cm_core::EncryptedQuery::encode`]), for client-key tenants:
+    /// the server never sees the pattern (`ciphermatch` and `ifp`).
+    CmWire(Vec<u8>),
+}
+
+/// Identity and backend of a registered tenant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantInfo {
+    /// The tenant id used in [`Request::Match`].
+    pub id: String,
+    /// The backend serving this tenant (a [`Backend::name`] string).
+    pub backend: String,
+}
+
+/// A server→client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Liveness answer: every backend this server build can serve.
+    Pong {
+        /// [`Backend::WIRE`] names.
+        backends: Vec<String>,
+    },
+    /// The registered tenants.
+    Tenants(Vec<TenantInfo>),
+    /// One query's result.
+    Matched {
+        /// The server-assigned AES-CTR nonce the index list was sealed
+        /// with — unique per tenant, so no two replies under one channel
+        /// key ever share a keystream.
+        nonce: u64,
+        /// The AES-sealed index list
+        /// ([`cm_ssd::SecureIndexChannel::seal`] under `nonce`).
+        sealed_indices: Vec<u8>,
+        /// Statistics this query added to the tenant's matcher.
+        stats: MatchStats,
+        /// Per-shard breakdown; field-wise sums to `stats` for sharded
+        /// tenants, a single entry equal to `stats` otherwise.
+        shard_stats: Vec<MatchStats>,
+        /// Modeled hardware latency of sealing the index list.
+        seal_latency: Duration,
+    },
+    /// A tenant's lifetime statistics.
+    TenantStats {
+        /// Field-wise totals since registration.
+        stats: MatchStats,
+        /// Queries served.
+        queries: u64,
+    },
+    /// The request failed; `error` is the server-side [`MatchError`]
+    /// (static-string payloads survive as `"remote"`).
+    Error(MatchError),
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+fn io_err(what: &str, e: std::io::Error) -> MatchError {
+    MatchError::Transport(format!("{what}: {e}"))
+}
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// [`MatchError::Frame`] if the payload exceeds [`MAX_FRAME_BYTES`];
+/// [`MatchError::Transport`] on socket failure.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), MatchError> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(MatchError::Frame("payload exceeds the frame size cap"));
+    }
+    let mut header = [0u8; 8];
+    header[..4].copy_from_slice(&FRAME_MAGIC);
+    header[4..].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&header)
+        .map_err(|e| io_err("write frame header", e))?;
+    w.write_all(payload)
+        .map_err(|e| io_err("write frame payload", e))?;
+    w.flush().map_err(|e| io_err("flush frame", e))?;
+    Ok(())
+}
+
+/// Reads exactly `buf.len()` bytes; `Ok(false)` means the peer closed the
+/// connection cleanly before the first byte (only honored when
+/// `eof_ok`).
+fn read_fully<R: Read>(r: &mut R, buf: &mut [u8], eof_ok: bool) -> Result<bool, MatchError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) if got == 0 && eof_ok => return Ok(false),
+            Ok(0) => return Err(MatchError::Transport("unexpected end of stream".into())),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(io_err("read", e)),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one frame; `Ok(None)` is a clean end of stream at a frame
+/// boundary.
+///
+/// # Errors
+///
+/// [`MatchError::Frame`] on bad magic or an oversized length prefix,
+/// [`MatchError::Transport`] on socket failure or mid-frame EOF.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, MatchError> {
+    let mut header = [0u8; 8];
+    if !read_fully(r, &mut header, true)? {
+        return Ok(None);
+    }
+    if header[..4] != FRAME_MAGIC {
+        return Err(MatchError::Frame("bad frame magic"));
+    }
+    let len = u32::from_le_bytes(header[4..].try_into().unwrap()) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(MatchError::Frame("frame length exceeds the size cap"));
+    }
+    let mut payload = vec![0u8; len];
+    read_fully(r, &mut payload, false)?;
+    Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------------------
+// Message encoding primitives
+// ---------------------------------------------------------------------------
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, data: &[u8]) {
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out.extend_from_slice(data);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize);
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_bits(out: &mut Vec<u8>, bits: &BitString) {
+    put_u64(out, bits.len() as u64);
+    let mut packed = vec![0u8; bits.len().div_ceil(8)];
+    for (i, &b) in bits.bits().iter().enumerate() {
+        if b {
+            packed[i / 8] |= 1 << (7 - i % 8);
+        }
+    }
+    out.extend_from_slice(&packed);
+}
+
+fn put_stats(out: &mut Vec<u8>, s: &MatchStats) {
+    for v in [
+        s.hom_adds,
+        s.hom_muls,
+        s.rotations,
+        s.bootstraps,
+        s.bytes_moved,
+        s.flash_wear,
+        s.add_time.as_nanos() as u64,
+        s.mul_time.as_nanos() as u64,
+    ] {
+        put_u64(out, v);
+    }
+}
+
+/// Bounds-checked message reader; every failure is a typed
+/// [`MatchError::Frame`].
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8], MatchError> {
+        if len > self.remaining() {
+            return Err(MatchError::Frame("message truncated"));
+        }
+        let out = &self.data[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, MatchError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, MatchError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, MatchError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, MatchError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, MatchError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn str(&mut self) -> Result<String, MatchError> {
+        let len = self.u16()? as usize;
+        String::from_utf8(self.take(len)?.to_vec())
+            .map_err(|_| MatchError::Frame("string is not UTF-8"))
+    }
+
+    fn tenant_id(&mut self) -> Result<String, MatchError> {
+        let id = self.str()?;
+        if id.is_empty() || id.len() > MAX_TENANT_ID {
+            return Err(MatchError::Frame("tenant id length out of range"));
+        }
+        Ok(id)
+    }
+
+    fn bits(&mut self) -> Result<BitString, MatchError> {
+        let bit_len = self.u64()? as usize;
+        let byte_len = bit_len.div_ceil(8);
+        if byte_len > self.remaining() {
+            return Err(MatchError::Frame("bit string longer than its frame"));
+        }
+        let packed = self.take(byte_len)?;
+        let mut out = BitString::new();
+        for i in 0..bit_len {
+            out.push(packed[i / 8] >> (7 - i % 8) & 1 == 1);
+        }
+        Ok(out)
+    }
+
+    fn stats(&mut self) -> Result<MatchStats, MatchError> {
+        Ok(MatchStats {
+            hom_adds: self.u64()?,
+            hom_muls: self.u64()?,
+            rotations: self.u64()?,
+            bootstraps: self.u64()?,
+            bytes_moved: self.u64()?,
+            flash_wear: self.u64()?,
+            add_time: Duration::from_nanos(self.u64()?),
+            mul_time: Duration::from_nanos(self.u64()?),
+        })
+    }
+
+    fn finish(self) -> Result<(), MatchError> {
+        if self.remaining() != 0 {
+            return Err(MatchError::Frame("trailing bytes after message"));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Error codec
+// ---------------------------------------------------------------------------
+
+/// `&'static str` payloads cannot round-trip a wire hop; they surface on
+/// the client as this placeholder.
+const REMOTE: &str = "remote";
+
+fn put_error(out: &mut Vec<u8>, e: &MatchError) {
+    use cm_bfv::DecodeError;
+    let (tag, a, b, text): (u8, u64, u64, &str) = match e {
+        MatchError::NoIndexGenerator => (0, 0, 0, ""),
+        MatchError::NoDatabase => (1, 0, 0, ""),
+        MatchError::EmptyQuery => (2, 0, 0, ""),
+        MatchError::QueryTooLong { max, got } => (3, *max as u64, *got as u64, ""),
+        MatchError::WindowMismatch { expected, got } => (4, *expected as u64, *got as u64, ""),
+        MatchError::WorkerPanicked => (5, 0, 0, ""),
+        MatchError::InvalidConfig(what) => (6, 0, 0, *what),
+        MatchError::Decode(d) => {
+            let code = match d {
+                DecodeError::Truncated => 0,
+                DecodeError::BadMagic => 1,
+                DecodeError::BadHeader(_) => 2,
+                DecodeError::CoefficientOverflow => 3,
+            };
+            (7, code, 0, "")
+        }
+        MatchError::WireQueryUnsupported(backend) => (8, 0, 0, backend.name()),
+        MatchError::UnknownBackend(name) => (9, 0, 0, name.as_str()),
+        MatchError::UnknownTenant(id) => (10, 0, 0, id.as_str()),
+        MatchError::Frame(what) => (11, 0, 0, *what),
+        MatchError::Transport(what) => (12, 0, 0, what.as_str()),
+    };
+    out.push(tag);
+    put_u64(out, a);
+    put_u64(out, b);
+    // Never slice mid-codepoint: an overlong message is summarized.
+    let text = if text.len() <= u16::MAX as usize {
+        text
+    } else {
+        "error message too long for the wire"
+    };
+    put_str(out, text);
+}
+
+fn read_error(r: &mut Reader<'_>) -> Result<MatchError, MatchError> {
+    use cm_bfv::DecodeError;
+    let tag = r.u8()?;
+    let a = r.u64()? as usize;
+    let b = r.u64()? as usize;
+    let text = r.str()?;
+    Ok(match tag {
+        0 => MatchError::NoIndexGenerator,
+        1 => MatchError::NoDatabase,
+        2 => MatchError::EmptyQuery,
+        3 => MatchError::QueryTooLong { max: a, got: b },
+        4 => MatchError::WindowMismatch {
+            expected: a,
+            got: b,
+        },
+        5 => MatchError::WorkerPanicked,
+        6 => MatchError::InvalidConfig(REMOTE),
+        7 => MatchError::Decode(match a {
+            0 => DecodeError::Truncated,
+            1 => DecodeError::BadMagic,
+            2 => DecodeError::BadHeader(REMOTE),
+            _ => DecodeError::CoefficientOverflow,
+        }),
+        8 => MatchError::WireQueryUnsupported(
+            Backend::parse(&text).map_err(|_| MatchError::Frame("unknown backend in error"))?,
+        ),
+        9 => MatchError::UnknownBackend(text),
+        10 => MatchError::UnknownTenant(text),
+        11 => MatchError::Frame(REMOTE),
+        12 => MatchError::Transport(text),
+        _ => return Err(MatchError::Frame("unknown error tag")),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Request / Response codecs
+// ---------------------------------------------------------------------------
+
+impl Request {
+    /// Serializes the request into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Ping => out.push(0),
+            Request::ListTenants => out.push(1),
+            Request::Match { tenant, query } => {
+                out.push(2);
+                put_str(&mut out, tenant);
+                match query {
+                    QueryPayload::Bits(bits) => {
+                        out.push(0);
+                        put_bits(&mut out, bits);
+                    }
+                    QueryPayload::CmWire(bytes) => {
+                        out.push(1);
+                        put_bytes(&mut out, bytes);
+                    }
+                }
+            }
+            Request::TenantStats { tenant } => {
+                out.push(3);
+                put_str(&mut out, tenant);
+            }
+        }
+        out
+    }
+
+    /// Decodes a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatchError::Frame`] on truncated, oversized, or garbage
+    /// bytes; never panics.
+    pub fn decode(data: &[u8]) -> Result<Self, MatchError> {
+        let mut r = Reader::new(data);
+        let req = match r.u8()? {
+            0 => Request::Ping,
+            1 => Request::ListTenants,
+            2 => {
+                let tenant = r.tenant_id()?;
+                let query = match r.u8()? {
+                    0 => QueryPayload::Bits(r.bits()?),
+                    1 => QueryPayload::CmWire(r.bytes()?),
+                    _ => return Err(MatchError::Frame("unknown query payload tag")),
+                };
+                Request::Match { tenant, query }
+            }
+            3 => Request::TenantStats {
+                tenant: r.tenant_id()?,
+            },
+            _ => return Err(MatchError::Frame("unknown request tag")),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serializes the response into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Pong { backends } => {
+                out.push(0);
+                out.extend_from_slice(&(backends.len() as u16).to_le_bytes());
+                for b in backends {
+                    put_str(&mut out, b);
+                }
+            }
+            Response::Tenants(tenants) => {
+                out.push(1);
+                out.extend_from_slice(&(tenants.len() as u16).to_le_bytes());
+                for t in tenants {
+                    put_str(&mut out, &t.id);
+                    put_str(&mut out, &t.backend);
+                }
+            }
+            Response::Matched {
+                nonce,
+                sealed_indices,
+                stats,
+                shard_stats,
+                seal_latency,
+            } => {
+                out.push(2);
+                put_u64(&mut out, *nonce);
+                put_bytes(&mut out, sealed_indices);
+                put_stats(&mut out, stats);
+                out.extend_from_slice(&(shard_stats.len() as u16).to_le_bytes());
+                for s in shard_stats {
+                    put_stats(&mut out, s);
+                }
+                put_u64(&mut out, seal_latency.as_nanos() as u64);
+            }
+            Response::TenantStats { stats, queries } => {
+                out.push(3);
+                put_stats(&mut out, stats);
+                put_u64(&mut out, *queries);
+            }
+            Response::Error(e) => {
+                out.push(4);
+                put_error(&mut out, e);
+            }
+        }
+        out
+    }
+
+    /// Decodes a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatchError::Frame`] on truncated, oversized, or garbage
+    /// bytes; never panics.
+    pub fn decode(data: &[u8]) -> Result<Self, MatchError> {
+        let mut r = Reader::new(data);
+        let resp = match r.u8()? {
+            0 => {
+                let count = r.u16()? as usize;
+                if count > Backend::WIRE.len() * 4 {
+                    return Err(MatchError::Frame("implausible backend count"));
+                }
+                let mut backends = Vec::with_capacity(count);
+                for _ in 0..count {
+                    backends.push(r.str()?);
+                }
+                Response::Pong { backends }
+            }
+            1 => {
+                let count = r.u16()? as usize;
+                // Each listed tenant costs at least its two length
+                // prefixes; bound the allocation by the actual payload.
+                if count > r.remaining() / 4 {
+                    return Err(MatchError::Frame("implausible tenant count"));
+                }
+                let mut tenants = Vec::with_capacity(count);
+                for _ in 0..count {
+                    tenants.push(TenantInfo {
+                        id: r.str()?,
+                        backend: r.str()?,
+                    });
+                }
+                Response::Tenants(tenants)
+            }
+            2 => {
+                let nonce = r.u64()?;
+                let sealed_indices = r.bytes()?;
+                let stats = r.stats()?;
+                let count = r.u16()? as usize;
+                // One serialized MatchStats is 64 bytes.
+                if count > r.remaining() / 64 {
+                    return Err(MatchError::Frame("implausible shard count"));
+                }
+                let mut shard_stats = Vec::with_capacity(count);
+                for _ in 0..count {
+                    shard_stats.push(r.stats()?);
+                }
+                let seal_latency = Duration::from_nanos(r.u64()?);
+                Response::Matched {
+                    nonce,
+                    sealed_indices,
+                    stats,
+                    shard_stats,
+                    seal_latency,
+                }
+            }
+            3 => Response::TenantStats {
+                stats: r.stats()?,
+                queries: r.u64()?,
+            },
+            4 => Response::Error(read_error(&mut r)?),
+            _ => return Err(MatchError::Frame("unknown response tag")),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let payload = b"the payload".to_vec();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor).unwrap(), Some(payload));
+        assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn lying_frame_lengths_are_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"CMS1");
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &buf[..]),
+            Err(MatchError::Frame(_))
+        ));
+        // Bad magic.
+        let mut bad = Vec::new();
+        write_frame(&mut bad, b"x").unwrap();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            read_frame(&mut &bad[..]),
+            Err(MatchError::Frame(_))
+        ));
+        // Mid-frame EOF.
+        let mut trunc = Vec::new();
+        write_frame(&mut trunc, b"four bytes short").unwrap();
+        trunc.truncate(trunc.len() - 4);
+        assert!(matches!(
+            read_frame(&mut &trunc[..]),
+            Err(MatchError::Transport(_))
+        ));
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let samples = [
+            Request::Ping,
+            Request::ListTenants,
+            Request::Match {
+                tenant: "alice".into(),
+                query: QueryPayload::Bits(BitString::from_ascii("needle")),
+            },
+            Request::Match {
+                tenant: "bob".into(),
+                query: QueryPayload::CmWire(vec![1, 2, 3, 255]),
+            },
+            Request::TenantStats {
+                tenant: "carol".into(),
+            },
+        ];
+        for req in samples {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let stats = MatchStats {
+            hom_adds: 10,
+            bytes_moved: 4096,
+            flash_wear: 0,
+            add_time: Duration::from_micros(123),
+            ..MatchStats::default()
+        };
+        let samples = [
+            Response::Pong {
+                backends: Backend::WIRE.iter().map(|b| b.name().to_string()).collect(),
+            },
+            Response::Tenants(vec![TenantInfo {
+                id: "alice".into(),
+                backend: "ciphermatch".into(),
+            }]),
+            Response::Matched {
+                nonce: u64::MAX,
+                sealed_indices: vec![9; 40],
+                stats,
+                shard_stats: vec![stats, MatchStats::default()],
+                seal_latency: Duration::from_nanos(126),
+            },
+            Response::TenantStats { stats, queries: 3 },
+            Response::Error(MatchError::QueryTooLong { max: 8, got: 99 }),
+            Response::Error(MatchError::UnknownTenant("mallory".into())),
+        ];
+        for resp in samples {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn message_decoders_reject_trailing_garbage() {
+        let mut bytes = Request::Ping.encode();
+        bytes.push(0);
+        assert!(Request::decode(&bytes).is_err());
+        let mut bytes = Response::Pong { backends: vec![] }.encode();
+        bytes.push(7);
+        assert!(Response::decode(&bytes).is_err());
+    }
+}

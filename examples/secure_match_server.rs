@@ -1,0 +1,134 @@
+//! The serving subsystem end to end: one process, two tenants with
+//! different key material — one on sharded CM-SW ([`Backend::Ciphermatch`]),
+//! one on the in-flash CM-IFP engine — answering encrypted queries
+//! concurrently over the TCP wire protocol.
+//!
+//! Per tenant, the flow is the paper's Figure 6: the key owner encrypts
+//! the database once and provisions the server (delegated index
+//! generation + AES channel key, the offline step); queries are encrypted
+//! client-side with the tenant's [`QueryKit`], travel as binary wire
+//! frames, run sharded on the host or inside the simulated SSD, and only
+//! AES-sealed index lists come back.
+//!
+//! Run with: `cargo run --release --example secure_match_server`
+
+use std::sync::Arc;
+
+use cm_bfv::BfvParams;
+use cm_core::BitString;
+use cm_flash::FlashGeometry;
+use cm_server::{
+    IfpMatcher, MatchClient, MatchServer, ShardedCmMatcher, TenantAccess, TenantRegistry,
+};
+use cm_ssd::TransposeMode;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ALICE_KEY: [u8; 32] = [0xA1; 32];
+const BOB_KEY: [u8; 32] = [0xB2; 32];
+
+fn main() {
+    // --- Offline provisioning: two tenants, two key domains ----------
+    let alice_data = {
+        let bytes: Vec<u8> = (0..1500usize).map(|i| (i * 41 % 249) as u8).collect();
+        BitString::from_bytes(&bytes)
+    };
+    let bob_data = BitString::from_ascii(
+        "bob keeps his genome fragments in the drive and the drive does the matching",
+    );
+
+    // Alice: CM-SW sharded across 4 worker threads. (The insecure test
+    // parameter set keeps the demo fast; swap in
+    // BfvParams::ciphermatch_1024() for the paper's set.)
+    let alice = ShardedCmMatcher::new(BfvParams::insecure_test_add(), 4, 11).unwrap();
+    let alice_kit = alice.query_kit();
+
+    // Bob: CM-IFP — the encrypted database lives inside a simulated SSD
+    // and `Hom-Add` runs in the flash array's latches.
+    let mut rng = StdRng::seed_from_u64(22);
+    let bob = IfpMatcher::new(
+        BfvParams::insecure_test_pow2(),
+        FlashGeometry::tiny_test(),
+        TransposeMode::Hardware,
+        &mut rng,
+    )
+    .unwrap();
+    let bob_kit = bob.query_kit();
+
+    let mut registry = TenantRegistry::new();
+    registry
+        .register("alice", Box::new(alice), &ALICE_KEY, &alice_data)
+        .unwrap();
+    registry
+        .register("bob", cm_core::erase(bob, 22), &BOB_KEY, &bob_data)
+        .unwrap();
+
+    // --- Serve --------------------------------------------------------
+    let server = MatchServer::new(registry).spawn("127.0.0.1:0").unwrap();
+    let addr = server.addr();
+    println!("serving 2 tenants on {addr}");
+    {
+        let mut probe = MatchClient::connect(addr).unwrap();
+        println!("backends: {}", probe.backends().unwrap().join(", "));
+        for t in probe.tenants().unwrap() {
+            println!("tenant {:10} -> backend {}", t.id, t.backend);
+        }
+    }
+
+    // --- Concurrent clients -------------------------------------------
+    let alice_kit = Arc::new(alice_kit);
+    let bob_kit = Arc::new(bob_kit);
+    std::thread::scope(|scope| {
+        let alice_slices = [(24usize, 32usize), (8192 - 13, 40), (6000, 16)];
+        for (i, (start, len)) in alice_slices.into_iter().enumerate() {
+            let (kit, data) = (Arc::clone(&alice_kit), &alice_data);
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(100 + i as u64);
+                let pattern = data.slice(start, len);
+                let encoded = kit.encode_query(&pattern, &mut rng).unwrap();
+                let mut client = MatchClient::connect(addr).unwrap();
+                let reply = client
+                    .search_encoded(&TenantAccess::new("alice", &ALICE_KEY), &encoded)
+                    .unwrap();
+                assert_eq!(reply.indices, data.find_all(&pattern));
+                let per_shard: Vec<u64> = reply.shard_stats.iter().map(|s| s.hom_adds).collect();
+                println!(
+                    "alice: {len:2}-bit query at {start:5} -> {} match(es), \
+                     hom-adds per shard {per_shard:?}",
+                    reply.indices.len()
+                );
+            });
+        }
+        for (i, pattern) in ["drive", "genome fragments"].into_iter().enumerate() {
+            let (kit, data) = (Arc::clone(&bob_kit), &bob_data);
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(200 + i as u64);
+                let pattern = BitString::from_ascii(pattern);
+                let encoded = kit.encode_query(&pattern, &mut rng).unwrap();
+                let mut client = MatchClient::connect(addr).unwrap();
+                let reply = client
+                    .search_encoded(&TenantAccess::new("bob", &BOB_KEY), &encoded)
+                    .unwrap();
+                assert_eq!(reply.indices, data.find_all(&pattern));
+                assert_eq!(reply.stats.flash_wear, 0);
+                println!(
+                    "bob:   {:2}-bit query in-flash   -> {} match(es), \
+                     {} hom-adds, flash wear {}",
+                    pattern.len(),
+                    reply.indices.len(),
+                    reply.stats.hom_adds,
+                    reply.stats.flash_wear
+                );
+            });
+        }
+    });
+
+    // --- Lifetime accounting ------------------------------------------
+    let mut probe = MatchClient::connect(addr).unwrap();
+    for tenant in ["alice", "bob"] {
+        let (totals, queries) = probe.tenant_stats(tenant).unwrap();
+        println!("totals {tenant:6} -> {queries} queries, {totals}");
+    }
+    server.shutdown();
+    println!("server stopped cleanly");
+}

@@ -14,6 +14,9 @@
 //!   Boolean baseline's substrate);
 //! * [`core`] — the CIPHERMATCH algorithm, its baselines and the
 //!   client–server protocol;
+//! * [`server`] — the sharded, multi-tenant serving subsystem: binary
+//!   wire protocol over TCP, thread-per-shard execution, and the CM-IFP
+//!   engine as a first-class backend;
 //! * [`flash`] / [`ssd`] — the 3D NAND + SSD simulators with the `bop_add`
 //!   in-flash adder and `CM-search` command;
 //! * [`pum`] — the SIMDRAM-style processing-using-memory model;
@@ -52,6 +55,7 @@ pub use cm_core as core;
 pub use cm_flash as flash;
 pub use cm_hemath as hemath;
 pub use cm_pum as pum;
+pub use cm_server as server;
 pub use cm_sim as sim;
 pub use cm_ssd as ssd;
 pub use cm_tfhe as tfhe;

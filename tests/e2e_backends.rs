@@ -134,6 +134,9 @@ fn heterogeneous_registry_serves_every_backend() {
             Backend::Batched => assert!(stats.hom_muls > 0 && stats.rotations > 0),
             Backend::Boolean => assert!(stats.bootstraps > 0),
             Backend::Plain => assert_eq!(stats.total_ops(), 0),
+            // Addition-only like CM-SW; its registry entry is built by
+            // cm_server (it needs an SSD device), covered in e2e_server.
+            Backend::Ifp => unreachable!("MatcherConfig cannot build the IFP backend"),
         }
     }
 }

@@ -1,0 +1,259 @@
+//! End-to-end serving test (the CI "server smoke"): boots a `cm_server`
+//! process-in-a-thread on a localhost ephemeral port, registers three
+//! tenants with different key material — sharded CM-SW, the in-flash
+//! CM-IFP engine, and a hosted plaintext reference — and fires concurrent
+//! TCP queries at all of them.
+//!
+//! Checked properties:
+//! * every decrypted (AES-opened) index list equals the plaintext ground
+//!   truth, including shard-boundary-straddling patterns;
+//! * sharded execution demonstrably splits the database: each reply
+//!   carries one `MatchStats` per shard, every shard worked, and the
+//!   field-wise sum equals the reply total (and the tenant's lifetime
+//!   totals);
+//! * the IFP tenant's in-flash searches report **zero** program/erase
+//!   cycles (`flash_wear == 0`) while still counting `Hom-Add`s;
+//! * protocol failures (unknown tenant, wire queries to a backend
+//!   without a wire format, truncated encrypted queries) surface as typed
+//!   errors, never hangs or panics.
+
+use std::sync::Arc;
+
+use cm_bfv::BfvParams;
+use cm_core::{Backend, BitString, MatchError, MatchStats, MatcherConfig};
+use cm_flash::FlashGeometry;
+use cm_server::{
+    IfpMatcher, MatchClient, MatchReply, MatchServer, ShardedCmMatcher, TenantAccess,
+    TenantRegistry,
+};
+use cm_ssd::TransposeMode;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ALICE_KEY: [u8; 32] = [0xA1; 32];
+const BOB_KEY: [u8; 32] = [0xB0; 32];
+const CAROL_KEY: [u8; 32] = [0xC4; 32];
+
+const ALICE_SHARDS: usize = 3;
+
+fn alice_db() -> BitString {
+    // ~1100 bytes -> 5 polynomials under insecure_test_add (2048 bits
+    // each), so 3 shards own [2, 2, 1] polynomials.
+    let bytes: Vec<u8> = (0..1100usize).map(|i| (i * 37 % 251) as u8).collect();
+    BitString::from_bytes(&bytes)
+}
+
+fn bob_db() -> BitString {
+    BitString::from_ascii(
+        "the in-flash engine answers encrypted queries from inside the ssd \
+         without wearing out a single cell of the array",
+    )
+}
+
+fn carol_db() -> BitString {
+    BitString::from_ascii("carol hosts her keys on the server and queries in the clear")
+}
+
+fn assert_shards_sum_to_total(reply: &MatchReply) {
+    let mut sum = MatchStats::default();
+    for s in &reply.shard_stats {
+        sum.merge(s);
+    }
+    assert_eq!(sum, reply.stats, "per-shard stats must sum to the total");
+}
+
+#[test]
+fn concurrent_multi_tenant_serving_over_tcp() {
+    // --- Provisioning (the paper's offline step, in-process) ---------
+    let alice = ShardedCmMatcher::new(BfvParams::insecure_test_add(), ALICE_SHARDS, 1001).unwrap();
+    let alice_kit = Arc::new(alice.query_kit());
+    let mut rng = StdRng::seed_from_u64(1002);
+    let bob = IfpMatcher::new(
+        BfvParams::insecure_test_pow2(),
+        FlashGeometry::tiny_test(),
+        TransposeMode::Software,
+        &mut rng,
+    )
+    .unwrap();
+    let bob_kit = Arc::new(bob.query_kit());
+
+    let mut registry = TenantRegistry::new();
+    registry
+        .register("alice", Box::new(alice), &ALICE_KEY, &alice_db())
+        .unwrap();
+    registry
+        .register("bob", cm_core::erase(bob, 1002), &BOB_KEY, &bob_db())
+        .unwrap();
+    registry
+        .register(
+            "carol",
+            MatcherConfig::new(Backend::Plain).build().unwrap(),
+            &CAROL_KEY,
+            &carol_db(),
+        )
+        .unwrap();
+
+    let server = MatchServer::new(registry).spawn("127.0.0.1:0").unwrap();
+    let addr = server.addr();
+
+    // --- Discovery ---------------------------------------------------
+    let mut probe = MatchClient::connect(addr).unwrap();
+    let backends = probe.backends().unwrap();
+    assert!(backends.contains(&"ifp".to_string()), "{backends:?}");
+    assert_eq!(backends.len(), Backend::WIRE.len());
+    let tenants = probe.tenants().unwrap();
+    assert_eq!(
+        tenants
+            .iter()
+            .map(|t| (t.id.as_str(), t.backend.as_str()))
+            .collect::<Vec<_>>(),
+        vec![("alice", "ciphermatch"), ("bob", "ifp"), ("carol", "plain")]
+    );
+
+    // --- Concurrent query fan-out: 10 clients, 3 tenants -------------
+    let a_data = alice_db();
+    let b_data = bob_db();
+    let c_data = carol_db();
+    // Alice's patterns include two that straddle shard boundaries (2048
+    // bits per polynomial, shards own polys [0,2), [2,4), [4,5)).
+    let alice_slices: [(usize, usize); 5] =
+        [(0, 16), (4090, 24), (8185, 22), (2040, 33), (5000, 18)];
+    let bob_patterns = ["encrypted", "the ssd", "wearing out"];
+    let carol_patterns = ["keys", "clear"];
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, &(start, len)) in alice_slices.iter().enumerate() {
+            let (kit, data, addr) = (Arc::clone(&alice_kit), &a_data, addr);
+            handles.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(7000 + i as u64);
+                let pattern = data.slice(start, len);
+                let encoded = kit.encode_query(&pattern, &mut rng).unwrap();
+                let mut client = MatchClient::connect(addr).unwrap();
+                let access = TenantAccess::new("alice", &ALICE_KEY);
+                let reply = client.search_encoded(&access, &encoded).unwrap();
+                assert_eq!(
+                    reply.indices,
+                    data.find_all(&pattern),
+                    "alice slice ({start}, {len})"
+                );
+                assert_eq!(reply.shard_stats.len(), ALICE_SHARDS);
+                assert!(
+                    reply.shard_stats.iter().all(|s| s.hom_adds > 0),
+                    "every shard must have run its Hom-Add sweep"
+                );
+                assert_shards_sum_to_total(&reply);
+            }));
+        }
+        for (i, pattern) in bob_patterns.iter().enumerate() {
+            let (kit, data, addr) = (Arc::clone(&bob_kit), &b_data, addr);
+            handles.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(8000 + i as u64);
+                let pattern = BitString::from_ascii(pattern);
+                let encoded = kit.encode_query(&pattern, &mut rng).unwrap();
+                let mut client = MatchClient::connect(addr).unwrap();
+                let access = TenantAccess::new("bob", &BOB_KEY);
+                let reply = client.search_encoded(&access, &encoded).unwrap();
+                assert_eq!(reply.indices, data.find_all(&pattern));
+                assert!(reply.stats.hom_adds > 0, "in-flash adds are counted");
+                assert_eq!(
+                    reply.stats.flash_wear, 0,
+                    "bop_add must consume zero program/erase cycles"
+                );
+                assert_shards_sum_to_total(&reply);
+            }));
+        }
+        for pattern in carol_patterns {
+            let (data, addr) = (&c_data, addr);
+            handles.push(scope.spawn(move || {
+                let pattern = BitString::from_ascii(pattern);
+                let mut client = MatchClient::connect(addr).unwrap();
+                let access = TenantAccess::new("carol", &CAROL_KEY);
+                let reply = client.search_bits(&access, &pattern).unwrap();
+                assert_eq!(reply.indices, data.find_all(&pattern));
+                assert_shards_sum_to_total(&reply);
+            }));
+        }
+        assert!(handles.len() >= 8, "the smoke test must fire >= 8 queries");
+        for handle in handles {
+            handle.join().expect("client thread panicked");
+        }
+    });
+
+    // --- Lifetime accounting -----------------------------------------
+    let (alice_totals, alice_queries) = probe.tenant_stats("alice").unwrap();
+    assert_eq!(alice_queries, alice_slices.len() as u64);
+    assert!(alice_totals.hom_adds > 0);
+    let (bob_totals, bob_queries) = probe.tenant_stats("bob").unwrap();
+    assert_eq!(bob_queries, bob_patterns.len() as u64);
+    assert_eq!(bob_totals.flash_wear, 0);
+
+    // --- Typed failure paths ------------------------------------------
+    assert_eq!(
+        probe
+            .search_bits(
+                &TenantAccess::new("mallory", &[0; 32]),
+                &BitString::from_ascii("x")
+            )
+            .err(),
+        Some(MatchError::UnknownTenant("mallory".to_string()))
+    );
+    assert_eq!(
+        probe
+            .search_encoded(&TenantAccess::new("carol", &CAROL_KEY), &[1, 2, 3])
+            .err(),
+        Some(MatchError::WireQueryUnsupported(Backend::Plain))
+    );
+    let mut rng = StdRng::seed_from_u64(9999);
+    let valid = alice_kit
+        .encode_query(&a_data.slice(8, 16), &mut rng)
+        .unwrap();
+    assert!(matches!(
+        probe
+            .search_encoded(
+                &TenantAccess::new("alice", &ALICE_KEY),
+                &valid[..valid.len() / 3]
+            )
+            .unwrap_err(),
+        MatchError::Decode(_)
+    ));
+    // The connection survives all three rejections.
+    assert_eq!(probe.tenants().unwrap().len(), 3);
+
+    server.shutdown();
+}
+
+/// A second, smaller boot proves the server is restartable within one
+/// process (fresh ephemeral port, fresh registry) and that wrong AES
+/// credentials fail *closed* — a reply sealed for the tenant's key
+/// cannot be opened with another.
+#[test]
+fn wrong_channel_key_fails_closed() {
+    let mut registry = TenantRegistry::new();
+    let data = BitString::from_ascii("sealed against the wrong key");
+    registry
+        .register(
+            "solo",
+            MatcherConfig::new(Backend::Plain).build().unwrap(),
+            &CAROL_KEY,
+            &data,
+        )
+        .unwrap();
+    let server = MatchServer::new(registry).spawn("127.0.0.1:0").unwrap();
+    let mut client = MatchClient::connect(server.addr()).unwrap();
+    let pattern = BitString::from_ascii("wrong");
+    let truth = data.find_all(&pattern);
+
+    // Right key: ground truth.
+    let good = client
+        .search_bits(&TenantAccess::new("solo", &CAROL_KEY), &pattern)
+        .unwrap();
+    assert_eq!(good.indices, truth);
+
+    // Wrong key: a typed error or garbage — never the real indices.
+    match client.search_bits(&TenantAccess::new("solo", &[0xEE; 32]), &pattern) {
+        Ok(reply) => assert_ne!(reply.indices, truth),
+        Err(e) => assert!(matches!(e, MatchError::Frame(_))),
+    }
+    server.shutdown();
+}
