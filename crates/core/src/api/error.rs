@@ -48,6 +48,12 @@ pub enum MatchError {
     UnknownBackend(String),
     /// A request named a tenant the serving process has not registered.
     UnknownTenant(String),
+    /// The serving process is at its configured connection limit and
+    /// rejected the connection instead of spawning past the bound.
+    ServerBusy {
+        /// The `max_connections` cap the server enforced.
+        max_connections: usize,
+    },
     /// A wire frame or message violated the protocol framing rules.
     Frame(&'static str),
     /// The transport under the wire protocol failed (socket I/O).
@@ -82,6 +88,10 @@ impl std::fmt::Display for MatchError {
             ),
             MatchError::UnknownBackend(name) => write!(f, "unknown backend name {name:?}"),
             MatchError::UnknownTenant(id) => write!(f, "unknown tenant {id:?}"),
+            MatchError::ServerBusy { max_connections } => write!(
+                f,
+                "server is serving its maximum of {max_connections} connections; retry later"
+            ),
             MatchError::Frame(what) => write!(f, "malformed wire frame: {what}"),
             MatchError::Transport(what) => write!(f, "transport failure: {what}"),
         }

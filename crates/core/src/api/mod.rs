@@ -43,7 +43,7 @@ pub use backends::{
 };
 pub use config::{erase, Backend, ErasedMatcher, MatcherConfig};
 pub use error::MatchError;
-pub use stats::MatchStats;
+pub use stats::{MatchStats, StatsAccumulator};
 
 use rand::Rng;
 

@@ -1,5 +1,6 @@
 //! The unified execution-statistics type shared by every backend.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Homomorphic-operation counters and wall-time totals accumulated by a
@@ -78,6 +79,69 @@ impl std::fmt::Display for MatchStats {
     }
 }
 
+/// Lock-free lifetime totals: per-field atomic accumulation of per-query
+/// [`MatchStats`] plus a query counter.
+///
+/// This replaces the racy pattern of reset-then-read deltas on one shared
+/// matcher guarded by a mutex: callers take exact per-query stats from an
+/// executor outcome ([`crate::exec::ExecOutcome`]) and [`Self::record`]
+/// them here. A [`Self::snapshot`] taken while queries are in flight is
+/// field-wise consistent with *some* interleaving of whole-query records
+/// only after the writers quiesce; individual fields are always exact
+/// sums of recorded values.
+#[derive(Debug, Default)]
+pub struct StatsAccumulator {
+    hom_adds: AtomicU64,
+    hom_muls: AtomicU64,
+    rotations: AtomicU64,
+    bootstraps: AtomicU64,
+    bytes_moved: AtomicU64,
+    flash_wear: AtomicU64,
+    add_nanos: AtomicU64,
+    mul_nanos: AtomicU64,
+    queries: AtomicU64,
+}
+
+impl StatsAccumulator {
+    /// An all-zero accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one query's exact stats into the totals and counts the query.
+    pub fn record(&self, stats: &MatchStats) {
+        self.hom_adds.fetch_add(stats.hom_adds, Ordering::Relaxed);
+        self.hom_muls.fetch_add(stats.hom_muls, Ordering::Relaxed);
+        self.rotations.fetch_add(stats.rotations, Ordering::Relaxed);
+        self.bootstraps
+            .fetch_add(stats.bootstraps, Ordering::Relaxed);
+        self.bytes_moved
+            .fetch_add(stats.bytes_moved, Ordering::Relaxed);
+        self.flash_wear
+            .fetch_add(stats.flash_wear, Ordering::Relaxed);
+        self.add_nanos
+            .fetch_add(stats.add_time.as_nanos() as u64, Ordering::Relaxed);
+        self.mul_nanos
+            .fetch_add(stats.mul_time.as_nanos() as u64, Ordering::Relaxed);
+        self.queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The accumulated totals and the number of queries recorded.
+    pub fn snapshot(&self) -> (MatchStats, u64) {
+        let stats = MatchStats {
+            hom_adds: self.hom_adds.load(Ordering::Relaxed),
+            hom_muls: self.hom_muls.load(Ordering::Relaxed),
+            rotations: self.rotations.load(Ordering::Relaxed),
+            bootstraps: self.bootstraps.load(Ordering::Relaxed),
+            bytes_moved: self.bytes_moved.load(Ordering::Relaxed),
+            flash_wear: self.flash_wear.load(Ordering::Relaxed),
+            add_time: Duration::from_nanos(self.add_nanos.load(Ordering::Relaxed)),
+            mul_time: Duration::from_nanos(self.mul_nanos.load(Ordering::Relaxed)),
+        };
+        (stats, self.queries.load(Ordering::Relaxed))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,6 +167,30 @@ mod tests {
         assert_eq!(a.flash_wear, 12);
         assert_eq!(a.add_time, Duration::from_millis(20));
         assert_eq!(a.total_ops(), 20);
+    }
+
+    #[test]
+    fn accumulator_totals_equal_the_sum_of_recorded_stats() {
+        let acc = StatsAccumulator::new();
+        let a = MatchStats {
+            hom_adds: 3,
+            bytes_moved: 100,
+            add_time: Duration::from_millis(5),
+            ..MatchStats::default()
+        };
+        let b = MatchStats {
+            hom_adds: 7,
+            flash_wear: 1,
+            mul_time: Duration::from_millis(2),
+            ..MatchStats::default()
+        };
+        acc.record(&a);
+        acc.record(&b);
+        let (totals, queries) = acc.snapshot();
+        let mut expected = a;
+        expected.merge(&b);
+        assert_eq!(totals, expected);
+        assert_eq!(queries, 2);
     }
 
     #[test]

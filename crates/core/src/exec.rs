@@ -1,0 +1,563 @@
+//! The shared work-pool runtime every concurrent layer runs on.
+//!
+//! CIPHERMATCH's end-to-end win comes from keeping every level of the
+//! stack busy — packed SIMD lanes, parallel flash channels, overlapped
+//! data movement — and the serving stack mirrors that on the host side:
+//! instead of one threading scheme per layer (scoped threads here, a
+//! thread per shard there, a thread per connection somewhere else), every
+//! layer submits jobs to one runtime:
+//!
+//! * [`WorkerPool`] — N long-lived worker threads behind one mpsc job
+//!   queue, graceful drain-then-join shutdown on drop;
+//! * [`CompletionHandle`] — a future-without-async for one submitted job:
+//!   block on [`CompletionHandle::wait`], poll with
+//!   [`CompletionHandle::is_finished`], or drop it to detach the job;
+//! * [`ExecOutcome`] — one executed job's result bundled with the
+//!   [`MatchStats`] it accumulated and its wall-clock `elapsed` time, so
+//!   per-query accounting comes from job outcomes instead of racy
+//!   reset/read deltas on shared state;
+//! * [`MatcherPool`] — K `boxed_clone`'d matchers checked out per query,
+//!   the primitive that lets one tenant's queries run concurrently.
+//!
+//! Worker threads never die with the jobs they run: a panicking job is
+//! caught, reported as [`MatchError::WorkerPanicked`] through its handle,
+//! and the worker moves on to the next job.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::api::{ErasedMatcher, MatchError, MatchStats};
+
+/// A type-erased unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Locks a mutex, riding through poisoning: the pool's internal critical
+/// sections never panic, but a poisoned lock must not cascade into every
+/// later submit/wait.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// Completion handles
+// ---------------------------------------------------------------------------
+
+/// One executed job's result, with the statistics it accumulated and the
+/// wall time it took on its worker.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome<T> {
+    /// What the job returned.
+    pub result: T,
+    /// The [`MatchStats`] this one job accumulated (exact per-job
+    /// attribution — no reset/read delta on shared state).
+    pub stats: MatchStats,
+    /// Wall-clock time the job spent executing on its worker.
+    pub elapsed: Duration,
+}
+
+enum SlotState<T> {
+    Pending,
+    Done(T),
+    Panicked,
+}
+
+struct Slot<T> {
+    state: Mutex<SlotState<T>>,
+    cv: Condvar,
+}
+
+impl<T> Slot<T> {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(SlotState::Pending),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn fill(&self, state: SlotState<T>) {
+        *lock_unpoisoned(&self.state) = state;
+        self.cv.notify_all();
+    }
+}
+
+/// The receiving end of one submitted job — a future without async.
+///
+/// Dropping the handle detaches the job: it still runs to completion on
+/// its worker, its result is simply discarded.
+pub struct CompletionHandle<T> {
+    slot: Arc<Slot<T>>,
+}
+
+impl<T> std::fmt::Debug for CompletionHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompletionHandle")
+            .field("finished", &self.is_finished())
+            .finish()
+    }
+}
+
+impl<T> CompletionHandle<T> {
+    /// Whether the job has finished (successfully or by panicking).
+    pub fn is_finished(&self) -> bool {
+        !matches!(*lock_unpoisoned(&self.slot.state), SlotState::Pending)
+    }
+
+    /// Blocks until the job finishes and returns its result.
+    ///
+    /// # Errors
+    ///
+    /// [`MatchError::WorkerPanicked`] if the job panicked.
+    pub fn wait(self) -> Result<T, MatchError> {
+        let mut state = lock_unpoisoned(&self.slot.state);
+        loop {
+            match std::mem::replace(&mut *state, SlotState::Pending) {
+                SlotState::Pending => {
+                    state = self
+                        .slot
+                        .cv
+                        .wait(state)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                SlotState::Done(value) => return Ok(value),
+                SlotState::Panicked => return Err(MatchError::WorkerPanicked),
+            }
+        }
+    }
+}
+
+/// Waits on a batch of handles, preserving submission order.
+///
+/// # Errors
+///
+/// [`MatchError::WorkerPanicked`] if any job panicked (remaining handles
+/// are dropped, detaching their jobs).
+pub fn wait_all<T>(handles: Vec<CompletionHandle<T>>) -> Result<Vec<T>, MatchError> {
+    handles.into_iter().map(CompletionHandle::wait).collect()
+}
+
+// ---------------------------------------------------------------------------
+// The worker pool
+// ---------------------------------------------------------------------------
+
+struct Queue {
+    jobs: Mutex<(VecDeque<Job>, bool)>, // (pending jobs, shutting down)
+    cv: Condvar,
+}
+
+/// N long-lived worker threads behind one job queue.
+///
+/// Submitting never blocks (the queue is unbounded — admission control
+/// belongs to the layer above, e.g. the TCP server's `max_connections`);
+/// dropping the pool is a graceful shutdown: the queue closes, workers
+/// drain every job already submitted, then join.
+pub struct WorkerPool {
+    queue: Arc<Queue>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `workers` long-lived threads.
+    ///
+    /// # Errors
+    ///
+    /// [`MatchError::InvalidConfig`] for a zero worker count.
+    pub fn new(workers: usize) -> Result<Self, MatchError> {
+        if workers == 0 {
+            return Err(MatchError::InvalidConfig("worker count must be positive"));
+        }
+        let queue = Arc::new(Queue {
+            jobs: Mutex::new((VecDeque::new(), false)),
+            cv: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("cm-exec-{i}"))
+                    .spawn(move || worker_loop(&queue))
+                    .expect("spawning a pool worker thread")
+            })
+            .collect();
+        Ok(Self {
+            queue,
+            workers: handles,
+        })
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs submitted but not yet picked up by a worker.
+    pub fn queued_jobs(&self) -> usize {
+        lock_unpoisoned(&self.queue.jobs).0.len()
+    }
+
+    /// Submits a job, returning the handle that will carry its result.
+    /// A panic inside `job` is caught on the worker and surfaces as
+    /// [`MatchError::WorkerPanicked`] from [`CompletionHandle::wait`].
+    pub fn submit<T, F>(&self, job: F) -> CompletionHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let slot = Arc::new(Slot::new());
+        let fill = Arc::clone(&slot);
+        let run: Job = Box::new(move || {
+            match catch_unwind(AssertUnwindSafe(job)) {
+                Ok(value) => fill.fill(SlotState::Done(value)),
+                Err(_) => fill.fill(SlotState::Panicked),
+            };
+        });
+        {
+            let mut guard = lock_unpoisoned(&self.queue.jobs);
+            guard.0.push_back(run);
+        }
+        self.queue.cv.notify_one();
+        CompletionHandle { slot }
+    }
+
+    /// Submits a stats-producing job, timing it on the worker and bundling
+    /// the result into an [`ExecOutcome`].
+    pub fn submit_measured<T, F>(&self, job: F) -> CompletionHandle<ExecOutcome<T>>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> (T, MatchStats) + Send + 'static,
+    {
+        self.submit(move || {
+            let start = Instant::now();
+            let (result, stats) = job();
+            ExecOutcome {
+                result,
+                stats,
+                elapsed: start.elapsed(),
+            }
+        })
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        lock_unpoisoned(&self.queue.jobs).1 = true;
+        self.queue.cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(queue: &Queue) {
+    loop {
+        let job = {
+            let mut guard = lock_unpoisoned(&queue.jobs);
+            loop {
+                if let Some(job) = guard.0.pop_front() {
+                    break job;
+                }
+                if guard.1 {
+                    return; // queue closed and drained
+                }
+                guard = queue
+                    .cv
+                    .wait(guard)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        job(); // panics are caught inside the job wrapper
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Matcher checkout pools
+// ---------------------------------------------------------------------------
+
+/// K `boxed_clone`'d matchers checked out one per in-flight query.
+///
+/// Clones share the encrypted database (an `Arc` — see
+/// [`ErasedMatcher::database_fingerprint`]), so a pool costs K copies of
+/// the *key material and engine state only*, not K ciphertext copies.
+/// [`MatcherPool::run`] checks a matcher out (blocking while all K are
+/// busy), runs the query on the calling thread, and returns the exact
+/// per-query [`MatchStats`] as an [`ExecOutcome`] — the matcher is
+/// exclusively held, so the stats delta cannot race.
+pub struct MatcherPool {
+    idle: Mutex<Vec<Box<dyn ErasedMatcher>>>,
+    cv: Condvar,
+    size: usize,
+}
+
+impl std::fmt::Debug for MatcherPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MatcherPool")
+            .field("size", &self.size)
+            .finish()
+    }
+}
+
+impl MatcherPool {
+    /// Builds a pool of `workers` matchers: the template plus
+    /// `workers - 1` [`ErasedMatcher::boxed_clone`]s, each reseeded with a
+    /// distinct randomness stream derived from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// [`MatchError::InvalidConfig`] for a zero worker count.
+    pub fn new(
+        template: Box<dyn ErasedMatcher>,
+        workers: usize,
+        seed: u64,
+    ) -> Result<Self, MatchError> {
+        if workers == 0 {
+            return Err(MatchError::InvalidConfig("worker count must be positive"));
+        }
+        let mut matchers = Vec::with_capacity(workers);
+        for i in 1..workers {
+            let mut clone = template.boxed_clone();
+            clone.reseed(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            matchers.push(clone);
+        }
+        matchers.push(template);
+        Ok(Self {
+            idle: Mutex::new(matchers),
+            cv: Condvar::new(),
+            size: workers,
+        })
+    }
+
+    /// The pool size K.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Checks a matcher out, blocking while all K are busy. The guard
+    /// returns it to the pool on drop (including during unwinding).
+    pub fn checkout(&self) -> MatcherGuard<'_> {
+        let mut idle = lock_unpoisoned(&self.idle);
+        let matcher = loop {
+            if let Some(m) = idle.pop() {
+                break m;
+            }
+            idle = self
+                .cv
+                .wait(idle)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        };
+        MatcherGuard {
+            pool: self,
+            matcher: Some(matcher),
+        }
+    }
+
+    /// Checks a matcher out, zeroes its counters, runs `f` on it, and
+    /// returns `f`'s result with the exact stats and wall time of this one
+    /// call.
+    pub fn run<T>(&self, f: impl FnOnce(&mut dyn ErasedMatcher) -> T) -> ExecOutcome<T> {
+        let mut guard = self.checkout();
+        guard.reset_stats();
+        let start = Instant::now();
+        let result = f(&mut *guard);
+        ExecOutcome {
+            result,
+            stats: guard.stats(),
+            elapsed: start.elapsed(),
+        }
+    }
+
+    fn give_back(&self, matcher: Box<dyn ErasedMatcher>) {
+        lock_unpoisoned(&self.idle).push(matcher);
+        self.cv.notify_one();
+    }
+}
+
+/// An exclusively checked-out matcher; returns to its pool on drop.
+pub struct MatcherGuard<'a> {
+    pool: &'a MatcherPool,
+    matcher: Option<Box<dyn ErasedMatcher>>,
+}
+
+impl std::ops::Deref for MatcherGuard<'_> {
+    type Target = dyn ErasedMatcher;
+
+    fn deref(&self) -> &Self::Target {
+        self.matcher.as_deref().expect("matcher present until drop")
+    }
+}
+
+impl std::ops::DerefMut for MatcherGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        self.matcher
+            .as_deref_mut()
+            .expect("matcher present until drop")
+    }
+}
+
+impl Drop for MatcherGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(matcher) = self.matcher.take() {
+            self.pool.give_back(matcher);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{Backend, MatcherConfig};
+    use crate::bits::BitString;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn pool_runs_jobs_and_returns_results_in_order() {
+        let pool = WorkerPool::new(4).unwrap();
+        let handles: Vec<_> = (0..32).map(|i| pool.submit(move || i * i)).collect();
+        let results = wait_all(handles).unwrap();
+        assert_eq!(results, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_workers_is_a_typed_error() {
+        assert_eq!(
+            WorkerPool::new(0).err(),
+            Some(MatchError::InvalidConfig("worker count must be positive"))
+        );
+    }
+
+    #[test]
+    fn dropping_the_pool_drains_queued_jobs() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(1).unwrap();
+            for _ in 0..16 {
+                let ran = Arc::clone(&ran);
+                drop(pool.submit(move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                }));
+            }
+            // The single worker cannot have run all 16 yet; drop drains.
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn panicked_jobs_surface_without_killing_the_worker() {
+        let pool = WorkerPool::new(1).unwrap();
+        let bad = pool.submit(|| panic!("job dies"));
+        let good = pool.submit(|| 7usize);
+        assert_eq!(bad.wait(), Err(MatchError::WorkerPanicked));
+        assert_eq!(good.wait(), Ok(7));
+    }
+
+    #[test]
+    fn measured_jobs_report_stats_and_elapsed() {
+        let pool = WorkerPool::new(2).unwrap();
+        let stats = MatchStats {
+            hom_adds: 5,
+            ..MatchStats::default()
+        };
+        let outcome = pool
+            .submit_measured(move || {
+                std::thread::sleep(Duration::from_millis(2));
+                ("done", stats)
+            })
+            .wait()
+            .unwrap();
+        assert_eq!(outcome.result, "done");
+        assert_eq!(outcome.stats.hom_adds, 5);
+        assert!(outcome.elapsed >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn pool_actually_runs_jobs_concurrently() {
+        let pool = WorkerPool::new(2).unwrap();
+        let gate = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let gate = Arc::clone(&gate);
+                pool.submit(move || {
+                    let (m, cv) = &*gate;
+                    let mut in_flight = m.lock().unwrap();
+                    *in_flight += 1;
+                    cv.notify_all();
+                    // Each job waits for the other: only possible if the
+                    // pool really runs both at once.
+                    while *in_flight < 2 {
+                        let (guard, timeout) =
+                            cv.wait_timeout(in_flight, Duration::from_secs(5)).unwrap();
+                        in_flight = guard;
+                        if timeout.timed_out() {
+                            panic!("jobs never overlapped");
+                        }
+                    }
+                })
+            })
+            .collect();
+        wait_all(handles).unwrap();
+    }
+
+    #[test]
+    fn matcher_pool_checkout_blocks_until_a_matcher_returns() {
+        let template = MatcherConfig::new(Backend::Plain).build().unwrap();
+        let pool = Arc::new(MatcherPool::new(template, 1, 0).unwrap());
+        let guard = pool.checkout();
+        let pool2 = Arc::clone(&pool);
+        let waiter = std::thread::spawn(move || {
+            let _second = pool2.checkout(); // blocks until the guard drops
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!waiter.is_finished(), "checkout must block while K=1 busy");
+        drop(guard);
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn matcher_pool_run_reports_exact_per_query_stats() {
+        let mut template = MatcherConfig::new(Backend::Ciphermatch)
+            .insecure_test()
+            .seed(9)
+            .build()
+            .unwrap();
+        let data = BitString::from_ascii("exact per-query attribution");
+        template.load_database(&data).unwrap();
+        let pool = MatcherPool::new(template, 2, 9).unwrap();
+        let q = BitString::from_ascii("query");
+        let first = pool.run(|m| m.find_all(&q).unwrap());
+        let second = pool.run(|m| m.find_all(&q).unwrap());
+        assert_eq!(first.result, data.find_all(&q));
+        assert_eq!(second.result, data.find_all(&q));
+        // Same query, zeroed counters each time: identical exact stats,
+        // not an ever-growing lifetime aggregate.
+        assert!(first.stats.hom_adds > 0);
+        assert_eq!(first.stats.hom_adds, second.stats.hom_adds);
+    }
+
+    #[test]
+    fn matcher_pool_clones_share_the_database_allocation() {
+        let mut template = MatcherConfig::new(Backend::Ciphermatch)
+            .insecure_test()
+            .build()
+            .unwrap();
+        template
+            .load_database(&BitString::from_ascii("shared among K workers"))
+            .unwrap();
+        let fingerprint = template.database_fingerprint().unwrap();
+        let pool = MatcherPool::new(template, 3, 1).unwrap();
+        // Hold all three checkouts at once so every distinct pool member
+        // is inspected.
+        let guards = [pool.checkout(), pool.checkout(), pool.checkout()];
+        for guard in &guards {
+            assert_eq!(guard.database_fingerprint(), Some(fingerprint));
+        }
+    }
+}

@@ -42,12 +42,15 @@
 //! ```
 //!
 //! Multi-query traffic goes through [`MatchSession`], which fans a batch
-//! out across worker threads; the explicit [`Client`]/[`Server`] protocol
-//! roles of Algorithm 1 remain available for the single-backend CM-SW
-//! flow.
+//! out across a session-owned [`exec::WorkerPool`] — the shared work-pool
+//! runtime ([`exec`]) that every concurrent layer of the stack (sessions,
+//! tenant matcher pools, shard executors, connection handling) runs on;
+//! the explicit [`Client`]/[`Server`] protocol roles of Algorithm 1
+//! remain available for the single-backend CM-SW flow.
 
 pub mod api;
 mod bits;
+pub mod exec;
 mod index_gen;
 pub mod matchers;
 mod packing;
@@ -56,9 +59,10 @@ mod query;
 
 pub use api::{
     erase, Backend, BatchedMatcher, BooleanMatcher, CiphermatchMatcher, ErasedMatcher, MatchError,
-    MatchStats, MatcherConfig, PlainMatcher, SecureMatcher, YasudaMatcher,
+    MatchStats, MatcherConfig, PlainMatcher, SecureMatcher, StatsAccumulator, YasudaMatcher,
 };
 pub use bits::BitString;
+pub use exec::{wait_all, CompletionHandle, ExecOutcome, MatcherGuard, MatcherPool, WorkerPool};
 pub use index_gen::{generate_indices, SumTable};
 pub use matchers::batched::{BatchedDatabase, BatchedEngine};
 pub use matchers::boolean::{BooleanDatabase, BooleanEngine, BooleanGateCount};

@@ -18,6 +18,7 @@ use rand::Rng;
 
 use crate::api::{Backend, ErasedMatcher, MatchError, MatchStats, MatcherConfig};
 use crate::bits::BitString;
+use crate::exec::{wait_all, WorkerPool};
 use crate::matchers::ciphermatch::{
     CiphermatchEngine, EncryptedDatabase, EncryptedQuery, SearchResult,
 };
@@ -225,9 +226,10 @@ impl BatchReport {
 
 /// The multi-query service layer a multi-tenant server would call: owns a
 /// backend (keys included) built from a [`MatcherConfig`], accepts
-/// batches of queries, fans them out across `std::thread::scope` workers
-/// (each worker a clone of the matcher with its own randomness stream),
-/// and returns per-query indices plus aggregated [`MatchStats`].
+/// batches of queries, fans them out across a session-owned
+/// [`WorkerPool`] of long-lived threads (each job a clone of the matcher
+/// with its own randomness stream), and returns per-query indices plus
+/// aggregated [`MatchStats`] taken from the job outcomes.
 ///
 /// ```
 /// use cm_core::{Backend, BitString, MatchSession, MatcherConfig};
@@ -247,7 +249,7 @@ impl BatchReport {
 /// ```
 pub struct MatchSession {
     matcher: Box<dyn ErasedMatcher>,
-    threads: usize,
+    pool: WorkerPool,
     seed: u64,
     batches: u64,
     stats: MatchStats,
@@ -257,17 +259,18 @@ impl std::fmt::Debug for MatchSession {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MatchSession")
             .field("backend", &self.matcher.backend())
-            .field("threads", &self.threads)
+            .field("threads", &self.pool.worker_count())
             .finish()
     }
 }
 
 impl MatchSession {
     /// Builds the configured backend (generating its keys) and a session
-    /// around it. The config's thread count becomes the *batch fan-out*
-    /// width; each worker searches serially, so the total number of
-    /// concurrent search threads is bounded by that one knob rather than
-    /// multiplying with the matcher's internal parallelism.
+    /// around it. The config's thread count becomes the session's
+    /// [`WorkerPool`] width — its *batch fan-out*; each worker searches
+    /// serially, so the total number of concurrent search threads is
+    /// bounded by that one knob rather than multiplying with the
+    /// matcher's internal parallelism.
     pub fn new(config: &MatcherConfig) -> Result<Self, MatchError> {
         if config.thread_count() == 0 {
             return Err(MatchError::InvalidConfig("threads must be positive"));
@@ -281,11 +284,12 @@ impl MatchSession {
     }
 
     /// Wraps an existing matcher (e.g. one taken from a heterogeneous
-    /// registry) in a session with `threads` batch workers.
+    /// registry) in a session whose worker pool has `threads` long-lived
+    /// batch workers.
     pub fn from_matcher(matcher: Box<dyn ErasedMatcher>, threads: usize, seed: u64) -> Self {
         Self {
             matcher,
-            threads: threads.max(1),
+            pool: WorkerPool::new(threads.max(1)).expect("positive worker count"),
             seed,
             batches: 0,
             stats: MatchStats::default(),
@@ -316,11 +320,12 @@ impl MatchSession {
         result
     }
 
-    /// Runs a batch of queries, fanned out across up to
-    /// `min(threads, queries.len())` scoped workers. Per-query failures
-    /// (e.g. a [`MatchError::WindowMismatch`] on one malformed query) are
-    /// reported in the [`BatchReport`] without failing the batch; only a
-    /// panicked worker or a missing database fails the whole call.
+    /// Runs a batch of queries, fanned out as up to
+    /// `min(threads, queries.len())` jobs on the session's [`WorkerPool`].
+    /// Per-query failures (e.g. a [`MatchError::WindowMismatch`] on one
+    /// malformed query) are reported in the [`BatchReport`] without
+    /// failing the batch; only a panicked worker or a missing database
+    /// fails the whole call.
     pub fn run_batch(&mut self, queries: &[BitString]) -> Result<BatchReport, MatchError> {
         if !self.matcher.has_database() {
             return Err(MatchError::NoDatabase);
@@ -332,40 +337,32 @@ impl MatchSession {
             });
         }
         self.batches += 1;
-        let workers = self.threads.min(queries.len());
+        let workers = self.pool.worker_count().min(queries.len());
         let chunk_size = queries.len().div_ceil(workers);
-        // One clone of the matcher per worker, each with a distinct
+        // One clone of the matcher per job, each with a distinct
         // randomness stream and zeroed counters so the per-batch
-        // aggregate is exact.
-        let worker_matchers: Vec<Box<dyn ErasedMatcher>> = (0..workers)
-            .map(|w| {
+        // aggregate taken from the job outcomes is exact. Clones share
+        // the encrypted database (an Arc), so a job costs key material
+        // and engine state only.
+        let handles: Vec<_> = queries
+            .chunks(chunk_size)
+            .enumerate()
+            .map(|(w, chunk)| {
                 let mut m = self.matcher.boxed_clone();
                 m.reseed(self.seed ^ (self.batches << 20) ^ (w as u64 + 1));
                 m.reset_stats();
-                m
+                let chunk = chunk.to_vec();
+                self.pool.submit_measured(move || {
+                    let results: Vec<_> = chunk.iter().map(|q| m.find_all(q)).collect();
+                    (results, m.stats())
+                })
             })
             .collect();
-        let joined: Result<Vec<_>, MatchError> = std::thread::scope(|scope| {
-            let handles: Vec<_> = worker_matchers
-                .into_iter()
-                .zip(queries.chunks(chunk_size))
-                .map(|(mut m, chunk)| {
-                    scope.spawn(move || {
-                        let results: Vec<_> = chunk.iter().map(|q| m.find_all(q)).collect();
-                        (results, m.stats())
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().map_err(|_| MatchError::WorkerPanicked))
-                .collect()
-        });
         let mut per_query = Vec::with_capacity(queries.len());
         let mut stats = MatchStats::default();
-        for (results, worker_stats) in joined? {
-            per_query.extend(results);
-            stats.merge(&worker_stats);
+        for outcome in wait_all(handles)? {
+            per_query.extend(outcome.result);
+            stats.merge(&outcome.stats);
         }
         self.stats.merge(&stats);
         Ok(BatchReport { per_query, stats })

@@ -1,11 +1,13 @@
 //! Property-based tests of the CIPHERMATCH core: packing round-trips,
-//! alignment-class soundness and full-match agreement with the plaintext
-//! reference on random inputs.
+//! alignment-class soundness, full-match agreement with the plaintext
+//! reference on random inputs, and the `cm_core::exec` runtime's
+//! completion-handle contract (drop-before-complete detaches, a panicked
+//! job surfaces as a typed error and never kills its worker).
 
 use cm_bfv::{BfvContext, BfvParams};
 use cm_core::{
     alignment_classes, bitwise_find_all, build_variants, generate_indices, segment_matches,
-    BitString, DensePacking, SumTable,
+    BitString, DensePacking, MatchError, SumTable, WorkerPool,
 };
 use proptest::prelude::*;
 
@@ -102,5 +104,70 @@ proptest! {
         }
         let got = generate_indices(&classes, &table, n, seg_bits, db.len(), q.len());
         prop_assert_eq!(got, db.find_all(&q));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn handles_dropped_before_completion_detach_cleanly(
+        jobs in 1usize..24,
+        workers in 1usize..5,
+        keep_mask in any::<u64>(),
+    ) {
+        // Dropping a CompletionHandle detaches its job: every job still
+        // runs (the counter proves it), kept handles still deliver their
+        // results, and the pool's drop drains without hanging or
+        // panicking.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        let ran = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(workers).unwrap();
+            let mut kept = Vec::new();
+            for i in 0..jobs {
+                let ran = Arc::clone(&ran);
+                let handle = pool.submit(move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                    i * 3
+                });
+                if keep_mask >> (i % 64) & 1 == 1 {
+                    kept.push((i, handle));
+                } else {
+                    drop(handle); // detach before (possible) completion
+                }
+            }
+            for (i, handle) in kept {
+                prop_assert_eq!(handle.wait(), Ok(i * 3));
+            }
+        }
+        prop_assert_eq!(ran.load(Ordering::SeqCst), jobs);
+    }
+
+    #[test]
+    fn completion_after_panic_is_typed_and_leaves_the_pool_alive(
+        jobs in 1usize..16,
+        panic_stride in 2usize..5,
+    ) {
+        let pool = WorkerPool::new(2).unwrap();
+        let handles: Vec<_> = (0..jobs)
+            .map(|i| {
+                pool.submit(move || {
+                    assert!(i % panic_stride != 0, "job {i} panics by design");
+                    i
+                })
+            })
+            .collect();
+        for (i, handle) in handles.into_iter().enumerate() {
+            if i % panic_stride == 0 {
+                prop_assert_eq!(handle.wait(), Err(MatchError::WorkerPanicked));
+            } else {
+                prop_assert_eq!(handle.wait(), Ok(i));
+            }
+        }
+        // Workers survive panicking jobs: the pool still executes.
+        prop_assert_eq!(pool.submit(|| 41 + 1).wait(), Ok(42));
     }
 }

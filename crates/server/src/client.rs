@@ -99,12 +99,24 @@ impl MatchClient {
     }
 
     fn roundtrip(&mut self, request: &Request) -> Result<Response, MatchError> {
-        write_frame(&mut self.stream, &request.encode())?;
-        match read_frame(&mut self.stream)? {
-            Some(payload) => Response::decode(&payload),
-            None => Err(MatchError::Transport(
-                "server closed the connection".to_string(),
-            )),
+        // The server may reject the connection outright (e.g. a typed
+        // `ServerBusy` past its connection cap) by sending one error frame
+        // and closing before ever reading a request — which can break this
+        // write. Always try to read the pending frame: a typed rejection
+        // beats a bare broken-pipe transport error.
+        let wrote = write_frame(&mut self.stream, &request.encode());
+        match read_frame(&mut self.stream) {
+            Ok(Some(payload)) => Response::decode(&payload),
+            Ok(None) => {
+                wrote?;
+                Err(MatchError::Transport(
+                    "server closed the connection".to_string(),
+                ))
+            }
+            Err(read_err) => {
+                wrote?;
+                Err(read_err)
+            }
         }
     }
 

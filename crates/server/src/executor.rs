@@ -1,20 +1,26 @@
-//! The thread-per-shard executor: long-lived workers, an mpsc job queue
-//! per shard, and completion handles that gather per-shard results.
+//! The shard executor: a thin sharding adapter over the shared
+//! [`cm_core::exec`] work-pool runtime.
 //!
-//! One OS thread is pinned to each shard for the lifetime of the loaded
-//! database. A search broadcasts the (reference-counted) encrypted query
-//! to every shard queue; each worker runs the `Hom-Add` sweep over *its
-//! shard only*, generates indices with its own copy of the trusted
-//! index-generation capability, remaps them to global bit offsets, and
-//! reports them — together with the shard's [`MatchStats`] delta — through
-//! the job's completion channel.
+//! One [`WorkerPool`] with as many long-lived workers as the loaded
+//! database has shards serves *every* search (and, because clones of a
+//! [`crate::ShardedCmMatcher`] share their executor, every pool member of
+//! a tenant). A search submits one job per shard; each job builds a
+//! CM-SW engine over its [`std::sync::Arc`]-shared shard (no ciphertext
+//! copy), runs the `Hom-Add` sweep over *that shard only*, generates
+//! indices with the shared trusted index-generation capability, and
+//! reports them — together with the job's exact [`MatchStats`] — through
+//! its [`cm_core::CompletionHandle`]. The bespoke thread/queue/handle
+//! machinery this module used to carry lives in `cm_core::exec` now,
+//! where sessions, tenants, and the TCP front-end share it.
 
-use std::sync::mpsc;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 use cm_bfv::BfvContext;
-use cm_core::{CiphermatchEngine, EncryptedQuery, MatchError, MatchStats, TrustedIndexGenerator};
+use cm_core::exec::{CompletionHandle, WorkerPool};
+use cm_core::{
+    CiphermatchEngine, EncryptedDatabase, EncryptedQuery, MatchError, MatchStats,
+    TrustedIndexGenerator,
+};
 
 use crate::shard::ShardedDatabase;
 
@@ -26,129 +32,102 @@ pub struct ShardOutcome {
     /// Matching bit offsets, *local to the shard* — remap them to global
     /// offsets with [`crate::ShardedDatabase::merge_indices`].
     pub indices: Vec<usize>,
-    /// The statistics this job added to the shard's counters.
+    /// The statistics this job accumulated on the shard.
     pub stats: MatchStats,
-}
-
-/// A job broadcast to one shard worker.
-struct ShardJob {
-    query: Arc<EncryptedQuery>,
-    reply: mpsc::Sender<ShardOutcome>,
 }
 
 /// Collects the per-shard outcomes of one submitted search.
 #[must_use = "wait() gathers the shard results"]
-pub struct CompletionHandle {
-    rx: mpsc::Receiver<ShardOutcome>,
-    pending: usize,
-    failed: bool,
+pub struct SearchHandle {
+    handles: Vec<CompletionHandle<ShardOutcome>>,
 }
 
-impl CompletionHandle {
+impl SearchHandle {
     /// Blocks until every shard has reported, returning the outcomes
     /// sorted by shard index.
     ///
     /// # Errors
     ///
-    /// Returns [`MatchError::WorkerPanicked`] if any shard worker died
-    /// before reporting.
+    /// Returns [`MatchError::WorkerPanicked`] if any shard job panicked.
     pub fn wait(self) -> Result<Vec<ShardOutcome>, MatchError> {
-        if self.failed {
-            return Err(MatchError::WorkerPanicked);
-        }
-        let mut outcomes = Vec::with_capacity(self.pending);
-        for _ in 0..self.pending {
-            outcomes.push(self.rx.recv().map_err(|_| MatchError::WorkerPanicked)?);
-        }
+        let mut outcomes = cm_core::wait_all(self.handles)?;
         outcomes.sort_by_key(|o| o.shard);
         Ok(outcomes)
     }
 }
 
-/// The pool of shard workers for one loaded database.
+/// The shard fan-out for one loaded database: `Arc`-shared shards plus a
+/// [`WorkerPool`] sized to the shard count.
 pub struct ShardExecutor {
-    senders: Vec<mpsc::Sender<ShardJob>>,
-    handles: Vec<JoinHandle<()>>,
+    ctx: BfvContext,
+    shards: Vec<Arc<EncryptedDatabase>>,
+    index_gen: Arc<TrustedIndexGenerator>,
+    pool: WorkerPool,
 }
 
 impl std::fmt::Debug for ShardExecutor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardExecutor")
-            .field("shards", &self.senders.len())
+            .field("shards", &self.shards.len())
             .finish()
     }
 }
 
 impl ShardExecutor {
-    /// Spawns one worker thread per shard of `db`. Each worker owns an
-    /// [`Arc`] to its shard (no ciphertext copy), a CM-SW engine, and a
-    /// clone of the index-generation capability.
-    pub fn spawn(
+    /// Builds an executor over `db`'s shards: one pool worker per shard,
+    /// so a single search can saturate every shard at once. Jobs share
+    /// the shards and the index-generation capability by reference
+    /// count — nothing is copied per search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatchError::InvalidConfig`] for a database with no
+    /// shards (unreachable through [`ShardedDatabase::split`]).
+    pub fn new(
         ctx: &BfvContext,
         db: &ShardedDatabase,
         index_gen: &TrustedIndexGenerator,
-    ) -> Self {
-        let mut senders = Vec::with_capacity(db.shard_count());
-        let mut handles = Vec::with_capacity(db.shard_count());
-        for (i, shard) in db.shards().iter().enumerate() {
-            let (tx, rx) = mpsc::channel::<ShardJob>();
-            let shard = Arc::clone(shard);
-            let mut engine = CiphermatchEngine::new(ctx);
-            let index_gen = index_gen.clone();
-            handles.push(std::thread::spawn(move || {
-                // The worker lives until the executor drops its sender.
-                while let Ok(job) = rx.recv() {
-                    engine.reset_stats();
-                    let result = engine.search(&shard, &job.query);
-                    // A receiver dropped mid-search just means the caller
-                    // gave up on this job; keep serving the queue.
-                    let _ = job.reply.send(ShardOutcome {
+    ) -> Result<Self, MatchError> {
+        Ok(Self {
+            ctx: ctx.clone(),
+            shards: db.shards().to_vec(),
+            index_gen: Arc::new(index_gen.clone()),
+            pool: WorkerPool::new(db.shard_count())?,
+        })
+    }
+
+    /// Number of shards (and pool workers).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Submits one job per shard for `query`, returning a handle that
+    /// gathers the per-shard outcomes. The query is reference-counted, so
+    /// the fan-out ships pointers, not ciphertext copies.
+    pub fn submit(&self, query: Arc<EncryptedQuery>) -> SearchHandle {
+        let handles = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let shard = Arc::clone(shard);
+                let query = Arc::clone(&query);
+                let ctx = self.ctx.clone();
+                let index_gen = Arc::clone(&self.index_gen);
+                self.pool.submit(move || {
+                    // A fresh engine per job: its counters start at zero,
+                    // so `stats()` is this job's exact delta.
+                    let mut engine = CiphermatchEngine::new(&ctx);
+                    let result = engine.search(&shard, &query);
+                    ShardOutcome {
                         shard: i,
                         indices: index_gen.generate(&result),
                         stats: engine.stats(),
-                    });
-                }
-            }));
-            senders.push(tx);
-        }
-        Self { senders, handles }
-    }
-
-    /// Number of shard workers.
-    pub fn shard_count(&self) -> usize {
-        self.senders.len()
-    }
-
-    /// Broadcasts `query` to every shard queue, returning a handle that
-    /// gathers the per-shard outcomes. The query is reference-counted, so
-    /// the broadcast ships pointers, not ciphertext copies.
-    pub fn submit(&self, query: Arc<EncryptedQuery>) -> CompletionHandle {
-        let (tx, rx) = mpsc::channel();
-        let mut failed = false;
-        for sender in &self.senders {
-            let job = ShardJob {
-                query: Arc::clone(&query),
-                reply: tx.clone(),
-            };
-            // A send can only fail if the worker thread died (panicked).
-            failed |= sender.send(job).is_err();
-        }
-        CompletionHandle {
-            rx,
-            pending: self.senders.len(),
-            failed,
-        }
-    }
-}
-
-impl Drop for ShardExecutor {
-    fn drop(&mut self) {
-        // Closing the queues ends the worker loops; join to avoid leaking
-        // threads past the executor's lifetime.
-        self.senders.clear();
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
-        }
+                    }
+                })
+            })
+            .collect();
+        SearchHandle { handles }
     }
 }
 
@@ -178,7 +157,7 @@ mod tests {
         let db = engine.encrypt_database(&enc, &data, &mut rng);
         let sharded = ShardedDatabase::split(&db, bpp, 3, 1).unwrap();
         let index_gen = TrustedIndexGenerator::from_secret(&ctx, sk);
-        let executor = ShardExecutor::spawn(&ctx, &sharded, &index_gen);
+        let executor = ShardExecutor::new(&ctx, &sharded, &index_gen).unwrap();
         assert_eq!(executor.shard_count(), 3);
 
         let pattern = data.slice(bpp - 9, 20); // straddles shards 0 and 1

@@ -8,32 +8,39 @@
 //! is the deployment the paper's Figure 6 sketches and the ROADMAP's
 //! production north star asks for.
 //!
-//! The layers, bottom up:
+//! Every concurrent layer runs on the shared [`cm_core::exec`] work-pool
+//! runtime — no per-layer threading schemes. The layers, bottom up:
 //!
 //! * [`ShardPlan`] / [`ShardedDatabase`] — splits one encrypted database
 //!   into [`std::sync::Arc`]-shared polynomial shards with a shard→global
 //!   index remap (overlap tails make boundary-straddling windows exact);
-//! * [`ShardExecutor`] — one long-lived worker thread per shard, an mpsc
-//!   job queue each, [`CompletionHandle`]s gathering per-shard
-//!   [`ShardOutcome`]s;
+//! * [`ShardExecutor`] — a [`cm_core::exec::WorkerPool`] with one
+//!   long-lived worker per shard; a search submits one job per shard and
+//!   a [`SearchHandle`] gathers the per-shard [`ShardOutcome`]s;
 //! * [`ShardedCmMatcher`] — CM-SW over the executor, implementing
 //!   [`cm_core::ErasedMatcher`] so sharded serving drops into any
 //!   registry, with per-shard [`cm_core::MatchStats`] that sum to the
-//!   matcher total;
+//!   matcher total; clones share the executor, so a tenant pool of K
+//!   clones costs K key copies, not K×shards threads;
 //! * [`IfpMatcher`] — the paper's in-flash engine
 //!   ([`cm_ssd::CmIfpServer`]) behind [`cm_core::SecureMatcher`],
 //!   registered *from this crate* so the `cm_core`↔`cm_ssd` dependency
 //!   arrow stays inverted; `stats().flash_wear` stays zero because
 //!   `bop_add` never programs or erases;
-//! * [`TenantRegistry`] / [`Tenant`] — tenant id → erased matcher + key
+//! * [`TenantRegistry`] / [`Tenant`] — tenant id → a
+//!   [`cm_core::MatcherPool`] of K `boxed_clone`'d matchers + key
 //!   material ([`cm_ssd::SecureIndexChannel`]), one key domain per
-//!   tenant, many tenants per process;
+//!   tenant, many tenants per process; up to K queries per tenant run
+//!   concurrently, each on an exclusively checked-out matcher;
 //! * [`wire`] — the length-prefixed binary protocol (encrypted queries
 //!   in, AES-sealed index lists out), hardened against truncated,
 //!   oversized, and garbage frames;
-//! * [`MatchServer`] / [`MatchClient`] — the TCP accept loop and the
-//!   blocking client, with [`QueryKit`] carrying the public material a
-//!   remote key owner needs to encrypt queries.
+//! * [`MatchServer`] / [`MatchClient`] — the TCP accept loop over a
+//!   bounded connection pool ([`ServerConfig::max_connections`]; typed
+//!   [`cm_core::MatchError::ServerBusy`] rejection past the cap, clean
+//!   drain on shutdown) and the blocking client, with [`QueryKit`]
+//!   carrying the public material a remote key owner needs to encrypt
+//!   queries.
 //!
 //! ## Example
 //!
@@ -70,13 +77,13 @@ pub mod tenant;
 pub mod wire;
 
 pub use client::{MatchClient, MatchReply, TenantAccess};
-pub use executor::{CompletionHandle, ShardExecutor, ShardOutcome};
+pub use executor::{SearchHandle, ShardExecutor, ShardOutcome};
 pub use ifp::{IfpDatabase, IfpMatcher};
 pub use kit::QueryKit;
-pub use server::{MatchServer, RunningServer};
+pub use server::{MatchServer, RunningServer, ServerConfig};
 pub use shard::{ShardPlan, ShardRange, ShardedDatabase};
 pub use sharded::ShardedCmMatcher;
-pub use tenant::{MatchedReply, Tenant, TenantRegistry};
+pub use tenant::{MatchedReply, Tenant, TenantRegistry, DEFAULT_TENANT_WORKERS};
 pub use wire::{QueryPayload, Request, Response, TenantInfo, MAX_FRAME_BYTES};
 
 mod sharded;

@@ -1,36 +1,79 @@
-//! The TCP serving front-end: accept loop, connection threads, request
-//! dispatch.
+//! The TCP serving front-end: accept loop, bounded connection pool,
+//! request dispatch.
 //!
-//! One process serves every registered tenant. Each accepted connection
-//! gets its own thread running a read-frame → dispatch → write-frame
-//! loop; request handling errors travel back as [`Response::Error`]
-//! frames, transport/framing errors end the connection. The listener can
-//! be driven directly ([`MatchServer::serve`]) or on a background thread
-//! with a shutdown handle ([`MatchServer::spawn`]) — the form the CI
-//! smoke test and the examples use.
+//! One process serves every registered tenant. Accepted connections are
+//! handled as jobs on a [`WorkerPool`] of `max_connections` long-lived
+//! workers (the same `cm_core::exec` runtime the sessions, tenant pools,
+//! and shard executors run on) — never one freshly spawned thread per
+//! accept. A connection arriving while all `max_connections` slots are
+//! busy is *rejected* with a typed [`MatchError::ServerBusy`] wire error
+//! instead of growing the process without bound. Request handling errors
+//! travel back as [`Response::Error`] frames, transport/framing errors
+//! end the connection. The listener can be driven directly
+//! ([`MatchServer::serve`]) or on a background thread with a shutdown
+//! handle ([`MatchServer::spawn`]) — shutdown stops accepting, closes the
+//! active sockets, and drains the connection pool before returning.
 
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::collections::HashMap;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-use cm_core::{Backend, MatchError};
+use cm_core::{Backend, MatchError, WorkerPool};
 
 use crate::tenant::TenantRegistry;
 use crate::wire::{read_frame, write_frame, Request, Response};
+
+/// Front-end knobs for a serving process.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Hard cap on concurrently served connections (and the size of the
+    /// connection worker pool). Connections beyond the cap receive a
+    /// [`MatchError::ServerBusy`] frame and are closed.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_connections: 64,
+        }
+    }
+}
 
 /// A serving process: a tenant registry behind a TCP front-end.
 #[derive(Debug)]
 pub struct MatchServer {
     registry: Arc<TenantRegistry>,
+    config: ServerConfig,
 }
 
 impl MatchServer {
-    /// Wraps a fully provisioned registry.
+    /// Wraps a fully provisioned registry with the default
+    /// [`ServerConfig`].
     pub fn new(registry: TenantRegistry) -> Self {
         Self {
             registry: Arc::new(registry),
+            config: ServerConfig::default(),
         }
+    }
+
+    /// Wraps a registry with explicit front-end knobs.
+    ///
+    /// # Errors
+    ///
+    /// [`MatchError::InvalidConfig`] for a zero connection cap.
+    pub fn with_config(registry: TenantRegistry, config: ServerConfig) -> Result<Self, MatchError> {
+        if config.max_connections == 0 {
+            return Err(MatchError::InvalidConfig(
+                "max_connections must be positive",
+            ));
+        }
+        Ok(Self {
+            registry: Arc::new(registry),
+            config,
+        })
     }
 
     /// The registry this server dispatches to.
@@ -52,14 +95,17 @@ impl MatchServer {
             .local_addr()
             .map_err(|e| MatchError::Transport(format!("local_addr: {e}")))?;
         let stop = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(Connections::new(self.config.max_connections));
         let registry = Arc::clone(&self.registry);
         let stop_flag = Arc::clone(&stop);
+        let conns_flag = Arc::clone(&conns);
         let handle = std::thread::spawn(move || {
-            accept_loop(&listener, &registry, &stop_flag);
+            accept_loop(&listener, &registry, &stop_flag, &conns_flag);
         });
         Ok(RunningServer {
             addr: local_addr,
             stop,
+            conns,
             handle: Some(handle),
         })
     }
@@ -67,17 +113,115 @@ impl MatchServer {
     /// Serves `listener` on the calling thread until the process exits
     /// (the production entry point; tests use [`Self::spawn`]).
     pub fn serve(self, listener: &TcpListener) {
-        accept_loop(listener, &self.registry, &AtomicBool::new(false));
+        accept_loop(
+            listener,
+            &self.registry,
+            &AtomicBool::new(false),
+            &Arc::new(Connections::new(self.config.max_connections)),
+        );
     }
 }
 
-/// Accepts connections until the stop flag flips.
-fn accept_loop(listener: &TcpListener, registry: &Arc<TenantRegistry>, stop: &AtomicBool) {
+/// The admission table: which sockets are in flight, bounded by the
+/// connection cap. Tracked handles (`try_clone`s) let shutdown force the
+/// in-flight request loops off their blocking reads.
+#[derive(Debug)]
+struct Connections {
+    active: Mutex<AdmissionState>,
+    limit: usize,
+}
+
+#[derive(Debug, Default)]
+struct AdmissionState {
+    streams: HashMap<u64, TcpStream>,
+    /// Set by [`Connections::close_all`] under the same lock admissions
+    /// take, so a socket accepted concurrently with shutdown is either in
+    /// the table when `close_all` sweeps it or refused admission — never
+    /// admitted-but-unclosed (which would stall the drain on its read
+    /// timeout).
+    draining: bool,
+}
+
+impl Connections {
+    fn new(limit: usize) -> Self {
+        Self {
+            active: Mutex::new(AdmissionState::default()),
+            limit,
+        }
+    }
+
+    /// Admits `stream` if a slot is free (and the table is not draining),
+    /// returning its release token.
+    fn try_admit(&self, stream: &TcpStream) -> Option<u64> {
+        let mut state = self.active.lock().ok()?;
+        if state.draining || state.streams.len() >= self.limit {
+            return None;
+        }
+        // Without a trackable handle the connection could not be closed
+        // on drain; treat a failed clone like a full table.
+        let tracked = stream.try_clone().ok()?;
+        let token = next_token();
+        state.streams.insert(token, tracked);
+        Some(token)
+    }
+
+    fn release(&self, token: u64) {
+        if let Ok(mut state) = self.active.lock() {
+            state.streams.remove(&token);
+        }
+    }
+
+    /// Forces every in-flight connection off its socket and refuses
+    /// further admissions (drain).
+    fn close_all(&self) {
+        if let Ok(mut state) = self.active.lock() {
+            state.draining = true;
+            for stream in state.streams.values() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+/// Releases a connection slot on drop, so a panic anywhere in the request
+/// loop cannot leak the slot (the pool's worker survives job panics — an
+/// unreleased token would otherwise count against `max_connections`
+/// forever).
+struct SlotGuard {
+    conns: Arc<Connections>,
+    token: u64,
+}
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        self.conns.release(self.token);
+    }
+}
+
+/// Process-wide token source so release can never race a re-used key.
+fn next_token() -> u64 {
+    use std::sync::atomic::AtomicU64;
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Accepts connections until the stop flag flips, handling each as a job
+/// on a bounded worker pool; the pool drains (remaining requests finish
+/// against their closed sockets) when the loop exits.
+fn accept_loop(
+    listener: &TcpListener,
+    registry: &Arc<TenantRegistry>,
+    stop: &AtomicBool,
+    conns: &Arc<Connections>,
+) {
+    let Ok(pool) = WorkerPool::new(conns.limit) else {
+        return; // zero cap is rejected in with_config; defensive only
+    };
     for stream in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
         }
-        let stream = match stream {
+        let mut stream = match stream {
             Ok(stream) => stream,
             Err(_) => {
                 // Persistent accept errors (e.g. fd exhaustion) would
@@ -87,14 +231,32 @@ fn accept_loop(listener: &TcpListener, registry: &Arc<TenantRegistry>, stop: &At
                 continue;
             }
         };
+        let Some(token) = conns.try_admit(&stream) else {
+            // Over the cap: a typed rejection, not an unbounded spawn.
+            let busy = Response::Error(MatchError::ServerBusy {
+                max_connections: conns.limit,
+            });
+            let _ = write_frame(&mut stream, &busy.encode());
+            continue;
+        };
         let registry = Arc::clone(registry);
-        std::thread::spawn(move || handle_connection(stream, &registry));
+        let slot = SlotGuard {
+            conns: Arc::clone(conns),
+            token,
+        };
+        let _detached = pool.submit(move || {
+            let _slot = slot; // released on drop, panic included
+            handle_connection(stream, &registry);
+        });
     }
+    // `pool` drops here: graceful drain, then join, of every admitted
+    // connection job. Shutdown closed the active sockets first, so the
+    // request loops exit as soon as their current request finishes.
 }
 
 /// How long a connection may sit idle (or dribble a frame) before its
-/// thread is reclaimed — thread-per-connection must not leak threads to
-/// silent peers.
+/// worker is reclaimed — pooled connection slots must not leak to silent
+/// peers.
 const CONNECTION_READ_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(300);
 
 /// Runs one connection's request loop until the peer closes or the
@@ -146,8 +308,11 @@ fn dispatch(request: &Request, registry: &TenantRegistry) -> Response {
             },
             Err(e) => Response::Error(e),
         },
-        Request::TenantStats { tenant } => match registry.get(tenant).and_then(|t| t.totals()) {
-            Ok((stats, queries)) => Response::TenantStats { stats, queries },
+        Request::TenantStats { tenant } => match registry.get(tenant) {
+            Ok(t) => {
+                let (stats, queries) = t.totals();
+                Response::TenantStats { stats, queries }
+            }
             Err(e) => Response::Error(e),
         },
     }
@@ -158,6 +323,7 @@ fn dispatch(request: &Request, registry: &TenantRegistry) -> Response {
 pub struct RunningServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    conns: Arc<Connections>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -167,8 +333,8 @@ impl RunningServer {
         self.addr
     }
 
-    /// Stops accepting connections and joins the accept thread. Already
-    /// accepted connections drain on their own threads.
+    /// Stops accepting, closes the active connections, and drains the
+    /// connection pool (in-flight requests finish) before returning.
     pub fn shutdown(mut self) {
         self.stop_accepting();
     }
@@ -178,6 +344,9 @@ impl RunningServer {
             return;
         };
         self.stop.store(true, Ordering::SeqCst);
+        // Force in-flight request loops off their blocking reads so the
+        // drain below cannot wait on an idle peer.
+        self.conns.close_all();
         // Unblock the accept call with a throwaway connection. A wildcard
         // bind address (0.0.0.0 / ::) is not connectable everywhere, so
         // aim the poke at loopback in that case.
@@ -189,6 +358,8 @@ impl RunningServer {
             });
         }
         let _ = TcpStream::connect(poke);
+        // Joining the accept thread also drains and joins the connection
+        // pool, which is dropped when the loop exits.
         let _ = handle.join();
     }
 }

@@ -3,11 +3,12 @@
 //! [`ShardedCmMatcher`] is the serving-grade version of
 //! [`cm_core::CiphermatchMatcher`]: loading a database splits it into
 //! [`Arc`]-shared polynomial shards ([`crate::ShardedDatabase`]) and
-//! spawns a [`crate::ShardExecutor`] — one long-lived worker thread per
-//! shard. A search broadcasts the encrypted query to every shard queue
-//! and merges the remapped per-shard index lists, so one query's `Hom-Add`
-//! sweep runs on all shards in parallel and per-shard [`MatchStats`] stay
-//! separately attributable (their field-wise sum is the matcher total).
+//! builds a [`crate::ShardExecutor`] — a [`cm_core::exec::WorkerPool`]
+//! with one long-lived worker per shard, shared by every clone of this
+//! matcher. A search submits one job per shard and merges the remapped
+//! per-shard index lists, so one query's `Hom-Add` sweep runs on all
+//! shards in parallel and per-shard [`MatchStats`] stay separately
+//! attributable (their field-wise sum is the matcher total).
 
 use std::sync::Arc;
 
@@ -24,9 +25,13 @@ use crate::kit::QueryKit;
 use crate::shard::ShardedDatabase;
 
 /// A loaded database: the shard split, its executor, and bookkeeping.
+/// The executor is reference-counted so [`ErasedMatcher::boxed_clone`]
+/// shares one worker pool (and its threads) across every clone — a
+/// tenant's matcher pool of K clones costs K key copies, not K×shards
+/// threads.
 struct Loaded {
     db: ShardedDatabase,
-    executor: ShardExecutor,
+    executor: Arc<ShardExecutor>,
     bytes: u64,
 }
 
@@ -165,7 +170,7 @@ impl ErasedMatcher for ShardedCmMatcher {
             self.overlap_polys,
         )?;
         let index_gen = TrustedIndexGenerator::from_secret(&self.ctx, self.sk.clone());
-        let executor = ShardExecutor::spawn(&self.ctx, &sharded, &index_gen);
+        let executor = Arc::new(ShardExecutor::new(&self.ctx, &sharded, &index_gen)?);
         self.per_shard = vec![MatchStats::default(); sharded.shard_count()];
         self.loaded = Some(Loaded {
             db: sharded,
@@ -238,15 +243,13 @@ impl ErasedMatcher for ShardedCmMatcher {
     }
 
     fn boxed_clone(&self) -> Box<dyn ErasedMatcher> {
-        // Workers share the Arc'd shards; only the executor threads are
-        // fresh (threads cannot be cloned).
-        let loaded = self.loaded.as_ref().map(|l| {
-            let index_gen = TrustedIndexGenerator::from_secret(&self.ctx, self.sk.clone());
-            Loaded {
-                db: l.db.clone(),
-                executor: ShardExecutor::spawn(&self.ctx, &l.db, &index_gen),
-                bytes: l.bytes,
-            }
+        // Clones share the Arc'd shards *and* the executor's worker pool:
+        // concurrent searches from many clones interleave their per-shard
+        // jobs on one set of long-lived shard workers.
+        let loaded = self.loaded.as_ref().map(|l| Loaded {
+            db: l.db.clone(),
+            executor: Arc::clone(&l.executor),
+            bytes: l.bytes,
         });
         Box::new(Self {
             ctx: self.ctx.clone(),

@@ -1,25 +1,34 @@
 //! Multi-tenant state: one key domain per tenant, many tenants per
 //! process.
 //!
-//! Each [`Tenant`] bundles an erased matcher (which owns the tenant's HE
-//! key material and loaded database) with the tenant's AES index channel
-//! ([`cm_ssd::SecureIndexChannel`]) and lifetime statistics. The
-//! [`TenantRegistry`] maps tenant ids to tenants and is shared immutably
-//! by every connection thread; per-tenant mutable state sits behind its
-//! own locks, so queries for *different* tenants never contend. Queries
-//! for the *same* tenant serialize on its matcher lock (parallelism
-//! within one query comes from the shard executor); a per-tenant worker
-//! pool over `boxed_clone` is the ROADMAP-noted next step.
+//! Each [`Tenant`] bundles a [`MatcherPool`] of K `boxed_clone`'d erased
+//! matchers (which share the tenant's encrypted database by `Arc` and own
+//! its HE key material) with the tenant's AES index channel
+//! ([`cm_ssd::SecureIndexChannel`]) and lock-free lifetime statistics
+//! ([`cm_core::StatsAccumulator`]). The [`TenantRegistry`] maps tenant
+//! ids to tenants and is shared immutably by every connection worker.
+//! Queries for *different* tenants never contend, and up to K queries for
+//! the *same* tenant run concurrently — each one checks a matcher out of
+//! the pool for its exclusive use, so per-query [`MatchStats`] come from
+//! the job's [`cm_core::ExecOutcome`] instead of a racy reset/read delta
+//! on one shared matcher behind a mutex.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
-use cm_core::{Backend, BitString, ErasedMatcher, MatchError, MatchStats};
+use cm_core::{
+    Backend, BitString, ErasedMatcher, MatchError, MatchStats, MatcherPool, StatsAccumulator,
+};
 use cm_ssd::SecureIndexChannel;
 
 use crate::wire::{QueryPayload, TenantInfo};
+
+/// Matcher-pool size [`TenantRegistry::register`] provisions when the
+/// caller does not choose one ([`TenantRegistry::register_with_workers`]
+/// does): up to this many queries per tenant run concurrently.
+pub const DEFAULT_TENANT_WORKERS: usize = 4;
 
 /// The result of one tenant query, ready to serialize.
 #[derive(Debug, Clone)]
@@ -32,6 +41,8 @@ pub struct MatchedReply {
     pub stats: MatchStats,
     /// Per-shard breakdown of `stats`.
     pub shard_stats: Vec<MatchStats>,
+    /// Wall-clock time the query spent on its checked-out matcher.
+    pub elapsed: Duration,
     /// Modeled hardware latency of the sealing step.
     pub seal_latency: Duration,
 }
@@ -40,7 +51,7 @@ pub struct MatchedReply {
 pub struct Tenant {
     id: String,
     backend: Backend,
-    matcher: Mutex<Box<dyn ErasedMatcher>>,
+    pool: MatcherPool,
     channel: SecureIndexChannel,
     // AES-CTR keystreams must never repeat under one channel key: the
     // nonce is a tenant-wide monotonic counter, never client input. Its
@@ -48,7 +59,7 @@ pub struct Tenant {
     // restart (or re-registration) under a long-lived key does not replay
     // the counter from 1.
     next_nonce: AtomicU64,
-    totals: Mutex<(MatchStats, u64)>,
+    totals: StatsAccumulator,
 }
 
 /// A fresh per-registration nonce prefix: the counter occupies the low 32
@@ -65,11 +76,24 @@ fn nonce_prefix() -> u64 {
     mixed << 32
 }
 
+/// A deterministic per-tenant seed so pool members get distinct
+/// randomness streams that differ between tenants too.
+fn tenant_seed(id: &str) -> u64 {
+    // FNV-1a over the id bytes.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in id.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
 impl std::fmt::Debug for Tenant {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Tenant")
             .field("id", &self.id)
             .field("backend", &self.backend)
+            .field("workers", &self.pool.size())
             .finish()
     }
 }
@@ -85,49 +109,48 @@ impl Tenant {
         self.backend
     }
 
-    /// Runs one query and seals the resulting index list under a fresh
-    /// server-assigned nonce (returned in the reply).
+    /// The matcher-pool size K: how many of this tenant's queries can run
+    /// concurrently.
+    pub fn workers(&self) -> usize {
+        self.pool.size()
+    }
+
+    /// Runs one query on a matcher checked out of the tenant's pool
+    /// (blocking while all K are busy) and seals the resulting index list
+    /// under a fresh server-assigned nonce (returned in the reply).
     ///
     /// # Errors
     ///
     /// Propagates the matcher's [`MatchError`] (bad query, wrong wire
-    /// format, …); a poisoned matcher lock reports
-    /// [`MatchError::WorkerPanicked`].
+    /// format, …).
     pub fn run(&self, query: &QueryPayload) -> Result<MatchedReply, MatchError> {
-        let (indices, stats, shard_stats) = {
-            let mut matcher = self
-                .matcher
-                .lock()
-                .map_err(|_| MatchError::WorkerPanicked)?;
-            matcher.reset_stats();
+        let outcome = self.pool.run(|matcher| {
             let indices = match query {
-                QueryPayload::Bits(bits) => matcher.find_all(bits)?,
-                QueryPayload::CmWire(bytes) => matcher.find_all_wire(bytes)?,
+                QueryPayload::Bits(bits) => matcher.find_all(bits),
+                QueryPayload::CmWire(bytes) => matcher.find_all_wire(bytes),
             };
-            (indices, matcher.stats(), matcher.shard_stats())
-        };
+            let shard_stats = matcher.shard_stats();
+            (indices, shard_stats)
+        });
+        let (indices, shard_stats) = outcome.result;
+        let indices = indices?;
         let nonce = self.next_nonce.fetch_add(1, Ordering::Relaxed);
         let (sealed_indices, latency) = self.channel.seal(&indices, nonce);
-        {
-            let mut totals = self.totals.lock().map_err(|_| MatchError::WorkerPanicked)?;
-            totals.0.merge(&stats);
-            totals.1 += 1;
-        }
+        self.totals.record(&outcome.stats);
         Ok(MatchedReply {
             nonce,
             sealed_indices,
-            stats,
+            stats: outcome.stats,
             shard_stats,
+            elapsed: outcome.elapsed,
             seal_latency: Duration::from_secs_f64(latency),
         })
     }
 
-    /// Lifetime statistics: field-wise totals and the query count.
-    pub fn totals(&self) -> Result<(MatchStats, u64), MatchError> {
-        self.totals
-            .lock()
-            .map(|t| *t)
-            .map_err(|_| MatchError::WorkerPanicked)
+    /// Lifetime statistics: field-wise totals and the query count,
+    /// accumulated atomically from per-query outcomes.
+    pub fn totals(&self) -> (MatchStats, u64) {
+        self.totals.snapshot()
     }
 }
 
@@ -143,10 +166,10 @@ impl TenantRegistry {
         Self::default()
     }
 
-    /// Registers a tenant: loads `database` into `matcher` (encrypting it
-    /// under the matcher's keys) and provisions the AES-256 index channel
-    /// with `channel_key` — the key the paper delivers to the client in
-    /// its offline step.
+    /// Registers a tenant with [`DEFAULT_TENANT_WORKERS`] pool members:
+    /// loads `database` into `matcher` (encrypting it under the matcher's
+    /// keys) and provisions the AES-256 index channel with `channel_key` —
+    /// the key the paper delivers to the client in its offline step.
     ///
     /// # Errors
     ///
@@ -155,7 +178,27 @@ impl TenantRegistry {
     pub fn register(
         &mut self,
         id: &str,
+        matcher: Box<dyn ErasedMatcher>,
+        channel_key: &[u8; 32],
+        database: &BitString,
+    ) -> Result<(), MatchError> {
+        self.register_with_workers(id, matcher, DEFAULT_TENANT_WORKERS, channel_key, database)
+    }
+
+    /// Registers a tenant whose matcher pool holds `workers` members, so
+    /// up to `workers` of its queries run concurrently. The database is
+    /// encrypted once; the pool members share it by `Arc`.
+    ///
+    /// # Errors
+    ///
+    /// [`MatchError::InvalidConfig`] for a duplicate/over-long id or a
+    /// zero worker count, and whatever the matcher's `load_database`
+    /// reports.
+    pub fn register_with_workers(
+        &mut self,
+        id: &str,
         mut matcher: Box<dyn ErasedMatcher>,
+        workers: usize,
         channel_key: &[u8; 32],
         database: &BitString,
     ) -> Result<(), MatchError> {
@@ -166,13 +209,14 @@ impl TenantRegistry {
             return Err(MatchError::InvalidConfig("duplicate tenant id"));
         }
         matcher.load_database(database)?;
+        let backend = matcher.backend();
         let tenant = Tenant {
             id: id.to_string(),
-            backend: matcher.backend(),
-            matcher: Mutex::new(matcher),
+            backend,
+            pool: MatcherPool::new(matcher, workers, tenant_seed(id))?,
             channel: SecureIndexChannel::new(channel_key),
             next_nonce: AtomicU64::new(nonce_prefix() | 1),
-            totals: Mutex::new((MatchStats::default(), 0)),
+            totals: StatsAccumulator::new(),
         };
         self.tenants.insert(id.to_string(), Arc::new(tenant));
         Ok(())
@@ -237,11 +281,12 @@ mod tests {
         assert_eq!(registry.list()[0].id, "alice");
 
         let tenant = registry.get("alice").unwrap();
+        assert_eq!(tenant.workers(), DEFAULT_TENANT_WORKERS);
         let query = QueryPayload::Bits(BitString::from_ascii("needle"));
         let reply = tenant.run(&query).unwrap();
         let opened = SecureIndexChannel::new(&key).open(&reply.sealed_indices, reply.nonce);
         assert_eq!(opened, data.find_all(&BitString::from_ascii("needle")));
-        assert_eq!(tenant.totals().unwrap().1, 1);
+        assert_eq!(tenant.totals().1, 1);
         // Nonces are tenant-assigned and never repeat: two identical
         // queries must not share an AES-CTR keystream.
         let again = tenant.run(&query).unwrap();
@@ -274,6 +319,10 @@ mod tests {
             registry.register("", plain_matcher(), &[0; 32], &data),
             Err(MatchError::InvalidConfig(_))
         ));
+        assert!(matches!(
+            registry.register_with_workers("zero", plain_matcher(), 0, &[0; 32], &data),
+            Err(MatchError::InvalidConfig(_))
+        ));
     }
 
     #[test]
@@ -291,6 +340,71 @@ mod tests {
         assert_eq!(
             tenant.run(&QueryPayload::CmWire(vec![1, 2, 3])).err(),
             Some(MatchError::WireQueryUnsupported(Backend::Plain))
+        );
+    }
+
+    /// The regression test for the old tenant stats race: totals used to
+    /// come from a reset/read delta on *one* shared matcher, so two
+    /// queries interleaving their resets corrupted the lifetime counters.
+    /// With per-query stats taken from exclusively checked-out pool
+    /// members and accumulated atomically, the totals must equal the sum
+    /// of the per-query replies exactly — under real contention.
+    #[test]
+    fn totals_equal_the_sum_of_per_query_stats_under_contention() {
+        const THREADS: usize = 8;
+        const QUERIES_PER_THREAD: usize = 3;
+
+        let mut registry = TenantRegistry::new();
+        let data = BitString::from_ascii("hammer one tenant from eight threads at once");
+        let matcher = MatcherConfig::new(Backend::Ciphermatch)
+            .insecure_test()
+            .seed(77)
+            .build()
+            .unwrap();
+        registry
+            .register_with_workers("hammered", matcher, 4, &[0x77; 32], &data)
+            .unwrap();
+        let tenant = registry.get("hammered").unwrap();
+
+        let per_query_sum = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    let tenant = Arc::clone(&tenant);
+                    let data = &data;
+                    scope.spawn(move || {
+                        let mut sum = MatchStats::default();
+                        for q in 0..QUERIES_PER_THREAD {
+                            let needle = if (t + q) % 2 == 0 {
+                                "tenant"
+                            } else {
+                                "at once"
+                            };
+                            let query = QueryPayload::Bits(BitString::from_ascii(needle));
+                            let reply = tenant.run(&query).unwrap();
+                            assert_eq!(
+                                SecureIndexChannel::new(&[0x77; 32])
+                                    .open(&reply.sealed_indices, reply.nonce),
+                                data.find_all(&BitString::from_ascii(needle))
+                            );
+                            assert!(reply.stats.hom_adds > 0);
+                            sum.merge(&reply.stats);
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            let mut total = MatchStats::default();
+            for h in handles {
+                total.merge(&h.join().expect("query thread panicked"));
+            }
+            total
+        });
+
+        let (totals, queries) = tenant.totals();
+        assert_eq!(queries, (THREADS * QUERIES_PER_THREAD) as u64);
+        assert_eq!(
+            totals, per_query_sum,
+            "lifetime totals must equal the sum of per-query stats"
         );
     }
 }

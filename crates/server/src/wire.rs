@@ -361,6 +361,7 @@ fn put_error(out: &mut Vec<u8>, e: &MatchError) {
         MatchError::UnknownTenant(id) => (10, 0, 0, id.as_str()),
         MatchError::Frame(what) => (11, 0, 0, *what),
         MatchError::Transport(what) => (12, 0, 0, what.as_str()),
+        MatchError::ServerBusy { max_connections } => (13, *max_connections as u64, 0, ""),
     };
     out.push(tag);
     put_u64(out, a);
@@ -404,6 +405,7 @@ fn read_error(r: &mut Reader<'_>) -> Result<MatchError, MatchError> {
         10 => MatchError::UnknownTenant(text),
         11 => MatchError::Frame(REMOTE),
         12 => MatchError::Transport(text),
+        13 => MatchError::ServerBusy { max_connections: a },
         _ => return Err(MatchError::Frame("unknown error tag")),
     })
 }
@@ -681,6 +683,9 @@ mod tests {
             Response::TenantStats { stats, queries: 3 },
             Response::Error(MatchError::QueryTooLong { max: 8, got: 99 }),
             Response::Error(MatchError::UnknownTenant("mallory".into())),
+            Response::Error(MatchError::ServerBusy {
+                max_connections: 64,
+            }),
         ];
         for resp in samples {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);

@@ -18,7 +18,8 @@ use cm_bfv::BfvParams;
 use cm_core::BitString;
 use cm_flash::FlashGeometry;
 use cm_server::{
-    IfpMatcher, MatchClient, MatchServer, ShardedCmMatcher, TenantAccess, TenantRegistry,
+    IfpMatcher, MatchClient, MatchServer, ServerConfig, ShardedCmMatcher, TenantAccess,
+    TenantRegistry,
 };
 use cm_ssd::TransposeMode;
 use rand::rngs::StdRng;
@@ -55,18 +56,24 @@ fn main() {
     .unwrap();
     let bob_kit = bob.query_kit();
 
+    // Alice gets a matcher pool of 2 (two of her queries run at once,
+    // sharing one shard executor and one encrypted database); bob keeps
+    // the default pool size.
     let mut registry = TenantRegistry::new();
     registry
-        .register("alice", Box::new(alice), &ALICE_KEY, &alice_data)
+        .register_with_workers("alice", Box::new(alice), 2, &ALICE_KEY, &alice_data)
         .unwrap();
     registry
         .register("bob", cm_core::erase(bob, 22), &BOB_KEY, &bob_data)
         .unwrap();
 
-    // --- Serve --------------------------------------------------------
-    let server = MatchServer::new(registry).spawn("127.0.0.1:0").unwrap();
+    // --- Serve (bounded connection pool, not thread-per-accept) -------
+    let server = MatchServer::with_config(registry, ServerConfig { max_connections: 8 })
+        .unwrap()
+        .spawn("127.0.0.1:0")
+        .unwrap();
     let addr = server.addr();
-    println!("serving 2 tenants on {addr}");
+    println!("serving 2 tenants on {addr} (max 8 connections)");
     {
         let mut probe = MatchClient::connect(addr).unwrap();
         println!("backends: {}", probe.backends().unwrap().join(", "));

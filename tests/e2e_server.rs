@@ -15,15 +15,21 @@
 //!   cycles (`flash_wear == 0`) while still counting `Hom-Add`s;
 //! * protocol failures (unknown tenant, wire queries to a backend
 //!   without a wire format, truncated encrypted queries) surface as typed
-//!   errors, never hangs or panics.
+//!   errors, never hangs or panics;
+//! * two queries for the *same* tenant are in flight simultaneously
+//!   (a barrier inside a gated backend proves the overlap) — the
+//!   per-tenant matcher pool, not a per-tenant mutex;
+//! * connections past the configured `max_connections` cap receive a
+//!   typed `ServerBusy` rejection instead of an unbounded thread spawn,
+//!   and a freed slot readmits new connections.
 
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 use cm_bfv::BfvParams;
 use cm_core::{Backend, BitString, MatchError, MatchStats, MatcherConfig};
 use cm_flash::FlashGeometry;
 use cm_server::{
-    IfpMatcher, MatchClient, MatchReply, MatchServer, ShardedCmMatcher, TenantAccess,
+    IfpMatcher, MatchClient, MatchReply, MatchServer, ServerConfig, ShardedCmMatcher, TenantAccess,
     TenantRegistry,
 };
 use cm_ssd::TransposeMode;
@@ -220,6 +226,200 @@ fn concurrent_multi_tenant_serving_over_tcp() {
     // The connection survives all three rejections.
     assert_eq!(probe.tenants().unwrap().len(), 3);
 
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Per-tenant concurrency: two queries for ONE tenant in flight at once
+// ---------------------------------------------------------------------------
+
+/// Counts overlapping `find_all` calls; each call blocks until a second
+/// call is in flight (or a timeout passes), so the test deadlock-freely
+/// distinguishes "the tenant pool ran us concurrently" from "queries for
+/// one tenant still serialize".
+struct Gate {
+    state: Mutex<(usize, usize)>, // (in flight now, peak overlap)
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new((0, 0)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn enter(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.0 += 1;
+        s.1 = s.1.max(s.0);
+        self.cv.notify_all();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while s.1 < 2 {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                break; // serialized execution: report via peak(), don't hang
+            }
+            s = self.cv.wait_timeout(s, left).unwrap().0;
+        }
+    }
+
+    fn exit(&self) {
+        self.state.lock().unwrap().0 -= 1;
+    }
+
+    fn peak(&self) -> usize {
+        self.state.lock().unwrap().1
+    }
+}
+
+/// A plaintext matcher whose searches rendezvous on a shared [`Gate`];
+/// clones share the gate, exactly like pool members share a database.
+struct GatedPlainMatcher {
+    data: Option<BitString>,
+    gate: Arc<Gate>,
+}
+
+impl cm_core::ErasedMatcher for GatedPlainMatcher {
+    fn backend(&self) -> Backend {
+        Backend::Plain
+    }
+
+    fn load_database(&mut self, data: &BitString) -> Result<(), MatchError> {
+        self.data = Some(data.clone());
+        Ok(())
+    }
+
+    fn has_database(&self) -> bool {
+        self.data.is_some()
+    }
+
+    fn database_bytes(&self) -> Option<u64> {
+        self.data.as_ref().map(|d| d.len().div_ceil(8) as u64)
+    }
+
+    fn find_all(&mut self, query: &BitString) -> Result<Vec<usize>, MatchError> {
+        let data = self.data.as_ref().ok_or(MatchError::NoDatabase)?;
+        self.gate.enter();
+        let hits = data.find_all(query);
+        self.gate.exit();
+        Ok(hits)
+    }
+
+    fn stats(&self) -> MatchStats {
+        MatchStats::default()
+    }
+
+    fn reset_stats(&mut self) {}
+
+    fn reseed(&mut self, _seed: u64) {}
+
+    fn boxed_clone(&self) -> Box<dyn cm_core::ErasedMatcher> {
+        Box::new(GatedPlainMatcher {
+            data: self.data.clone(),
+            gate: Arc::clone(&self.gate),
+        })
+    }
+}
+
+/// The ROADMAP-flagged serialization is gone: with a matcher pool of K=2,
+/// two TCP queries for the *same* tenant overlap inside the backend
+/// (proved by a barrier both must pass), instead of queueing on one
+/// matcher mutex.
+#[test]
+fn one_tenants_queries_run_concurrently() {
+    let gate = Arc::new(Gate::new());
+    let data = BitString::from_ascii("two queries, one tenant, zero serialization");
+    let mut registry = TenantRegistry::new();
+    registry
+        .register_with_workers(
+            "solo",
+            Box::new(GatedPlainMatcher {
+                data: None,
+                gate: Arc::clone(&gate),
+            }),
+            2,
+            &CAROL_KEY,
+            &data,
+        )
+        .unwrap();
+    let server = MatchServer::new(registry).spawn("127.0.0.1:0").unwrap();
+    let addr = server.addr();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for pattern in ["queries", "tenant"] {
+            let data = &data;
+            handles.push(scope.spawn(move || {
+                let mut client = MatchClient::connect(addr).unwrap();
+                let pattern = BitString::from_ascii(pattern);
+                let reply = client
+                    .search_bits(&TenantAccess::new("solo", &CAROL_KEY), &pattern)
+                    .unwrap();
+                assert_eq!(reply.indices, data.find_all(&pattern));
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("client thread panicked");
+        }
+    });
+    assert!(
+        gate.peak() >= 2,
+        "two queries for one tenant must be in flight simultaneously, \
+         saw a peak overlap of {}",
+        gate.peak()
+    );
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// The connection bound: reject, typed, never spawn past the cap
+// ---------------------------------------------------------------------------
+
+#[test]
+fn connections_past_the_cap_get_a_typed_busy_error() {
+    let mut registry = TenantRegistry::new();
+    let data = BitString::from_ascii("bounded front door");
+    registry
+        .register(
+            "solo",
+            MatcherConfig::new(Backend::Plain).build().unwrap(),
+            &CAROL_KEY,
+            &data,
+        )
+        .unwrap();
+    let server = MatchServer::with_config(registry, ServerConfig { max_connections: 1 })
+        .unwrap()
+        .spawn("127.0.0.1:0")
+        .unwrap();
+    let addr = server.addr();
+
+    // First client occupies the single slot...
+    let mut first = MatchClient::connect(addr).unwrap();
+    assert!(!first.backends().unwrap().is_empty());
+
+    // ...so the second is rejected with the typed wire error, not queued
+    // onto a freshly spawned thread.
+    let mut second = MatchClient::connect(addr).unwrap();
+    assert_eq!(
+        second.backends().err(),
+        Some(MatchError::ServerBusy { max_connections: 1 })
+    );
+
+    // Releasing the slot readmits new connections (retry: the server
+    // notices the hangup asynchronously).
+    drop(first);
+    let mut admitted = false;
+    for _ in 0..100 {
+        let mut retry = MatchClient::connect(addr).unwrap();
+        if retry.backends().is_ok() {
+            admitted = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert!(admitted, "a freed slot must readmit connections");
     server.shutdown();
 }
 
