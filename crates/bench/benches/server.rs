@@ -10,8 +10,11 @@ use cm_bench::random_bits;
 use cm_bfv::{BfvContext, BfvParams, Encryptor, KeyGenerator};
 use cm_core::WorkerPool;
 use cm_core::{Backend, BitString, CiphermatchEngine, ErasedMatcher, MatchStats, MatcherConfig};
-use cm_server::wire::{Request, Response};
-use cm_server::{QueryPayload, ShardedCmMatcher, ShardedDatabase, TenantRegistry};
+use cm_server::wire::{auth_tag, content_digest, upload_tag, Request, Response, OP_EVICT};
+use cm_server::{
+    EvictAuth, QueryPayload, ShardedCmMatcher, ShardedDatabase, TenantRegistry, TenantSpec,
+    UploadAuth,
+};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -137,11 +140,84 @@ fn bench_wire_codec(c: &mut Criterion) {
     group.finish();
 }
 
+/// The remote lifecycle's hot paths: admitting a serialized database
+/// into the registry (matcher rebuild + validated decode + accounting)
+/// and the register→evict cycle whose accounting must never leak bytes.
+/// Also the cold-tier round trip: demote by admission, re-materialize by
+/// lookup.
+fn bench_database_lifecycle(c: &mut Criterion) {
+    const KEY: [u8; 32] = [0x4C; 32];
+
+    let data = random_bits(2048 * 2, 29);
+    let config = MatcherConfig::new(Backend::Ciphermatch)
+        .insecure_test()
+        .seed(6);
+    let mut owner = config.build().unwrap();
+    owner.load_database(&data).unwrap();
+    let encoded = owner.export_database().unwrap();
+    let spec = TenantSpec::from_config(&config, 1);
+
+    let upload_auth = |tenant: &str, nonce: u64| {
+        let content = content_digest(&KEY, &encoded);
+        UploadAuth {
+            nonce,
+            channel_key: KEY,
+            content,
+            tag: upload_tag(&KEY, tenant, nonce, encoded.len() as u64, &spec, &content),
+        }
+    };
+
+    let mut group = c.benchmark_group("lifecycle");
+    group.sample_size(10);
+    group.bench_function(format!("register_evict_cycle/{}B", encoded.len()), |b| {
+        let registry = TenantRegistry::new();
+        let mut nonce = 0u64;
+        b.iter(|| {
+            nonce += 1;
+            registry
+                .register_remote(
+                    "bench",
+                    &spec,
+                    encoded.clone(),
+                    &upload_auth("bench", nonce),
+                )
+                .unwrap();
+            nonce += 1;
+            let auth = EvictAuth {
+                nonce,
+                tag: auth_tag(&KEY, OP_EVICT, "bench", 0, nonce, &[]),
+            };
+            let freed = registry.evict("bench", &auth).unwrap();
+            assert_eq!(registry.hot_bytes(), 0);
+            black_box(freed)
+        })
+    });
+    group.bench_function(format!("demote_rematerialize/{}B", encoded.len()), |b| {
+        // A budget that fits exactly one of the two tenants: every
+        // iteration's lookups demote one and re-materialize the other.
+        let registry = TenantRegistry::new();
+        registry.set_memory_budget(Some(encoded.len() as u64));
+        registry
+            .register_remote("ping", &spec, encoded.clone(), &upload_auth("ping", 1))
+            .unwrap();
+        registry
+            .register_remote("pong", &spec, encoded.clone(), &upload_auth("pong", 1))
+            .unwrap();
+        b.iter(|| {
+            let ping = registry.get("ping").unwrap();
+            let pong = registry.get("pong").unwrap();
+            black_box((ping.id().len(), pong.id().len()))
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_shard_split,
     bench_sharded_search,
     bench_single_tenant_saturation,
-    bench_wire_codec
+    bench_wire_codec,
+    bench_database_lifecycle
 );
 criterion_main!(benches);

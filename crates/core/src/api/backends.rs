@@ -153,6 +153,20 @@ impl SecureMatcher for CiphermatchMatcher {
         )?)
     }
 
+    fn encode_database(&self, db: &Self::Database) -> Result<Vec<u8>, MatchError> {
+        Ok(db.encode(self.keys.q_bits))
+    }
+
+    fn decode_database(&self, encoded: &[u8]) -> Result<Self::Database, MatchError> {
+        let db = EncryptedDatabase::decode(encoded)?;
+        db.validate(
+            self.keys.ctx.params().n,
+            self.keys.ctx.params().q,
+            self.engine.packing().bits_per_poly(),
+        )?;
+        Ok(db)
+    }
+
     fn database_bytes(&self, db: &Self::Database) -> u64 {
         db.byte_size(self.keys.q_bits) as u64
     }
@@ -576,6 +590,45 @@ impl SecureMatcher for PlainMatcher {
     ) -> Result<Vec<usize>, MatchError> {
         self.stats.bytes_moved += db.len().div_ceil(8) as u64;
         Ok(bitwise_find_all(db, query))
+    }
+
+    fn encode_database(&self, db: &Self::Database) -> Result<Vec<u8>, MatchError> {
+        // A minimal serialized form (bit count + MSB-first packed bytes)
+        // so the unencrypted reference participates in the remote
+        // database lifecycle — and gives the serving tests a fast wire
+        // database format.
+        let mut out = Vec::with_capacity(8 + db.len().div_ceil(8));
+        out.extend_from_slice(&(db.len() as u64).to_le_bytes());
+        let mut packed = vec![0u8; db.len().div_ceil(8)];
+        for (i, &bit) in db.bits().iter().enumerate() {
+            if bit {
+                packed[i / 8] |= 1 << (7 - i % 8);
+            }
+        }
+        out.extend_from_slice(&packed);
+        Ok(out)
+    }
+
+    fn decode_database(&self, encoded: &[u8]) -> Result<Self::Database, MatchError> {
+        use cm_bfv::DecodeError;
+        let header: [u8; 8] = encoded
+            .get(..8)
+            .and_then(|h| h.try_into().ok())
+            .ok_or(MatchError::Decode(DecodeError::Truncated))?;
+        let bit_len = u64::from_le_bytes(header) as usize;
+        // Check the length *before* trusting the header for an
+        // allocation: a lying bit count must not balloon memory.
+        if encoded.len() - 8 != bit_len.div_ceil(8) {
+            return Err(MatchError::Decode(DecodeError::BadHeader(
+                "bit count vs payload length",
+            )));
+        }
+        let packed = &encoded[8..];
+        let mut bits = Vec::with_capacity(bit_len);
+        for i in 0..bit_len {
+            bits.push(packed[i / 8] >> (7 - i % 8) & 1 == 1);
+        }
+        Ok(BitString::from_bits(&bits))
     }
 
     fn database_bytes(&self, db: &Self::Database) -> u64 {

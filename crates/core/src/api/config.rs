@@ -209,6 +209,18 @@ impl MatcherConfig {
         self.threads
     }
 
+    /// The configured query window in bits (see [`Self::window`]).
+    pub fn window_bits(&self) -> usize {
+        self.window
+    }
+
+    /// Whether [`Self::insecure_test`] parameter sets are selected —
+    /// needed to re-create an identical matcher from a wire-transported
+    /// description of this configuration.
+    pub fn is_insecure_test(&self) -> bool {
+        self.insecure
+    }
+
     /// Generates keys and constructs the configured backend behind the
     /// object-safe [`ErasedMatcher`] interface.
     ///
@@ -308,6 +320,28 @@ pub trait ErasedMatcher: Send {
         Err(MatchError::WireQueryUnsupported(self.backend()))
     }
 
+    /// Serializes the loaded database into the backend's native
+    /// wire/storage format — the bytes a key owner uploads with
+    /// `Request::LoadDatabase`, and the cold-tier representation of an
+    /// evicted tenant. Backends without a serialized-database format
+    /// return [`MatchError::WireDatabaseUnsupported`];
+    /// [`MatchError::NoDatabase`] if nothing is loaded.
+    fn export_database(&self) -> Result<Vec<u8>, MatchError> {
+        Err(MatchError::WireDatabaseUnsupported(self.backend()))
+    }
+
+    /// Loads a database that is *already encrypted* in the backend's
+    /// native wire format (the remote-lifecycle path: the key owner
+    /// encrypted the database offline and shipped the bytes). The bytes
+    /// are validated against this matcher's parameter set before any
+    /// ciphertext can reach the search path. Backends without a
+    /// serialized-database format return
+    /// [`MatchError::WireDatabaseUnsupported`].
+    fn load_database_wire(&mut self, encoded: &[u8]) -> Result<(), MatchError> {
+        let _ = encoded;
+        Err(MatchError::WireDatabaseUnsupported(self.backend()))
+    }
+
     /// Statistics accumulated since construction or the last reset.
     fn stats(&self) -> MatchStats;
 
@@ -402,6 +436,17 @@ where
         let q = self.matcher.decode_query(encoded_query)?;
         let db = self.db.clone().ok_or(MatchError::NoDatabase)?;
         self.matcher.find_all(&db, &q, &mut self.rng)
+    }
+
+    fn export_database(&self) -> Result<Vec<u8>, MatchError> {
+        let db = self.db.as_ref().ok_or(MatchError::NoDatabase)?;
+        self.matcher.encode_database(db)
+    }
+
+    fn load_database_wire(&mut self, encoded: &[u8]) -> Result<(), MatchError> {
+        let db = self.matcher.decode_database(encoded)?;
+        self.db = Some(Arc::new(db));
+        Ok(())
     }
 
     fn database_fingerprint(&self) -> Option<usize> {
@@ -589,6 +634,60 @@ mod tests {
                 MatchError::Decode(_)
             ));
         }
+    }
+
+    #[test]
+    fn exported_databases_reload_through_the_wire_path() {
+        // The remote-lifecycle primitive: a key owner encrypts locally,
+        // exports the bytes, and a matcher rebuilt from the same seed
+        // loads them *without re-encrypting* — searches agree exactly.
+        for backend in [Backend::Ciphermatch, Backend::Plain] {
+            let config = MatcherConfig::new(backend).insecure_test().seed(41);
+            let mut owner = config.build().unwrap();
+            assert_eq!(
+                owner.export_database().err(),
+                Some(MatchError::NoDatabase),
+                "{backend}: nothing to export before load"
+            );
+            let data = BitString::from_ascii("export, ship, reload, search");
+            owner.load_database(&data).unwrap();
+            let encoded = owner.export_database().unwrap();
+
+            let mut host = config.build().unwrap();
+            host.load_database_wire(&encoded).unwrap();
+            assert!(host.has_database());
+            let q = BitString::from_ascii("reload");
+            assert_eq!(host.find_all(&q).unwrap(), data.find_all(&q), "{backend}");
+            // Re-export round-trips byte-exact: the registry's accounting
+            // charge is stable across reloads.
+            assert_eq!(host.export_database().unwrap(), encoded, "{backend}");
+
+            // Hostile bytes are typed errors, never panics.
+            for cut in [0usize, 5, encoded.len().saturating_sub(3)] {
+                assert!(matches!(
+                    host.load_database_wire(&encoded[..cut]).unwrap_err(),
+                    MatchError::Decode(_)
+                ));
+            }
+            let mut lying = encoded.clone();
+            lying[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+            assert!(host.load_database_wire(&lying).is_err());
+        }
+
+        // Backends without a serialized-database format say so, typed.
+        let mut m = MatcherConfig::new(Backend::Boolean)
+            .insecure_test()
+            .build()
+            .unwrap();
+        m.load_database(&BitString::from_ascii("ab")).unwrap();
+        assert_eq!(
+            m.export_database().err(),
+            Some(MatchError::WireDatabaseUnsupported(Backend::Boolean))
+        );
+        assert_eq!(
+            m.load_database_wire(&[1, 2, 3]).err(),
+            Some(MatchError::WireDatabaseUnsupported(Backend::Boolean))
+        );
     }
 
     #[test]

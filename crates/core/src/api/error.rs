@@ -58,6 +58,30 @@ pub enum MatchError {
     Frame(&'static str),
     /// The transport under the wire protocol failed (socket I/O).
     Transport(String),
+    /// The request failed its authorization check: a channel-key proof did
+    /// not verify, a channel key did not match the tenant's provisioned
+    /// key, or an upload nonce was replayed. The registry state is left
+    /// untouched.
+    Unauthorized(&'static str),
+    /// Admitting a database would exceed the host memory budget even
+    /// after every evictable tenant was demoted to the cold tier.
+    QuotaExceeded {
+        /// The configured host memory budget in bytes.
+        budget: u64,
+        /// The bytes the rejected database needed.
+        required: u64,
+    },
+    /// A chunked database upload violated its declared shape: a chunk out
+    /// of order or duplicated, data overrunning the declared size, or a
+    /// commit before every declared chunk arrived.
+    UploadIncomplete(&'static str),
+    /// A database arrived in a backend's native serialized format, but
+    /// this backend defines no such format (only the CIPHERMATCH family
+    /// and the plaintext reference do).
+    WireDatabaseUnsupported(Backend),
+    /// The peer closed the connection before answering the in-flight
+    /// request (e.g. the server hung up mid-upload).
+    ConnectionClosed,
 }
 
 impl std::fmt::Display for MatchError {
@@ -94,6 +118,19 @@ impl std::fmt::Display for MatchError {
             ),
             MatchError::Frame(what) => write!(f, "malformed wire frame: {what}"),
             MatchError::Transport(what) => write!(f, "transport failure: {what}"),
+            MatchError::Unauthorized(what) => write!(f, "unauthorized: {what}"),
+            MatchError::QuotaExceeded { budget, required } => write!(
+                f,
+                "database of {required} bytes exceeds the {budget}-byte host memory budget"
+            ),
+            MatchError::UploadIncomplete(what) => write!(f, "incomplete upload: {what}"),
+            MatchError::WireDatabaseUnsupported(backend) => write!(
+                f,
+                "backend {backend} has no serialized-database wire format"
+            ),
+            MatchError::ConnectionClosed => {
+                write!(f, "the peer closed the connection mid-request")
+            }
         }
     }
 }

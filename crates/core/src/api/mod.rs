@@ -105,6 +105,26 @@ pub trait SecureMatcher {
         Err(MatchError::WireQueryUnsupported(self.backend()))
     }
 
+    /// Serializes `db` into this backend's native wire/storage format —
+    /// what a key owner ships to a serving host with
+    /// `Request::LoadDatabase`, and what the host's cold tier stores for
+    /// an evicted tenant. Backends without a serialized-database format
+    /// return [`MatchError::WireDatabaseUnsupported`].
+    fn encode_database(&self, db: &Self::Database) -> Result<Vec<u8>, MatchError> {
+        let _ = db;
+        Err(MatchError::WireDatabaseUnsupported(self.backend()))
+    }
+
+    /// Decodes **and validates** a database that arrived in this backend's
+    /// native wire format: hostile bytes must surface as a typed error
+    /// before any ciphertext can reach the search path. Backends without a
+    /// serialized-database format return
+    /// [`MatchError::WireDatabaseUnsupported`].
+    fn decode_database(&self, encoded: &[u8]) -> Result<Self::Database, MatchError> {
+        let _ = encoded;
+        Err(MatchError::WireDatabaseUnsupported(self.backend()))
+    }
+
     /// Encrypted footprint of `db` in bytes (Fig. 2a's y-axis).
     fn database_bytes(&self, db: &Self::Database) -> u64;
 

@@ -47,9 +47,10 @@ impl EncryptedDatabase {
     }
 
     /// Serializes the database for upload/storage: a small header plus
-    /// every ciphertext in the compact `cm-bfv` wire format.
+    /// every ciphertext in the compact `cm-bfv` wire format. The output is
+    /// exactly [`Self::encoded_len`] bytes.
     pub fn encode(&self, q_bits: u32) -> Vec<u8> {
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(self.encoded_len(q_bits));
         out.extend_from_slice(&(self.total_bits as u64).to_le_bytes());
         out.extend_from_slice(&(self.cts.len() as u32).to_le_bytes());
         for ct in &self.cts {
@@ -57,7 +58,70 @@ impl EncryptedDatabase {
             out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
             out.extend_from_slice(&bytes);
         }
+        debug_assert_eq!(out.len(), self.encoded_len(q_bits));
         out
+    }
+
+    /// Exact byte length of [`Self::encode`]'s output, computed without
+    /// serializing — the registry-accounting charge of hosting this
+    /// database (12-byte database header, then per ciphertext a 4-byte
+    /// length prefix, the 12-byte `cm-bfv` header, and the packed
+    /// coefficients).
+    pub fn encoded_len(&self, q_bits: u32) -> usize {
+        12 + self
+            .cts
+            .iter()
+            .map(|ct| 16 + ct.byte_size(q_bits))
+            .sum::<usize>()
+    }
+
+    /// Checks that a decoded database is well-formed *for this parameter
+    /// set*: every ciphertext is a fresh size-2 ciphertext over ring
+    /// degree `n` with coefficients below `q`, and the declared bit count
+    /// is consistent with the ciphertext count at `bits_per_poly` packing
+    /// density. Run this on every untrusted upload before the ciphertexts
+    /// can reach the search or index-generation paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`cm_bfv::DecodeError`] naming the violated invariant.
+    pub fn validate(
+        &self,
+        n: usize,
+        q: u64,
+        bits_per_poly: usize,
+    ) -> Result<(), cm_bfv::DecodeError> {
+        use cm_bfv::DecodeError;
+        if self.cts.is_empty() {
+            return if self.total_bits == 0 {
+                Ok(())
+            } else {
+                Err(DecodeError::BadHeader("bit count without ciphertexts"))
+            };
+        }
+        let max_bits = self.cts.len().saturating_mul(bits_per_poly);
+        let min_bits = (self.cts.len() - 1).saturating_mul(bits_per_poly);
+        // The packer emits one (possibly empty) polynomial even for zero
+        // bits, so a single ciphertext may carry any count up to the
+        // packing density; beyond one, every non-final polynomial must be
+        // full.
+        if self.total_bits > max_bits || (self.cts.len() > 1 && self.total_bits <= min_bits) {
+            return Err(DecodeError::BadHeader("bit count vs ciphertext count"));
+        }
+        for ct in &self.cts {
+            if ct.size() != 2 {
+                return Err(DecodeError::BadHeader("database ciphertext size"));
+            }
+            for part in ct.parts() {
+                if part.len() != n {
+                    return Err(DecodeError::BadHeader("database ring degree"));
+                }
+                if part.coeffs().iter().any(|&c| c >= q) {
+                    return Err(DecodeError::CoefficientOverflow);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Extracts the contiguous polynomial sub-range `polys` as a
@@ -840,6 +904,60 @@ mod tests {
         let shard_bits = data.slice(bpp, bpp);
         assert_eq!(local, shard_bits.find_all(&pattern));
         assert!(local.contains(&40));
+    }
+
+    #[test]
+    fn encoded_len_matches_encode_and_validate_pins_geometry() {
+        let f = Fixture::new();
+        let mut rng = StdRng::seed_from_u64(6464);
+        let (_, pk) = {
+            let kg = KeyGenerator::new(&f.ctx, &mut rng);
+            (kg.secret_key(), kg.public_key(&mut rng))
+        };
+        let enc = Encryptor::new(&f.ctx, pk);
+        let engine = CiphermatchEngine::new(&f.ctx);
+        let q_bits = 64 - f.ctx.params().q.leading_zeros();
+        let n = f.ctx.params().n;
+        let q = f.ctx.params().q;
+        let bpp = engine.packing().bits_per_poly();
+
+        // Single- and multi-polynomial databases: encoded_len is exact.
+        for len in [40usize, bpp, bpp + 1, bpp * 2 + 100] {
+            let data = BitString::from_bits(&vec![true; len]);
+            let db = engine.encrypt_database(&enc, &data, &mut rng);
+            assert_eq!(
+                db.encode(q_bits).len(),
+                db.encoded_len(q_bits),
+                "{len} bits"
+            );
+            let restored = EncryptedDatabase::decode(&db.encode(q_bits)).unwrap();
+            restored.validate(n, q, bpp).expect("well-formed");
+            // The wrong geometry is rejected before the engine sees it.
+            assert!(restored.validate(n * 2, q, bpp).is_err());
+            assert!(restored.validate(n, 2, bpp).is_err());
+            if restored.poly_count() > 1 {
+                // Only a multi-polynomial database pins the packing
+                // density (one polynomial holds any count up to bpp).
+                assert!(restored.validate(n, q, bpp * 2).is_err());
+            }
+        }
+
+        // A lying bit count (more bits than the ciphertexts can hold, or
+        // few enough that the last polynomial would be empty) fails.
+        let data = BitString::from_bits(&vec![false; bpp + 9]);
+        let db = engine.encrypt_database(&enc, &data, &mut rng);
+        let mut lying = db.clone();
+        lying.total_bits = bpp * 3;
+        assert!(lying.validate(n, q, bpp).is_err());
+        lying.total_bits = bpp;
+        assert!(lying.validate(n, q, bpp).is_err());
+
+        // The empty database is representable (the packer pads to one
+        // polynomial).
+        let empty = engine.encrypt_database(&enc, &BitString::new(), &mut rng);
+        assert!(empty.poly_count() <= 1);
+        empty.validate(n, q, bpp).expect("empty database");
+        assert_eq!(empty.encode(q_bits).len(), empty.encoded_len(q_bits));
     }
 
     /// Fuzz-ish regression for the decode path: every truncation of a

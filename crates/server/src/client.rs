@@ -14,12 +14,18 @@ use std::time::Duration;
 use cm_core::{BitString, MatchError, MatchStats};
 use cm_ssd::SecureIndexChannel;
 
-use crate::wire::{read_frame, write_frame, QueryPayload, Request, Response, TenantInfo};
+use crate::wire::{
+    auth_tag, content_digest, read_frame, upload_tag, write_frame, DatabaseInfoReply, EvictAuth,
+    QueryPayload, Request, Response, TenantInfo, TenantSpec, UploadAuth, UploadPhase, OP_EVICT,
+};
 
 /// A tenant's client-side credentials: the id plus the AES-256 channel
-/// key delivered offline (paper §7.2).
+/// key delivered offline (paper §7.2). The key both opens sealed index
+/// lists and proves ownership for the lifecycle operations
+/// ([`MatchClient::upload_database`], [`MatchClient::evict_database`]).
 pub struct TenantAccess {
     id: String,
+    key: [u8; 32],
     channel: SecureIndexChannel,
 }
 
@@ -36,6 +42,7 @@ impl TenantAccess {
     pub fn new(id: &str, channel_key: &[u8; 32]) -> Self {
         Self {
             id: id.to_string(),
+            key: *channel_key,
             channel: SecureIndexChannel::new(channel_key),
         }
     }
@@ -107,12 +114,13 @@ impl MatchClient {
         let wrote = write_frame(&mut self.stream, &request.encode());
         match read_frame(&mut self.stream) {
             Ok(Some(payload)) => Response::decode(&payload),
-            Ok(None) => {
-                wrote?;
-                Err(MatchError::Transport(
-                    "server closed the connection".to_string(),
-                ))
-            }
+            // The server hung up instead of answering — whether our write
+            // got through (clean hangup) or broke mid-frame (half-written
+            // request, e.g. a connection dropped mid-upload). Either way
+            // the caller gets the typed [`MatchError::ConnectionClosed`],
+            // never a raw io-error string it would have to parse.
+            Ok(None) => Err(MatchError::ConnectionClosed),
+            Err(MatchError::Transport(_)) if wrote.is_err() => Err(MatchError::ConnectionClosed),
             Err(read_err) => {
                 wrote?;
                 Err(read_err)
@@ -158,6 +166,129 @@ impl MatchClient {
         };
         match self.roundtrip(&request)? {
             Response::TenantStats { stats, queries } => Ok((stats, queries)),
+            Response::Error(e) => Err(e),
+            _ => Err(MatchError::Frame("unexpected response kind")),
+        }
+    }
+
+    /// Chunk size [`Self::upload_database`] splits a serialized database
+    /// into (1 MiB — far below the frame cap, so progress acks flow
+    /// regularly during a large upload).
+    pub const UPLOAD_CHUNK_BYTES: usize = 1 << 20;
+
+    /// Uploads a serialized encrypted database
+    /// ([`cm_core::ErasedMatcher::export_database`]) for `access.id`,
+    /// chunked, and registers the tenant on the server with the matcher
+    /// described by `spec`. `nonce` must strictly exceed every nonce this
+    /// tenant id has used before (replays are rejected). Returns the
+    /// server's accounting charge and any tenants the admission demoted.
+    ///
+    /// The first upload for an id binds it to `access`'s channel key;
+    /// later uploads and evictions must present the same key.
+    ///
+    /// # Errors
+    ///
+    /// Transport/framing errors, [`MatchError::ConnectionClosed`] if the
+    /// server hangs up mid-upload, or the server's reported
+    /// [`MatchError`] ([`MatchError::Unauthorized`],
+    /// [`MatchError::QuotaExceeded`], [`MatchError::UploadIncomplete`],
+    /// decode failures, …).
+    pub fn upload_database(
+        &mut self,
+        access: &TenantAccess,
+        spec: &TenantSpec,
+        database: &[u8],
+        nonce: u64,
+    ) -> Result<(u64, Vec<String>), MatchError> {
+        let total_bytes = database.len() as u64;
+        let chunks: Vec<&[u8]> = if database.is_empty() {
+            vec![&[]]
+        } else {
+            database.chunks(Self::UPLOAD_CHUNK_BYTES).collect()
+        };
+        // The tag binds the tenant, nonce, declared size, the full spec,
+        // and a digest of the payload bytes — the server rejects a
+        // commit whose received bytes do not hash to `content`.
+        let content = content_digest(&access.key, database);
+        let begin = Request::LoadDatabase {
+            tenant: access.id.clone(),
+            phase: UploadPhase::Begin {
+                auth: UploadAuth {
+                    nonce,
+                    channel_key: access.key,
+                    content,
+                    tag: upload_tag(&access.key, &access.id, nonce, total_bytes, spec, &content),
+                },
+                spec: spec.clone(),
+                total_bytes,
+                chunk_count: chunks.len() as u32,
+            },
+        };
+        self.expect_progress(&begin)?;
+        for (index, chunk) in chunks.iter().enumerate() {
+            let request = Request::LoadDatabase {
+                tenant: access.id.clone(),
+                phase: UploadPhase::Chunk {
+                    index: index as u32,
+                    data: chunk.to_vec(),
+                },
+            };
+            self.expect_progress(&request)?;
+        }
+        let commit = Request::LoadDatabase {
+            tenant: access.id.clone(),
+            phase: UploadPhase::Commit,
+        };
+        match self.roundtrip(&commit)? {
+            Response::DatabaseLoaded { bytes, demoted } => Ok((bytes, demoted)),
+            Response::Error(e) => Err(e),
+            _ => Err(MatchError::Frame("unexpected response kind")),
+        }
+    }
+
+    fn expect_progress(&mut self, request: &Request) -> Result<(), MatchError> {
+        match self.roundtrip(request)? {
+            Response::UploadProgress { .. } => Ok(()),
+            Response::Error(e) => Err(e),
+            _ => Err(MatchError::Frame("unexpected response kind")),
+        }
+    }
+
+    /// Evicts `access.id`'s database from the serving host entirely,
+    /// proving ownership with a channel-key MAC (the key itself never
+    /// travels). Returns the hot-tier bytes the server released.
+    ///
+    /// # Errors
+    ///
+    /// Transport/framing errors, or the server's reported [`MatchError`]
+    /// ([`MatchError::Unauthorized`], [`MatchError::UnknownTenant`]).
+    pub fn evict_database(&mut self, access: &TenantAccess, nonce: u64) -> Result<u64, MatchError> {
+        let request = Request::EvictDatabase {
+            tenant: access.id.clone(),
+            auth: EvictAuth {
+                nonce,
+                tag: auth_tag(&access.key, OP_EVICT, &access.id, 0, nonce, &[]),
+            },
+        };
+        match self.roundtrip(&request)? {
+            Response::Evicted { freed_bytes } => Ok(freed_bytes),
+            Response::Error(e) => Err(e),
+            _ => Err(MatchError::Frame("unexpected response kind")),
+        }
+    }
+
+    /// Reads a tenant database's lifecycle state (tier, accounting
+    /// charge, pinning, lifetime query count).
+    ///
+    /// # Errors
+    ///
+    /// Transport/framing errors, or the server's reported [`MatchError`].
+    pub fn database_info(&mut self, tenant: &str) -> Result<DatabaseInfoReply, MatchError> {
+        let request = Request::DatabaseInfo {
+            tenant: tenant.to_string(),
+        };
+        match self.roundtrip(&request)? {
+            Response::DatabaseInfo(info) => Ok(info),
             Response::Error(e) => Err(e),
             _ => Err(MatchError::Frame("unexpected response kind")),
         }

@@ -31,7 +31,15 @@
 //!   [`cm_core::MatcherPool`] of K `boxed_clone`'d matchers + key
 //!   material ([`cm_ssd::SecureIndexChannel`]), one key domain per
 //!   tenant, many tenants per process; up to K queries per tenant run
-//!   concurrently, each on an exclusively checked-out matcher;
+//!   concurrently, each on an exclusively checked-out matcher. The
+//!   registry owns the **remote database lifecycle**: serialized
+//!   encrypted databases are uploaded chunked over the wire
+//!   ([`Request::LoadDatabase`], authorized by proof-of-possession of
+//!   the channel key), accounted byte-exactly against a host memory
+//!   budget ([`ServerConfig::memory_budget`]), demoted to a cold tier in
+//!   LRU order when the budget fills (pinned tenants exempt),
+//!   re-materialized on demand through the shared exec runtime, and
+//!   retired with [`Request::EvictDatabase`];
 //! * [`wire`] — the length-prefixed binary protocol (encrypted queries
 //!   in, AES-sealed index lists out), hardened against truncated,
 //!   oversized, and garbage frames;
@@ -84,6 +92,9 @@ pub use server::{MatchServer, RunningServer, ServerConfig};
 pub use shard::{ShardPlan, ShardRange, ShardedDatabase};
 pub use sharded::ShardedCmMatcher;
 pub use tenant::{MatchedReply, Tenant, TenantRegistry, DEFAULT_TENANT_WORKERS};
-pub use wire::{QueryPayload, Request, Response, TenantInfo, MAX_FRAME_BYTES};
+pub use wire::{
+    DatabaseInfoReply, EvictAuth, QueryPayload, Request, Response, TenantInfo, TenantSpec,
+    UploadAuth, UploadPhase, MAX_DATABASE_BYTES, MAX_FRAME_BYTES, MAX_TENANT_WORKERS,
+};
 
 mod sharded;

@@ -23,7 +23,9 @@ use std::thread::JoinHandle;
 use cm_core::{Backend, MatchError, WorkerPool};
 
 use crate::tenant::TenantRegistry;
-use crate::wire::{read_frame, write_frame, Request, Response};
+use crate::wire::{
+    read_frame, write_frame, Request, Response, TenantSpec, UploadAuth, UploadPhase,
+};
 
 /// Front-end knobs for a serving process.
 #[derive(Debug, Clone)]
@@ -32,12 +34,18 @@ pub struct ServerConfig {
     /// connection worker pool). Connections beyond the cap receive a
     /// [`MatchError::ServerBusy`] frame and are closed.
     pub max_connections: usize,
+    /// Host memory budget in bytes for hot tenant databases (`None` =
+    /// unbounded). Admissions past the budget demote least-recently-used
+    /// unpinned remote tenants to the cold tier; see
+    /// [`TenantRegistry::set_memory_budget`].
+    pub memory_budget: Option<u64>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         Self {
             max_connections: 64,
+            memory_budget: None,
         }
     }
 }
@@ -69,6 +77,9 @@ impl MatchServer {
             return Err(MatchError::InvalidConfig(
                 "max_connections must be positive",
             ));
+        }
+        if let Some(budget) = config.memory_budget {
+            registry.set_memory_budget(Some(budget));
         }
         Ok(Self {
             registry: Arc::new(registry),
@@ -217,6 +228,9 @@ fn accept_loop(
     let Ok(pool) = WorkerPool::new(conns.limit) else {
         return; // zero cap is rejected in with_config; defensive only
     };
+    // One staging account for the whole server: concurrent uploads from
+    // every connection share (and are bounded by) it.
+    let staging = Arc::new(Staging::new(registry.memory_budget()));
     for stream in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
@@ -240,13 +254,14 @@ fn accept_loop(
             continue;
         };
         let registry = Arc::clone(registry);
+        let staging = Arc::clone(&staging);
         let slot = SlotGuard {
             conns: Arc::clone(conns),
             token,
         };
         let _detached = pool.submit(move || {
             let _slot = slot; // released on drop, panic included
-            handle_connection(stream, &registry);
+            handle_connection(stream, &registry, &staging);
         });
     }
     // `pool` drops here: graceful drain, then join, of every admitted
@@ -260,14 +275,18 @@ fn accept_loop(
 const CONNECTION_READ_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(300);
 
 /// Runs one connection's request loop until the peer closes or the
-/// transport fails.
-fn handle_connection(mut stream: TcpStream, registry: &TenantRegistry) {
+/// transport fails. Upload state is connection-scoped: a chunked
+/// database upload lives and dies with its connection, so a dropped
+/// connection discards the staged bytes without touching the registry
+/// (and releases its staging reservation on drop).
+fn handle_connection(mut stream: TcpStream, registry: &TenantRegistry, staging: &Arc<Staging>) {
     if stream
         .set_read_timeout(Some(CONNECTION_READ_TIMEOUT))
         .is_err()
     {
         return;
     }
+    let mut upload: Option<UploadSession> = None;
     loop {
         let payload = match read_frame(&mut stream) {
             Ok(Some(payload)) => payload,
@@ -282,7 +301,7 @@ fn handle_connection(mut stream: TcpStream, registry: &TenantRegistry) {
             }
         };
         let response = match Request::decode(&payload) {
-            Ok(request) => dispatch(&request, registry),
+            Ok(request) => dispatch(&request, registry, staging, &mut upload),
             Err(e) => Response::Error(e),
         };
         if write_frame(&mut stream, &response.encode()).is_err() {
@@ -291,8 +310,240 @@ fn handle_connection(mut stream: TcpStream, registry: &TenantRegistry) {
     }
 }
 
+/// The server-wide staged-upload accounting: the sum of every in-flight
+/// upload's *declared* size, bounded so that concurrent hostile uploads
+/// cannot stage unbounded bytes in RAM before ever committing (the
+/// registry's budget only governs *admitted* databases).
+struct Staging {
+    used: std::sync::atomic::AtomicU64,
+    /// The registry's memory budget when one is set, otherwise
+    /// [`crate::wire::MAX_DATABASE_BYTES`] — staged bytes get the same
+    /// allowance as the hot tier, never more.
+    cap: u64,
+}
+
+impl Staging {
+    fn new(memory_budget: Option<u64>) -> Self {
+        Self {
+            used: std::sync::atomic::AtomicU64::new(0),
+            cap: memory_budget.unwrap_or(crate::wire::MAX_DATABASE_BYTES),
+        }
+    }
+
+    /// Reserves `bytes` of staging room, or fails typed when the
+    /// server-wide cap is reached.
+    fn reserve(self: &Arc<Self>, bytes: u64) -> Result<StagingLease, MatchError> {
+        let mut current = self.used.load(Ordering::SeqCst);
+        loop {
+            let proposed = current.saturating_add(bytes);
+            if proposed > self.cap {
+                return Err(MatchError::QuotaExceeded {
+                    budget: self.cap,
+                    required: bytes,
+                });
+            }
+            match self
+                .used
+                .compare_exchange(current, proposed, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => {
+                    return Ok(StagingLease {
+                        staging: Arc::clone(self),
+                        bytes,
+                    })
+                }
+                Err(observed) => current = observed,
+            }
+        }
+    }
+}
+
+/// RAII staging reservation: released when the upload session ends —
+/// commit, abort, replacement by a fresh `Begin`, or connection drop.
+struct StagingLease {
+    staging: Arc<Staging>,
+    bytes: u64,
+}
+
+impl Drop for StagingLease {
+    fn drop(&mut self) {
+        self.staging.used.fetch_sub(self.bytes, Ordering::SeqCst);
+    }
+}
+
+/// How long one upload may take from `Begin` to `Commit` before its
+/// session (and staging reservation) is reclaimed: a peer must not be
+/// able to hold a large reservation open indefinitely by dribbling
+/// bytes.
+const UPLOAD_DEADLINE: std::time::Duration = std::time::Duration::from_secs(600);
+
+/// One in-flight chunked database upload, staged entirely in connection
+/// state — the registry is only touched at `Commit`, so an aborted or
+/// abandoned upload leaves it untouched. The session is dropped (and
+/// its staging reservation released) on commit, abort, a fresh `Begin`,
+/// any non-upload request on the connection, the [`UPLOAD_DEADLINE`],
+/// or connection close.
+struct UploadSession {
+    tenant: String,
+    spec: TenantSpec,
+    auth: UploadAuth,
+    started: std::time::Instant,
+    expected_bytes: u64,
+    chunk_count: u32,
+    next_chunk: u32,
+    data: Vec<u8>,
+    /// Holds the staging reservation for `expected_bytes`.
+    _lease: StagingLease,
+}
+
+/// Handles one [`Request::LoadDatabase`] step against the connection's
+/// upload session. Any violation of the declared shape aborts the
+/// session (the next upload must start over at `Begin`) and returns a
+/// typed error.
+fn dispatch_upload(
+    tenant: &str,
+    phase: &UploadPhase,
+    registry: &TenantRegistry,
+    staging: &Arc<Staging>,
+    upload: &mut Option<UploadSession>,
+) -> Response {
+    match phase {
+        UploadPhase::Begin {
+            auth,
+            spec,
+            total_bytes,
+            chunk_count,
+        } => {
+            // A fresh Begin abandons any upload already in progress on
+            // this connection (releasing its staging reservation).
+            *upload = None;
+            if let Err(e) = registry.authorize_upload(tenant, auth, *total_bytes, spec) {
+                return Response::Error(e);
+            }
+            if let Some(budget) = registry.memory_budget() {
+                if *total_bytes > budget {
+                    // Reject before any chunk buffer exists: a declared
+                    // size past the whole budget can never be admitted.
+                    return Response::Error(MatchError::QuotaExceeded {
+                        budget,
+                        required: *total_bytes,
+                    });
+                }
+            }
+            // Reserve the declared size against the *server-wide*
+            // staging cap: many connections declaring large uploads are
+            // bounded collectively, not just per upload.
+            let lease = match staging.reserve(*total_bytes) {
+                Ok(lease) => lease,
+                Err(e) => return Response::Error(e),
+            };
+            *upload = Some(UploadSession {
+                tenant: tenant.to_string(),
+                spec: spec.clone(),
+                auth: auth.clone(),
+                started: std::time::Instant::now(),
+                expected_bytes: *total_bytes,
+                chunk_count: *chunk_count,
+                next_chunk: 0,
+                // Sized by *received* data, never by the declared total:
+                // a lying header cannot balloon memory ahead of bytes
+                // actually sent.
+                data: Vec::new(),
+                _lease: lease,
+            });
+            Response::UploadProgress {
+                received: 0,
+                expected: *total_bytes,
+            }
+        }
+        UploadPhase::Chunk { index, data } => {
+            let Some(session) = upload.as_mut() else {
+                return Response::Error(MatchError::UploadIncomplete(
+                    "chunk without an upload in progress",
+                ));
+            };
+            if session.started.elapsed() > UPLOAD_DEADLINE {
+                *upload = None;
+                return Response::Error(MatchError::UploadIncomplete("upload deadline exceeded"));
+            }
+            if session.tenant != tenant {
+                *upload = None;
+                return Response::Error(MatchError::UploadIncomplete(
+                    "chunk for a different tenant than the upload in progress",
+                ));
+            }
+            if *index != session.next_chunk {
+                *upload = None;
+                return Response::Error(MatchError::UploadIncomplete(
+                    "out-of-order or duplicate chunk",
+                ));
+            }
+            if session.next_chunk >= session.chunk_count {
+                *upload = None;
+                return Response::Error(MatchError::UploadIncomplete(
+                    "more chunks than the upload declared",
+                ));
+            }
+            if session.data.len() as u64 + data.len() as u64 > session.expected_bytes {
+                *upload = None;
+                return Response::Error(MatchError::UploadIncomplete(
+                    "chunk data overruns the declared size",
+                ));
+            }
+            session.data.extend_from_slice(data);
+            session.next_chunk += 1;
+            Response::UploadProgress {
+                received: session.data.len() as u64,
+                expected: session.expected_bytes,
+            }
+        }
+        UploadPhase::Commit => {
+            let Some(session) = upload.take() else {
+                return Response::Error(MatchError::UploadIncomplete(
+                    "commit without an upload in progress",
+                ));
+            };
+            if session.started.elapsed() > UPLOAD_DEADLINE {
+                return Response::Error(MatchError::UploadIncomplete("upload deadline exceeded"));
+            }
+            if session.tenant != tenant {
+                return Response::Error(MatchError::UploadIncomplete(
+                    "commit for a different tenant than the upload in progress",
+                ));
+            }
+            if session.next_chunk != session.chunk_count
+                || session.data.len() as u64 != session.expected_bytes
+            {
+                return Response::Error(MatchError::UploadIncomplete(
+                    "upload is missing declared chunks or bytes",
+                ));
+            }
+            match registry.register_remote(tenant, &session.spec, session.data, &session.auth) {
+                Ok(load) => Response::DatabaseLoaded {
+                    bytes: load.bytes,
+                    demoted: load.demoted,
+                },
+                Err(e) => Response::Error(e),
+            }
+        }
+    }
+}
+
 /// Maps one request to its response; never panics on hostile input.
-fn dispatch(request: &Request, registry: &TenantRegistry) -> Response {
+fn dispatch(
+    request: &Request,
+    registry: &TenantRegistry,
+    staging: &Arc<Staging>,
+    upload: &mut Option<UploadSession>,
+) -> Response {
+    // Any non-upload request abandons the connection's upload session
+    // (releasing its staging reservation): an upload is a tight
+    // Begin→Chunk*→Commit sequence, so interleaved traffic means the
+    // client moved on — and a reservation cannot be kept alive by
+    // pinging around it.
+    if !matches!(request, Request::LoadDatabase { .. }) {
+        *upload = None;
+    }
     match request {
         Request::Ping => Response::Pong {
             backends: Backend::WIRE.iter().map(|b| b.name().to_string()).collect(),
@@ -308,11 +559,21 @@ fn dispatch(request: &Request, registry: &TenantRegistry) -> Response {
             },
             Err(e) => Response::Error(e),
         },
-        Request::TenantStats { tenant } => match registry.get(tenant) {
-            Ok(t) => {
-                let (stats, queries) = t.totals();
-                Response::TenantStats { stats, queries }
-            }
+        // Stats reads must not re-materialize a cold tenant: the totals
+        // live in the registry entry.
+        Request::TenantStats { tenant } => match registry.totals_of(tenant) {
+            Ok((stats, queries)) => Response::TenantStats { stats, queries },
+            Err(e) => Response::Error(e),
+        },
+        Request::LoadDatabase { tenant, phase } => {
+            dispatch_upload(tenant, phase, registry, staging, upload)
+        }
+        Request::EvictDatabase { tenant, auth } => match registry.evict(tenant, auth) {
+            Ok(freed_bytes) => Response::Evicted { freed_bytes },
+            Err(e) => Response::Error(e),
+        },
+        Request::DatabaseInfo { tenant } => match registry.info(tenant) {
+            Ok(info) => Response::DatabaseInfo(info),
             Err(e) => Response::Error(e),
         },
     }

@@ -1,34 +1,76 @@
 //! Multi-tenant state: one key domain per tenant, many tenants per
-//! process.
+//! process — with a full remote database lifecycle.
 //!
 //! Each [`Tenant`] bundles a [`MatcherPool`] of K `boxed_clone`'d erased
 //! matchers (which share the tenant's encrypted database by `Arc` and own
 //! its HE key material) with the tenant's AES index channel
 //! ([`cm_ssd::SecureIndexChannel`]) and lock-free lifetime statistics
 //! ([`cm_core::StatsAccumulator`]). The [`TenantRegistry`] maps tenant
-//! ids to tenants and is shared immutably by every connection worker.
-//! Queries for *different* tenants never contend, and up to K queries for
-//! the *same* tenant run concurrently — each one checks a matcher out of
-//! the pool for its exclusive use, so per-query [`MatchStats`] come from
-//! the job's [`cm_core::ExecOutcome`] instead of a racy reset/read delta
-//! on one shared matcher behind a mutex.
+//! ids to tenants and is shared by every connection worker. Queries for
+//! *different* tenants never contend, and up to K queries for the *same*
+//! tenant run concurrently — each one checks a matcher out of the pool
+//! for its exclusive use, so per-query [`MatchStats`] come from the job's
+//! [`cm_core::ExecOutcome`] instead of a racy reset/read delta on one
+//! shared matcher behind a mutex.
+//!
+//! ## The two tiers and the memory budget
+//!
+//! The registry accounts every tenant database against a configurable
+//! **host memory budget** (`ServerConfig::memory_budget`). A tenant is
+//! either **hot** — a live [`MatcherPool`] holds its decrypted-side
+//! working state in host memory — or **cold** — only the compact
+//! serialized form ([`cm_core::EncryptedDatabase::encode`]) remains,
+//! modeling the paper's division of labor where bulk ciphertext lives in
+//! flash and only the working set occupies host DRAM. Admitting a
+//! database past the budget demotes the least-recently-used unpinned
+//! *remote* tenant (one registered from a serialized upload; in-process
+//! tenants carry live key material that cannot be rebuilt from bytes and
+//! are never demoted). A query for a cold tenant transparently
+//! **re-materializes** its matcher pool through the shared
+//! [`cm_core::exec`] runtime; in-flight queries on a demoted tenant
+//! finish on their own `Arc` clone unharmed. Each re-materialization
+//! seals replies under a fresh nonce prefix, so demotion cycles never
+//! reuse an AES-CTR keystream.
+//!
+//! ## Authorization
+//!
+//! The first *committed* upload for a tenant id **binds** the id to the
+//! presented channel key (the wire stand-in for the paper's offline
+//! provisioning step) — an unauthenticated `Begin` alone binds nothing
+//! and creates no server state, so ids cannot be squatted for free. The
+//! binding outlives eviction, so an id cannot be hijacked by
+//! re-registering it. Every later upload must present the same key,
+//! every upload tag binds the declared size, the full [`TenantSpec`],
+//! and a digest of the payload bytes ([`crate::wire::upload_tag`]),
+//! every evict must prove possession with an [`crate::wire::auth_tag`]
+//! MAC (the key itself never travels in an evict frame), and per-tenant
+//! nonces must strictly increase — replays are rejected with
+//! [`MatchError::Unauthorized`] and leave the registry untouched.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
 use cm_core::{
     Backend, BitString, ErasedMatcher, MatchError, MatchStats, MatcherPool, StatsAccumulator,
+    WorkerPool,
 };
 use cm_ssd::SecureIndexChannel;
 
-use crate::wire::{QueryPayload, TenantInfo};
+use crate::wire::{
+    auth_tag, content_digest, keys_match, tags_match, upload_tag, DatabaseInfoReply, EvictAuth,
+    QueryPayload, TenantInfo, TenantSpec, UploadAuth, OP_EVICT,
+};
 
 /// Matcher-pool size [`TenantRegistry::register`] provisions when the
 /// caller does not choose one ([`TenantRegistry::register_with_workers`]
 /// does): up to this many queries per tenant run concurrently.
 pub const DEFAULT_TENANT_WORKERS: usize = 4;
+
+/// Workers on the registry's build pool: how many cold tenants can
+/// re-materialize (or remote uploads finish registering) concurrently.
+const BUILD_WORKERS: usize = 2;
 
 /// The result of one tenant query, ready to serialize.
 #[derive(Debug, Clone)]
@@ -47,6 +89,17 @@ pub struct MatchedReply {
     pub seal_latency: Duration,
 }
 
+/// The outcome of admitting a remote database
+/// ([`TenantRegistry::register_remote`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteLoad {
+    /// The registry's accounting charge for the database in bytes (the
+    /// serialized length).
+    pub bytes: u64,
+    /// Tenants the admission demoted to the cold tier, LRU-first.
+    pub demoted: Vec<String>,
+}
+
 /// One registered key owner.
 pub struct Tenant {
     id: String,
@@ -56,10 +109,10 @@ pub struct Tenant {
     // AES-CTR keystreams must never repeat under one channel key: the
     // nonce is a tenant-wide monotonic counter, never client input. Its
     // high 32 bits are a registration-time fresh prefix so that a process
-    // restart (or re-registration) under a long-lived key does not replay
-    // the counter from 1.
+    // restart, re-registration, or cold-tier re-materialization under a
+    // long-lived key does not replay the counter from 1.
     next_nonce: AtomicU64,
-    totals: StatsAccumulator,
+    totals: Arc<StatsAccumulator>,
 }
 
 /// A fresh per-registration nonce prefix: the counter occupies the low 32
@@ -99,6 +152,23 @@ impl std::fmt::Debug for Tenant {
 }
 
 impl Tenant {
+    fn assemble(
+        id: &str,
+        backend: Backend,
+        pool: MatcherPool,
+        channel_key: &[u8; 32],
+        totals: Arc<StatsAccumulator>,
+    ) -> Self {
+        Self {
+            id: id.to_string(),
+            backend,
+            pool,
+            channel: SecureIndexChannel::new(channel_key),
+            next_nonce: AtomicU64::new(nonce_prefix() | 1),
+            totals,
+        }
+    }
+
     /// The tenant id.
     pub fn id(&self) -> &str {
         &self.id
@@ -148,22 +218,134 @@ impl Tenant {
     }
 
     /// Lifetime statistics: field-wise totals and the query count,
-    /// accumulated atomically from per-query outcomes.
+    /// accumulated atomically from per-query outcomes. Survives cold-tier
+    /// demotion and re-materialization (the accumulator is shared with
+    /// the registry entry).
     pub fn totals(&self) -> (MatchStats, u64) {
         self.totals.snapshot()
     }
 }
 
-/// The tenant id → tenant map a serving process is built around.
-#[derive(Debug, Default)]
+/// The id → channel-key binding plus the nonce high-water mark; outlives
+/// eviction so an id cannot be hijacked and old nonces cannot be
+/// replayed after a re-upload.
+struct AuthRecord {
+    channel_key: [u8; 32],
+    last_nonce: u64,
+}
+
+/// One registered tenant's registry-side state.
+struct TenantEntry {
+    backend: Backend,
+    channel_key: [u8; 32],
+    workers: usize,
+    pinned: bool,
+    /// Bumped every time the entry is (re-)inserted, so an off-lock
+    /// re-materialization can detect that the tenant it rebuilt was
+    /// replaced in the meantime and must not be installed.
+    generation: u64,
+    /// LRU stamp: bumped on every lookup.
+    last_used: u64,
+    /// The accounting charge while hot, in bytes.
+    charge: u64,
+    /// Lifetime stats, shared with the hot [`Tenant`] (survives
+    /// demotion).
+    totals: Arc<StatsAccumulator>,
+    /// For remote tenants: how to rebuild the matcher. `None` marks an
+    /// in-process tenant, which can never be demoted.
+    spec: Option<TenantSpec>,
+    /// For remote tenants: the serialized database (the flash-resident
+    /// master copy the cold tier falls back to).
+    encoded: Option<Arc<Vec<u8>>>,
+    /// The live tenant while hot; `None` while demoted to the cold tier.
+    hot: Option<Arc<Tenant>>,
+}
+
+struct Inner {
+    tenants: HashMap<String, TenantEntry>,
+    auth: HashMap<String, AuthRecord>,
+    /// Sum of the charges of every hot tenant.
+    hot_bytes: u64,
+    /// Host memory budget in bytes; `u64::MAX` means unbounded.
+    budget: u64,
+    /// Monotonic LRU clock.
+    clock: u64,
+}
+
+impl Inner {
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+}
+
+/// The tenant id → tenant map a serving process is built around, with
+/// registry-level memory accounting and the hot/cold lifecycle (see the
+/// module docs).
 pub struct TenantRegistry {
-    tenants: HashMap<String, Arc<Tenant>>,
+    inner: Mutex<Inner>,
+    /// Remote matcher builds (uploads and cold-tier re-materializations)
+    /// run as jobs on this shared-runtime pool, never on ad-hoc threads.
+    builders: WorkerPool,
+}
+
+impl std::fmt::Debug for TenantRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("TenantRegistry")
+            .field("tenants", &inner.tenants.len())
+            .field("hot_bytes", &inner.hot_bytes)
+            .field(
+                "budget",
+                &(inner.budget != u64::MAX).then_some(inner.budget),
+            )
+            .finish()
+    }
+}
+
+impl Default for TenantRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl TenantRegistry {
-    /// An empty registry.
+    /// An empty registry with an unbounded memory budget.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            inner: Mutex::new(Inner {
+                tenants: HashMap::new(),
+                auth: HashMap::new(),
+                hot_bytes: 0,
+                budget: u64::MAX,
+                clock: 0,
+            }),
+            builders: WorkerPool::new(BUILD_WORKERS).expect("non-zero build pool"),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Sets the host memory budget in bytes (`None` = unbounded). Hot
+    /// tenants above a newly lowered budget are demoted lazily, at the
+    /// next admission.
+    pub fn set_memory_budget(&self, budget: Option<u64>) {
+        self.lock().budget = budget.unwrap_or(u64::MAX);
+    }
+
+    /// The configured host memory budget (`None` = unbounded).
+    pub fn memory_budget(&self) -> Option<u64> {
+        let budget = self.lock().budget;
+        (budget != u64::MAX).then_some(budget)
+    }
+
+    /// Total accounting charge of the hot tier in bytes.
+    pub fn hot_bytes(&self) -> u64 {
+        self.lock().hot_bytes
     }
 
     /// Registers a tenant with [`DEFAULT_TENANT_WORKERS`] pool members:
@@ -173,8 +355,9 @@ impl TenantRegistry {
     ///
     /// # Errors
     ///
-    /// [`MatchError::InvalidConfig`] for a duplicate or over-long id, and
-    /// whatever the matcher's `load_database` reports.
+    /// [`MatchError::InvalidConfig`] for a duplicate or over-long id,
+    /// [`MatchError::QuotaExceeded`] when the database cannot fit the
+    /// memory budget, and whatever the matcher's `load_database` reports.
     pub fn register(
         &mut self,
         id: &str,
@@ -189,11 +372,17 @@ impl TenantRegistry {
     /// up to `workers` of its queries run concurrently. The database is
     /// encrypted once; the pool members share it by `Arc`.
     ///
+    /// In-process tenants hold live key material that cannot be rebuilt
+    /// from serialized bytes, so they are never demoted to the cold tier
+    /// (only counted against the budget). Remote key owners use
+    /// [`Self::register_remote`] / `Request::LoadDatabase` instead.
+    ///
     /// # Errors
     ///
     /// [`MatchError::InvalidConfig`] for a duplicate/over-long id or a
-    /// zero worker count, and whatever the matcher's `load_database`
-    /// reports.
+    /// zero worker count, [`MatchError::QuotaExceeded`] when the database
+    /// cannot fit the memory budget, and whatever the matcher's
+    /// `load_database` reports.
     pub fn register_with_workers(
         &mut self,
         id: &str,
@@ -205,57 +394,540 @@ impl TenantRegistry {
         if id.is_empty() || id.len() > crate::wire::MAX_TENANT_ID {
             return Err(MatchError::InvalidConfig("tenant id length out of range"));
         }
-        if self.tenants.contains_key(id) {
+        if self.lock().tenants.contains_key(id) {
             return Err(MatchError::InvalidConfig("duplicate tenant id"));
         }
         matcher.load_database(database)?;
         let backend = matcher.backend();
-        let tenant = Tenant {
-            id: id.to_string(),
+        let charge = matcher.database_bytes().unwrap_or(0);
+        let pool = MatcherPool::new(matcher, workers, tenant_seed(id))?;
+        let totals = Arc::new(StatsAccumulator::new());
+        let tenant = Arc::new(Tenant::assemble(
+            id,
             backend,
-            pool: MatcherPool::new(matcher, workers, tenant_seed(id))?,
-            channel: SecureIndexChannel::new(channel_key),
-            next_nonce: AtomicU64::new(nonce_prefix() | 1),
-            totals: StatsAccumulator::new(),
-        };
-        self.tenants.insert(id.to_string(), Arc::new(tenant));
+            pool,
+            channel_key,
+            Arc::clone(&totals),
+        ));
+        let mut inner = self.lock();
+        if inner.tenants.contains_key(id) {
+            return Err(MatchError::InvalidConfig("duplicate tenant id"));
+        }
+        Self::ensure_capacity(&mut inner, charge, id)?;
+        let clock = inner.tick();
+        inner.tenants.insert(
+            id.to_string(),
+            TenantEntry {
+                backend,
+                channel_key: *channel_key,
+                workers,
+                pinned: true,
+                generation: clock,
+                last_used: clock,
+                charge,
+                totals,
+                spec: None,
+                encoded: None,
+                hot: Some(tenant),
+            },
+        );
+        inner.hot_bytes += charge;
+        // The operator binds (or re-binds) the id to this channel key.
+        // The nonce high-water mark is preserved: re-provisioning an id
+        // must never resurrect previously captured upload/evict tags.
+        inner
+            .auth
+            .entry(id.to_string())
+            .and_modify(|record| record.channel_key = *channel_key)
+            .or_insert_with(|| AuthRecord {
+                channel_key: *channel_key,
+                last_nonce: 0,
+            });
         Ok(())
     }
 
-    /// Looks a tenant up by id.
+    /// Checks a `Request::LoadDatabase` `Begin` frame's authorization:
+    /// the tag must verify under the presented key (binding the nonce,
+    /// declared size, spec, and payload digest), and for an id with an
+    /// existing binding the key must match and the nonce must strictly
+    /// exceed the tenant's high-water mark.
+    ///
+    /// This check mutates **nothing** — in particular it creates no
+    /// binding for an unknown id (an unauthenticated `Begin` must not be
+    /// able to squat ids or grow server state). The nonce is consumed,
+    /// and a first-contact id is bound to its key, only when the upload
+    /// *commits* ([`Self::register_remote`]).
+    ///
+    /// # Errors
+    ///
+    /// [`MatchError::Unauthorized`].
+    pub fn authorize_upload(
+        &self,
+        id: &str,
+        auth: &UploadAuth,
+        total_bytes: u64,
+        spec: &TenantSpec,
+    ) -> Result<(), MatchError> {
+        let expected = upload_tag(
+            &auth.channel_key,
+            id,
+            auth.nonce,
+            total_bytes,
+            spec,
+            &auth.content,
+        );
+        if !tags_match(&expected, &auth.tag) {
+            return Err(MatchError::Unauthorized("upload tag does not verify"));
+        }
+        let inner = self.lock();
+        Self::check_binding(&inner, id, &auth.channel_key, auth.nonce)
+    }
+
+    /// The id→key binding rule, shared by the `Begin` gate and the
+    /// commit boundary: if the id is bound, the presented key must match
+    /// (constant-time — a mismatch must not leak the provisioned key's
+    /// matching prefix length) and the nonce must strictly exceed the
+    /// high-water mark. An unbound id passes.
+    fn check_binding(
+        inner: &Inner,
+        id: &str,
+        channel_key: &[u8; 32],
+        nonce: u64,
+    ) -> Result<(), MatchError> {
+        if let Some(record) = inner.auth.get(id) {
+            if !keys_match(&record.channel_key, channel_key) {
+                return Err(MatchError::Unauthorized(
+                    "channel key does not match the tenant's provisioned key",
+                ));
+            }
+            if nonce <= record.last_nonce {
+                return Err(MatchError::Unauthorized("replayed upload nonce"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Admits a fully uploaded remote database: verifies the upload
+    /// authorization end to end (tag, key binding, nonce freshness, and
+    /// that the bytes hash to the authorized [`content_digest`]),
+    /// rebuilds the matcher from `spec` on the registry's build pool,
+    /// loads the serialized database, accounts `encoded.len()` bytes
+    /// against the budget (demoting LRU unpinned remote tenants as
+    /// needed), and registers the tenant hot. Re-uploading over an
+    /// existing id (same channel key) replaces the database and keeps
+    /// the lifetime statistics (and any operator-set pin). The nonce is
+    /// consumed — and a first-contact id bound to its key — only on
+    /// success; a wire admission never *creates* a pin (pinning is
+    /// operator-only, [`Self::set_pinned`]).
+    ///
+    /// # Errors
+    ///
+    /// [`MatchError::Unauthorized`] on a bad tag, key mismatch, replayed
+    /// nonce, or content-digest mismatch; [`MatchError::QuotaExceeded`]
+    /// when the database cannot fit even after demotions;
+    /// [`MatchError::InvalidConfig`] / [`MatchError::UnknownBackend`]
+    /// for a bad spec; decode errors for malformed database bytes. All
+    /// failures leave the registry untouched.
+    pub fn register_remote(
+        &self,
+        id: &str,
+        spec: &TenantSpec,
+        encoded: Vec<u8>,
+        auth: &UploadAuth,
+    ) -> Result<RemoteLoad, MatchError> {
+        if id.is_empty() || id.len() > crate::wire::MAX_TENANT_ID {
+            return Err(MatchError::InvalidConfig("tenant id length out of range"));
+        }
+        if spec.workers == 0 || spec.workers > crate::wire::MAX_TENANT_WORKERS {
+            return Err(MatchError::InvalidConfig(
+                "tenant worker count out of range",
+            ));
+        }
+        // Full authorization at the commit boundary: the tag must bind
+        // exactly these bytes' length, this spec, and this payload
+        // digest — and the digest must match what actually arrived.
+        self.authorize_upload(id, auth, encoded.len() as u64, spec)?;
+        if !tags_match(&content_digest(&auth.channel_key, &encoded), &auth.content) {
+            return Err(MatchError::Unauthorized(
+                "database bytes do not match the authorized digest",
+            ));
+        }
+        let channel_key = &auth.channel_key;
+        let encoded = Arc::new(encoded);
+        let charge = encoded.len() as u64;
+        let matcher = self.build_remote(spec, Arc::clone(&encoded))?;
+        let backend = matcher.backend();
+        let pool = MatcherPool::new(matcher, spec.workers as usize, tenant_seed(id))?;
+
+        let mut inner = self.lock();
+        // Re-check under the final lock (the build ran unlocked): the
+        // binding may have appeared or advanced concurrently.
+        Self::check_binding(&inner, id, channel_key, auth.nonce)?;
+        // Replacing an existing hot database frees its charge first, so
+        // a re-upload is not double-counted while both copies exist.
+        let replaced_hot_charge = inner
+            .tenants
+            .get(id)
+            .filter(|e| e.hot.is_some())
+            .map_or(0, |e| e.charge);
+        inner.hot_bytes -= replaced_hot_charge;
+        let demoted = match Self::ensure_capacity(&mut inner, charge, id) {
+            Ok(demoted) => demoted,
+            Err(e) => {
+                inner.hot_bytes += replaced_hot_charge;
+                return Err(e);
+            }
+        };
+        // Success is now certain: consume the nonce and (on first
+        // contact) bind the id to the key.
+        inner
+            .auth
+            .entry(id.to_string())
+            .and_modify(|record| record.last_nonce = auth.nonce)
+            .or_insert_with(|| AuthRecord {
+                channel_key: *channel_key,
+                last_nonce: auth.nonce,
+            });
+        let replaced = inner.tenants.remove(id);
+        // An operator-set pin survives the owner's re-upload; wire
+        // admissions themselves never create one.
+        let pinned = replaced.as_ref().is_some_and(|old| old.pinned);
+        let totals = replaced
+            .map(|old| old.totals)
+            .unwrap_or_else(|| Arc::new(StatsAccumulator::new()));
+        let tenant = Arc::new(Tenant::assemble(
+            id,
+            backend,
+            pool,
+            channel_key,
+            Arc::clone(&totals),
+        ));
+        let clock = inner.tick();
+        inner.tenants.insert(
+            id.to_string(),
+            TenantEntry {
+                backend,
+                channel_key: *channel_key,
+                workers: spec.workers as usize,
+                pinned,
+                generation: clock,
+                last_used: clock,
+                charge,
+                totals,
+                spec: Some(spec.clone()),
+                encoded: Some(encoded),
+                hot: Some(tenant),
+            },
+        );
+        inner.hot_bytes += charge;
+        Ok(RemoteLoad {
+            bytes: charge,
+            demoted,
+        })
+    }
+
+    /// Retires a tenant entirely — hot tier, cold tier, and accounting —
+    /// after verifying possession of the channel key. The id's key
+    /// binding and nonce high-water mark survive, so the id cannot be
+    /// hijacked and old upload nonces stay dead.
+    ///
+    /// Returns the hot-tier bytes released (0 if the database was cold).
+    ///
+    /// # Errors
+    ///
+    /// [`MatchError::UnknownTenant`] if no such tenant exists;
+    /// [`MatchError::Unauthorized`] for a bad tag or replayed nonce —
+    /// both leave the registry untouched.
+    pub fn evict(&self, id: &str, auth: &EvictAuth) -> Result<u64, MatchError> {
+        let mut inner = self.lock();
+        if !inner.tenants.contains_key(id) {
+            return Err(MatchError::UnknownTenant(id.to_string()));
+        }
+        let record = inner
+            .auth
+            .get_mut(id)
+            .expect("registered tenants always have an auth record");
+        let expected = auth_tag(&record.channel_key, OP_EVICT, id, 0, auth.nonce, &[]);
+        if !tags_match(&expected, &auth.tag) {
+            return Err(MatchError::Unauthorized("evict tag does not verify"));
+        }
+        if auth.nonce <= record.last_nonce {
+            return Err(MatchError::Unauthorized("replayed evict nonce"));
+        }
+        record.last_nonce = auth.nonce;
+        let entry = inner
+            .tenants
+            .remove(id)
+            .expect("checked contains_key above");
+        let freed = if entry.hot.is_some() { entry.charge } else { 0 };
+        inner.hot_bytes -= freed;
+        Ok(freed)
+    }
+
+    /// Pins or unpins a tenant: pinned tenants are exempt from
+    /// budget-driven demotion to the cold tier.
     ///
     /// # Errors
     ///
     /// [`MatchError::UnknownTenant`] if no such tenant is registered.
-    pub fn get(&self, id: &str) -> Result<Arc<Tenant>, MatchError> {
-        self.tenants
+    pub fn set_pinned(&self, id: &str, pinned: bool) -> Result<(), MatchError> {
+        let mut inner = self.lock();
+        let entry = inner
+            .tenants
+            .get_mut(id)
+            .ok_or_else(|| MatchError::UnknownTenant(id.to_string()))?;
+        entry.pinned = pinned;
+        Ok(())
+    }
+
+    /// Whether the tenant's database is hot (a live matcher pool holds
+    /// it) rather than demoted to the cold tier.
+    ///
+    /// # Errors
+    ///
+    /// [`MatchError::UnknownTenant`] if no such tenant is registered.
+    pub fn is_resident(&self, id: &str) -> Result<bool, MatchError> {
+        let inner = self.lock();
+        inner
+            .tenants
             .get(id)
-            .cloned()
+            .map(|e| e.hot.is_some())
             .ok_or_else(|| MatchError::UnknownTenant(id.to_string()))
     }
 
-    /// Lists the registered tenants, sorted by id.
-    pub fn list(&self) -> Vec<TenantInfo> {
-        let mut infos: Vec<TenantInfo> = self
+    /// A tenant database's lifecycle state (tier, accounting charge,
+    /// pinning, lifetime query count) without re-materializing it.
+    ///
+    /// # Errors
+    ///
+    /// [`MatchError::UnknownTenant`] if no such tenant is registered.
+    pub fn info(&self, id: &str) -> Result<DatabaseInfoReply, MatchError> {
+        let inner = self.lock();
+        let entry = inner
             .tenants
-            .values()
-            .map(|t| TenantInfo {
-                id: t.id().to_string(),
-                backend: t.backend().name().to_string(),
+            .get(id)
+            .ok_or_else(|| MatchError::UnknownTenant(id.to_string()))?;
+        Ok(DatabaseInfoReply {
+            backend: entry.backend.name().to_string(),
+            resident: entry.hot.is_some(),
+            pinned: entry.pinned,
+            bytes: entry.charge,
+            workers: entry.workers as u32,
+            queries: entry.totals.snapshot().1,
+        })
+    }
+
+    /// A tenant's lifetime statistics and query count without
+    /// re-materializing it.
+    ///
+    /// # Errors
+    ///
+    /// [`MatchError::UnknownTenant`] if no such tenant is registered.
+    pub fn totals_of(&self, id: &str) -> Result<(MatchStats, u64), MatchError> {
+        let inner = self.lock();
+        inner
+            .tenants
+            .get(id)
+            .map(|e| e.totals.snapshot())
+            .ok_or_else(|| MatchError::UnknownTenant(id.to_string()))
+    }
+
+    /// Looks a tenant up by id, transparently re-materializing a
+    /// cold-tier tenant (rebuilding its matcher pool from the serialized
+    /// database on the registry's build pool, demoting other tenants if
+    /// the budget requires it). Bumps the tenant's LRU stamp.
+    ///
+    /// # Errors
+    ///
+    /// [`MatchError::UnknownTenant`] if no such tenant is registered;
+    /// [`MatchError::QuotaExceeded`] when a cold tenant cannot be brought
+    /// back within the budget.
+    pub fn get(&self, id: &str) -> Result<Arc<Tenant>, MatchError> {
+        loop {
+            let (spec, encoded, workers, channel_key, totals, charge, backend, generation) = {
+                let mut inner = self.lock();
+                let clock = inner.tick();
+                let entry = inner
+                    .tenants
+                    .get_mut(id)
+                    .ok_or_else(|| MatchError::UnknownTenant(id.to_string()))?;
+                entry.last_used = clock;
+                if let Some(tenant) = &entry.hot {
+                    return Ok(Arc::clone(tenant));
+                }
+                // Feasibility before the expensive rebuild: if the
+                // budget minus the undemotable (pinned or in-process)
+                // hot bytes cannot hold this database, fail now instead
+                // of building a matcher pool only to discard it — a
+                // repeated query for an unplaceable cold tenant must not
+                // clog the build pool.
+                let charge = entry.charge;
+                let undemotable: u64 = inner
+                    .tenants
+                    .iter()
+                    .filter(|(tid, e)| {
+                        e.hot.is_some()
+                            && (e.pinned || e.spec.is_none() || e.encoded.is_none())
+                            && tid.as_str() != id
+                    })
+                    .map(|(_, e)| e.charge)
+                    .sum();
+                if charge.saturating_add(undemotable) > inner.budget {
+                    return Err(MatchError::QuotaExceeded {
+                        budget: inner.budget,
+                        required: charge,
+                    });
+                }
+                let entry = inner
+                    .tenants
+                    .get_mut(id)
+                    .expect("looked up above under the same lock");
+                (
+                    entry
+                        .spec
+                        .clone()
+                        .expect("cold entries always carry a spec"),
+                    Arc::clone(
+                        entry
+                            .encoded
+                            .as_ref()
+                            .expect("cold entries always carry the serialized database"),
+                    ),
+                    entry.workers,
+                    entry.channel_key,
+                    Arc::clone(&entry.totals),
+                    entry.charge,
+                    entry.backend,
+                    entry.generation,
+                )
+            };
+            // Re-materialize off the registry lock, on the shared runtime.
+            let matcher = self.build_remote(&spec, encoded)?;
+            let pool = MatcherPool::new(matcher, workers, tenant_seed(id))?;
+            let tenant = Arc::new(Tenant::assemble(id, backend, pool, &channel_key, totals));
+
+            let mut inner = self.lock();
+            match inner.tenants.get(id) {
+                None => return Err(MatchError::UnknownTenant(id.to_string())),
+                // Another thread re-materialized while we built; use the
+                // established copy.
+                Some(entry) if entry.hot.is_some() => {
+                    return Ok(Arc::clone(entry.hot.as_ref().expect("checked")));
+                }
+                // A concurrent re-upload replaced the entry (different
+                // database, different charge): the tenant we built is
+                // stale — throw it away and rebuild from current state.
+                Some(entry) if entry.generation != generation => continue,
+                Some(_) => {}
+            }
+            Self::ensure_capacity(&mut inner, charge, id)?;
+            let clock = inner.tick();
+            let entry = inner
+                .tenants
+                .get_mut(id)
+                .expect("presence checked under this lock");
+            entry.hot = Some(Arc::clone(&tenant));
+            entry.last_used = clock;
+            inner.hot_bytes += charge;
+            return Ok(tenant);
+        }
+    }
+
+    /// Lists the registered tenants (hot and cold), sorted by id.
+    pub fn list(&self) -> Vec<TenantInfo> {
+        let inner = self.lock();
+        let mut infos: Vec<TenantInfo> = inner
+            .tenants
+            .iter()
+            .map(|(id, e)| TenantInfo {
+                id: id.clone(),
+                backend: e.backend.name().to_string(),
             })
             .collect();
         infos.sort_by(|a, b| a.id.cmp(&b.id));
         infos
     }
 
-    /// Number of registered tenants.
+    /// Number of registered tenants (hot and cold).
     pub fn len(&self) -> usize {
-        self.tenants.len()
+        self.lock().tenants.len()
     }
 
     /// Whether the registry is empty.
     pub fn is_empty(&self) -> bool {
-        self.tenants.is_empty()
+        self.lock().tenants.is_empty()
+    }
+
+    /// Rebuilds a remote tenant's matcher from its spec and serialized
+    /// database, as a job on the registry's build pool (the shared
+    /// `cm_core::exec` runtime).
+    fn build_remote(
+        &self,
+        spec: &TenantSpec,
+        encoded: Arc<Vec<u8>>,
+    ) -> Result<Box<dyn ErasedMatcher>, MatchError> {
+        let config = spec.to_config()?;
+        self.builders
+            .submit(move || {
+                let mut matcher = config.build()?;
+                matcher.load_database_wire(&encoded)?;
+                Ok::<_, MatchError>(matcher)
+            })
+            .wait()?
+    }
+
+    /// Demotes least-recently-used unpinned remote tenants until `needed`
+    /// more bytes fit the budget. `admitting` is the id being admitted
+    /// (never chosen as a victim).
+    ///
+    /// # Errors
+    ///
+    /// [`MatchError::QuotaExceeded`] when the bytes cannot fit even with
+    /// every demotable tenant cold. Demotions performed before the
+    /// failure stay demoted (they re-materialize on demand).
+    fn ensure_capacity(
+        inner: &mut Inner,
+        needed: u64,
+        admitting: &str,
+    ) -> Result<Vec<String>, MatchError> {
+        let budget = inner.budget;
+        if needed > budget {
+            return Err(MatchError::QuotaExceeded {
+                budget,
+                required: needed,
+            });
+        }
+        let mut demoted = Vec::new();
+        while inner.hot_bytes.saturating_add(needed) > budget {
+            let victim = inner
+                .tenants
+                .iter()
+                .filter(|(id, e)| {
+                    e.hot.is_some()
+                        && !e.pinned
+                        && e.spec.is_some()
+                        && e.encoded.is_some()
+                        && id.as_str() != admitting
+                })
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(id, _)| id.clone());
+            let Some(victim) = victim else {
+                return Err(MatchError::QuotaExceeded {
+                    budget,
+                    required: needed,
+                });
+            };
+            let entry = inner
+                .tenants
+                .get_mut(&victim)
+                .expect("victim chosen from the map");
+            // In-flight queries holding the Arc finish on their clone;
+            // the registry just stops handing it out.
+            entry.hot = None;
+            inner.hot_bytes -= entry.charge;
+            demoted.push(victim);
+        }
+        Ok(demoted)
     }
 }
 

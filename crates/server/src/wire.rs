@@ -31,6 +31,17 @@ pub const MAX_FRAME_BYTES: usize = 64 << 20;
 /// Longest tenant id the protocol accepts.
 pub const MAX_TENANT_ID: usize = 255;
 
+/// Hard cap on one uploaded database's declared size (1 GiB). A `Begin`
+/// frame declaring more is rejected at decode time — before any buffer
+/// for the upload exists.
+pub const MAX_DATABASE_BYTES: u64 = 1 << 30;
+
+/// Hard cap on the number of chunks one upload may declare.
+pub const MAX_UPLOAD_CHUNKS: u32 = 1 << 16;
+
+/// Widest matcher pool a remote tenant may request.
+pub const MAX_TENANT_WORKERS: u32 = 64;
+
 /// A client→server message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
@@ -56,6 +67,269 @@ pub enum Request {
         /// Target tenant id.
         tenant: String,
     },
+    /// One step of a chunked encrypted-database upload (the remote
+    /// lifecycle's placement path). The three phases travel on one
+    /// connection: `Begin` (authorization + declared shape), `Chunk`
+    /// (payload, strictly in order), `Commit` (registers the tenant).
+    /// `Begin`/`Chunk` are answered by [`Response::UploadProgress`],
+    /// `Commit` by [`Response::DatabaseLoaded`].
+    LoadDatabase {
+        /// Target tenant id.
+        tenant: String,
+        /// Which upload step this frame carries.
+        phase: UploadPhase,
+    },
+    /// Retires a tenant's database from the serving host entirely (hot
+    /// tier, cold tier, and accounting); answered by
+    /// [`Response::Evicted`]. Authorized by proof-of-possession of the
+    /// tenant's channel key — a non-owner cannot evict.
+    EvictDatabase {
+        /// Target tenant id.
+        tenant: String,
+        /// The owner's proof of possession.
+        auth: EvictAuth,
+    },
+    /// Reads a tenant database's lifecycle state (tier, accounting
+    /// charge, pinning); answered by [`Response::DatabaseInfo`].
+    DatabaseInfo {
+        /// Target tenant id.
+        tenant: String,
+    },
+}
+
+/// One step of a chunked [`Request::LoadDatabase`] upload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UploadPhase {
+    /// Opens an upload: authorization, the matcher description the server
+    /// will rebuild the tenant from, and the declared payload shape.
+    /// A `Begin` abandons any upload already in progress on the
+    /// connection.
+    Begin {
+        /// Proof of possession of the tenant's channel key.
+        auth: UploadAuth,
+        /// How to rebuild the tenant's matcher (backend, seed, knobs).
+        spec: TenantSpec,
+        /// Total serialized-database bytes the chunks will carry.
+        total_bytes: u64,
+        /// How many chunks will follow, in order, before `Commit`.
+        chunk_count: u32,
+    },
+    /// One chunk of the serialized database. Chunks must arrive strictly
+    /// in index order; a duplicate or out-of-order index aborts the
+    /// upload with a typed [`MatchError::UploadIncomplete`].
+    Chunk {
+        /// Zero-based chunk index.
+        index: u32,
+        /// The chunk's bytes.
+        data: Vec<u8>,
+    },
+    /// Closes the upload: every declared chunk must have arrived and the
+    /// received bytes must equal the declared total, or the upload fails
+    /// with [`MatchError::UploadIncomplete`] and nothing is registered.
+    Commit,
+}
+
+/// Authorization for [`UploadPhase::Begin`].
+///
+/// The channel key plays the paper's role of the offline-provisioned
+/// tenant credential: the first *completed* upload (at `Commit`) binds
+/// the tenant id to this key (standing in for the paper's offline
+/// step), and every later lifecycle operation on that id must present
+/// the same key — the registry keeps the binding even after the
+/// database is evicted, so an id can never be hijacked by
+/// re-registering it. `nonce` must strictly increase per tenant id; a
+/// replayed nonce is rejected with [`MatchError::Unauthorized`] at
+/// `Commit` time. `tag` is an AES-CBC-MAC under the channel key over
+/// the operation, tenant id, nonce, declared size, the full
+/// [`TenantSpec`], and the payload digest — none of the authorized
+/// values (spec knobs included) can be spliced, and the committed bytes
+/// must hash to `content` or the commit is rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UploadAuth {
+    /// Strictly increasing per-tenant upload nonce.
+    pub nonce: u64,
+    /// The tenant's AES-256 channel key (bound at the first committed
+    /// upload, verified afterwards).
+    pub channel_key: [u8; 32],
+    /// [`content_digest`] of the full serialized database the chunks
+    /// will carry; the server recomputes it over the received bytes at
+    /// `Commit` and rejects a mismatch as [`MatchError::Unauthorized`].
+    pub content: [u8; 16],
+    /// [`upload_tag`] over (tenant, nonce, total_bytes, spec,
+    /// `content`).
+    pub tag: [u8; 16],
+}
+
+/// Authorization for [`Request::EvictDatabase`]: possession of the
+/// channel key is proven by the MAC alone — the key itself never
+/// travels in an evict frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvictAuth {
+    /// Strictly increasing per-tenant nonce (shared counter with upload
+    /// nonces).
+    pub nonce: u64,
+    /// [`auth_tag`] over ([`OP_EVICT`], tenant, 0, nonce, no context).
+    pub tag: [u8; 16],
+}
+
+/// Operation byte for upload authorization tags.
+pub const OP_UPLOAD: u8 = 1;
+
+/// Operation byte for evict authorization tags.
+pub const OP_EVICT: u8 = 2;
+
+/// Operation byte for upload payload digests ([`content_digest`]).
+pub const OP_CONTENT: u8 = 3;
+
+/// The lifecycle MAC: an AES-256 CBC-MAC under the tenant's channel key
+/// over the length-prefixed message `op || tenant || extra || nonce ||
+/// context`. Only the key holder can produce a valid tag, domain
+/// separation comes from `op`, the leading total-length block prevents
+/// extension splices, and the nonce makes every tag single-use once the
+/// registry's per-tenant high-water mark passes it. Compare tags with
+/// [`tags_match`], never `==`.
+pub fn auth_tag(
+    channel_key: &[u8; 32],
+    op: u8,
+    tenant: &str,
+    extra: u64,
+    nonce: u64,
+    context: &[u8],
+) -> [u8; 16] {
+    let aes = cm_aes::Aes::new_256(channel_key);
+    // Length-prefixed message: no two distinct (op, tenant, extra,
+    // nonce, context) tuples serialize to the same byte stream.
+    let mut message = Vec::with_capacity(64 + tenant.len() + context.len());
+    message.extend_from_slice(&(tenant.len() as u64).to_le_bytes());
+    message.extend_from_slice(&(context.len() as u64).to_le_bytes());
+    message.push(op);
+    message.extend_from_slice(tenant.as_bytes());
+    message.extend_from_slice(&extra.to_le_bytes());
+    message.extend_from_slice(&nonce.to_le_bytes());
+    message.extend_from_slice(context);
+    let mut state = [0u8; 16];
+    for block in message.chunks(16) {
+        for (s, b) in state.iter_mut().zip(block) {
+            *s ^= b;
+        }
+        state = aes.encrypt_block(&state);
+    }
+    state
+}
+
+/// The keyed digest of an upload's full serialized database, bound into
+/// the `Begin` tag so the committed bytes cannot be substituted
+/// mid-upload.
+pub fn content_digest(channel_key: &[u8; 32], data: &[u8]) -> [u8; 16] {
+    auth_tag(channel_key, OP_CONTENT, "", data.len() as u64, 0, data)
+}
+
+/// The `Begin` authorization tag: binds the tenant id, nonce, declared
+/// size, every [`TenantSpec`] knob, and the payload digest under one
+/// MAC.
+pub fn upload_tag(
+    channel_key: &[u8; 32],
+    tenant: &str,
+    nonce: u64,
+    total_bytes: u64,
+    spec: &TenantSpec,
+    content: &[u8; 16],
+) -> [u8; 16] {
+    let mut context = Vec::new();
+    put_spec(&mut context, spec);
+    context.extend_from_slice(content);
+    auth_tag(channel_key, OP_UPLOAD, tenant, total_bytes, nonce, &context)
+}
+
+/// Constant-time tag comparison: the timing of a mismatch never reveals
+/// how many leading bytes agreed.
+pub fn tags_match(a: &[u8; 16], b: &[u8; 16]) -> bool {
+    a.iter().zip(b).fold(0u8, |acc, (x, y)| acc | (x ^ y)) == 0
+}
+
+/// Constant-time channel-key comparison (the 32-byte sibling of
+/// [`tags_match`]): a key mismatch must not leak the matching prefix
+/// length of a provisioned key through timing.
+pub fn keys_match(a: &[u8; 32], b: &[u8; 32]) -> bool {
+    a.iter().zip(b).fold(0u8, |acc, (x, y)| acc | (x ^ y)) == 0
+}
+
+/// How a serving host rebuilds a remote tenant's matcher: the
+/// wire-transportable subset of [`cm_core::MatcherConfig`]. Key
+/// generation is deterministic in `seed`, so a client that built its
+/// matcher from the same description holds the same key material — the
+/// uploaded ciphertexts decrypt server-side without the secret key ever
+/// crossing the wire as bytes of its own.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Backend name ([`Backend::name`]).
+    pub backend: String,
+    /// Key-generation / query-encryption seed.
+    pub seed: u64,
+    /// Query window in bits (window-bound backends).
+    pub window: u32,
+    /// Per-search worker threads.
+    pub threads: u32,
+    /// Whether the insecure test parameter sets are selected.
+    pub insecure: bool,
+    /// Matcher-pool size K (how many of the tenant's queries run
+    /// concurrently); at most [`MAX_TENANT_WORKERS`].
+    pub workers: u32,
+}
+
+impl TenantSpec {
+    /// Describes `config` with a pool of `workers`.
+    ///
+    /// Pinning (exemption from budget-driven demotion) is an
+    /// operator-level resource decision and deliberately *not* part of
+    /// the wire spec — a remote tenant must not be able to monopolize
+    /// the hot tier; operators pin server-side with
+    /// `TenantRegistry::set_pinned`.
+    pub fn from_config(config: &cm_core::MatcherConfig, workers: u32) -> Self {
+        Self {
+            backend: config.backend().name().to_string(),
+            seed: config.seed_value(),
+            window: config.window_bits() as u32,
+            threads: config.thread_count() as u32,
+            insecure: config.is_insecure_test(),
+            workers,
+        }
+    }
+
+    /// Rebuilds the [`cm_core::MatcherConfig`] this spec describes.
+    ///
+    /// # Errors
+    ///
+    /// [`MatchError::UnknownBackend`] for an unparseable backend name.
+    pub fn to_config(&self) -> Result<cm_core::MatcherConfig, MatchError> {
+        let mut config = cm_core::MatcherConfig::new(Backend::parse(&self.backend)?)
+            .seed(self.seed)
+            .window(self.window as usize)
+            .threads(self.threads as usize);
+        if self.insecure {
+            config = config.insecure_test();
+        }
+        Ok(config)
+    }
+}
+
+/// A tenant database's lifecycle state, as reported by
+/// [`Request::DatabaseInfo`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatabaseInfoReply {
+    /// The backend serving this tenant (a [`Backend::name`] string).
+    pub backend: String,
+    /// Whether the database is hot (a live matcher pool holds it) or
+    /// demoted to the cold tier awaiting re-materialization.
+    pub resident: bool,
+    /// Whether the tenant is exempt from budget-driven demotion.
+    pub pinned: bool,
+    /// The registry's accounting charge for this database in bytes.
+    pub bytes: u64,
+    /// Matcher-pool size K when hot.
+    pub workers: u32,
+    /// Queries served over the tenant's lifetime (survives demotion).
+    pub queries: u64,
 }
 
 /// How a query travels.
@@ -114,6 +388,28 @@ pub enum Response {
         /// Queries served.
         queries: u64,
     },
+    /// Acknowledges an upload `Begin` or `Chunk` step.
+    UploadProgress {
+        /// Bytes received so far in this upload.
+        received: u64,
+        /// The declared total from `Begin`.
+        expected: u64,
+    },
+    /// An upload `Commit` succeeded: the tenant is registered and hot.
+    DatabaseLoaded {
+        /// The registry's accounting charge for the database in bytes.
+        bytes: u64,
+        /// Tenants the admission demoted to the cold tier (LRU order).
+        demoted: Vec<String>,
+    },
+    /// An [`Request::EvictDatabase`] succeeded.
+    Evicted {
+        /// Hot-tier bytes the eviction released from the accounting (0
+        /// if the database was already cold).
+        freed_bytes: u64,
+    },
+    /// A tenant database's lifecycle state.
+    DatabaseInfo(DatabaseInfoReply),
     /// The request failed; `error` is the server-side [`MatchError`]
     /// (static-string payloads survive as `"remote"`).
     Error(MatchError),
@@ -234,6 +530,38 @@ fn put_stats(out: &mut Vec<u8>, s: &MatchStats) {
     }
 }
 
+fn put_spec(out: &mut Vec<u8>, spec: &TenantSpec) {
+    put_str(out, &spec.backend);
+    put_u64(out, spec.seed);
+    out.extend_from_slice(&spec.window.to_le_bytes());
+    out.extend_from_slice(&spec.threads.to_le_bytes());
+    out.push(spec.insecure as u8);
+    out.extend_from_slice(&spec.workers.to_le_bytes());
+}
+
+fn read_spec(r: &mut Reader<'_>) -> Result<TenantSpec, MatchError> {
+    let backend = r.str()?;
+    if backend.is_empty() || backend.len() > 32 {
+        return Err(MatchError::Frame("backend name length out of range"));
+    }
+    let seed = r.u64()?;
+    let window = r.u32()?;
+    let threads = r.u32()?;
+    let insecure = r.bool()?;
+    let workers = r.u32()?;
+    if workers == 0 || workers > MAX_TENANT_WORKERS {
+        return Err(MatchError::Frame("tenant worker count out of range"));
+    }
+    Ok(TenantSpec {
+        backend,
+        seed,
+        window,
+        threads,
+        insecure,
+        workers,
+    })
+}
+
 /// Bounds-checked message reader; every failure is a typed
 /// [`MatchError::Frame`].
 struct Reader<'a> {
@@ -265,6 +593,14 @@ impl<'a> Reader<'a> {
 
     fn u16(&mut self) -> Result<u16, MatchError> {
         Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn bool(&mut self) -> Result<bool, MatchError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(MatchError::Frame("boolean byte out of range")),
+        }
     }
 
     fn u32(&mut self) -> Result<u32, MatchError> {
@@ -362,6 +698,11 @@ fn put_error(out: &mut Vec<u8>, e: &MatchError) {
         MatchError::Frame(what) => (11, 0, 0, *what),
         MatchError::Transport(what) => (12, 0, 0, what.as_str()),
         MatchError::ServerBusy { max_connections } => (13, *max_connections as u64, 0, ""),
+        MatchError::Unauthorized(what) => (14, 0, 0, *what),
+        MatchError::QuotaExceeded { budget, required } => (15, *budget, *required, ""),
+        MatchError::UploadIncomplete(what) => (16, 0, 0, *what),
+        MatchError::WireDatabaseUnsupported(backend) => (17, 0, 0, backend.name()),
+        MatchError::ConnectionClosed => (18, 0, 0, ""),
     };
     out.push(tag);
     put_u64(out, a);
@@ -406,6 +747,16 @@ fn read_error(r: &mut Reader<'_>) -> Result<MatchError, MatchError> {
         11 => MatchError::Frame(REMOTE),
         12 => MatchError::Transport(text),
         13 => MatchError::ServerBusy { max_connections: a },
+        14 => MatchError::Unauthorized(REMOTE),
+        15 => MatchError::QuotaExceeded {
+            budget: a as u64,
+            required: b as u64,
+        },
+        16 => MatchError::UploadIncomplete(REMOTE),
+        17 => MatchError::WireDatabaseUnsupported(
+            Backend::parse(&text).map_err(|_| MatchError::Frame("unknown backend in error"))?,
+        ),
+        18 => MatchError::ConnectionClosed,
         _ => return Err(MatchError::Frame("unknown error tag")),
     })
 }
@@ -439,6 +790,43 @@ impl Request {
                 out.push(3);
                 put_str(&mut out, tenant);
             }
+            Request::LoadDatabase { tenant, phase } => {
+                out.push(4);
+                put_str(&mut out, tenant);
+                match phase {
+                    UploadPhase::Begin {
+                        auth,
+                        spec,
+                        total_bytes,
+                        chunk_count,
+                    } => {
+                        out.push(0);
+                        put_u64(&mut out, auth.nonce);
+                        out.extend_from_slice(&auth.channel_key);
+                        out.extend_from_slice(&auth.content);
+                        out.extend_from_slice(&auth.tag);
+                        put_spec(&mut out, spec);
+                        put_u64(&mut out, *total_bytes);
+                        out.extend_from_slice(&chunk_count.to_le_bytes());
+                    }
+                    UploadPhase::Chunk { index, data } => {
+                        out.push(1);
+                        out.extend_from_slice(&index.to_le_bytes());
+                        put_bytes(&mut out, data);
+                    }
+                    UploadPhase::Commit => out.push(2),
+                }
+            }
+            Request::EvictDatabase { tenant, auth } => {
+                out.push(5);
+                put_str(&mut out, tenant);
+                put_u64(&mut out, auth.nonce);
+                out.extend_from_slice(&auth.tag);
+            }
+            Request::DatabaseInfo { tenant } => {
+                out.push(6);
+                put_str(&mut out, tenant);
+            }
         }
         out
     }
@@ -464,6 +852,56 @@ impl Request {
                 Request::Match { tenant, query }
             }
             3 => Request::TenantStats {
+                tenant: r.tenant_id()?,
+            },
+            4 => {
+                let tenant = r.tenant_id()?;
+                let phase = match r.u8()? {
+                    0 => {
+                        let nonce = r.u64()?;
+                        let channel_key: [u8; 32] = r.take(32)?.try_into().unwrap();
+                        let content: [u8; 16] = r.take(16)?.try_into().unwrap();
+                        let tag: [u8; 16] = r.take(16)?.try_into().unwrap();
+                        let spec = read_spec(&mut r)?;
+                        let total_bytes = r.u64()?;
+                        if total_bytes > MAX_DATABASE_BYTES {
+                            return Err(MatchError::Frame(
+                                "declared database size exceeds the cap",
+                            ));
+                        }
+                        let chunk_count = r.u32()?;
+                        if chunk_count == 0 || chunk_count > MAX_UPLOAD_CHUNKS {
+                            return Err(MatchError::Frame("chunk count out of range"));
+                        }
+                        UploadPhase::Begin {
+                            auth: UploadAuth {
+                                nonce,
+                                channel_key,
+                                content,
+                                tag,
+                            },
+                            spec,
+                            total_bytes,
+                            chunk_count,
+                        }
+                    }
+                    1 => UploadPhase::Chunk {
+                        index: r.u32()?,
+                        data: r.bytes()?,
+                    },
+                    2 => UploadPhase::Commit,
+                    _ => return Err(MatchError::Frame("unknown upload phase tag")),
+                };
+                Request::LoadDatabase { tenant, phase }
+            }
+            5 => Request::EvictDatabase {
+                tenant: r.tenant_id()?,
+                auth: EvictAuth {
+                    nonce: r.u64()?,
+                    tag: r.take(16)?.try_into().unwrap(),
+                },
+            },
+            6 => Request::DatabaseInfo {
                 tenant: r.tenant_id()?,
             },
             _ => return Err(MatchError::Frame("unknown request tag")),
@@ -518,6 +956,35 @@ impl Response {
             Response::Error(e) => {
                 out.push(4);
                 put_error(&mut out, e);
+            }
+            Response::UploadProgress { received, expected } => {
+                out.push(5);
+                put_u64(&mut out, *received);
+                put_u64(&mut out, *expected);
+            }
+            Response::DatabaseLoaded { bytes, demoted } => {
+                out.push(6);
+                put_u64(&mut out, *bytes);
+                // u32: one admission can demote far more tenants than a
+                // u16 could count (a truncated count would desync the
+                // decoder from the ids that follow).
+                out.extend_from_slice(&(demoted.len() as u32).to_le_bytes());
+                for id in demoted {
+                    put_str(&mut out, id);
+                }
+            }
+            Response::Evicted { freed_bytes } => {
+                out.push(7);
+                put_u64(&mut out, *freed_bytes);
+            }
+            Response::DatabaseInfo(info) => {
+                out.push(8);
+                put_str(&mut out, &info.backend);
+                out.push(info.resident as u8);
+                out.push(info.pinned as u8);
+                put_u64(&mut out, info.bytes);
+                out.extend_from_slice(&info.workers.to_le_bytes());
+                put_u64(&mut out, info.queries);
             }
         }
         out
@@ -586,6 +1053,34 @@ impl Response {
                 queries: r.u64()?,
             },
             4 => Response::Error(read_error(&mut r)?),
+            5 => Response::UploadProgress {
+                received: r.u64()?,
+                expected: r.u64()?,
+            },
+            6 => {
+                let bytes = r.u64()?;
+                let count = r.u32()? as usize;
+                // Each demoted id costs at least its length prefix.
+                if count > r.remaining() / 2 {
+                    return Err(MatchError::Frame("implausible demoted-tenant count"));
+                }
+                let mut demoted = Vec::with_capacity(count);
+                for _ in 0..count {
+                    demoted.push(r.str()?);
+                }
+                Response::DatabaseLoaded { bytes, demoted }
+            }
+            7 => Response::Evicted {
+                freed_bytes: r.u64()?,
+            },
+            8 => Response::DatabaseInfo(DatabaseInfoReply {
+                backend: r.str()?,
+                resident: r.bool()?,
+                pinned: r.bool()?,
+                bytes: r.u64()?,
+                workers: r.u32()?,
+                queries: r.u64()?,
+            }),
             _ => return Err(MatchError::Frame("unknown response tag")),
         };
         r.finish()?;
@@ -690,6 +1185,205 @@ mod tests {
         for resp in samples {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
         }
+    }
+
+    fn sample_spec() -> TenantSpec {
+        TenantSpec {
+            backend: "ciphermatch".into(),
+            seed: 0xDEAD_BEEF,
+            window: 32,
+            threads: 2,
+            insecure: true,
+            workers: 4,
+        }
+    }
+
+    #[test]
+    fn lifecycle_requests_round_trip() {
+        let key = [0x42u8; 32];
+        let content = content_digest(&key, b"the serialized database");
+        let samples = [
+            Request::LoadDatabase {
+                tenant: "alice".into(),
+                phase: UploadPhase::Begin {
+                    auth: UploadAuth {
+                        nonce: 7,
+                        channel_key: key,
+                        content,
+                        tag: upload_tag(&key, "alice", 7, 1000, &sample_spec(), &content),
+                    },
+                    spec: sample_spec(),
+                    total_bytes: 1000,
+                    chunk_count: 3,
+                },
+            },
+            Request::LoadDatabase {
+                tenant: "alice".into(),
+                phase: UploadPhase::Chunk {
+                    index: 2,
+                    data: vec![1, 2, 3, 255, 0],
+                },
+            },
+            Request::LoadDatabase {
+                tenant: "alice".into(),
+                phase: UploadPhase::Commit,
+            },
+            Request::EvictDatabase {
+                tenant: "bob".into(),
+                auth: EvictAuth {
+                    nonce: 9,
+                    tag: auth_tag(&key, OP_EVICT, "bob", 0, 9, &[]),
+                },
+            },
+            Request::DatabaseInfo {
+                tenant: "carol".into(),
+            },
+        ];
+        for req in samples {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn lifecycle_responses_round_trip() {
+        let samples = [
+            Response::UploadProgress {
+                received: 512,
+                expected: 4096,
+            },
+            Response::DatabaseLoaded {
+                bytes: 4096,
+                demoted: vec!["old-tenant".into(), "older-tenant".into()],
+            },
+            Response::Evicted { freed_bytes: 4096 },
+            Response::DatabaseInfo(DatabaseInfoReply {
+                backend: "ciphermatch".into(),
+                resident: true,
+                pinned: false,
+                bytes: 4096,
+                workers: 4,
+                queries: 17,
+            }),
+            Response::Error(MatchError::Unauthorized("replayed upload nonce")),
+            Response::Error(MatchError::QuotaExceeded {
+                budget: 1 << 20,
+                required: 1 << 21,
+            }),
+            Response::Error(MatchError::UploadIncomplete("missing chunks")),
+            Response::Error(MatchError::WireDatabaseUnsupported(Backend::Boolean)),
+            Response::Error(MatchError::ConnectionClosed),
+        ];
+        for resp in samples {
+            let decoded = Response::decode(&resp.encode()).unwrap();
+            // Static strings survive the hop as the REMOTE placeholder.
+            match (&decoded, &resp) {
+                (
+                    Response::Error(MatchError::Unauthorized(a)),
+                    Response::Error(MatchError::Unauthorized(_)),
+                ) => assert_eq!(*a, REMOTE),
+                (
+                    Response::Error(MatchError::UploadIncomplete(a)),
+                    Response::Error(MatchError::UploadIncomplete(_)),
+                ) => assert_eq!(*a, REMOTE),
+                _ => assert_eq!(decoded, resp, "{resp:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_upload_declarations_are_rejected_at_decode() {
+        let key = [0u8; 32];
+        let mk = |total_bytes: u64, chunk_count: u32| Request::LoadDatabase {
+            tenant: "t".into(),
+            phase: UploadPhase::Begin {
+                auth: UploadAuth {
+                    nonce: 1,
+                    channel_key: key,
+                    content: [0; 16],
+                    tag: [0; 16],
+                },
+                spec: sample_spec(),
+                total_bytes,
+                chunk_count,
+            },
+        };
+        assert!(matches!(
+            Request::decode(&mk(MAX_DATABASE_BYTES + 1, 1).encode()),
+            Err(MatchError::Frame(_))
+        ));
+        assert!(matches!(
+            Request::decode(&mk(100, 0).encode()),
+            Err(MatchError::Frame(_))
+        ));
+        assert!(matches!(
+            Request::decode(&mk(100, MAX_UPLOAD_CHUNKS + 1).encode()),
+            Err(MatchError::Frame(_))
+        ));
+        // In-range declarations still decode.
+        assert!(Request::decode(&mk(MAX_DATABASE_BYTES, MAX_UPLOAD_CHUNKS).encode()).is_ok());
+        // A worker count past the pool cap is rejected structurally.
+        let mut wide = sample_spec();
+        wide.workers = MAX_TENANT_WORKERS + 1;
+        let req = Request::LoadDatabase {
+            tenant: "t".into(),
+            phase: UploadPhase::Begin {
+                auth: UploadAuth {
+                    nonce: 1,
+                    channel_key: key,
+                    content: [0; 16],
+                    tag: [0; 16],
+                },
+                spec: wide,
+                total_bytes: 100,
+                chunk_count: 1,
+            },
+        };
+        assert!(matches!(
+            Request::decode(&req.encode()),
+            Err(MatchError::Frame(_))
+        ));
+    }
+
+    #[test]
+    fn auth_tags_bind_every_authorized_value() {
+        let key = [0x11u8; 32];
+        let tag = auth_tag(&key, OP_UPLOAD, "alice", 1000, 7, b"ctx");
+        assert_eq!(tag, auth_tag(&key, OP_UPLOAD, "alice", 1000, 7, b"ctx"));
+        assert!(tags_match(&tag, &tag));
+        for other in [
+            auth_tag(&[0x12u8; 32], OP_UPLOAD, "alice", 1000, 7, b"ctx"),
+            auth_tag(&key, OP_EVICT, "alice", 1000, 7, b"ctx"),
+            auth_tag(&key, OP_UPLOAD, "alicf", 1000, 7, b"ctx"),
+            auth_tag(&key, OP_UPLOAD, "alice", 1001, 7, b"ctx"),
+            auth_tag(&key, OP_UPLOAD, "alice", 1000, 8, b"ctx"),
+            auth_tag(&key, OP_UPLOAD, "alice", 1000, 7, b"ctX"),
+            auth_tag(&key, OP_UPLOAD, "alice", 1000, 7, b"ctx0"),
+        ] {
+            assert_ne!(tag, other);
+            assert!(!tags_match(&tag, &other));
+        }
+        // Length prefixes prevent boundary splices: moving a byte
+        // between the tenant id and the context changes the tag.
+        assert_ne!(
+            auth_tag(&key, OP_UPLOAD, "ab", 0, 0, b"c"),
+            auth_tag(&key, OP_UPLOAD, "a", 0, 0, b"bc"),
+        );
+
+        // The upload tag also pins the spec and the payload digest.
+        let content = content_digest(&key, b"payload");
+        let full = upload_tag(&key, "alice", 7, 1000, &sample_spec(), &content);
+        let mut other_spec = sample_spec();
+        other_spec.seed ^= 1;
+        assert_ne!(
+            full,
+            upload_tag(&key, "alice", 7, 1000, &other_spec, &content)
+        );
+        let other_content = content_digest(&key, b"payloae");
+        assert_ne!(content, other_content);
+        assert_ne!(
+            full,
+            upload_tag(&key, "alice", 7, 1000, &sample_spec(), &other_content)
+        );
     }
 
     #[test]

@@ -1,0 +1,693 @@
+//! The remote database lifecycle, exercised at the registry level and
+//! over real TCP:
+//!
+//! * **Eviction policy** — LRU demotion order under a memory budget,
+//!   pinned tenants exempt, `QuotaExceeded` for a database bigger than
+//!   the whole budget, and byte-exact accounting that returns to zero
+//!   across register/evict cycles (no leaks).
+//! * **Authorization** — wrong channel keys, replayed nonces, and
+//!   evict-by-non-owner are all rejected with `Unauthorized` and leave
+//!   the registry untouched.
+//! * **Upload abuse over the wire** — out-of-order, duplicate, and
+//!   overrunning chunks, plus commits without (or with incomplete)
+//!   uploads, all surface as typed `UploadIncomplete` errors on a
+//!   connection that stays usable.
+//! * **The half-written-chunk regression** — a server hanging up
+//!   mid-upload surfaces as the typed `ConnectionClosed`, not a raw io
+//!   error.
+
+use std::net::{TcpListener, TcpStream};
+
+use cm_core::{Backend, BitString, MatchError, MatcherConfig};
+use cm_server::wire::{auth_tag, content_digest, read_frame, upload_tag, write_frame, OP_EVICT};
+use cm_server::{
+    EvictAuth, MatchClient, MatchServer, QueryPayload, Request, Response, TenantAccess,
+    TenantRegistry, TenantSpec, UploadAuth, UploadPhase,
+};
+use cm_ssd::SecureIndexChannel;
+
+const KEY_A: [u8; 32] = [0xA1; 32];
+const KEY_B: [u8; 32] = [0xB2; 32];
+const KEY_C: [u8; 32] = [0xC3; 32];
+const KEY_EVE: [u8; 32] = [0xEE; 32];
+
+/// A plain-backend remote tenant payload of exactly `bytes` database
+/// bytes (serialized charge = 8 + bytes).
+fn plain_payload(bytes: usize, fill: u8) -> (TenantSpec, Vec<u8>, BitString) {
+    let data = BitString::from_bytes(&vec![fill; bytes]);
+    let config = MatcherConfig::new(Backend::Plain);
+    let mut owner = config.build().unwrap();
+    owner.load_database(&data).unwrap();
+    let encoded = owner.export_database().unwrap();
+    assert_eq!(encoded.len(), 8 + bytes);
+    (TenantSpec::from_config(&config, 1), encoded, data)
+}
+
+/// A fully valid upload authorization for `payload` (what
+/// `MatchClient::upload_database` computes client-side).
+fn remote_auth(
+    key: &[u8; 32],
+    tenant: &str,
+    spec: &TenantSpec,
+    payload: &[u8],
+    nonce: u64,
+) -> UploadAuth {
+    let content = content_digest(key, payload);
+    UploadAuth {
+        nonce,
+        channel_key: *key,
+        content,
+        tag: upload_tag(key, tenant, nonce, payload.len() as u64, spec, &content),
+    }
+}
+
+fn evict_auth(key: &[u8; 32], tenant: &str, nonce: u64) -> EvictAuth {
+    EvictAuth {
+        nonce,
+        tag: auth_tag(key, OP_EVICT, tenant, 0, nonce, &[]),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Eviction policy
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lru_order_is_respected_and_cold_tenants_rematerialize() {
+    let registry = TenantRegistry::new();
+    let (spec, encoded, _) = plain_payload(100, 1);
+    let charge = encoded.len() as u64; // 108
+    registry.set_memory_budget(Some(charge * 2 + 10)); // fits two, not three
+
+    registry
+        .register_remote(
+            "a",
+            &spec,
+            encoded.clone(),
+            &remote_auth(&KEY_A, "a", &spec, &encoded, 1),
+        )
+        .unwrap();
+    registry
+        .register_remote(
+            "b",
+            &spec,
+            encoded.clone(),
+            &remote_auth(&KEY_B, "b", &spec, &encoded, 1),
+        )
+        .unwrap();
+    assert_eq!(registry.hot_bytes(), charge * 2);
+
+    // Touch `a`: `b` becomes the least recently used.
+    registry.get("a").unwrap();
+
+    let load = registry
+        .register_remote(
+            "c",
+            &spec,
+            encoded.clone(),
+            &remote_auth(&KEY_C, "c", &spec, &encoded, 1),
+        )
+        .unwrap();
+    assert_eq!(load.bytes, charge);
+    assert_eq!(load.demoted, vec!["b".to_string()], "LRU victim is b");
+    assert!(registry.is_resident("a").unwrap());
+    assert!(!registry.is_resident("b").unwrap());
+    assert!(registry.is_resident("c").unwrap());
+    assert_eq!(registry.hot_bytes(), charge * 2);
+    // All three stay *registered* — more tenants than fit in memory.
+    assert_eq!(registry.len(), 3);
+
+    // Querying the cold tenant re-materializes it, demoting the new LRU
+    // (`a`: touched before `c` was admitted).
+    let tenant_b = registry.get("b").unwrap();
+    assert_eq!(tenant_b.id(), "b");
+    assert!(registry.is_resident("b").unwrap());
+    assert!(!registry.is_resident("a").unwrap());
+    assert_eq!(registry.hot_bytes(), charge * 2);
+}
+
+#[test]
+fn pinned_tenants_are_never_evicted() {
+    let registry = TenantRegistry::new();
+    let (spec, encoded, _) = plain_payload(100, 2);
+    let charge = encoded.len() as u64;
+    registry.set_memory_budget(Some(charge * 2 + 10));
+
+    registry
+        .register_remote(
+            "pinned",
+            &spec,
+            encoded.clone(),
+            &remote_auth(&KEY_A, "pinned", &spec, &encoded, 1),
+        )
+        .unwrap();
+    // Pinning is operator-only (never accepted from the wire): the
+    // operator pins the tenant server-side after admission.
+    registry.set_pinned("pinned", true).unwrap();
+    registry
+        .register_remote(
+            "victim",
+            &spec,
+            encoded.clone(),
+            &remote_auth(&KEY_B, "victim", &spec, &encoded, 1),
+        )
+        .unwrap();
+
+    // `pinned` is older than `victim`, but only `victim` may be demoted.
+    let load = registry
+        .register_remote(
+            "newcomer",
+            &spec,
+            encoded.clone(),
+            &remote_auth(&KEY_C, "newcomer", &spec, &encoded, 1),
+        )
+        .unwrap();
+    assert_eq!(load.demoted, vec!["victim".to_string()]);
+    assert!(registry.is_resident("pinned").unwrap());
+
+    // With only pinned/hot tenants left, a further admission fails typed
+    // — and the failed admission is not registered.
+    registry.set_pinned("newcomer", true).unwrap();
+    let err = registry
+        .register_remote(
+            "overflow",
+            &spec,
+            encoded.clone(),
+            &remote_auth(&KEY_EVE, "overflow", &spec, &encoded, 1),
+        )
+        .unwrap_err();
+    assert!(
+        matches!(err, MatchError::QuotaExceeded { required, .. } if required == charge),
+        "{err:?}"
+    );
+    assert_eq!(registry.len(), 3);
+    assert!(matches!(
+        registry.info("overflow"),
+        Err(MatchError::UnknownTenant(_))
+    ));
+    assert_eq!(registry.hot_bytes(), charge * 2);
+}
+
+#[test]
+fn a_single_database_over_the_budget_is_quota_exceeded() {
+    let registry = TenantRegistry::new();
+    registry.set_memory_budget(Some(64));
+    let (spec, encoded, _) = plain_payload(100, 3); // charge 108 > 64
+    let required = encoded.len() as u64;
+    assert_eq!(
+        registry.register_remote(
+            "big",
+            &spec,
+            encoded.clone(),
+            &remote_auth(&KEY_A, "big", &spec, &encoded, 1)
+        ),
+        Err(MatchError::QuotaExceeded {
+            budget: 64,
+            required
+        })
+    );
+    assert!(registry.is_empty());
+    assert_eq!(registry.hot_bytes(), 0);
+
+    // In-process registration is bounded by the same budget.
+    let mut registry = TenantRegistry::new();
+    registry.set_memory_budget(Some(4));
+    let matcher = MatcherConfig::new(Backend::Plain).build().unwrap();
+    let data = BitString::from_bytes(&[0xFF; 100]);
+    assert!(matches!(
+        registry.register("big", matcher, &KEY_A, &data),
+        Err(MatchError::QuotaExceeded { .. })
+    ));
+    assert_eq!(registry.hot_bytes(), 0);
+}
+
+#[test]
+fn accounting_returns_to_zero_across_register_evict_cycles() {
+    let registry = TenantRegistry::new();
+    registry.set_memory_budget(Some(4096));
+    let (spec, encoded, _) = plain_payload(200, 4);
+    let charge = encoded.len() as u64;
+
+    for cycle in 0u64..3 {
+        let load = registry
+            .register_remote(
+                "cycler",
+                &spec,
+                encoded.clone(),
+                &remote_auth(&KEY_A, "cycler", &spec, &encoded, 2 * cycle + 1),
+            )
+            .unwrap();
+        assert_eq!(load.bytes, charge);
+        assert_eq!(registry.hot_bytes(), charge, "cycle {cycle}");
+        assert_eq!(registry.info("cycler").unwrap().bytes, charge);
+        let freed = registry
+            .evict("cycler", &evict_auth(&KEY_A, "cycler", 2 * cycle + 2))
+            .unwrap();
+        assert_eq!(freed, charge, "cycle {cycle}");
+        assert_eq!(registry.hot_bytes(), 0, "no byte leak in cycle {cycle}");
+        assert_eq!(registry.len(), 0);
+    }
+
+    // Evicting a *cold* tenant frees no hot bytes but removes the entry.
+    registry
+        .register_remote(
+            "hotone",
+            &spec,
+            encoded.clone(),
+            &remote_auth(&KEY_A, "hotone", &spec, &encoded, 1),
+        )
+        .unwrap();
+    registry.set_memory_budget(Some(charge)); // exactly one fits
+    registry
+        .register_remote(
+            "hottwo",
+            &spec,
+            encoded.clone(),
+            &remote_auth(&KEY_B, "hottwo", &spec, &encoded, 1),
+        )
+        .unwrap();
+    assert!(!registry.is_resident("hotone").unwrap());
+    let freed = registry
+        .evict("hotone", &evict_auth(&KEY_A, "hotone", 9))
+        .unwrap();
+    assert_eq!(freed, 0, "cold evictions release no hot bytes");
+    assert_eq!(registry.hot_bytes(), charge);
+}
+
+/// A re-materialized CIPHERMATCH tenant answers byte-identically to its
+/// pre-demotion self, and its lifetime statistics survive the round trip
+/// through the cold tier.
+#[test]
+fn rematerialized_tenants_answer_identically_and_keep_their_stats() {
+    let registry = TenantRegistry::new();
+    let data = BitString::from_ascii("the cold tier keeps the sealed answer stable");
+    let config = MatcherConfig::new(Backend::Ciphermatch)
+        .insecure_test()
+        .seed(4242);
+    let mut owner = config.build().unwrap();
+    owner.load_database(&data).unwrap();
+    let encoded = owner.export_database().unwrap();
+    let spec = TenantSpec::from_config(&config, 2);
+    let charge = encoded.len() as u64;
+    registry.set_memory_budget(Some(charge + 300));
+
+    registry
+        .register_remote(
+            "cm",
+            &spec,
+            encoded.clone(),
+            &remote_auth(&KEY_A, "cm", &spec, &encoded, 1),
+        )
+        .unwrap();
+    let pattern = BitString::from_ascii("sealed");
+    let truth = data.find_all(&pattern);
+    let open = |reply: &cm_server::MatchedReply| {
+        SecureIndexChannel::new(&KEY_A).open(&reply.sealed_indices, reply.nonce)
+    };
+
+    let hot = registry.get("cm").unwrap();
+    let before = hot.run(&QueryPayload::Bits(pattern.clone())).unwrap();
+    assert_eq!(open(&before), truth);
+    assert!(before.stats.hom_adds > 0);
+
+    // Push `cm` out with a plain tenant too big to share the budget.
+    let (pspec, pencoded, _) = plain_payload(400, 5);
+    let load = registry
+        .register_remote(
+            "pusher",
+            &pspec,
+            pencoded.clone(),
+            &remote_auth(&KEY_B, "pusher", &pspec, &pencoded, 1),
+        )
+        .unwrap();
+    assert_eq!(load.demoted, vec!["cm".to_string()]);
+    assert!(!registry.is_resident("cm").unwrap());
+    // The stats survive demotion and are readable without warming it up.
+    assert_eq!(registry.totals_of("cm").unwrap().1, 1);
+    assert!(!registry.is_resident("cm").unwrap());
+
+    // Re-materialization: same indices, fresh nonce (never a reused
+    // keystream), and the query count keeps accumulating.
+    let warm = registry.get("cm").unwrap();
+    assert!(registry.is_resident("cm").unwrap());
+    let after = warm.run(&QueryPayload::Bits(pattern)).unwrap();
+    assert_eq!(open(&after), truth);
+    assert_ne!(after.nonce, before.nonce);
+    assert_eq!(warm.totals().1, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Authorization
+// ---------------------------------------------------------------------------
+
+#[test]
+fn wrong_channel_keys_are_unauthorized_and_leave_state_untouched() {
+    let registry = TenantRegistry::new();
+    let (spec, encoded, _) = plain_payload(64, 6);
+    registry
+        .register_remote(
+            "alice",
+            &spec,
+            encoded.clone(),
+            &remote_auth(&KEY_A, "alice", &spec, &encoded, 1),
+        )
+        .unwrap();
+    let bytes_before = registry.hot_bytes();
+
+    // Upload authorization with the wrong key: rejected before any state
+    // changes, whether at the Begin check or the commit-time re-check.
+    let eve = remote_auth(&KEY_EVE, "alice", &spec, &encoded, 50);
+    assert!(matches!(
+        registry.authorize_upload("alice", &eve, encoded.len() as u64, &spec),
+        Err(MatchError::Unauthorized(_))
+    ));
+    assert!(matches!(
+        registry.register_remote("alice", &spec, encoded.clone(), &eve),
+        Err(MatchError::Unauthorized(_))
+    ));
+
+    // A correct key with a *spliced* tag (signed for another declared
+    // size) fails.
+    let mut spliced = remote_auth(&KEY_A, "alice", &spec, &encoded, 51);
+    spliced.tag = upload_tag(&KEY_A, "alice", 51, 9999, &spec, &spliced.content);
+    assert!(matches!(
+        registry.authorize_upload("alice", &spliced, encoded.len() as u64, &spec),
+        Err(MatchError::Unauthorized(_))
+    ));
+
+    // A valid tag whose payload was substituted mid-upload fails the
+    // commit-time content-digest check.
+    let mut swapped = remote_auth(&KEY_A, "alice", &spec, &encoded, 52);
+    swapped.content = content_digest(&KEY_A, b"attacker bytes of equal length..");
+    swapped.tag = upload_tag(
+        &KEY_A,
+        "alice",
+        52,
+        encoded.len() as u64,
+        &spec,
+        &swapped.content,
+    );
+    assert!(matches!(
+        registry.register_remote("alice", &spec, encoded.clone(), &swapped),
+        Err(MatchError::Unauthorized(_))
+    ));
+
+    assert_eq!(registry.hot_bytes(), bytes_before);
+    assert_eq!(registry.len(), 1);
+    assert!(registry.is_resident("alice").unwrap());
+}
+
+#[test]
+fn replayed_upload_nonces_are_unauthorized() {
+    let registry = TenantRegistry::new();
+    let (spec, encoded, _) = plain_payload(32, 8);
+    let auth = |nonce| remote_auth(&KEY_A, "alice", &spec, &encoded, nonce);
+
+    // A Begin alone consumes nothing and binds nothing: the nonce is
+    // burned only when the upload commits.
+    registry
+        .authorize_upload("alice", &auth(5), encoded.len() as u64, &spec)
+        .unwrap();
+    registry
+        .authorize_upload("alice", &auth(5), encoded.len() as u64, &spec)
+        .unwrap();
+    registry
+        .register_remote("alice", &spec, encoded.clone(), &auth(5))
+        .unwrap();
+
+    // After the commit, exact replays and stale nonces die at both the
+    // Begin gate and the commit boundary; the next fresh nonce works.
+    assert_eq!(
+        registry.authorize_upload("alice", &auth(5), encoded.len() as u64, &spec),
+        Err(MatchError::Unauthorized("replayed upload nonce"))
+    );
+    assert_eq!(
+        registry
+            .register_remote("alice", &spec, encoded.clone(), &auth(5))
+            .unwrap_err(),
+        MatchError::Unauthorized("replayed upload nonce")
+    );
+    assert_eq!(
+        registry.authorize_upload("alice", &auth(4), encoded.len() as u64, &spec),
+        Err(MatchError::Unauthorized("replayed upload nonce"))
+    );
+    registry
+        .register_remote("alice", &spec, encoded.clone(), &auth(6))
+        .unwrap();
+}
+
+#[test]
+fn evict_by_non_owner_is_unauthorized_and_bindings_survive_eviction() {
+    let registry = TenantRegistry::new();
+    let (spec, encoded, _) = plain_payload(64, 7);
+    registry
+        .register_remote(
+            "alice",
+            &spec,
+            encoded.clone(),
+            &remote_auth(&KEY_A, "alice", &spec, &encoded, 1),
+        )
+        .unwrap();
+    let bytes_before = registry.hot_bytes();
+
+    // A forged tag (no key), a tag under the wrong key, and a replayed
+    // nonce are all rejected; the tenant keeps serving.
+    assert!(matches!(
+        registry.evict(
+            "alice",
+            &EvictAuth {
+                nonce: 1,
+                tag: [0; 16]
+            }
+        ),
+        Err(MatchError::Unauthorized(_))
+    ));
+    assert!(matches!(
+        registry.evict("alice", &evict_auth(&KEY_EVE, "alice", 1)),
+        Err(MatchError::Unauthorized(_))
+    ));
+    assert_eq!(registry.hot_bytes(), bytes_before);
+    assert!(registry.is_resident("alice").unwrap());
+
+    // The owner evicts; the id's key binding survives, so a hijacker
+    // cannot re-register the vacated id under their own key...
+    registry
+        .evict("alice", &evict_auth(&KEY_A, "alice", 2))
+        .unwrap();
+    assert!(matches!(
+        registry.register_remote(
+            "alice",
+            &spec,
+            encoded.clone(),
+            &remote_auth(&KEY_EVE, "alice", &spec, &encoded, 3)
+        ),
+        Err(MatchError::Unauthorized(_))
+    ));
+    assert!(registry.is_empty());
+
+    // ...and an old (pre-eviction) nonce stays dead for the owner too.
+    assert_eq!(
+        registry
+            .register_remote(
+                "alice",
+                &spec,
+                encoded.clone(),
+                &remote_auth(&KEY_A, "alice", &spec, &encoded, 1)
+            )
+            .unwrap_err(),
+        MatchError::Unauthorized("replayed upload nonce")
+    );
+    registry
+        .register_remote(
+            "alice",
+            &spec,
+            encoded.clone(),
+            &remote_auth(&KEY_A, "alice", &spec, &encoded, 3),
+        )
+        .unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Upload abuse over real TCP
+// ---------------------------------------------------------------------------
+
+fn raw_roundtrip(stream: &mut TcpStream, request: &Request) -> Response {
+    write_frame(stream, &request.encode()).unwrap();
+    let payload = read_frame(stream).unwrap().expect("server must answer");
+    Response::decode(&payload).unwrap()
+}
+
+fn begin(tenant: &str, key: &[u8; 32], total: u64, chunks: u32, nonce: u64) -> Request {
+    let (spec, _, _) = plain_payload(1, 0);
+    // The content digest is arbitrary (these uploads never commit); the
+    // tag must still be self-consistent to pass the Begin gate.
+    let content = content_digest(key, b"never committed");
+    let tag = upload_tag(key, tenant, nonce, total, &spec, &content);
+    Request::LoadDatabase {
+        tenant: tenant.to_string(),
+        phase: UploadPhase::Begin {
+            auth: UploadAuth {
+                nonce,
+                channel_key: *key,
+                content,
+                tag,
+            },
+            spec,
+            total_bytes: total,
+            chunk_count: chunks,
+        },
+    }
+}
+
+fn chunk(tenant: &str, index: u32, data: Vec<u8>) -> Request {
+    Request::LoadDatabase {
+        tenant: tenant.to_string(),
+        phase: UploadPhase::Chunk { index, data },
+    }
+}
+
+fn commit(tenant: &str) -> Request {
+    Request::LoadDatabase {
+        tenant: tenant.to_string(),
+        phase: UploadPhase::Commit,
+    }
+}
+
+#[test]
+fn chunk_abuse_over_tcp_is_typed_and_never_registers() {
+    let server = MatchServer::new(TenantRegistry::new())
+        .spawn("127.0.0.1:0")
+        .unwrap();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+
+    // A chunk with no upload in progress.
+    assert!(matches!(
+        raw_roundtrip(&mut stream, &chunk("t", 0, vec![1])),
+        Response::Error(MatchError::UploadIncomplete(_))
+    ));
+    // A commit with no upload in progress.
+    assert!(matches!(
+        raw_roundtrip(&mut stream, &commit("t")),
+        Response::Error(MatchError::UploadIncomplete(_))
+    ));
+
+    // Out-of-order first chunk.
+    assert!(matches!(
+        raw_roundtrip(&mut stream, &begin("t", &KEY_A, 16, 2, 1)),
+        Response::UploadProgress { .. }
+    ));
+    assert!(matches!(
+        raw_roundtrip(&mut stream, &chunk("t", 1, vec![0; 8])),
+        Response::Error(MatchError::UploadIncomplete(_))
+    ));
+
+    // Duplicate chunk index (the session above was aborted; start over).
+    assert!(matches!(
+        raw_roundtrip(&mut stream, &begin("t", &KEY_A, 16, 2, 2)),
+        Response::UploadProgress { .. }
+    ));
+    assert!(matches!(
+        raw_roundtrip(&mut stream, &chunk("t", 0, vec![0; 8])),
+        Response::UploadProgress { .. }
+    ));
+    assert!(matches!(
+        raw_roundtrip(&mut stream, &chunk("t", 0, vec![0; 8])),
+        Response::Error(MatchError::UploadIncomplete(_))
+    ));
+
+    // Chunk data overrunning the declared total.
+    assert!(matches!(
+        raw_roundtrip(&mut stream, &begin("t", &KEY_A, 16, 2, 3)),
+        Response::UploadProgress { .. }
+    ));
+    assert!(matches!(
+        raw_roundtrip(&mut stream, &chunk("t", 0, vec![0; 64])),
+        Response::Error(MatchError::UploadIncomplete(_))
+    ));
+
+    // Commit with a missing chunk.
+    assert!(matches!(
+        raw_roundtrip(&mut stream, &begin("t", &KEY_A, 16, 2, 4)),
+        Response::UploadProgress { .. }
+    ));
+    assert!(matches!(
+        raw_roundtrip(&mut stream, &chunk("t", 0, vec![0; 8])),
+        Response::UploadProgress { .. }
+    ));
+    assert!(matches!(
+        raw_roundtrip(&mut stream, &commit("t")),
+        Response::Error(MatchError::UploadIncomplete(_))
+    ));
+
+    // A chunk for a different tenant than the session's.
+    assert!(matches!(
+        raw_roundtrip(&mut stream, &begin("t", &KEY_A, 16, 2, 5)),
+        Response::UploadProgress { .. }
+    ));
+    assert!(matches!(
+        raw_roundtrip(&mut stream, &chunk("u", 0, vec![0; 8])),
+        Response::Error(MatchError::UploadIncomplete(_))
+    ));
+
+    // An interleaved non-upload request abandons the session (its
+    // staging reservation must not be keep-alive-able by pinging), so
+    // the next chunk is typed-rejected.
+    assert!(matches!(
+        raw_roundtrip(&mut stream, &begin("t", &KEY_A, 16, 2, 6)),
+        Response::UploadProgress { .. }
+    ));
+    assert!(matches!(
+        raw_roundtrip(&mut stream, &Request::Ping),
+        Response::Pong { .. }
+    ));
+    assert!(matches!(
+        raw_roundtrip(&mut stream, &chunk("t", 0, vec![0; 8])),
+        Response::Error(MatchError::UploadIncomplete(_))
+    ));
+
+    // Nothing was ever registered, and the connection is still usable.
+    match raw_roundtrip(&mut stream, &Request::ListTenants) {
+        Response::Tenants(tenants) => assert!(tenants.is_empty()),
+        other => panic!("unexpected response: {other:?}"),
+    }
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// The half-written-chunk regression
+// ---------------------------------------------------------------------------
+
+/// The latent gap the ISSUE names: when the server hangs up mid-upload
+/// (here scripted to ack `Begin`, read a few bytes of the next frame,
+/// and drop the socket), the client must surface the typed
+/// [`MatchError::ConnectionClosed`] — not a raw io-error string.
+#[test]
+fn server_hangup_mid_upload_is_a_typed_connection_closed() {
+    use std::io::Read;
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let script = std::thread::spawn(move || {
+        let (mut sock, _) = listener.accept().unwrap();
+        // Ack the Begin frame like a well-behaved server...
+        let _ = read_frame(&mut sock).unwrap().expect("begin frame");
+        let ack = Response::UploadProgress {
+            received: 0,
+            expected: 9,
+        };
+        write_frame(&mut sock, &ack.encode()).unwrap();
+        // ...then read a half chunk frame and hang up mid-request.
+        let mut partial = [0u8; 5];
+        sock.read_exact(&mut partial).unwrap();
+        drop(sock);
+    });
+
+    let mut client = MatchClient::connect(addr).unwrap();
+    let access = TenantAccess::new("t", &KEY_A);
+    let (spec, encoded, _) = plain_payload(1, 9);
+    let err = client
+        .upload_database(&access, &spec, &encoded, 1)
+        .unwrap_err();
+    assert_eq!(err, MatchError::ConnectionClosed, "typed, not raw io");
+    script.join().unwrap();
+}

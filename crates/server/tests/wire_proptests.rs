@@ -7,7 +7,11 @@
 use std::time::Duration;
 
 use cm_core::{Backend, BitString, MatchError, MatchStats};
-use cm_server::wire::{read_frame, write_frame, QueryPayload, Request, Response, TenantInfo};
+use cm_server::wire::{
+    auth_tag, content_digest, read_frame, write_frame, DatabaseInfoReply, EvictAuth, QueryPayload,
+    Request, Response, TenantInfo, TenantSpec, UploadAuth, UploadPhase, MAX_DATABASE_BYTES,
+    MAX_TENANT_WORKERS, MAX_UPLOAD_CHUNKS, OP_EVICT, OP_UPLOAD,
+};
 use proptest::prelude::*;
 
 fn bits_from(seed: u64, len: usize) -> BitString {
@@ -166,6 +170,218 @@ proptest! {
             Err(MatchError::Frame(_)) | Err(MatchError::Transport(_)) => {}
             Err(other) => prop_assert!(false, "unexpected error kind: {other:?}"),
         }
+    }
+}
+
+fn key_from(seed: u64) -> [u8; 32] {
+    let mut key = [0u8; 32];
+    for (i, b) in key.iter_mut().enumerate() {
+        *b = (seed.rotate_left((i % 59) as u32) as u8) ^ (i as u8).wrapping_mul(7);
+    }
+    key
+}
+
+fn spec_from(seed: u64) -> TenantSpec {
+    let backends = [
+        "ciphermatch",
+        "yasuda",
+        "batched",
+        "boolean",
+        "plain",
+        "ifp",
+    ];
+    TenantSpec {
+        backend: backends[(seed % 6) as usize].to_string(),
+        seed,
+        window: (seed % 1024) as u32 + 1,
+        threads: (seed % 8) as u32 + 1,
+        insecure: seed.is_multiple_of(2),
+        workers: (seed % u64::from(MAX_TENANT_WORKERS)) as u32 + 1,
+    }
+}
+
+proptest! {
+    #[test]
+    fn lifecycle_requests_round_trip(
+        seed in 0u64..u64::MAX,
+        name_len in 1usize..40,
+        total in 0u64..MAX_DATABASE_BYTES,
+        chunks in 1u32..MAX_UPLOAD_CHUNKS,
+        index in 0u32..u32::MAX,
+        data_len in 0usize..500,
+    ) {
+        let tenant = tenant_name(seed, name_len);
+        let key = key_from(seed);
+        let samples = [
+            Request::LoadDatabase {
+                tenant: tenant.clone(),
+                phase: UploadPhase::Begin {
+                    auth: UploadAuth {
+                        nonce: seed,
+                        channel_key: key,
+                        content: content_digest(&key, &seed.to_le_bytes()),
+                        tag: auth_tag(&key, OP_UPLOAD, &tenant, total, seed, b"spec"),
+                    },
+                    spec: spec_from(seed),
+                    total_bytes: total,
+                    chunk_count: chunks,
+                },
+            },
+            Request::LoadDatabase {
+                tenant: tenant.clone(),
+                phase: UploadPhase::Chunk {
+                    index,
+                    data: (0..data_len).map(|i| (seed as usize + i * 13) as u8).collect(),
+                },
+            },
+            Request::LoadDatabase { tenant: tenant.clone(), phase: UploadPhase::Commit },
+            Request::EvictDatabase {
+                tenant: tenant.clone(),
+                auth: EvictAuth { nonce: seed, tag: auth_tag(&key, OP_EVICT, &tenant, 0, seed, &[]) },
+            },
+            Request::DatabaseInfo { tenant },
+        ];
+        for req in samples {
+            let encoded = req.encode();
+            prop_assert_eq!(Request::decode(&encoded).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn lifecycle_responses_round_trip(
+        seed in 0u64..u64::MAX,
+        demoted_count in 0usize..5,
+        resident in proptest::arbitrary::any::<bool>(),
+        pinned in proptest::arbitrary::any::<bool>(),
+    ) {
+        let samples = [
+            Response::UploadProgress { received: seed >> 1, expected: seed },
+            Response::DatabaseLoaded {
+                bytes: seed,
+                demoted: (0..demoted_count).map(|i| tenant_name(seed ^ i as u64, 8)).collect(),
+            },
+            Response::Evicted { freed_bytes: seed },
+            Response::DatabaseInfo(DatabaseInfoReply {
+                backend: spec_from(seed).backend,
+                resident,
+                pinned,
+                bytes: seed,
+                workers: (seed % 64) as u32 + 1,
+                queries: seed >> 3,
+            }),
+            Response::Error(MatchError::QuotaExceeded { budget: seed, required: seed >> 1 }),
+        ];
+        for resp in samples {
+            let encoded = resp.encode();
+            prop_assert_eq!(Response::decode(&encoded).unwrap(), resp);
+        }
+    }
+
+    /// Truncating any lifecycle message at any point must produce a typed
+    /// error (the round-trip tests above prove the full buffer decodes),
+    /// and flipping any byte must never panic or over-allocate.
+    #[test]
+    fn truncated_and_flipped_lifecycle_messages_never_panic(
+        seed in 0u64..u64::MAX,
+        cut_ppm in 0u32..1_000_000,
+        flip_bits in 1u8..=255,
+    ) {
+        let tenant = tenant_name(seed, 10);
+        let key = key_from(seed);
+        let requests = [
+            Request::LoadDatabase {
+                tenant: tenant.clone(),
+                phase: UploadPhase::Begin {
+                    auth: UploadAuth {
+                        nonce: seed,
+                        channel_key: key,
+                        content: content_digest(&key, b"payload"),
+                        tag: auth_tag(&key, OP_UPLOAD, &tenant, 4096, seed, b"spec"),
+                    },
+                    spec: spec_from(seed),
+                    total_bytes: 4096,
+                    chunk_count: 4,
+                },
+            },
+            Request::LoadDatabase {
+                tenant: tenant.clone(),
+                phase: UploadPhase::Chunk { index: 1, data: vec![0xAB; 64] },
+            },
+            Request::EvictDatabase {
+                tenant,
+                auth: EvictAuth { nonce: seed, tag: auth_tag(&key, OP_EVICT, "t", 0, seed, &[]) },
+            },
+        ];
+        for req in requests {
+            let encoded = req.encode();
+            let cut = (encoded.len() * cut_ppm as usize) / 1_000_000;
+            if cut < encoded.len() {
+                prop_assert!(Request::decode(&encoded[..cut]).is_err());
+            }
+            let mut flipped = encoded.clone();
+            let idx = (seed as usize) % flipped.len();
+            flipped[idx] ^= flip_bits;
+            let _ = Request::decode(&flipped);
+        }
+        let responses = [
+            Response::DatabaseLoaded {
+                bytes: seed,
+                demoted: vec![tenant_name(seed, 6), tenant_name(seed ^ 1, 9)],
+            },
+            Response::DatabaseInfo(DatabaseInfoReply {
+                backend: "ciphermatch".into(),
+                resident: true,
+                pinned: false,
+                bytes: seed,
+                workers: 4,
+                queries: 11,
+            }),
+        ];
+        for resp in responses {
+            let encoded = resp.encode();
+            let cut = (encoded.len() * cut_ppm as usize) / 1_000_000;
+            if cut < encoded.len() {
+                prop_assert!(Response::decode(&encoded[..cut]).is_err());
+            }
+            let mut flipped = encoded.clone();
+            let idx = (seed as usize) % flipped.len();
+            flipped[idx] ^= flip_bits;
+            let _ = Response::decode(&flipped);
+        }
+    }
+
+    /// A `Begin` lying about its declared size (past the database cap) or
+    /// chunk shape must be rejected at decode time — before any upload
+    /// buffer could exist, so a hostile header can never drive an
+    /// allocation.
+    #[test]
+    fn oversized_upload_declarations_are_typed_errors(
+        seed in 0u64..u64::MAX,
+        excess in 1u64..(1 << 30),
+        bad_chunks in proptest::arbitrary::any::<bool>(),
+    ) {
+        let tenant = tenant_name(seed, 8);
+        let key = key_from(seed);
+        let (total_bytes, chunk_count) = if bad_chunks {
+            (seed % MAX_DATABASE_BYTES, MAX_UPLOAD_CHUNKS + (excess % u64::from(u32::MAX - MAX_UPLOAD_CHUNKS)) as u32 + 1)
+        } else {
+            (MAX_DATABASE_BYTES + excess, 1)
+        };
+        let req = Request::LoadDatabase {
+            tenant: tenant.clone(),
+            phase: UploadPhase::Begin {
+                auth: UploadAuth {
+                    nonce: seed,
+                    channel_key: key,
+                    content: content_digest(&key, b"payload"),
+                    tag: auth_tag(&key, OP_UPLOAD, &tenant, total_bytes, seed, &[]),
+                },
+                spec: spec_from(seed),
+                total_bytes,
+                chunk_count,
+            },
+        };
+        prop_assert!(matches!(Request::decode(&req.encode()), Err(MatchError::Frame(_))));
     }
 }
 

@@ -1,7 +1,9 @@
-//! The serving subsystem end to end: one process, two tenants with
+//! The serving subsystem end to end: one process, three tenants with
 //! different key material — one on sharded CM-SW ([`Backend::Ciphermatch`]),
-//! one on the in-flash CM-IFP engine — answering encrypted queries
-//! concurrently over the TCP wire protocol.
+//! one on the in-flash CM-IFP engine, and one provisioned *entirely over
+//! the wire* through the remote database lifecycle (chunked upload,
+//! byte-accurate accounting, authorized eviction) — answering encrypted
+//! queries concurrently over the TCP wire protocol.
 //!
 //! Per tenant, the flow is the paper's Figure 6: the key owner encrypts
 //! the database once and provisions the server (delegated index
@@ -15,11 +17,11 @@
 use std::sync::Arc;
 
 use cm_bfv::BfvParams;
-use cm_core::BitString;
+use cm_core::{Backend, BitString, MatcherConfig};
 use cm_flash::FlashGeometry;
 use cm_server::{
     IfpMatcher, MatchClient, MatchServer, ServerConfig, ShardedCmMatcher, TenantAccess,
-    TenantRegistry,
+    TenantRegistry, TenantSpec,
 };
 use cm_ssd::TransposeMode;
 use rand::rngs::StdRng;
@@ -27,6 +29,7 @@ use rand::SeedableRng;
 
 const ALICE_KEY: [u8; 32] = [0xA1; 32];
 const BOB_KEY: [u8; 32] = [0xB2; 32];
+const CARLA_KEY: [u8; 32] = [0xCA; 32];
 
 fn main() {
     // --- Offline provisioning: two tenants, two key domains ----------
@@ -67,13 +70,49 @@ fn main() {
         .register("bob", cm_core::erase(bob, 22), &BOB_KEY, &bob_data)
         .unwrap();
 
-    // --- Serve (bounded connection pool, not thread-per-accept) -------
-    let server = MatchServer::with_config(registry, ServerConfig { max_connections: 8 })
-        .unwrap()
-        .spawn("127.0.0.1:0")
-        .unwrap();
+    // --- Serve (bounded connection pool, bounded memory budget) -------
+    let server = MatchServer::with_config(
+        registry,
+        ServerConfig {
+            max_connections: 8,
+            memory_budget: Some(32 << 20),
+        },
+    )
+    .unwrap()
+    .spawn("127.0.0.1:0")
+    .unwrap();
     let addr = server.addr();
-    println!("serving 2 tenants on {addr} (max 8 connections)");
+    println!("serving on {addr} (max 8 connections, 32 MiB hot budget)");
+
+    // --- Carla: provisioned entirely over the wire --------------------
+    // The remote lifecycle: she builds her matcher locally, encrypts her
+    // database under her own keys, and ships only the serialized
+    // ciphertexts; the server rebuilds the matcher from the seed-exact
+    // spec and accounts every byte against its memory budget.
+    let carla_data = BitString::from_ascii(
+        "carla provisions her encrypted database over the wire and can retire it the same way",
+    );
+    let carla_config = MatcherConfig::new(Backend::Ciphermatch)
+        .insecure_test()
+        .seed(33);
+    let mut carla_owner = carla_config.build().unwrap();
+    carla_owner.load_database(&carla_data).unwrap();
+    let carla_bytes = carla_owner.export_database().unwrap();
+    let carla = TenantAccess::new("carla", &CARLA_KEY);
+    {
+        let mut client = MatchClient::connect(addr).unwrap();
+        let spec = TenantSpec::from_config(&carla_config, 2);
+        let (bytes, _) = client
+            .upload_database(&carla, &spec, &carla_bytes, 1)
+            .unwrap();
+        println!("carla: uploaded {bytes} bytes over the wire");
+        let info = client.database_info("carla").unwrap();
+        println!(
+            "carla: backend {}, resident {}, {} bytes accounted",
+            info.backend, info.resident, info.bytes
+        );
+    }
+
     {
         let mut probe = MatchClient::connect(addr).unwrap();
         println!("backends: {}", probe.backends().unwrap().join(", "));
@@ -128,14 +167,37 @@ fn main() {
                 );
             });
         }
+        for pattern in ["over the wire", "retire"] {
+            let data = &carla_data;
+            let carla = &carla;
+            scope.spawn(move || {
+                let pattern = BitString::from_ascii(pattern);
+                let mut client = MatchClient::connect(addr).unwrap();
+                let reply = client.search_bits(carla, &pattern).unwrap();
+                assert_eq!(reply.indices, data.find_all(&pattern));
+                println!(
+                    "carla: {:2}-bit query (uploaded) -> {} match(es)",
+                    pattern.len(),
+                    reply.indices.len()
+                );
+            });
+        }
     });
 
     // --- Lifetime accounting ------------------------------------------
     let mut probe = MatchClient::connect(addr).unwrap();
-    for tenant in ["alice", "bob"] {
+    for tenant in ["alice", "bob", "carla"] {
         let (totals, queries) = probe.tenant_stats(tenant).unwrap();
         println!("totals {tenant:6} -> {queries} queries, {totals}");
     }
+
+    // --- Carla retires her database the way she placed it --------------
+    let freed = probe.evict_database(&carla, 2).unwrap();
+    println!("carla: evicted, {freed} bytes released from the hot tier");
+    assert!(matches!(
+        probe.search_bits(&carla, &BitString::from_ascii("wire")),
+        Err(cm_core::MatchError::UnknownTenant(_))
+    ));
     server.shutdown();
     println!("server stopped cleanly");
 }

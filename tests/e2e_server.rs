@@ -389,10 +389,16 @@ fn connections_past_the_cap_get_a_typed_busy_error() {
             &data,
         )
         .unwrap();
-    let server = MatchServer::with_config(registry, ServerConfig { max_connections: 1 })
-        .unwrap()
-        .spawn("127.0.0.1:0")
-        .unwrap();
+    let server = MatchServer::with_config(
+        registry,
+        ServerConfig {
+            max_connections: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+    .spawn("127.0.0.1:0")
+    .unwrap();
     let addr = server.addr();
 
     // First client occupies the single slot...
@@ -420,6 +426,125 @@ fn connections_past_the_cap_get_a_typed_busy_error() {
         std::thread::sleep(std::time::Duration::from_millis(20));
     }
     assert!(admitted, "a freed slot must readmit connections");
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// The remote database lifecycle, end to end over TCP
+// ---------------------------------------------------------------------------
+
+/// The full remote lifecycle for three concurrent tenants, entirely over
+/// the wire: each key owner builds its matcher locally, exports the
+/// encrypted database, uploads it chunked, queries it, checks the
+/// registry's byte-accurate accounting via `DatabaseInfo`, evicts it
+/// (after which matching reports `UnknownTenant`), re-uploads, and
+/// verifies the post-re-upload answers equal the pre-eviction ones.
+#[test]
+fn remote_database_lifecycle_over_tcp() {
+    let registry = TenantRegistry::new();
+    registry.set_memory_budget(Some(64 << 20));
+    let server = MatchServer::new(registry).spawn("127.0.0.1:0").unwrap();
+    let addr = server.addr();
+
+    let tenants: [(&str, [u8; 32], &str, &str); 3] = [
+        (
+            "tenant-a",
+            [0xA7; 32],
+            "tenant a keeps genome reads on the serving host",
+            "genome",
+        ),
+        (
+            "tenant-b",
+            [0xB7; 32],
+            "tenant b uploads, queries, evicts, and uploads again",
+            "evicts",
+        ),
+        (
+            "tenant-c",
+            [0xC7; 32],
+            "tenant c shares the host but never a key domain",
+            "key domain",
+        ),
+    ];
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, (id, key, text, needle)) in tenants.into_iter().enumerate() {
+            handles.push(scope.spawn(move || {
+                let data = BitString::from_ascii(text);
+                let pattern = BitString::from_ascii(needle);
+                let truth = data.find_all(&pattern);
+                assert!(!truth.is_empty(), "{id}: pattern must occur");
+
+                // Offline step, fully client-side: build the matcher,
+                // encrypt the database under its keys, export the bytes.
+                let config = MatcherConfig::new(Backend::Ciphermatch)
+                    .insecure_test()
+                    .seed(7100 + i as u64);
+                let mut owner = config.build().unwrap();
+                owner.load_database(&data).unwrap();
+                let encoded = owner.export_database().unwrap();
+                let spec = cm_server::TenantSpec::from_config(&config, 2);
+
+                let mut client = MatchClient::connect(addr).unwrap();
+                let access = TenantAccess::new(id, &key);
+
+                // Upload (chunked) and match over the wire.
+                let (bytes, demoted) = client.upload_database(&access, &spec, &encoded, 1).unwrap();
+                assert_eq!(bytes, encoded.len() as u64, "{id}: byte-accurate");
+                assert!(demoted.is_empty(), "{id}: budget fits everyone");
+                let before = client.search_bits(&access, &pattern).unwrap();
+                assert_eq!(before.indices, truth, "{id}: pre-eviction match");
+                assert!(before.stats.hom_adds > 0);
+
+                // Accounting and lifetime stats, read over the wire.
+                let info = client.database_info(id).unwrap();
+                assert_eq!(info.bytes, encoded.len() as u64, "{id}");
+                assert!(info.resident);
+                assert!(!info.pinned);
+                assert_eq!(info.backend, "ciphermatch");
+                assert_eq!(info.workers, 2);
+                assert_eq!(info.queries, 1);
+                let (totals, queries) = client.tenant_stats(id).unwrap();
+                assert_eq!(queries, 1);
+                assert_eq!(totals.hom_adds, before.stats.hom_adds);
+
+                // Evict: the accounting returns the full charge, and the
+                // tenant is gone for matching *and* info.
+                let freed = client.evict_database(&access, 2).unwrap();
+                assert_eq!(freed, encoded.len() as u64, "{id}: full refund");
+                assert_eq!(
+                    client.search_bits(&access, &pattern).err(),
+                    Some(MatchError::UnknownTenant(id.to_string())),
+                    "{id}: evicted tenants are unknown"
+                );
+                assert_eq!(
+                    client.database_info(id).err(),
+                    Some(MatchError::UnknownTenant(id.to_string()))
+                );
+
+                // Re-upload (fresh nonce — the old one is burned) and
+                // verify the answers agree with the pre-eviction run.
+                let (bytes, _) = client.upload_database(&access, &spec, &encoded, 3).unwrap();
+                assert_eq!(bytes, encoded.len() as u64);
+                let after = client.search_bits(&access, &pattern).unwrap();
+                assert_eq!(
+                    after.indices, before.indices,
+                    "{id}: post-re-upload answers agree"
+                );
+                // Replies are sealed under fresh nonces across the
+                // re-registration: identical indices, different bytes.
+                assert_ne!(after.stats.hom_adds, 0);
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("lifecycle client thread panicked");
+        }
+    });
+
+    // All three re-uploaded tenants still serve from one process.
+    let mut probe = MatchClient::connect(addr).unwrap();
+    assert_eq!(probe.tenants().unwrap().len(), 3);
     server.shutdown();
 }
 
