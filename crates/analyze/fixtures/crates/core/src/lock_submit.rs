@@ -1,0 +1,17 @@
+//! Fixture for the `lock-across-submit` rule: a mutex guard lexically
+//! live across a pool submission (a job that takes the same mutex would
+//! deadlock the runtime).
+
+fn holds_guard_across_submit(m: &std::sync::Mutex<u32>, pool: &Pool) {
+    let guard = m.lock().unwrap();
+    pool.submit(move || {});
+    drop(guard);
+}
+
+struct Pool;
+
+impl Pool {
+    fn submit<F: FnOnce()>(&self, f: F) {
+        f();
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture for the `exec-threads` rule: raw thread entry points outside
+//! `cm_core::exec`. The second spawn carries a justified waiver, so an
+//! analyzer run over this tree must report one unwaived `exec-threads`
+//! violation and count one waived.
+
+fn unblessed() {
+    std::thread::spawn(|| {});
+}
+
+fn waived() {
+    // cm_analyze::allow(exec-threads): fixture exercising the waiver path
+    std::thread::spawn(|| {});
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn gated_threads_are_exempt() {
+        std::thread::scope(|_s| {});
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture for the `no-panic` rule: panicking constructs on what the
+//! path layout marks as a cm_server serving path.
+
+fn unwraps(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+fn expects(x: Option<u8>) -> u8 {
+    x.expect("fixture")
+}
+
+fn panics() {
+    panic!("fixture");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn gated_unwrap_is_exempt() {
+        Some(1u8).unwrap();
+    }
+}

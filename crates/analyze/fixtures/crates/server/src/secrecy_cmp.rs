@@ -1,0 +1,14 @@
+//! Fixture for the `ct-secrecy` rule: branchy equality on secret-named
+//! values instead of the constant-time helpers.
+
+fn compares_keys(provided: &[u8; 32], channel_key: &[u8; 32]) -> bool {
+    provided == channel_key
+}
+
+struct Auth {
+    tag: [u8; 16],
+}
+
+fn compares_tags(expected: [u8; 16], auth: &Auth) -> bool {
+    expected != auth.tag
+}

@@ -1,0 +1,2 @@
+// Marks `rand` as shimmed in this fixture tree (the analyzer lists
+// shims/ subdirectories to learn which crate names are shadowed).

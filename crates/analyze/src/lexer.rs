@@ -1,0 +1,456 @@
+//! A minimal hand-rolled Rust lexer: just enough structure for the
+//! lexical rules in [`crate`] — identifiers, integer literals, strings,
+//! and punctuation, each stamped with its 1-based source line.
+//!
+//! Comments are consumed (never tokenized), but `//` comments are
+//! scanned for inline waivers of the form
+//! `cm_analyze::allow(<rule>): <justification>`; a waiver with an empty
+//! justification is ignored. Strings, raw strings, byte strings, char
+//! literals, and lifetimes are disambiguated so that quote characters
+//! inside them can never desynchronize the token stream.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`thread`, `fn`, `unwrap`, …).
+    Ident,
+    /// An integer literal (`0`, `0x1F`, `1_000u64`, …).
+    Int,
+    /// A string, raw-string, byte-string, or char literal (contents
+    /// dropped — only its presence matters to the rules).
+    Str,
+    /// Any other punctuation, longest-match (`::`, `==`, `=>`, `{`, …).
+    Punct,
+}
+
+/// One lexeme with its source position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The lexeme class.
+    pub kind: TokenKind,
+    /// The lexeme text (empty for [`TokenKind::Str`]).
+    pub text: String,
+    /// 1-based line the lexeme starts on.
+    pub line: usize,
+}
+
+/// An inline rule waiver parsed from a `//` comment.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    /// Line the waiver comment sits on; it covers violations on this
+    /// line and the next (a trailing comment covers its own statement, a
+    /// comment on its own line covers the statement below).
+    pub line: usize,
+    /// The rule name inside `cm_analyze::allow(...)`.
+    pub rule: String,
+    /// The mandatory justification after the colon.
+    pub justification: String,
+}
+
+/// Multi-character punctuation, tried longest-first so `::` never lexes
+/// as two `:`.
+const PUNCTS: &[&str] = &[
+    "..=", "<<=", ">>=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "..", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Lexes `source`, returning the token stream and any inline waivers.
+pub fn lex(source: &str) -> (Vec<Token>, Vec<Waiver>) {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut waivers = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_ascii_whitespace() {
+            i += 1;
+        } else if source[i..].starts_with("//") {
+            let end = source[i..].find('\n').map_or(bytes.len(), |n| i + n);
+            parse_waiver(&source[i..end], line, &mut waivers);
+            i = end;
+        } else if source[i..].starts_with("/*") {
+            i = skip_block_comment(source, i, &mut line);
+        } else if let Some(next) = try_string(source, i, &mut line, &mut tokens) {
+            i = next;
+        } else if c == b'\'' {
+            i = lex_quote(source, i, &mut line, &mut tokens);
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Int,
+                text: source[start..i].to_string(),
+                line,
+            });
+        } else if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: source[start..i].to_string(),
+                line,
+            });
+        } else {
+            let mut matched = 1;
+            for p in PUNCTS {
+                if source[i..].starts_with(p) {
+                    matched = p.len();
+                    break;
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: source[i..i + matched].to_string(),
+                line,
+            });
+            i += matched;
+        }
+    }
+    (tokens, waivers)
+}
+
+/// Records a waiver if `comment` carries a well-formed
+/// `cm_analyze::allow(<rule>): <justification>` marker.
+fn parse_waiver(comment: &str, line: usize, waivers: &mut Vec<Waiver>) {
+    const MARKER: &str = "cm_analyze::allow(";
+    let Some(at) = comment.find(MARKER) else {
+        return;
+    };
+    let rest = &comment[at + MARKER.len()..];
+    let Some(close) = rest.find(')') else {
+        return;
+    };
+    let rule = rest[..close].trim();
+    let after = &rest[close + 1..];
+    let Some(colon) = after.find(':') else {
+        return;
+    };
+    let justification = after[colon + 1..].trim();
+    if rule.is_empty() || justification.is_empty() {
+        return;
+    }
+    waivers.push(Waiver {
+        line,
+        rule: rule.to_string(),
+        justification: justification.to_string(),
+    });
+}
+
+/// Skips a (nested) `/* ... */` comment starting at `i`.
+fn skip_block_comment(source: &str, mut i: usize, line: &mut usize) -> usize {
+    let bytes = source.as_bytes();
+    let mut depth = 0usize;
+    while i < bytes.len() {
+        if source[i..].starts_with("/*") {
+            depth += 1;
+            i += 2;
+        } else if source[i..].starts_with("*/") {
+            depth -= 1;
+            i += 2;
+            if depth == 0 {
+                return i;
+            }
+        } else {
+            if bytes[i] == b'\n' {
+                *line += 1;
+            }
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Lexes a string / raw-string / byte-string literal if one starts at
+/// `i`, returning the index just past it.
+fn try_string(source: &str, i: usize, line: &mut usize, tokens: &mut Vec<Token>) -> Option<usize> {
+    let rest = &source[i..];
+    let start_line = *line;
+    let (prefix, raw) = if rest.starts_with("r\"") || rest.starts_with("r#") {
+        (1, true)
+    } else if rest.starts_with("br\"") || rest.starts_with("br#") {
+        (2, true)
+    } else if rest.starts_with("b\"") {
+        (1, false)
+    } else if rest.starts_with('"') {
+        (0, false)
+    } else {
+        return None;
+    };
+    let end = if raw {
+        let hashes = source[i + prefix..]
+            .bytes()
+            .take_while(|&b| b == b'#')
+            .count();
+        let open = i + prefix + hashes + 1; // past the opening quote
+        let closer: String = std::iter::once('"')
+            .chain("#".repeat(hashes).chars())
+            .collect();
+        let close = source[open..]
+            .find(&closer)
+            .map_or(source.len(), |n| open + n);
+        *line += source[i..close].bytes().filter(|&b| b == b'\n').count();
+        (close + closer.len()).min(source.len())
+    } else {
+        let bytes = source.as_bytes();
+        let mut j = i + prefix + 1;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'\\' => j += 2,
+                b'"' => {
+                    j += 1;
+                    break;
+                }
+                b'\n' => {
+                    *line += 1;
+                    j += 1;
+                }
+                _ => j += 1,
+            }
+        }
+        j
+    };
+    tokens.push(Token {
+        kind: TokenKind::Str,
+        text: String::new(),
+        line: start_line,
+    });
+    Some(end)
+}
+
+/// Lexes a `'`-introduced lexeme: a char literal (one [`TokenKind::Str`]
+/// token) or a lifetime (a `'` punct; the name lexes as a normal ident).
+fn lex_quote(source: &str, i: usize, line: &mut usize, tokens: &mut Vec<Token>) -> usize {
+    let bytes = source.as_bytes();
+    let next = bytes.get(i + 1).copied();
+    let is_lifetime = match next {
+        Some(b'\\') | None => false,
+        Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+            // `'x'` is a char literal, `'x` (no closing quote after the
+            // ident run) is a lifetime.
+            let mut j = i + 1;
+            while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                j += 1;
+            }
+            bytes.get(j) != Some(&b'\'')
+        }
+        _ => false,
+    };
+    if is_lifetime {
+        tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: "'".to_string(),
+            line: *line,
+        });
+        return i + 1;
+    }
+    // Char literal: scan to the closing quote, honoring escapes.
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'\'' => {
+                j += 1;
+                break;
+            }
+            b'\n' => {
+                *line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Str,
+        text: String::new(),
+        line: *line,
+    });
+    j
+}
+
+/// Marks every token inside `#[test]` / `#[cfg(test)]`-gated items (the
+/// attribute, any stacked attributes, and the braced item body), so
+/// rules can exempt test-only code. `#[cfg(not(test))]` is *not*
+/// exempt.
+pub fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if !(tokens[i].kind == TokenKind::Punct && tokens[i].text == "#") {
+            i += 1;
+            continue;
+        }
+        let Some((attr_end, is_test)) = scan_attr(tokens, i) else {
+            i += 1;
+            continue;
+        };
+        if !is_test {
+            i = attr_end;
+            continue;
+        }
+        // Swallow any further stacked attributes, then the item they
+        // gate: everything through the matching `}` of the item body (a
+        // `;`-terminated item has no body to mask beyond itself).
+        let mut j = attr_end;
+        while j < tokens.len() && tokens[j].kind == TokenKind::Punct && tokens[j].text == "#" {
+            match scan_attr(tokens, j) {
+                Some((end, _)) => j = end,
+                None => break,
+            }
+        }
+        let mut depth = 0usize;
+        let mut end = j;
+        while end < tokens.len() {
+            let t = &tokens[end];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "{" => depth += 1,
+                    // A stray `}` (the attribute sat at the end of a
+                    // block) ends the item scan without underflowing.
+                    "}" if depth == 0 => break,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end += 1;
+                            break;
+                        }
+                    }
+                    ";" if depth == 0 => {
+                        end += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            end += 1;
+        }
+        for m in mask.iter_mut().take(end).skip(i) {
+            *m = true;
+        }
+        i = end;
+    }
+    mask
+}
+
+/// Scans the attribute group starting at the `#` at `i`; returns the
+/// index just past its `]` and whether it gates test-only code.
+fn scan_attr(tokens: &[Token], i: usize) -> Option<(usize, bool)> {
+    let open = i + 1;
+    if !(tokens.get(open)?.kind == TokenKind::Punct && tokens[open].text == "[") {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut has_test = false;
+    let mut has_not = false;
+    let mut j = open;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.kind == TokenKind::Punct && t.text == "[" {
+            depth += 1;
+        } else if t.kind == TokenKind::Punct && t.text == "]" {
+            depth -= 1;
+            if depth == 0 {
+                return Some((j + 1, has_test && !has_not));
+            }
+        } else if t.kind == TokenKind::Ident {
+            if t.text == "test" {
+                has_test = true;
+            }
+            if t.text == "not" {
+                has_not = true;
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).0.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn lexes_idents_puncts_and_ints() {
+        assert_eq!(
+            texts("std::thread::spawn(0x1F);"),
+            ["std", "::", "thread", "::", "spawn", "(", "0x1F", ")", ";"]
+        );
+    }
+
+    #[test]
+    fn strings_and_chars_hide_their_contents() {
+        let (toks, _) = lex(r#"let s = "a // not a comment == x"; let c = '"';"#);
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "s", "let", "c"]);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 2);
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let (toks, _) = lex("fn f<'a>(x: &'a str) -> bool { x == r#\"quote \" inside\"# }");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 1);
+        assert!(toks.iter().any(|t| t.text == "=="));
+    }
+
+    #[test]
+    fn waivers_require_a_justification() {
+        let src = "\
+let a = 1; // cm_analyze::allow(no-panic): invariant holds by construction
+let b = 2; // cm_analyze::allow(no-panic):
+let c = 3; // cm_analyze::allow(no-panic) missing colon
+";
+        let (_, waivers) = lex(src);
+        assert_eq!(waivers.len(), 1);
+        assert_eq!(waivers[0].line, 1);
+        assert_eq!(waivers[0].rule, "no-panic");
+        assert_eq!(waivers[0].justification, "invariant holds by construction");
+    }
+
+    #[test]
+    fn test_mask_covers_gated_items_only() {
+        let src = "\
+fn live() { x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    fn gated() { y.unwrap(); }
+}
+#[cfg(not(test))]
+fn also_live() { z.unwrap(); }
+";
+        let (toks, _) = lex(src);
+        let mask = test_mask(&toks);
+        let masked: Vec<&str> = toks
+            .iter()
+            .zip(&mask)
+            .filter(|(t, &m)| m && t.kind == TokenKind::Ident)
+            .map(|(t, _)| t.text.as_str())
+            .collect();
+        assert!(masked.contains(&"gated"));
+        assert!(!masked.contains(&"live"));
+        assert!(!masked.contains(&"also_live"));
+        assert!(masked.contains(&"y"));
+        assert!(!masked.contains(&"z"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_track_lines() {
+        let (toks, _) = lex("/* a /* b */ still comment */ after\nnext");
+        assert_eq!(toks[0].text, "after");
+        assert_eq!(toks[1].line, 2);
+    }
+}

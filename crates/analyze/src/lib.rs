@@ -1,0 +1,946 @@
+#![warn(missing_docs)]
+
+//! # cm-analyze
+//!
+//! The workspace's offline static-analysis pass: a hand-rolled lexer
+//! ([`lexer`]) plus a registry of lexical rules that enforce the
+//! invariants the CIPHERMATCH codebase is built around — concurrency
+//! only through the shared `cm_core::exec` runtime, constant-time
+//! comparison of secret material, no panics on serving paths, a
+//! duplicate-free and fully-used wire-tag registry, no lock guards held
+//! across work-pool submission, and manifests that resolve shimmed
+//! crates to the in-tree shims.
+//!
+//! Run it as `cargo run -p cm_analyze` (from anywhere in the workspace):
+//! it walks `crates/`, `src/`, `examples/`, and `tests/` under the
+//! workspace root, prints `file:line: rule: message` diagnostics, and
+//! exits nonzero when any unwaived violation remains. A finding can be
+//! waived inline with
+//! `// cm_analyze::allow(<rule>): <justification>` on the offending
+//! line or the line above; waivers without a justification are ignored,
+//! and every honored waiver is counted and reported.
+//!
+//! The rules are *lexical*: they see tokens, not types, so they can run
+//! with zero dependencies and no compiler plumbing. That buys
+//! simplicity at the price of blind spots (a call submitted through a
+//! re-exported alias, a lock guard passed across a function boundary),
+//! which is the usual static-analysis trade and why the waiver requires
+//! a written justification rather than being a bare marker.
+
+pub mod lexer;
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use lexer::{lex, test_mask, Token, TokenKind, Waiver};
+
+/// Rule: concurrency only through `cm_core::exec` — no raw
+/// `std::thread::{spawn, scope, Builder}` outside the runtime module
+/// and test code.
+pub const RULE_EXEC_THREADS: &str = "exec-threads";
+/// Rule: no `==`/`!=` on secret-named values; compare through
+/// `cm_server::secrecy::{keys_match, tags_match}`.
+pub const RULE_CT_SECRECY: &str = "ct-secrecy";
+/// Rule: no `unwrap`/`expect`/`panic!`-family macros in `cm_server`
+/// non-test code; serving paths return typed `MatchError`s.
+pub const RULE_NO_PANIC: &str = "no-panic";
+/// Rule: the `wire.rs` tag registry is duplicate-free per family, every
+/// constant is used on both codec paths, and codecs never match or push
+/// raw integer tags.
+pub const RULE_WIRE_TAGS: &str = "wire-tags";
+/// Rule: no `.lock()` / `lock_unpoisoned` guard lexically live across a
+/// `submit` / `submit_measured` / `run_batch` call.
+pub const RULE_LOCK_ACROSS_SUBMIT: &str = "lock-across-submit";
+/// Rule: manifests must resolve crates shadowed by `shims/` as
+/// path/workspace dependencies, never by crates.io version.
+pub const RULE_SHIM_HYGIENE: &str = "shim-hygiene";
+
+/// Every rule this analyzer evaluates.
+pub const RULES: &[&str] = &[
+    RULE_EXEC_THREADS,
+    RULE_CT_SECRECY,
+    RULE_NO_PANIC,
+    RULE_WIRE_TAGS,
+    RULE_LOCK_ACROSS_SUBMIT,
+    RULE_SHIM_HYGIENE,
+];
+
+/// The one module allowed to touch raw scoped/spawned threads.
+const EXEC_FILE: &str = "crates/core/src/exec.rs";
+/// The one module allowed to compare secret bytes (in constant time).
+const SECRECY_FILE: &str = "crates/server/src/secrecy.rs";
+/// The wire codec whose tag registry [`RULE_WIRE_TAGS`] audits.
+const WIRE_FILE: &str = "crates/server/src/wire.rs";
+/// The no-panic serving surface.
+const SERVER_SRC: &str = "crates/server/src/";
+
+/// One diagnostic: a rule violated at a source location.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Workspace-relative path (unix separators).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule name (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Human-readable description of the finding.
+    pub message: String,
+    /// `Some(justification)` when an inline waiver covers this finding.
+    pub waived: Option<String>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The outcome of analyzing a tree: every finding, waived or not.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, in walk order.
+    pub violations: Vec<Violation>,
+}
+
+impl Report {
+    /// The findings no waiver covers — these fail the build.
+    pub fn unwaived(&self) -> Vec<&Violation> {
+        self.violations
+            .iter()
+            .filter(|v| v.waived.is_none())
+            .collect()
+    }
+
+    /// How many findings an inline waiver covers.
+    pub fn waived_count(&self) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| v.waived.is_some())
+            .count()
+    }
+}
+
+/// One constant parsed from the `mod tags` registry in `wire.rs`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TagConst {
+    /// Tag family: the name's prefix up to the first `_` (`REQ`,
+    /// `RESP`, `ERR`, …). Values must be unique per family.
+    pub family: String,
+    /// The constant's name.
+    pub name: String,
+    /// The constant's value.
+    pub value: u64,
+    /// Line the constant is declared on.
+    pub line: usize,
+}
+
+/// Analyzes a whole tree rooted at `root` (the workspace root): every
+/// `.rs` file and `Cargo.toml` under `crates/`, `src/`, `examples/`,
+/// and `tests/`, plus the root manifest. Directories named `target` or
+/// `fixtures` (and hidden ones) are skipped.
+///
+/// # Errors
+///
+/// Propagates I/O errors from walking and reading the tree (individual
+/// unreadable files abort the run — a lint that silently skips files
+/// reads as a pass it never performed).
+pub fn analyze_root(root: &Path) -> io::Result<Report> {
+    let shimmed = shimmed_crates(root)?;
+    let mut files = Vec::new();
+    for top in ["crates", "src", "examples", "tests"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_files(&dir, &mut files)?;
+        }
+    }
+    let root_manifest = root.join("Cargo.toml");
+    if root_manifest.is_file() {
+        files.push(root_manifest);
+    }
+    files.sort();
+    let mut violations = Vec::new();
+    for path in files {
+        let rel = relative_path(root, &path);
+        let source = fs::read_to_string(&path)?;
+        if rel.ends_with(".rs") {
+            violations.extend(analyze_rust_source(&rel, &source));
+        } else {
+            violations.extend(analyze_manifest(&rel, &source, &shimmed));
+        }
+    }
+    Ok(Report { violations })
+}
+
+/// The crate names `shims/` shadows (one subdirectory per shim).
+///
+/// # Errors
+///
+/// Propagates `read_dir` failures; a missing `shims/` directory is an
+/// empty list, not an error.
+pub fn shimmed_crates(root: &Path) -> io::Result<Vec<String>> {
+    let dir = root.join("shims");
+    if !dir.is_dir() {
+        return Ok(Vec::new());
+    }
+    let mut names = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if entry.path().is_dir() {
+            names.push(entry.file_name().to_string_lossy().into_owned());
+        }
+    }
+    names.sort();
+    Ok(names)
+}
+
+fn collect_files(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect_files(&path, files)?;
+        } else if name.ends_with(".rs") || name == "Cargo.toml" {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Runs every Rust-source rule over one file. `rel_path` is the
+/// workspace-relative path with unix separators (it selects which rules
+/// and whitelists apply). Waivers are already applied in the result.
+pub fn analyze_rust_source(rel_path: &str, source: &str) -> Vec<Violation> {
+    let (tokens, waivers) = lex(source);
+    let mask = test_mask(&tokens);
+    let is_test_path = rel_path.split('/').any(|c| c == "tests" || c == "benches");
+    let mut out = Vec::new();
+    if !is_test_path {
+        if rel_path != EXEC_FILE {
+            rule_exec_threads(rel_path, &tokens, &mask, &mut out);
+        }
+        if rel_path != SECRECY_FILE {
+            rule_ct_secrecy(rel_path, &tokens, &mask, &mut out);
+        }
+        if rel_path.starts_with(SERVER_SRC) {
+            rule_no_panic(rel_path, &tokens, &mask, &mut out);
+        }
+        rule_lock_across_submit(rel_path, &tokens, &mask, &mut out);
+    }
+    if rel_path == WIRE_FILE {
+        rule_wire_tags(rel_path, &tokens, &mask, &mut out);
+    }
+    apply_waivers(&waivers, &mut out);
+    out
+}
+
+fn apply_waivers(waivers: &[Waiver], violations: &mut [Violation]) {
+    for v in violations {
+        if let Some(w) = waivers
+            .iter()
+            .find(|w| w.rule == v.rule && (w.line == v.line || w.line + 1 == v.line))
+        {
+            v.waived = Some(w.justification.clone());
+        }
+    }
+}
+
+fn is_punct(t: &Token, s: &str) -> bool {
+    t.kind == TokenKind::Punct && t.text == s
+}
+
+fn is_ident(t: &Token, s: &str) -> bool {
+    t.kind == TokenKind::Ident && t.text == s
+}
+
+// ---------------------------------------------------------------------
+// Rule: exec-threads
+// ---------------------------------------------------------------------
+
+/// Thread entry points that bypass the shared runtime.
+const RAW_THREAD_CALLS: &[&str] = &["spawn", "scope", "Builder"];
+
+fn rule_exec_threads(rel: &str, tokens: &[Token], mask: &[bool], out: &mut Vec<Violation>) {
+    for i in 0..tokens.len().saturating_sub(2) {
+        if is_ident(&tokens[i], "thread")
+            && is_punct(&tokens[i + 1], "::")
+            && tokens[i + 2].kind == TokenKind::Ident
+            && RAW_THREAD_CALLS.contains(&tokens[i + 2].text.as_str())
+            && !mask[i + 2]
+        {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: tokens[i + 2].line,
+                rule: RULE_EXEC_THREADS,
+                message: format!(
+                    "raw `std::thread::{}` outside `cm_core::exec` — route concurrency \
+                     through the shared work-pool runtime (`WorkerPool`, `fan_out`, `join_all`)",
+                    tokens[i + 2].text
+                ),
+                waived: None,
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule: ct-secrecy
+// ---------------------------------------------------------------------
+
+/// Identifiers that always denote secret material.
+const SECRET_NAMES: &[&str] = &["channel_key", "auth_tag", "upload_tag", "content_digest"];
+/// Field names that denote secret material when accessed as `.field`.
+const SECRET_FIELDS: &[&str] = &["tag", "key", "digest", "content", "channel_key"];
+/// How many tokens each side of a comparison operator the rule
+/// inspects (bounded by expression delimiters first).
+const SECRECY_WINDOW: usize = 10;
+
+fn rule_ct_secrecy(rel: &str, tokens: &[Token], mask: &[bool], out: &mut Vec<Violation>) {
+    for i in 0..tokens.len() {
+        if mask[i] || !(is_punct(&tokens[i], "==") || is_punct(&tokens[i], "!=")) {
+            continue;
+        }
+        let boundary = |t: &Token| {
+            is_punct(t, ";") || is_punct(t, "{") || is_punct(t, "}") || is_punct(t, ",")
+        };
+        let lo = (i.saturating_sub(SECRECY_WINDOW)..i)
+            .rev()
+            .find(|&j| boundary(&tokens[j]))
+            .map_or(i.saturating_sub(SECRECY_WINDOW), |j| j + 1);
+        let hi = (i + 1..tokens.len().min(i + 1 + SECRECY_WINDOW))
+            .find(|&j| boundary(&tokens[j]))
+            .unwrap_or(tokens.len().min(i + 1 + SECRECY_WINDOW));
+        for j in lo..hi {
+            let t = &tokens[j];
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            let named_secret = SECRET_NAMES.contains(&t.text.as_str());
+            let field_secret =
+                SECRET_FIELDS.contains(&t.text.as_str()) && j > 0 && is_punct(&tokens[j - 1], ".");
+            if named_secret || field_secret {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: tokens[i].line,
+                    rule: RULE_CT_SECRECY,
+                    message: format!(
+                        "`{}` on secret material (`{}`) leaks the matching prefix through \
+                         timing — compare via `cm_server::secrecy::{{keys_match, tags_match}}`",
+                        tokens[i].text, t.text
+                    ),
+                    waived: None,
+                });
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule: no-panic
+// ---------------------------------------------------------------------
+
+/// Panicking macros forbidden on serving paths.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+fn rule_no_panic(rel: &str, tokens: &[Token], mask: &[bool], out: &mut Vec<Violation>) {
+    for i in 0..tokens.len() {
+        if mask[i] || tokens[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let text = tokens[i].text.as_str();
+        let method_call = (text == "unwrap" || text == "expect")
+            && i > 0
+            && is_punct(&tokens[i - 1], ".")
+            && i + 1 < tokens.len()
+            && is_punct(&tokens[i + 1], "(");
+        let macro_call =
+            PANIC_MACROS.contains(&text) && i + 1 < tokens.len() && is_punct(&tokens[i + 1], "!");
+        if method_call || macro_call {
+            let rendered = if method_call {
+                format!(".{text}()")
+            } else {
+                format!("{text}!")
+            };
+            out.push(Violation {
+                file: rel.to_string(),
+                line: tokens[i].line,
+                rule: RULE_NO_PANIC,
+                message: format!(
+                    "`{rendered}` on a cm_server serving path — surface a typed \
+                     `MatchError` (e.g. `MatchError::Internal`) instead of panicking a worker"
+                ),
+                waived: None,
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule: wire-tags
+// ---------------------------------------------------------------------
+
+/// Parses the `mod tags { ... }` registry out of `wire.rs` source.
+/// Returns an empty table when the module is missing (which
+/// [`RULE_WIRE_TAGS`] reports as its own violation).
+pub fn wire_tag_table(source: &str) -> Vec<TagConst> {
+    let (tokens, _) = lex(source);
+    match find_tags_region(&tokens) {
+        Some((start, end)) => parse_tag_consts(&tokens[start..end]),
+        None => Vec::new(),
+    }
+}
+
+/// Locates the token range strictly inside `mod tags { ... }`.
+fn find_tags_region(tokens: &[Token]) -> Option<(usize, usize)> {
+    for i in 0..tokens.len().saturating_sub(2) {
+        if is_ident(&tokens[i], "mod")
+            && is_ident(&tokens[i + 1], "tags")
+            && is_punct(&tokens[i + 2], "{")
+        {
+            let mut depth = 0usize;
+            for (j, t) in tokens.iter().enumerate().skip(i + 2) {
+                if is_punct(t, "{") {
+                    depth += 1;
+                } else if is_punct(t, "}") {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some((i + 3, j));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+fn parse_tag_consts(tokens: &[Token]) -> Vec<TagConst> {
+    let mut consts = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_ident(&tokens[i], "const")
+            && i + 5 < tokens.len()
+            && tokens[i + 1].kind == TokenKind::Ident
+            && is_punct(&tokens[i + 2], ":")
+            && tokens[i + 3].kind == TokenKind::Ident
+            && is_punct(&tokens[i + 4], "=")
+            && tokens[i + 5].kind == TokenKind::Int
+        {
+            let name = tokens[i + 1].text.clone();
+            if let Some(value) = parse_int(&tokens[i + 5].text) {
+                let family = name.split('_').next().unwrap_or(&name).to_string();
+                consts.push(TagConst {
+                    family,
+                    name,
+                    value,
+                    line: tokens[i + 1].line,
+                });
+            }
+            i += 6;
+        } else {
+            i += 1;
+        }
+    }
+    consts
+}
+
+/// Parses a Rust integer literal (decimal/hex/octal/binary, `_`
+/// separators, optional type suffix).
+fn parse_int(text: &str) -> Option<u64> {
+    let t = text.replace('_', "");
+    let (radix, digits) = if let Some(d) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        (16, d)
+    } else if let Some(d) = t.strip_prefix("0o").or_else(|| t.strip_prefix("0O")) {
+        (8, d)
+    } else if let Some(d) = t.strip_prefix("0b").or_else(|| t.strip_prefix("0B")) {
+        (2, d)
+    } else {
+        (10, t.as_str())
+    };
+    let end = digits
+        .find(|c: char| !c.is_digit(radix))
+        .unwrap_or(digits.len());
+    u64::from_str_radix(&digits[..end], radix).ok()
+}
+
+/// Codec functions in `wire.rs` that must route every tag through the
+/// registry rather than raw integer literals.
+const CODEC_FNS: &[&str] = &["encode", "decode", "put_error", "read_error"];
+
+fn rule_wire_tags(rel: &str, tokens: &[Token], mask: &[bool], out: &mut Vec<Violation>) {
+    let Some((start, end)) = find_tags_region(tokens) else {
+        out.push(Violation {
+            file: rel.to_string(),
+            line: 1,
+            rule: RULE_WIRE_TAGS,
+            message: "wire.rs has no `mod tags` registry — wire tags must be named constants"
+                .to_string(),
+            waived: None,
+        });
+        return;
+    };
+    let consts = parse_tag_consts(&tokens[start..end]);
+    // Duplicate values within a family.
+    let mut seen: HashMap<(String, u64), String> = HashMap::new();
+    for c in &consts {
+        if let Some(prev) = seen.insert((c.family.clone(), c.value), c.name.clone()) {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: c.line,
+                rule: RULE_WIRE_TAGS,
+                message: format!(
+                    "duplicate wire tag: `{}` = {} collides with `{}` in the `{}` family",
+                    c.name, c.value, prev, c.family
+                ),
+                waived: None,
+            });
+        }
+    }
+    // Every constant must appear on both codec paths: at least two uses
+    // outside the registry itself.
+    for c in &consts {
+        let uses = tokens
+            .iter()
+            .enumerate()
+            .filter(|&(j, t)| (j < start || j >= end) && is_ident(t, &c.name) && !mask[j])
+            .count();
+        if uses < 2 {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: c.line,
+                rule: RULE_WIRE_TAGS,
+                message: format!(
+                    "wire tag `{}` is referenced {uses} time(s) outside the registry — \
+                     a registered tag must be used on both the encode and decode paths",
+                    c.name
+                ),
+                waived: None,
+            });
+        }
+    }
+    // Codec bodies must not match on or push raw integer tags.
+    let mut i = 0;
+    while i + 1 < tokens.len() {
+        if !(is_ident(&tokens[i], "fn")
+            && tokens[i + 1].kind == TokenKind::Ident
+            && CODEC_FNS.contains(&tokens[i + 1].text.as_str())
+            && !mask[i + 1])
+        {
+            i += 1;
+            continue;
+        }
+        let fn_name = tokens[i + 1].text.clone();
+        // Find the body: first `{` after the signature, then its match.
+        let Some(open) = (i + 2..tokens.len()).find(|&j| is_punct(&tokens[j], "{")) else {
+            break;
+        };
+        let mut depth = 0usize;
+        let mut close = open;
+        for (j, t) in tokens.iter().enumerate().skip(open) {
+            if is_punct(t, "{") {
+                depth += 1;
+            } else if is_punct(t, "}") {
+                depth -= 1;
+                if depth == 0 {
+                    close = j;
+                    break;
+                }
+            }
+        }
+        for j in open..close {
+            if tokens[j].kind != TokenKind::Int {
+                continue;
+            }
+            let arm = j + 1 < tokens.len() && is_punct(&tokens[j + 1], "=>");
+            let pushed =
+                j >= 2 && is_punct(&tokens[j - 1], "(") && is_ident(&tokens[j - 2], "push");
+            if arm || pushed {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: tokens[j].line,
+                    rule: RULE_WIRE_TAGS,
+                    message: format!(
+                        "raw integer `{}` used as a wire tag in `{fn_name}` — name it in \
+                         the `tags::` registry",
+                        tokens[j].text
+                    ),
+                    waived: None,
+                });
+            }
+        }
+        i = close.max(i + 1);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule: lock-across-submit
+// ---------------------------------------------------------------------
+
+/// Pool-submission entry points a lock guard must not be held across.
+const SUBMIT_CALLS: &[&str] = &["submit", "submit_measured", "run_batch"];
+
+fn rule_lock_across_submit(rel: &str, tokens: &[Token], mask: &[bool], out: &mut Vec<Violation>) {
+    struct Binding {
+        name: String,
+        depth: usize,
+    }
+    let mut live: Vec<Binding> = Vec::new();
+    // Bindings activate at the `;` ending their `let` statement.
+    let mut pending: Vec<(usize, Binding)> = Vec::new();
+    let mut depth = 0usize;
+    for i in 0..tokens.len() {
+        while let Some(pos) = pending.iter().position(|(at, _)| *at <= i) {
+            live.push(pending.remove(pos).1);
+        }
+        let t = &tokens[i];
+        if is_punct(t, "{") {
+            depth += 1;
+        } else if is_punct(t, "}") {
+            depth = depth.saturating_sub(1);
+            live.retain(|b| b.depth <= depth);
+            pending.retain(|(_, b)| b.depth <= depth);
+        } else if is_ident(t, "drop") && i + 3 < tokens.len() && is_punct(&tokens[i + 1], "(") {
+            if tokens[i + 2].kind == TokenKind::Ident && is_punct(&tokens[i + 3], ")") {
+                let name = &tokens[i + 2].text;
+                live.retain(|b| &b.name != name);
+            }
+        } else if is_ident(t, "let") && !mask[i] {
+            let mut j = i + 1;
+            if j < tokens.len() && is_ident(&tokens[j], "mut") {
+                j += 1;
+            }
+            // Only simple `let name = ...` / `let name: T = ...`
+            // bindings are tracked (patterns don't bind one clear
+            // guard).
+            if j + 1 >= tokens.len()
+                || tokens[j].kind != TokenKind::Ident
+                || tokens[j].text == "_"
+                || !(is_punct(&tokens[j + 1], "=") || is_punct(&tokens[j + 1], ":"))
+            {
+                continue;
+            }
+            let name = tokens[j].text.clone();
+            // Scan the initializer to the statement's `;` (at this
+            // brace depth) looking for a lock acquisition.
+            let mut k = j + 1;
+            let mut local_depth = 0usize;
+            let mut locks = false;
+            let mut stmt_end = tokens.len();
+            while k < tokens.len() {
+                let u = &tokens[k];
+                if is_punct(u, "{") || is_punct(u, "(") || is_punct(u, "[") {
+                    local_depth += 1;
+                } else if is_punct(u, "}") || is_punct(u, ")") || is_punct(u, "]") {
+                    local_depth = local_depth.saturating_sub(1);
+                } else if is_punct(u, ";") && local_depth == 0 {
+                    stmt_end = k;
+                    break;
+                } else if (is_ident(u, "lock") && k > 0 && is_punct(&tokens[k - 1], "."))
+                    || is_ident(u, "lock_unpoisoned")
+                {
+                    locks = true;
+                }
+                k += 1;
+            }
+            if locks {
+                pending.push((stmt_end, Binding { name, depth }));
+            }
+        } else if t.kind == TokenKind::Ident
+            && SUBMIT_CALLS.contains(&t.text.as_str())
+            && !mask[i]
+            && i > 0
+            && is_punct(&tokens[i - 1], ".")
+            && i + 1 < tokens.len()
+            && is_punct(&tokens[i + 1], "(")
+        {
+            if let Some(b) = live.last() {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: t.line,
+                    rule: RULE_LOCK_ACROSS_SUBMIT,
+                    message: format!(
+                        "`.{}()` called while lock guard `{}` is live — a pool job \
+                         blocking on that mutex deadlocks the runtime; release the guard \
+                         (scope or `drop`) before submitting",
+                        t.text, b.name
+                    ),
+                    waived: None,
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule: shim-hygiene
+// ---------------------------------------------------------------------
+
+/// Runs the manifest rule over one `Cargo.toml`. `shimmed` lists the
+/// crate names `shims/` shadows. Waivers are not supported in
+/// manifests (TOML comments are not Rust comments); fix the manifest
+/// instead.
+pub fn analyze_manifest(rel_path: &str, source: &str, shimmed: &[String]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut section = String::new();
+    // `[dependencies.<name>]`-style table currently open, if any:
+    // (name, header line, saw a path/workspace key).
+    let mut open_table: Option<(String, usize, bool)> = None;
+    let flush = |table: &mut Option<(String, usize, bool)>, out: &mut Vec<Violation>| {
+        if let Some((name, line, satisfied)) = table.take() {
+            if !satisfied {
+                out.push(shim_violation(rel_path, line, &name));
+            }
+        }
+    };
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.starts_with('[') {
+            flush(&mut open_table, &mut out);
+            section = line
+                .trim_matches(|c| c == '[' || c == ']')
+                .trim()
+                .to_string();
+            if let Some((kind, name)) = section.rsplit_once('.') {
+                if is_dep_section(kind) && shimmed.iter().any(|s| s == name) {
+                    open_table = Some((name.to_string(), line_no, false));
+                }
+            }
+            continue;
+        }
+        if let Some(table) = &mut open_table {
+            if line.starts_with("path") || line.starts_with("workspace") {
+                table.2 = true;
+            }
+            continue;
+        }
+        if !is_dep_section(&section) {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        let value = value.trim();
+        // Dotted keys: `rand.workspace = true` / `rand.path = "..."`.
+        if let Some((base, sub)) = key.split_once('.') {
+            if shimmed.iter().any(|s| s == base) && !(sub == "workspace" || sub == "path") {
+                out.push(shim_violation(rel_path, line_no, base));
+            }
+            continue;
+        }
+        if shimmed.iter().any(|s| s == key)
+            && !(value.contains("path") || value.contains("workspace"))
+        {
+            out.push(shim_violation(rel_path, line_no, key));
+        }
+    }
+    flush(&mut open_table, &mut out);
+    out
+}
+
+fn is_dep_section(name: &str) -> bool {
+    name == "dependencies"
+        || name == "dev-dependencies"
+        || name == "build-dependencies"
+        || name.ends_with(".dependencies")
+        || name.ends_with(".dev-dependencies")
+        || name.ends_with(".build-dependencies")
+}
+
+fn shim_violation(rel: &str, line: usize, name: &str) -> Violation {
+    Violation {
+        file: rel.to_string(),
+        line,
+        rule: RULE_SHIM_HYGIENE,
+        message: format!(
+            "dependency `{name}` is shadowed by `shims/{name}` — declare it as a \
+             path/workspace dependency so offline builds never reach for crates.io"
+        ),
+        waived: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_fired(violations: &[Violation]) -> Vec<&'static str> {
+        violations.iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn exec_threads_flags_raw_spawn_but_not_exec_or_tests() {
+        let src = "fn f() { std::thread::spawn(|| {}); }";
+        assert_eq!(
+            rules_fired(&analyze_rust_source("crates/core/src/api.rs", src)),
+            [RULE_EXEC_THREADS]
+        );
+        assert!(analyze_rust_source(super::EXEC_FILE, src).is_empty());
+        assert!(analyze_rust_source("crates/core/tests/e2e.rs", src).is_empty());
+        let gated = "#[cfg(test)]\nmod tests { fn f() { std::thread::scope(|s| {}); } }";
+        assert!(analyze_rust_source("crates/core/src/api.rs", gated).is_empty());
+    }
+
+    #[test]
+    fn ct_secrecy_flags_equality_on_secrets() {
+        let src = "fn f(a: &[u8; 32], channel_key: &[u8; 32]) -> bool { a == channel_key }";
+        assert_eq!(
+            rules_fired(&analyze_rust_source("crates/server/src/x.rs", src)),
+            [RULE_CT_SECRECY]
+        );
+        let field = "fn f() -> bool { expected != auth.tag }";
+        assert_eq!(
+            rules_fired(&analyze_rust_source("crates/server/src/x.rs", field)),
+            [RULE_CT_SECRECY]
+        );
+        // The blessed module itself is exempt.
+        let blessed = "pub fn tags_match(a: u8, b: u8) -> bool { a ^ b == 0 }";
+        assert!(analyze_rust_source(super::SECRECY_FILE, blessed).is_empty());
+        // A `tag` ident that is not a field access is not secret.
+        let benign = "fn f(tag: u8) -> bool { tag == 3 }";
+        assert!(analyze_rust_source("crates/server/src/x.rs", benign).is_empty());
+    }
+
+    #[test]
+    fn no_panic_is_scoped_to_server_sources() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert_eq!(
+            rules_fired(&analyze_rust_source("crates/server/src/x.rs", src)),
+            [RULE_NO_PANIC]
+        );
+        assert!(analyze_rust_source("crates/core/src/x.rs", src).is_empty());
+        let macros = "fn f() { panic!(\"boom\"); }";
+        assert_eq!(
+            rules_fired(&analyze_rust_source("crates/server/src/x.rs", macros)),
+            [RULE_NO_PANIC]
+        );
+        // `unwrap_or_else` is not `unwrap`.
+        let benign = "fn f(x: Option<u8>) -> u8 { x.unwrap_or_else(|| 0) }";
+        assert!(analyze_rust_source("crates/server/src/x.rs", benign).is_empty());
+    }
+
+    #[test]
+    fn waivers_suppress_with_justification_only() {
+        let waived = "fn f(x: Option<u8>) -> u8 {\n    \
+            // cm_analyze::allow(no-panic): checked non-None two lines up\n    \
+            x.unwrap()\n}";
+        let found = analyze_rust_source("crates/server/src/x.rs", waived);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].waived.is_some());
+        let unjustified = "fn f(x: Option<u8>) -> u8 {\n    \
+            // cm_analyze::allow(no-panic):\n    \
+            x.unwrap()\n}";
+        let found = analyze_rust_source("crates/server/src/x.rs", unjustified);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].waived.is_none());
+        // A waiver for a different rule does not apply.
+        let wrong = "fn f(x: Option<u8>) -> u8 {\n    \
+            // cm_analyze::allow(exec-threads): wrong rule\n    \
+            x.unwrap()\n}";
+        let found = analyze_rust_source("crates/server/src/x.rs", wrong);
+        assert!(found[0].waived.is_none());
+    }
+
+    #[test]
+    fn lock_across_submit_tracks_guard_lifetimes() {
+        let bad = "fn f() { let g = m.lock().unwrap(); pool.submit(|| {}); }";
+        assert_eq!(
+            rules_fired(&analyze_rust_source("crates/core/src/x.rs", bad)),
+            [RULE_LOCK_ACROSS_SUBMIT]
+        );
+        // Guard released by scope before the submit: clean.
+        let scoped = "fn f() { { let g = m.lock().unwrap(); g.push(1); } pool.submit(|| {}); }";
+        assert!(analyze_rust_source("crates/core/src/x.rs", scoped).is_empty());
+        // Guard dropped explicitly before the submit: clean.
+        let dropped = "fn f() { let g = m.lock().unwrap(); drop(g); pool.submit(|| {}); }";
+        assert!(analyze_rust_source("crates/core/src/x.rs", dropped).is_empty());
+        // The lock inside the submitted closure itself is fine.
+        let inside = "fn f() { pool.submit(|| { let g = m.lock().unwrap(); }); }";
+        assert!(analyze_rust_source("crates/core/src/x.rs", inside).is_empty());
+    }
+
+    #[test]
+    fn wire_tags_catches_duplicates_unused_and_raw_ints() {
+        let src = "\
+pub mod tags {
+    pub const REQ_PING: u8 = 0;
+    pub const REQ_MATCH: u8 = 0;
+    pub const REQ_UNUSED: u8 = 2;
+}
+impl Request {
+    pub fn encode(&self) { out.push(tags::REQ_PING); out.push(tags::REQ_MATCH); }
+    pub fn decode(d: &[u8]) {
+        match d[0] {
+            tags::REQ_PING => {}
+            tags::REQ_MATCH => {}
+            7 => {}
+            _ => {}
+        }
+    }
+}
+";
+        let found = analyze_rust_source(super::WIRE_FILE, src);
+        let fired = rules_fired(&found);
+        assert_eq!(fired.iter().filter(|r| **r == RULE_WIRE_TAGS).count(), 3);
+        assert!(found.iter().any(|v| v.message.contains("duplicate")));
+        assert!(found.iter().any(|v| v.message.contains("REQ_UNUSED")));
+        assert!(found.iter().any(|v| v.message.contains("raw integer `7`")));
+    }
+
+    #[test]
+    fn wire_tag_table_parses_families() {
+        let src = "pub mod tags { pub const REQ_PING: u8 = 0; pub const ERR_DECODE: u8 = 7; }";
+        let table = wire_tag_table(src);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table[0].family, "REQ");
+        assert_eq!(table[1].value, 7);
+    }
+
+    #[test]
+    fn manifest_rule_requires_shim_resolution() {
+        let shimmed = vec!["rand".to_string(), "serde".to_string()];
+        let bad = "[dependencies]\nrand = \"0.8\"\n";
+        let found = analyze_manifest("crates/x/Cargo.toml", bad, &shimmed);
+        assert_eq!(rules_fired(&found), [RULE_SHIM_HYGIENE]);
+        let good = "[dependencies]\nrand.workspace = true\nserde = { path = \"../serde\" }\n";
+        assert!(analyze_manifest("crates/x/Cargo.toml", good, &shimmed).is_empty());
+        let table = "[dependencies.rand]\nversion = \"0.8\"\n";
+        assert_eq!(
+            rules_fired(&analyze_manifest("crates/x/Cargo.toml", table, &shimmed)),
+            [RULE_SHIM_HYGIENE]
+        );
+        let table_ok = "[dependencies.rand]\npath = \"../../shims/rand\"\n";
+        assert!(analyze_manifest("crates/x/Cargo.toml", table_ok, &shimmed).is_empty());
+        // Non-shimmed crates are not the rule's business.
+        let other = "[dependencies]\nlibc = \"0.2\"\n";
+        assert!(analyze_manifest("crates/x/Cargo.toml", other, &shimmed).is_empty());
+    }
+
+    #[test]
+    fn int_literals_parse_across_radixes() {
+        assert_eq!(parse_int("19"), Some(19));
+        assert_eq!(parse_int("0x1F"), Some(31));
+        assert_eq!(parse_int("0b101"), Some(5));
+        assert_eq!(parse_int("1_000u64"), Some(1000));
+        assert_eq!(parse_int("0u8"), Some(0));
+    }
+}

@@ -1,0 +1,42 @@
+//! `cm_analyze` CLI: lint the workspace (or an explicit root) and exit
+//! nonzero when any unwaived violation remains.
+//!
+//! ```text
+//! cargo run -p cm_analyze            # lint the workspace this crate lives in
+//! cargo run -p cm_analyze -- <root>  # lint an explicit tree (used by the self-tests)
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).map_or_else(
+        || PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+        PathBuf::from,
+    );
+    let root = root.canonicalize().unwrap_or(root);
+    let report = match cm_analyze::analyze_root(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("cm_analyze: failed to read {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for v in &report.violations {
+        match &v.waived {
+            Some(justification) => println!("{v} [waived: {justification}]"),
+            None => println!("{v}"),
+        }
+    }
+    let unwaived = report.unwaived().len();
+    println!(
+        "cm_analyze: {} file-checked rule(s), {unwaived} violation(s), {} waived",
+        cm_analyze::RULES.len(),
+        report.waived_count()
+    );
+    if unwaived > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,131 @@
+//! Self-test of the analyzer against its committed fixture tree (every
+//! rule must fire, the waiver must be honored) and against the real
+//! workspace (which must be clean — this is the same gate CI's
+//! `static-analysis` job enforces via `cargo run -p cm_analyze`).
+
+use std::path::PathBuf;
+
+use cm_analyze::{
+    analyze_root, Report, RULES, RULE_CT_SECRECY, RULE_EXEC_THREADS, RULE_LOCK_ACROSS_SUBMIT,
+    RULE_NO_PANIC, RULE_SHIM_HYGIENE, RULE_WIRE_TAGS,
+};
+
+fn fixtures_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn unwaived_rules(report: &Report) -> Vec<&'static str> {
+    report.unwaived().iter().map(|v| v.rule).collect()
+}
+
+#[test]
+fn every_rule_fires_on_the_fixture_tree() {
+    let report = analyze_root(&fixtures_root()).expect("fixture tree is readable");
+    let fired = unwaived_rules(&report);
+    for rule in RULES {
+        assert!(
+            fired.contains(rule),
+            "rule {rule} found nothing in the fixture tree; fired: {fired:?}"
+        );
+    }
+}
+
+#[test]
+fn fixture_violations_carry_file_and_line() {
+    let report = analyze_root(&fixtures_root()).expect("fixture tree is readable");
+    for v in report.unwaived() {
+        assert!(v.line >= 1, "{v} has no line");
+        assert!(!v.file.is_empty(), "violation without a file");
+        assert!(
+            v.file.contains('/') && !v.file.contains('\\'),
+            "{} is not a unix-style relative path",
+            v.file
+        );
+    }
+    // The known fixture sites, by rule.
+    let has = |rule: &str, file: &str| {
+        report
+            .unwaived()
+            .iter()
+            .any(|v| v.rule == rule && v.file == file)
+    };
+    assert!(has(RULE_EXEC_THREADS, "crates/core/src/threads.rs"));
+    assert!(has(RULE_NO_PANIC, "crates/server/src/panics.rs"));
+    assert!(has(RULE_CT_SECRECY, "crates/server/src/secrecy_cmp.rs"));
+    assert!(has(RULE_WIRE_TAGS, "crates/server/src/wire.rs"));
+    assert!(has(
+        RULE_LOCK_ACROSS_SUBMIT,
+        "crates/core/src/lock_submit.rs"
+    ));
+    assert!(has(RULE_SHIM_HYGIENE, "crates/server/Cargo.toml"));
+}
+
+#[test]
+fn fixture_waiver_is_counted_not_failed() {
+    let report = analyze_root(&fixtures_root()).expect("fixture tree is readable");
+    assert!(
+        report.waived_count() >= 1,
+        "the waived fixture spawn should be reported as waived"
+    );
+    let waived: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.waived.is_some())
+        .collect();
+    assert!(
+        waived
+            .iter()
+            .any(|v| v.rule == RULE_EXEC_THREADS && v.file == "crates/core/src/threads.rs"),
+        "expected the waived spawn in threads.rs, got {waived:?}"
+    );
+    // The same file still has its unwaived twin.
+    assert!(report
+        .unwaived()
+        .iter()
+        .any(|v| v.rule == RULE_EXEC_THREADS && v.file == "crates/core/src/threads.rs"));
+}
+
+#[test]
+fn the_real_workspace_is_clean() {
+    let report = analyze_root(&workspace_root()).expect("workspace tree is readable");
+    let offending: Vec<String> = report.unwaived().iter().map(|v| v.to_string()).collect();
+    assert!(
+        offending.is_empty(),
+        "workspace has unwaived violations:\n{}",
+        offending.join("\n")
+    );
+}
+
+#[test]
+fn the_real_wire_registry_parses_and_is_consistent() {
+    let wire = std::fs::read_to_string(workspace_root().join("crates/server/src/wire.rs"))
+        .expect("wire.rs is readable");
+    let table = cm_analyze::wire_tag_table(&wire);
+    assert!(
+        table.len() >= 30,
+        "expected the full tag registry, parsed {} constants",
+        table.len()
+    );
+    for family in ["REQ", "RESP", "ERR", "QUERY", "PHASE", "DECODE"] {
+        assert!(
+            table.iter().any(|c| c.family == family),
+            "family {family} missing from the parsed registry"
+        );
+    }
+    // Families are dense from zero: values 0..n with no gaps, which is
+    // what keeps `_ => unknown tag` decode arms honest.
+    for family in ["REQ", "RESP", "ERR", "QUERY", "PHASE", "DECODE"] {
+        let mut values: Vec<u64> = table
+            .iter()
+            .filter(|c| c.family == family)
+            .map(|c| c.value)
+            .collect();
+        values.sort_unstable();
+        let expected: Vec<u64> = (0..values.len() as u64).collect();
+        assert_eq!(values, expected, "family {family} has gaps or duplicates");
+    }
+}

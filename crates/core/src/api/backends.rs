@@ -504,25 +504,18 @@ impl SecureMatcher for BooleanMatcher {
                 .filter(|&o| self.client.decrypt(&engine.match_window(db, query, o)))
                 .collect());
         }
-        let mut matches = Vec::new();
-        std::thread::scope(|scope| -> Result<(), MatchError> {
-            let mut handles = Vec::new();
-            for chunk in windows.chunks(windows.len().div_ceil(self.threads)) {
-                let engine = &engine;
-                let client = &self.client;
-                handles.push(scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .filter(|&&o| client.decrypt(&engine.match_window(db, query, o)))
-                        .copied()
-                        .collect::<Vec<_>>()
-                }));
-            }
-            for h in handles {
-                matches.extend(h.join().map_err(|_| MatchError::WorkerPanicked)?);
-            }
-            Ok(())
-        })?;
+        let engine = &engine;
+        let client = &self.client;
+        let mut matches: Vec<usize> = crate::exec::fan_out(&windows, self.threads, |chunk| {
+            chunk
+                .iter()
+                .filter(|&&o| client.decrypt(&engine.match_window(db, query, o)))
+                .copied()
+                .collect::<Vec<_>>()
+        })?
+        .into_iter()
+        .flatten()
+        .collect();
         matches.sort_unstable();
         Ok(matches)
     }

@@ -82,6 +82,11 @@ pub enum MatchError {
     /// The peer closed the connection before answering the in-flight
     /// request (e.g. the server hung up mid-upload).
     ConnectionClosed,
+    /// A server-side internal invariant did not hold (the typed stand-in
+    /// for what would otherwise be a panic on the serving path: request
+    /// handling must answer with a wire error frame, never unwind a
+    /// worker).
+    Internal(&'static str),
 }
 
 impl std::fmt::Display for MatchError {
@@ -130,6 +135,9 @@ impl std::fmt::Display for MatchError {
             ),
             MatchError::ConnectionClosed => {
                 write!(f, "the peer closed the connection mid-request")
+            }
+            MatchError::Internal(what) => {
+                write!(f, "internal server invariant violated: {what}")
             }
         }
     }

@@ -139,6 +139,77 @@ pub fn wait_all<T>(handles: Vec<CompletionHandle<T>>) -> Result<Vec<T>, MatchErr
 }
 
 // ---------------------------------------------------------------------------
+// Scoped fan-out over borrowed data
+// ---------------------------------------------------------------------------
+
+/// Splits `items` into up to `workers` contiguous chunks and evaluates
+/// `f` on each chunk concurrently, returning the per-chunk results in
+/// chunk order.
+///
+/// This is the runtime's primitive for data-parallel sweeps over
+/// *borrowed* state (an encrypted database, an evaluator, key material):
+/// such jobs cannot ride the `'static` [`WorkerPool`] queue, so this is
+/// the one blessed home for scoped threads — every other module submits
+/// to a pool or calls this.
+///
+/// `workers == 1` (or a single chunk) runs inline on the caller's
+/// thread.
+///
+/// # Errors
+///
+/// [`MatchError::InvalidConfig`] for a zero worker count;
+/// [`MatchError::WorkerPanicked`] if any chunk's evaluation panicked.
+pub fn fan_out<I: Sync, T: Send>(
+    items: &[I],
+    workers: usize,
+    f: impl Fn(&[I]) -> T + Sync,
+) -> Result<Vec<T>, MatchError> {
+    if workers == 0 {
+        return Err(MatchError::InvalidConfig("worker count must be positive"));
+    }
+    if items.is_empty() {
+        return Ok(Vec::new());
+    }
+    let chunk = items.len().div_ceil(workers);
+    if workers == 1 || chunk >= items.len() {
+        return Ok(vec![f(items)]);
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || f(part)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().map_err(|_| MatchError::WorkerPanicked))
+            .collect()
+    })
+}
+
+/// Runs a batch of heterogeneous borrowed closures concurrently and
+/// returns their results in submission order — the scoped sibling of
+/// [`wait_all`] for one-shot fan-outs whose tasks capture non-`'static`
+/// state and do different things (e.g. an example driving several
+/// tenants at once).
+///
+/// # Errors
+///
+/// [`MatchError::WorkerPanicked`] if any task panicked (the rest still
+/// run to completion).
+pub fn join_all<'env, T: Send>(
+    tasks: Vec<Box<dyn FnOnce() -> T + Send + 'env>>,
+) -> Result<Vec<T>, MatchError> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = tasks.into_iter().map(|task| scope.spawn(task)).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().map_err(|_| MatchError::WorkerPanicked))
+            .collect()
+    })
+}
+
+// ---------------------------------------------------------------------------
 // The worker pool
 // ---------------------------------------------------------------------------
 
@@ -373,6 +444,31 @@ impl MatcherPool {
             stats: guard.stats(),
             elapsed: start.elapsed(),
         }
+    }
+
+    /// Like [`Self::run`], but a panic inside `f` is caught and surfaced
+    /// as [`MatchError::WorkerPanicked`] instead of unwinding through the
+    /// caller — the serving path's guarantee that a hostile query can
+    /// kill neither its connection worker nor the tenant's pool. The
+    /// checked-out matcher is returned to the pool either way.
+    ///
+    /// # Errors
+    ///
+    /// [`MatchError::WorkerPanicked`] if `f` panicked.
+    pub fn try_run<T>(
+        &self,
+        f: impl FnOnce(&mut dyn ErasedMatcher) -> T,
+    ) -> Result<ExecOutcome<T>, MatchError> {
+        let mut guard = self.checkout();
+        guard.reset_stats();
+        let start = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| f(&mut *guard)))
+            .map_err(|_| MatchError::WorkerPanicked)?;
+        Ok(ExecOutcome {
+            result,
+            stats: guard.stats(),
+            elapsed: start.elapsed(),
+        })
     }
 
     fn give_back(&self, matcher: Box<dyn ErasedMatcher>) {

@@ -62,7 +62,10 @@ pub use api::{
     MatchStats, MatcherConfig, PlainMatcher, SecureMatcher, StatsAccumulator, YasudaMatcher,
 };
 pub use bits::BitString;
-pub use exec::{wait_all, CompletionHandle, ExecOutcome, MatcherGuard, MatcherPool, WorkerPool};
+pub use exec::{
+    fan_out, join_all, wait_all, CompletionHandle, ExecOutcome, MatcherGuard, MatcherPool,
+    WorkerPool,
+};
 pub use index_gen::{generate_indices, SumTable};
 pub use matchers::batched::{BatchedDatabase, BatchedEngine};
 pub use matchers::boolean::{BooleanDatabase, BooleanEngine, BooleanGateCount};

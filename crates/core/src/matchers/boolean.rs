@@ -156,23 +156,18 @@ impl<'k> BooleanEngine<'k> {
         }
         let q = self.encrypt_query(query, rng);
         let windows: Vec<usize> = (0..=db.len() - k).collect();
-        let mut matches = Vec::new();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for chunk in windows.chunks(windows.len().div_ceil(threads)) {
-                let q = &q;
-                handles.push(scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .filter(|&&o| self.client.decrypt(&self.match_window(db, q, o)))
-                        .copied()
-                        .collect::<Vec<_>>()
-                }));
-            }
-            for h in handles {
-                matches.extend(h.join().expect("boolean worker panicked"));
-            }
-        });
+        let q = &q;
+        let mut matches: Vec<usize> = crate::exec::fan_out(&windows, threads, |chunk| {
+            chunk
+                .iter()
+                .filter(|&&o| self.client.decrypt(&self.match_window(db, q, o)))
+                .copied()
+                .collect::<Vec<_>>()
+        })
+        .expect("boolean worker panicked")
+        .into_iter()
+        .flatten()
+        .collect();
         matches.sort_unstable();
         matches
     }

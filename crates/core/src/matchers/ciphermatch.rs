@@ -596,32 +596,24 @@ impl CiphermatchEngine {
         assert!(threads > 0, "at least one thread required");
         let evaluator = &self.evaluator;
         let t0 = Instant::now();
-        let mut per_variant: Vec<((usize, usize), Vec<Ciphertext>)> =
-            Vec::with_capacity(query.variants.len());
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for chunk in query
-                .variants
-                .chunks(query.variants.len().div_ceil(threads))
-            {
-                handles.push(scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .map(|v| {
-                            let results: Vec<Ciphertext> = db
-                                .cts
-                                .iter()
-                                .map(|dbct| evaluator.add(dbct, &v.ct))
-                                .collect();
-                            ((v.r, v.phase), results)
-                        })
-                        .collect::<Vec<_>>()
-                }));
-            }
-            for h in handles {
-                per_variant.extend(h.join().expect("search worker panicked"));
-            }
-        });
+        let per_variant: Vec<((usize, usize), Vec<Ciphertext>)> =
+            crate::exec::fan_out(&query.variants, threads, |chunk| {
+                chunk
+                    .iter()
+                    .map(|v| {
+                        let results: Vec<Ciphertext> = db
+                            .cts
+                            .iter()
+                            .map(|dbct| evaluator.add(dbct, &v.ct))
+                            .collect();
+                        ((v.r, v.phase), results)
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .expect("search worker panicked")
+            .into_iter()
+            .flatten()
+            .collect();
         self.stats.add_time += t0.elapsed();
         self.stats.hom_adds += (query.variants.len() * db.cts.len()) as u64;
         SearchResult {

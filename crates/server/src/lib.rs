@@ -1,4 +1,9 @@
 #![warn(missing_docs)]
+// Serving paths answer with typed `MatchError`s, never a panic: the
+// `cm_analyze` `no-panic` lint enforces this lexically, and clippy
+// cross-checks it here (test code is exempt via clippy.toml; CI's
+// `static-analysis` job promotes these to errors with `-D warnings`).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 //! # cm-server
 //!
@@ -79,6 +84,7 @@ pub mod client;
 pub mod executor;
 pub mod ifp;
 pub mod kit;
+pub mod secrecy;
 pub mod server;
 pub mod shard;
 pub mod tenant;
@@ -88,6 +94,7 @@ pub use client::{MatchClient, MatchReply, TenantAccess};
 pub use executor::{SearchHandle, ShardExecutor, ShardOutcome};
 pub use ifp::{IfpDatabase, IfpMatcher};
 pub use kit::QueryKit;
+pub use secrecy::{keys_match, tags_match};
 pub use server::{MatchServer, RunningServer, ServerConfig};
 pub use shard::{ShardPlan, ShardRange, ShardedDatabase};
 pub use sharded::ShardedCmMatcher;

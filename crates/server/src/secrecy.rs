@@ -1,0 +1,57 @@
+//! Constant-time comparison of secret material — the *only* compare
+//! path for channel keys and AES-CBC-MAC tags.
+//!
+//! A branchy `==` on a secret leaks the length of the matching prefix
+//! through timing: an attacker iterating guesses can grow a forged tag
+//! or key byte by byte. Every comparison of secret-named values
+//! (`channel_key`, `auth_tag`, `upload_tag`, `content_digest` outputs)
+//! must go through [`keys_match`] / [`tags_match`], which XOR-fold the
+//! full width before testing — the time to reject a mismatch is
+//! independent of where it mismatches.
+//!
+//! The workspace lint (`cargo run -p cm_analyze`, rule `ct-secrecy`)
+//! whitelists exactly this module: an `==`/`!=` on secret-marked values
+//! anywhere else fails the build.
+
+/// Constant-time 16-byte tag comparison: the timing of a mismatch never
+/// reveals how many leading bytes agreed.
+///
+/// Use for [`crate::wire::auth_tag`] / [`crate::wire::upload_tag`] MACs
+/// and [`crate::wire::content_digest`] values.
+pub fn tags_match(a: &[u8; 16], b: &[u8; 16]) -> bool {
+    a.iter().zip(b).fold(0u8, |acc, (x, y)| acc | (x ^ y)) == 0
+}
+
+/// Constant-time 32-byte channel-key comparison (the wide sibling of
+/// [`tags_match`]): a key mismatch must not leak the matching prefix
+/// length of a provisioned key through timing.
+pub fn keys_match(a: &[u8; 32], b: &[u8; 32]) -> bool {
+    a.iter().zip(b).fold(0u8, |acc, (x, y)| acc | (x ^ y)) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_match_agrees_with_equality() {
+        let a = [7u8; 16];
+        assert!(tags_match(&a, &a));
+        for i in 0..16 {
+            let mut b = a;
+            b[i] ^= 1;
+            assert!(!tags_match(&a, &b), "flipped byte {i} must mismatch");
+        }
+    }
+
+    #[test]
+    fn keys_match_agrees_with_equality() {
+        let a = [0xA5u8; 32];
+        assert!(keys_match(&a, &a));
+        for i in 0..32 {
+            let mut b = a;
+            b[i] ^= 0x80;
+            assert!(!keys_match(&a, &b), "flipped byte {i} must mismatch");
+        }
+    }
+}

@@ -10,17 +10,17 @@
 //! instead of growing the process without bound. Request handling errors
 //! travel back as [`Response::Error`] frames, transport/framing errors
 //! end the connection. The listener can be driven directly
-//! ([`MatchServer::serve`]) or on a background thread with a shutdown
-//! handle ([`MatchServer::spawn`]) — shutdown stops accepting, closes the
+//! ([`MatchServer::serve`]) or in the background with a shutdown handle
+//! ([`MatchServer::spawn`], whose accept loop is itself a job on a
+//! single-worker exec pool) — shutdown stops accepting, closes the
 //! active sockets, and drains the connection pool before returning.
 
 use std::collections::HashMap;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
 
-use cm_core::{Backend, MatchError, WorkerPool};
+use cm_core::{Backend, CompletionHandle, MatchError, WorkerPool};
 
 use crate::tenant::TenantRegistry;
 use crate::wire::{
@@ -92,9 +92,11 @@ impl MatchServer {
         &self.registry
     }
 
-    /// Binds `addr` and serves on a background thread, returning the
-    /// running server's address and shutdown handle. Bind to port 0 for
-    /// an ephemeral port.
+    /// Binds `addr` and serves in the background, returning the running
+    /// server's address and shutdown handle. Bind to port 0 for an
+    /// ephemeral port. The accept loop runs as a job on a dedicated
+    /// single-worker [`WorkerPool`] (the shared `cm_core::exec` runtime),
+    /// not on an ad-hoc spawned thread.
     ///
     /// # Errors
     ///
@@ -110,14 +112,15 @@ impl MatchServer {
         let registry = Arc::clone(&self.registry);
         let stop_flag = Arc::clone(&stop);
         let conns_flag = Arc::clone(&conns);
-        let handle = std::thread::spawn(move || {
+        let pool = WorkerPool::new(1)?;
+        let done = pool.submit(move || {
             accept_loop(&listener, &registry, &stop_flag, &conns_flag);
         });
         Ok(RunningServer {
             addr: local_addr,
             stop,
             conns,
-            handle: Some(handle),
+            accept: Some((pool, done)),
         })
     }
 
@@ -579,13 +582,16 @@ fn dispatch(
     }
 }
 
-/// Handle to a server running on a background thread.
+/// Handle to a server running in the background (the accept loop is a
+/// job on its own single-worker `cm_core::exec` pool).
 #[derive(Debug)]
 pub struct RunningServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     conns: Arc<Connections>,
-    handle: Option<JoinHandle<()>>,
+    /// The accept loop's pool and its completion handle; taken (and the
+    /// pool drained) on shutdown.
+    accept: Option<(WorkerPool, CompletionHandle<()>)>,
 }
 
 impl RunningServer {
@@ -601,7 +607,7 @@ impl RunningServer {
     }
 
     fn stop_accepting(&mut self) {
-        let Some(handle) = self.handle.take() else {
+        let Some((pool, done)) = self.accept.take() else {
             return;
         };
         self.stop.store(true, Ordering::SeqCst);
@@ -619,9 +625,12 @@ impl RunningServer {
             });
         }
         let _ = TcpStream::connect(poke);
-        // Joining the accept thread also drains and joins the connection
-        // pool, which is dropped when the loop exits.
-        let _ = handle.join();
+        // Waiting on the accept job also drains and joins the connection
+        // pool, which is dropped when the loop exits; dropping the
+        // single-worker pool afterwards joins the accept worker itself
+        // (drain-then-join, same as the old dedicated thread).
+        let _ = done.wait();
+        drop(pool);
     }
 }
 

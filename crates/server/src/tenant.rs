@@ -192,16 +192,18 @@ impl Tenant {
     /// # Errors
     ///
     /// Propagates the matcher's [`MatchError`] (bad query, wrong wire
-    /// format, …).
+    /// format, …); a matcher that panics mid-query surfaces as
+    /// [`MatchError::WorkerPanicked`] instead of unwinding the serving
+    /// thread.
     pub fn run(&self, query: &QueryPayload) -> Result<MatchedReply, MatchError> {
-        let outcome = self.pool.run(|matcher| {
+        let outcome = self.pool.try_run(|matcher| {
             let indices = match query {
                 QueryPayload::Bits(bits) => matcher.find_all(bits),
                 QueryPayload::CmWire(bytes) => matcher.find_all_wire(bytes),
             };
             let shard_stats = matcher.shard_stats();
             (indices, shard_stats)
-        });
+        })?;
         let (indices, shard_stats) = outcome.result;
         let indices = indices?;
         let nonce = self.next_nonce.fetch_add(1, Ordering::Relaxed);
@@ -312,6 +314,10 @@ impl Default for TenantRegistry {
 impl TenantRegistry {
     /// An empty registry with an unbounded memory budget.
     pub fn new() -> Self {
+        #[allow(clippy::expect_used)] // infallible: BUILD_WORKERS is a non-zero constant
+        let builders = WorkerPool::new(BUILD_WORKERS)
+            // cm_analyze::allow(no-panic): BUILD_WORKERS is a non-zero constant
+            .expect("non-zero build pool");
         Self {
             inner: Mutex::new(Inner {
                 tenants: HashMap::new(),
@@ -320,7 +326,7 @@ impl TenantRegistry {
                 budget: u64::MAX,
                 clock: 0,
             }),
-            builders: WorkerPool::new(BUILD_WORKERS).expect("non-zero build pool"),
+            builders,
         }
     }
 
@@ -643,10 +649,11 @@ impl TenantRegistry {
         if !inner.tenants.contains_key(id) {
             return Err(MatchError::UnknownTenant(id.to_string()));
         }
-        let record = inner
-            .auth
-            .get_mut(id)
-            .expect("registered tenants always have an auth record");
+        let Some(record) = inner.auth.get_mut(id) else {
+            return Err(MatchError::Internal(
+                "registered tenant lost its auth record",
+            ));
+        };
         let expected = auth_tag(&record.channel_key, OP_EVICT, id, 0, auth.nonce, &[]);
         if !tags_match(&expected, &auth.tag) {
             return Err(MatchError::Unauthorized("evict tag does not verify"));
@@ -655,10 +662,9 @@ impl TenantRegistry {
             return Err(MatchError::Unauthorized("replayed evict nonce"));
         }
         record.last_nonce = auth.nonce;
-        let entry = inner
-            .tenants
-            .remove(id)
-            .expect("checked contains_key above");
+        let Some(entry) = inner.tenants.remove(id) else {
+            return Err(MatchError::Internal("tenant entry vanished under the lock"));
+        };
         let freed = if entry.hot.is_some() { entry.charge } else { 0 };
         inner.hot_bytes -= freed;
         Ok(freed)
@@ -778,21 +784,20 @@ impl TenantRegistry {
                         required: charge,
                     });
                 }
-                let entry = inner
-                    .tenants
-                    .get_mut(id)
-                    .expect("looked up above under the same lock");
+                let Some(entry) = inner.tenants.get_mut(id) else {
+                    return Err(MatchError::Internal("tenant entry vanished under the lock"));
+                };
+                let Some(spec) = entry.spec.clone() else {
+                    return Err(MatchError::Internal(
+                        "cold entry is missing its rebuild spec",
+                    ));
+                };
+                let Some(encoded) = entry.encoded.as_ref().map(Arc::clone) else {
+                    return Err(MatchError::Internal("cold entry is missing its database"));
+                };
                 (
-                    entry
-                        .spec
-                        .clone()
-                        .expect("cold entries always carry a spec"),
-                    Arc::clone(
-                        entry
-                            .encoded
-                            .as_ref()
-                            .expect("cold entries always carry the serialized database"),
-                    ),
+                    spec,
+                    encoded,
                     entry.workers,
                     entry.channel_key,
                     Arc::clone(&entry.totals),
@@ -809,23 +814,25 @@ impl TenantRegistry {
             let mut inner = self.lock();
             match inner.tenants.get(id) {
                 None => return Err(MatchError::UnknownTenant(id.to_string())),
-                // Another thread re-materialized while we built; use the
-                // established copy.
-                Some(entry) if entry.hot.is_some() => {
-                    return Ok(Arc::clone(entry.hot.as_ref().expect("checked")));
+                Some(entry) => {
+                    // Another thread re-materialized while we built; use
+                    // the established copy.
+                    if let Some(hot) = &entry.hot {
+                        return Ok(Arc::clone(hot));
+                    }
+                    // A concurrent re-upload replaced the entry (different
+                    // database, different charge): the tenant we built is
+                    // stale — throw it away and rebuild from current state.
+                    if entry.generation != generation {
+                        continue;
+                    }
                 }
-                // A concurrent re-upload replaced the entry (different
-                // database, different charge): the tenant we built is
-                // stale — throw it away and rebuild from current state.
-                Some(entry) if entry.generation != generation => continue,
-                Some(_) => {}
             }
             Self::ensure_capacity(&mut inner, charge, id)?;
             let clock = inner.tick();
-            let entry = inner
-                .tenants
-                .get_mut(id)
-                .expect("presence checked under this lock");
+            let Some(entry) = inner.tenants.get_mut(id) else {
+                return Err(MatchError::Internal("tenant entry vanished under the lock"));
+            };
             entry.hot = Some(Arc::clone(&tenant));
             entry.last_used = clock;
             inner.hot_bytes += charge;
@@ -917,10 +924,11 @@ impl TenantRegistry {
                     required: needed,
                 });
             };
-            let entry = inner
-                .tenants
-                .get_mut(&victim)
-                .expect("victim chosen from the map");
+            let Some(entry) = inner.tenants.get_mut(&victim) else {
+                return Err(MatchError::Internal(
+                    "demotion victim vanished under the lock",
+                ));
+            };
             // In-flight queries holding the Arc finish on their clone;
             // the registry just stops handing it out.
             entry.hot = None;

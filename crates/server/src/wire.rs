@@ -241,17 +241,115 @@ pub fn upload_tag(
     auth_tag(channel_key, OP_UPLOAD, tenant, total_bytes, nonce, &context)
 }
 
-/// Constant-time tag comparison: the timing of a mismatch never reveals
-/// how many leading bytes agreed.
-pub fn tags_match(a: &[u8; 16], b: &[u8; 16]) -> bool {
-    a.iter().zip(b).fold(0u8, |acc, (x, y)| acc | (x ^ y)) == 0
-}
+pub use crate::secrecy::{keys_match, tags_match};
 
-/// Constant-time channel-key comparison (the 32-byte sibling of
-/// [`tags_match`]): a key mismatch must not leak the matching prefix
-/// length of a provisioned key through timing.
-pub fn keys_match(a: &[u8; 32], b: &[u8; 32]) -> bool {
-    a.iter().zip(b).fold(0u8, |acc, (x, y)| acc | (x ^ y)) == 0
+/// The wire-tag registry: every discriminant byte the codecs emit or
+/// accept, by family (`REQ_` request tags, `RESP_` response tags,
+/// `QUERY_` query-payload sub-tags, `PHASE_` upload-phase sub-tags,
+/// `ERR_` error tags, `DECODE_` [`cm_bfv::DecodeError`] sub-codes).
+///
+/// The codecs below use these constants exclusively — a raw integer tag
+/// in an encoder or decoder fails the workspace lint (`cargo run -p
+/// cm_analyze`, rule `wire-tags`), which also checks each family for
+/// duplicate values and each constant for use on both the encode and
+/// decode side.
+pub mod tags {
+    /// [`super::Request::Ping`].
+    pub const REQ_PING: u8 = 0;
+    /// [`super::Request::ListTenants`].
+    pub const REQ_LIST_TENANTS: u8 = 1;
+    /// [`super::Request::Match`].
+    pub const REQ_MATCH: u8 = 2;
+    /// [`super::Request::TenantStats`].
+    pub const REQ_TENANT_STATS: u8 = 3;
+    /// [`super::Request::LoadDatabase`].
+    pub const REQ_LOAD_DATABASE: u8 = 4;
+    /// [`super::Request::EvictDatabase`].
+    pub const REQ_EVICT_DATABASE: u8 = 5;
+    /// [`super::Request::DatabaseInfo`].
+    pub const REQ_DATABASE_INFO: u8 = 6;
+
+    /// [`super::Response::Pong`].
+    pub const RESP_PONG: u8 = 0;
+    /// [`super::Response::Tenants`].
+    pub const RESP_TENANTS: u8 = 1;
+    /// [`super::Response::Matched`].
+    pub const RESP_MATCHED: u8 = 2;
+    /// [`super::Response::TenantStats`].
+    pub const RESP_TENANT_STATS: u8 = 3;
+    /// [`super::Response::Error`].
+    pub const RESP_ERROR: u8 = 4;
+    /// [`super::Response::UploadProgress`].
+    pub const RESP_UPLOAD_PROGRESS: u8 = 5;
+    /// [`super::Response::DatabaseLoaded`].
+    pub const RESP_DATABASE_LOADED: u8 = 6;
+    /// [`super::Response::Evicted`].
+    pub const RESP_EVICTED: u8 = 7;
+    /// [`super::Response::DatabaseInfo`].
+    pub const RESP_DATABASE_INFO: u8 = 8;
+
+    /// [`super::QueryPayload::Bits`].
+    pub const QUERY_BITS: u8 = 0;
+    /// [`super::QueryPayload::CmWire`].
+    pub const QUERY_CM_WIRE: u8 = 1;
+
+    /// [`super::UploadPhase::Begin`].
+    pub const PHASE_BEGIN: u8 = 0;
+    /// [`super::UploadPhase::Chunk`].
+    pub const PHASE_CHUNK: u8 = 1;
+    /// [`super::UploadPhase::Commit`].
+    pub const PHASE_COMMIT: u8 = 2;
+
+    /// [`cm_core::MatchError::NoIndexGenerator`].
+    pub const ERR_NO_INDEX_GENERATOR: u8 = 0;
+    /// [`cm_core::MatchError::NoDatabase`].
+    pub const ERR_NO_DATABASE: u8 = 1;
+    /// [`cm_core::MatchError::EmptyQuery`].
+    pub const ERR_EMPTY_QUERY: u8 = 2;
+    /// [`cm_core::MatchError::QueryTooLong`].
+    pub const ERR_QUERY_TOO_LONG: u8 = 3;
+    /// [`cm_core::MatchError::WindowMismatch`].
+    pub const ERR_WINDOW_MISMATCH: u8 = 4;
+    /// [`cm_core::MatchError::WorkerPanicked`].
+    pub const ERR_WORKER_PANICKED: u8 = 5;
+    /// [`cm_core::MatchError::InvalidConfig`].
+    pub const ERR_INVALID_CONFIG: u8 = 6;
+    /// [`cm_core::MatchError::Decode`] (sub-code in `a`, one of the
+    /// `DECODE_` constants).
+    pub const ERR_DECODE: u8 = 7;
+    /// [`cm_core::MatchError::WireQueryUnsupported`].
+    pub const ERR_WIRE_QUERY_UNSUPPORTED: u8 = 8;
+    /// [`cm_core::MatchError::UnknownBackend`].
+    pub const ERR_UNKNOWN_BACKEND: u8 = 9;
+    /// [`cm_core::MatchError::UnknownTenant`].
+    pub const ERR_UNKNOWN_TENANT: u8 = 10;
+    /// [`cm_core::MatchError::Frame`].
+    pub const ERR_FRAME: u8 = 11;
+    /// [`cm_core::MatchError::Transport`].
+    pub const ERR_TRANSPORT: u8 = 12;
+    /// [`cm_core::MatchError::ServerBusy`].
+    pub const ERR_SERVER_BUSY: u8 = 13;
+    /// [`cm_core::MatchError::Unauthorized`].
+    pub const ERR_UNAUTHORIZED: u8 = 14;
+    /// [`cm_core::MatchError::QuotaExceeded`].
+    pub const ERR_QUOTA_EXCEEDED: u8 = 15;
+    /// [`cm_core::MatchError::UploadIncomplete`].
+    pub const ERR_UPLOAD_INCOMPLETE: u8 = 16;
+    /// [`cm_core::MatchError::WireDatabaseUnsupported`].
+    pub const ERR_WIRE_DATABASE_UNSUPPORTED: u8 = 17;
+    /// [`cm_core::MatchError::ConnectionClosed`].
+    pub const ERR_CONNECTION_CLOSED: u8 = 18;
+    /// [`cm_core::MatchError::Internal`].
+    pub const ERR_INTERNAL: u8 = 19;
+
+    /// [`cm_bfv::DecodeError::Truncated`].
+    pub const DECODE_TRUNCATED: u8 = 0;
+    /// [`cm_bfv::DecodeError::BadMagic`].
+    pub const DECODE_BAD_MAGIC: u8 = 1;
+    /// [`cm_bfv::DecodeError::BadHeader`].
+    pub const DECODE_BAD_HEADER: u8 = 2;
+    /// [`cm_bfv::DecodeError::CoefficientOverflow`].
+    pub const DECODE_COEFFICIENT_OVERFLOW: u8 = 3;
 }
 
 /// How a serving host rebuilds a remote tenant's matcher: the
@@ -476,7 +574,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, MatchError> {
     if header[..4] != FRAME_MAGIC {
         return Err(MatchError::Frame("bad frame magic"));
     }
-    let len = u32::from_le_bytes(header[4..].try_into().unwrap()) as usize;
+    let len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]) as usize;
     if len > MAX_FRAME_BYTES {
         return Err(MatchError::Frame("frame length exceeds the size cap"));
     }
@@ -591,8 +689,16 @@ impl<'a> Reader<'a> {
         Ok(self.take(1)?[0])
     }
 
+    /// Reads a fixed-width byte array; a short message is a typed
+    /// [`MatchError::Frame`], never a slice-conversion panic.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], MatchError> {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.take(N)?);
+        Ok(out)
+    }
+
     fn u16(&mut self) -> Result<u16, MatchError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.array()?))
     }
 
     fn bool(&mut self) -> Result<bool, MatchError> {
@@ -604,11 +710,11 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, MatchError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> Result<u64, MatchError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     fn bytes(&mut self) -> Result<Vec<u8>, MatchError> {
@@ -676,33 +782,46 @@ const REMOTE: &str = "remote";
 fn put_error(out: &mut Vec<u8>, e: &MatchError) {
     use cm_bfv::DecodeError;
     let (tag, a, b, text): (u8, u64, u64, &str) = match e {
-        MatchError::NoIndexGenerator => (0, 0, 0, ""),
-        MatchError::NoDatabase => (1, 0, 0, ""),
-        MatchError::EmptyQuery => (2, 0, 0, ""),
-        MatchError::QueryTooLong { max, got } => (3, *max as u64, *got as u64, ""),
-        MatchError::WindowMismatch { expected, got } => (4, *expected as u64, *got as u64, ""),
-        MatchError::WorkerPanicked => (5, 0, 0, ""),
-        MatchError::InvalidConfig(what) => (6, 0, 0, *what),
+        MatchError::NoIndexGenerator => (tags::ERR_NO_INDEX_GENERATOR, 0, 0, ""),
+        MatchError::NoDatabase => (tags::ERR_NO_DATABASE, 0, 0, ""),
+        MatchError::EmptyQuery => (tags::ERR_EMPTY_QUERY, 0, 0, ""),
+        MatchError::QueryTooLong { max, got } => {
+            (tags::ERR_QUERY_TOO_LONG, *max as u64, *got as u64, "")
+        }
+        MatchError::WindowMismatch { expected, got } => {
+            (tags::ERR_WINDOW_MISMATCH, *expected as u64, *got as u64, "")
+        }
+        MatchError::WorkerPanicked => (tags::ERR_WORKER_PANICKED, 0, 0, ""),
+        MatchError::InvalidConfig(what) => (tags::ERR_INVALID_CONFIG, 0, 0, *what),
         MatchError::Decode(d) => {
             let code = match d {
-                DecodeError::Truncated => 0,
-                DecodeError::BadMagic => 1,
-                DecodeError::BadHeader(_) => 2,
-                DecodeError::CoefficientOverflow => 3,
+                DecodeError::Truncated => tags::DECODE_TRUNCATED,
+                DecodeError::BadMagic => tags::DECODE_BAD_MAGIC,
+                DecodeError::BadHeader(_) => tags::DECODE_BAD_HEADER,
+                DecodeError::CoefficientOverflow => tags::DECODE_COEFFICIENT_OVERFLOW,
             };
-            (7, code, 0, "")
+            (tags::ERR_DECODE, u64::from(code), 0, "")
         }
-        MatchError::WireQueryUnsupported(backend) => (8, 0, 0, backend.name()),
-        MatchError::UnknownBackend(name) => (9, 0, 0, name.as_str()),
-        MatchError::UnknownTenant(id) => (10, 0, 0, id.as_str()),
-        MatchError::Frame(what) => (11, 0, 0, *what),
-        MatchError::Transport(what) => (12, 0, 0, what.as_str()),
-        MatchError::ServerBusy { max_connections } => (13, *max_connections as u64, 0, ""),
-        MatchError::Unauthorized(what) => (14, 0, 0, *what),
-        MatchError::QuotaExceeded { budget, required } => (15, *budget, *required, ""),
-        MatchError::UploadIncomplete(what) => (16, 0, 0, *what),
-        MatchError::WireDatabaseUnsupported(backend) => (17, 0, 0, backend.name()),
-        MatchError::ConnectionClosed => (18, 0, 0, ""),
+        MatchError::WireQueryUnsupported(backend) => {
+            (tags::ERR_WIRE_QUERY_UNSUPPORTED, 0, 0, backend.name())
+        }
+        MatchError::UnknownBackend(name) => (tags::ERR_UNKNOWN_BACKEND, 0, 0, name.as_str()),
+        MatchError::UnknownTenant(id) => (tags::ERR_UNKNOWN_TENANT, 0, 0, id.as_str()),
+        MatchError::Frame(what) => (tags::ERR_FRAME, 0, 0, *what),
+        MatchError::Transport(what) => (tags::ERR_TRANSPORT, 0, 0, what.as_str()),
+        MatchError::ServerBusy { max_connections } => {
+            (tags::ERR_SERVER_BUSY, *max_connections as u64, 0, "")
+        }
+        MatchError::Unauthorized(what) => (tags::ERR_UNAUTHORIZED, 0, 0, *what),
+        MatchError::QuotaExceeded { budget, required } => {
+            (tags::ERR_QUOTA_EXCEEDED, *budget, *required, "")
+        }
+        MatchError::UploadIncomplete(what) => (tags::ERR_UPLOAD_INCOMPLETE, 0, 0, *what),
+        MatchError::WireDatabaseUnsupported(backend) => {
+            (tags::ERR_WIRE_DATABASE_UNSUPPORTED, 0, 0, backend.name())
+        }
+        MatchError::ConnectionClosed => (tags::ERR_CONNECTION_CLOSED, 0, 0, ""),
+        MatchError::Internal(what) => (tags::ERR_INTERNAL, 0, 0, *what),
     };
     out.push(tag);
     put_u64(out, a);
@@ -723,40 +842,44 @@ fn read_error(r: &mut Reader<'_>) -> Result<MatchError, MatchError> {
     let b = r.u64()? as usize;
     let text = r.str()?;
     Ok(match tag {
-        0 => MatchError::NoIndexGenerator,
-        1 => MatchError::NoDatabase,
-        2 => MatchError::EmptyQuery,
-        3 => MatchError::QueryTooLong { max: a, got: b },
-        4 => MatchError::WindowMismatch {
+        tags::ERR_NO_INDEX_GENERATOR => MatchError::NoIndexGenerator,
+        tags::ERR_NO_DATABASE => MatchError::NoDatabase,
+        tags::ERR_EMPTY_QUERY => MatchError::EmptyQuery,
+        tags::ERR_QUERY_TOO_LONG => MatchError::QueryTooLong { max: a, got: b },
+        tags::ERR_WINDOW_MISMATCH => MatchError::WindowMismatch {
             expected: a,
             got: b,
         },
-        5 => MatchError::WorkerPanicked,
-        6 => MatchError::InvalidConfig(REMOTE),
-        7 => MatchError::Decode(match a {
-            0 => DecodeError::Truncated,
-            1 => DecodeError::BadMagic,
-            2 => DecodeError::BadHeader(REMOTE),
+        tags::ERR_WORKER_PANICKED => MatchError::WorkerPanicked,
+        tags::ERR_INVALID_CONFIG => MatchError::InvalidConfig(REMOTE),
+        tags::ERR_DECODE => MatchError::Decode(match a as u8 {
+            tags::DECODE_TRUNCATED => DecodeError::Truncated,
+            tags::DECODE_BAD_MAGIC => DecodeError::BadMagic,
+            tags::DECODE_BAD_HEADER => DecodeError::BadHeader(REMOTE),
+            tags::DECODE_COEFFICIENT_OVERFLOW => DecodeError::CoefficientOverflow,
+            // An unknown sub-code still decodes; overflow is the most
+            // conservative reading of a corrupt ciphertext.
             _ => DecodeError::CoefficientOverflow,
         }),
-        8 => MatchError::WireQueryUnsupported(
+        tags::ERR_WIRE_QUERY_UNSUPPORTED => MatchError::WireQueryUnsupported(
             Backend::parse(&text).map_err(|_| MatchError::Frame("unknown backend in error"))?,
         ),
-        9 => MatchError::UnknownBackend(text),
-        10 => MatchError::UnknownTenant(text),
-        11 => MatchError::Frame(REMOTE),
-        12 => MatchError::Transport(text),
-        13 => MatchError::ServerBusy { max_connections: a },
-        14 => MatchError::Unauthorized(REMOTE),
-        15 => MatchError::QuotaExceeded {
+        tags::ERR_UNKNOWN_BACKEND => MatchError::UnknownBackend(text),
+        tags::ERR_UNKNOWN_TENANT => MatchError::UnknownTenant(text),
+        tags::ERR_FRAME => MatchError::Frame(REMOTE),
+        tags::ERR_TRANSPORT => MatchError::Transport(text),
+        tags::ERR_SERVER_BUSY => MatchError::ServerBusy { max_connections: a },
+        tags::ERR_UNAUTHORIZED => MatchError::Unauthorized(REMOTE),
+        tags::ERR_QUOTA_EXCEEDED => MatchError::QuotaExceeded {
             budget: a as u64,
             required: b as u64,
         },
-        16 => MatchError::UploadIncomplete(REMOTE),
-        17 => MatchError::WireDatabaseUnsupported(
+        tags::ERR_UPLOAD_INCOMPLETE => MatchError::UploadIncomplete(REMOTE),
+        tags::ERR_WIRE_DATABASE_UNSUPPORTED => MatchError::WireDatabaseUnsupported(
             Backend::parse(&text).map_err(|_| MatchError::Frame("unknown backend in error"))?,
         ),
-        18 => MatchError::ConnectionClosed,
+        tags::ERR_CONNECTION_CLOSED => MatchError::ConnectionClosed,
+        tags::ERR_INTERNAL => MatchError::Internal(REMOTE),
         _ => return Err(MatchError::Frame("unknown error tag")),
     })
 }
@@ -770,28 +893,28 @@ impl Request {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
-            Request::Ping => out.push(0),
-            Request::ListTenants => out.push(1),
+            Request::Ping => out.push(tags::REQ_PING),
+            Request::ListTenants => out.push(tags::REQ_LIST_TENANTS),
             Request::Match { tenant, query } => {
-                out.push(2);
+                out.push(tags::REQ_MATCH);
                 put_str(&mut out, tenant);
                 match query {
                     QueryPayload::Bits(bits) => {
-                        out.push(0);
+                        out.push(tags::QUERY_BITS);
                         put_bits(&mut out, bits);
                     }
                     QueryPayload::CmWire(bytes) => {
-                        out.push(1);
+                        out.push(tags::QUERY_CM_WIRE);
                         put_bytes(&mut out, bytes);
                     }
                 }
             }
             Request::TenantStats { tenant } => {
-                out.push(3);
+                out.push(tags::REQ_TENANT_STATS);
                 put_str(&mut out, tenant);
             }
             Request::LoadDatabase { tenant, phase } => {
-                out.push(4);
+                out.push(tags::REQ_LOAD_DATABASE);
                 put_str(&mut out, tenant);
                 match phase {
                     UploadPhase::Begin {
@@ -800,7 +923,7 @@ impl Request {
                         total_bytes,
                         chunk_count,
                     } => {
-                        out.push(0);
+                        out.push(tags::PHASE_BEGIN);
                         put_u64(&mut out, auth.nonce);
                         out.extend_from_slice(&auth.channel_key);
                         out.extend_from_slice(&auth.content);
@@ -810,21 +933,21 @@ impl Request {
                         out.extend_from_slice(&chunk_count.to_le_bytes());
                     }
                     UploadPhase::Chunk { index, data } => {
-                        out.push(1);
+                        out.push(tags::PHASE_CHUNK);
                         out.extend_from_slice(&index.to_le_bytes());
                         put_bytes(&mut out, data);
                     }
-                    UploadPhase::Commit => out.push(2),
+                    UploadPhase::Commit => out.push(tags::PHASE_COMMIT),
                 }
             }
             Request::EvictDatabase { tenant, auth } => {
-                out.push(5);
+                out.push(tags::REQ_EVICT_DATABASE);
                 put_str(&mut out, tenant);
                 put_u64(&mut out, auth.nonce);
                 out.extend_from_slice(&auth.tag);
             }
             Request::DatabaseInfo { tenant } => {
-                out.push(6);
+                out.push(tags::REQ_DATABASE_INFO);
                 put_str(&mut out, tenant);
             }
         }
@@ -840,28 +963,28 @@ impl Request {
     pub fn decode(data: &[u8]) -> Result<Self, MatchError> {
         let mut r = Reader::new(data);
         let req = match r.u8()? {
-            0 => Request::Ping,
-            1 => Request::ListTenants,
-            2 => {
+            tags::REQ_PING => Request::Ping,
+            tags::REQ_LIST_TENANTS => Request::ListTenants,
+            tags::REQ_MATCH => {
                 let tenant = r.tenant_id()?;
                 let query = match r.u8()? {
-                    0 => QueryPayload::Bits(r.bits()?),
-                    1 => QueryPayload::CmWire(r.bytes()?),
+                    tags::QUERY_BITS => QueryPayload::Bits(r.bits()?),
+                    tags::QUERY_CM_WIRE => QueryPayload::CmWire(r.bytes()?),
                     _ => return Err(MatchError::Frame("unknown query payload tag")),
                 };
                 Request::Match { tenant, query }
             }
-            3 => Request::TenantStats {
+            tags::REQ_TENANT_STATS => Request::TenantStats {
                 tenant: r.tenant_id()?,
             },
-            4 => {
+            tags::REQ_LOAD_DATABASE => {
                 let tenant = r.tenant_id()?;
                 let phase = match r.u8()? {
-                    0 => {
+                    tags::PHASE_BEGIN => {
                         let nonce = r.u64()?;
-                        let channel_key: [u8; 32] = r.take(32)?.try_into().unwrap();
-                        let content: [u8; 16] = r.take(16)?.try_into().unwrap();
-                        let tag: [u8; 16] = r.take(16)?.try_into().unwrap();
+                        let channel_key: [u8; 32] = r.array()?;
+                        let content: [u8; 16] = r.array()?;
+                        let tag: [u8; 16] = r.array()?;
                         let spec = read_spec(&mut r)?;
                         let total_bytes = r.u64()?;
                         if total_bytes > MAX_DATABASE_BYTES {
@@ -885,23 +1008,23 @@ impl Request {
                             chunk_count,
                         }
                     }
-                    1 => UploadPhase::Chunk {
+                    tags::PHASE_CHUNK => UploadPhase::Chunk {
                         index: r.u32()?,
                         data: r.bytes()?,
                     },
-                    2 => UploadPhase::Commit,
+                    tags::PHASE_COMMIT => UploadPhase::Commit,
                     _ => return Err(MatchError::Frame("unknown upload phase tag")),
                 };
                 Request::LoadDatabase { tenant, phase }
             }
-            5 => Request::EvictDatabase {
+            tags::REQ_EVICT_DATABASE => Request::EvictDatabase {
                 tenant: r.tenant_id()?,
                 auth: EvictAuth {
                     nonce: r.u64()?,
-                    tag: r.take(16)?.try_into().unwrap(),
+                    tag: r.array()?,
                 },
             },
-            6 => Request::DatabaseInfo {
+            tags::REQ_DATABASE_INFO => Request::DatabaseInfo {
                 tenant: r.tenant_id()?,
             },
             _ => return Err(MatchError::Frame("unknown request tag")),
@@ -917,14 +1040,14 @@ impl Response {
         let mut out = Vec::new();
         match self {
             Response::Pong { backends } => {
-                out.push(0);
+                out.push(tags::RESP_PONG);
                 out.extend_from_slice(&(backends.len() as u16).to_le_bytes());
                 for b in backends {
                     put_str(&mut out, b);
                 }
             }
             Response::Tenants(tenants) => {
-                out.push(1);
+                out.push(tags::RESP_TENANTS);
                 out.extend_from_slice(&(tenants.len() as u16).to_le_bytes());
                 for t in tenants {
                     put_str(&mut out, &t.id);
@@ -938,7 +1061,7 @@ impl Response {
                 shard_stats,
                 seal_latency,
             } => {
-                out.push(2);
+                out.push(tags::RESP_MATCHED);
                 put_u64(&mut out, *nonce);
                 put_bytes(&mut out, sealed_indices);
                 put_stats(&mut out, stats);
@@ -949,21 +1072,21 @@ impl Response {
                 put_u64(&mut out, seal_latency.as_nanos() as u64);
             }
             Response::TenantStats { stats, queries } => {
-                out.push(3);
+                out.push(tags::RESP_TENANT_STATS);
                 put_stats(&mut out, stats);
                 put_u64(&mut out, *queries);
             }
             Response::Error(e) => {
-                out.push(4);
+                out.push(tags::RESP_ERROR);
                 put_error(&mut out, e);
             }
             Response::UploadProgress { received, expected } => {
-                out.push(5);
+                out.push(tags::RESP_UPLOAD_PROGRESS);
                 put_u64(&mut out, *received);
                 put_u64(&mut out, *expected);
             }
             Response::DatabaseLoaded { bytes, demoted } => {
-                out.push(6);
+                out.push(tags::RESP_DATABASE_LOADED);
                 put_u64(&mut out, *bytes);
                 // u32: one admission can demote far more tenants than a
                 // u16 could count (a truncated count would desync the
@@ -974,11 +1097,11 @@ impl Response {
                 }
             }
             Response::Evicted { freed_bytes } => {
-                out.push(7);
+                out.push(tags::RESP_EVICTED);
                 put_u64(&mut out, *freed_bytes);
             }
             Response::DatabaseInfo(info) => {
-                out.push(8);
+                out.push(tags::RESP_DATABASE_INFO);
                 put_str(&mut out, &info.backend);
                 out.push(info.resident as u8);
                 out.push(info.pinned as u8);
@@ -999,7 +1122,7 @@ impl Response {
     pub fn decode(data: &[u8]) -> Result<Self, MatchError> {
         let mut r = Reader::new(data);
         let resp = match r.u8()? {
-            0 => {
+            tags::RESP_PONG => {
                 let count = r.u16()? as usize;
                 if count > Backend::WIRE.len() * 4 {
                     return Err(MatchError::Frame("implausible backend count"));
@@ -1010,7 +1133,7 @@ impl Response {
                 }
                 Response::Pong { backends }
             }
-            1 => {
+            tags::RESP_TENANTS => {
                 let count = r.u16()? as usize;
                 // Each listed tenant costs at least its two length
                 // prefixes; bound the allocation by the actual payload.
@@ -1026,7 +1149,7 @@ impl Response {
                 }
                 Response::Tenants(tenants)
             }
-            2 => {
+            tags::RESP_MATCHED => {
                 let nonce = r.u64()?;
                 let sealed_indices = r.bytes()?;
                 let stats = r.stats()?;
@@ -1048,16 +1171,16 @@ impl Response {
                     seal_latency,
                 }
             }
-            3 => Response::TenantStats {
+            tags::RESP_TENANT_STATS => Response::TenantStats {
                 stats: r.stats()?,
                 queries: r.u64()?,
             },
-            4 => Response::Error(read_error(&mut r)?),
-            5 => Response::UploadProgress {
+            tags::RESP_ERROR => Response::Error(read_error(&mut r)?),
+            tags::RESP_UPLOAD_PROGRESS => Response::UploadProgress {
                 received: r.u64()?,
                 expected: r.u64()?,
             },
-            6 => {
+            tags::RESP_DATABASE_LOADED => {
                 let bytes = r.u64()?;
                 let count = r.u32()? as usize;
                 // Each demoted id costs at least its length prefix.
@@ -1070,10 +1193,10 @@ impl Response {
                 }
                 Response::DatabaseLoaded { bytes, demoted }
             }
-            7 => Response::Evicted {
+            tags::RESP_EVICTED => Response::Evicted {
                 freed_bytes: r.u64()?,
             },
-            8 => Response::DatabaseInfo(DatabaseInfoReply {
+            tags::RESP_DATABASE_INFO => Response::DatabaseInfo(DatabaseInfoReply {
                 backend: r.str()?,
                 resident: r.bool()?,
                 pinned: r.bool()?,

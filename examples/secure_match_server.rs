@@ -122,67 +122,69 @@ fn main() {
     }
 
     // --- Concurrent clients -------------------------------------------
+    // All three tenants' queries fan out together on the shared exec
+    // runtime (`cm_core::exec::join_all`), not on ad-hoc scoped threads.
     let alice_kit = Arc::new(alice_kit);
     let bob_kit = Arc::new(bob_kit);
-    std::thread::scope(|scope| {
-        let alice_slices = [(24usize, 32usize), (8192 - 13, 40), (6000, 16)];
-        for (i, (start, len)) in alice_slices.into_iter().enumerate() {
-            let (kit, data) = (Arc::clone(&alice_kit), &alice_data);
-            scope.spawn(move || {
-                let mut rng = StdRng::seed_from_u64(100 + i as u64);
-                let pattern = data.slice(start, len);
-                let encoded = kit.encode_query(&pattern, &mut rng).unwrap();
-                let mut client = MatchClient::connect(addr).unwrap();
-                let reply = client
-                    .search_encoded(&TenantAccess::new("alice", &ALICE_KEY), &encoded)
-                    .unwrap();
-                assert_eq!(reply.indices, data.find_all(&pattern));
-                let per_shard: Vec<u64> = reply.shard_stats.iter().map(|s| s.hom_adds).collect();
-                println!(
-                    "alice: {len:2}-bit query at {start:5} -> {} match(es), \
-                     hom-adds per shard {per_shard:?}",
-                    reply.indices.len()
-                );
-            });
-        }
-        for (i, pattern) in ["drive", "genome fragments"].into_iter().enumerate() {
-            let (kit, data) = (Arc::clone(&bob_kit), &bob_data);
-            scope.spawn(move || {
-                let mut rng = StdRng::seed_from_u64(200 + i as u64);
-                let pattern = BitString::from_ascii(pattern);
-                let encoded = kit.encode_query(&pattern, &mut rng).unwrap();
-                let mut client = MatchClient::connect(addr).unwrap();
-                let reply = client
-                    .search_encoded(&TenantAccess::new("bob", &BOB_KEY), &encoded)
-                    .unwrap();
-                assert_eq!(reply.indices, data.find_all(&pattern));
-                assert_eq!(reply.stats.flash_wear, 0);
-                println!(
-                    "bob:   {:2}-bit query in-flash   -> {} match(es), \
-                     {} hom-adds, flash wear {}",
-                    pattern.len(),
-                    reply.indices.len(),
-                    reply.stats.hom_adds,
-                    reply.stats.flash_wear
-                );
-            });
-        }
-        for pattern in ["over the wire", "retire"] {
-            let data = &carla_data;
-            let carla = &carla;
-            scope.spawn(move || {
-                let pattern = BitString::from_ascii(pattern);
-                let mut client = MatchClient::connect(addr).unwrap();
-                let reply = client.search_bits(carla, &pattern).unwrap();
-                assert_eq!(reply.indices, data.find_all(&pattern));
-                println!(
-                    "carla: {:2}-bit query (uploaded) -> {} match(es)",
-                    pattern.len(),
-                    reply.indices.len()
-                );
-            });
-        }
-    });
+    let mut clients: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+    let alice_slices = [(24usize, 32usize), (8192 - 13, 40), (6000, 16)];
+    for (i, (start, len)) in alice_slices.into_iter().enumerate() {
+        let (kit, data) = (Arc::clone(&alice_kit), &alice_data);
+        clients.push(Box::new(move || {
+            let mut rng = StdRng::seed_from_u64(100 + i as u64);
+            let pattern = data.slice(start, len);
+            let encoded = kit.encode_query(&pattern, &mut rng).unwrap();
+            let mut client = MatchClient::connect(addr).unwrap();
+            let reply = client
+                .search_encoded(&TenantAccess::new("alice", &ALICE_KEY), &encoded)
+                .unwrap();
+            assert_eq!(reply.indices, data.find_all(&pattern));
+            let per_shard: Vec<u64> = reply.shard_stats.iter().map(|s| s.hom_adds).collect();
+            println!(
+                "alice: {len:2}-bit query at {start:5} -> {} match(es), \
+                 hom-adds per shard {per_shard:?}",
+                reply.indices.len()
+            );
+        }));
+    }
+    for (i, pattern) in ["drive", "genome fragments"].into_iter().enumerate() {
+        let (kit, data) = (Arc::clone(&bob_kit), &bob_data);
+        clients.push(Box::new(move || {
+            let mut rng = StdRng::seed_from_u64(200 + i as u64);
+            let pattern = BitString::from_ascii(pattern);
+            let encoded = kit.encode_query(&pattern, &mut rng).unwrap();
+            let mut client = MatchClient::connect(addr).unwrap();
+            let reply = client
+                .search_encoded(&TenantAccess::new("bob", &BOB_KEY), &encoded)
+                .unwrap();
+            assert_eq!(reply.indices, data.find_all(&pattern));
+            assert_eq!(reply.stats.flash_wear, 0);
+            println!(
+                "bob:   {:2}-bit query in-flash   -> {} match(es), \
+                 {} hom-adds, flash wear {}",
+                pattern.len(),
+                reply.indices.len(),
+                reply.stats.hom_adds,
+                reply.stats.flash_wear
+            );
+        }));
+    }
+    for pattern in ["over the wire", "retire"] {
+        let data = &carla_data;
+        let carla = &carla;
+        clients.push(Box::new(move || {
+            let pattern = BitString::from_ascii(pattern);
+            let mut client = MatchClient::connect(addr).unwrap();
+            let reply = client.search_bits(carla, &pattern).unwrap();
+            assert_eq!(reply.indices, data.find_all(&pattern));
+            println!(
+                "carla: {:2}-bit query (uploaded) -> {} match(es)",
+                pattern.len(),
+                reply.indices.len()
+            );
+        }));
+    }
+    cm_core::exec::join_all(clients).unwrap();
 
     // --- Lifetime accounting ------------------------------------------
     let mut probe = MatchClient::connect(addr).unwrap();
