@@ -1,0 +1,19 @@
+//! Fixture for the `no-panic` rule's reactor extension: the reactor
+//! crate is a serving path (its one thread owns every socket), so
+//! panicking constructs here must be flagged exactly as in `cm_server`.
+
+fn unwraps(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+fn unreachables() {
+    unreachable!("fixture");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn gated_unwrap_is_exempt() {
+        Some(1u8).unwrap();
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture for the `exec-threads` rule's reactor blessing: this path is
+//! the one legitimate non-exec thread in the workspace (the event loop
+//! must outlive any single pool job), so raw thread entry points here
+//! must NOT be flagged — while the rest of the crate stays covered (see
+//! `panics.rs` for the `no-panic` side).
+
+fn blessed_event_loop_thread() {
+    let _ = std::thread::Builder::new()
+        .name("cm-reactor".to_string())
+        .spawn(|| {});
+}

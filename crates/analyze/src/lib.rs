@@ -45,7 +45,8 @@ pub const RULE_EXEC_THREADS: &str = "exec-threads";
 /// `cm_server::secrecy::{keys_match, tags_match}`.
 pub const RULE_CT_SECRECY: &str = "ct-secrecy";
 /// Rule: no `unwrap`/`expect`/`panic!`-family macros in `cm_server`
-/// non-test code; serving paths return typed `MatchError`s.
+/// or `cm_reactor` non-test code; serving paths return typed
+/// `MatchError`s.
 pub const RULE_NO_PANIC: &str = "no-panic";
 /// Rule: the `wire.rs` tag registry is duplicate-free per family, every
 /// constant is used on both codec paths, and codecs never match or push
@@ -70,12 +71,20 @@ pub const RULES: &[&str] = &[
 
 /// The one module allowed to touch raw scoped/spawned threads.
 const EXEC_FILE: &str = "crates/core/src/exec.rs";
+/// The reactor's event loop: the one legitimate non-exec thread in the
+/// workspace. It multiplexes every socket and must outlive any single
+/// pool job, so it cannot itself be a job (a pool drain would deadlock
+/// behind its own front-end).
+const REACTOR_FILE: &str = "crates/reactor/src/reactor.rs";
 /// The one module allowed to compare secret bytes (in constant time).
 const SECRECY_FILE: &str = "crates/server/src/secrecy.rs";
 /// The wire codec whose tag registry [`RULE_WIRE_TAGS`] audits.
 const WIRE_FILE: &str = "crates/server/src/wire.rs";
-/// The no-panic serving surface.
+/// The no-panic serving surface: the dispatch layer…
 const SERVER_SRC: &str = "crates/server/src/";
+/// …and the reactor, which owns every socket — a panic there drops all
+/// of them at once.
+const REACTOR_SRC: &str = "crates/reactor/src/";
 
 /// One diagnostic: a rule violated at a source location.
 #[derive(Clone, Debug)]
@@ -234,13 +243,13 @@ pub fn analyze_rust_source(rel_path: &str, source: &str) -> Vec<Violation> {
     let is_test_path = rel_path.split('/').any(|c| c == "tests" || c == "benches");
     let mut out = Vec::new();
     if !is_test_path {
-        if rel_path != EXEC_FILE {
+        if rel_path != EXEC_FILE && rel_path != REACTOR_FILE {
             rule_exec_threads(rel_path, &tokens, &mask, &mut out);
         }
         if rel_path != SECRECY_FILE {
             rule_ct_secrecy(rel_path, &tokens, &mask, &mut out);
         }
-        if rel_path.starts_with(SERVER_SRC) {
+        if rel_path.starts_with(SERVER_SRC) || rel_path.starts_with(REACTOR_SRC) {
             rule_no_panic(rel_path, &tokens, &mask, &mut out);
         }
         rule_lock_across_submit(rel_path, &tokens, &mask, &mut out);
@@ -385,8 +394,8 @@ fn rule_no_panic(rel: &str, tokens: &[Token], mask: &[bool], out: &mut Vec<Viola
                 line: tokens[i].line,
                 rule: RULE_NO_PANIC,
                 message: format!(
-                    "`{rendered}` on a cm_server serving path — surface a typed \
-                     `MatchError` (e.g. `MatchError::Internal`) instead of panicking a worker"
+                    "`{rendered}` on a serving path — surface a typed error \
+                     (e.g. `MatchError::Internal`) instead of panicking a worker"
                 ),
                 waived: None,
             });
@@ -795,6 +804,13 @@ mod tests {
             [RULE_EXEC_THREADS]
         );
         assert!(analyze_rust_source(super::EXEC_FILE, src).is_empty());
+        // The reactor's event loop is the one other blessed thread; the
+        // rest of its crate is NOT exempt.
+        assert!(analyze_rust_source(super::REACTOR_FILE, src).is_empty());
+        assert_eq!(
+            rules_fired(&analyze_rust_source("crates/reactor/src/sys.rs", src)),
+            [RULE_EXEC_THREADS]
+        );
         assert!(analyze_rust_source("crates/core/tests/e2e.rs", src).is_empty());
         let gated = "#[cfg(test)]\nmod tests { fn f() { std::thread::scope(|s| {}); } }";
         assert!(analyze_rust_source("crates/core/src/api.rs", gated).is_empty());
@@ -828,6 +844,12 @@ mod tests {
             [RULE_NO_PANIC]
         );
         assert!(analyze_rust_source("crates/core/src/x.rs", src).is_empty());
+        // The reactor owns every socket: its whole crate is a serving
+        // path, event loop included.
+        assert_eq!(
+            rules_fired(&analyze_rust_source("crates/reactor/src/reactor.rs", src)),
+            [RULE_NO_PANIC]
+        );
         let macros = "fn f() { panic!(\"boom\"); }";
         assert_eq!(
             rules_fired(&analyze_rust_source("crates/server/src/x.rs", macros)),

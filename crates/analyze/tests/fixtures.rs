@@ -55,6 +55,11 @@ fn fixture_violations_carry_file_and_line() {
     };
     assert!(has(RULE_EXEC_THREADS, "crates/core/src/threads.rs"));
     assert!(has(RULE_NO_PANIC, "crates/server/src/panics.rs"));
+    // The reactor crate is a serving path too…
+    assert!(has(RULE_NO_PANIC, "crates/reactor/src/panics.rs"));
+    // …but its event loop is the blessed non-exec thread: the raw
+    // `thread::Builder` spawn in the fixture must NOT fire.
+    assert!(!has(RULE_EXEC_THREADS, "crates/reactor/src/reactor.rs"));
     assert!(has(RULE_CT_SECRECY, "crates/server/src/secrecy_cmp.rs"));
     assert!(has(RULE_WIRE_TAGS, "crates/server/src/wire.rs"));
     assert!(has(

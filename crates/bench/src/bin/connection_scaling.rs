@@ -1,0 +1,183 @@
+//! Connection-scaling trajectory: N idle connections held open while
+//! M active connections saturate the server with queries, per backend.
+//!
+//! This seeds the perf trajectory the reactor front-end is accountable
+//! to: idle sockets must be nearly free (readiness-driven, no thread, no
+//! pool slot), so saturated throughput with 1024 idle connections held
+//! open should stay within a few percent of the no-idle baseline.
+//! Results are written machine-readably to `BENCH_7.json` at the
+//! workspace root so future PRs can show deltas.
+//!
+//! Run with `cargo run --release -p cm_bench --bin connection_scaling`.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use cm_bench::random_bits;
+use cm_core::{wait_all, Backend, BitString, MatcherConfig, WorkerPool};
+use cm_server::{MatchClient, MatchServer, ServerConfig, TenantAccess, TenantRegistry};
+
+const KEY: [u8; 32] = [0x5A; 32];
+/// Saturating clients (matches the pre-reactor `tenant_saturation`
+/// bench's 8 concurrent queries).
+const ACTIVE: usize = 8;
+/// Queries per active client per scenario.
+const ROUNDS: usize = 40;
+/// Idle-connection tiers; the last is the soak's ≥1024 target.
+const IDLE_TIERS: &[usize] = &[0, 256, 1024];
+
+struct Scenario {
+    backend: &'static str,
+    idle: usize,
+    open_sockets: usize,
+    queries: usize,
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+/// Saturates `tenant` with `ACTIVE` concurrent clients and returns
+/// (queries/sec over wall time, p50 µs, p99 µs, query count).
+fn saturate(
+    addr: SocketAddr,
+    pool: &WorkerPool,
+    tenant: &'static str,
+    query: &BitString,
+) -> (f64, f64, f64, usize) {
+    let start = Instant::now();
+    let handles: Vec<_> = (0..ACTIVE)
+        .map(|_| {
+            let query = query.clone();
+            pool.submit(move || {
+                let mut client = MatchClient::connect(addr).expect("connect active client");
+                let access = TenantAccess::new(tenant, &KEY);
+                let mut latencies = Vec::with_capacity(ROUNDS);
+                for _ in 0..ROUNDS {
+                    let t = Instant::now();
+                    let reply = client.search_bits(&access, &query).expect("query");
+                    assert!(!reply.indices.is_empty(), "query must match");
+                    latencies.push(t.elapsed());
+                }
+                latencies
+            })
+        })
+        .collect();
+    let latencies: Vec<Duration> = wait_all(handles)
+        .expect("active clients")
+        .into_iter()
+        .flatten()
+        .collect();
+    let wall = start.elapsed().as_secs_f64();
+    let mut us: Vec<f64> = latencies.iter().map(|d| d.as_secs_f64() * 1e6).collect();
+    us.sort_by(f64::total_cmp);
+    let pct = |q: f64| us[((us.len() - 1) as f64 * q).round() as usize];
+    (us.len() as f64 / wall, pct(0.50), pct(0.99), us.len())
+}
+
+fn main() {
+    let limit = cm_reactor::sys::raise_nofile_limit(16 * 1024).expect("raise fd limit");
+    println!("fd limit: {limit}");
+
+    // The pre-reactor `tenant_saturation` workload shape: two
+    // polynomials of data, a 24-bit query.
+    let data = random_bits(2048 * 2, 23);
+    let query = data.slice(700, 24);
+
+    let mut registry = TenantRegistry::new();
+    registry
+        .register(
+            "plain",
+            MatcherConfig::new(Backend::Plain).build().expect("plain"),
+            &KEY,
+            &data,
+        )
+        .expect("register plain");
+    registry
+        .register(
+            "cm",
+            MatcherConfig::new(Backend::Ciphermatch)
+                .insecure_test()
+                .seed(2)
+                .build()
+                .expect("ciphermatch"),
+            &KEY,
+            &data,
+        )
+        .expect("register cm");
+    let server = MatchServer::with_config(
+        registry,
+        ServerConfig {
+            max_open_sockets: 4096,
+            max_inflight_frames: 64,
+            memory_budget: None,
+        },
+    )
+    .expect("config")
+    .spawn("127.0.0.1:0")
+    .expect("spawn server");
+    let addr = server.addr();
+    let pool = WorkerPool::new(ACTIVE).expect("client pool");
+
+    let mut scenarios: Vec<Scenario> = Vec::new();
+    for (backend, tenant) in [("plain", "plain"), ("ciphermatch-insecure", "cm")] {
+        for &idle in IDLE_TIERS {
+            // Hold the idle herd open for the duration of the burst.
+            let idle_conns: Vec<MatchClient> = (0..idle)
+                .map(|i| {
+                    MatchClient::connect(addr)
+                        .unwrap_or_else(|e| panic!("idle connection {i} refused: {e}"))
+                })
+                .collect();
+            let (qps, p50_us, p99_us, queries) = saturate(addr, &pool, tenant, &query);
+            println!(
+                "{backend:>20} idle={idle:<5} {qps:>8.1} q/s  p50={p50_us:>8.1}us  \
+                 p99={p99_us:>9.1}us"
+            );
+            scenarios.push(Scenario {
+                backend,
+                idle,
+                open_sockets: idle + ACTIVE,
+                queries,
+                qps,
+                p50_us,
+                p99_us,
+            });
+            drop(idle_conns);
+        }
+    }
+    server.shutdown();
+
+    // Machine-readable trajectory. `qps_vs_no_idle` is the soak
+    // acceptance ratio: ≥ 0.9 means saturated throughput with the idle
+    // herd held stays within 10% of the no-idle baseline.
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"connection_scaling\",\n");
+    json.push_str(&format!("  \"active_connections\": {ACTIVE},\n"));
+    json.push_str(&format!("  \"rounds_per_client\": {ROUNDS},\n"));
+    json.push_str("  \"scenarios\": [\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        let baseline = scenarios
+            .iter()
+            .find(|b| b.backend == s.backend && b.idle == 0)
+            .map_or(s.qps, |b| b.qps);
+        json.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"idle_connections\": {}, \"open_sockets\": {}, \
+             \"queries\": {}, \"qps\": {:.2}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \
+             \"qps_vs_no_idle\": {:.3}}}{}\n",
+            s.backend,
+            s.idle,
+            s.open_sockets,
+            s.queries,
+            s.qps,
+            s.p50_us,
+            s.p99_us,
+            s.qps / baseline,
+            if i + 1 == scenarios.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_7.json");
+    std::fs::write(&out, &json).expect("write BENCH_7.json");
+    println!("wrote {}", out.display());
+}

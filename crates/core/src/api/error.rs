@@ -48,10 +48,13 @@ pub enum MatchError {
     UnknownBackend(String),
     /// A request named a tenant the serving process has not registered.
     UnknownTenant(String),
-    /// The serving process is at its configured connection limit and
-    /// rejected the connection instead of spawning past the bound.
+    /// The serving process is at one of its admission caps — open
+    /// sockets (`max_open_sockets`) or concurrently queued request
+    /// frames (`max_inflight_frames`) — and rejected the work with this
+    /// typed error instead of growing past the bound.
     ServerBusy {
-        /// The `max_connections` cap the server enforced.
+        /// The admission cap the server enforced (whichever of the two
+        /// was exceeded). The field keeps its original wire-stable name.
         max_connections: usize,
     },
     /// A wire frame or message violated the protocol framing rules.
@@ -119,7 +122,7 @@ impl std::fmt::Display for MatchError {
             MatchError::UnknownTenant(id) => write!(f, "unknown tenant {id:?}"),
             MatchError::ServerBusy { max_connections } => write!(
                 f,
-                "server is serving its maximum of {max_connections} connections; retry later"
+                "server is at its admission cap of {max_connections}; retry later"
             ),
             MatchError::Frame(what) => write!(f, "malformed wire frame: {what}"),
             MatchError::Transport(what) => write!(f, "transport failure: {what}"),

@@ -221,7 +221,7 @@ struct Queue {
 /// N long-lived worker threads behind one job queue.
 ///
 /// Submitting never blocks (the queue is unbounded — admission control
-/// belongs to the layer above, e.g. the TCP server's `max_connections`);
+/// belongs to the layer above, e.g. the TCP server's `max_inflight_frames`);
 /// dropping the pool is a graceful shutdown: the queue closes, workers
 /// drain every job already submitted, then join.
 pub struct WorkerPool {
@@ -298,6 +298,31 @@ impl WorkerPool {
         }
         self.queue.cv.notify_one();
         CompletionHandle { slot }
+    }
+
+    /// Submits a fire-and-forget job whose result is delivered to
+    /// `notify` *on the worker thread* instead of through a
+    /// [`CompletionHandle`] — the completion-queue hook for callers
+    /// that must not block (a reactor thread handing frames to the
+    /// pool). A panic inside `job` reaches `notify` as
+    /// [`MatchError::WorkerPanicked`]; a panic inside `notify` itself
+    /// is swallowed so the worker survives either way.
+    pub fn submit_notify<T, F, N>(&self, job: F, notify: N)
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+        N: FnOnce(Result<T, MatchError>) + Send + 'static,
+    {
+        let run: Job = Box::new(move || {
+            let result =
+                catch_unwind(AssertUnwindSafe(job)).map_err(|_| MatchError::WorkerPanicked);
+            let _ = catch_unwind(AssertUnwindSafe(move || notify(result)));
+        });
+        {
+            let mut guard = lock_unpoisoned(&self.queue.jobs);
+            guard.0.push_back(run);
+        }
+        self.queue.cv.notify_one();
     }
 
     /// Submits a stats-producing job, timing it on the worker and bundling
@@ -553,6 +578,46 @@ mod tests {
         let good = pool.submit(|| 7usize);
         assert_eq!(bad.wait(), Err(MatchError::WorkerPanicked));
         assert_eq!(good.wait(), Ok(7));
+    }
+
+    #[test]
+    fn notify_jobs_deliver_results_on_the_worker() {
+        let pool = WorkerPool::new(2).unwrap();
+        let (tx, rx) = std::sync::mpsc::channel();
+        pool.submit_notify(|| 21usize * 2, move |result| tx.send(result).unwrap());
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(10)).unwrap(),
+            Ok(42usize)
+        );
+    }
+
+    #[test]
+    fn notify_jobs_surface_panics_as_worker_panicked() {
+        let pool = WorkerPool::new(1).unwrap();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let tx2 = tx.clone();
+        pool.submit_notify(
+            || -> usize { panic!("job dies") },
+            move |result| tx.send(result).unwrap(),
+        );
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(10)).unwrap(),
+            Err(MatchError::WorkerPanicked)
+        );
+        // The worker survives both a panicking job and a panicking
+        // notify and keeps serving.
+        pool.submit_notify(
+            || 9usize,
+            move |result| {
+                tx2.send(result).unwrap();
+                panic!("notify dies");
+            },
+        );
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(10)).unwrap(),
+            Ok(9usize)
+        );
+        assert_eq!(pool.submit(|| 5usize).wait(), Ok(5));
     }
 
     #[test]

@@ -1,0 +1,34 @@
+//! `cm_reactor` — a readiness-driven network front-end that admits
+//! frames, not connections.
+//!
+//! One thread owns every socket: a level-triggered epoll loop accepts
+//! connections, incrementally reassembles length-prefixed frames via a
+//! caller-supplied [`FrameDecoder`], and hands each complete frame to
+//! the application through [`Events::on_frame`]. Replies travel the
+//! other way over a command queue plus a wakeup pipe
+//! ([`ReactorHandle::send`]), with per-connection write backpressure:
+//! partial writes are queued, `EPOLLOUT` is armed only while a queue is
+//! nonempty, and a connection whose outbound queue exceeds
+//! [`ReactorConfig::max_buffered_write`] is closed with a typed
+//! [`CloseReason::WriteOverflow`].
+//!
+//! The crate has no dependencies: the epoll shim in [`sys`] declares
+//! the handful of needed C symbols directly (`std` already links the C
+//! library), honoring the workspace's offline-build constraint.
+//!
+//! Idle connections cost one fd and a small decoder buffer — no
+//! thread, no pool slot. Admission is split accordingly: the reactor
+//! caps *open sockets* ([`ReactorConfig::max_open_sockets`], rejected
+//! arrivals get [`Events::on_reject`]'s farewell frame), while the
+//! application layers its own cap on *in-flight work*.
+
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod sys;
+
+mod reactor;
+
+pub use reactor::{
+    CloseReason, ConnId, Events, FrameDecoder, Reactor, ReactorConfig, ReactorHandle, ReactorThread,
+};

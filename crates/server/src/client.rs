@@ -142,6 +142,22 @@ impl MatchClient {
         }
     }
 
+    /// Liveness probe: one `Ping`/`Pong` round trip, discarding the
+    /// backend listing. An idle connection answering this proves it is
+    /// still admitted and live — under the reactor front-end, without
+    /// ever having held a worker slot while idle.
+    ///
+    /// # Errors
+    ///
+    /// Transport/framing errors, or the server's reported [`MatchError`].
+    pub fn ping(&mut self) -> Result<(), MatchError> {
+        match self.roundtrip(&Request::Ping)? {
+            Response::Pong { .. } => Ok(()),
+            Response::Error(e) => Err(e),
+            _ => Err(MatchError::Frame("unexpected response kind")),
+        }
+    }
+
     /// Lists the registered tenants.
     ///
     /// # Errors

@@ -48,12 +48,16 @@
 //! * [`wire`] — the length-prefixed binary protocol (encrypted queries
 //!   in, AES-sealed index lists out), hardened against truncated,
 //!   oversized, and garbage frames;
-//! * [`MatchServer`] / [`MatchClient`] — the TCP accept loop over a
-//!   bounded connection pool ([`ServerConfig::max_connections`]; typed
-//!   [`cm_core::MatchError::ServerBusy`] rejection past the cap, clean
-//!   drain on shutdown) and the blocking client, with [`QueryKit`]
-//!   carrying the public material a remote key owner needs to encrypt
-//!   queries.
+//! * [`MatchServer`] / [`MatchClient`] — a readiness-driven
+//!   `cm_reactor` front-end that admits *frames, not connections*: one
+//!   reactor thread owns every socket (thousands of cheap idle
+//!   connections under [`ServerConfig::max_open_sockets`]) and submits
+//!   each complete request frame to a bounded frame pool
+//!   ([`ServerConfig::max_inflight_frames`]; typed
+//!   [`cm_core::MatchError::ServerBusy`] rejection past either cap,
+//!   drain-then-join shutdown) — plus the blocking client, with
+//!   [`QueryKit`] carrying the public material a remote key owner needs
+//!   to encrypt queries.
 //!
 //! ## Example
 //!
@@ -100,8 +104,8 @@ pub use shard::{ShardPlan, ShardRange, ShardedDatabase};
 pub use sharded::ShardedCmMatcher;
 pub use tenant::{MatchedReply, Tenant, TenantRegistry, DEFAULT_TENANT_WORKERS};
 pub use wire::{
-    DatabaseInfoReply, EvictAuth, QueryPayload, Request, Response, TenantInfo, TenantSpec,
-    UploadAuth, UploadPhase, MAX_DATABASE_BYTES, MAX_FRAME_BYTES, MAX_TENANT_WORKERS,
+    DatabaseInfoReply, EvictAuth, FrameBuffer, QueryPayload, Request, Response, TenantInfo,
+    TenantSpec, UploadAuth, UploadPhase, MAX_DATABASE_BYTES, MAX_FRAME_BYTES, MAX_TENANT_WORKERS,
 };
 
 mod sharded;

@@ -1,39 +1,61 @@
-//! The TCP serving front-end: accept loop, bounded connection pool,
-//! request dispatch.
+//! The TCP serving front-end: a readiness-driven reactor that admits
+//! frames, not connections.
 //!
-//! One process serves every registered tenant. Accepted connections are
-//! handled as jobs on a [`WorkerPool`] of `max_connections` long-lived
-//! workers (the same `cm_core::exec` runtime the sessions, tenant pools,
-//! and shard executors run on) — never one freshly spawned thread per
-//! accept. A connection arriving while all `max_connections` slots are
-//! busy is *rejected* with a typed [`MatchError::ServerBusy`] wire error
-//! instead of growing the process without bound. Request handling errors
-//! travel back as [`Response::Error`] frames, transport/framing errors
-//! end the connection. The listener can be driven directly
-//! ([`MatchServer::serve`]) or in the background with a shutdown handle
-//! ([`MatchServer::spawn`], whose accept loop is itself a job on a
-//! single-worker exec pool) — shutdown stops accepting, closes the
-//! active sockets, and drains the connection pool before returning.
+//! One [`cm_reactor::Reactor`] thread owns every socket: it accepts
+//! connections, reassembles length-prefixed frames incrementally
+//! ([`crate::wire::FrameBuffer`]), and submits each *complete request
+//! frame* as a job on a [`WorkerPool`] of `max_inflight_frames` workers
+//! (the same `cm_core::exec` runtime the sessions, tenant pools, and
+//! shard executors run on). Reply frames travel back over the reactor's
+//! command queue + wakeup pipe ([`cm_reactor::ReactorHandle::send`]),
+//! with per-connection write backpressure.
+//!
+//! Admission is split in two, because sockets and work cost differently:
+//!
+//! * [`ServerConfig::max_open_sockets`] caps *connections* — thousands
+//!   are fine, since an idle socket costs one fd and a decode buffer,
+//!   no thread, no pool slot. Arrivals past the cap get a typed
+//!   [`MatchError::ServerBusy`] frame and are closed.
+//! * [`ServerConfig::max_inflight_frames`] caps *work* — request frames
+//!   admitted to the pool but not yet answered. A frame past the cap
+//!   gets the same typed rejection without occupying a worker.
+//!
+//! Frames from one connection are processed strictly in order (a
+//! per-connection pump job drains its queue serially), which preserves
+//! upload-session affinity: a chunked database upload lives and dies
+//! with its connection. Request handling errors travel back as
+//! [`Response::Error`] frames; framing violations get one typed
+//! farewell frame before the connection closes. Shutdown
+//! ([`RunningServer::shutdown`]) stops the reactor (force-closing every
+//! tracked socket), then drains and joins the frame pool.
 
-use std::collections::HashMap;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
-use cm_core::{Backend, CompletionHandle, MatchError, WorkerPool};
+use cm_core::{Backend, MatchError, WorkerPool};
+use cm_reactor::{ConnId, Events, Reactor, ReactorConfig, ReactorHandle, ReactorThread};
 
 use crate::tenant::TenantRegistry;
 use crate::wire::{
-    read_frame, write_frame, Request, Response, TenantSpec, UploadAuth, UploadPhase,
+    frame_bytes, FrameBuffer, Request, Response, TenantSpec, UploadAuth, UploadPhase,
+    MAX_FRAME_BYTES,
 };
 
 /// Front-end knobs for a serving process.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Hard cap on concurrently served connections (and the size of the
-    /// connection worker pool). Connections beyond the cap receive a
-    /// [`MatchError::ServerBusy`] frame and are closed.
-    pub max_connections: usize,
+    /// Hard cap on concurrently open sockets. Idle connections are
+    /// cheap (one fd, no thread), so this defaults high; arrivals past
+    /// the cap receive a [`MatchError::ServerBusy`] frame and are
+    /// closed without being admitted.
+    pub max_open_sockets: usize,
+    /// Hard cap on request frames in flight (admitted to the frame
+    /// pool but not yet answered) — and the size of that worker pool.
+    /// A frame past the cap is answered with a typed
+    /// [`MatchError::ServerBusy`] instead of queueing unboundedly.
+    pub max_inflight_frames: usize,
     /// Host memory budget in bytes for hot tenant databases (`None` =
     /// unbounded). Admissions past the budget demote least-recently-used
     /// unpinned remote tenants to the cold tier; see
@@ -44,8 +66,22 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         Self {
-            max_connections: 64,
+            max_open_sockets: 4096,
+            max_inflight_frames: 64,
             memory_budget: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The reactor knobs this config implies: the socket cap plus a
+    /// write buffer large enough for one maximum reply frame (header
+    /// included) with room to spare — a peer that stops reading while
+    /// more than that queues is closed as overloaded.
+    fn reactor(&self) -> ReactorConfig {
+        ReactorConfig {
+            max_open_sockets: self.max_open_sockets,
+            max_buffered_write: MAX_FRAME_BYTES + (64 << 10),
         }
     }
 }
@@ -71,11 +107,16 @@ impl MatchServer {
     ///
     /// # Errors
     ///
-    /// [`MatchError::InvalidConfig`] for a zero connection cap.
+    /// [`MatchError::InvalidConfig`] for a zero socket or frame cap.
     pub fn with_config(registry: TenantRegistry, config: ServerConfig) -> Result<Self, MatchError> {
-        if config.max_connections == 0 {
+        if config.max_open_sockets == 0 {
             return Err(MatchError::InvalidConfig(
-                "max_connections must be positive",
+                "max_open_sockets must be positive",
+            ));
+        }
+        if config.max_inflight_frames == 0 {
+            return Err(MatchError::InvalidConfig(
+                "max_inflight_frames must be positive",
             ));
         }
         if let Some(budget) = config.memory_budget {
@@ -94,222 +135,266 @@ impl MatchServer {
 
     /// Binds `addr` and serves in the background, returning the running
     /// server's address and shutdown handle. Bind to port 0 for an
-    /// ephemeral port. The accept loop runs as a job on a dedicated
-    /// single-worker [`WorkerPool`] (the shared `cm_core::exec` runtime),
-    /// not on an ad-hoc spawned thread.
+    /// ephemeral port. The reactor thread owns every socket; request
+    /// frames run as jobs on the shared `cm_core::exec` runtime.
     ///
     /// # Errors
     ///
-    /// [`MatchError::Transport`] if the bind fails.
+    /// [`MatchError::Transport`] if the bind or reactor setup fails.
     pub fn spawn<A: ToSocketAddrs>(self, addr: A) -> Result<RunningServer, MatchError> {
         let listener =
             TcpListener::bind(addr).map_err(|e| MatchError::Transport(format!("bind: {e}")))?;
-        let local_addr = listener
-            .local_addr()
-            .map_err(|e| MatchError::Transport(format!("local_addr: {e}")))?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let conns = Arc::new(Connections::new(self.config.max_connections));
-        let registry = Arc::clone(&self.registry);
-        let stop_flag = Arc::clone(&stop);
-        let conns_flag = Arc::clone(&conns);
-        let pool = WorkerPool::new(1)?;
-        let done = pool.submit(move || {
-            accept_loop(&listener, &registry, &stop_flag, &conns_flag);
-        });
+        let reactor = Reactor::from_listener(listener, self.config.reactor())
+            .map_err(|e| MatchError::Transport(format!("reactor: {e}")))?;
+        let addr = reactor.local_addr();
+        let pool = Arc::new(WorkerPool::new(self.config.max_inflight_frames)?);
+        let front = FrontEnd::new(&self, reactor.handle(), Arc::clone(&pool));
+        let reactor = reactor
+            .spawn(front)
+            .map_err(|e| MatchError::Transport(format!("reactor thread: {e}")))?;
         Ok(RunningServer {
-            addr: local_addr,
-            stop,
-            conns,
-            accept: Some((pool, done)),
+            addr,
+            reactor: Some(reactor),
+            pool: Some(pool),
         })
     }
 
     /// Serves `listener` on the calling thread until the process exits
     /// (the production entry point; tests use [`Self::spawn`]).
     pub fn serve(self, listener: &TcpListener) {
-        accept_loop(
-            listener,
-            &self.registry,
-            &AtomicBool::new(false),
-            &Arc::new(Connections::new(self.config.max_connections)),
+        let Ok(listener) = listener.try_clone() else {
+            return;
+        };
+        let Ok(reactor) = Reactor::from_listener(listener, self.config.reactor()) else {
+            return;
+        };
+        let Ok(pool) = WorkerPool::new(self.config.max_inflight_frames).map(Arc::new) else {
+            return; // zero cap is rejected in with_config; defensive only
+        };
+        let front = FrontEnd::new(&self, reactor.handle(), Arc::clone(&pool));
+        reactor.run(front);
+    }
+}
+
+/// Encodes the typed over-capacity rejection, reporting whichever cap
+/// (`max_open_sockets` or `max_inflight_frames`) turned the work away.
+fn busy_frame(cap: usize) -> Option<Vec<u8>> {
+    frame_bytes(
+        &Response::Error(MatchError::ServerBusy {
+            max_connections: cap,
+        })
+        .encode(),
+    )
+    .ok()
+}
+
+/// Per-connection serving state, owned by the front-end table.
+#[derive(Default)]
+struct ConnState {
+    /// Whether a pump job for this connection is live on the pool.
+    busy: bool,
+    /// Admitted request frames awaiting the pump, oldest first. Each
+    /// counts against the in-flight cap until answered.
+    queued: VecDeque<Vec<u8>>,
+    /// The connection's chunked-upload session, if one is in progress.
+    /// Parked here between pump runs — upload affinity is to the
+    /// *connection*, and its frames are processed serially.
+    upload: Option<UploadSession>,
+}
+
+/// Locks the connection table. Named (rather than inlined `.lock()`)
+/// so each use-site documents the rule the serving path lives by:
+/// the guard is scoped tightly and NEVER held across a pool submit or
+/// a reactor send.
+fn lock_table(
+    table: &Mutex<HashMap<ConnId, ConnState>>,
+) -> MutexGuard<'_, HashMap<ConnId, ConnState>> {
+    table
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Everything a pump job needs — deliberately *not* the pool itself, so
+/// a worker can never drop the last pool handle and join itself.
+struct PumpCtx {
+    registry: Arc<TenantRegistry>,
+    staging: Arc<Staging>,
+    handle: ReactorHandle,
+    table: Arc<Mutex<HashMap<ConnId, ConnState>>>,
+    inflight: Arc<AtomicUsize>,
+}
+
+/// The reactor-facing application: admission, frame queues, dispatch.
+/// Lives on the reactor thread; every callback must return quickly, so
+/// real work is handed to the frame pool.
+struct FrontEnd {
+    registry: Arc<TenantRegistry>,
+    staging: Arc<Staging>,
+    pool: Arc<WorkerPool>,
+    handle: ReactorHandle,
+    table: Arc<Mutex<HashMap<ConnId, ConnState>>>,
+    /// Admitted-but-unanswered request frames, server-wide.
+    inflight: Arc<AtomicUsize>,
+    max_inflight: usize,
+    max_open_sockets: usize,
+}
+
+impl FrontEnd {
+    fn new(server: &MatchServer, handle: ReactorHandle, pool: Arc<WorkerPool>) -> Self {
+        Self {
+            registry: Arc::clone(&server.registry),
+            // One staging account for the whole server: concurrent
+            // uploads from every connection share (and are bounded by)
+            // it.
+            staging: Arc::new(Staging::new(server.registry.memory_budget())),
+            pool,
+            handle,
+            table: Arc::new(Mutex::new(HashMap::new())),
+            inflight: Arc::new(AtomicUsize::new(0)),
+            max_inflight: server.config.max_inflight_frames,
+            max_open_sockets: server.config.max_open_sockets,
+        }
+    }
+
+    /// Submits the pump job that serially drains `conn`'s frame queue.
+    /// The notify path covers the one failure the pump cannot handle
+    /// itself — a panic escaping dispatch — by releasing the frame's
+    /// in-flight slot and closing the connection.
+    fn spawn_pump(&self, conn: ConnId) {
+        let ctx = PumpCtx {
+            registry: Arc::clone(&self.registry),
+            staging: Arc::clone(&self.staging),
+            handle: self.handle.clone(),
+            table: Arc::clone(&self.table),
+            inflight: Arc::clone(&self.inflight),
+        };
+        let inflight = Arc::clone(&self.inflight);
+        let handle = self.handle.clone();
+        self.pool.submit_notify(
+            move || run_pump(&ctx, conn),
+            move |result| {
+                if result.is_err() {
+                    inflight.fetch_sub(1, Ordering::SeqCst);
+                    handle.close(conn);
+                }
+            },
         );
     }
 }
 
-/// The admission table: which sockets are in flight, bounded by the
-/// connection cap. Tracked handles (`try_clone`s) let shutdown force the
-/// in-flight request loops off their blocking reads.
-#[derive(Debug)]
-struct Connections {
-    active: Mutex<AdmissionState>,
-    limit: usize,
-}
+impl Events for FrontEnd {
+    type Decoder = FrameBuffer;
 
-#[derive(Debug, Default)]
-struct AdmissionState {
-    streams: HashMap<u64, TcpStream>,
-    /// Set by [`Connections::close_all`] under the same lock admissions
-    /// take, so a socket accepted concurrently with shutdown is either in
-    /// the table when `close_all` sweeps it or refused admission — never
-    /// admitted-but-unclosed (which would stall the drain on its read
-    /// timeout).
-    draining: bool,
-}
-
-impl Connections {
-    fn new(limit: usize) -> Self {
-        Self {
-            active: Mutex::new(AdmissionState::default()),
-            limit,
-        }
+    fn decoder(&mut self) -> FrameBuffer {
+        FrameBuffer::new()
     }
 
-    /// Admits `stream` if a slot is free (and the table is not draining),
-    /// returning its release token.
-    fn try_admit(&self, stream: &TcpStream) -> Option<u64> {
-        let mut state = self.active.lock().ok()?;
-        if state.draining || state.streams.len() >= self.limit {
-            return None;
-        }
-        // Without a trackable handle the connection could not be closed
-        // on drain; treat a failed clone like a full table.
-        let tracked = stream.try_clone().ok()?;
-        let token = next_token();
-        state.streams.insert(token, tracked);
-        Some(token)
+    fn on_open(&mut self, conn: ConnId) {
+        lock_table(&self.table).insert(conn, ConnState::default());
     }
 
-    fn release(&self, token: u64) {
-        if let Ok(mut state) = self.active.lock() {
-            state.streams.remove(&token);
-        }
-    }
-
-    /// Forces every in-flight connection off its socket and refuses
-    /// further admissions (drain).
-    fn close_all(&self) {
-        if let Ok(mut state) = self.active.lock() {
-            state.draining = true;
-            for stream in state.streams.values() {
-                let _ = stream.shutdown(Shutdown::Both);
+    fn on_frame(&mut self, conn: ConnId, frame: Vec<u8>) {
+        // Admission against the in-flight cap, before any queueing: the
+        // pool must never owe more answers than it has room to compute.
+        let admitted = self
+            .inflight
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < self.max_inflight).then_some(n + 1)
+            })
+            .is_ok();
+        if !admitted {
+            if let Some(bytes) = busy_frame(self.max_inflight) {
+                self.handle.send(conn, bytes);
             }
-        }
-    }
-}
-
-/// Releases a connection slot on drop, so a panic anywhere in the request
-/// loop cannot leak the slot (the pool's worker survives job panics — an
-/// unreleased token would otherwise count against `max_connections`
-/// forever).
-struct SlotGuard {
-    conns: Arc<Connections>,
-    token: u64,
-}
-
-impl Drop for SlotGuard {
-    fn drop(&mut self) {
-        self.conns.release(self.token);
-    }
-}
-
-/// Process-wide token source so release can never race a re-used key.
-fn next_token() -> u64 {
-    use std::sync::atomic::AtomicU64;
-    static NEXT: AtomicU64 = AtomicU64::new(1);
-    NEXT.fetch_add(1, Ordering::Relaxed)
-}
-
-/// Accepts connections until the stop flag flips, handling each as a job
-/// on a bounded worker pool; the pool drains (remaining requests finish
-/// against their closed sockets) when the loop exits.
-fn accept_loop(
-    listener: &TcpListener,
-    registry: &Arc<TenantRegistry>,
-    stop: &AtomicBool,
-    conns: &Arc<Connections>,
-) {
-    let Ok(pool) = WorkerPool::new(conns.limit) else {
-        return; // zero cap is rejected in with_config; defensive only
-    };
-    // One staging account for the whole server: concurrent uploads from
-    // every connection share (and are bounded by) it.
-    let staging = Arc::new(Staging::new(registry.memory_budget()));
-    for stream in listener.incoming() {
-        if stop.load(Ordering::SeqCst) {
-            break;
-        }
-        let mut stream = match stream {
-            Ok(stream) => stream,
-            Err(_) => {
-                // Persistent accept errors (e.g. fd exhaustion) would
-                // otherwise spin this loop at full speed; back off briefly
-                // before retrying.
-                std::thread::sleep(std::time::Duration::from_millis(10));
-                continue;
-            }
-        };
-        let Some(token) = conns.try_admit(&stream) else {
-            // Over the cap: a typed rejection, not an unbounded spawn.
-            let busy = Response::Error(MatchError::ServerBusy {
-                max_connections: conns.limit,
-            });
-            let _ = write_frame(&mut stream, &busy.encode());
-            continue;
-        };
-        let registry = Arc::clone(registry);
-        let staging = Arc::clone(&staging);
-        let slot = SlotGuard {
-            conns: Arc::clone(conns),
-            token,
-        };
-        let _detached = pool.submit(move || {
-            let _slot = slot; // released on drop, panic included
-            handle_connection(stream, &registry, &staging);
-        });
-    }
-    // `pool` drops here: graceful drain, then join, of every admitted
-    // connection job. Shutdown closed the active sockets first, so the
-    // request loops exit as soon as their current request finishes.
-}
-
-/// How long a connection may sit idle (or dribble a frame) before its
-/// worker is reclaimed — pooled connection slots must not leak to silent
-/// peers.
-const CONNECTION_READ_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(300);
-
-/// Runs one connection's request loop until the peer closes or the
-/// transport fails. Upload state is connection-scoped: a chunked
-/// database upload lives and dies with its connection, so a dropped
-/// connection discards the staged bytes without touching the registry
-/// (and releases its staging reservation on drop).
-fn handle_connection(mut stream: TcpStream, registry: &TenantRegistry, staging: &Arc<Staging>) {
-    if stream
-        .set_read_timeout(Some(CONNECTION_READ_TIMEOUT))
-        .is_err()
-    {
-        return;
-    }
-    let mut upload: Option<UploadSession> = None;
-    loop {
-        let payload = match read_frame(&mut stream) {
-            Ok(Some(payload)) => payload,
-            // Clean EOF, a torn frame, or a dead socket: nothing sensible
-            // left to answer on this connection.
-            Ok(None) | Err(MatchError::Transport(_)) => return,
-            Err(e) => {
-                // Framing violation: report it once, then hang up (the
-                // stream is no longer at a frame boundary).
-                let _ = write_frame(&mut stream, &Response::Error(e).encode());
-                return;
-            }
-        };
-        let response = match Request::decode(&payload) {
-            Ok(request) => dispatch(&request, registry, staging, &mut upload),
-            Err(e) => Response::Error(e),
-        };
-        if write_frame(&mut stream, &response.encode()).is_err() {
             return;
         }
+        let start_pump = {
+            let mut table = lock_table(&self.table);
+            match table.get_mut(&conn) {
+                Some(entry) => {
+                    entry.queued.push_back(frame);
+                    !std::mem::replace(&mut entry.busy, true)
+                }
+                None => {
+                    // The connection closed in this same event batch;
+                    // give the slot back.
+                    self.inflight.fetch_sub(1, Ordering::SeqCst);
+                    return;
+                }
+            }
+        };
+        if start_pump {
+            self.spawn_pump(conn);
+        }
+    }
+
+    fn on_reject(&mut self) -> Option<Vec<u8>> {
+        busy_frame(self.max_open_sockets)
+    }
+
+    fn on_violation(&mut self, _conn: ConnId, reason: &'static str) -> Option<Vec<u8>> {
+        // Framing violation: report it once, typed, then the reactor
+        // hangs up (the stream is no longer at a frame boundary).
+        frame_bytes(&Response::Error(MatchError::Frame(reason)).encode()).ok()
+    }
+
+    fn on_close(&mut self, conn: ConnId, _reason: cm_reactor::CloseReason) {
+        // Frames still queued were admitted but will never be answered:
+        // release their in-flight slots. The upload session (and its
+        // staging lease) drops with the entry.
+        let queued = lock_table(&self.table)
+            .remove(&conn)
+            .map_or(0, |entry| entry.queued.len());
+        if queued > 0 {
+            self.inflight.fetch_sub(queued, Ordering::SeqCst);
+        }
+    }
+}
+
+/// One pump run: drains `conn`'s queued frames strictly in order,
+/// dispatching each and handing the reply frame back to the reactor.
+/// Exactly one pump is live per connection (the `busy` flag), so upload
+/// state needs no lock of its own — it rides in the pump.
+fn run_pump(ctx: &PumpCtx, conn: ConnId) {
+    // Take the upload session out for the run; it is parked back when
+    // the queue drains, and dropped (staged bytes discarded, staging
+    // lease released) if the connection goes away mid-run.
+    let mut upload = {
+        let mut table = lock_table(&ctx.table);
+        match table.get_mut(&conn) {
+            Some(entry) => entry.upload.take(),
+            None => return,
+        }
+    };
+    loop {
+        let frame = {
+            let mut table = lock_table(&ctx.table);
+            let Some(entry) = table.get_mut(&conn) else {
+                return; // connection closed; queued slots were released
+            };
+            match entry.queued.pop_front() {
+                Some(frame) => frame,
+                None => {
+                    entry.busy = false;
+                    entry.upload = upload.take();
+                    return;
+                }
+            }
+        };
+        let response = match Request::decode(&frame) {
+            Ok(request) => dispatch(&request, &ctx.registry, &ctx.staging, &mut upload),
+            Err(e) => Response::Error(e),
+        };
+        let bytes = match frame_bytes(&response.encode()) {
+            Ok(bytes) => bytes,
+            // A reply too large to frame degrades to a typed error
+            // frame rather than silence (or a panic).
+            Err(e) => frame_bytes(&Response::Error(e).encode()).unwrap_or_default(),
+        };
+        // The answer exists: release the in-flight slot before the
+        // hand-off so admission sees pool capacity, not send latency.
+        ctx.inflight.fetch_sub(1, Ordering::SeqCst);
+        ctx.handle.send(conn, bytes);
     }
 }
 
@@ -582,16 +667,16 @@ fn dispatch(
     }
 }
 
-/// Handle to a server running in the background (the accept loop is a
-/// job on its own single-worker `cm_core::exec` pool).
+/// Handle to a server running in the background: the reactor thread
+/// owns the sockets, the frame pool runs the work.
 #[derive(Debug)]
 pub struct RunningServer {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    conns: Arc<Connections>,
-    /// The accept loop's pool and its completion handle; taken (and the
-    /// pool drained) on shutdown.
-    accept: Option<(WorkerPool, CompletionHandle<()>)>,
+    reactor: Option<ReactorThread>,
+    /// The frame pool. The reactor's front-end holds the other `Arc`;
+    /// after the reactor joins, this is the last one, so dropping it
+    /// drains then joins the workers on the caller's thread.
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl RunningServer {
@@ -600,42 +685,28 @@ impl RunningServer {
         self.addr
     }
 
-    /// Stops accepting, closes the active connections, and drains the
-    /// connection pool (in-flight requests finish) before returning.
+    /// Stops the reactor (force-closing every tracked socket), then
+    /// drains and joins the frame pool before returning.
     pub fn shutdown(mut self) {
-        self.stop_accepting();
+        self.stop();
     }
 
-    fn stop_accepting(&mut self) {
-        let Some((pool, done)) = self.accept.take() else {
-            return;
-        };
-        self.stop.store(true, Ordering::SeqCst);
-        // Force in-flight request loops off their blocking reads so the
-        // drain below cannot wait on an idle peer.
-        self.conns.close_all();
-        // Unblock the accept call with a throwaway connection. A wildcard
-        // bind address (0.0.0.0 / ::) is not connectable everywhere, so
-        // aim the poke at loopback in that case.
-        let mut poke = self.addr;
-        if poke.ip().is_unspecified() {
-            poke.set_ip(match poke {
-                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
-                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
-            });
+    fn stop(&mut self) {
+        if let Some(reactor) = self.reactor.take() {
+            // Joins the reactor thread; the front-end (and its pool
+            // handle) is dropped with it.
+            reactor.shutdown();
         }
-        let _ = TcpStream::connect(poke);
-        // Waiting on the accept job also drains and joins the connection
-        // pool, which is dropped when the loop exits; dropping the
-        // single-worker pool afterwards joins the accept worker itself
-        // (drain-then-join, same as the old dedicated thread).
-        let _ = done.wait();
-        drop(pool);
+        // Last pool handle: drop = drain queued pump jobs, then join
+        // the workers (the same drain-then-join contract the blocking
+        // front-end had). Pumps whose connection died find no table
+        // entry and return immediately.
+        self.pool.take();
     }
 }
 
 impl Drop for RunningServer {
     fn drop(&mut self) {
-        self.stop_accepting();
+        self.stop();
     }
 }

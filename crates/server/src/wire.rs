@@ -583,6 +583,128 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, MatchError> {
     Ok(Some(payload))
 }
 
+/// Encodes one frame (header + payload) into an owned buffer, for
+/// transports that write asynchronously instead of into a `Write` sink
+/// (the reactor queues these byte-for-byte).
+///
+/// # Errors
+///
+/// [`MatchError::Frame`] if the payload exceeds [`MAX_FRAME_BYTES`].
+pub fn frame_bytes(payload: &[u8]) -> Result<Vec<u8>, MatchError> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(MatchError::Frame("payload exceeds the frame size cap"));
+    }
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+/// Incremental frame reassembly: feed bytes in whatever chunks the
+/// transport yields, drain complete frame payloads out. Byte-for-byte
+/// equivalent to repeated [`read_frame`] calls over the same stream
+/// (the crate's proptests assert this at every split point), with the
+/// same hostile-header guarantees — magic and length are validated the
+/// moment the 8-byte header completes, *before* any payload is
+/// buffered, so a lying length prefix can never drive an allocation.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    /// Bytes of the in-progress frame (header first, then payload).
+    buf: Vec<u8>,
+    /// Complete payloads not yet handed out.
+    ready: std::collections::VecDeque<Vec<u8>>,
+    /// Sticky failure: once the stream violates framing it stays bad.
+    failed: Option<&'static str>,
+}
+
+impl FrameBuffer {
+    /// An empty buffer at a frame boundary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs `bytes`, queueing every frame that completes.
+    ///
+    /// # Errors
+    ///
+    /// [`MatchError::Frame`] on bad magic or an oversized length
+    /// prefix; the failure is sticky and every later call returns it
+    /// again.
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<(), MatchError> {
+        if let Some(reason) = self.failed {
+            return Err(MatchError::Frame(reason));
+        }
+        let mut rest = bytes;
+        loop {
+            // Complete the 8-byte header first; validate it before a
+            // single payload byte is accepted.
+            if self.buf.len() < 8 {
+                let need = 8 - self.buf.len();
+                let take = need.min(rest.len());
+                self.buf.extend_from_slice(&rest[..take]);
+                rest = &rest[take..];
+                if self.buf.len() < 8 {
+                    return Ok(());
+                }
+                if self.buf[..4] != FRAME_MAGIC {
+                    return Err(self.fail("bad frame magic"));
+                }
+                let len = u32::from_le_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]]);
+                if len as usize > MAX_FRAME_BYTES {
+                    return Err(self.fail("frame length exceeds the size cap"));
+                }
+            }
+            let len =
+                u32::from_le_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]]) as usize;
+            let need = len - (self.buf.len() - 8);
+            let take = need.min(rest.len());
+            self.buf.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            if self.buf.len() - 8 < len {
+                return Ok(());
+            }
+            let payload = self.buf.split_off(8);
+            self.buf.clear();
+            self.ready.push_back(payload);
+            if rest.is_empty() {
+                return Ok(());
+            }
+        }
+    }
+
+    fn fail(&mut self, reason: &'static str) -> MatchError {
+        self.failed = Some(reason);
+        self.buf = Vec::new(); // hostile bytes are dropped, not kept
+        MatchError::Frame(reason)
+    }
+
+    /// Pops the next fully reassembled frame payload, if any.
+    pub fn next_frame(&mut self) -> Option<Vec<u8>> {
+        self.ready.pop_front()
+    }
+
+    /// Bytes of the in-progress (incomplete) frame currently buffered.
+    /// Stays at most `8 + MAX_FRAME_BYTES` by construction, and stays
+    /// below 8 until a header has passed validation.
+    pub fn buffered_bytes(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+impl cm_reactor::FrameDecoder for FrameBuffer {
+    fn feed(&mut self, bytes: &[u8]) -> Result<(), &'static str> {
+        FrameBuffer::feed(self, bytes).map_err(|e| match e {
+            MatchError::Frame(reason) => reason,
+            _ => "invalid frame stream",
+        })
+    }
+
+    fn next_frame(&mut self) -> Option<Vec<u8>> {
+        FrameBuffer::next_frame(self)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Message encoding primitives
 // ---------------------------------------------------------------------------

@@ -1,0 +1,163 @@
+//! Property tests for [`cm_server::wire::FrameBuffer`]: incremental
+//! reassembly must be byte-for-byte equivalent to blocking
+//! [`read_frame`] no matter how the transport fragments the stream, and
+//! hostile headers must be rejected before any payload is buffered.
+
+use std::io::Cursor;
+
+use cm_server::wire::{frame_bytes, read_frame, FrameBuffer, MAX_FRAME_BYTES};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random bytes from a seed (splitmix64).
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Builds a valid wire stream of `count` frames with pseudo-random
+/// payload lengths (including empty payloads), returning the raw bytes
+/// and the expected payload sequence.
+fn frame_stream(seed: u64, count: usize) -> (Vec<u8>, Vec<Vec<u8>>) {
+    let mut state = seed;
+    let mut stream = Vec::new();
+    let mut expected = Vec::new();
+    for _ in 0..count {
+        let len = (mix(&mut state) % 97) as usize; // 0..=96, zero included
+        let payload: Vec<u8> = (0..len).map(|_| mix(&mut state) as u8).collect();
+        stream.extend_from_slice(&frame_bytes(&payload).unwrap());
+        expected.push(payload);
+    }
+    (stream, expected)
+}
+
+/// Reference decode: repeated blocking `read_frame` over the whole
+/// buffer.
+fn whole_buffer_frames(stream: &[u8]) -> Vec<Vec<u8>> {
+    let mut cursor = Cursor::new(stream);
+    let mut frames = Vec::new();
+    while let Some(frame) = read_frame(&mut cursor).unwrap() {
+        frames.push(frame);
+    }
+    frames
+}
+
+/// Feeds `chunks` into a fresh buffer and drains everything.
+fn fed_frames(chunks: &[&[u8]]) -> Vec<Vec<u8>> {
+    let mut buffer = FrameBuffer::new();
+    let mut frames = Vec::new();
+    for chunk in chunks {
+        buffer.feed(chunk).unwrap();
+        while let Some(frame) = buffer.next_frame() {
+            frames.push(frame);
+        }
+    }
+    frames
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Splitting a valid stream at EVERY byte boundary yields the same
+    /// frames as whole-buffer decoding.
+    #[test]
+    fn every_split_point_matches_whole_buffer_decode(seed in 0u64..u64::MAX) {
+        let (stream, expected) = frame_stream(seed, 1 + (seed % 5) as usize);
+        prop_assert_eq!(&whole_buffer_frames(&stream), &expected);
+        for split in 0..=stream.len() {
+            let (a, b) = stream.split_at(split);
+            prop_assert_eq!(&fed_frames(&[a, b]), &expected, "split at {}", split);
+        }
+    }
+
+    /// Byte-at-a-time dribble — the worst fragmentation a socket can
+    /// produce — still reassembles the exact frame sequence.
+    #[test]
+    fn byte_at_a_time_dribble_matches(seed in 0u64..u64::MAX) {
+        let (stream, expected) = frame_stream(seed, 1 + (seed % 4) as usize);
+        let chunks: Vec<&[u8]> = stream.chunks(1).collect();
+        prop_assert_eq!(&fed_frames(&chunks), &expected);
+    }
+
+    /// Random chunk sizes (mixed fragmentation) match too.
+    #[test]
+    fn random_chunking_matches(seed in 0u64..u64::MAX) {
+        let (stream, expected) = frame_stream(seed, 1 + (seed % 6) as usize);
+        let mut state = seed ^ 0xDEAD_BEEF;
+        let mut chunks = Vec::new();
+        let mut rest = &stream[..];
+        while !rest.is_empty() {
+            let take = 1 + (mix(&mut state) as usize % 13).min(rest.len() - 1);
+            let (a, b) = rest.split_at(take);
+            chunks.push(a);
+            rest = b;
+        }
+        prop_assert_eq!(&fed_frames(&chunks), &expected);
+    }
+}
+
+/// Regression: an oversized length prefix is rejected the moment the
+/// header completes — before a single payload byte is buffered — and
+/// the failure is sticky.
+#[test]
+fn oversized_length_prefix_is_rejected_before_buffering() {
+    let mut buffer = FrameBuffer::new();
+    let mut header = Vec::new();
+    header.extend_from_slice(b"CMS1");
+    header.extend_from_slice(&((MAX_FRAME_BYTES as u32) + 1).to_le_bytes());
+    let err = buffer.feed(&header).unwrap_err();
+    assert!(format!("{err}").contains("size cap"), "{err}");
+    // Nothing was buffered for the hostile frame, and nothing ever is:
+    // later feeds fail sticky without accumulating the declared payload.
+    assert_eq!(buffer.buffered_bytes(), 0);
+    assert!(buffer.feed(&[0u8; 1024]).is_err());
+    assert_eq!(buffer.buffered_bytes(), 0);
+    assert!(buffer.next_frame().is_none());
+}
+
+/// Regression: the header is validated even when it arrives one byte at
+/// a time, and payload bytes for an oversized declaration are never
+/// accepted.
+#[test]
+fn oversized_prefix_dribbled_is_still_rejected_at_header_completion() {
+    let mut buffer = FrameBuffer::new();
+    let mut header = Vec::new();
+    header.extend_from_slice(b"CMS1");
+    header.extend_from_slice(&u32::MAX.to_le_bytes());
+    for (i, byte) in header.iter().enumerate() {
+        let result = buffer.feed(&[*byte]);
+        if i < 7 {
+            assert!(result.is_ok(), "byte {i} completed no header");
+        } else {
+            assert!(result.is_err(), "full header must be rejected");
+        }
+    }
+    assert_eq!(buffer.buffered_bytes(), 0);
+}
+
+/// Bad magic is rejected identically to `read_frame`.
+#[test]
+fn bad_magic_is_rejected() {
+    let mut buffer = FrameBuffer::new();
+    let err = buffer.feed(b"BOGUS123").unwrap_err();
+    assert!(format!("{err}").contains("magic"), "{err}");
+    let whole = read_frame(&mut Cursor::new(b"BOGUS123".to_vec())).unwrap_err();
+    assert_eq!(format!("{err}"), format!("{whole}"));
+}
+
+/// Zero-length frames are emitted exactly at header completion — the
+/// edge a chunked feed loop is most likely to lose.
+#[test]
+fn zero_length_frames_are_emitted() {
+    let stream = [
+        frame_bytes(&[]).unwrap(),
+        frame_bytes(b"x").unwrap(),
+        frame_bytes(&[]).unwrap(),
+    ]
+    .concat();
+    let chunks: Vec<&[u8]> = stream.chunks(3).collect();
+    let frames = fed_frames(&chunks);
+    assert_eq!(frames, vec![Vec::new(), b"x".to_vec(), Vec::new()]);
+}

@@ -70,11 +70,12 @@ fn main() {
         .register("bob", cm_core::erase(bob, 22), &BOB_KEY, &bob_data)
         .unwrap();
 
-    // --- Serve (bounded connection pool, bounded memory budget) -------
+    // --- Serve (bounded sockets + in-flight work, bounded memory) -----
     let server = MatchServer::with_config(
         registry,
         ServerConfig {
-            max_connections: 8,
+            max_open_sockets: 1024,
+            max_inflight_frames: 8,
             memory_budget: Some(32 << 20),
         },
     )
@@ -82,7 +83,7 @@ fn main() {
     .spawn("127.0.0.1:0")
     .unwrap();
     let addr = server.addr();
-    println!("serving on {addr} (max 8 connections, 32 MiB hot budget)");
+    println!("serving on {addr} (1024 sockets, 8 in-flight frames, 32 MiB hot budget)");
 
     // --- Carla: provisioned entirely over the wire --------------------
     // The remote lifecycle: she builds her matcher locally, encrypts her

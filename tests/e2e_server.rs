@@ -19,7 +19,7 @@
 //! * two queries for the *same* tenant are in flight simultaneously
 //!   (a barrier inside a gated backend proves the overlap) — the
 //!   per-tenant matcher pool, not a per-tenant mutex;
-//! * connections past the configured `max_connections` cap receive a
+//! * connections past the configured `max_open_sockets` cap receive a
 //!   typed `ServerBusy` rejection instead of an unbounded thread spawn,
 //!   and a freed slot readmits new connections.
 
@@ -392,7 +392,7 @@ fn connections_past_the_cap_get_a_typed_busy_error() {
     let server = MatchServer::with_config(
         registry,
         ServerConfig {
-            max_connections: 1,
+            max_open_sockets: 1,
             ..ServerConfig::default()
         },
     )
