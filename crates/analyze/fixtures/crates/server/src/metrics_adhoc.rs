@@ -1,0 +1,6 @@
+//! Fixture: a metric registered under a raw string literal instead of a
+//! `metric_names::` constant — the `metric-names` rule must flag it.
+
+fn register(registry: &MetricsRegistry) {
+    let _ = registry.register_counter("cm_fixture_adhoc_total", &[]);
+}

@@ -1,0 +1,9 @@
+//! Fixture: a metric-name table with a duplicate exposition name — the
+//! `metric-names` rule must flag the collision.
+
+/// First claimant of the name.
+pub const FRAMES_SERVED: &str = "cm_fixture_frames_total";
+/// A different gauge, no collision.
+pub const HOT_BYTES: &str = "cm_fixture_hot_bytes";
+/// Collides with `FRAMES_SERVED` above.
+pub const FRAMES_ANSWERED: &str = "cm_fixture_frames_total";

@@ -58,6 +58,10 @@ pub const RULE_LOCK_ACROSS_SUBMIT: &str = "lock-across-submit";
 /// Rule: manifests must resolve crates shadowed by `shims/` as
 /// path/workspace dependencies, never by crates.io version.
 pub const RULE_SHIM_HYGIENE: &str = "shim-hygiene";
+/// Rule: the `metric_names` table in `cm_telemetry` is duplicate-free,
+/// and no `register_counter`/`register_gauge`/`register_histogram` call
+/// outside it passes a raw string literal as the metric name.
+pub const RULE_METRIC_NAMES: &str = "metric-names";
 
 /// Every rule this analyzer evaluates.
 pub const RULES: &[&str] = &[
@@ -67,6 +71,7 @@ pub const RULES: &[&str] = &[
     RULE_WIRE_TAGS,
     RULE_LOCK_ACROSS_SUBMIT,
     RULE_SHIM_HYGIENE,
+    RULE_METRIC_NAMES,
 ];
 
 /// The one module allowed to touch raw scoped/spawned threads.
@@ -80,6 +85,9 @@ const REACTOR_FILE: &str = "crates/reactor/src/reactor.rs";
 const SECRECY_FILE: &str = "crates/server/src/secrecy.rs";
 /// The wire codec whose tag registry [`RULE_WIRE_TAGS`] audits.
 const WIRE_FILE: &str = "crates/server/src/wire.rs";
+/// The metric-name table whose values [`RULE_METRIC_NAMES`] audits for
+/// duplicates — and the one place a metric-name string literal may live.
+const METRIC_NAMES_FILE: &str = "crates/telemetry/src/metric_names.rs";
 /// The no-panic serving surface: the dispatch layer…
 const SERVER_SRC: &str = "crates/server/src/";
 /// …and the reactor, which owns every socket — a panic there drops all
@@ -134,6 +142,17 @@ impl Report {
             .filter(|v| v.waived.is_some())
             .count()
     }
+}
+
+/// One constant parsed from the `metric_names` table in `cm_telemetry`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricNameConst {
+    /// The constant's name (`SERVER_REQUESTS`, …).
+    pub name: String,
+    /// The metric name the constant carries (`cm_server_requests_total`).
+    pub value: String,
+    /// Line the constant is declared on.
+    pub line: usize,
 }
 
 /// One constant parsed from the `mod tags` registry in `wire.rs`.
@@ -253,9 +272,15 @@ pub fn analyze_rust_source(rel_path: &str, source: &str) -> Vec<Violation> {
             rule_no_panic(rel_path, &tokens, &mask, &mut out);
         }
         rule_lock_across_submit(rel_path, &tokens, &mask, &mut out);
+        if rel_path != METRIC_NAMES_FILE {
+            rule_metric_names_adhoc(rel_path, &tokens, &mask, &mut out);
+        }
     }
     if rel_path == WIRE_FILE {
         rule_wire_tags(rel_path, &tokens, &mask, &mut out);
+    }
+    if rel_path == METRIC_NAMES_FILE {
+        rule_metric_names_table(rel_path, source, &mut out);
     }
     apply_waivers(&waivers, &mut out);
     out
@@ -600,6 +625,98 @@ fn rule_wire_tags(rel: &str, tokens: &[Token], mask: &[bool], out: &mut Vec<Viol
 }
 
 // ---------------------------------------------------------------------
+// Rule: metric-names
+// ---------------------------------------------------------------------
+
+/// Registration entry points whose first argument must be a
+/// `metric_names::` constant, never a raw string literal.
+const REGISTER_CALLS: &[&str] = &["register_counter", "register_gauge", "register_histogram"];
+
+/// Parses the `pub const NAME: &str = "value";` table out of
+/// `crates/telemetry/src/metric_names.rs` source. This works on the raw
+/// source (not the token stream) because the lexer deliberately drops
+/// string contents — here the string *is* the datum.
+pub fn metric_name_table(source: &str) -> Vec<MetricNameConst> {
+    let mut out = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line = raw.trim();
+        let Some(rest) = line
+            .strip_prefix("pub const ")
+            .or_else(|| line.strip_prefix("const "))
+        else {
+            continue;
+        };
+        let Some((name, rest)) = rest.split_once(':') else {
+            continue;
+        };
+        let Some((ty, value)) = rest.split_once('=') else {
+            continue;
+        };
+        if !ty.contains("str") {
+            continue;
+        }
+        let value = value.trim().trim_end_matches(';').trim_end();
+        let Some(value) = value.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
+            continue;
+        };
+        out.push(MetricNameConst {
+            name: name.trim().to_string(),
+            value: value.to_string(),
+            line: idx + 1,
+        });
+    }
+    out
+}
+
+/// Audits the metric-name table itself: two constants sharing one
+/// exposition name would silently merge two series.
+fn rule_metric_names_table(rel: &str, source: &str, out: &mut Vec<Violation>) {
+    let mut seen: HashMap<String, String> = HashMap::new();
+    for c in metric_name_table(source) {
+        if let Some(prev) = seen.insert(c.value.clone(), c.name.clone()) {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: c.line,
+                rule: RULE_METRIC_NAMES,
+                message: format!(
+                    "duplicate metric name: `{}` = \"{}\" collides with `{}` — two \
+                     constants exposing one series name merge silently in the exposition",
+                    c.name, c.value, prev
+                ),
+                waived: None,
+            });
+        }
+    }
+}
+
+/// Flags `register_counter("raw literal", …)`-style calls outside the
+/// table module: a metric name that is not a `metric_names::` constant
+/// is invisible to the catalog and to this lint's duplicate check.
+fn rule_metric_names_adhoc(rel: &str, tokens: &[Token], mask: &[bool], out: &mut Vec<Violation>) {
+    for i in 0..tokens.len().saturating_sub(2) {
+        if tokens[i].kind == TokenKind::Ident
+            && REGISTER_CALLS.contains(&tokens[i].text.as_str())
+            && !mask[i]
+            && is_punct(&tokens[i + 1], "(")
+            && tokens[i + 2].kind == TokenKind::Str
+        {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: tokens[i + 2].line,
+                rule: RULE_METRIC_NAMES,
+                message: format!(
+                    "raw string literal passed to `{}` — register metric names through \
+                     the `cm_telemetry::metric_names` table so the catalog stays \
+                     collision-checked and greppable",
+                    tokens[i].text
+                ),
+                waived: None,
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Rule: lock-across-submit
 // ---------------------------------------------------------------------
 
@@ -935,6 +1052,60 @@ impl Request {
         assert_eq!(table.len(), 2);
         assert_eq!(table[0].family, "REQ");
         assert_eq!(table[1].value, 7);
+    }
+
+    #[test]
+    fn metric_name_table_parses_consts_only() {
+        let src = "\
+//! Table docs.
+pub const SERVER_REQUESTS: &str = \"cm_server_requests_total\";
+/// Docs.
+pub const HOT_BYTES: &str = \"cm_registry_hot_bytes\";
+pub const NOT_A_NAME: u8 = 7;
+";
+        let table = metric_name_table(src);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table[0].name, "SERVER_REQUESTS");
+        assert_eq!(table[0].value, "cm_server_requests_total");
+        assert_eq!(table[0].line, 2);
+        assert_eq!(table[1].value, "cm_registry_hot_bytes");
+    }
+
+    #[test]
+    fn metric_names_catches_duplicates_in_the_table() {
+        let src = "\
+pub const A: &str = \"cm_x_total\";
+pub const B: &str = \"cm_y_total\";
+pub const C: &str = \"cm_x_total\";
+";
+        let found = analyze_rust_source(super::METRIC_NAMES_FILE, src);
+        assert_eq!(rules_fired(&found), [RULE_METRIC_NAMES]);
+        assert!(found[0].message.contains("duplicate metric name"));
+        assert_eq!(found[0].line, 3);
+        // A duplicate-free table is clean.
+        let clean = "pub const A: &str = \"cm_x_total\";\npub const B: &str = \"cm_y_total\";\n";
+        assert!(analyze_rust_source(super::METRIC_NAMES_FILE, clean).is_empty());
+    }
+
+    #[test]
+    fn metric_names_flags_adhoc_literals_outside_the_table() {
+        let adhoc = "fn f(r: &MetricsRegistry) { r.register_counter(\"cm_adhoc_total\", &[]); }";
+        assert_eq!(
+            rules_fired(&analyze_rust_source("crates/core/src/x.rs", adhoc)),
+            [RULE_METRIC_NAMES]
+        );
+        // Registration through the table is the blessed form.
+        let blessed =
+            "fn f(r: &MetricsRegistry) { r.register_gauge(metric_names::HOT_BYTES, &[]); }";
+        assert!(analyze_rust_source("crates/core/src/x.rs", blessed).is_empty());
+        // Label literals in the second argument are fine.
+        let labels = "fn f(r: &MetricsRegistry) { \
+             r.register_histogram(metric_names::LATENCY, &[(\"tag\", tag)]); }";
+        assert!(analyze_rust_source("crates/core/src/x.rs", labels).is_empty());
+        // Test code and test trees are exempt, like every lexical rule.
+        let gated = "#[cfg(test)]\nmod tests { fn f() { r.register_counter(\"cm_t\", &[]); } }";
+        assert!(analyze_rust_source("crates/core/src/x.rs", gated).is_empty());
+        assert!(analyze_rust_source("crates/core/tests/x.rs", adhoc).is_empty());
     }
 
     #[test]

@@ -7,7 +7,7 @@ use std::path::PathBuf;
 
 use cm_analyze::{
     analyze_root, Report, RULES, RULE_CT_SECRECY, RULE_EXEC_THREADS, RULE_LOCK_ACROSS_SUBMIT,
-    RULE_NO_PANIC, RULE_SHIM_HYGIENE, RULE_WIRE_TAGS,
+    RULE_METRIC_NAMES, RULE_NO_PANIC, RULE_SHIM_HYGIENE, RULE_WIRE_TAGS,
 };
 
 fn fixtures_root() -> PathBuf {
@@ -67,6 +67,13 @@ fn fixture_violations_carry_file_and_line() {
         "crates/core/src/lock_submit.rs"
     ));
     assert!(has(RULE_SHIM_HYGIENE, "crates/server/Cargo.toml"));
+    // Both halves of the metric-names rule: the duplicate in the table…
+    assert!(has(
+        RULE_METRIC_NAMES,
+        "crates/telemetry/src/metric_names.rs"
+    ));
+    // …and the ad-hoc string literal outside it.
+    assert!(has(RULE_METRIC_NAMES, "crates/server/src/metrics_adhoc.rs"));
 }
 
 #[test]
@@ -103,6 +110,33 @@ fn the_real_workspace_is_clean() {
         "workspace has unwaived violations:\n{}",
         offending.join("\n")
     );
+}
+
+#[test]
+fn the_real_metric_name_table_parses_and_is_consistent() {
+    let src =
+        std::fs::read_to_string(workspace_root().join("crates/telemetry/src/metric_names.rs"))
+            .expect("metric_names.rs is readable");
+    let table = cm_analyze::metric_name_table(&src);
+    assert!(
+        table.len() >= 20,
+        "expected the full metric catalog, parsed {} constants",
+        table.len()
+    );
+    for c in &table {
+        assert!(
+            c.value.starts_with("cm_"),
+            "metric `{}` = \"{}\" breaks the `cm_<layer>_<what>` convention",
+            c.name,
+            c.value
+        );
+        assert_eq!(
+            table.iter().filter(|o| o.value == c.value).count(),
+            1,
+            "metric name \"{}\" appears more than once",
+            c.value
+        );
+    }
 }
 
 #[test]

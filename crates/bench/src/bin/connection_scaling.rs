@@ -110,6 +110,7 @@ fn main() {
             max_open_sockets: 4096,
             max_inflight_frames: 64,
             memory_budget: None,
+            ..ServerConfig::default()
         },
     )
     .expect("config")

@@ -54,8 +54,9 @@ pub enum MatchError {
     /// typed error instead of growing past the bound.
     ServerBusy {
         /// The admission cap the server enforced (whichever of the two
-        /// was exceeded). The field keeps its original wire-stable name.
-        max_connections: usize,
+        /// was exceeded). Renamed from `max_connections`; the wire slot
+        /// is positional, so old peers decode it unchanged.
+        max_open_sockets: usize,
     },
     /// A wire frame or message violated the protocol framing rules.
     Frame(&'static str),
@@ -120,9 +121,9 @@ impl std::fmt::Display for MatchError {
             ),
             MatchError::UnknownBackend(name) => write!(f, "unknown backend name {name:?}"),
             MatchError::UnknownTenant(id) => write!(f, "unknown tenant {id:?}"),
-            MatchError::ServerBusy { max_connections } => write!(
+            MatchError::ServerBusy { max_open_sockets } => write!(
                 f,
-                "server is at its admission cap of {max_connections}; retry later"
+                "server is at its admission cap of {max_open_sockets}; retry later"
             ),
             MatchError::Frame(what) => write!(f, "malformed wire frame: {what}"),
             MatchError::Transport(what) => write!(f, "transport failure: {what}"),

@@ -29,10 +29,42 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use cm_telemetry::{metric_names, Counter, Gauge, Histogram, MetricsRegistry};
+
 use crate::api::{ErasedMatcher, MatchError, MatchStats};
 
 /// A type-erased unit of work.
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The telemetry handles one [`WorkerPool`] records into. The default is
+/// all no-ops; [`PoolMetrics::register`] wires a pool into a live
+/// [`MetricsRegistry`] under a `pool` label.
+#[derive(Debug, Clone, Default)]
+pub struct PoolMetrics {
+    /// Jobs enqueued and not yet picked up by a worker.
+    pub queue_depth: Gauge,
+    /// Submit → dequeue wait per job, µs.
+    pub queue_wait: Histogram,
+    /// Worker-side execution time per job, µs.
+    pub run_time: Histogram,
+    /// Jobs whose closure panicked on a worker.
+    pub panics: Counter,
+}
+
+impl PoolMetrics {
+    /// Registers the pool's four metrics in `registry`, labeling each
+    /// with `pool` so several pools (frame pump, shard executors, bench
+    /// clients) stay distinguishable in one exposition.
+    pub fn register(registry: &MetricsRegistry, pool: &str) -> Self {
+        let labels = [("pool", pool)];
+        Self {
+            queue_depth: registry.register_gauge(metric_names::EXEC_QUEUE_DEPTH, &labels),
+            queue_wait: registry.register_histogram(metric_names::EXEC_QUEUE_WAIT_US, &labels),
+            run_time: registry.register_histogram(metric_names::EXEC_RUN_TIME_US, &labels),
+            panics: registry.register_counter(metric_names::EXEC_WORKER_PANICS, &labels),
+        }
+    }
+}
 
 /// Locks a mutex, riding through poisoning: the pool's internal critical
 /// sections never panic, but a poisoned lock must not cascade into every
@@ -227,6 +259,7 @@ struct Queue {
 pub struct WorkerPool {
     queue: Arc<Queue>,
     workers: Vec<JoinHandle<()>>,
+    metrics: PoolMetrics,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -263,7 +296,14 @@ impl WorkerPool {
         Ok(Self {
             queue,
             workers: handles,
+            metrics: PoolMetrics::default(),
         })
+    }
+
+    /// Installs telemetry handles for this pool (call before sharing the
+    /// pool; handles registered later see only subsequent jobs).
+    pub fn set_metrics(&mut self, metrics: PoolMetrics) {
+        self.metrics = metrics;
     }
 
     /// Number of worker threads.
@@ -286,17 +326,25 @@ impl WorkerPool {
     {
         let slot = Arc::new(Slot::new());
         let fill = Arc::clone(&slot);
+        let metrics = self.metrics.clone();
+        let enqueued = Instant::now();
         let run: Job = Box::new(move || {
-            match catch_unwind(AssertUnwindSafe(job)) {
+            metrics.queue_wait.record_micros(enqueued.elapsed());
+            metrics.queue_depth.add(-1);
+            let running = Instant::now();
+            let result = catch_unwind(AssertUnwindSafe(job));
+            // Record before filling the slot so a snapshot taken right
+            // after `wait` returns already sees this job.
+            metrics.run_time.record_micros(running.elapsed());
+            match result {
                 Ok(value) => fill.fill(SlotState::Done(value)),
-                Err(_) => fill.fill(SlotState::Panicked),
-            };
+                Err(_) => {
+                    metrics.panics.inc();
+                    fill.fill(SlotState::Panicked);
+                }
+            }
         });
-        {
-            let mut guard = lock_unpoisoned(&self.queue.jobs);
-            guard.0.push_back(run);
-        }
-        self.queue.cv.notify_one();
+        self.enqueue(run);
         CompletionHandle { slot }
     }
 
@@ -313,11 +361,26 @@ impl WorkerPool {
         F: FnOnce() -> T + Send + 'static,
         N: FnOnce(Result<T, MatchError>) + Send + 'static,
     {
+        let metrics = self.metrics.clone();
+        let enqueued = Instant::now();
         let run: Job = Box::new(move || {
+            metrics.queue_wait.record_micros(enqueued.elapsed());
+            metrics.queue_depth.add(-1);
+            let running = Instant::now();
             let result =
                 catch_unwind(AssertUnwindSafe(job)).map_err(|_| MatchError::WorkerPanicked);
+            metrics.run_time.record_micros(running.elapsed());
+            if result.is_err() {
+                metrics.panics.inc();
+            }
             let _ = catch_unwind(AssertUnwindSafe(move || notify(result)));
         });
+        self.enqueue(run);
+    }
+
+    /// Enqueues a wrapped job and wakes one worker.
+    fn enqueue(&self, run: Job) {
+        self.metrics.queue_depth.add(1);
         {
             let mut guard = lock_unpoisoned(&self.queue.jobs);
             guard.0.push_back(run);
@@ -637,6 +700,36 @@ mod tests {
         assert_eq!(outcome.result, "done");
         assert_eq!(outcome.stats.hom_adds, 5);
         assert!(outcome.elapsed >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn pool_metrics_count_jobs_waits_and_panics() {
+        let registry = MetricsRegistry::new();
+        let mut pool = WorkerPool::new(1).unwrap();
+        pool.set_metrics(PoolMetrics::register(&registry, "test"));
+        let labels = [("pool", "test")];
+        let bad = pool.submit(|| panic!("job dies"));
+        let good = pool.submit(|| 1usize);
+        assert_eq!(bad.wait(), Err(MatchError::WorkerPanicked));
+        assert_eq!(good.wait(), Ok(1));
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter(metric_names::EXEC_WORKER_PANICS, &labels),
+            Some(1)
+        );
+        let waits = snap
+            .histogram(metric_names::EXEC_QUEUE_WAIT_US, &labels)
+            .unwrap();
+        assert_eq!(waits.count, 2, "both jobs crossed the queue");
+        let runs = snap
+            .histogram(metric_names::EXEC_RUN_TIME_US, &labels)
+            .unwrap();
+        assert_eq!(runs.count, 2, "run time recorded even for a panic");
+        assert_eq!(
+            snap.gauge(metric_names::EXEC_QUEUE_DEPTH, &labels),
+            Some(0),
+            "depth returns to zero once drained"
+        );
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub use api::{
 pub use bits::BitString;
 pub use exec::{
     fan_out, join_all, wait_all, CompletionHandle, ExecOutcome, MatcherGuard, MatcherPool,
-    WorkerPool,
+    PoolMetrics, WorkerPool,
 };
 pub use index_gen::{generate_indices, SumTable};
 pub use matchers::batched::{BatchedDatabase, BatchedEngine};

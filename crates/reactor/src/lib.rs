@@ -12,9 +12,14 @@
 //! [`ReactorConfig::max_buffered_write`] is closed with a typed
 //! [`CloseReason::WriteOverflow`].
 //!
-//! The crate has no dependencies: the epoll shim in [`sys`] declares
-//! the handful of needed C symbols directly (`std` already links the C
-//! library), honoring the workspace's offline-build constraint.
+//! The crate has no external dependencies (only the equally
+//! dependency-free `cm_telemetry` for its event-loop metrics): the
+//! epoll shim in [`sys`] declares the handful of needed C symbols
+//! directly (`std` already links the C library), honoring the
+//! workspace's offline-build constraint. Passing a
+//! [`ReactorMetrics::register`]ed handle set in [`ReactorConfig`]
+//! turns on epoll-wait/bytes/frames/close accounting; the default
+//! handles are no-ops.
 //!
 //! Idle connections cost one fd and a small decoder buffer — no
 //! thread, no pool slot. Admission is split accordingly: the reactor
@@ -30,5 +35,6 @@ pub mod sys;
 mod reactor;
 
 pub use reactor::{
-    CloseReason, ConnId, Events, FrameDecoder, Reactor, ReactorConfig, ReactorHandle, ReactorThread,
+    CloseCounters, CloseReason, ConnId, Events, FrameDecoder, Reactor, ReactorConfig,
+    ReactorHandle, ReactorMetrics, ReactorThread,
 };

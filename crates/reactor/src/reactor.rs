@@ -8,6 +8,9 @@ use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use cm_telemetry::{metric_names, Counter, Gauge, Histogram, MetricsRegistry};
 
 use crate::sys::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
 
@@ -111,6 +114,86 @@ pub trait Events: Send + 'static {
     fn on_close(&mut self, _conn: ConnId, _reason: CloseReason) {}
 }
 
+/// Per-[`CloseReason`] close counters, all sharing one metric name
+/// under a `reason` label.
+#[derive(Debug, Clone, Default)]
+pub struct CloseCounters {
+    peer_closed: Counter,
+    violation: Counter,
+    write_overflow: Counter,
+    io: Counter,
+    shutdown: Counter,
+    requested: Counter,
+}
+
+impl CloseCounters {
+    fn register(registry: &MetricsRegistry) -> Self {
+        let closes =
+            |reason| registry.register_counter(metric_names::REACTOR_CLOSES, &[("reason", reason)]);
+        Self {
+            peer_closed: closes("peer_closed"),
+            violation: closes("violation"),
+            write_overflow: closes("write_overflow"),
+            io: closes("io"),
+            shutdown: closes("shutdown"),
+            requested: closes("requested"),
+        }
+    }
+
+    fn count(&self, reason: CloseReason) {
+        match reason {
+            CloseReason::PeerClosed => self.peer_closed.inc(),
+            CloseReason::Violation(_) => self.violation.inc(),
+            CloseReason::WriteOverflow => self.write_overflow.inc(),
+            CloseReason::Io => self.io.inc(),
+            CloseReason::Shutdown => self.shutdown.inc(),
+            CloseReason::Requested => self.requested.inc(),
+        }
+    }
+}
+
+/// The telemetry handles the event loop records into. The default is
+/// all no-ops, so a reactor without a registry pays only a `None`
+/// branch per record; [`ReactorMetrics::register`] wires a loop into a
+/// live [`MetricsRegistry`].
+#[derive(Debug, Clone, Default)]
+pub struct ReactorMetrics {
+    /// Time the reactor thread spent blocked in `epoll_wait`, µs.
+    pub epoll_wait: Histogram,
+    /// Complete frames reassembled across all connections.
+    pub frames_assembled: Counter,
+    /// Payload bytes read off connection sockets.
+    pub bytes_in: Counter,
+    /// Bytes written to connection sockets (partial writes included).
+    pub bytes_out: Counter,
+    /// Bytes currently queued for write across all connections.
+    pub write_queue_bytes: Gauge,
+    /// Connections accepted and admitted.
+    pub accepts: Counter,
+    /// Connections rejected at [`ReactorConfig::max_open_sockets`].
+    pub rejects: Counter,
+    /// Closes, by [`CloseReason`].
+    pub closes: CloseCounters,
+}
+
+impl ReactorMetrics {
+    /// Registers every event-loop metric in `registry`.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        Self {
+            epoll_wait: registry.register_histogram(metric_names::REACTOR_EPOLL_WAIT_US, &[]),
+            frames_assembled: registry
+                .register_counter(metric_names::REACTOR_FRAMES_ASSEMBLED, &[]),
+            bytes_in: registry.register_counter(metric_names::REACTOR_BYTES_IN, &[]),
+            bytes_out: registry.register_counter(metric_names::REACTOR_BYTES_OUT, &[]),
+            write_queue_bytes: registry
+                .register_gauge(metric_names::REACTOR_WRITE_QUEUE_BYTES, &[]),
+            accepts: registry.register_counter(metric_names::REACTOR_ACCEPTS, &[]),
+            rejects: registry.register_counter(metric_names::REACTOR_REJECTS, &[]),
+            closes: CloseCounters::register(registry),
+        }
+    }
+}
+
 /// Reactor knobs.
 #[derive(Clone, Debug)]
 pub struct ReactorConfig {
@@ -123,6 +206,9 @@ pub struct ReactorConfig {
     /// [`CloseReason::WriteOverflow`] — backpressure against a peer
     /// that requests faster than it reads.
     pub max_buffered_write: usize,
+    /// Telemetry handles the event loop records into (no-ops by
+    /// default).
+    pub metrics: ReactorMetrics,
 }
 
 impl Default for ReactorConfig {
@@ -130,6 +216,7 @@ impl Default for ReactorConfig {
         Self {
             max_open_sockets: 4096,
             max_buffered_write: 8 * 1024 * 1024,
+            metrics: ReactorMetrics::default(),
         }
     }
 }
@@ -432,10 +519,15 @@ impl<E: Events> Driver<E> {
                 -1
             };
             accept_backoff = false;
+            let parked = Instant::now();
             let ready = match self.epoll.wait(&mut batch, timeout) {
                 Ok(n) => n,
                 Err(_) => break, // EINTR is retried inside; anything else is fatal
             };
+            self.config
+                .metrics
+                .epoll_wait
+                .record_micros(parked.elapsed());
             for event in batch.iter().take(ready) {
                 // Copy out of the (possibly packed) record before use.
                 let (mask, token) = (event.events, event.data);
@@ -505,6 +597,7 @@ impl<E: Events> Driver<E> {
             if let Some(farewell) = self.events.on_reject() {
                 let _ = stream.write_all(&farewell);
             }
+            self.config.metrics.rejects.inc();
             return;
         }
         if stream.set_nonblocking(true).is_err() {
@@ -531,6 +624,7 @@ impl<E: Events> Driver<E> {
             },
         );
         self.shared.open_sockets.fetch_add(1, Ordering::SeqCst);
+        self.config.metrics.accepts.inc();
         self.events.on_open(conn);
     }
 
@@ -573,6 +667,7 @@ impl<E: Events> Driver<E> {
                     }
                     Ok(n) => match state.decoder.feed(&scratch[..n]) {
                         Ok(()) => {
+                            self.config.metrics.bytes_in.add(n as u64);
                             while let Some(frame) = state.decoder.next_frame() {
                                 frames.push(frame);
                             }
@@ -593,6 +688,10 @@ impl<E: Events> Driver<E> {
             outcome
         };
         // Deliver complete frames decoded before any terminal event.
+        self.config
+            .metrics
+            .frames_assembled
+            .add(frames.len() as u64);
         for frame in frames {
             self.events.on_frame(conn, frame);
         }
@@ -640,6 +739,10 @@ impl<E: Events> Driver<E> {
                 true
             } else {
                 state.out_bytes += bytes.len();
+                self.config
+                    .metrics
+                    .write_queue_bytes
+                    .add(bytes.len() as i64);
                 state.out.push_back(bytes);
                 false
             }
@@ -674,6 +777,8 @@ impl<E: Events> Driver<E> {
                         Ok(n) => {
                             state.out_head += n;
                             state.out_bytes -= n;
+                            self.config.metrics.bytes_out.add(n as u64);
+                            self.config.metrics.write_queue_bytes.add(-(n as i64));
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => break 'queue,
                         Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
@@ -715,8 +820,14 @@ impl<E: Events> Driver<E> {
             return;
         };
         let _ = self.epoll.remove(state.stream.as_raw_fd());
+        // Queued-but-unwritten bytes die with the connection.
+        self.config
+            .metrics
+            .write_queue_bytes
+            .add(-(state.out_bytes as i64));
         drop(state); // closes the socket
         self.shared.open_sockets.fetch_sub(1, Ordering::SeqCst);
+        self.config.metrics.closes.count(reason);
         self.events.on_close(conn, reason);
     }
 }
@@ -832,6 +943,58 @@ mod tests {
         stream.write_all(&[2, b'h', b'i']).unwrap();
         assert_eq!(read_reply(&mut stream), b"hi");
         thread.shutdown();
+    }
+
+    #[test]
+    fn metrics_count_accepts_frames_bytes_and_closes() {
+        let registry = MetricsRegistry::new();
+        let (thread, addr, _events) = start(ReactorConfig {
+            max_open_sockets: 1,
+            metrics: ReactorMetrics::register(&registry),
+            ..ReactorConfig::default()
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream
+            .write_all(&[5, b'h', b'e', b'l', b'l', b'o'])
+            .unwrap();
+        assert_eq!(read_reply(&mut stream), b"hello");
+        // A second socket is rejected at the cap of one.
+        let mut second = TcpStream::connect(addr).unwrap();
+        second
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        assert_eq!(read_reply(&mut second), b"busy");
+        // Joining the reactor thread makes every counter final.
+        thread.shutdown();
+        let snap = registry.snapshot();
+        use cm_telemetry::metric_names as names;
+        assert_eq!(snap.counter(names::REACTOR_ACCEPTS, &[]), Some(1));
+        assert_eq!(snap.counter(names::REACTOR_REJECTS, &[]), Some(1));
+        assert_eq!(snap.counter(names::REACTOR_FRAMES_ASSEMBLED, &[]), Some(1));
+        assert_eq!(snap.counter(names::REACTOR_BYTES_IN, &[]), Some(6));
+        assert_eq!(
+            snap.counter(names::REACTOR_BYTES_OUT, &[]),
+            Some(6),
+            "echo reply: length byte + payload (the reject farewell is \
+             written pre-admission and not counted)"
+        );
+        assert_eq!(
+            snap.counter(names::REACTOR_CLOSES, &[("reason", "shutdown")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.gauge(names::REACTOR_WRITE_QUEUE_BYTES, &[]),
+            Some(0),
+            "queued bytes all flushed or released on close"
+        );
+        assert!(
+            snap.histogram(names::REACTOR_EPOLL_WAIT_US, &[])
+                .is_some_and(|h| h.count > 0),
+            "the loop waited at least once"
+        );
     }
 
     #[test]

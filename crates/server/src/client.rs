@@ -293,6 +293,24 @@ impl MatchClient {
         }
     }
 
+    /// Reads the server's full telemetry snapshot — every counter,
+    /// gauge, and histogram from the reactor event loop down to the
+    /// shard executor (see `cm_telemetry::metric_names` for the
+    /// catalog). Render it with
+    /// [`cm_telemetry::MetricsSnapshot::render_text`] or query single
+    /// series with its `counter`/`gauge`/`histogram` accessors.
+    ///
+    /// # Errors
+    ///
+    /// Transport/framing errors, or the server's reported [`MatchError`].
+    pub fn metrics(&mut self) -> Result<cm_telemetry::MetricsSnapshot, MatchError> {
+        match self.roundtrip(&Request::Metrics)? {
+            Response::Metrics(snapshot) => Ok(snapshot),
+            Response::Error(e) => Err(e),
+            _ => Err(MatchError::Frame("unexpected response kind")),
+        }
+    }
+
     /// Reads a tenant database's lifecycle state (tier, accounting
     /// charge, pinning, lifetime query count).
     ///

@@ -94,6 +94,8 @@ pub mod shard;
 pub mod tenant;
 pub mod wire;
 
+mod telemetry;
+
 pub use client::{MatchClient, MatchReply, TenantAccess};
 pub use executor::{SearchHandle, ShardExecutor, ShardOutcome};
 pub use ifp::{IfpDatabase, IfpMatcher};

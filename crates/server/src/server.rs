@@ -34,9 +34,13 @@ use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
-use cm_core::{Backend, MatchError, WorkerPool};
-use cm_reactor::{ConnId, Events, Reactor, ReactorConfig, ReactorHandle, ReactorThread};
+use cm_core::{Backend, MatchError, PoolMetrics, WorkerPool};
+use cm_reactor::{
+    ConnId, Events, Reactor, ReactorConfig, ReactorHandle, ReactorMetrics, ReactorThread,
+};
+use cm_telemetry::{MetricsRegistry, Stage, Trace};
 
+use crate::telemetry::{tag_index, ServerTelemetry, TAG_INVALID};
 use crate::tenant::TenantRegistry;
 use crate::wire::{
     frame_bytes, FrameBuffer, Request, Response, TenantSpec, UploadAuth, UploadPhase,
@@ -61,6 +65,18 @@ pub struct ServerConfig {
     /// unpinned remote tenants to the cold tier; see
     /// [`TenantRegistry::set_memory_budget`].
     pub memory_budget: Option<u64>,
+    /// Emit a structured `slow_query` line on stderr for every request
+    /// whose end-to-end latency (admitted → replied) reaches this many
+    /// microseconds (`None` = never). The line carries the request id,
+    /// tag, tenant, and per-stage timings, so queue wait and serve time
+    /// are separable at a glance.
+    pub slow_query_micros: Option<u64>,
+    /// Whether the server records telemetry (the default). With `false`
+    /// every metric handle is a no-op, [`Request::Metrics`] answers with
+    /// an empty snapshot, and the serving path pays only dead atomics —
+    /// the configuration the `telemetry_overhead` bench compares
+    /// against.
+    pub telemetry: bool,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +85,8 @@ impl Default for ServerConfig {
             max_open_sockets: 4096,
             max_inflight_frames: 64,
             memory_budget: None,
+            slow_query_micros: None,
+            telemetry: true,
         }
     }
 }
@@ -77,11 +95,13 @@ impl ServerConfig {
     /// The reactor knobs this config implies: the socket cap plus a
     /// write buffer large enough for one maximum reply frame (header
     /// included) with room to spare — a peer that stops reading while
-    /// more than that queues is closed as overloaded.
-    fn reactor(&self) -> ReactorConfig {
+    /// more than that queues is closed as overloaded. Event-loop
+    /// metrics register into the server's shared `metrics` registry.
+    fn reactor(&self, metrics: &MetricsRegistry) -> ReactorConfig {
         ReactorConfig {
             max_open_sockets: self.max_open_sockets,
             max_buffered_write: MAX_FRAME_BYTES + (64 << 10),
+            metrics: ReactorMetrics::register(metrics),
         }
     }
 }
@@ -91,16 +111,14 @@ impl ServerConfig {
 pub struct MatchServer {
     registry: Arc<TenantRegistry>,
     config: ServerConfig,
+    telemetry: Arc<ServerTelemetry>,
 }
 
 impl MatchServer {
     /// Wraps a fully provisioned registry with the default
     /// [`ServerConfig`].
     pub fn new(registry: TenantRegistry) -> Self {
-        Self {
-            registry: Arc::new(registry),
-            config: ServerConfig::default(),
-        }
+        Self::assemble(registry, ServerConfig::default())
     }
 
     /// Wraps a registry with explicit front-end knobs.
@@ -122,10 +140,23 @@ impl MatchServer {
         if let Some(budget) = config.memory_budget {
             registry.set_memory_budget(Some(budget));
         }
-        Ok(Self {
+        Ok(Self::assemble(registry, config))
+    }
+
+    fn assemble(registry: TenantRegistry, config: ServerConfig) -> Self {
+        let telemetry = Arc::new(ServerTelemetry::new(
+            config.telemetry,
+            config.slow_query_micros,
+        ));
+        // The registry's lifecycle metrics (demotions,
+        // re-materializations, hot-tier occupancy) join the same
+        // exposition as the front-end's.
+        registry.install_telemetry(telemetry.registry());
+        Self {
             registry: Arc::new(registry),
             config,
-        })
+            telemetry,
+        }
     }
 
     /// The registry this server dispatches to.
@@ -144,10 +175,12 @@ impl MatchServer {
     pub fn spawn<A: ToSocketAddrs>(self, addr: A) -> Result<RunningServer, MatchError> {
         let listener =
             TcpListener::bind(addr).map_err(|e| MatchError::Transport(format!("bind: {e}")))?;
-        let reactor = Reactor::from_listener(listener, self.config.reactor())
-            .map_err(|e| MatchError::Transport(format!("reactor: {e}")))?;
+        let reactor =
+            Reactor::from_listener(listener, self.config.reactor(self.telemetry.registry()))
+                .map_err(|e| MatchError::Transport(format!("reactor: {e}")))?;
         let addr = reactor.local_addr();
-        let pool = Arc::new(WorkerPool::new(self.config.max_inflight_frames)?);
+        let pool = Arc::new(self.frame_pool()?);
+        let telemetry = Arc::clone(&self.telemetry);
         let front = FrontEnd::new(&self, reactor.handle(), Arc::clone(&pool));
         let reactor = reactor
             .spawn(front)
@@ -156,6 +189,7 @@ impl MatchServer {
             addr,
             reactor: Some(reactor),
             pool: Some(pool),
+            telemetry,
         })
     }
 
@@ -165,14 +199,24 @@ impl MatchServer {
         let Ok(listener) = listener.try_clone() else {
             return;
         };
-        let Ok(reactor) = Reactor::from_listener(listener, self.config.reactor()) else {
+        let Ok(reactor) =
+            Reactor::from_listener(listener, self.config.reactor(self.telemetry.registry()))
+        else {
             return;
         };
-        let Ok(pool) = WorkerPool::new(self.config.max_inflight_frames).map(Arc::new) else {
+        let Ok(pool) = self.frame_pool().map(Arc::new) else {
             return; // zero cap is rejected in with_config; defensive only
         };
         let front = FrontEnd::new(&self, reactor.handle(), Arc::clone(&pool));
         reactor.run(front);
+    }
+
+    /// Builds the frame pool with its queue-depth/wait/run-time metrics
+    /// installed before any handle is shared.
+    fn frame_pool(&self) -> Result<WorkerPool, MatchError> {
+        let mut pool = WorkerPool::new(self.config.max_inflight_frames)?;
+        pool.set_metrics(PoolMetrics::register(self.telemetry.registry(), "frames"));
+        Ok(pool)
     }
 }
 
@@ -181,7 +225,7 @@ impl MatchServer {
 fn busy_frame(cap: usize) -> Option<Vec<u8>> {
     frame_bytes(
         &Response::Error(MatchError::ServerBusy {
-            max_connections: cap,
+            max_open_sockets: cap,
         })
         .encode(),
     )
@@ -193,9 +237,10 @@ fn busy_frame(cap: usize) -> Option<Vec<u8>> {
 struct ConnState {
     /// Whether a pump job for this connection is live on the pool.
     busy: bool,
-    /// Admitted request frames awaiting the pump, oldest first. Each
-    /// counts against the in-flight cap until answered.
-    queued: VecDeque<Vec<u8>>,
+    /// Admitted request frames awaiting the pump, oldest first, each
+    /// with the [`Trace`] minted at admission. Each counts against the
+    /// in-flight cap until answered.
+    queued: VecDeque<(Vec<u8>, Trace)>,
     /// The connection's chunked-upload session, if one is in progress.
     /// Parked here between pump runs — upload affinity is to the
     /// *connection*, and its frames are processed serially.
@@ -222,6 +267,7 @@ struct PumpCtx {
     handle: ReactorHandle,
     table: Arc<Mutex<HashMap<ConnId, ConnState>>>,
     inflight: Arc<AtomicUsize>,
+    telemetry: Arc<ServerTelemetry>,
 }
 
 /// The reactor-facing application: admission, frame queues, dispatch.
@@ -237,6 +283,7 @@ struct FrontEnd {
     inflight: Arc<AtomicUsize>,
     max_inflight: usize,
     max_open_sockets: usize,
+    telemetry: Arc<ServerTelemetry>,
 }
 
 impl FrontEnd {
@@ -253,6 +300,7 @@ impl FrontEnd {
             inflight: Arc::new(AtomicUsize::new(0)),
             max_inflight: server.config.max_inflight_frames,
             max_open_sockets: server.config.max_open_sockets,
+            telemetry: Arc::clone(&server.telemetry),
         }
     }
 
@@ -267,14 +315,17 @@ impl FrontEnd {
             handle: self.handle.clone(),
             table: Arc::clone(&self.table),
             inflight: Arc::clone(&self.inflight),
+            telemetry: Arc::clone(&self.telemetry),
         };
         let inflight = Arc::clone(&self.inflight);
         let handle = self.handle.clone();
+        let telemetry = Arc::clone(&self.telemetry);
         self.pool.submit_notify(
             move || run_pump(&ctx, conn),
             move |result| {
                 if result.is_err() {
                     inflight.fetch_sub(1, Ordering::SeqCst);
+                    telemetry.inflight_add(-1);
                     handle.close(conn);
                 }
             },
@@ -294,6 +345,9 @@ impl Events for FrontEnd {
     }
 
     fn on_frame(&mut self, conn: ConnId, frame: Vec<u8>) {
+        // The trace starts the moment the reactor hands the frame over:
+        // everything from here to the reply is on the server's clock.
+        let trace = Trace::begin();
         // Admission against the in-flight cap, before any queueing: the
         // pool must never owe more answers than it has room to compute.
         let admitted = self
@@ -303,22 +357,25 @@ impl Events for FrontEnd {
             })
             .is_ok();
         if !admitted {
+            self.telemetry.count_frame_rejection();
             if let Some(bytes) = busy_frame(self.max_inflight) {
                 self.handle.send(conn, bytes);
             }
             return;
         }
+        self.telemetry.inflight_add(1);
         let start_pump = {
             let mut table = lock_table(&self.table);
             match table.get_mut(&conn) {
                 Some(entry) => {
-                    entry.queued.push_back(frame);
+                    entry.queued.push_back((frame, trace));
                     !std::mem::replace(&mut entry.busy, true)
                 }
                 None => {
                     // The connection closed in this same event batch;
                     // give the slot back.
                     self.inflight.fetch_sub(1, Ordering::SeqCst);
+                    self.telemetry.inflight_add(-1);
                     return;
                 }
             }
@@ -329,6 +386,7 @@ impl Events for FrontEnd {
     }
 
     fn on_reject(&mut self) -> Option<Vec<u8>> {
+        self.telemetry.count_socket_rejection();
         busy_frame(self.max_open_sockets)
     }
 
@@ -347,6 +405,7 @@ impl Events for FrontEnd {
             .map_or(0, |entry| entry.queued.len());
         if queued > 0 {
             self.inflight.fetch_sub(queued, Ordering::SeqCst);
+            self.telemetry.inflight_add(-(queued as i64));
         }
     }
 }
@@ -367,13 +426,13 @@ fn run_pump(ctx: &PumpCtx, conn: ConnId) {
         }
     };
     loop {
-        let frame = {
+        let (frame, mut trace) = {
             let mut table = lock_table(&ctx.table);
             let Some(entry) = table.get_mut(&conn) else {
                 return; // connection closed; queued slots were released
             };
             match entry.queued.pop_front() {
-                Some(frame) => frame,
+                Some(queued) => queued,
                 None => {
                     entry.busy = false;
                     entry.upload = upload.take();
@@ -381,20 +440,55 @@ fn run_pump(ctx: &PumpCtx, conn: ConnId) {
                 }
             }
         };
-        let response = match Request::decode(&frame) {
-            Ok(request) => dispatch(&request, &ctx.registry, &ctx.staging, &mut upload),
+        trace.mark(Stage::Dequeued);
+        let decoded = Request::decode(&frame);
+        trace.mark(Stage::Decoded);
+        let (tag, tenant) = match &decoded {
+            Ok(request) => (tag_index(request), request_tenant(request)),
+            Err(_) => (TAG_INVALID, None),
+        };
+        let tenant = tenant.map(str::to_string);
+        let response = match decoded {
+            Ok(request) => dispatch(
+                &request,
+                &ctx.registry,
+                &ctx.staging,
+                &mut upload,
+                &ctx.telemetry,
+            ),
             Err(e) => Response::Error(e),
         };
+        trace.mark(Stage::Matched);
         let bytes = match frame_bytes(&response.encode()) {
             Ok(bytes) => bytes,
             // A reply too large to frame degrades to a typed error
             // frame rather than silence (or a panic).
             Err(e) => frame_bytes(&Response::Error(e).encode()).unwrap_or_default(),
         };
+        // The reply is fully assembled: stamp it and record the frame's
+        // series *before* the slot release and hand-off, so a client
+        // that has its answer can never observe a snapshot that missed
+        // this request.
+        trace.mark(Stage::Replied);
+        ctx.telemetry.record_frame(tag, &trace, tenant.as_deref());
         // The answer exists: release the in-flight slot before the
         // hand-off so admission sees pool capacity, not send latency.
         ctx.inflight.fetch_sub(1, Ordering::SeqCst);
+        ctx.telemetry.inflight_add(-1);
         ctx.handle.send(conn, bytes);
+    }
+}
+
+/// The tenant a request targets, for the per-tenant counter and the
+/// slow-query line (`None` for tenant-less requests).
+fn request_tenant(request: &Request) -> Option<&str> {
+    match request {
+        Request::Match { tenant, .. }
+        | Request::TenantStats { tenant }
+        | Request::LoadDatabase { tenant, .. }
+        | Request::EvictDatabase { tenant, .. }
+        | Request::DatabaseInfo { tenant } => Some(tenant),
+        Request::Ping | Request::ListTenants | Request::Metrics => None,
     }
 }
 
@@ -494,6 +588,7 @@ fn dispatch_upload(
     registry: &TenantRegistry,
     staging: &Arc<Staging>,
     upload: &mut Option<UploadSession>,
+    telemetry: &ServerTelemetry,
 ) -> Response {
     match phase {
         UploadPhase::Begin {
@@ -580,6 +675,7 @@ fn dispatch_upload(
             }
             session.data.extend_from_slice(data);
             session.next_chunk += 1;
+            telemetry.count_upload_bytes(data.len() as u64);
             Response::UploadProgress {
                 received: session.data.len() as u64,
                 expected: session.expected_bytes,
@@ -623,6 +719,7 @@ fn dispatch(
     registry: &TenantRegistry,
     staging: &Arc<Staging>,
     upload: &mut Option<UploadSession>,
+    telemetry: &ServerTelemetry,
 ) -> Response {
     // Any non-upload request abandons the connection's upload session
     // (releasing its staging reservation): an upload is a tight
@@ -654,7 +751,7 @@ fn dispatch(
             Err(e) => Response::Error(e),
         },
         Request::LoadDatabase { tenant, phase } => {
-            dispatch_upload(tenant, phase, registry, staging, upload)
+            dispatch_upload(tenant, phase, registry, staging, upload, telemetry)
         }
         Request::EvictDatabase { tenant, auth } => match registry.evict(tenant, auth) {
             Ok(freed_bytes) => Response::Evicted { freed_bytes },
@@ -664,6 +761,9 @@ fn dispatch(
             Ok(info) => Response::DatabaseInfo(info),
             Err(e) => Response::Error(e),
         },
+        // A point-in-time copy of every registered series (empty when
+        // the server runs with telemetry off).
+        Request::Metrics => Response::Metrics(telemetry.registry().snapshot()),
     }
 }
 
@@ -677,12 +777,22 @@ pub struct RunningServer {
     /// after the reactor joins, this is the last one, so dropping it
     /// drains then joins the workers on the caller's thread.
     pool: Option<Arc<WorkerPool>>,
+    telemetry: Arc<ServerTelemetry>,
 }
 
 impl RunningServer {
     /// The bound address (with the real port when bound to port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The server's metrics registry — the same series
+    /// [`Request::Metrics`] snapshots over the wire, for in-process
+    /// scraping (e.g. rendering
+    /// [`cm_telemetry::MetricsRegistry::render_text`] from an operator
+    /// thread).
+    pub fn telemetry(&self) -> &MetricsRegistry {
+        self.telemetry.registry()
     }
 
     /// Stops the reactor (force-closing every tracked socket), then

@@ -1,0 +1,192 @@
+//! Server-side telemetry: one [`MetricsRegistry`] shared by the reactor
+//! event loop, the frame pool, the tenant registry, and the dispatch
+//! path, plus the per-request-tag handles the pump records into.
+//!
+//! Every handle is pre-registered at construction, so the request hot
+//! path touches only lock-free atomics — the single exception is the
+//! per-tenant counter cache, which takes one short mutex'd hash lookup
+//! per match query to map a tenant id to its labeled counter.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use cm_telemetry::{metric_names, Counter, Gauge, Histogram, MetricsRegistry, Trace};
+
+use crate::wire::Request;
+
+/// `tag` label values, one per request kind plus `invalid` for frames
+/// that fail [`Request::decode`]. Order matches [`tag_index`].
+pub(crate) const REQUEST_TAGS: [&str; 9] = [
+    "ping",
+    "list_tenants",
+    "match",
+    "tenant_stats",
+    "load_database",
+    "evict_database",
+    "database_info",
+    "metrics",
+    "invalid",
+];
+
+/// Index into [`REQUEST_TAGS`] for frames that failed to decode.
+pub(crate) const TAG_INVALID: usize = REQUEST_TAGS.len() - 1;
+
+/// The `tag` label index for a decoded request.
+pub(crate) fn tag_index(request: &Request) -> usize {
+    match request {
+        Request::Ping => 0,
+        Request::ListTenants => 1,
+        Request::Match { .. } => 2,
+        Request::TenantStats { .. } => 3,
+        Request::LoadDatabase { .. } => 4,
+        Request::EvictDatabase { .. } => 5,
+        Request::DatabaseInfo { .. } => 6,
+        Request::Metrics => 7,
+    }
+}
+
+/// The four per-request-tag series.
+struct PerTag {
+    requests: Counter,
+    latency: Histogram,
+    queue_wait: Histogram,
+    serve_time: Histogram,
+}
+
+/// One serving process's telemetry: the registry every layer registers
+/// into, and the serving-path handles recorded by the front-end and
+/// pump.
+pub(crate) struct ServerTelemetry {
+    registry: MetricsRegistry,
+    per_tag: Vec<PerTag>,
+    inflight: Gauge,
+    busy_sockets: Counter,
+    busy_frames: Counter,
+    upload_bytes: Counter,
+    /// Per-tenant match counters, created on first query for the tenant.
+    tenant_requests: Mutex<HashMap<String, Counter>>,
+    slow_query_micros: Option<u64>,
+}
+
+impl std::fmt::Debug for ServerTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerTelemetry")
+            .field("enabled", &self.registry.is_enabled())
+            .finish()
+    }
+}
+
+impl ServerTelemetry {
+    /// Builds the telemetry for one server. With `enabled` false every
+    /// handle is a no-op and snapshots are empty — the configuration
+    /// for measuring the instrumentation's own overhead.
+    pub(crate) fn new(enabled: bool, slow_query_micros: Option<u64>) -> Self {
+        let registry = if enabled {
+            MetricsRegistry::new()
+        } else {
+            MetricsRegistry::disabled()
+        };
+        let per_tag = REQUEST_TAGS
+            .iter()
+            .map(|tag| PerTag {
+                requests: registry.register_counter(metric_names::SERVER_REQUESTS, &[("tag", tag)]),
+                latency: registry
+                    .register_histogram(metric_names::SERVER_REQUEST_LATENCY_US, &[("tag", tag)]),
+                queue_wait: registry
+                    .register_histogram(metric_names::SERVER_QUEUE_WAIT_US, &[("tag", tag)]),
+                serve_time: registry
+                    .register_histogram(metric_names::SERVER_SERVE_TIME_US, &[("tag", tag)]),
+            })
+            .collect();
+        Self {
+            per_tag,
+            inflight: registry.register_gauge(metric_names::SERVER_INFLIGHT_FRAMES, &[]),
+            busy_sockets: registry
+                .register_counter(metric_names::SERVER_BUSY_REJECTIONS, &[("cap", "sockets")]),
+            busy_frames: registry
+                .register_counter(metric_names::SERVER_BUSY_REJECTIONS, &[("cap", "frames")]),
+            upload_bytes: registry.register_counter(metric_names::SERVER_UPLOAD_BYTES, &[]),
+            tenant_requests: Mutex::new(HashMap::new()),
+            slow_query_micros,
+            registry,
+        }
+    }
+
+    /// The registry the reactor, pools, and tenant registry share.
+    pub(crate) fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Counts a typed `ServerBusy` rejection at the socket cap.
+    pub(crate) fn count_socket_rejection(&self) {
+        self.busy_sockets.inc();
+    }
+
+    /// Counts a typed `ServerBusy` rejection at the in-flight-frame cap.
+    pub(crate) fn count_frame_rejection(&self) {
+        self.busy_frames.inc();
+    }
+
+    /// Tracks the admitted-but-unanswered frame gauge alongside the
+    /// front-end's own atomic count.
+    pub(crate) fn inflight_add(&self, delta: i64) {
+        self.inflight.add(delta);
+    }
+
+    /// Counts accepted upload chunk payload bytes.
+    pub(crate) fn count_upload_bytes(&self, bytes: u64) {
+        self.upload_bytes.add(bytes);
+    }
+
+    /// Records one answered frame: the per-tag request count and
+    /// latency/queue-wait/serve-time histograms, the per-tenant counter
+    /// for match queries, and — when configured — the slow-query stderr
+    /// line. Call with every stage already marked on `trace`.
+    pub(crate) fn record_frame(&self, tag: usize, trace: &Trace, tenant: Option<&str>) {
+        let Some(per) = self.per_tag.get(tag) else {
+            return;
+        };
+        per.requests.inc();
+        if let Some(total) = trace.total() {
+            per.latency.record_micros(total);
+        }
+        if let Some(wait) = trace.queue_wait() {
+            per.queue_wait.record_micros(wait);
+        }
+        if let Some(serve) = trace.serve_time() {
+            per.serve_time.record_micros(serve);
+        }
+        if let Some(tenant) = tenant {
+            self.tenant_counter(tenant).inc();
+        }
+        if let Some(limit) = self.slow_query_micros {
+            let total_us = trace.total().map_or(0, |t| t.as_micros() as u64);
+            if total_us >= limit {
+                // Structured, greppable, one line per slow request.
+                eprintln!(
+                    "slow_query id={} tag={} tenant={} total_us={} {}",
+                    trace.id(),
+                    REQUEST_TAGS.get(tag).unwrap_or(&"invalid"),
+                    tenant.unwrap_or("-"),
+                    total_us,
+                    trace.stage_summary(),
+                );
+            }
+        }
+    }
+
+    fn tenant_counter(&self, tenant: &str) -> Counter {
+        let mut cache = self
+            .tenant_requests
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(counter) = cache.get(tenant) {
+            return counter.clone();
+        }
+        let counter = self
+            .registry
+            .register_counter(metric_names::SERVER_TENANT_REQUESTS, &[("tenant", tenant)]);
+        cache.insert(tenant.to_string(), counter.clone());
+        counter
+    }
+}

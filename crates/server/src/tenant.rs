@@ -57,6 +57,7 @@ use cm_core::{
     WorkerPool,
 };
 use cm_ssd::SecureIndexChannel;
+use cm_telemetry::{metric_names, Counter, Gauge, MetricsRegistry};
 
 use crate::wire::{
     auth_tag, content_digest, keys_match, tags_match, upload_tag, DatabaseInfoReply, EvictAuth,
@@ -263,6 +264,31 @@ struct TenantEntry {
     hot: Option<Arc<Tenant>>,
 }
 
+/// Telemetry handles for the registry's hot/cold lifecycle. Defaults to
+/// disabled no-ops; [`TenantRegistry::install_telemetry`] swaps in live
+/// handles.
+#[derive(Debug, Default)]
+struct RegistryMetrics {
+    /// Budget-driven demotions to the cold tier.
+    demotions: Counter,
+    /// Cold-tier rebuilds installed by [`TenantRegistry::get`].
+    rematerializations: Counter,
+    /// Mirror of [`Inner::hot_bytes`].
+    hot_bytes: Gauge,
+    /// Mirror of [`Inner::budget`] (`-1` when unbounded).
+    budget: Gauge,
+}
+
+/// The budget gauge's encoding of "unbounded" (a `u64::MAX` budget
+/// would otherwise wrap the i64 gauge negative anyway).
+fn budget_gauge_value(budget: u64) -> i64 {
+    if budget == u64::MAX {
+        -1
+    } else {
+        budget as i64
+    }
+}
+
 struct Inner {
     tenants: HashMap<String, TenantEntry>,
     auth: HashMap<String, AuthRecord>,
@@ -272,12 +298,22 @@ struct Inner {
     budget: u64,
     /// Monotonic LRU clock.
     clock: u64,
+    /// Lifecycle telemetry (no-ops until installed). Lives inside
+    /// `Inner` so every `hot_bytes` mutation site — including the
+    /// static [`TenantRegistry::ensure_capacity`] — can keep the gauge
+    /// in lock-step under the same lock.
+    metrics: RegistryMetrics,
 }
 
 impl Inner {
     fn tick(&mut self) -> u64 {
         self.clock += 1;
         self.clock
+    }
+
+    /// Mirrors `hot_bytes` into its gauge; call after every mutation.
+    fn sync_hot_bytes(&self) {
+        self.metrics.hot_bytes.set(self.hot_bytes as i64);
     }
 }
 
@@ -325,6 +361,7 @@ impl TenantRegistry {
                 hot_bytes: 0,
                 budget: u64::MAX,
                 clock: 0,
+                metrics: RegistryMetrics::default(),
             }),
             builders,
         }
@@ -340,7 +377,27 @@ impl TenantRegistry {
     /// tenants above a newly lowered budget are demoted lazily, at the
     /// next admission.
     pub fn set_memory_budget(&self, budget: Option<u64>) {
-        self.lock().budget = budget.unwrap_or(u64::MAX);
+        let mut inner = self.lock();
+        inner.budget = budget.unwrap_or(u64::MAX);
+        inner.metrics.budget.set(budget_gauge_value(inner.budget));
+    }
+
+    /// Registers the registry's lifecycle metrics
+    /// (`cm_registry_demotions_total`, `cm_registry_hot_bytes`, …) with
+    /// `metrics` and seeds the gauges from the current state.
+    /// [`crate::MatchServer`] installs its server-wide registry here at
+    /// spawn; standalone registries can install their own.
+    pub fn install_telemetry(&self, metrics: &MetricsRegistry) {
+        let mut inner = self.lock();
+        inner.metrics = RegistryMetrics {
+            demotions: metrics.register_counter(metric_names::REGISTRY_DEMOTIONS, &[]),
+            rematerializations: metrics
+                .register_counter(metric_names::REGISTRY_REMATERIALIZATIONS, &[]),
+            hot_bytes: metrics.register_gauge(metric_names::REGISTRY_HOT_BYTES, &[]),
+            budget: metrics.register_gauge(metric_names::REGISTRY_MEMORY_BUDGET_BYTES, &[]),
+        };
+        inner.metrics.budget.set(budget_gauge_value(inner.budget));
+        inner.sync_hot_bytes();
     }
 
     /// The configured host memory budget (`None` = unbounded).
@@ -438,6 +495,7 @@ impl TenantRegistry {
             },
         );
         inner.hot_bytes += charge;
+        inner.sync_hot_bytes();
         // The operator binds (or re-binds) the id to this channel key.
         // The nonce high-water mark is preserved: re-provisioning an id
         // must never resurrect previously captured upload/evict tags.
@@ -581,6 +639,7 @@ impl TenantRegistry {
             Ok(demoted) => demoted,
             Err(e) => {
                 inner.hot_bytes += replaced_hot_charge;
+                inner.sync_hot_bytes();
                 return Err(e);
             }
         };
@@ -626,6 +685,7 @@ impl TenantRegistry {
             },
         );
         inner.hot_bytes += charge;
+        inner.sync_hot_bytes();
         Ok(RemoteLoad {
             bytes: charge,
             demoted,
@@ -667,6 +727,7 @@ impl TenantRegistry {
         };
         let freed = if entry.hot.is_some() { entry.charge } else { 0 };
         inner.hot_bytes -= freed;
+        inner.sync_hot_bytes();
         Ok(freed)
     }
 
@@ -836,6 +897,8 @@ impl TenantRegistry {
             entry.hot = Some(Arc::clone(&tenant));
             entry.last_used = clock;
             inner.hot_bytes += charge;
+            inner.metrics.rematerializations.inc();
+            inner.sync_hot_bytes();
             return Ok(tenant);
         }
     }
@@ -933,6 +996,8 @@ impl TenantRegistry {
             // the registry just stops handing it out.
             entry.hot = None;
             inner.hot_bytes -= entry.charge;
+            inner.metrics.demotions.inc();
+            inner.sync_hot_bytes();
             demoted.push(victim);
         }
         Ok(demoted)

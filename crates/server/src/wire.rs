@@ -19,6 +19,7 @@ use std::io::{Read, Write};
 use std::time::Duration;
 
 use cm_core::{Backend, BitString, MatchError, MatchStats};
+use cm_telemetry::{CounterSample, GaugeSample, HistogramSample, MetricsSnapshot};
 
 /// Frame magic: "CMS1".
 const FRAME_MAGIC: [u8; 4] = *b"CMS1";
@@ -95,6 +96,11 @@ pub enum Request {
         /// Target tenant id.
         tenant: String,
     },
+    /// Reads the server's full telemetry snapshot — every counter,
+    /// gauge, and histogram the process has registered, from the
+    /// reactor event loop down to the shard executor; answered by
+    /// [`Response::Metrics`].
+    Metrics,
 }
 
 /// One step of a chunked [`Request::LoadDatabase`] upload.
@@ -268,6 +274,8 @@ pub mod tags {
     pub const REQ_EVICT_DATABASE: u8 = 5;
     /// [`super::Request::DatabaseInfo`].
     pub const REQ_DATABASE_INFO: u8 = 6;
+    /// [`super::Request::Metrics`].
+    pub const REQ_METRICS: u8 = 7;
 
     /// [`super::Response::Pong`].
     pub const RESP_PONG: u8 = 0;
@@ -287,6 +295,8 @@ pub mod tags {
     pub const RESP_EVICTED: u8 = 7;
     /// [`super::Response::DatabaseInfo`].
     pub const RESP_DATABASE_INFO: u8 = 8;
+    /// [`super::Response::Metrics`].
+    pub const RESP_METRICS: u8 = 9;
 
     /// [`super::QueryPayload::Bits`].
     pub const QUERY_BITS: u8 = 0;
@@ -508,6 +518,11 @@ pub enum Response {
     },
     /// A tenant database's lifecycle state.
     DatabaseInfo(DatabaseInfoReply),
+    /// The server's telemetry snapshot ([`Request::Metrics`]): every
+    /// registered counter, gauge, and histogram at one instant, sorted
+    /// by name then labels. Histogram buckets travel sparse (index,
+    /// count), so an idle server's snapshot stays small.
+    Metrics(cm_telemetry::MetricsSnapshot),
     /// The request failed; `error` is the server-side [`MatchError`]
     /// (static-string payloads survive as `"remote"`).
     Error(MatchError),
@@ -894,6 +909,132 @@ impl<'a> Reader<'a> {
 }
 
 // ---------------------------------------------------------------------------
+// Telemetry snapshot codec
+// ---------------------------------------------------------------------------
+
+fn put_labels(out: &mut Vec<u8>, labels: &[(String, String)]) {
+    out.extend_from_slice(&(labels.len() as u16).to_le_bytes());
+    for (k, v) in labels {
+        put_str(out, k);
+        put_str(out, v);
+    }
+}
+
+fn read_labels(r: &mut Reader<'_>) -> Result<Vec<(String, String)>, MatchError> {
+    let count = r.u16()? as usize;
+    // Each label pair costs at least its two length prefixes.
+    if count > r.remaining() / 4 {
+        return Err(MatchError::Frame("implausible label count"));
+    }
+    let mut labels = Vec::with_capacity(count);
+    for _ in 0..count {
+        labels.push((r.str()?, r.str()?));
+    }
+    Ok(labels)
+}
+
+fn put_snapshot(out: &mut Vec<u8>, snap: &MetricsSnapshot) {
+    out.extend_from_slice(&(snap.counters.len() as u32).to_le_bytes());
+    for c in &snap.counters {
+        put_str(out, &c.name);
+        put_labels(out, &c.labels);
+        put_u64(out, c.value);
+    }
+    out.extend_from_slice(&(snap.gauges.len() as u32).to_le_bytes());
+    for g in &snap.gauges {
+        put_str(out, &g.name);
+        put_labels(out, &g.labels);
+        // Two's-complement round trip: i64 travels as its u64 bits.
+        put_u64(out, g.value as u64);
+    }
+    out.extend_from_slice(&(snap.histograms.len() as u32).to_le_bytes());
+    for h in &snap.histograms {
+        put_str(out, &h.name);
+        put_labels(out, &h.labels);
+        put_u64(out, h.count);
+        put_u64(out, h.sum);
+        out.extend_from_slice(&(h.buckets.len() as u32).to_le_bytes());
+        for &(index, count) in &h.buckets {
+            out.extend_from_slice(&index.to_le_bytes());
+            put_u64(out, count);
+        }
+    }
+}
+
+fn read_snapshot(r: &mut Reader<'_>) -> Result<MetricsSnapshot, MatchError> {
+    // A counter or gauge sample costs at least its name prefix, label
+    // count, and fixed-width value (12 bytes); a histogram header costs
+    // 24 and each sparse bucket 12. Bounding every count by the actual
+    // payload keeps a lying header from driving an allocation.
+    let count = r.u32()? as usize;
+    if count > r.remaining() / 12 {
+        return Err(MatchError::Frame("implausible counter count"));
+    }
+    let mut counters = Vec::with_capacity(count);
+    for _ in 0..count {
+        counters.push(CounterSample {
+            name: r.str()?,
+            labels: read_labels(r)?,
+            value: r.u64()?,
+        });
+    }
+    let count = r.u32()? as usize;
+    if count > r.remaining() / 12 {
+        return Err(MatchError::Frame("implausible gauge count"));
+    }
+    let mut gauges = Vec::with_capacity(count);
+    for _ in 0..count {
+        gauges.push(GaugeSample {
+            name: r.str()?,
+            labels: read_labels(r)?,
+            value: r.u64()? as i64,
+        });
+    }
+    let count = r.u32()? as usize;
+    if count > r.remaining() / 24 {
+        return Err(MatchError::Frame("implausible histogram count"));
+    }
+    let mut histograms = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name = r.str()?;
+        let labels = read_labels(r)?;
+        let total = r.u64()?;
+        let sum = r.u64()?;
+        let bucket_count = r.u32()? as usize;
+        if bucket_count > r.remaining() / 12 {
+            return Err(MatchError::Frame("implausible bucket count"));
+        }
+        let mut buckets: Vec<(u32, u64)> = Vec::with_capacity(bucket_count);
+        for _ in 0..bucket_count {
+            let index = r.u32()?;
+            // Out-of-range or out-of-order indices would break the
+            // bucket-geometry functions downstream (`bucket_lo` shifts
+            // by the bucket's magnitude) and the sparse-merge
+            // invariant; reject them structurally.
+            if index >= cm_telemetry::HISTOGRAM_BUCKETS as u32 {
+                return Err(MatchError::Frame("histogram bucket index out of range"));
+            }
+            if buckets.last().is_some_and(|&(prev, _)| prev >= index) {
+                return Err(MatchError::Frame("histogram buckets out of order"));
+            }
+            buckets.push((index, r.u64()?));
+        }
+        histograms.push(HistogramSample {
+            name,
+            labels,
+            count: total,
+            sum,
+            buckets,
+        });
+    }
+    Ok(MetricsSnapshot {
+        counters,
+        gauges,
+        histograms,
+    })
+}
+
+// ---------------------------------------------------------------------------
 // Error codec
 // ---------------------------------------------------------------------------
 
@@ -931,8 +1072,8 @@ fn put_error(out: &mut Vec<u8>, e: &MatchError) {
         MatchError::UnknownTenant(id) => (tags::ERR_UNKNOWN_TENANT, 0, 0, id.as_str()),
         MatchError::Frame(what) => (tags::ERR_FRAME, 0, 0, *what),
         MatchError::Transport(what) => (tags::ERR_TRANSPORT, 0, 0, what.as_str()),
-        MatchError::ServerBusy { max_connections } => {
-            (tags::ERR_SERVER_BUSY, *max_connections as u64, 0, "")
+        MatchError::ServerBusy { max_open_sockets } => {
+            (tags::ERR_SERVER_BUSY, *max_open_sockets as u64, 0, "")
         }
         MatchError::Unauthorized(what) => (tags::ERR_UNAUTHORIZED, 0, 0, *what),
         MatchError::QuotaExceeded { budget, required } => {
@@ -990,7 +1131,9 @@ fn read_error(r: &mut Reader<'_>) -> Result<MatchError, MatchError> {
         tags::ERR_UNKNOWN_TENANT => MatchError::UnknownTenant(text),
         tags::ERR_FRAME => MatchError::Frame(REMOTE),
         tags::ERR_TRANSPORT => MatchError::Transport(text),
-        tags::ERR_SERVER_BUSY => MatchError::ServerBusy { max_connections: a },
+        tags::ERR_SERVER_BUSY => MatchError::ServerBusy {
+            max_open_sockets: a,
+        },
         tags::ERR_UNAUTHORIZED => MatchError::Unauthorized(REMOTE),
         tags::ERR_QUOTA_EXCEEDED => MatchError::QuotaExceeded {
             budget: a as u64,
@@ -1072,6 +1215,7 @@ impl Request {
                 out.push(tags::REQ_DATABASE_INFO);
                 put_str(&mut out, tenant);
             }
+            Request::Metrics => out.push(tags::REQ_METRICS),
         }
         out
     }
@@ -1149,6 +1293,7 @@ impl Request {
             tags::REQ_DATABASE_INFO => Request::DatabaseInfo {
                 tenant: r.tenant_id()?,
             },
+            tags::REQ_METRICS => Request::Metrics,
             _ => return Err(MatchError::Frame("unknown request tag")),
         };
         r.finish()?;
@@ -1230,6 +1375,10 @@ impl Response {
                 put_u64(&mut out, info.bytes);
                 out.extend_from_slice(&info.workers.to_le_bytes());
                 put_u64(&mut out, info.queries);
+            }
+            Response::Metrics(snapshot) => {
+                out.push(tags::RESP_METRICS);
+                put_snapshot(&mut out, snapshot);
             }
         }
         out
@@ -1326,6 +1475,7 @@ impl Response {
                 workers: r.u32()?,
                 queries: r.u64()?,
             }),
+            tags::RESP_METRICS => Response::Metrics(read_snapshot(&mut r)?),
             _ => return Err(MatchError::Frame("unknown response tag")),
         };
         r.finish()?;
@@ -1390,6 +1540,7 @@ mod tests {
             Request::TenantStats {
                 tenant: "carol".into(),
             },
+            Request::Metrics,
         ];
         for req in samples {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
@@ -1424,12 +1575,68 @@ mod tests {
             Response::Error(MatchError::QueryTooLong { max: 8, got: 99 }),
             Response::Error(MatchError::UnknownTenant("mallory".into())),
             Response::Error(MatchError::ServerBusy {
-                max_connections: 64,
+                max_open_sockets: 64,
             }),
+            Response::Metrics(sample_snapshot()),
+            Response::Metrics(MetricsSnapshot::default()),
         ];
         for resp in samples {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
         }
+    }
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let registry = cm_telemetry::MetricsRegistry::new();
+        registry
+            .register_counter(
+                cm_telemetry::metric_names::SERVER_REQUESTS,
+                &[("tag", "match")],
+            )
+            .add(17);
+        registry
+            .register_gauge(
+                cm_telemetry::metric_names::EXEC_QUEUE_DEPTH,
+                &[("pool", "frames")],
+            )
+            .add(-3);
+        let h =
+            registry.register_histogram(cm_telemetry::metric_names::SERVER_REQUEST_LATENCY_US, &[]);
+        for v in [0, 1, 9, 100, 5000, u64::MAX] {
+            h.record(v);
+        }
+        registry.snapshot()
+    }
+
+    #[test]
+    fn hostile_snapshot_buckets_are_rejected() {
+        // Baseline: a well-formed single-bucket histogram decodes.
+        let mut snap = MetricsSnapshot::default();
+        snap.histograms.push(cm_telemetry::HistogramSample {
+            name: "cm_x_us".into(),
+            labels: vec![],
+            count: 1,
+            sum: 4,
+            buckets: vec![(4, 1)],
+        });
+        let good = Response::Metrics(snap.clone()).encode();
+        assert_eq!(
+            Response::decode(&good).unwrap(),
+            Response::Metrics(snap.clone())
+        );
+        // An index past the bucket table would make quantile math shift
+        // out of range; it must fail as a typed frame error.
+        snap.histograms[0].buckets = vec![(cm_telemetry::HISTOGRAM_BUCKETS as u32, 1)];
+        assert!(matches!(
+            Response::decode(&Response::Metrics(snap.clone()).encode()),
+            Err(MatchError::Frame(_))
+        ));
+        // Out-of-order (or duplicate) indices break the sparse-merge
+        // invariant.
+        snap.histograms[0].buckets = vec![(5, 1), (5, 2)];
+        assert!(matches!(
+            Response::decode(&Response::Metrics(snap).encode()),
+            Err(MatchError::Frame(_))
+        ));
     }
 
     fn sample_spec() -> TenantSpec {

@@ -132,7 +132,26 @@ fn request_cases() -> Vec<RequestCase> {
             None,
         ),
         (Request::DatabaseInfo { tenant }, "REQ_DATABASE_INFO", None),
+        (Request::Metrics, "REQ_METRICS", None),
     ]
+}
+
+/// A small but non-degenerate snapshot: one labeled counter, one
+/// negative gauge, one histogram with populated buckets.
+fn snapshot() -> cm_telemetry::MetricsSnapshot {
+    use cm_telemetry::metric_names;
+    let registry = cm_telemetry::MetricsRegistry::new();
+    registry
+        .register_counter(metric_names::SERVER_REQUESTS, &[("tag", "match")])
+        .add(17);
+    registry
+        .register_gauge(metric_names::EXEC_QUEUE_DEPTH, &[("pool", "frames")])
+        .add(-3);
+    let latency = registry.register_histogram(metric_names::SERVER_REQUEST_LATENCY_US, &[]);
+    for us in [0, 1, 9, 100, 5_000] {
+        latency.record(us);
+    }
+    registry.snapshot()
 }
 
 fn stats(seed: u64) -> MatchStats {
@@ -213,6 +232,7 @@ fn response_cases() -> Vec<(Response, &'static str)> {
             }),
             "RESP_DATABASE_INFO",
         ),
+        (Response::Metrics(snapshot()), "RESP_METRICS"),
     ]
 }
 
@@ -258,7 +278,7 @@ fn error_cases() -> Vec<(MatchError, &'static str)> {
         ),
         (
             MatchError::ServerBusy {
-                max_connections: 64,
+                max_open_sockets: 64,
             },
             "ERR_SERVER_BUSY",
         ),

@@ -1,0 +1,109 @@
+//! Property tests for the histogram bucket geometry and merge algebra —
+//! the CI `telemetry-smoke` job runs these in release mode.
+
+use cm_telemetry::{
+    bucket_index, bucket_lo, bucket_width, HistogramSample, MetricsRegistry, HISTOGRAM_BUCKETS,
+};
+use proptest::prelude::*;
+
+fn sample_from(values: &[u64]) -> HistogramSample {
+    let registry = MetricsRegistry::new();
+    let h = registry.register_histogram(cm_telemetry::metric_names::EXEC_RUN_TIME_US, &[]);
+    for &v in values {
+        h.record(v);
+    }
+    registry
+        .snapshot()
+        .histogram(cm_telemetry::metric_names::EXEC_RUN_TIME_US, &[])
+        .expect("just registered")
+        .clone()
+}
+
+proptest! {
+    #[test]
+    fn bucket_index_is_monotone(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+    }
+
+    #[test]
+    fn every_value_lands_inside_its_bucket(v in 0u64..u64::MAX) {
+        let i = bucket_index(v);
+        prop_assert!(i < HISTOGRAM_BUCKETS);
+        let lo = bucket_lo(i);
+        prop_assert!(lo <= v);
+        prop_assert!(v - lo < bucket_width(i));
+    }
+
+    #[test]
+    fn bucket_bounds_tile_the_axis(i in 0usize..HISTOGRAM_BUCKETS - 1) {
+        // Bucket i's exclusive upper bound is bucket i+1's lower bound:
+        // no gaps, no overlaps.
+        prop_assert_eq!(bucket_lo(i) + bucket_width(i), bucket_lo(i + 1));
+        // And the lower bound maps back to its own bucket.
+        prop_assert_eq!(bucket_index(bucket_lo(i)), i);
+    }
+
+    #[test]
+    fn quantile_estimate_is_within_the_bucket_half_width(
+        mut values in prop::collection::vec(1u64..1_000_000_000, 1..64),
+        q in 0.0f64..1.0,
+    ) {
+        let sample = sample_from(&values);
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).max(1) - 1;
+        let exact = values[rank];
+        let estimate = sample.quantile(q).expect("non-empty") as f64;
+        // Log2 octaves with 8 linear sub-buckets: relative bucket width
+        // ≤ 12.5%, so the midpoint is within 6.25% of any member.
+        prop_assert!(
+            (estimate - exact as f64).abs() <= 0.0625 * exact as f64 + 0.5,
+            "q={} estimate={} exact={}", q, estimate, exact
+        );
+    }
+
+    #[test]
+    fn merge_is_commutative(
+        xs in prop::collection::vec(0u64..1_000_000, 0..32),
+        ys in prop::collection::vec(0u64..1_000_000, 0..32),
+    ) {
+        let (a, b) = (sample_from(&xs), sample_from(&ys));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab.count, ba.count);
+        prop_assert_eq!(ab.sum, ba.sum);
+        prop_assert_eq!(ab.buckets, ba.buckets);
+    }
+
+    #[test]
+    fn merge_is_associative(
+        xs in prop::collection::vec(0u64..1_000_000, 0..32),
+        ys in prop::collection::vec(0u64..1_000_000, 0..32),
+        zs in prop::collection::vec(0u64..1_000_000, 0..32),
+    ) {
+        let (a, b, c) = (sample_from(&xs), sample_from(&ys), sample_from(&zs));
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left.buckets, &right.buckets);
+        prop_assert_eq!(left.count, right.count);
+        prop_assert_eq!(left.sum, right.sum);
+        // And the merge equals recording the concatenation directly.
+        let mut all = Vec::new();
+        all.extend_from_slice(&xs);
+        all.extend_from_slice(&ys);
+        all.extend_from_slice(&zs);
+        let direct = sample_from(&all);
+        prop_assert_eq!(left.buckets, direct.buckets);
+        prop_assert_eq!(left.count, direct.count);
+        prop_assert_eq!(left.sum, direct.sum);
+    }
+}

@@ -77,6 +77,10 @@ fn main() {
             max_open_sockets: 1024,
             max_inflight_frames: 8,
             memory_budget: Some(32 << 20),
+            // Any request slower than 50 ms end-to-end prints a
+            // structured slow_query line with per-stage timings.
+            slow_query_micros: Some(50_000),
+            ..ServerConfig::default()
         },
     )
     .unwrap()
@@ -193,6 +197,25 @@ fn main() {
         let (totals, queries) = probe.tenant_stats(tenant).unwrap();
         println!("totals {tenant:6} -> {queries} queries, {totals}");
     }
+
+    // --- Observability: scrape the server like Prometheus would --------
+    // The same snapshot is served over the wire (`Request::Metrics`);
+    // render_text() is the text exposition an operator endpoint would
+    // return. Print the serving-path highlights.
+    let snapshot = probe.metrics().unwrap();
+    let text = snapshot.render_text();
+    println!("--- metrics (cm_server_* excerpt) ---");
+    for line in text.lines().filter(|l| {
+        l.starts_with("cm_server_requests_total")
+            || l.starts_with("cm_server_request_latency_us_count")
+            || l.starts_with("cm_registry_")
+    }) {
+        println!("{line}");
+    }
+    let served = snapshot
+        .counter("cm_server_requests_total", &[("tag", "match")])
+        .unwrap_or(0);
+    println!("--- {served} match frames served ---");
 
     // --- Carla retires her database the way she placed it --------------
     let freed = probe.evict_database(&carla, 2).unwrap();

@@ -19,6 +19,8 @@
 //!   engine as a first-class backend;
 //! * [`flash`] / [`ssd`] — the 3D NAND + SSD simulators with the `bop_add`
 //!   in-flash adder and `CM-search` command;
+//! * [`telemetry`] — lock-free metrics (counters, gauges, log₂
+//!   histograms) and per-frame request tracing for the serving stack;
 //! * [`pum`] — the SIMDRAM-style processing-using-memory model;
 //! * [`sim`] — the analytical models reproducing the paper's figures;
 //! * [`workloads`] — DNA and key-value workload generators;
@@ -58,5 +60,6 @@ pub use cm_pum as pum;
 pub use cm_server as server;
 pub use cm_sim as sim;
 pub use cm_ssd as ssd;
+pub use cm_telemetry as telemetry;
 pub use cm_tfhe as tfhe;
 pub use cm_workloads as workloads;

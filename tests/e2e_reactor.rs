@@ -8,7 +8,7 @@
 //! Checked properties:
 //! * ≥ 1024 idle connections are admitted concurrently (the old
 //!   front-end bound one `WorkerPool` slot per socket, so this many
-//!   would have been typed-rejected at `max_connections = 64`);
+//!   would have been typed-rejected at `max_open_sockets = 64`);
 //! * sampled idle connections answer `ping` *after* the query storm,
 //!   proving admission is per-frame, not per-connection: a silent
 //!   socket costs an fd, not a worker;
@@ -87,6 +87,7 @@ fn a_thousand_idle_connections_stay_live_while_queries_saturate() {
             max_open_sockets: IDLE_CONNECTIONS + 128,
             max_inflight_frames: 16,
             memory_budget: None,
+            ..ServerConfig::default()
         },
     )
     .unwrap()
@@ -99,7 +100,7 @@ fn a_thousand_idle_connections_stay_live_while_queries_saturate() {
     let qps_alone = saturate(addr, &clients, &expected);
 
     // Open the idle herd. Every one of these would have been rejected
-    // typed at the old `max_connections = 64` front-end once the cap
+    // typed at the old `max_open_sockets = 64` front-end once the cap
     // filled; here they are all admitted and each costs one fd.
     let mut idle: Vec<MatchClient> = (0..IDLE_CONNECTIONS)
         .map(|i| {
@@ -167,6 +168,7 @@ fn inflight_cap_rejects_typed_while_sockets_stay_cheap() {
             max_open_sockets: 256,
             max_inflight_frames: 1,
             memory_budget: None,
+            ..ServerConfig::default()
         },
     )
     .unwrap()

@@ -410,7 +410,9 @@ fn connections_past_the_cap_get_a_typed_busy_error() {
     let mut second = MatchClient::connect(addr).unwrap();
     assert_eq!(
         second.backends().err(),
-        Some(MatchError::ServerBusy { max_connections: 1 })
+        Some(MatchError::ServerBusy {
+            max_open_sockets: 1
+        })
     );
 
     // Releasing the slot readmits new connections (retry: the server
