@@ -1,0 +1,235 @@
+//! Hot-path benchmark: single-query CM-SW search throughput at the
+//! paper's parameters, vectorized slice kernels vs the scalar reference
+//! sweep, measured **in the same run** so the recorded speedup is an
+//! apples-to-apples ratio on one machine.
+//!
+//! Four measurements:
+//! * the vectorized `CiphermatchEngine::search` sweep (flat-arena
+//!   `add_into`, autovectorizable kernels) — searches/sec and derived
+//!   Hom-Adds/sec;
+//! * the `search_reference` sweep (per-ciphertext allocations, branchy
+//!   per-word reduction) — the pre-optimization baseline;
+//! * raw NTT forward transforms/sec at `n = 1024` (the lazy-reduction
+//!   butterfly path, since the paper modulus is far below 2^62);
+//! * p50/p99 *serve* latency of match queries through a live server,
+//!   read from the server's own `cm_server_serve_time_us` histogram,
+//!   plus the derived `cm_server_hom_adds_per_sec` gauge.
+//!
+//! Results go to `BENCH_9.json` at the workspace root. The full run
+//! enforces the ISSUE 9 target — vectorized ≥ 2× the scalar reference —
+//! while `--quick` (the CI perf-smoke mode) only requires the ratio to
+//! stay ≥ 1×, so a noisy shared runner cannot flake the build on an
+//! otherwise healthy kernel.
+//!
+//! Run with `cargo run --release -p cm_bench --bin hot_path [-- --quick]`.
+
+use std::time::Instant;
+
+use cm_bench::{random_bits, BfvFixture};
+use cm_bfv::BfvParams;
+use cm_core::{Backend, CiphermatchEngine, MatcherConfig};
+use cm_hemath::{Modulus, NttTable};
+use cm_server::{MatchClient, MatchServer, ServerConfig, TenantAccess, TenantRegistry};
+use cm_telemetry::metric_names;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const KEY: [u8; 32] = [0x9A; 32];
+/// The speedup the full run enforces (the ISSUE 9 acceptance bar) and
+/// the floor the quick CI run enforces.
+const MIN_SPEEDUP_FULL: f64 = 2.0;
+const MIN_SPEEDUP_QUICK: f64 = 1.0;
+
+struct Sweep {
+    searches_per_sec: f64,
+    hom_adds_per_sec: f64,
+    us_per_search: f64,
+}
+
+fn measure_sweep<F: FnMut()>(iters: u32, hom_adds_per_search: u64, mut f: F) -> Sweep {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per_iter = start.elapsed().as_secs_f64() / iters as f64;
+    Sweep {
+        searches_per_sec: 1.0 / per_iter,
+        hom_adds_per_sec: hom_adds_per_search as f64 / per_iter,
+        us_per_search: per_iter * 1e6,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (iters, ntt_iters, attempts, rounds, db_polys) = if quick {
+        (20u32, 2_000u32, 2usize, 8usize, 4usize)
+    } else {
+        (200, 20_000, 3, 40, 16)
+    };
+
+    // --- Core sweep at the paper's parameters ---------------------------
+    let params = BfvParams::ciphermatch_1024();
+    let n = params.n;
+    let q = params.q;
+    let fixture = BfvFixture::new(params, 9);
+    let mut engine = CiphermatchEngine::new(&fixture.ctx);
+    let enc = fixture.encryptor();
+    let mut rng = StdRng::seed_from_u64(99);
+
+    // `db_polys` polynomials of dense-packed data and a 32-bit query.
+    let bits_per_poly = n * engine.packing().seg_bits();
+    let data = random_bits(db_polys * bits_per_poly, 17);
+    let db = engine.encrypt_database(&enc, &data, &mut rng);
+    assert_eq!(db.poly_count(), db_polys);
+    let pattern = data.slice((db_polys / 2) * bits_per_poly + 333, 32);
+    let query = engine.prepare_query(&enc, &pattern, &mut rng);
+    let hom_adds_per_search = (query.variant_count() * db_polys) as u64;
+
+    // Both sweeps must produce identical results before either is timed.
+    // `reusable` then serves as the steady-state caller-owned buffer the
+    // allocation-free sweep rewrites on every iteration.
+    let mut reusable = engine.search(&db, &query);
+    assert_eq!(
+        reusable,
+        engine.search_reference(&db, &query),
+        "vectorized and scalar-reference sweeps disagree"
+    );
+
+    // Interleaved attempts, best of each: the ratio of two best-case
+    // runs is far more stable than a single pair under CI noise.
+    let mut best_vec: Option<Sweep> = None;
+    let mut best_ref: Option<Sweep> = None;
+    for attempt in 0..attempts {
+        let vec = measure_sweep(iters, hom_adds_per_search, || {
+            engine.search_into(&db, &query, &mut reusable);
+            std::hint::black_box(&reusable);
+        });
+        let scal = measure_sweep(iters, hom_adds_per_search, || {
+            std::hint::black_box(engine.search_reference(&db, &query));
+        });
+        println!(
+            "attempt {attempt}: vectorized {:.1}/s, scalar {:.1}/s ({:.2}x)",
+            vec.searches_per_sec,
+            scal.searches_per_sec,
+            vec.searches_per_sec / scal.searches_per_sec
+        );
+        if best_vec
+            .as_ref()
+            .is_none_or(|b| vec.searches_per_sec > b.searches_per_sec)
+        {
+            best_vec = Some(vec);
+        }
+        if best_ref
+            .as_ref()
+            .is_none_or(|b| scal.searches_per_sec > b.searches_per_sec)
+        {
+            best_ref = Some(scal);
+        }
+    }
+    let vec = best_vec.expect("at least one attempt");
+    let scal = best_ref.expect("at least one attempt");
+    let speedup = vec.searches_per_sec / scal.searches_per_sec;
+
+    // --- Raw NTT throughput at the paper modulus ------------------------
+    let modulus = Modulus::new(q);
+    let table = NttTable::new(modulus, n);
+    let mut slab: Vec<u64> = (0..n as u64).map(|i| i % modulus.value()).collect();
+    let ntt_start = Instant::now();
+    for _ in 0..ntt_iters {
+        table.forward(&mut slab);
+    }
+    let ntt_per_sec = ntt_iters as f64 / ntt_start.elapsed().as_secs_f64();
+    std::hint::black_box(&slab);
+
+    // --- Serve latency through a live server ----------------------------
+    let serve_data = random_bits(2048 * 2, 81);
+    let serve_query = serve_data.slice(700, 24);
+    let mut registry = TenantRegistry::new();
+    registry
+        .register(
+            "cm",
+            MatcherConfig::new(Backend::Ciphermatch)
+                .insecure_test()
+                .seed(9)
+                .build()
+                .expect("ciphermatch"),
+            &KEY,
+            &serve_data,
+        )
+        .expect("register cm");
+    let server = MatchServer::with_config(registry, ServerConfig::default())
+        .expect("config")
+        .spawn("127.0.0.1:0")
+        .expect("spawn server");
+    let mut client = MatchClient::connect(server.addr()).expect("connect");
+    let access = TenantAccess::new("cm", &KEY);
+    for _ in 0..rounds {
+        let reply = client.search_bits(&access, &serve_query).expect("query");
+        assert!(!reply.indices.is_empty(), "query must match");
+    }
+    let snapshot = client.metrics().expect("snapshot over the wire");
+    server.shutdown();
+    let serve = snapshot
+        .histogram(metric_names::SERVER_SERVE_TIME_US, &[("tag", "match")])
+        .expect("serve-time histogram");
+    assert_eq!(serve.count, rounds as u64);
+    let serve_p50 = serve.quantile(0.50).expect("p50");
+    let serve_p99 = serve.quantile(0.99).expect("p99");
+    let adds_gauge = snapshot
+        .gauge(metric_names::SERVER_HOM_ADDS_PER_SEC, &[])
+        .expect("derived Hom-Add throughput gauge");
+
+    // --- BENCH_9.json ---------------------------------------------------
+    let min_speedup = if quick {
+        MIN_SPEEDUP_QUICK
+    } else {
+        MIN_SPEEDUP_FULL
+    };
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"hot_path\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str("  \"params\": \"ciphermatch_1024\",\n");
+    json.push_str(&format!(
+        "  \"db_polys\": {db_polys},\n  \"query_bits\": 32,\n  \"variants\": {},\n",
+        query.variant_count()
+    ));
+    json.push_str(&format!(
+        "  \"hom_adds_per_search\": {hom_adds_per_search},\n  \"iters\": {iters},\n"
+    ));
+    json.push_str(&format!(
+        "  \"vectorized\": {{\"searches_per_sec\": {:.1}, \"hom_adds_per_sec\": {:.0}, \
+         \"us_per_search\": {:.1}}},\n",
+        vec.searches_per_sec, vec.hom_adds_per_sec, vec.us_per_search
+    ));
+    json.push_str(&format!(
+        "  \"scalar_reference\": {{\"searches_per_sec\": {:.1}, \"hom_adds_per_sec\": {:.0}, \
+         \"us_per_search\": {:.1}}},\n",
+        scal.searches_per_sec, scal.hom_adds_per_sec, scal.us_per_search
+    ));
+    json.push_str(&format!(
+        "  \"speedup\": {speedup:.2},\n  \"min_speedup\": {min_speedup},\n"
+    ));
+    json.push_str(&format!(
+        "  \"ntt\": {{\"n\": {n}, \"forward_ops_per_sec\": {ntt_per_sec:.0}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"server\": {{\"backend\": \"ciphermatch-insecure\", \"rounds\": {rounds}, \
+         \"serve_p50_us\": {serve_p50}, \"serve_p99_us\": {serve_p99}, \
+         \"hom_adds_per_sec_gauge\": {adds_gauge}}}\n"
+    ));
+    json.push_str("}\n");
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_9.json");
+    std::fs::write(&out, &json).expect("write BENCH_9.json");
+    println!("wrote {}", out.display());
+
+    println!(
+        "vectorized {:.1} searches/s ({:.0} Hom-Adds/s), scalar reference {:.1} searches/s, \
+         speedup {speedup:.2}x; NTT {ntt_per_sec:.0} fwd/s; \
+         serve p50 {serve_p50} us / p99 {serve_p99} us",
+        vec.searches_per_sec, vec.hom_adds_per_sec, scal.searches_per_sec
+    );
+    assert!(
+        speedup >= min_speedup,
+        "vectorized sweep is only {speedup:.2}x the scalar reference (floor {min_speedup}x)"
+    );
+}

@@ -172,22 +172,30 @@ impl<'a> Decryptor<'a> {
 
     /// Computes `v = c0 + c1 s + c2 s^2 + ...` in `R_q`.
     fn inner_product(&self, ct: &Ciphertext) -> Poly {
+        let parts: Vec<&[u64]> = ct.parts().iter().map(|p| p.coeffs()).collect();
+        self.inner_product_slices(&parts)
+    }
+
+    /// [`Self::inner_product`] over borrowed coefficient slices, so
+    /// flat-arena callers (e.g. a search-result sweep) decrypt without
+    /// materializing a [`Ciphertext`] per entry.
+    fn inner_product_slices(&self, parts: &[&[u64]]) -> Poly {
         let rq = self.ctx.rq();
-        let mut acc = ct.part(0).clone();
+        let mut acc = Poly::from_coeffs(parts[0].to_vec());
         let mut s_pow = self.sk.s.clone();
-        for i in 1..ct.size() {
-            acc = rq.add(&acc, &rq.mul(ct.part(i), &s_pow));
-            if i + 1 < ct.size() {
+        for (i, part) in parts.iter().enumerate().skip(1) {
+            let prod = Poly::from_coeffs(rq.mul_slices(part, s_pow.coeffs()));
+            rq.add_assign(&mut acc, &prod);
+            if i + 1 < parts.len() {
                 s_pow = rq.mul(&s_pow, &self.sk.s);
             }
         }
         acc
     }
 
-    /// Decrypts a ciphertext of any size: `m = round(t v / q) mod t`.
-    pub fn decrypt(&self, ct: &Ciphertext) -> Plaintext {
+    /// Rounds `v` to the plaintext ring: `m = round(t v / q) mod t`.
+    fn round_to_plaintext(&self, v: &Poly) -> Plaintext {
         let params = self.ctx.params();
-        let v = self.inner_product(ct);
         let q = params.q as i128;
         let t = params.t as i128;
         let m = self.ctx.rq().modulus();
@@ -201,6 +209,23 @@ impl<'a> Decryptor<'a> {
             })
             .collect();
         Plaintext::from_poly(Poly::from_coeffs(coeffs))
+    }
+
+    /// Decrypts a ciphertext of any size: `m = round(t v / q) mod t`.
+    pub fn decrypt(&self, ct: &Ciphertext) -> Plaintext {
+        self.round_to_plaintext(&self.inner_product(ct))
+    }
+
+    /// Decrypts a ciphertext given as borrowed coefficient slices, one
+    /// per component — the arena-friendly twin of [`Self::decrypt`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two components are given or a slice length
+    /// differs from the ring degree.
+    pub fn decrypt_slices(&self, parts: &[&[u64]]) -> Plaintext {
+        assert!(parts.len() >= 2, "a ciphertext has at least two parts");
+        self.round_to_plaintext(&self.inner_product_slices(parts))
     }
 
     /// Invariant-noise budget in bits, à la SEAL: bits of headroom between
@@ -263,6 +288,34 @@ impl Evaluator {
         }
     }
 
+    /// Homomorphic addition into a caller-owned flat buffer: writes
+    /// `a + b` component-major into `out` (`out[p*n..(p+1)*n]` is
+    /// component `p`), zero-padding the smaller operand. The
+    /// allocation-free twin of [`Self::add`] for sweeps that reuse one
+    /// coefficient arena across the whole database.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != max(a.size(), b.size()) * n`.
+    pub fn add_into(&self, a: &Ciphertext, b: &Ciphertext, out: &mut [u64]) {
+        let rq = self.ctx.rq();
+        let n = self.ctx.params().n;
+        let size = a.size().max(b.size());
+        assert_eq!(out.len(), size * n, "output buffer size mismatch");
+        for (i, slot) in out.chunks_exact_mut(n).enumerate() {
+            match (i < a.size(), i < b.size()) {
+                (true, true) => cm_hemath::kernels::add_slices(
+                    rq.modulus(),
+                    a.part(i).coeffs(),
+                    b.part(i).coeffs(),
+                    slot,
+                ),
+                (true, false) => slot.copy_from_slice(a.part(i).coeffs()),
+                (false, _) => slot.copy_from_slice(b.part(i).coeffs()),
+            }
+        }
+    }
+
     /// Homomorphic subtraction.
     pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
         self.add(a, &self.negate(b))
@@ -274,17 +327,28 @@ impl Evaluator {
         Ciphertext::from_parts(a.parts().iter().map(|p| rq.neg(p)).collect())
     }
 
-    /// Sums many ciphertexts.
+    /// Sums many ciphertexts by accumulating in place into one clone of
+    /// the first — linear in the total coefficient count, where a naive
+    /// `fold` over [`Self::add`] re-allocates a full ciphertext per
+    /// step. A rare size mismatch falls back to the padding add.
     ///
     /// # Panics
     ///
     /// Panics if the iterator is empty.
     pub fn add_many<'c>(&self, cts: impl IntoIterator<Item = &'c Ciphertext>) -> Ciphertext {
         let mut iter = cts.into_iter();
-        let first = iter
+        let mut acc = iter
             .next()
-            .expect("add_many requires at least one ciphertext");
-        iter.fold(first.clone(), |acc, ct| self.add(&acc, ct))
+            .expect("add_many requires at least one ciphertext")
+            .clone();
+        for ct in iter {
+            if ct.size() == acc.size() {
+                self.add_assign(&mut acc, ct);
+            } else {
+                acc = self.add(&acc, ct);
+            }
+        }
+        acc
     }
 
     /// Adds a plaintext: `c0 += Δ m`.
@@ -557,6 +621,57 @@ mod tests {
         let mut c = a.clone();
         ev.add_assign(&mut c, &b);
         assert_eq!(c, ev.add(&a, &b));
+    }
+
+    #[test]
+    fn add_many_sums_a_hundred_ciphertexts() {
+        let (ctx, sk, pk) = setup(BfvParams::ciphermatch_1024(), 113);
+        let mut rng = StdRng::seed_from_u64(114);
+        let enc = Encryptor::new(&ctx, pk);
+        let dec = Decryptor::new(&ctx, sk);
+        let ev = Evaluator::new(&ctx);
+        let count = 120u64;
+        let cts: Vec<Ciphertext> = (0..count)
+            .map(|i| enc.encrypt(&pt_from(&ctx, &[i, 2 * i]), &mut rng))
+            .collect();
+        let sum = ev.add_many(&cts);
+        assert_eq!(sum.size(), 2, "equal-size inputs accumulate in place");
+        let got = dec.decrypt(&sum);
+        let t = ctx.params().t;
+        assert_eq!(got.coeffs()[0], (0..count).sum::<u64>() % t);
+        assert_eq!(got.coeffs()[1], (0..count).map(|i| 2 * i).sum::<u64>() % t);
+        // The in-place accumulation is exactly the fold it replaced.
+        let folded = cts[1..]
+            .iter()
+            .fold(cts[0].clone(), |acc, ct| ev.add(&acc, ct));
+        assert_eq!(sum, folded);
+    }
+
+    #[test]
+    fn add_into_matches_add() {
+        let (ctx, _sk, pk) = setup(BfvParams::insecure_test_add(), 115);
+        let mut rng = StdRng::seed_from_u64(116);
+        let enc = Encryptor::new(&ctx, pk);
+        let ev = Evaluator::new(&ctx);
+        let n = ctx.params().n;
+        let a = enc.encrypt(&pt_from(&ctx, &[5, 6]), &mut rng);
+        let b = enc.encrypt(&pt_from(&ctx, &[7, 8]), &mut rng);
+        let mut arena = vec![0u64; 2 * n];
+        ev.add_into(&a, &b, &mut arena);
+        let want = ev.add(&a, &b);
+        assert_eq!(&arena[..n], want.part(0).coeffs());
+        assert_eq!(&arena[n..], want.part(1).coeffs());
+    }
+
+    #[test]
+    fn decrypt_slices_matches_decrypt() {
+        let (ctx, sk, pk) = setup(BfvParams::insecure_test_add(), 117);
+        let mut rng = StdRng::seed_from_u64(118);
+        let enc = Encryptor::new(&ctx, pk);
+        let dec = Decryptor::new(&ctx, sk);
+        let ct = enc.encrypt(&pt_from(&ctx, &[1, 2, 3]), &mut rng);
+        let parts: Vec<&[u64]> = ct.parts().iter().map(|p| p.coeffs()).collect();
+        assert_eq!(dec.decrypt_slices(&parts), dec.decrypt(&ct));
     }
 
     #[test]

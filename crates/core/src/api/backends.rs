@@ -135,7 +135,7 @@ impl SecureMatcher for CiphermatchMatcher {
     ) -> Result<Vec<usize>, MatchError> {
         self.extra.bytes_moved += query.byte_size(self.keys.q_bits) as u64;
         let result = if self.threads > 1 {
-            self.engine.search_parallel(db, query, self.threads)
+            self.engine.search_parallel(db, query, self.threads)?
         } else {
             self.engine.search(db, query)
         };

@@ -70,7 +70,7 @@ pub use index_gen::{generate_indices, SumTable};
 pub use matchers::batched::{BatchedDatabase, BatchedEngine};
 pub use matchers::boolean::{BooleanDatabase, BooleanEngine, BooleanGateCount};
 pub use matchers::ciphermatch::{
-    CiphermatchEngine, EncryptedDatabase, EncryptedQuery, SearchResult,
+    CiphermatchEngine, EncryptedDatabase, EncryptedQuery, SearchResult, VariantSums,
 };
 pub use matchers::plain::bitwise_find_all;
 pub use matchers::yasuda::{YasudaDatabase, YasudaEngine, YasudaQuery};

@@ -5,12 +5,14 @@
 //! and index generation compares result coefficients against the all-ones
 //! match value under the alignment masks.
 
+use std::sync::Mutex;
 use std::time::Instant;
 
 use cm_bfv::{BfvContext, Ciphertext, Decryptor, Encryptor, Evaluator};
+use cm_hemath::{kernels, Poly};
 use rand::Rng;
 
-use crate::api::MatchStats;
+use crate::api::{MatchError, MatchStats};
 use crate::bits::BitString;
 use crate::index_gen::{generate_indices, SumTable};
 use crate::packing::DensePacking;
@@ -441,11 +443,68 @@ impl<'a> Cursor<'a> {
     }
 }
 
+/// One query variant's Hom-Add sweep output, stored as a single flat
+/// coefficient arena instead of `poly_count` heap-allocated ciphertexts.
+///
+/// Layout is polynomial-major: result ciphertext `j` occupies
+/// `arena[j * ct_size * n .. (j + 1) * ct_size * n]`, with component
+/// `p` at offset `p * n` inside that window. The flat layout is what
+/// lets the search sweep write every Hom-Add straight into one
+/// allocation and split the arena into disjoint chunks for the
+/// (variant × polynomial-chunk) parallel sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VariantSums {
+    /// The variant's `(r, phase)` alignment key.
+    pub(crate) key: (usize, usize),
+    /// `ct_count * ct_size * n` reduced coefficients.
+    pub(crate) arena: Vec<u64>,
+    /// Components per result ciphertext (2 for fresh CM-SW results).
+    pub(crate) ct_size: usize,
+    /// Ring degree.
+    pub(crate) n: usize,
+}
+
+impl VariantSums {
+    /// Flattens per-polynomial result ciphertexts into an arena,
+    /// zero-padding any ciphertext smaller than the widest one.
+    fn from_cts(key: (usize, usize), cts: &[Ciphertext]) -> Self {
+        let ct_size = cts.iter().map(Ciphertext::size).max().unwrap_or(0);
+        let n = cts.first().map_or(0, |ct| ct.part(0).len());
+        let stride = ct_size * n;
+        let mut arena = vec![0u64; cts.len() * stride];
+        for (ct, slot) in cts.iter().zip(arena.chunks_exact_mut(stride.max(1))) {
+            for (part, window) in ct.parts().iter().zip(slot.chunks_exact_mut(n.max(1))) {
+                window.copy_from_slice(part.coeffs());
+            }
+        }
+        Self {
+            key,
+            arena,
+            ct_size,
+            n,
+        }
+    }
+
+    /// The variant's `(r, phase)` alignment key.
+    pub fn key(&self) -> (usize, usize) {
+        self.key
+    }
+
+    /// Number of result ciphertexts held in the arena.
+    pub fn ciphertext_count(&self) -> usize {
+        self.arena
+            .len()
+            .checked_div(self.ct_size * self.n)
+            .unwrap_or(0)
+    }
+}
+
 /// The server's raw search output: one result ciphertext per
-/// (variant, database polynomial) pair (Algorithm 1 lines 10–11).
+/// (variant, database polynomial) pair (Algorithm 1 lines 10–11),
+/// held as one flat coefficient arena per variant ([`VariantSums`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SearchResult {
-    pub(crate) per_variant: Vec<((usize, usize), Vec<Ciphertext>)>,
+    pub(crate) per_variant: Vec<VariantSums>,
     pub(crate) total_bits: usize,
     pub(crate) k: usize,
     pub(crate) classes: Vec<AlignmentClass>,
@@ -454,7 +513,10 @@ pub struct SearchResult {
 impl SearchResult {
     /// Number of result ciphertexts.
     pub fn ciphertext_count(&self) -> usize {
-        self.per_variant.iter().map(|(_, v)| v.len()).sum()
+        self.per_variant
+            .iter()
+            .map(VariantSums::ciphertext_count)
+            .sum()
     }
 
     /// Assembles a search result from externally computed Hom-Add outputs
@@ -467,7 +529,10 @@ impl SearchResult {
         classes: Vec<AlignmentClass>,
     ) -> Self {
         Self {
-            per_variant,
+            per_variant: per_variant
+                .into_iter()
+                .map(|(key, cts)| VariantSums::from_cts(key, &cts))
+                .collect(),
             total_bits,
             k,
             classes,
@@ -557,65 +622,210 @@ impl CiphermatchEngine {
 
     /// Server-side secure search: one `Hom-Add` per (variant, polynomial).
     /// No multiplications, no rotations — the paper's core claim.
+    ///
+    /// The whole sweep for a variant writes into one flat coefficient
+    /// arena ([`VariantSums`]) via [`Evaluator::add_into`]: zero heap
+    /// allocations per Hom-Add, and the vectorized slice kernels run over
+    /// long contiguous spans.
     pub fn search(&mut self, db: &EncryptedDatabase, query: &EncryptedQuery) -> SearchResult {
+        let mut out = SearchResult {
+            per_variant: Vec::new(),
+            total_bits: 0,
+            k: 0,
+            classes: Vec::new(),
+        };
+        self.search_into(db, query, &mut out);
+        out
+    }
+
+    /// [`Self::search`] into a caller-owned result: when `out` comes from
+    /// a previous search of the same shape, its arenas are rewritten in
+    /// place and the sweep performs **zero** heap allocations — the
+    /// steady-state serving mode, where a per-query multi-megabyte
+    /// allocate/zero/fault/free cycle would otherwise rival the Hom-Add
+    /// work itself.
+    pub fn search_into(
+        &mut self,
+        db: &EncryptedDatabase,
+        query: &EncryptedQuery,
+        out: &mut SearchResult,
+    ) {
+        let n = self.ctx.params().n;
+        let db_size = db.cts.iter().map(Ciphertext::size).max().unwrap_or(0);
+        out.per_variant
+            .resize_with(query.variants.len(), || VariantSums {
+                key: (0, 0),
+                arena: Vec::new(),
+                ct_size: 0,
+                n: 0,
+            });
+        for (v, sums) in query.variants.iter().zip(&mut out.per_variant) {
+            let ct_size = db_size.max(v.ct.size());
+            let stride = ct_size * n;
+            let t0 = Instant::now();
+            sums.key = (v.r, v.phase);
+            sums.ct_size = ct_size;
+            sums.n = n;
+            sums.arena.resize(db.cts.len() * stride, 0);
+            for (dbct, slot) in db
+                .cts
+                .iter()
+                .zip(sums.arena.chunks_exact_mut(stride.max(1)))
+            {
+                let pair = dbct.size().max(v.ct.size()) * n;
+                self.evaluator.add_into(dbct, &v.ct, &mut slot[..pair]);
+                // Padding components past the pair width must read as
+                // zero even when the arena is being reused.
+                slot[pair..].fill(0);
+            }
+            self.stats.add_time += t0.elapsed();
+            self.stats.hom_adds += db.cts.len() as u64;
+        }
+        out.total_bits = db.total_bits;
+        out.k = query.k;
+        out.classes.clone_from(&query.classes);
+    }
+
+    /// Parallel variant of [`Self::search`]: the `Hom-Add` sweep is
+    /// embarrassingly parallel (one independent addition per
+    /// (variant, polynomial) pair), which is how CM-SW exploits the SIMD /
+    /// multicore resources the paper's Table 1 credits it with.
+    ///
+    /// Work is split over (variant × polynomial-chunk) tasks — each task
+    /// owns a disjoint window of a variant's result arena — so a single
+    /// wide variant sweep still spreads across every worker instead of
+    /// serializing on the variant axis. Worker panics surface as
+    /// [`MatchError::WorkerPanicked`] instead of tearing down the caller.
+    pub fn search_parallel(
+        &mut self,
+        db: &EncryptedDatabase,
+        query: &EncryptedQuery,
+        threads: usize,
+    ) -> Result<SearchResult, MatchError> {
+        if threads == 0 {
+            return Err(MatchError::InvalidConfig(
+                "at least one search thread required",
+            ));
+        }
+        if db.cts.is_empty() || query.variants.is_empty() {
+            // Nothing to sweep; produce the empty arenas directly.
+            return Ok(self.search(db, query));
+        }
+        let n = self.ctx.params().n;
+        let db_size = db.cts.iter().map(Ciphertext::size).max().unwrap_or(0);
+
+        // Pre-size one arena per variant, then slice each arena into
+        // contiguous polynomial chunks. Aim for ~4 tasks per worker so
+        // uneven chunk costs still balance.
+        let strides: Vec<usize> = query
+            .variants
+            .iter()
+            .map(|v| db_size.max(v.ct.size()) * n)
+            .collect();
+        let mut arenas: Vec<Vec<u64>> = strides
+            .iter()
+            .map(|stride| vec![0u64; db.cts.len() * stride])
+            .collect();
+        let tasks_per_variant = (threads * 4)
+            .div_ceil(query.variants.len())
+            .clamp(1, db.cts.len());
+        let chunk_polys = db.cts.len().div_ceil(tasks_per_variant);
+
+        struct SweepTask<'a> {
+            variant: &'a EncryptedVariant,
+            stride: usize,
+            db_start: usize,
+            out: Mutex<&'a mut [u64]>,
+        }
+
+        let mut tasks = Vec::with_capacity(query.variants.len() * tasks_per_variant);
+        for ((v, arena), &stride) in query.variants.iter().zip(&mut arenas).zip(&strides) {
+            for (c, window) in arena.chunks_mut(chunk_polys * stride).enumerate() {
+                tasks.push(SweepTask {
+                    variant: v,
+                    stride,
+                    db_start: c * chunk_polys,
+                    out: Mutex::new(window),
+                });
+            }
+        }
+
+        let evaluator = &self.evaluator;
+        let t0 = Instant::now();
+        crate::exec::fan_out(&tasks, threads, |chunk| {
+            for task in chunk {
+                let mut out = task
+                    .out
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                let dbcts = &db.cts[task.db_start..];
+                for (dbct, slot) in dbcts.iter().zip(out.chunks_exact_mut(task.stride)) {
+                    let pair = dbct.size().max(task.variant.ct.size()) * n;
+                    evaluator.add_into(dbct, &task.variant.ct, &mut slot[..pair]);
+                }
+            }
+        })?;
+        drop(tasks);
+        self.stats.add_time += t0.elapsed();
+        self.stats.hom_adds += (query.variants.len() * db.cts.len()) as u64;
+
+        let per_variant = query
+            .variants
+            .iter()
+            .zip(arenas)
+            .zip(strides)
+            .map(|((v, arena), stride)| VariantSums {
+                key: (v.r, v.phase),
+                arena,
+                ct_size: stride / n,
+                n,
+            })
+            .collect();
+        Ok(SearchResult {
+            per_variant,
+            total_bits: db.total_bits,
+            k: query.k,
+            classes: query.classes.clone(),
+        })
+    }
+
+    /// The scalar-reference search sweep: the pre-vectorization baseline
+    /// kept alive so the `hot_path` benchmark can measure both paths in
+    /// the same run. One fresh heap allocation per (variant, polynomial,
+    /// component) and one branchy [`cm_hemath::Modulus`] reduction per
+    /// coefficient — deliberately boring; do not optimize.
+    pub fn search_reference(
+        &mut self,
+        db: &EncryptedDatabase,
+        query: &EncryptedQuery,
+    ) -> SearchResult {
+        let n = self.ctx.params().n;
+        let modulus = *self.ctx.rq().modulus();
         let mut per_variant = Vec::with_capacity(query.variants.len());
         for v in &query.variants {
             let t0 = Instant::now();
             let results: Vec<Ciphertext> = db
                 .cts
                 .iter()
-                .map(|dbct| self.evaluator.add(dbct, &v.ct))
+                .map(|dbct| {
+                    let size = dbct.size().max(v.ct.size());
+                    let zero = vec![0u64; n];
+                    let parts: Vec<Poly> = (0..size)
+                        .map(|p| {
+                            let a = dbct.parts().get(p).map_or(&zero[..], |x| x.coeffs());
+                            let b = v.ct.parts().get(p).map_or(&zero[..], |x| x.coeffs());
+                            let mut out = vec![0u64; n];
+                            kernels::scalar_ref::add_slices(&modulus, a, b, &mut out);
+                            Poly::from_coeffs(out)
+                        })
+                        .collect();
+                    Ciphertext::from_parts(parts)
+                })
                 .collect();
             self.stats.add_time += t0.elapsed();
             self.stats.hom_adds += db.cts.len() as u64;
-            per_variant.push(((v.r, v.phase), results));
+            per_variant.push(VariantSums::from_cts((v.r, v.phase), &results));
         }
-        SearchResult {
-            per_variant,
-            total_bits: db.total_bits,
-            k: query.k,
-            classes: query.classes.clone(),
-        }
-    }
-
-    /// Parallel variant of [`Self::search`]: the `Hom-Add` sweep is
-    /// embarrassingly parallel (one independent addition per
-    /// (variant, polynomial) pair), which is how CM-SW exploits the SIMD /
-    /// multicore resources the paper's Table 1 credits it with. Splits the
-    /// per-variant work across `threads` scoped threads.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `threads` is zero.
-    pub fn search_parallel(
-        &mut self,
-        db: &EncryptedDatabase,
-        query: &EncryptedQuery,
-        threads: usize,
-    ) -> SearchResult {
-        assert!(threads > 0, "at least one thread required");
-        let evaluator = &self.evaluator;
-        let t0 = Instant::now();
-        let per_variant: Vec<((usize, usize), Vec<Ciphertext>)> =
-            crate::exec::fan_out(&query.variants, threads, |chunk| {
-                chunk
-                    .iter()
-                    .map(|v| {
-                        let results: Vec<Ciphertext> = db
-                            .cts
-                            .iter()
-                            .map(|dbct| evaluator.add(dbct, &v.ct))
-                            .collect();
-                        ((v.r, v.phase), results)
-                    })
-                    .collect::<Vec<_>>()
-            })
-            .expect("search worker panicked")
-            .into_iter()
-            .flatten()
-            .collect();
-        self.stats.add_time += t0.elapsed();
-        self.stats.hom_adds += (query.variants.len() * db.cts.len()) as u64;
         SearchResult {
             per_variant,
             total_bits: db.total_bits,
@@ -627,15 +837,25 @@ impl CiphermatchEngine {
     /// Index generation with a decryption capability (the paper's
     /// trusted-controller model, or the client after receiving results):
     /// decrypt sums, compare against the match polynomial under masks, and
-    /// emit matching bit offsets.
+    /// emit matching bit offsets. Decrypts straight out of the flat arenas
+    /// via [`Decryptor::decrypt_slices`] — no ciphertext reassembly.
     pub fn generate_indices(&self, dec: &Decryptor<'_>, result: &SearchResult) -> Vec<usize> {
         let mut table = SumTable::new();
-        for ((r, phase), cts) in &result.per_variant {
-            let sums: Vec<Vec<u64>> = cts
-                .iter()
-                .map(|ct| dec.decrypt(ct).coeffs().to_vec())
+        for v in &result.per_variant {
+            let stride = v.ct_size * v.n;
+            if stride == 0 {
+                table.insert(v.key.0, v.key.1, Vec::new());
+                continue;
+            }
+            let sums: Vec<Vec<u64>> = v
+                .arena
+                .chunks_exact(stride)
+                .map(|ct| {
+                    let parts: Vec<&[u64]> = ct.chunks_exact(v.n).collect();
+                    dec.decrypt_slices(&parts).coeffs().to_vec()
+                })
                 .collect();
-            table.insert(*r, *phase, sums);
+            table.insert(v.key.0, v.key.1, sums);
         }
         generate_indices(
             &result.classes,
@@ -741,17 +961,67 @@ mod tests {
         let query = engine.prepare_query(&enc, &pattern, &mut rng);
         let serial = engine.search(&db, &query);
         for threads in [1usize, 2, 4, 7] {
-            let mut parallel = engine.search_parallel(&db, &query, threads);
+            let mut parallel = engine
+                .search_parallel(&db, &query, threads)
+                .expect("parallel search");
             // Thread interleaving may permute variant order; normalize.
-            parallel.per_variant.sort_by_key(|(key, _)| *key);
+            parallel.per_variant.sort_by_key(|v| v.key);
             let mut expect = serial.clone();
-            expect.per_variant.sort_by_key(|(key, _)| *key);
+            expect.per_variant.sort_by_key(|v| v.key);
             assert_eq!(parallel, expect, "threads = {threads}");
             assert_eq!(
                 engine.generate_indices(&dec, &parallel),
                 data.find_all(&pattern)
             );
         }
+        assert!(matches!(
+            engine.search_parallel(&db, &query, 0),
+            Err(MatchError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn reference_sweep_equals_vectorized_sweep() {
+        let f = Fixture::new();
+        let mut rng = StdRng::seed_from_u64(777);
+        let pk = {
+            let kg = KeyGenerator::new(&f.ctx, &mut rng);
+            kg.public_key(&mut rng)
+        };
+        let enc = Encryptor::new(&f.ctx, pk);
+        let mut engine = CiphermatchEngine::new(&f.ctx);
+        let data = BitString::from_ascii("scalar baseline must agree with the fast path");
+        let db = engine.encrypt_database(&enc, &data, &mut rng);
+        let query = engine.prepare_query(&enc, &BitString::from_ascii("fast"), &mut rng);
+        let fast = engine.search(&db, &query);
+        let slow = engine.search_reference(&db, &query);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn search_into_reuses_buffers_correctly() {
+        let f = Fixture::new();
+        let mut rng = StdRng::seed_from_u64(555);
+        let (sk, pk) = {
+            let kg = KeyGenerator::new(&f.ctx, &mut rng);
+            (kg.secret_key(), kg.public_key(&mut rng))
+        };
+        let enc = Encryptor::new(&f.ctx, pk);
+        let dec = Decryptor::new(&f.ctx, sk);
+        let mut engine = CiphermatchEngine::new(&f.ctx);
+        let data = BitString::from_ascii("reused arenas must not leak stale coefficients");
+        let db = engine.encrypt_database(&enc, &data, &mut rng);
+        let q1 = engine.prepare_query(&enc, &BitString::from_ascii("stale"), &mut rng);
+        let q2 = engine.prepare_query(&enc, &BitString::from_ascii("arenas"), &mut rng);
+        // Fill the buffer with q1's result, then rewrite it with q2's:
+        // the reused buffer must be indistinguishable from a fresh one.
+        let mut reused = engine.search(&db, &q1);
+        engine.search_into(&db, &q2, &mut reused);
+        assert_eq!(reused, engine.search(&db, &q2));
+        assert_eq!(
+            engine.generate_indices(&dec, &reused),
+            data.find_all(&BitString::from_ascii("arenas"))
+        );
     }
 
     #[test]

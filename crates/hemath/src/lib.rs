@@ -22,6 +22,7 @@
 //! assert_eq!(ring.mul(&a, &b).coeffs()[0], 12);
 //! ```
 
+pub mod kernels;
 mod modulus;
 mod ntt;
 mod poly;

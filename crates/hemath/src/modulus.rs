@@ -191,6 +191,20 @@ impl Modulus {
         }
     }
 
+    /// Multiplies `a` by the constant `w` given its Shoup precomputation,
+    /// *without* the final conditional subtraction: the result is in
+    /// `[0, 2q)` for any `a < 2^64` and reduced `w`.
+    ///
+    /// This is the butterfly primitive of the Harvey lazy-reduction NTT,
+    /// where operands deliberately live in `[0, 2q)`/`[0, 4q)` between
+    /// stages and only the transform's final pass reduces fully.
+    #[inline]
+    pub fn mul_shoup_lazy(&self, a: u64, w: u64, w_shoup: u64) -> u64 {
+        let quot = ((a as u128 * w_shoup as u128) >> 64) as u64;
+        a.wrapping_mul(w)
+            .wrapping_sub(quot.wrapping_mul(self.value))
+    }
+
     /// Lifts a reduced value into the centered interval `(-q/2, q/2]`.
     #[inline]
     pub fn center(&self, a: u64) -> i64 {

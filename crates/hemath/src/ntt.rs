@@ -6,6 +6,16 @@
 //! multiplication. Multiplying two polynomials is `forward`, point-wise
 //! product, `inverse` — the wrap-around sign of the negacyclic ring is
 //! absorbed into the `psi` powers.
+//!
+//! For moduli below `2^62` the butterflies use Harvey's lazy reduction:
+//! forward-transform values live in `[0, 4q)` and inverse-transform
+//! values in `[0, 2q)` between stages, with
+//! [`Modulus::mul_shoup_lazy`] (no trailing conditional subtraction)
+//! inside the butterfly and full reduction deferred to one branchless
+//! pass at the end. That removes the two data-dependent branches per
+//! butterfly that otherwise stall the pipeline and block
+//! autovectorization. Moduli of 62 bits or more (where `4q` would
+//! overflow a word) fall back to the exact per-butterfly reduction.
 
 use crate::modulus::{primitive_2n_root, Modulus};
 
@@ -23,6 +33,9 @@ pub struct NttTable {
     psi_inv_rev_shoup: Vec<u64>,
     n_inv: u64,
     n_inv_shoup: u64,
+    /// Whether the butterflies run the Harvey lazy-reduction path:
+    /// requires `4q` to fit a word, i.e. `q < 2^62`.
+    lazy: bool,
 }
 
 /// Reverses the lowest `bits` bits of `i`.
@@ -61,6 +74,7 @@ impl NttTable {
         let psi_inv_rev_shoup = psi_inv_rev.iter().map(|&w| modulus.shoup(w)).collect();
         let n_inv = modulus.inv(n as u64);
         let n_inv_shoup = modulus.shoup(n_inv);
+        let lazy = modulus.value() < (1u64 << 62);
         Self {
             n,
             modulus,
@@ -70,6 +84,7 @@ impl NttTable {
             psi_inv_rev_shoup,
             n_inv,
             n_inv_shoup,
+            lazy,
         }
     }
 
@@ -85,13 +100,61 @@ impl NttTable {
         &self.modulus
     }
 
-    /// In-place forward negacyclic NTT.
+    /// In-place forward negacyclic NTT. Output is fully reduced.
     ///
     /// # Panics
     ///
     /// Panics if `a.len() != n`.
     pub fn forward(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "input length must equal ring degree");
+        if self.lazy {
+            self.forward_lazy(a);
+            // Two branchless select passes take [0, 4q) down to [0, q).
+            let q = self.modulus.value();
+            let two_q = 2 * q;
+            for x in a.iter_mut() {
+                let r = (*x).min(x.wrapping_sub(two_q));
+                *x = r.min(r.wrapping_sub(q));
+            }
+        } else {
+            self.forward_exact(a);
+        }
+    }
+
+    /// Harvey lazy forward transform: stage inputs live in `[0, 4q)`,
+    /// the butterfly reduces `u` to `[0, 2q)` with one select and uses
+    /// [`Modulus::mul_shoup_lazy`] for `v`, and the output is *not*
+    /// fully reduced — every element is in `[0, 4q)`. Sound only when
+    /// `4q` fits a word (`self.lazy`).
+    fn forward_lazy(&self, a: &mut [u64]) {
+        let q = &self.modulus;
+        let two_q = 2 * q.value();
+        let n = self.n;
+        let mut t = n;
+        let mut m = 1usize;
+        while m < n {
+            t /= 2;
+            for i in 0..m {
+                let j1 = 2 * i * t;
+                let s = self.psi_rev[m + i];
+                let s_sh = self.psi_rev_shoup[m + i];
+                // Disjoint halves let the compiler drop bounds checks
+                // and vectorize the butterfly body.
+                let (lo, hi) = a[j1..j1 + 2 * t].split_at_mut(t);
+                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                    let u = (*x).min(x.wrapping_sub(two_q));
+                    let v = q.mul_shoup_lazy(*y, s, s_sh);
+                    *x = u + v;
+                    *y = u + two_q - v;
+                }
+            }
+            m *= 2;
+        }
+    }
+
+    /// Exact forward butterflies (full reduction at every step), kept
+    /// for moduli of 62 bits and above where `4q` would overflow.
+    fn forward_exact(&self, a: &mut [u64]) {
         let q = &self.modulus;
         let n = self.n;
         let mut t = n;
@@ -115,12 +178,57 @@ impl NttTable {
     }
 
     /// In-place inverse negacyclic NTT (including the `1/n` scaling).
+    /// Output is fully reduced.
     ///
     /// # Panics
     ///
     /// Panics if `a.len() != n`.
     pub fn inverse(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "input length must equal ring degree");
+        if self.lazy {
+            self.inverse_lazy(a);
+        } else {
+            self.inverse_exact(a);
+        }
+    }
+
+    /// Harvey lazy inverse transform: stage values live in `[0, 2q)`
+    /// (one select on the sum, `mul_shoup_lazy` on the difference), and
+    /// the final `1/n` scaling uses the exact [`Modulus::mul_shoup`] —
+    /// which maps *any* word to `[0, q)` — so the output is fully
+    /// reduced. Sound only when `4q` fits a word (`self.lazy`).
+    fn inverse_lazy(&self, a: &mut [u64]) {
+        let q = &self.modulus;
+        let two_q = 2 * q.value();
+        let n = self.n;
+        let mut t = 1usize;
+        let mut m = n;
+        while m > 1 {
+            let h = m / 2;
+            let mut j1 = 0usize;
+            for i in 0..h {
+                let s = self.psi_inv_rev[h + i];
+                let s_sh = self.psi_inv_rev_shoup[h + i];
+                let (lo, hi) = a[j1..j1 + 2 * t].split_at_mut(t);
+                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                    let u = *x;
+                    let v = *y;
+                    let sum = u + v;
+                    *x = sum.min(sum.wrapping_sub(two_q));
+                    *y = q.mul_shoup_lazy(u + two_q - v, s, s_sh);
+                }
+                j1 += 2 * t;
+            }
+            t *= 2;
+            m = h;
+        }
+        for x in a.iter_mut() {
+            *x = q.mul_shoup(*x, self.n_inv, self.n_inv_shoup);
+        }
+    }
+
+    /// Exact inverse butterflies, kept for moduli of 62 bits and above.
+    fn inverse_exact(&self, a: &mut [u64]) {
         let q = &self.modulus;
         let n = self.n;
         let mut t = 1usize;
@@ -172,10 +280,22 @@ impl NttTable {
     pub fn negacyclic_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
         let mut fa = a.to_vec();
         let mut fb = b.to_vec();
-        self.forward(&mut fa);
-        self.forward(&mut fb);
         let mut out = vec![0u64; self.n];
-        self.pointwise(&fa, &fb, &mut out);
+        if self.lazy {
+            // Skip the full-reduction tail of both forwards: the
+            // Barrett point-wise product takes the lazy `[0, 4q)`
+            // values straight back to `[0, q)` (the u128 product of two
+            // sub-`2^64` words cannot overflow).
+            self.forward_lazy(&mut fa);
+            self.forward_lazy(&mut fb);
+            for ((&x, &y), o) in fa.iter().zip(&fb).zip(&mut out) {
+                *o = self.modulus.reduce_u128(x as u128 * y as u128);
+            }
+        } else {
+            self.forward(&mut fa);
+            self.forward(&mut fb);
+            self.pointwise(&fa, &fb, &mut out);
+        }
         self.inverse(&mut out);
         out
     }
@@ -272,6 +392,35 @@ mod tests {
         }
         assert_eq!(bit_reverse(1, 4), 8);
         assert_eq!(bit_reverse(0b0011, 4), 0b1100);
+    }
+
+    #[test]
+    fn lazy_and_exact_butterflies_agree() {
+        let n = 64usize;
+        // 30/56-bit moduli take the lazy path, 63-bit the exact
+        // fallback (4q no longer fits a word); all must round-trip,
+        // match schoolbook, and emit fully reduced transforms.
+        for bits in [30u32, 56, 63] {
+            let q = Modulus::new(find_ntt_prime(bits, n));
+            let t = NttTable::new(q, n);
+            let orig: Vec<u64> = (0..n as u64)
+                .map(|i| (i * 0x9E37 + 0xB9) % q.value())
+                .collect();
+            let mut a = orig.clone();
+            t.forward(&mut a);
+            assert!(
+                a.iter().all(|&x| x < q.value()),
+                "forward output must be fully reduced (bits={bits})"
+            );
+            t.inverse(&mut a);
+            assert_eq!(a, orig, "roundtrip (bits={bits})");
+            let b: Vec<u64> = (0..n as u64).map(|i| (i * i + 3) % q.value()).collect();
+            assert_eq!(
+                t.negacyclic_mul(&orig, &b),
+                schoolbook_negacyclic_mul(&q, &orig, &b),
+                "negacyclic product (bits={bits})"
+            );
+        }
     }
 
     #[test]

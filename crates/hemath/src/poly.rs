@@ -7,6 +7,7 @@
 
 use std::sync::Arc;
 
+use crate::kernels;
 use crate::modulus::Modulus;
 use crate::ntt::{schoolbook_negacyclic_mul, NttTable};
 
@@ -126,59 +127,64 @@ impl RingContext {
     pub fn add(&self, a: &Poly, b: &Poly) -> Poly {
         self.check(a);
         self.check(b);
-        let coeffs = a
-            .coeffs()
-            .iter()
-            .zip(b.coeffs())
-            .map(|(&x, &y)| self.modulus.add(x, y))
-            .collect();
-        Poly::from_coeffs(coeffs)
+        let mut out = vec![0u64; self.n];
+        kernels::add_slices(&self.modulus, a.coeffs(), b.coeffs(), &mut out);
+        Poly::from_coeffs(out)
     }
 
     /// `a += b` in place.
     pub fn add_assign(&self, a: &mut Poly, b: &Poly) {
         self.check(a);
         self.check(b);
-        for (x, &y) in a.coeffs_mut().iter_mut().zip(b.coeffs()) {
-            *x = self.modulus.add(*x, y);
-        }
+        kernels::add_assign_slices(&self.modulus, a.coeffs_mut(), b.coeffs());
     }
 
     /// `a - b`.
     pub fn sub(&self, a: &Poly, b: &Poly) -> Poly {
         self.check(a);
         self.check(b);
-        let coeffs = a
-            .coeffs()
-            .iter()
-            .zip(b.coeffs())
-            .map(|(&x, &y)| self.modulus.sub(x, y))
-            .collect();
-        Poly::from_coeffs(coeffs)
+        let mut out = vec![0u64; self.n];
+        kernels::sub_slices(&self.modulus, a.coeffs(), b.coeffs(), &mut out);
+        Poly::from_coeffs(out)
     }
 
     /// `-a`.
     pub fn neg(&self, a: &Poly) -> Poly {
         self.check(a);
-        Poly::from_coeffs(a.coeffs().iter().map(|&x| self.modulus.neg(x)).collect())
+        let mut out = vec![0u64; self.n];
+        kernels::neg_slice(&self.modulus, a.coeffs(), &mut out);
+        Poly::from_coeffs(out)
     }
 
     /// `a * c` for a scalar `c`.
     pub fn scalar_mul(&self, a: &Poly, c: u64) -> Poly {
         self.check(a);
-        let c = self.modulus.reduce(c);
-        Poly::from_coeffs(a.coeffs().iter().map(|&x| self.modulus.mul(x, c)).collect())
+        let mut out = vec![0u64; self.n];
+        kernels::scalar_mul_slice(&self.modulus, a.coeffs(), c, &mut out);
+        Poly::from_coeffs(out)
     }
 
     /// Full ring product `a * b mod (x^n + 1, q)`.
     pub fn mul(&self, a: &Poly, b: &Poly) -> Poly {
         self.check(a);
         self.check(b);
-        let coeffs = match &self.ntt {
-            Some(t) => t.negacyclic_mul(a.coeffs(), b.coeffs()),
-            None => schoolbook_negacyclic_mul(&self.modulus, a.coeffs(), b.coeffs()),
-        };
-        Poly::from_coeffs(coeffs)
+        Poly::from_coeffs(self.mul_slices(a.coeffs(), b.coeffs()))
+    }
+
+    /// Full ring product over raw coefficient slices — the borrowed-view
+    /// entry point flat-arena callers (e.g. decryption over a search
+    /// result arena) use without materializing `Poly`s first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice length differs from the ring degree.
+    pub fn mul_slices(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        assert_eq!(a.len(), self.n, "polynomial degree does not match ring");
+        assert_eq!(b.len(), self.n, "polynomial degree does not match ring");
+        match &self.ntt {
+            Some(t) => t.negacyclic_mul(a, b),
+            None => schoolbook_negacyclic_mul(&self.modulus, a, b),
+        }
     }
 
     /// Applies the Galois automorphism `x -> x^g` for odd `g`.

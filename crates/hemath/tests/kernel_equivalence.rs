@@ -1,0 +1,149 @@
+//! Property tests pinning the vectorized slice kernels to the scalar
+//! reference, and the lazy-reduction NTT to its algebraic definition.
+//!
+//! The vectorized kernels in `cm_hemath::kernels` are the Hom-Add hot
+//! path; the `scalar_ref` module is the boring per-word oracle. Any
+//! divergence between the two — including at the edge values `0`, `q-1`,
+//! and all-max slices, and for both NTT-friendly and NTT-unfriendly
+//! moduli — is a correctness bug, not a performance trade.
+
+use cm_hemath::kernels::{self, scalar_ref};
+use cm_hemath::{find_ntt_prime, schoolbook_negacyclic_mul, Modulus, NttTable};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Moduli spanning the interesting regimes: tiny, NTT-friendly for
+/// n = 1024 in both the lazy (< 2^62) and exact (>= 2^62) butterfly
+/// ranges, an even non-prime, and the largest supported odd value.
+fn moduli() -> Vec<Modulus> {
+    vec![
+        Modulus::new(2),
+        Modulus::new(97),
+        Modulus::new(12289),
+        Modulus::new(find_ntt_prime(30, 1024)),
+        Modulus::new(find_ntt_prime(50, 1024)),
+        Modulus::new(find_ntt_prime(63, 1024)),
+        Modulus::new(1 << 40), // even, non-prime
+        Modulus::new((1u64 << 63) - 1),
+    ]
+}
+
+/// A random reduced slice with edge values salted in: positions are
+/// forced to `0`, `q - 1`, or left random, so every run exercises the
+/// wrap-around paths of the branchless select idioms.
+fn edgy_slice(rng: &mut StdRng, q: u64, len: usize) -> Vec<u64> {
+    (0..len)
+        .map(|_| match rng.gen_range(0..4u8) {
+            0 => 0,
+            1 => q - 1,
+            _ => rng.gen_range(0..q),
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn elementwise_kernels_match_scalar_reference(
+        seed in 0u64..u64::MAX,
+        len in 0usize..67,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for modulus in moduli() {
+            let q = modulus.value();
+            let a = edgy_slice(&mut rng, q, len);
+            let b = edgy_slice(&mut rng, q, len);
+            // The scalar constant is an arbitrary word: the kernel must
+            // reduce it itself.
+            let c = rng.gen::<u64>();
+
+            let mut fast = vec![0u64; len];
+            let mut slow = vec![0u64; len];
+
+            kernels::add_slices(&modulus, &a, &b, &mut fast);
+            scalar_ref::add_slices(&modulus, &a, &b, &mut slow);
+            prop_assert_eq!(&fast, &slow, "add, q = {}", q);
+
+            let mut acc_fast = a.clone();
+            let mut acc_slow = a.clone();
+            kernels::add_assign_slices(&modulus, &mut acc_fast, &b);
+            scalar_ref::add_assign_slices(&modulus, &mut acc_slow, &b);
+            prop_assert_eq!(&acc_fast, &acc_slow, "add_assign, q = {}", q);
+            prop_assert_eq!(&acc_fast, &fast, "add_assign vs add, q = {}", q);
+
+            kernels::sub_slices(&modulus, &a, &b, &mut fast);
+            scalar_ref::sub_slices(&modulus, &a, &b, &mut slow);
+            prop_assert_eq!(&fast, &slow, "sub, q = {}", q);
+
+            kernels::neg_slice(&modulus, &a, &mut fast);
+            scalar_ref::neg_slice(&modulus, &a, &mut slow);
+            prop_assert_eq!(&fast, &slow, "neg, q = {}", q);
+
+            kernels::scalar_mul_slice(&modulus, &a, c, &mut fast);
+            scalar_ref::scalar_mul_slice(&modulus, &a, c, &mut slow);
+            prop_assert_eq!(&fast, &slow, "scalar_mul by {}, q = {}", c, q);
+
+            // Every output word is fully reduced.
+            prop_assert!(fast.iter().all(|&x| x < q), "unreduced output, q = {}", q);
+        }
+    }
+
+    #[test]
+    fn all_max_slices_stay_equivalent(len in 1usize..40) {
+        // Degenerate slices — all zeros and all q-1 — at every modulus.
+        for modulus in moduli() {
+            let q = modulus.value();
+            for value in [0u64, q - 1] {
+                let a = vec![value; len];
+                let b = vec![q - 1; len];
+                let mut fast = vec![0u64; len];
+                let mut slow = vec![0u64; len];
+                kernels::add_slices(&modulus, &a, &b, &mut fast);
+                scalar_ref::add_slices(&modulus, &a, &b, &mut slow);
+                prop_assert_eq!(&fast, &slow);
+                kernels::sub_slices(&modulus, &a, &b, &mut fast);
+                scalar_ref::sub_slices(&modulus, &a, &b, &mut slow);
+                prop_assert_eq!(&fast, &slow);
+                kernels::scalar_mul_slice(&modulus, &a, u64::MAX, &mut fast);
+                scalar_ref::scalar_mul_slice(&modulus, &a, u64::MAX, &mut slow);
+                prop_assert_eq!(&fast, &slow);
+            }
+        }
+    }
+
+    #[test]
+    fn ntt_round_trips_on_random_slices(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 64;
+        // Lazy-butterfly range and exact-butterfly range.
+        for bits in [14u32, 45, 63] {
+            let modulus = Modulus::new(find_ntt_prime(bits, n));
+            let q = modulus.value();
+            let table = NttTable::new(modulus, n);
+            for _ in 0..4 {
+                let a = edgy_slice(&mut rng, q, n);
+                let mut x = a.clone();
+                table.forward(&mut x);
+                prop_assert!(x.iter().all(|&w| w < q), "forward unreduced, q = {}", q);
+                table.inverse(&mut x);
+                prop_assert_eq!(&x, &a, "round trip, q = {}", q);
+            }
+        }
+    }
+
+    #[test]
+    fn ntt_multiply_matches_schoolbook(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 32;
+        for bits in [20u32, 58, 63] {
+            let modulus = Modulus::new(find_ntt_prime(bits, n));
+            let q = modulus.value();
+            let table = NttTable::new(modulus, n);
+            let a = edgy_slice(&mut rng, q, n);
+            let b = edgy_slice(&mut rng, q, n);
+            let fast = table.negacyclic_mul(&a, &b);
+            let slow = schoolbook_negacyclic_mul(&modulus, &a, &b);
+            prop_assert_eq!(&fast, &slow, "negacyclic mul, q = {}", q);
+        }
+    }
+}

@@ -735,13 +735,16 @@ fn dispatch(
         },
         Request::ListTenants => Response::Tenants(registry.list()),
         Request::Match { tenant, query } => match registry.get(tenant).and_then(|t| t.run(query)) {
-            Ok(reply) => Response::Matched {
-                nonce: reply.nonce,
-                sealed_indices: reply.sealed_indices,
-                stats: reply.stats,
-                shard_stats: reply.shard_stats,
-                seal_latency: reply.seal_latency,
-            },
+            Ok(reply) => {
+                telemetry.record_hom_adds(reply.stats.hom_adds);
+                Response::Matched {
+                    nonce: reply.nonce,
+                    sealed_indices: reply.sealed_indices,
+                    stats: reply.stats,
+                    shard_stats: reply.shard_stats,
+                    seal_latency: reply.seal_latency,
+                }
+            }
             Err(e) => Response::Error(e),
         },
         // Stats reads must not re-materialize a cold tenant: the totals
@@ -762,8 +765,9 @@ fn dispatch(
             Err(e) => Response::Error(e),
         },
         // A point-in-time copy of every registered series (empty when
-        // the server runs with telemetry off).
-        Request::Metrics => Response::Metrics(telemetry.registry().snapshot()),
+        // the server runs with telemetry off); refreshes the derived
+        // Hom-Add throughput gauge first.
+        Request::Metrics => Response::Metrics(telemetry.snapshot()),
     }
 }
 

@@ -9,8 +9,11 @@
 
 use std::collections::HashMap;
 use std::sync::Mutex;
+use std::time::Instant;
 
-use cm_telemetry::{metric_names, Counter, Gauge, Histogram, MetricsRegistry, Trace};
+use cm_telemetry::{
+    metric_names, Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, Trace,
+};
 
 use crate::wire::Request;
 
@@ -63,6 +66,12 @@ pub(crate) struct ServerTelemetry {
     busy_sockets: Counter,
     busy_frames: Counter,
     upload_bytes: Counter,
+    /// Per-request `Hom-Add` volume — CM-SW's whole compute profile.
+    hom_adds: Histogram,
+    hom_adds_total: Counter,
+    /// Derived at snapshot time: `hom_adds_total / uptime`.
+    hom_adds_per_sec: Gauge,
+    started: Instant,
     /// Per-tenant match counters, created on first query for the tenant.
     tenant_requests: Mutex<HashMap<String, Counter>>,
     slow_query_micros: Option<u64>,
@@ -106,6 +115,10 @@ impl ServerTelemetry {
             busy_frames: registry
                 .register_counter(metric_names::SERVER_BUSY_REJECTIONS, &[("cap", "frames")]),
             upload_bytes: registry.register_counter(metric_names::SERVER_UPLOAD_BYTES, &[]),
+            hom_adds: registry.register_histogram(metric_names::SERVER_HOM_ADDS, &[]),
+            hom_adds_total: registry.register_counter(metric_names::SERVER_HOM_ADDS_TOTAL, &[]),
+            hom_adds_per_sec: registry.register_gauge(metric_names::SERVER_HOM_ADDS_PER_SEC, &[]),
+            started: Instant::now(),
             tenant_requests: Mutex::new(HashMap::new()),
             slow_query_micros,
             registry,
@@ -136,6 +149,26 @@ impl ServerTelemetry {
     /// Counts accepted upload chunk payload bytes.
     pub(crate) fn count_upload_bytes(&self, bytes: u64) {
         self.upload_bytes.add(bytes);
+    }
+
+    /// Records one match query's `Hom-Add` volume: the per-request
+    /// histogram and the monotone total the throughput gauge derives
+    /// from.
+    pub(crate) fn record_hom_adds(&self, adds: u64) {
+        self.hom_adds.record(adds);
+        self.hom_adds_total.add(adds);
+    }
+
+    /// A point-in-time copy of every registered series, with the derived
+    /// `Hom-Add` throughput gauge refreshed first so readers always see
+    /// adds/sec computed over the server's actual uptime.
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        let secs = self.started.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            let rate = self.hom_adds_total.value() as f64 / secs;
+            self.hom_adds_per_sec.set(rate as i64);
+        }
+        self.registry.snapshot()
     }
 
     /// Records one answered frame: the per-tag request count and

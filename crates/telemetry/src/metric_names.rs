@@ -62,6 +62,14 @@ pub const SERVER_UPLOAD_BYTES: &str = "cm_server_upload_bytes_total";
 /// Requests addressed to a tenant (match, stats, lifecycle), labeled
 /// `tenant`.
 pub const SERVER_TENANT_REQUESTS: &str = "cm_server_tenant_requests_total";
+/// `Hom-Add` operations per match request — the CM-SW server's only
+/// homomorphic work, so this histogram is its entire compute profile.
+pub const SERVER_HOM_ADDS: &str = "cm_server_hom_adds";
+/// `Hom-Add` operations executed since startup.
+pub const SERVER_HOM_ADDS_TOTAL: &str = "cm_server_hom_adds_total";
+/// `Hom-Add` throughput derived at snapshot time: total adds divided by
+/// seconds of server uptime.
+pub const SERVER_HOM_ADDS_PER_SEC: &str = "cm_server_hom_adds_per_sec";
 
 /// Hot-tier databases demoted to the cold tier by budget pressure.
 pub const REGISTRY_DEMOTIONS: &str = "cm_registry_demotions_total";

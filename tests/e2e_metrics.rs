@@ -108,11 +108,14 @@ fn wire_snapshot_counts_match_the_workload_exactly() {
     let truth = data_two.find_all(&pattern);
     assert!(!truth.is_empty());
     let mut client_side_us: u64 = 0;
+    let mut hom_adds_sent: u64 = 0;
     for _ in 0..MATCH_QUERIES {
         let start = Instant::now();
         let reply = client.search_bits(&two, &pattern).unwrap();
         client_side_us += start.elapsed().as_micros() as u64;
         assert_eq!(reply.indices, truth);
+        assert!(reply.stats.hom_adds > 0, "CM-SW search must run Hom-Adds");
+        hom_adds_sent += reply.stats.hom_adds;
     }
 
     // Exactly one connection past the socket cap: the holder takes slot
@@ -199,6 +202,28 @@ fn wire_snapshot_counts_match_the_workload_exactly() {
          end-to-end total ({} µs)",
         latency.sum,
         client_side_us
+    );
+
+    // --- Hom-Add accounting matches the replies the client saw ----------
+    assert_eq!(
+        counter(metric_names::SERVER_HOM_ADDS_TOTAL, &[]),
+        hom_adds_sent,
+        "the Hom-Add total equals the sum of per-reply stats"
+    );
+    let hom_adds = snapshot
+        .histogram(metric_names::SERVER_HOM_ADDS, &[])
+        .expect("per-request Hom-Add histogram missing from the snapshot");
+    assert_eq!(hom_adds.count, MATCH_QUERIES as u64);
+    assert_eq!(
+        hom_adds.sum, hom_adds_sent,
+        "per-request histogram sum equals the total counter"
+    );
+    let adds_per_sec = snapshot
+        .gauge(metric_names::SERVER_HOM_ADDS_PER_SEC, &[])
+        .expect("derived Hom-Add throughput gauge missing from the snapshot");
+    assert!(
+        adds_per_sec >= 0,
+        "the derived adds/sec gauge is never negative"
     );
 
     // The per-tenant counter sees every tenant-two frame: Begin + one
