@@ -110,6 +110,14 @@ impl StatsAccumulator {
 
     /// Folds one query's exact stats into the totals and counts the query.
     pub fn record(&self, stats: &MatchStats) {
+        self.charge(stats);
+        self.queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds lifecycle costs into the totals WITHOUT counting a query —
+    /// demotion writes and re-materialization reads move bytes and wear
+    /// flash on the tenant's behalf, but no query was answered.
+    pub fn charge(&self, stats: &MatchStats) {
         self.hom_adds.fetch_add(stats.hom_adds, Ordering::Relaxed);
         self.hom_muls.fetch_add(stats.hom_muls, Ordering::Relaxed);
         self.rotations.fetch_add(stats.rotations, Ordering::Relaxed);
@@ -123,7 +131,6 @@ impl StatsAccumulator {
             .fetch_add(stats.add_time.as_nanos() as u64, Ordering::Relaxed);
         self.mul_nanos
             .fetch_add(stats.mul_time.as_nanos() as u64, Ordering::Relaxed);
-        self.queries.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The accumulated totals and the number of queries recorded.
@@ -191,6 +198,25 @@ mod tests {
         expected.merge(&b);
         assert_eq!(totals, expected);
         assert_eq!(queries, 2);
+    }
+
+    #[test]
+    fn charge_accumulates_without_counting_a_query() {
+        let acc = StatsAccumulator::new();
+        acc.charge(&MatchStats {
+            bytes_moved: 64,
+            flash_wear: 2,
+            ..MatchStats::default()
+        });
+        acc.record(&MatchStats {
+            hom_adds: 5,
+            ..MatchStats::default()
+        });
+        let (totals, queries) = acc.snapshot();
+        assert_eq!(queries, 1, "charge must not count as a query");
+        assert_eq!(totals.bytes_moved, 64);
+        assert_eq!(totals.flash_wear, 2);
+        assert_eq!(totals.hom_adds, 5);
     }
 
     #[test]

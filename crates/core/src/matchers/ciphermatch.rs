@@ -27,6 +27,13 @@ pub struct EncryptedDatabase {
 }
 
 impl EncryptedDatabase {
+    /// Reassembles a database from raw ciphertexts — the inverse of the
+    /// coefficient-stream flattening the SSD pipeline performs, so an
+    /// in-flash copy can be read back as the canonical representation.
+    pub fn from_ciphertexts(cts: Vec<Ciphertext>, total_bits: usize) -> Self {
+        Self { cts, total_bits }
+    }
+
     /// Number of ciphertexts.
     pub fn poly_count(&self) -> usize {
         self.cts.len()

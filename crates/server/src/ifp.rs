@@ -18,11 +18,13 @@ use std::sync::{Arc, Mutex};
 
 use cm_bfv::{BfvContext, BfvParams, Decryptor, Encryptor, KeyGenerator, PublicKey, SecretKey};
 use cm_core::{
-    Backend, BitString, CiphermatchEngine, EncryptedQuery, MatchError, MatchStats, SecureMatcher,
+    Backend, BitString, CiphermatchEngine, EncryptedDatabase, EncryptedQuery, MatchError,
+    MatchStats, SecureMatcher,
 };
 use cm_flash::FlashGeometry;
-use cm_ssd::{CmIfpServer, TransposeMode};
-use rand::Rng;
+use cm_ssd::{CmIfpServer, Ssd, TransposeMode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::kit::QueryKit;
 
@@ -109,6 +111,24 @@ impl IfpMatcher {
         })
     }
 
+    /// The matcher a remote `TenantSpec` with backend `"ifp"` describes:
+    /// deterministic keys from the spec's seed, the test or paper
+    /// parameter set by the `insecure` flag, software transposition.
+    /// Client and server derive identical matchers from identical specs,
+    /// which is what makes uploaded IFP databases decryptable.
+    pub fn for_spec(seed: u64, insecure: bool) -> Result<Self, MatchError> {
+        let (params, geometry) = if insecure {
+            (BfvParams::insecure_test_pow2(), FlashGeometry::tiny_test())
+        } else {
+            (
+                BfvParams::ciphermatch_ifp_1024(),
+                FlashGeometry::paper_default(),
+            )
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self::new(params, geometry, TransposeMode::Software, &mut rng)
+    }
+
     /// The public query-encryption material a remote client needs to ship
     /// wire queries to this matcher.
     pub fn query_kit(&self) -> QueryKit {
@@ -189,6 +209,40 @@ impl SecureMatcher for IfpMatcher {
         Ok(self.engine().generate_indices(&dec, &result))
     }
 
+    fn encode_database(&self, db: &Self::Database) -> Result<Vec<u8>, MatchError> {
+        // The device is the master copy: export reads every group back out
+        // of the flash array (wear-free) rather than returning a host-side
+        // cache that does not exist.
+        let mut server = db.server.lock().map_err(|_| MatchError::WorkerPanicked)?;
+        Ok(server.export_database().encode(self.q_bits))
+    }
+
+    fn decode_database(&self, encoded: &[u8]) -> Result<Self::Database, MatchError> {
+        let db = EncryptedDatabase::decode(encoded)?;
+        db.validate(
+            self.ctx.params().n,
+            self.ctx.params().q,
+            self.engine().packing().bits_per_poly(),
+        )?;
+        if db.total_bits() == 0 {
+            return Err(MatchError::InvalidConfig("cannot serve an empty database"));
+        }
+        let needed = CmIfpServer::required_words(&db, self.ctx.params().n);
+        if needed > Ssd::cm_capacity_words(&self.geometry) {
+            return Err(MatchError::InvalidConfig(
+                "database exceeds the SSD's CIPHERMATCH region",
+            ));
+        }
+        let bytes = db.byte_size(self.q_bits) as u64;
+        let server = CmIfpServer::new(&self.ctx, self.geometry.clone(), self.mode, &db);
+        Ok(IfpDatabase {
+            server: Arc::new(Mutex::new(server)),
+            total_bits: db.total_bits(),
+            poly_count: db.poly_count(),
+            bytes,
+        })
+    }
+
     fn database_bytes(&self, db: &Self::Database) -> u64 {
         db.bytes
     }
@@ -265,6 +319,49 @@ mod tests {
         assert!(matches!(
             erased.find_all_wire(&encoded[..7]).unwrap_err(),
             MatchError::Decode(_)
+        ));
+    }
+
+    #[test]
+    fn database_survives_the_wire_roundtrip_through_flash() {
+        // export_database reads flash, decode_database programs a fresh
+        // device — an upload from a client-side matcher with the same spec
+        // must land searchable on the server side.
+        let mut client = erase(IfpMatcher::for_spec(42, true).unwrap(), 42);
+        let data = BitString::from_ascii("the master copy lives in the array");
+        client.load_database(&data).unwrap();
+        let encoded = client.export_database().unwrap();
+
+        let mut server = erase(IfpMatcher::for_spec(42, true).unwrap(), 43);
+        server.load_database_wire(&encoded).unwrap();
+        let pattern = BitString::from_ascii("master");
+        assert_eq!(server.find_all(&pattern).unwrap(), data.find_all(&pattern));
+        // Re-export is bit-identical: the read-back path is lossless.
+        assert_eq!(server.export_database().unwrap(), encoded);
+    }
+
+    #[test]
+    fn decode_rejects_garbage_and_oversized_databases() {
+        let matcher = IfpMatcher::for_spec(9, true).unwrap();
+        assert!(matcher.decode_database(&[0u8; 7]).is_err());
+        // A database larger than tiny_test's CIPHERMATCH region must be
+        // refused before the device model panics: replicate a legitimate
+        // ciphertext until the stream no longer fits.
+        let n = matcher.ctx.params().n;
+        let capacity = Ssd::cm_capacity_words(&FlashGeometry::tiny_test());
+        let polys = capacity / (2 * n) + 1;
+        let mut seeded = erase(IfpMatcher::for_spec(9, true).unwrap(), 9);
+        seeded
+            .load_database(&BitString::from_ascii("seed"))
+            .unwrap();
+        let small = EncryptedDatabase::decode(&seeded.export_database().unwrap()).unwrap();
+        let cts = vec![small.ciphertexts()[0].clone(); polys];
+        let bits_per_poly = matcher.engine().packing().bits_per_poly();
+        let big = EncryptedDatabase::from_ciphertexts(cts, polys * bits_per_poly);
+        let encoded = big.encode(matcher.q_bits);
+        assert!(matches!(
+            matcher.decode_database(&encoded).unwrap_err(),
+            MatchError::InvalidConfig(_)
         ));
     }
 

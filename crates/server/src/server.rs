@@ -734,7 +734,10 @@ fn dispatch(
             backends: Backend::WIRE.iter().map(|b| b.name().to_string()).collect(),
         },
         Request::ListTenants => Response::Tenants(registry.list()),
-        Request::Match { tenant, query } => match registry.get(tenant).and_then(|t| t.run(query)) {
+        // Tier-aware routing: a cold flash-native (`ifp`) tenant answers
+        // straight from its parked device, everything else via the hot
+        // pool (re-materializing first if needed).
+        Request::Match { tenant, query } => match registry.run_query(tenant, query) {
             Ok(reply) => {
                 telemetry.record_hom_adds(reply.stats.hom_adds);
                 Response::Matched {

@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use cm_telemetry::{
     metric_names, Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, Trace,
@@ -48,6 +48,22 @@ pub(crate) fn tag_index(request: &Request) -> usize {
     }
 }
 
+/// Shortest interval the derived `Hom-Add` throughput gauge will divide
+/// by. A snapshot taken sooner keeps the previous value: a near-zero
+/// denominator turns a handful of adds into a nonsense spike, and the
+/// very first snapshot would divide the whole startup total by
+/// microseconds.
+const MIN_RATE_INTERVAL: Duration = Duration::from_millis(10);
+
+/// Where the last throughput computation left off: the `hom_adds_total`
+/// reading and the instant it was taken, so the next snapshot derives a
+/// rate over the *interval* instead of the whole uptime (which turns
+/// long-idle servers' gauges into stale averages).
+struct RateWindow {
+    at: Instant,
+    total: u64,
+}
+
 /// The four per-request-tag series.
 struct PerTag {
     requests: Counter,
@@ -69,9 +85,10 @@ pub(crate) struct ServerTelemetry {
     /// Per-request `Hom-Add` volume — CM-SW's whole compute profile.
     hom_adds: Histogram,
     hom_adds_total: Counter,
-    /// Derived at snapshot time: `hom_adds_total / uptime`.
+    /// Derived at snapshot time: adds since the previous snapshot over
+    /// the interval, guarded by [`MIN_RATE_INTERVAL`].
     hom_adds_per_sec: Gauge,
-    started: Instant,
+    rate_window: Mutex<RateWindow>,
     /// Per-tenant match counters, created on first query for the tenant.
     tenant_requests: Mutex<HashMap<String, Counter>>,
     slow_query_micros: Option<u64>,
@@ -118,7 +135,10 @@ impl ServerTelemetry {
             hom_adds: registry.register_histogram(metric_names::SERVER_HOM_ADDS, &[]),
             hom_adds_total: registry.register_counter(metric_names::SERVER_HOM_ADDS_TOTAL, &[]),
             hom_adds_per_sec: registry.register_gauge(metric_names::SERVER_HOM_ADDS_PER_SEC, &[]),
-            started: Instant::now(),
+            rate_window: Mutex::new(RateWindow {
+                at: Instant::now(),
+                total: 0,
+            }),
             tenant_requests: Mutex::new(HashMap::new()),
             slow_query_micros,
             registry,
@@ -160,15 +180,36 @@ impl ServerTelemetry {
     }
 
     /// A point-in-time copy of every registered series, with the derived
-    /// `Hom-Add` throughput gauge refreshed first so readers always see
-    /// adds/sec computed over the server's actual uptime.
+    /// `Hom-Add` throughput gauge refreshed first so readers see adds/sec
+    /// over the interval since the previous snapshot — not a whole-uptime
+    /// average that a long idle gap dilutes toward zero, and never a
+    /// near-zero denominator (the first snapshot used to divide the
+    /// startup total by microseconds of uptime).
     pub(crate) fn snapshot(&self) -> MetricsSnapshot {
-        let secs = self.started.elapsed().as_secs_f64();
-        if secs > 0.0 {
-            let rate = self.hom_adds_total.value() as f64 / secs;
-            self.hom_adds_per_sec.set(rate as i64);
-        }
+        self.refresh_rate();
         self.registry.snapshot()
+    }
+
+    /// Recomputes `cm_server_hom_adds_per_sec` from the window since the
+    /// last refresh. Within [`MIN_RATE_INTERVAL`] the gauge keeps its
+    /// previous value and the window stays open, so rapid-fire snapshots
+    /// neither spike the rate nor starve it.
+    fn refresh_rate(&self) {
+        let mut window = self
+            .rate_window
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let now = Instant::now();
+        let elapsed = now.duration_since(window.at);
+        if elapsed < MIN_RATE_INTERVAL {
+            return;
+        }
+        let total = self.hom_adds_total.value();
+        let delta = total.saturating_sub(window.total);
+        let rate = delta as f64 / elapsed.as_secs_f64();
+        self.hom_adds_per_sec.set(rate as i64);
+        window.at = now;
+        window.total = total;
     }
 
     /// Records one answered frame: the per-tag request count and
@@ -221,5 +262,43 @@ impl ServerTelemetry {
             .register_counter(metric_names::SERVER_TENANT_REQUESTS, &[("tenant", tenant)]);
         cache.insert(tenant.to_string(), counter.clone());
         counter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_snapshot_within_the_guard_window_is_not_a_spike() {
+        let telemetry = ServerTelemetry::new(true, None);
+        // A burst lands immediately after startup; the old
+        // total-over-uptime derivation divided it by microseconds.
+        telemetry.record_hom_adds(1_000_000);
+        telemetry.snapshot();
+        assert_eq!(
+            telemetry.hom_adds_per_sec.value(),
+            0,
+            "a snapshot inside the guard window must keep the seed value"
+        );
+    }
+
+    #[test]
+    fn rate_is_windowed_and_idle_gaps_decay_to_zero() {
+        let telemetry = ServerTelemetry::new(true, None);
+        telemetry.record_hom_adds(50_000);
+        std::thread::sleep(MIN_RATE_INTERVAL * 2);
+        telemetry.snapshot();
+        let busy = telemetry.hom_adds_per_sec.value();
+        assert!(busy > 0, "a real interval with adds must show a rate");
+        // An immediate re-snapshot sits inside the guard window: the
+        // gauge holds, rather than dividing ~0 adds by ~0 seconds.
+        telemetry.snapshot();
+        assert_eq!(telemetry.hom_adds_per_sec.value(), busy);
+        // After an idle window the rate is the *current* throughput
+        // (zero), not a whole-uptime average that merely shrinks.
+        std::thread::sleep(MIN_RATE_INTERVAL * 2);
+        telemetry.snapshot();
+        assert_eq!(telemetry.hom_adds_per_sec.value(), 0);
     }
 }

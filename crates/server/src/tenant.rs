@@ -17,20 +17,35 @@
 //!
 //! The registry accounts every tenant database against a configurable
 //! **host memory budget** (`ServerConfig::memory_budget`). A tenant is
-//! either **hot** — a live [`MatcherPool`] holds its decrypted-side
-//! working state in host memory — or **cold** — only the compact
-//! serialized form ([`cm_core::EncryptedDatabase::encode`]) remains,
-//! modeling the paper's division of labor where bulk ciphertext lives in
-//! flash and only the working set occupies host DRAM. Admitting a
-//! database past the budget demotes the least-recently-used unpinned
-//! *remote* tenant (one registered from a serialized upload; in-process
-//! tenants carry live key material that cannot be rebuilt from bytes and
-//! are never demoted). A query for a cold tenant transparently
-//! **re-materializes** its matcher pool through the shared
+//! either **hot** — a live [`MatcherPool`] holds its working state in
+//! host memory, alongside the serialized upload bytes — or **cold** —
+//! the serialized form has been written, page by page, into the
+//! registry's [`cm_ssd::ColdStore`] (a simulated SSD's conventional
+//! region) and the host-RAM copy dropped: after demotion the *only*
+//! copy of the database is flash pages behind the FTL, which is the
+//! paper's division of labor (the accelerator owns the data; the host
+//! manages placement). Demotion charges `flash_wear` (one program per
+//! page) and `bytes_moved` into the tenant's lifetime stats; promotion
+//! reads the pages back (wear-free) with the same `bytes_moved` charge.
+//!
+//! Admitting a database past the budget demotes the least-recently-used
+//! unpinned *remote* tenant (one registered from a serialized upload;
+//! in-process tenants carry live key material that cannot be rebuilt
+//! from bytes and are never demoted). A query for a cold tenant
+//! transparently **re-materializes** its matcher pool through the shared
 //! [`cm_core::exec`] runtime; in-flight queries on a demoted tenant
 //! finish on their own `Arc` clone unharmed. Each re-materialization
 //! seals replies under a fresh nonce prefix, so demotion cycles never
 //! reuse an AES-CTR keystream.
+//!
+//! [`Backend::Ifp`] tenants are **flash-native**: their database already
+//! lives in a simulated SSD's CIPHERMATCH region, so demotion *parks*
+//! the matcher pool (small key material plus the device handle) instead
+//! of destroying it, and [`TenantRegistry::run_query`] answers Match
+//! queries for a cold `ifp` tenant straight from the parked device —
+//! no re-materialization, no host-memory rebuild, no promotion. Cold is
+//! IFP's native tier, not a penalty; the parked tenant's monotone nonce
+//! counter keeps sealing safe across the demotion.
 //!
 //! ## Authorization
 //!
@@ -56,9 +71,10 @@ use cm_core::{
     Backend, BitString, ErasedMatcher, MatchError, MatchStats, MatcherPool, StatsAccumulator,
     WorkerPool,
 };
-use cm_ssd::SecureIndexChannel;
+use cm_ssd::{ColdSlot, ColdStore, SecureIndexChannel};
 use cm_telemetry::{metric_names, Counter, Gauge, MetricsRegistry};
 
+use crate::ifp::IfpMatcher;
 use crate::wire::{
     auth_tag, content_digest, keys_match, tags_match, upload_tag, DatabaseInfoReply, EvictAuth,
     QueryPayload, TenantInfo, TenantSpec, UploadAuth, OP_EVICT,
@@ -257,11 +273,20 @@ struct TenantEntry {
     /// For remote tenants: how to rebuild the matcher. `None` marks an
     /// in-process tenant, which can never be demoted.
     spec: Option<TenantSpec>,
-    /// For remote tenants: the serialized database (the flash-resident
-    /// master copy the cold tier falls back to).
+    /// For remote tenants while **hot**: the serialized upload bytes
+    /// (kept so demotion can write the master copy to flash without an
+    /// export pass). `None` while cold — demotion moves the bytes into
+    /// the cold store and drops this host-RAM copy.
     encoded: Option<Arc<Vec<u8>>>,
+    /// While **cold**: where in the registry's flash-backed cold store
+    /// the serialized master copy lives.
+    cold: Option<ColdSlot>,
     /// The live tenant while hot; `None` while demoted to the cold tier.
     hot: Option<Arc<Tenant>>,
+    /// For demoted [`Backend::Ifp`] tenants: the parked pool (keys plus
+    /// the shared SSD device) that serves Match queries straight from
+    /// flash while cold. `None` for every other state.
+    parked: Option<Arc<Tenant>>,
 }
 
 /// Telemetry handles for the registry's hot/cold lifecycle. Defaults to
@@ -277,6 +302,12 @@ struct RegistryMetrics {
     hot_bytes: Gauge,
     /// Mirror of [`Inner::budget`] (`-1` when unbounded).
     budget: Gauge,
+    /// Mirror of [`Inner::cold_bytes`].
+    cold_bytes: Gauge,
+    /// Flash program/erase cycles spent on cold-tier lifecycle traffic.
+    flash_wear: Counter,
+    /// Match queries served from the cold tier by a parked `ifp` tenant.
+    cold_hits: Counter,
 }
 
 /// The budget gauge's encoding of "unbounded" (a `u64::MAX` budget
@@ -294,6 +325,9 @@ struct Inner {
     auth: HashMap<String, AuthRecord>,
     /// Sum of the charges of every hot tenant.
     hot_bytes: u64,
+    /// Sum of the byte lengths of every demoted database's flash-resident
+    /// master copy.
+    cold_bytes: u64,
     /// Host memory budget in bytes; `u64::MAX` means unbounded.
     budget: u64,
     /// Monotonic LRU clock.
@@ -315,6 +349,11 @@ impl Inner {
     fn sync_hot_bytes(&self) {
         self.metrics.hot_bytes.set(self.hot_bytes as i64);
     }
+
+    /// Mirrors `cold_bytes` into its gauge; call after every mutation.
+    fn sync_cold_bytes(&self) {
+        self.metrics.cold_bytes.set(self.cold_bytes as i64);
+    }
 }
 
 /// The tenant id → tenant map a serving process is built around, with
@@ -322,6 +361,11 @@ impl Inner {
 /// module docs).
 pub struct TenantRegistry {
     inner: Mutex<Inner>,
+    /// The flash-backed cold tier: demoted databases live here as pages
+    /// in a simulated SSD's conventional region, and nowhere else. Lock
+    /// order is `inner` → `cold` (never the reverse), and neither lock
+    /// is ever held across a build-pool submit.
+    cold: Mutex<ColdStore>,
     /// Remote matcher builds (uploads and cold-tier re-materializations)
     /// run as jobs on this shared-runtime pool, never on ad-hoc threads.
     builders: WorkerPool,
@@ -359,16 +403,24 @@ impl TenantRegistry {
                 tenants: HashMap::new(),
                 auth: HashMap::new(),
                 hot_bytes: 0,
+                cold_bytes: 0,
                 budget: u64::MAX,
                 clock: 0,
                 metrics: RegistryMetrics::default(),
             }),
+            cold: Mutex::new(ColdStore::with_default_geometry()),
             builders,
         }
     }
 
     fn lock(&self) -> MutexGuard<'_, Inner> {
         self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn lock_cold(&self) -> MutexGuard<'_, ColdStore> {
+        self.cold
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
@@ -395,9 +447,13 @@ impl TenantRegistry {
                 .register_counter(metric_names::REGISTRY_REMATERIALIZATIONS, &[]),
             hot_bytes: metrics.register_gauge(metric_names::REGISTRY_HOT_BYTES, &[]),
             budget: metrics.register_gauge(metric_names::REGISTRY_MEMORY_BUDGET_BYTES, &[]),
+            cold_bytes: metrics.register_gauge(metric_names::REGISTRY_COLD_BYTES, &[]),
+            flash_wear: metrics.register_counter(metric_names::REGISTRY_FLASH_WEAR, &[]),
+            cold_hits: metrics.register_counter(metric_names::REGISTRY_COLD_HITS, &[]),
         };
         inner.metrics.budget.set(budget_gauge_value(inner.budget));
         inner.sync_hot_bytes();
+        inner.sync_cold_bytes();
     }
 
     /// The configured host memory budget (`None` = unbounded).
@@ -409,6 +465,35 @@ impl TenantRegistry {
     /// Total accounting charge of the hot tier in bytes.
     pub fn hot_bytes(&self) -> u64 {
         self.lock().hot_bytes
+    }
+
+    /// Bytes of demoted databases resident in the cold tier's flash.
+    pub fn cold_bytes(&self) -> u64 {
+        self.lock().cold_bytes
+    }
+
+    /// Cumulative program/erase cycles of the cold store's device — the
+    /// ground truth the per-tenant `flash_wear` charges must reconcile
+    /// against (demotions program pages; reads and searches are free).
+    pub fn cold_store_wear(&self) -> u64 {
+        self.lock_cold().device_wear()
+    }
+
+    /// Bytes of the tenant's serialized database currently held in host
+    /// RAM (0 while demoted — the flash pages are then the only copy).
+    /// Introspection for tests pinning the tiering invariant; in-process
+    /// tenants report 0 because they never stage serialized bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`MatchError::UnknownTenant`] if no such tenant is registered.
+    pub fn host_copy_bytes(&self, id: &str) -> Result<u64, MatchError> {
+        let inner = self.lock();
+        inner
+            .tenants
+            .get(id)
+            .map(|e| e.encoded.as_ref().map_or(0, |enc| enc.len() as u64))
+            .ok_or_else(|| MatchError::UnknownTenant(id.to_string()))
     }
 
     /// Registers a tenant with [`DEFAULT_TENANT_WORKERS`] pool members:
@@ -476,7 +561,7 @@ impl TenantRegistry {
         if inner.tenants.contains_key(id) {
             return Err(MatchError::InvalidConfig("duplicate tenant id"));
         }
-        Self::ensure_capacity(&mut inner, charge, id)?;
+        Self::ensure_capacity(&mut inner, &self.cold, charge, id)?;
         let clock = inner.tick();
         inner.tenants.insert(
             id.to_string(),
@@ -491,7 +576,9 @@ impl TenantRegistry {
                 totals,
                 spec: None,
                 encoded: None,
+                cold: None,
                 hot: Some(tenant),
+                parked: None,
             },
         );
         inner.hot_bytes += charge;
@@ -635,7 +722,7 @@ impl TenantRegistry {
             .filter(|e| e.hot.is_some())
             .map_or(0, |e| e.charge);
         inner.hot_bytes -= replaced_hot_charge;
-        let demoted = match Self::ensure_capacity(&mut inner, charge, id) {
+        let demoted = match Self::ensure_capacity(&mut inner, &self.cold, charge, id) {
             Ok(demoted) => demoted,
             Err(e) => {
                 inner.hot_bytes += replaced_hot_charge;
@@ -653,7 +740,13 @@ impl TenantRegistry {
                 channel_key: *channel_key,
                 last_nonce: auth.nonce,
             });
-        let replaced = inner.tenants.remove(id);
+        let mut replaced = inner.tenants.remove(id);
+        // A replaced *cold* database frees its flash pages: the re-upload
+        // supersedes the old master copy.
+        if let Some(slot) = replaced.as_mut().and_then(|old| old.cold.take()) {
+            inner.cold_bytes -= self.lock_cold().remove(slot);
+            inner.sync_cold_bytes();
+        }
         // An operator-set pin survives the owner's re-upload; wire
         // admissions themselves never create one.
         let pinned = replaced.as_ref().is_some_and(|old| old.pinned);
@@ -681,7 +774,9 @@ impl TenantRegistry {
                 totals,
                 spec: Some(spec.clone()),
                 encoded: Some(encoded),
+                cold: None,
                 hot: Some(tenant),
+                parked: None,
             },
         );
         inner.hot_bytes += charge;
@@ -722,12 +817,18 @@ impl TenantRegistry {
             return Err(MatchError::Unauthorized("replayed evict nonce"));
         }
         record.last_nonce = auth.nonce;
-        let Some(entry) = inner.tenants.remove(id) else {
+        let Some(mut entry) = inner.tenants.remove(id) else {
             return Err(MatchError::Internal("tenant entry vanished under the lock"));
         };
         let freed = if entry.hot.is_some() { entry.charge } else { 0 };
         inner.hot_bytes -= freed;
         inner.sync_hot_bytes();
+        // A cold database's flash pages are released too: eviction must
+        // return both tiers' accounting to zero.
+        if let Some(slot) = entry.cold.take() {
+            inner.cold_bytes -= self.lock_cold().remove(slot);
+            inner.sync_cold_bytes();
+        }
         Ok(freed)
     }
 
@@ -774,10 +875,20 @@ impl TenantRegistry {
             .tenants
             .get(id)
             .ok_or_else(|| MatchError::UnknownTenant(id.to_string()))?;
+        // Where the serving copy physically lives: `ifp` databases are in
+        // a simulated SSD's CIPHERMATCH region whether hot or parked, and
+        // any demoted database is pages in the cold store — only a hot
+        // non-ifp database is actually DRAM-resident.
+        let tier = if entry.backend == Backend::Ifp || entry.hot.is_none() {
+            "flash"
+        } else {
+            "dram"
+        };
         Ok(DatabaseInfoReply {
             backend: entry.backend.name().to_string(),
             resident: entry.hot.is_some(),
             pinned: entry.pinned,
+            tier: tier.to_string(),
             bytes: entry.charge,
             workers: entry.workers as u32,
             queries: entry.totals.snapshot().1,
@@ -800,9 +911,12 @@ impl TenantRegistry {
     }
 
     /// Looks a tenant up by id, transparently re-materializing a
-    /// cold-tier tenant (rebuilding its matcher pool from the serialized
-    /// database on the registry's build pool, demoting other tenants if
-    /// the budget requires it). Bumps the tenant's LRU stamp.
+    /// cold-tier tenant: the serialized master copy is read back out of
+    /// the flash-backed cold store (wear-free), the matcher pool rebuilt
+    /// from it on the registry's build pool (flash-native `ifp` tenants
+    /// skip the rebuild and unpark their pool), other tenants demoted if
+    /// the budget requires it, and the read's `bytes_moved` charged to
+    /// the tenant at install time. Bumps the tenant's LRU stamp.
     ///
     /// # Errors
     ///
@@ -811,7 +925,7 @@ impl TenantRegistry {
     /// back within the budget.
     pub fn get(&self, id: &str) -> Result<Arc<Tenant>, MatchError> {
         loop {
-            let (spec, encoded, workers, channel_key, totals, charge, backend, generation) = {
+            let (spec, slot, parked, workers, channel_key, totals, charge, backend, generation) = {
                 let mut inner = self.lock();
                 let clock = inner.tick();
                 let entry = inner
@@ -853,12 +967,13 @@ impl TenantRegistry {
                         "cold entry is missing its rebuild spec",
                     ));
                 };
-                let Some(encoded) = entry.encoded.as_ref().map(Arc::clone) else {
-                    return Err(MatchError::Internal("cold entry is missing its database"));
+                let Some(slot) = entry.cold.clone() else {
+                    return Err(MatchError::Internal("cold entry is missing its flash slot"));
                 };
                 (
                     spec,
-                    encoded,
+                    slot,
+                    entry.parked.clone(),
                     entry.workers,
                     entry.channel_key,
                     Arc::clone(&entry.totals),
@@ -867,10 +982,24 @@ impl TenantRegistry {
                     entry.generation,
                 )
             };
-            // Re-materialize off the registry lock, on the shared runtime.
-            let matcher = self.build_remote(&spec, encoded)?;
-            let pool = MatcherPool::new(matcher, workers, tenant_seed(id))?;
-            let tenant = Arc::new(Tenant::assemble(id, backend, pool, &channel_key, totals));
+            // Read the master copy back out of flash, off the registry
+            // lock. Non-destructive: the slot stays live until the
+            // install commits, so a lost race just retries.
+            let read = self.lock_cold().get(&slot)?;
+            let (read_wear, read_moved) = (read.flash_wear, read.bytes_moved);
+            let bytes = Arc::new(read.bytes);
+            let tenant = if let Some(parked) = parked {
+                // Flash-native: the parked pool already holds the device;
+                // promotion is pure accounting, no host-memory rebuild.
+                // Reusing the tenant keeps its nonce counter monotone.
+                parked
+            } else {
+                // Re-materialize off the registry lock, on the shared
+                // runtime.
+                let matcher = self.build_remote(&spec, Arc::clone(&bytes))?;
+                let pool = MatcherPool::new(matcher, workers, tenant_seed(id))?;
+                Arc::new(Tenant::assemble(id, backend, pool, &channel_key, totals))
+            };
 
             let mut inner = self.lock();
             match inner.tenants.get(id) {
@@ -889,17 +1018,70 @@ impl TenantRegistry {
                     }
                 }
             }
-            Self::ensure_capacity(&mut inner, charge, id)?;
+            Self::ensure_capacity(&mut inner, &self.cold, charge, id)?;
             let clock = inner.tick();
-            let Some(entry) = inner.tenants.get_mut(id) else {
-                return Err(MatchError::Internal("tenant entry vanished under the lock"));
-            };
-            entry.hot = Some(Arc::clone(&tenant));
-            entry.last_used = clock;
+            let slot_taken;
+            {
+                let Some(entry) = inner.tenants.get_mut(id) else {
+                    return Err(MatchError::Internal("tenant entry vanished under the lock"));
+                };
+                entry.hot = Some(Arc::clone(&tenant));
+                entry.parked = None;
+                entry.encoded = Some(bytes);
+                slot_taken = entry.cold.take();
+                entry.last_used = clock;
+                // The promotion's flash cost lands exactly once, at
+                // install — a retried race charges nothing.
+                entry.totals.charge(&MatchStats {
+                    flash_wear: read_wear,
+                    bytes_moved: read_moved,
+                    ..MatchStats::default()
+                });
+            }
             inner.hot_bytes += charge;
+            inner.metrics.flash_wear.add(read_wear);
             inner.metrics.rematerializations.inc();
             inner.sync_hot_bytes();
+            if let Some(slot) = slot_taken {
+                inner.cold_bytes -= self.lock_cold().remove(slot);
+                inner.sync_cold_bytes();
+            }
             return Ok(tenant);
+        }
+    }
+
+    /// Runs one Match query with tier-aware routing: a hot tenant serves
+    /// from its pool; a cold flash-native (`ifp`) tenant serves straight
+    /// from its parked device — no re-materialization, no promotion, no
+    /// host-memory rebuild (cold is IFP's native tier); any other cold
+    /// tenant re-materializes first via [`Self::get`].
+    ///
+    /// # Errors
+    ///
+    /// [`MatchError::UnknownTenant`] if no such tenant is registered,
+    /// plus whatever [`Tenant::run`] or the re-materialization reports.
+    pub fn run_query(&self, id: &str, query: &QueryPayload) -> Result<MatchedReply, MatchError> {
+        let servant = {
+            let mut inner = self.lock();
+            let clock = inner.tick();
+            let entry = inner
+                .tenants
+                .get_mut(id)
+                .ok_or_else(|| MatchError::UnknownTenant(id.to_string()))?;
+            entry.last_used = clock;
+            if let Some(hot) = &entry.hot {
+                Some(Arc::clone(hot))
+            } else if let Some(parked) = &entry.parked {
+                let parked = Arc::clone(parked);
+                inner.metrics.cold_hits.inc();
+                Some(parked)
+            } else {
+                None
+            }
+        };
+        match servant {
+            Some(tenant) => tenant.run(query),
+            None => self.get(id)?.run(query),
         }
     }
 
@@ -930,12 +1112,26 @@ impl TenantRegistry {
 
     /// Rebuilds a remote tenant's matcher from its spec and serialized
     /// database, as a job on the registry's build pool (the shared
-    /// `cm_core::exec` runtime).
+    /// `cm_core::exec` runtime). `ifp` specs build through
+    /// [`IfpMatcher::for_spec`] (the backend `MatcherConfig` cannot
+    /// construct — it needs an SSD device), which re-creates the flash
+    /// array and writes the database into its CIPHERMATCH region.
     fn build_remote(
         &self,
         spec: &TenantSpec,
         encoded: Arc<Vec<u8>>,
     ) -> Result<Box<dyn ErasedMatcher>, MatchError> {
+        if Backend::parse(&spec.backend)? == Backend::Ifp {
+            let (seed, insecure) = (spec.seed, spec.insecure);
+            return self
+                .builders
+                .submit(move || {
+                    let mut matcher = cm_core::erase(IfpMatcher::for_spec(seed, insecure)?, seed);
+                    matcher.load_database_wire(&encoded)?;
+                    Ok::<_, MatchError>(matcher)
+                })
+                .wait()?;
+        }
         let config = spec.to_config()?;
         self.builders
             .submit(move || {
@@ -950,13 +1146,22 @@ impl TenantRegistry {
     /// more bytes fit the budget. `admitting` is the id being admitted
     /// (never chosen as a victim).
     ///
+    /// Demotion writes each victim's serialized database into the
+    /// flash-backed cold store (the new master copy) and *then* drops the
+    /// host-RAM copy — the `flash_wear`/`bytes_moved` cost of the write
+    /// lands in the victim's own [`StatsAccumulator`]. A flash-native
+    /// (`ifp`) victim parks its live pool instead of dropping it, so cold
+    /// Match queries keep serving straight from the device.
+    ///
     /// # Errors
     ///
     /// [`MatchError::QuotaExceeded`] when the bytes cannot fit even with
-    /// every demotable tenant cold. Demotions performed before the
-    /// failure stay demoted (they re-materialize on demand).
+    /// every demotable tenant cold, or when the cold store itself is full
+    /// (the victim's host copy is restored first). Demotions performed
+    /// before the failure stay demoted (they re-materialize on demand).
     fn ensure_capacity(
         inner: &mut Inner,
+        cold: &Mutex<ColdStore>,
         needed: u64,
         admitting: &str,
     ) -> Result<Vec<String>, MatchError> {
@@ -987,17 +1192,63 @@ impl TenantRegistry {
                     required: needed,
                 });
             };
-            let Some(entry) = inner.tenants.get_mut(&victim) else {
-                return Err(MatchError::Internal(
-                    "demotion victim vanished under the lock",
-                ));
-            };
-            // In-flight queries holding the Arc finish on their clone;
-            // the registry just stops handing it out.
-            entry.hot = None;
-            inner.hot_bytes -= entry.charge;
+            let victim_charge;
+            let write_wear;
+            {
+                let Some(entry) = inner.tenants.get_mut(&victim) else {
+                    return Err(MatchError::Internal(
+                        "demotion victim vanished under the lock",
+                    ));
+                };
+                let Some(encoded) = entry.encoded.take() else {
+                    return Err(MatchError::Internal(
+                        "demotion victim lost its staged bytes under the lock",
+                    ));
+                };
+                // The master copy moves to flash BEFORE the host copy is
+                // released; a full cold store fails the admission with the
+                // victim left intact. Lock order: `inner` (held by the
+                // caller) → `cold`, never the reverse.
+                let write = {
+                    let mut store = cold
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    match store.put(&encoded) {
+                        Ok(write) => write,
+                        Err(err) => {
+                            entry.encoded = Some(encoded);
+                            return Err(err);
+                        }
+                    }
+                };
+                // From here the flash pages are the only copy of the
+                // serialized database: dropping `encoded` releases the
+                // last host-RAM bytes.
+                drop(encoded);
+                entry.cold = Some(write.slot);
+                if entry.backend == Backend::Ifp {
+                    // Flash-native: park the live pool so cold Match
+                    // queries serve from the device with no rebuild.
+                    entry.parked = entry.hot.take();
+                } else {
+                    // In-flight queries holding the Arc finish on their
+                    // clone; the registry just stops handing it out.
+                    entry.hot = None;
+                }
+                entry.totals.charge(&MatchStats {
+                    flash_wear: write.flash_wear,
+                    bytes_moved: write.bytes_moved,
+                    ..MatchStats::default()
+                });
+                victim_charge = entry.charge;
+                write_wear = write.flash_wear;
+            }
+            inner.hot_bytes -= victim_charge;
+            inner.cold_bytes += victim_charge;
+            inner.metrics.flash_wear.add(write_wear);
             inner.metrics.demotions.inc();
             inner.sync_hot_bytes();
+            inner.sync_cold_bytes();
             demoted.push(victim);
         }
         Ok(demoted)

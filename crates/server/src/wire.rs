@@ -438,6 +438,11 @@ pub struct DatabaseInfoReply {
     pub workers: u32,
     /// Queries served over the tenant's lifetime (survives demotion).
     pub queries: u64,
+    /// Where the master copy of the database lives: `"flash"` for
+    /// flash-native (`ifp`) tenants and for any demoted tenant (the cold
+    /// store's simulated SSD holds the only copy), `"dram"` for a hot
+    /// tenant on every other backend.
+    pub tier: String,
 }
 
 /// How a query travels.
@@ -1301,6 +1306,15 @@ impl Request {
     }
 }
 
+/// The `DatabaseLoaded` demoted-tenant count as the wire's `u32`, or a
+/// typed [`MatchError::Frame`] when the list is too long to count —
+/// mirroring the decoder, which already rejects implausible counts. The
+/// encoder must never cast-truncate: a wrong count desyncs the decoder
+/// from the ids that follow it.
+fn demoted_count(len: usize) -> Result<u32, MatchError> {
+    u32::try_from(len).map_err(|_| MatchError::Frame("demoted-tenant count exceeds the wire u32"))
+}
+
 impl Response {
     /// Serializes the response into a frame payload.
     pub fn encode(&self) -> Vec<u8> {
@@ -1353,14 +1367,24 @@ impl Response {
                 put_u64(&mut out, *expected);
             }
             Response::DatabaseLoaded { bytes, demoted } => {
-                out.push(tags::RESP_DATABASE_LOADED);
-                put_u64(&mut out, *bytes);
                 // u32: one admission can demote far more tenants than a
-                // u16 could count (a truncated count would desync the
-                // decoder from the ids that follow).
-                out.extend_from_slice(&(demoted.len() as u32).to_le_bytes());
-                for id in demoted {
-                    put_str(&mut out, id);
+                // u16 could count. A count past u32 must not be cast
+                // down — a silently truncated count would desync the
+                // decoder from the ids that follow — so an overflowing
+                // reply degrades to a typed Frame error instead.
+                match demoted_count(demoted.len()) {
+                    Ok(count) => {
+                        out.push(tags::RESP_DATABASE_LOADED);
+                        put_u64(&mut out, *bytes);
+                        out.extend_from_slice(&count.to_le_bytes());
+                        for id in demoted {
+                            put_str(&mut out, id);
+                        }
+                    }
+                    Err(e) => {
+                        out.push(tags::RESP_ERROR);
+                        put_error(&mut out, &e);
+                    }
                 }
             }
             Response::Evicted { freed_bytes } => {
@@ -1375,6 +1399,7 @@ impl Response {
                 put_u64(&mut out, info.bytes);
                 out.extend_from_slice(&info.workers.to_le_bytes());
                 put_u64(&mut out, info.queries);
+                put_str(&mut out, &info.tier);
             }
             Response::Metrics(snapshot) => {
                 out.push(tags::RESP_METRICS);
@@ -1474,6 +1499,7 @@ impl Response {
                 bytes: r.u64()?,
                 workers: r.u32()?,
                 queries: r.u64()?,
+                tier: r.str()?,
             }),
             tags::RESP_METRICS => Response::Metrics(read_snapshot(&mut r)?),
             _ => return Err(MatchError::Frame("unknown response tag")),
@@ -1715,6 +1741,16 @@ mod tests {
                 bytes: 4096,
                 workers: 4,
                 queries: 17,
+                tier: "dram".into(),
+            }),
+            Response::DatabaseInfo(DatabaseInfoReply {
+                backend: "ifp".into(),
+                resident: false,
+                pinned: false,
+                bytes: 8192,
+                workers: 2,
+                queries: 3,
+                tier: "flash".into(),
             }),
             Response::Error(MatchError::Unauthorized("replayed upload nonce")),
             Response::Error(MatchError::QuotaExceeded {
@@ -1740,6 +1776,19 @@ mod tests {
                 _ => assert_eq!(decoded, resp, "{resp:?}"),
             }
         }
+    }
+
+    #[test]
+    fn demoted_counts_past_u32_become_frame_errors_not_truncation() {
+        assert_eq!(demoted_count(0).unwrap(), 0);
+        assert_eq!(demoted_count(u32::MAX as usize).unwrap(), u32::MAX);
+        // One past u32::MAX must refuse, not wrap to 0 — a wrapped count
+        // would desync the decoder from the ids that follow it.
+        let overflowing = u32::MAX as usize + 1;
+        assert!(matches!(
+            demoted_count(overflowing),
+            Err(MatchError::Frame(_))
+        ));
     }
 
     #[test]

@@ -337,6 +337,228 @@ fn rematerialized_tenants_answer_identically_and_keep_their_stats() {
 }
 
 // ---------------------------------------------------------------------------
+// The flash-backed cold tier
+// ---------------------------------------------------------------------------
+
+/// An in-flash (`ifp`) remote tenant payload: deterministic keys from the
+/// spec seed, exported through the device's honest flash read-back path.
+fn ifp_payload(seed: u64, text: &str) -> (TenantSpec, Vec<u8>, BitString) {
+    let data = BitString::from_ascii(text);
+    let mut owner = cm_core::erase(cm_server::IfpMatcher::for_spec(seed, true).unwrap(), seed);
+    owner.load_database(&data).unwrap();
+    let encoded = owner.export_database().unwrap();
+    let spec = TenantSpec {
+        backend: "ifp".into(),
+        seed,
+        window: 0,
+        threads: 1,
+        insecure: true,
+        workers: 1,
+    };
+    (spec, encoded, data)
+}
+
+/// The tentpole invariant: demotion makes the simulated flash the master
+/// copy. The host-RAM `encoded` bytes are *gone* (not merely unaccounted),
+/// the cold store holds the bytes as pages, the write's wear and movement
+/// land in the victim's own stats, and promotion reads it all back.
+#[test]
+fn cold_demotion_moves_the_master_copy_into_flash() {
+    let registry = TenantRegistry::new();
+    let (spec, encoded, _) = plain_payload(3000, 0x11);
+    let charge = encoded.len() as u64;
+    registry.set_memory_budget(Some(charge)); // exactly one fits
+
+    registry
+        .register_remote(
+            "first",
+            &spec,
+            encoded.clone(),
+            &remote_auth(&KEY_A, "first", &spec, &encoded, 1),
+        )
+        .unwrap();
+    assert_eq!(registry.host_copy_bytes("first").unwrap(), charge);
+    assert_eq!(registry.cold_bytes(), 0);
+    assert_eq!(registry.cold_store_wear(), 0);
+
+    let load = registry
+        .register_remote(
+            "second",
+            &spec,
+            encoded.clone(),
+            &remote_auth(&KEY_B, "second", &spec, &encoded, 1),
+        )
+        .unwrap();
+    assert_eq!(load.demoted, vec!["first".to_string()]);
+
+    // Hot accounting excludes the demoted bytes AND the host copy is
+    // gone: the only copy is pages in the cold store's simulated SSD.
+    assert_eq!(registry.hot_bytes(), charge);
+    assert_eq!(registry.cold_bytes(), charge);
+    assert_eq!(registry.host_copy_bytes("first").unwrap(), 0);
+    let pages = charge.div_ceil(1024); // default cold-store page size
+    assert_eq!(
+        registry.cold_store_wear(),
+        pages,
+        "one program per page written, nothing else"
+    );
+    let (stats, _) = registry.totals_of("first").unwrap();
+    assert_eq!(stats.flash_wear, pages, "the victim pays the write wear");
+    assert_eq!(stats.bytes_moved, charge, "the victim pays the movement");
+
+    // Promotion reads the master copy back: flash reads are wear-free,
+    // the same bytes move again, and the accounting swaps tiers.
+    let wear_before = registry.cold_store_wear();
+    registry.get("first").unwrap();
+    assert!(registry.is_resident("first").unwrap());
+    assert_eq!(registry.host_copy_bytes("first").unwrap(), charge);
+    let (stats, _) = registry.totals_of("first").unwrap();
+    assert_eq!(stats.bytes_moved, charge * 2, "write down + read back");
+    // The promotion demoted "second" to make room (budget fits one), so
+    // total wear grew only by second's demotion write — the read-back
+    // itself added none.
+    assert_eq!(registry.cold_store_wear(), wear_before + pages);
+    assert_eq!(registry.cold_bytes(), charge, "second took first's place");
+}
+
+/// Satellite: the wear ledger reconciles across a full
+/// demote → cold-serve → rebuild cycle — the demotion write is charged
+/// exactly once (to the victim), cold serving and promotion add zero
+/// wear, and the registry's ledger equals the device's.
+#[test]
+fn cold_wear_ledger_reconciles_across_demote_serve_rebuild() {
+    let registry = TenantRegistry::new();
+    let (spec, encoded, data) = ifp_payload(77, "the wear ledger must reconcile end to end");
+    let charge = encoded.len() as u64;
+    registry.set_memory_budget(Some(charge)); // exactly the ifp tenant
+
+    registry
+        .register_remote(
+            "ifpt",
+            &spec,
+            encoded.clone(),
+            &remote_auth(&KEY_A, "ifpt", &spec, &encoded, 1),
+        )
+        .unwrap();
+    let pattern = BitString::from_ascii("ledger");
+    let truth = data.find_all(&pattern);
+    let open = |reply: &cm_server::MatchedReply| {
+        SecureIndexChannel::new(&KEY_A).open(&reply.sealed_indices, reply.nonce)
+    };
+
+    // Hot in-flash queries are latch-only: zero wear anywhere.
+    let hot_reply = registry
+        .run_query("ifpt", &QueryPayload::Bits(pattern.clone()))
+        .unwrap();
+    assert_eq!(open(&hot_reply), truth);
+    assert_eq!(registry.cold_store_wear(), 0);
+    assert_eq!(registry.totals_of("ifpt").unwrap().0.flash_wear, 0);
+
+    // Demote: exactly one program per page, charged once, to the victim.
+    // The pusher's serialized charge (8 + payload) matches the ifp
+    // tenant's exactly, so the one-tenant budget swaps them cleanly.
+    let (pspec, pencoded, _) = plain_payload(encoded.len() - 8, 0x22);
+    registry
+        .register_remote(
+            "pusher",
+            &pspec,
+            pencoded.clone(),
+            &remote_auth(&KEY_B, "pusher", &pspec, &pencoded, 1),
+        )
+        .unwrap();
+    assert!(!registry.is_resident("ifpt").unwrap());
+    let pages = charge.div_ceil(1024);
+    let wear_after_demote = registry.cold_store_wear();
+    assert_eq!(wear_after_demote, pages);
+    let charged = registry.totals_of("ifpt").unwrap().0.flash_wear;
+    assert_eq!(
+        charged, wear_after_demote,
+        "tenant ledger == device ledger: no double- or zero-charging"
+    );
+
+    // Cold serve: the parked device answers correctly with no
+    // re-materialization and no additional wear on either ledger.
+    let cold_reply = registry
+        .run_query("ifpt", &QueryPayload::Bits(pattern.clone()))
+        .unwrap();
+    assert_eq!(open(&cold_reply), truth);
+    assert!(!registry.is_resident("ifpt").unwrap(), "no promotion");
+    assert_eq!(registry.host_copy_bytes("ifpt").unwrap(), 0);
+    assert_eq!(registry.cold_store_wear(), wear_after_demote);
+    assert_eq!(registry.totals_of("ifpt").unwrap().0.flash_wear, charged);
+    assert_ne!(cold_reply.nonce, hot_reply.nonce, "nonces stay monotone");
+
+    // Rebuild: the read-back is wear-free; only the pusher's own
+    // demotion write (same byte count, same page count) adds wear — and
+    // it lands on the pusher, not on the promoted tenant.
+    registry.get("ifpt").unwrap();
+    assert!(registry.is_resident("ifpt").unwrap());
+    let pusher_pages = (pencoded.len() as u64).div_ceil(1024);
+    assert_eq!(registry.cold_store_wear(), wear_after_demote + pusher_pages);
+    assert_eq!(
+        registry.totals_of("ifpt").unwrap().0.flash_wear,
+        charged,
+        "promotion reads are wear-free"
+    );
+    assert_eq!(
+        registry.totals_of("pusher").unwrap().0.flash_wear,
+        pusher_pages
+    );
+    // And the promoted tenant still answers identically.
+    let warm_reply = registry
+        .run_query("ifpt", &QueryPayload::Bits(pattern))
+        .unwrap();
+    assert_eq!(open(&warm_reply), truth);
+}
+
+/// Satellite: `DatabaseInfo` and stats reads are pure reads — neither
+/// may re-materialize a cold tenant (warming a pool to answer "is it
+/// warm?" would thrash the budget).
+#[test]
+fn cold_info_and_stats_reads_never_rematerialize() {
+    let registry = TenantRegistry::new();
+    let (spec, encoded, _) = plain_payload(500, 0x33);
+    let charge = encoded.len() as u64;
+    registry.set_memory_budget(Some(charge));
+
+    registry
+        .register_remote(
+            "colder",
+            &spec,
+            encoded.clone(),
+            &remote_auth(&KEY_A, "colder", &spec, &encoded, 1),
+        )
+        .unwrap();
+    registry
+        .register_remote(
+            "warmer",
+            &spec,
+            encoded.clone(),
+            &remote_auth(&KEY_B, "warmer", &spec, &encoded, 1),
+        )
+        .unwrap();
+    assert!(!registry.is_resident("colder").unwrap());
+
+    let info = registry.info("colder").unwrap();
+    assert!(!info.resident);
+    assert_eq!(info.tier, "flash", "a demoted database lives in flash");
+    let _ = registry.totals_of("colder").unwrap();
+    assert!(
+        !registry.is_resident("colder").unwrap(),
+        "info/stats reads must not warm the tenant"
+    );
+    assert_eq!(
+        registry.host_copy_bytes("colder").unwrap(),
+        0,
+        "reads must not pull the bytes back into host RAM either"
+    );
+    assert_eq!(registry.cold_bytes(), charge);
+
+    // The hot non-ifp tenant reports the dram tier.
+    assert_eq!(registry.info("warmer").unwrap().tier, "dram");
+}
+
+// ---------------------------------------------------------------------------
 // Authorization
 // ---------------------------------------------------------------------------
 

@@ -268,6 +268,7 @@ proptest! {
                 bytes: seed,
                 workers: (seed % 64) as u32 + 1,
                 queries: seed >> 3,
+                tier: if resident { "dram".into() } else { "flash".into() },
             }),
             Response::Error(MatchError::QuotaExceeded { budget: seed, required: seed >> 1 }),
         ];
@@ -335,6 +336,7 @@ proptest! {
                 bytes: seed,
                 workers: 4,
                 queries: 11,
+                tier: "dram".into(),
             }),
         ];
         for resp in responses {

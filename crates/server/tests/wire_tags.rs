@@ -229,6 +229,7 @@ fn response_cases() -> Vec<(Response, &'static str)> {
                 bytes: 4096,
                 workers: 3,
                 queries: 17,
+                tier: "dram".into(),
             }),
             "RESP_DATABASE_INFO",
         ),

@@ -1,0 +1,286 @@
+//! The cold tier's master-copy store: serialized databases as pages in
+//! the conventional region of a simulated [`Ssd`].
+//!
+//! A server that demotes a tenant under memory pressure hands the encoded
+//! database here and drops its host-RAM copy — after [`ColdStore::put`]
+//! the *only* copy is flash pages behind the FTL, which is the paper's
+//! placement model (the accelerator owns the data; the host only manages
+//! placement). [`ColdStore::get`] reads a blob back page by page for
+//! re-materialization; [`ColdStore::remove`] recycles its logical pages
+//! for later writes (the FTL never reclaims mappings, but re-programming
+//! a mapped page is legal in the flash model and is how the store reuses
+//! space).
+//!
+//! Every operation reports the flash cost it incurred: `put` wears the
+//! array by one program per page written, `get` is wear-free (reads do
+//! not consume program/erase cycles), and both move exactly the blob's
+//! bytes. Callers charge these into the owning tenant's accounting so
+//! demotion traffic is visible in the same ledger as search traffic.
+
+use cm_core::MatchError;
+use cm_flash::FlashGeometry;
+
+use crate::ssd::Ssd;
+use crate::transpose::TransposeMode;
+
+/// Handle to one blob stored in the cold tier. Opaque to callers: it
+/// names the logical pages holding the bytes and must be given back to
+/// the same [`ColdStore`] that issued it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColdSlot {
+    lpns: Vec<u64>,
+    len: usize,
+}
+
+impl ColdSlot {
+    /// Stored blob length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the slot holds an empty blob.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of flash pages backing the blob.
+    pub fn pages(&self) -> usize {
+        self.lpns.len()
+    }
+}
+
+/// Flash cost of one [`ColdStore::put`].
+#[derive(Debug)]
+pub struct ColdWrite {
+    /// Where the blob now lives.
+    pub slot: ColdSlot,
+    /// Program/erase cycles consumed (one program per page written).
+    pub flash_wear: u64,
+    /// Bytes moved host → flash (the blob length).
+    pub bytes_moved: u64,
+}
+
+/// Result and flash cost of one [`ColdStore::get`].
+#[derive(Debug)]
+pub struct ColdRead {
+    /// The blob, exactly as stored.
+    pub bytes: Vec<u8>,
+    /// Program/erase cycles consumed (reads are wear-free, so this is 0
+    /// unless the flash model changes).
+    pub flash_wear: u64,
+    /// Bytes moved flash → host (the blob length).
+    pub bytes_moved: u64,
+}
+
+/// Blob store over the conventional region of an owned [`Ssd`].
+#[derive(Debug)]
+pub struct ColdStore {
+    ssd: Ssd,
+    /// Logical pages of removed blobs, available for reuse before fresh
+    /// pages are allocated past the high-water mark.
+    free: Vec<u64>,
+    next_lpn: u64,
+    stored_bytes: u64,
+}
+
+impl ColdStore {
+    /// A store over a fresh device with the given geometry.
+    pub fn new(geometry: FlashGeometry, mode: TransposeMode) -> Self {
+        Self {
+            ssd: Ssd::new(geometry, mode),
+            free: Vec::new(),
+            next_lpn: 0,
+            stored_bytes: 0,
+        }
+    }
+
+    /// A store over [`Self::default_geometry`].
+    pub fn with_default_geometry() -> Self {
+        Self::new(Self::default_geometry(), TransposeMode::Software)
+    }
+
+    /// A cold-tier geometry with ~16 MiB of conventional capacity
+    /// (4 ch × 2 die × 2 plane, 64 blocks/plane with a quarter reserved,
+    /// 1 KiB pages) — roomy enough for a registry's worth of demoted test
+    /// databases while keeping the page count small.
+    pub fn default_geometry() -> FlashGeometry {
+        FlashGeometry {
+            channels: 4,
+            dies_per_channel: 2,
+            planes_per_die: 2,
+            blocks_per_plane: 64,
+            wordlines_per_block: 64,
+            page_bytes: 1024,
+        }
+    }
+
+    /// Page size of the backing device in bytes.
+    pub fn page_bytes(&self) -> usize {
+        self.ssd.geometry().page_bytes
+    }
+
+    /// Conventional-region capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        (self.ssd.conventional_capacity() * self.page_bytes()) as u64
+    }
+
+    /// Total bytes of live blobs.
+    pub fn stored_bytes(&self) -> u64 {
+        self.stored_bytes
+    }
+
+    /// Cumulative device wear (program + erase cycles) since creation.
+    pub fn device_wear(&self) -> u64 {
+        self.ssd.ledger().wear()
+    }
+
+    /// Writes a blob to flash, page by page, and returns its slot plus the
+    /// flash cost. Fails with [`MatchError::QuotaExceeded`] when the
+    /// conventional region cannot hold it — the caller keeps its host copy
+    /// in that case, so the failure is clean.
+    pub fn put(&mut self, bytes: &[u8]) -> Result<ColdWrite, MatchError> {
+        let page_bytes = self.page_bytes();
+        let pages_needed = bytes.len().div_ceil(page_bytes);
+        let fresh_needed = pages_needed.saturating_sub(self.free.len());
+        let headroom = self
+            .ssd
+            .conventional_capacity()
+            .saturating_sub(self.next_lpn as usize);
+        if fresh_needed > headroom {
+            return Err(MatchError::QuotaExceeded {
+                budget: self.capacity_bytes(),
+                required: bytes.len() as u64,
+            });
+        }
+        let wear_before = self.ssd.ledger().wear();
+        let mut lpns = Vec::with_capacity(pages_needed);
+        for chunk in bytes.chunks(page_bytes) {
+            let lpn = self.free.pop().unwrap_or_else(|| {
+                let lpn = self.next_lpn;
+                self.next_lpn += 1;
+                lpn
+            });
+            self.ssd.write_page(lpn, chunk);
+            lpns.push(lpn);
+        }
+        self.stored_bytes += bytes.len() as u64;
+        Ok(ColdWrite {
+            slot: ColdSlot {
+                lpns,
+                len: bytes.len(),
+            },
+            flash_wear: self.ssd.ledger().wear() - wear_before,
+            bytes_moved: bytes.len() as u64,
+        })
+    }
+
+    /// Reads a blob back from flash. Non-destructive: the slot stays valid
+    /// until [`Self::remove`]d, so a re-materialization that loses an
+    /// install race can simply retry.
+    pub fn get(&mut self, slot: &ColdSlot) -> Result<ColdRead, MatchError> {
+        for &lpn in &slot.lpns {
+            if lpn >= self.next_lpn {
+                return Err(MatchError::Internal(
+                    "cold slot names a page this store never wrote",
+                ));
+            }
+        }
+        let wear_before = self.ssd.ledger().wear();
+        let mut bytes = Vec::with_capacity(slot.lpns.len() * self.page_bytes());
+        for &lpn in &slot.lpns {
+            bytes.extend_from_slice(&self.ssd.read_page(lpn));
+        }
+        bytes.truncate(slot.len);
+        Ok(ColdRead {
+            bytes,
+            flash_wear: self.ssd.ledger().wear() - wear_before,
+            bytes_moved: slot.len as u64,
+        })
+    }
+
+    /// Releases a blob's pages for reuse and returns its byte length.
+    pub fn remove(&mut self, slot: ColdSlot) -> u64 {
+        self.stored_bytes = self.stored_bytes.saturating_sub(slot.len as u64);
+        self.free.extend(slot.lpns);
+        slot.len as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> ColdStore {
+        // tiny_test: 64 B pages, 1 reserved block/plane -> 512 pages, 32 KiB.
+        ColdStore::new(FlashGeometry::tiny_test(), TransposeMode::Software)
+    }
+
+    #[test]
+    fn put_get_roundtrip_charges_wear_and_bytes() {
+        let mut s = store();
+        let blob: Vec<u8> = (0..200u16).map(|i| (i % 251) as u8).collect();
+        let write = s.put(&blob).unwrap();
+        // 200 B over 64 B pages -> 4 pages, 1 program each.
+        assert_eq!(write.slot.pages(), 4);
+        assert_eq!(write.flash_wear, 4);
+        assert_eq!(write.bytes_moved, 200);
+        assert_eq!(s.stored_bytes(), 200);
+        assert_eq!(s.device_wear(), 4);
+        let read = s.get(&write.slot).unwrap();
+        assert_eq!(read.bytes, blob);
+        assert_eq!(read.flash_wear, 0, "reads must be wear-free");
+        assert_eq!(read.bytes_moved, 200);
+        // Non-destructive: a second read still works.
+        assert_eq!(s.get(&write.slot).unwrap().bytes, blob);
+    }
+
+    #[test]
+    fn removed_pages_are_reused_before_fresh_ones() {
+        let mut s = store();
+        let a = s.put(&[1u8; 100]).unwrap();
+        let freed = s.remove(a.slot);
+        assert_eq!(freed, 100);
+        assert_eq!(s.stored_bytes(), 0);
+        let b = s.put(&[2u8; 100]).unwrap();
+        // Reuses the two freed lpns: no fresh allocation past lpn 1.
+        assert!(b.slot.lpns.iter().all(|&lpn| lpn < 2));
+        assert_eq!(s.get(&b.slot).unwrap().bytes, vec![2u8; 100]);
+    }
+
+    #[test]
+    fn exhaustion_is_a_typed_quota_error() {
+        let mut s = store();
+        let cap = s.capacity_bytes() as usize;
+        s.put(&vec![7u8; cap]).unwrap();
+        let err = s.put(&[1u8]).unwrap_err();
+        assert!(matches!(err, MatchError::QuotaExceeded { .. }), "{err:?}");
+        // The failed put charged nothing and stored nothing.
+        assert_eq!(s.stored_bytes(), cap as u64);
+    }
+
+    #[test]
+    fn empty_blob_occupies_no_pages() {
+        let mut s = store();
+        let w = s.put(&[]).unwrap();
+        assert_eq!(w.slot.pages(), 0);
+        assert_eq!(w.flash_wear, 0);
+        assert!(w.slot.is_empty());
+        assert!(s.get(&w.slot).unwrap().bytes.is_empty());
+    }
+
+    #[test]
+    fn foreign_slot_is_rejected() {
+        let mut s = store();
+        let mut other = store();
+        let w = other.put(&[3u8; 300]).unwrap();
+        let err = s.get(&w.slot).unwrap_err();
+        assert!(matches!(err, MatchError::Internal(_)), "{err:?}");
+    }
+
+    #[test]
+    fn default_geometry_has_promised_capacity() {
+        let s = ColdStore::with_default_geometry();
+        assert_eq!(s.capacity_bytes(), 16 * 1024 * 1024);
+        assert_eq!(s.page_bytes(), 1024);
+    }
+}

@@ -112,6 +112,18 @@ impl Ftl {
         self.conventional.get(&lpn).copied()
     }
 
+    /// Total conventional-region capacity in pages.
+    pub fn conventional_capacity(&self) -> usize {
+        self.cm_first_block * self.geometry.wordlines_per_block * self.geometry.total_planes()
+    }
+
+    /// Conventional pages already mapped (mappings are never reclaimed, so
+    /// this is also the high-water mark the next [`Self::map_conventional`]
+    /// of a fresh lpn allocates from).
+    pub fn conventional_in_use(&self) -> usize {
+        self.next_conventional
+    }
+
     /// Allocates the next CIPHERMATCH group (round-robin across planes so
     /// consecutive groups land on different latch sets).
     ///
@@ -164,6 +176,18 @@ mod tests {
         assert_eq!(f.lookup_conventional(8), None);
         // Conventional pages stay below the CM region.
         assert!(a.block < 1);
+    }
+
+    #[test]
+    fn conventional_capacity_tracks_reservation_and_use() {
+        let mut f = ftl();
+        // tiny_test: 1 reserved block/plane x 64 WLs x 8 planes.
+        assert_eq!(f.conventional_capacity(), 64 * 8);
+        assert_eq!(f.conventional_in_use(), 0);
+        f.map_conventional(0);
+        f.map_conventional(1);
+        f.map_conventional(0); // remap: no new allocation
+        assert_eq!(f.conventional_in_use(), 2);
     }
 
     #[test]

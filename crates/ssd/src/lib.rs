@@ -13,6 +13,7 @@
 //! Hom-Add results** to the software CIPHERMATCH engine, while consuming
 //! zero program/erase cycles.
 
+mod cold;
 mod commands;
 mod ftl;
 mod pipeline;
@@ -20,6 +21,7 @@ mod secure_index;
 mod ssd;
 mod transpose;
 
+pub use cold::{ColdRead, ColdSlot, ColdStore, ColdWrite};
 pub use commands::{submit, HostCommand, HostResponse};
 pub use ftl::{Ftl, GroupAddr, GROUP_WORDLINES};
 pub use pipeline::CmIfpServer;

@@ -115,6 +115,30 @@ impl CmIfpServer {
         &mut self.ssd
     }
 
+    /// Reads the stored database back out of the flash array (`CM-read`
+    /// over every group, reverse transposition, stream reassembly) — the
+    /// honest export path: the device is the master copy, so serializing
+    /// the database means reading flash, not returning a cached host copy.
+    /// Reads are wear-free.
+    pub fn export_database(&mut self) -> EncryptedDatabase {
+        let n = self.ctx.params().n;
+        let bitlines = self.ssd.geometry().page_bits();
+        let groups = self.stream_words.div_ceil(bitlines);
+        let mut words = Vec::with_capacity(groups * bitlines);
+        for g in 0..groups {
+            words.extend(self.ssd.cm_read_group(g));
+        }
+        words.truncate(self.stream_words);
+        EncryptedDatabase::from_ciphertexts(stream_to_cts(&words, n), self.total_bits)
+    }
+
+    /// `u32` coefficients a database occupies in the CIPHERMATCH region
+    /// (before group padding): two polynomials of `n` coefficients per
+    /// ciphertext.
+    pub fn required_words(db: &EncryptedDatabase, n: usize) -> usize {
+        db.poly_count() * 2 * n
+    }
+
     /// Runs the in-flash search for every query variant, returning the
     /// reassembled search result and the accumulated cost report.
     pub fn search(&mut self, query: &EncryptedQuery) -> (SearchResult, Vec<IfpReport>) {
@@ -206,5 +230,35 @@ mod tests {
         // The raw hom-add outputs must be bit-identical, not just
         // decrypt-identical.
         assert_eq!(ifp_result, sw_result);
+    }
+
+    #[test]
+    fn export_reads_the_database_back_from_flash() {
+        let ctx = BfvContext::new(BfvParams::insecure_test_pow2());
+        let mut rng = StdRng::seed_from_u64(77);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let pk = kg.public_key(&mut rng);
+        let enc = Encryptor::new(&ctx, pk);
+        let engine = CiphermatchEngine::new(&ctx);
+        let data = BitString::from_ascii("round trip through the array");
+        let db = engine.encrypt_database(&enc, &data, &mut rng);
+
+        let mut server = CmIfpServer::new(
+            &ctx,
+            FlashGeometry::tiny_test(),
+            TransposeMode::Software,
+            &db,
+        );
+        let wear_before = server.ssd().ledger().wear();
+        let exported = server.export_database();
+        assert_eq!(server.ssd().ledger().wear(), wear_before);
+        assert_eq!(exported.total_bits(), db.total_bits());
+        assert_eq!(exported.poly_count(), db.poly_count());
+        let q_bits = 64 - ctx.params().q.leading_zeros();
+        assert_eq!(
+            exported.encode(q_bits),
+            db.encode(q_bits),
+            "flash read-back must be bit-identical to the original"
+        );
     }
 }

@@ -126,6 +126,33 @@ impl Ssd {
         &self.controller
     }
 
+    /// Lifetime primitive-op ledger of the flash array (reads, programs,
+    /// erases, …). `ledger().wear()` is the device's cumulative wear.
+    pub fn ledger(&self) -> FlashLedger {
+        self.flash.ledger()
+    }
+
+    /// Total conventional-region capacity in pages.
+    pub fn conventional_capacity(&self) -> usize {
+        self.ftl.conventional_capacity()
+    }
+
+    /// Conventional pages mapped so far (never reclaimed; fresh logical
+    /// pages allocate past this high-water mark).
+    pub fn conventional_in_use(&self) -> usize {
+        self.ftl.conventional_in_use()
+    }
+
+    /// `u32` coefficient capacity of the CIPHERMATCH region for a geometry
+    /// under the reservation policy [`Self::new`] applies, without building
+    /// a device. Each group stores one coefficient per bitline.
+    pub fn cm_capacity_words(geometry: &FlashGeometry) -> usize {
+        let reserve = (geometry.blocks_per_plane / 4).max(1);
+        let groups_per_plane = (geometry.blocks_per_plane - reserve)
+            * (geometry.wordlines_per_block / GROUP_WORDLINES);
+        groups_per_plane * geometry.total_planes() * geometry.page_bits()
+    }
+
     /// Conventional write: horizontal layout, page granularity.
     ///
     /// # Panics
@@ -335,6 +362,20 @@ mod tests {
 
     fn ssd() -> Ssd {
         Ssd::new(FlashGeometry::tiny_test(), TransposeMode::Software)
+    }
+
+    #[test]
+    fn capacity_accessors_match_the_reservation_policy() {
+        let geom = FlashGeometry::tiny_test();
+        // tiny_test: 1 reserved block/plane, 3 CM blocks x 2 groups x 8
+        // planes x 512 bitlines.
+        assert_eq!(Ssd::cm_capacity_words(&geom), 48 * 512);
+        let mut s = ssd();
+        assert_eq!(s.conventional_capacity(), 64 * 8);
+        assert_eq!(s.conventional_in_use(), 0);
+        s.write_page(9, &[1, 2, 3]);
+        assert_eq!(s.conventional_in_use(), 1);
+        assert_eq!(s.ledger().programs, 1);
     }
 
     #[test]

@@ -67,8 +67,10 @@ pub const SERVER_TENANT_REQUESTS: &str = "cm_server_tenant_requests_total";
 pub const SERVER_HOM_ADDS: &str = "cm_server_hom_adds";
 /// `Hom-Add` operations executed since startup.
 pub const SERVER_HOM_ADDS_TOTAL: &str = "cm_server_hom_adds_total";
-/// `Hom-Add` throughput derived at snapshot time: total adds divided by
-/// seconds of server uptime.
+/// `Hom-Add` throughput derived at snapshot time: adds since the previous
+/// snapshot divided by the interval, with short intervals guarded (a
+/// snapshot taken within the guard window keeps the previous value
+/// instead of dividing by a near-zero denominator).
 pub const SERVER_HOM_ADDS_PER_SEC: &str = "cm_server_hom_adds_per_sec";
 
 /// Hot-tier databases demoted to the cold tier by budget pressure.
@@ -79,3 +81,15 @@ pub const REGISTRY_REMATERIALIZATIONS: &str = "cm_registry_rematerializations_to
 pub const REGISTRY_HOT_BYTES: &str = "cm_registry_hot_bytes";
 /// The configured host memory budget in bytes (-1 = unbounded).
 pub const REGISTRY_MEMORY_BUDGET_BYTES: &str = "cm_registry_memory_budget_bytes";
+/// Bytes of demoted databases resident as pages in the cold tier's
+/// simulated flash (the master copies; no host-RAM duplicate exists).
+pub const REGISTRY_COLD_BYTES: &str = "cm_registry_cold_bytes";
+/// Flash program/erase cycles consumed by cold-tier lifecycle traffic
+/// (demotion writes; re-materialization reads and in-flash searches are
+/// wear-free).
+pub const REGISTRY_FLASH_WEAR: &str = "cm_registry_flash_wear_total";
+/// Match queries answered straight from the cold tier by a flash-native
+/// (`ifp`) tenant, with no re-materialization. Monotone despite the
+/// missing `_total` suffix — the name is pinned by the tiering design
+/// docs.
+pub const REGISTRY_COLD_HITS: &str = "cm_registry_cold_hits";

@@ -225,6 +225,14 @@ fn wire_snapshot_counts_match_the_workload_exactly() {
         adds_per_sec >= 0,
         "the derived adds/sec gauge is never negative"
     );
+    // The rate is windowed with a >= 10ms minimum interval, so even the
+    // first snapshot is bounded by total-adds / 10ms — never the old
+    // total-over-microseconds-of-uptime garbage.
+    assert!(
+        adds_per_sec as u64 <= hom_adds_sent * 100,
+        "adds/sec ({adds_per_sec}) must respect the minimum rate window \
+         (total {hom_adds_sent} over >= 10ms)"
+    );
 
     // The per-tenant counter sees every tenant-two frame: Begin + one
     // chunk + Commit of the upload, then the match queries.
@@ -247,6 +255,18 @@ fn wire_snapshot_counts_match_the_workload_exactly() {
         again.counter(metric_names::SERVER_REQUESTS, &[("tag", "metrics")]),
         Some(1),
         "the first Metrics request is visible to the second"
+    );
+    // No Hom-Adds ran between the two snapshots, so the windowed rate
+    // either held its value (inside the guard interval) or decayed to
+    // the honest current throughput: zero. A whole-uptime average would
+    // instead report some in-between dilution.
+    let rate_again = again
+        .gauge(metric_names::SERVER_HOM_ADDS_PER_SEC, &[])
+        .expect("derived Hom-Add throughput gauge missing from the snapshot");
+    assert!(
+        rate_again == adds_per_sec || rate_again == 0,
+        "an idle re-snapshot must hold ({adds_per_sec}) or decay to 0, \
+         got {rate_again}"
     );
 
     // The text exposition renders every series the snapshot carries.
